@@ -1,0 +1,1 @@
+examples/bandwidth_probe.ml: Fmt List Smart_host Smart_measure Smart_util

@@ -1,0 +1,1 @@
+examples/grid_groups.ml: Fmt List Smart_core Smart_host Smart_net Smart_proto Smart_util String

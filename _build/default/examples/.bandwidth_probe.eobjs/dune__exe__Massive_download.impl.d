@@ -1,0 +1,1 @@
+examples/massive_download.ml: Fmt List Smart_apps Smart_core Smart_host Smart_proto Smart_util String

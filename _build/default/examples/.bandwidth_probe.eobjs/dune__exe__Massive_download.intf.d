@@ -1,0 +1,1 @@
+examples/massive_download.mli:

@@ -1,0 +1,1 @@
+examples/matmul_cluster.ml: Fmt List Smart_apps Smart_core Smart_host String

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Fmt List Printf Smart_core Smart_realnet Thread

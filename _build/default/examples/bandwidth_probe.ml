@@ -1,0 +1,65 @@
+(* Example: probing a path with the three bandwidth estimators.
+
+   Rebuilds the thesis's measurement topology (Table 3.2), runs an RTT
+   sweep from sagit to suna to expose the MTU knee of Formula (3.6), then
+   compares the one-way UDP stream estimator with the packet-pair
+   (pipechar) and SLoPS (pathload) baselines on the same path. *)
+
+let mbps = Smart_util.Units.bytes_per_sec_to_mbps
+
+let () =
+  let fixture = Smart_host.Testbed.paths () in
+  let c = fixture.Smart_host.Testbed.cluster in
+  let stack = Smart_host.Cluster.stack c in
+  let src = fixture.Smart_host.Testbed.sagit in
+  let dst = fixture.Smart_host.Testbed.suna in
+
+  Fmt.pr "== RTT sweep sagit -> suna (MTU 1500) ==@.";
+  let sweep =
+    Smart_measure.Rtt_probe.sweep ~min_size:100 ~max_size:4000 ~step:100
+      stack ~src ~dst ()
+  in
+  List.iter
+    (fun s ->
+      if s.Smart_measure.Rtt_probe.payload mod 500 = 0 then
+        Fmt.pr "  payload %4d B   rtt %a@." s.Smart_measure.Rtt_probe.payload
+          Smart_util.Units.pp_time s.Smart_measure.Rtt_probe.rtt)
+    sweep.Smart_measure.Rtt_probe.samples;
+  let knee = Smart_measure.Rtt_probe.analyze sweep in
+  Fmt.pr "  knee at %.0f B; slope below -> %.1f Mbps, above -> %.1f Mbps@.@."
+    knee.Smart_measure.Rtt_probe.knee_bytes
+    (mbps knee.Smart_measure.Rtt_probe.bw_below)
+    (mbps knee.Smart_measure.Rtt_probe.bw_above);
+
+  Fmt.pr "== one-way UDP stream (1600~2900) ==@.";
+  (match Smart_measure.Udp_stream.measure stack ~src ~dst () with
+  | Some r ->
+    Fmt.pr "  min %.2f  max %.2f  avg %.2f Mbps (%d failures)@.@."
+      (mbps r.Smart_measure.Udp_stream.min_bw)
+      (mbps r.Smart_measure.Udp_stream.max_bw)
+      (mbps r.Smart_measure.Udp_stream.avg_bw)
+      r.Smart_measure.Udp_stream.failures
+  | None -> Fmt.pr "  measurement failed@.@.");
+
+  Fmt.pr "== packet pair (pipechar) ==@.";
+  (match Smart_measure.Packet_pair.measure stack ~src ~dst () with
+  | Some r ->
+    Fmt.pr "  median %.2f Mbps, %.0f%% reliable@.@."
+      (mbps r.Smart_measure.Packet_pair.median_bw)
+      (100.0 *. r.Smart_measure.Packet_pair.reliability)
+  | None -> Fmt.pr "  measurement failed@.@.");
+
+  Fmt.pr "== SLoPS (pathload) ==@.";
+  let r = Smart_measure.Slops.measure stack ~src ~dst () in
+  Fmt.pr "  %.1f ~ %.1f Mbps after %d iterations@.@."
+    (mbps r.Smart_measure.Slops.low)
+    (mbps r.Smart_measure.Slops.high)
+    r.Smart_measure.Slops.iterations;
+
+  (* Appendix A: hop-by-hop probing on the long path to CMU *)
+  Fmt.pr "== traceroute sagit -> cmui (pipechar-style, Appendix A) ==@.";
+  let cmui =
+    Smart_host.Cluster.resolve_exn fixture.Smart_host.Testbed.cluster "cmui"
+  in
+  let hops = Smart_measure.Traceroute.run stack ~src ~dst:cmui () in
+  Smart_measure.Traceroute.print stack ~src ~dst:cmui hops

@@ -1,0 +1,93 @@
+(* Example: a multi-group GRID deployment (Fig 3.8).
+
+   Three server groups — a local lab, a campus cluster and a remote
+   site — each with its own monitor machine.  The network monitors
+   probe one another sequentially and publish the (delay, bandwidth)
+   mesh of Table 3.4; the wizard binds monitor_network_* per group so a
+   single requirement can trade computation power against connectivity
+   across the whole grid. *)
+
+module C = Smart_core
+module H = Smart_host
+
+let mk ?(bogomips = 3394.76) name ip matmul_rate =
+  {
+    (H.Testbed.spec_of_name "helene") with
+    H.Machine.name;
+    ip;
+    matmul_rate;
+    bogomips;
+  }
+
+let () =
+  let c = H.Cluster.create ~seed:17 () in
+  let add spec = H.Cluster.add_machine c spec in
+  (* group 1: the local lab *)
+  let mon1 = add (mk ~bogomips:1730.15 "lab-mon" "10.1.0.1" 18e6) in
+  let lab1 = add (mk ~bogomips:1730.15 "lab-1" "10.1.0.2" 18e6) in
+  let lab2 = add (mk ~bogomips:1730.15 "lab-2" "10.1.0.3" 18e6) in
+  (* group 2: the campus cluster, faster machines, 2 ms away *)
+  let mon2 = add (mk "campus-mon" "10.2.0.1" 30e6) in
+  let cam1 = add (mk "campus-1" "10.2.0.2" 30e6) in
+  let cam2 = add (mk "campus-2" "10.2.0.3" 30e6) in
+  (* group 3: a remote site, fast machines behind a thin 4 Mbps pipe *)
+  let mon3 = add (mk ~bogomips:4771.02 "remote-mon" "10.3.0.1" 40e6) in
+  let rem1 = add (mk ~bogomips:4771.02 "remote-1" "10.3.0.2" 40e6) in
+  let rem2 = add (mk ~bogomips:4771.02 "remote-2" "10.3.0.3" 40e6) in
+  let sw1 = H.Cluster.add_switch c ~name:"sw1" ~ip:"10.1.0.254" in
+  let sw2 = H.Cluster.add_switch c ~name:"sw2" ~ip:"10.2.0.254" in
+  let sw3 = H.Cluster.add_switch c ~name:"sw3" ~ip:"10.3.0.254" in
+  let lan = H.Testbed.lan_conf in
+  List.iter (fun n -> ignore (H.Cluster.link c ~a:n ~b:sw1 lan)) [ mon1; lab1; lab2 ];
+  List.iter (fun n -> ignore (H.Cluster.link c ~a:n ~b:sw2 lan)) [ mon2; cam1; cam2 ];
+  List.iter (fun n -> ignore (H.Cluster.link c ~a:n ~b:sw3 lan)) [ mon3; rem1; rem2 ];
+  let wan ~mbps ~ms =
+    {
+      Smart_net.Link.capacity = mbps *. 1e6 /. 8.0;
+      prop_delay = ms /. 2000.0;
+      jitter = 30e-6;
+      loss = 0.0;
+    }
+  in
+  ignore (H.Cluster.link c ~a:sw1 ~b:sw2 (wan ~mbps:100.0 ~ms:2.0));
+  ignore (H.Cluster.link c ~a:sw2 ~b:sw3 (wan ~mbps:4.0 ~ms:30.0));
+
+  let d =
+    C.Simdriver.deploy_groups c ~wizard_host:"lab-mon"
+      ~groups:
+        [
+          ("lab-mon", [ "lab-1"; "lab-2" ]);
+          ("campus-mon", [ "campus-1"; "campus-2" ]);
+          ("remote-mon", [ "remote-1"; "remote-2" ]);
+        ]
+  in
+  C.Simdriver.settle ~duration:8.0 d;
+  ignore (C.Simdriver.refresh_netmon d);
+
+  Fmt.pr "network monitor mesh (Table 3.4 layout):@.";
+  List.iter
+    (fun (r : Smart_proto.Records.net_record) ->
+      List.iter
+        (fun (e : Smart_proto.Records.net_entry) ->
+          Fmt.pr "  %-12s -> %-12s %6.2f ms  %6.2f Mbps@."
+            r.Smart_proto.Records.monitor e.Smart_proto.Records.peer
+            (Smart_util.Units.s_to_ms e.Smart_proto.Records.delay)
+            (Smart_util.Units.bytes_per_sec_to_mbps
+               e.Smart_proto.Records.bandwidth))
+        r.Smart_proto.Records.entries)
+    (C.Simdriver.all_netmon_records d);
+
+  let ask ?(wanted = 6) label requirement =
+    match C.Simdriver.request d ~client:"lab-1" ~wanted ~requirement with
+    | Ok servers -> Fmt.pr "@.%s@.  -> %s@." label (String.concat ", " servers)
+    | Error e -> Fmt.pr "@.%s@.  -> error: %a@." label C.Client.pp_error e
+  in
+  ask "pure compute (every idle server across the grid qualifies):"
+    "host_cpu_free > 0.5\n";
+  ask "data-heavy job: at least 50 Mbps toward us (remote site drops out):"
+    "host_cpu_free > 0.5\nmonitor_network_bw > 50\n";
+  ask "latency-sensitive job: delay under 5 ms (remote site drops out):"
+    "host_cpu_free > 0.5\nmonitor_network_delay < 5\n";
+  (* the Ch. 6 extension: rank candidates instead of taking scan order *)
+  ask ~wanted:2 "the two fastest CPUs anywhere (order_by ranking):"
+    "host_cpu_free > 0.5\norder_by = host_cpu_bogomips\n"

@@ -1,0 +1,103 @@
+(* Example: the massd massive-download program (§5.3.2) on the simulated
+   testbed.  Six file servers are split into a fast and a slow rshaper
+   group; the client asks the wizard for servers whose *measured*
+   bandwidth clears a threshold and downloads through the returned set.
+
+   This exercises the part of the stack the matmul example does not: the
+   network monitor's one-way UDP stream measurements through the shapers
+   and the monitor_network_bw requirement variable. *)
+
+let mbps = Smart_util.Units.mbps_to_bytes_per_sec
+
+let () =
+  let fast = [ "mimas"; "telesto"; "lhost" ] in
+  let slow = [ "dione"; "titan-x"; "pandora-x" ] in
+  let shape cluster hosts rate =
+    List.iter
+      (fun h ->
+        ignore
+          (Smart_host.Cluster.shape_access cluster
+             ~node:(Smart_host.Cluster.resolve_exn cluster h)
+             ~rate_bytes_per_sec:(Some rate)))
+      hosts
+  in
+  (* selection run: deployed stack measures through the shapers *)
+  let c = Smart_host.Testbed.icpp2005 () in
+  shape c fast (mbps 6.72);
+  shape c slow (mbps 1.33);
+  let d =
+    Smart_core.Simdriver.deploy c ~monitor:"dalmatian" ~wizard_host:"dalmatian"
+      ~servers:(fast @ slow)
+  in
+  Smart_core.Simdriver.settle ~duration:6.0 d;
+  let record = Smart_core.Simdriver.refresh_netmon d in
+  Fmt.pr "network monitor measured:@.";
+  List.iter
+    (fun (e : Smart_proto.Records.net_entry) ->
+      Fmt.pr "  %-10s %6.2f Mbps, %5.2f ms@." e.Smart_proto.Records.peer
+        (Smart_util.Units.bytes_per_sec_to_mbps e.Smart_proto.Records.bandwidth)
+        (Smart_util.Units.s_to_ms e.Smart_proto.Records.delay))
+    record.Smart_proto.Records.entries;
+  let smart =
+    match
+      Smart_core.Simdriver.request d ~client:"sagit" ~wanted:2
+        ~requirement:"monitor_network_bw > 6\n"
+    with
+    | Ok servers -> servers
+    | Error e -> Fmt.failwith "selection failed: %a" Smart_core.Client.pp_error e
+  in
+  Fmt.pr "@.smart selection (bw > 6 Mbps): %s@." (String.concat ", " smart);
+
+  (* timed downloads on fresh clusters with identical shaping *)
+  let download servers =
+    let cluster = Smart_host.Testbed.icpp2005 ~seed:9 () in
+    shape cluster fast (mbps 6.72);
+    shape cluster slow (mbps 1.33);
+    let resolve = Smart_host.Cluster.resolve_exn cluster in
+    Smart_apps.Massd.run cluster
+      ~client:(resolve "sagit")
+      ~servers:(List.map resolve servers)
+      ~data_kb:20000 ~blk_kb:100
+  in
+  let show label servers =
+    let r = download servers in
+    Fmt.pr "  %-22s %7.0f KB/s (%.1f s)@." label
+      (Smart_util.Units.bytes_per_sec_to_kBps r.Smart_apps.Massd.throughput)
+      r.Smart_apps.Massd.elapsed;
+    List.iter
+      (fun (s : Smart_apps.Massd.server_stats) ->
+        Fmt.pr "      %-10s %4d blocks@." s.Smart_apps.Massd.host
+          s.Smart_apps.Massd.blocks)
+      r.Smart_apps.Massd.servers
+  in
+  Fmt.pr "@.downloading 20 MB in 100 KB blocks:@.";
+  show "random (slow group)" [ "dione"; "pandora-x" ];
+  show "smart" smart;
+
+  (* the fault-tolerance extension: one of the smart servers dies 8 s
+     into the transfer; its in-flight block is requeued and the
+     survivor finishes the file *)
+  (match smart with
+  | first :: _ :: _ ->
+    let cluster = Smart_host.Testbed.icpp2005 ~seed:9 () in
+    shape cluster fast (mbps 6.72);
+    shape cluster slow (mbps 1.33);
+    let resolve = Smart_host.Cluster.resolve_exn cluster in
+    let r =
+      Smart_apps.Massd.run cluster
+        ~failures:[ { Smart_apps.Massd.host = first; at = 8.0 } ]
+        ~client:(resolve "sagit")
+        ~servers:(List.map resolve smart)
+        ~data_kb:20000 ~blk_kb:100
+    in
+    Fmt.pr "@.failover: %s dies 8 s in; the survivor finishes the file:@."
+      first;
+    Fmt.pr "  %7.0f KB/s (%.1f s)@."
+      (Smart_util.Units.bytes_per_sec_to_kBps r.Smart_apps.Massd.throughput)
+      r.Smart_apps.Massd.elapsed;
+    List.iter
+      (fun (s : Smart_apps.Massd.server_stats) ->
+        Fmt.pr "      %-10s %4d blocks@." s.Smart_apps.Massd.host
+          s.Smart_apps.Massd.blocks)
+      r.Smart_apps.Massd.servers
+  | _ -> ())

@@ -1,0 +1,110 @@
+(* Quickstart: the Smart TCP socket library on real sockets.
+
+   Everything runs in this one process on 127.0.0.1 — three "servers"
+   with probe daemons reading the actual /proc of this machine, the
+   monitor machine, the wizard machine, and a client that asks for two
+   servers with free memory and a security clearance, then talks to the
+   returned TCP sockets.
+
+   On a real deployment each daemon would run on its own machine via the
+   `smart` CLI; the code path is identical. *)
+
+let requirement =
+  "# pick servers with a little headroom and clearance >= 3\n\
+   host_memory_free > 16\n\
+   host_system_load1 < 50\n\
+   host_security_level >= 3\n"
+
+let () =
+  let book = Smart_realnet.Addr_book.create () in
+  List.iter
+    (fun h -> ignore (Smart_realnet.Addr_book.register_loopback book ~host:h))
+    [ "monitor"; "wizard"; "web-1"; "web-2"; "web-3" ];
+
+  (* wizard machine: receiver + wizard *)
+  let wizard =
+    Smart_realnet.Wizard_daemon.create book
+      {
+        Smart_realnet.Wizard_daemon.host = "wizard";
+        mode = Smart_core.Wizard.Centralized;
+      }
+  in
+  Smart_realnet.Wizard_daemon.start wizard;
+
+  (* monitor machine: sysmon + netmon + secmon + transmitter *)
+  let monitor =
+    Smart_realnet.Monitor_daemon.create book
+      {
+        Smart_realnet.Monitor_daemon.host = "monitor";
+        wizard_host = "wizard";
+        mode = Smart_core.Transmitter.Centralized;
+        probe_interval = 0.3;
+        transmit_interval = 0.3;
+        netmon_targets = [ "web-1"; "web-2"; "web-3" ];
+        security_log = "web-1 5\nweb-2 4\nweb-3 1   # web-3 is untrusted\n";
+      }
+  in
+  Smart_realnet.Monitor_daemon.start monitor;
+
+  (* three servers: probe daemon + the TCP service the client will use *)
+  let servers =
+    List.mapi
+      (fun i host ->
+        let probe =
+          Smart_realnet.Probe_daemon.create book
+            {
+              Smart_realnet.Probe_daemon.host;
+              ip = Printf.sprintf "10.0.0.%d" (i + 1);
+              monitor_host = "monitor";
+              interval = 0.3;
+              proc = Smart_realnet.Proc_reader.default;
+              iface = None;
+            }
+        in
+        Smart_realnet.Probe_daemon.start probe;
+        let service = Smart_realnet.Service.create book ~name:host in
+        Smart_realnet.Service.start service;
+        (probe, service))
+      [ "web-1"; "web-2"; "web-3" ]
+  in
+
+  (* let a couple of probe reports flow through *)
+  Thread.delay 1.2;
+
+  Fmt.pr "requirement:@.%s@." requirement;
+  (match
+     Smart_realnet.Client_io.request_sockets book ~wizard_host:"wizard"
+       ~wanted:2 ~requirement ()
+   with
+  | Error e -> Fmt.pr "request failed: %a@." Smart_core.Client.pp_error e
+  | Ok connected ->
+    Fmt.pr "got %d connected socket(s):@." (List.length connected);
+    List.iter
+      (fun (s : Smart_realnet.Client_io.connected_server) ->
+        Smart_realnet.Service.write_line s.Smart_realnet.Client_io.socket
+          "ECHO hello from the smart socket";
+        match
+          Smart_realnet.Service.read_line_opt
+            s.Smart_realnet.Client_io.socket
+        with
+        | Some line ->
+          Fmt.pr "  %s replied: %s@." s.Smart_realnet.Client_io.host line
+        | None -> Fmt.pr "  %s: no reply@." s.Smart_realnet.Client_io.host)
+      connected;
+    Smart_realnet.Client_io.close_all connected;
+    (* web-3 (clearance 1) must never be among the candidates *)
+    if
+      List.exists
+        (fun (s : Smart_realnet.Client_io.connected_server) ->
+          s.Smart_realnet.Client_io.host = "web-3")
+        connected
+    then Fmt.pr "BUG: untrusted server selected!@."
+    else Fmt.pr "untrusted web-3 was correctly excluded@.");
+
+  List.iter
+    (fun (probe, service) ->
+      Smart_realnet.Probe_daemon.stop probe;
+      Smart_realnet.Service.stop service)
+    servers;
+  Smart_realnet.Monitor_daemon.stop monitor;
+  Smart_realnet.Wizard_daemon.stop wizard

@@ -1,0 +1,1 @@
+lib/apps/massd.ml: Float List Queue Smart_host Smart_measure Smart_net Smart_sim String

@@ -1,0 +1,1 @@
+lib/apps/massd.mli: Smart_host

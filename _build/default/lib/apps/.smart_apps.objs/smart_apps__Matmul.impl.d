@@ -1,0 +1,1 @@
+lib/apps/matmul.ml: Float List Matrix Queue Smart_host Smart_measure Smart_net Smart_sim

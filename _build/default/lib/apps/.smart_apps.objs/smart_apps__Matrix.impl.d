@@ -1,0 +1,1 @@
+lib/apps/matrix.ml: Array Float List Smart_util

@@ -1,0 +1,1 @@
+lib/apps/matrix.mli: Smart_util

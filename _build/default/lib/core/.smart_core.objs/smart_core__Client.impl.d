@@ -1,0 +1,1 @@
+lib/core/client.ml: Fmt List Printf Smart_lang Smart_proto Smart_util

@@ -1,0 +1,1 @@
+lib/core/client.mli: Format Smart_proto Smart_util

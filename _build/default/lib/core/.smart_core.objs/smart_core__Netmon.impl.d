@@ -1,0 +1,1 @@
+lib/core/netmon.ml: Float List Smart_proto Status_db

@@ -1,0 +1,1 @@
+lib/core/netmon.mli: Smart_proto Status_db

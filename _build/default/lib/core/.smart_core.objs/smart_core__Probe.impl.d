@@ -1,0 +1,1 @@
+lib/core/probe.ml: List Output Printf Result Smart_host Smart_proto String

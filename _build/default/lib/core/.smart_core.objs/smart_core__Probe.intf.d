@@ -1,0 +1,1 @@
+lib/core/probe.mli: Output Smart_host Smart_proto

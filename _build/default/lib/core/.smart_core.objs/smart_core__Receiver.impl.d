@@ -1,0 +1,1 @@
+lib/core/receiver.ml: Hashtbl List Option Smart_proto Status_db String

@@ -1,0 +1,1 @@
+lib/core/receiver.mli: Smart_proto Status_db

@@ -1,0 +1,1 @@
+lib/core/secmon.ml: Smart_proto Status_db

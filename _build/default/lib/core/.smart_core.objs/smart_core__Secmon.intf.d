@@ -1,0 +1,1 @@
+lib/core/secmon.mli: Smart_proto Status_db

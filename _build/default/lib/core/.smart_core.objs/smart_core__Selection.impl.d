@@ -1,0 +1,1 @@
+lib/core/selection.ml: List Option Smart_lang Smart_proto Smart_util String

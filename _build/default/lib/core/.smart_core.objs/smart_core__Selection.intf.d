@@ -1,0 +1,1 @@
+lib/core/selection.mli: Smart_lang Smart_proto

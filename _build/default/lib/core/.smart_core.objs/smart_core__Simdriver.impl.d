@@ -1,0 +1,1 @@
+lib/core/simdriver.ml: Client Hashtbl List Netmon Output Probe Receiver Secmon Smart_host Smart_measure Smart_net Smart_proto Smart_sim Smart_util Status_db String Sysmon Transmitter Wizard

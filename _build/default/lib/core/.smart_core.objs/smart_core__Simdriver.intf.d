@@ -1,0 +1,1 @@
+lib/core/simdriver.mli: Client Probe Smart_host Smart_proto Status_db Sysmon Transmitter Wizard

@@ -1,0 +1,1 @@
+lib/core/status_db.ml: Hashtbl List Smart_proto String

@@ -1,0 +1,1 @@
+lib/core/status_db.mli: Smart_proto

@@ -1,0 +1,1 @@
+lib/core/sysmon.ml: Smart_proto Status_db

@@ -1,0 +1,1 @@
+lib/core/sysmon.mli: Smart_proto Status_db

@@ -1,0 +1,1 @@
+lib/core/transmitter.ml: List Output Smart_proto Status_db String

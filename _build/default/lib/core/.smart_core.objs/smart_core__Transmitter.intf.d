@@ -1,0 +1,1 @@
+lib/core/transmitter.mli: Output Smart_proto Status_db

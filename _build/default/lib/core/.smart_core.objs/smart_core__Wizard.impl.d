@@ -1,0 +1,1 @@
+lib/core/wizard.ml: List Output Selection Smart_lang Smart_proto Status_db String Transmitter

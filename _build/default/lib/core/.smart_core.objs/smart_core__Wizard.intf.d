@@ -1,0 +1,1 @@
+lib/core/wizard.mli: Output Selection Smart_proto Status_db

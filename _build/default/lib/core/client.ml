@@ -1,0 +1,68 @@
+(* The client library's protocol half (§3.6.2): build a request with a
+   random sequence number, validate the reply against it, and apply the
+   option semantics.  Driver code (simulated or Unix) performs the send,
+   the receive, and the final TCP connections to the candidates. *)
+
+type error =
+  | Timeout
+  | Wrong_seq of { expected : int; got : int }
+  | Not_enough of { wanted : int; got : int }
+  | Malformed of string
+
+let pp_error ppf = function
+  | Timeout -> Fmt.string ppf "request timed out"
+  | Wrong_seq { expected; got } ->
+    Fmt.pf ppf "reply sequence mismatch (expected %d, got %d)" expected got
+  | Not_enough { wanted; got } ->
+    Fmt.pf ppf "only %d of %d servers available" got wanted
+  | Malformed m -> Fmt.pf ppf "malformed reply: %s" m
+
+type t = { rng : Smart_util.Prng.t }
+
+let create ~rng = { rng }
+
+let make_request t ~wanted ~option ~requirement =
+  if wanted <= 0 then invalid_arg "Client.make_request: wanted must be positive";
+  if wanted > Smart_proto.Ports.max_reply_servers then
+    invalid_arg
+      (Printf.sprintf "Client.make_request: at most %d servers per request"
+         Smart_proto.Ports.max_reply_servers);
+  {
+    Smart_proto.Wizard_msg.seq = Smart_util.Prng.int t.rng ~bound:0x3FFFFFFF;
+    server_num = wanted;
+    option;
+    requirement;
+  }
+
+(* Validate a reply datagram against the outstanding request and apply
+   the option field: [Strict] fails unless the full count came back,
+   [Accept_partial] takes a non-empty subset. *)
+let check_reply (request : Smart_proto.Wizard_msg.request) data =
+  match Smart_proto.Wizard_msg.decode_reply data with
+  | Error m -> Error (Malformed m)
+  | Ok reply ->
+    if reply.Smart_proto.Wizard_msg.seq <> request.Smart_proto.Wizard_msg.seq
+    then
+      Error
+        (Wrong_seq
+           {
+             expected = request.Smart_proto.Wizard_msg.seq;
+             got = reply.Smart_proto.Wizard_msg.seq;
+           })
+    else begin
+      let servers = reply.Smart_proto.Wizard_msg.servers in
+      let got = List.length servers in
+      let wanted = request.Smart_proto.Wizard_msg.server_num in
+      match request.Smart_proto.Wizard_msg.option with
+      | Smart_proto.Wizard_msg.Strict ->
+        if got >= wanted then Ok servers
+        else Error (Not_enough { wanted; got })
+      | Smart_proto.Wizard_msg.Accept_partial ->
+        if got = 0 then Error (Not_enough { wanted; got }) else Ok servers
+    end
+
+(* Pre-flight check: warn about variables no binding can ever supply. *)
+let lint_requirement requirement =
+  match Smart_lang.Requirement.compile requirement with
+  | Error e -> Error (Fmt.str "%a" Smart_lang.Requirement.pp_compile_error e)
+  | Ok program -> Ok (Smart_lang.Requirement.unbound_variables program)

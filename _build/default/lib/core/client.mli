@@ -1,0 +1,31 @@
+(** Protocol half of the client library (§3.6.2): request construction,
+    reply validation, option semantics. *)
+
+type error =
+  | Timeout
+  | Wrong_seq of { expected : int; got : int }
+  | Not_enough of { wanted : int; got : int }
+  | Malformed of string
+
+val pp_error : Format.formatter -> error -> unit
+
+type t
+
+val create : rng:Smart_util.Prng.t -> t
+
+(** Build a request with a fresh random sequence number.  Raises
+    [Invalid_argument] when [wanted] is out of range. *)
+val make_request :
+  t ->
+  wanted:int ->
+  option:Smart_proto.Wizard_msg.option_flag ->
+  requirement:string ->
+  Smart_proto.Wizard_msg.request
+
+(** Validate a reply datagram and apply the option semantics. *)
+val check_reply :
+  Smart_proto.Wizard_msg.request -> string -> (string list, error) result
+
+(** Compile the requirement locally and report unbound variables (typo
+    candidates) before anything is sent. *)
+val lint_requirement : string -> (string list, string) result

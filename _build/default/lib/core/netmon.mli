@@ -1,0 +1,28 @@
+(** The network monitor (§3.3.3): sequential (delay, bandwidth) probing
+    of its targets, publishing a [net_record] to the status database. *)
+
+type probe_result = { delay : float; bandwidth : float }
+
+(** Injected measurement backend (one-way UDP stream in both drivers). *)
+type prober = target:string -> probe_result option
+
+type config = {
+  monitor_name : string;
+  targets : string list;  (** probed strictly in order, never in parallel *)
+}
+
+type t
+
+val create : config -> Status_db.t -> t
+
+(** Probe every target in order and publish the refreshed record. *)
+val probe_all :
+  t -> now:float -> prober:prober -> Smart_proto.Records.net_record
+
+(** Probing interval scaling rule of §3.3.3: grows with the n(n-1) path
+    count. *)
+val recommended_interval : groups:int -> per_probe_cost:float -> float
+
+val probes_run : t -> int
+
+val probe_failures : t -> int

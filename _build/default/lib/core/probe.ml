@@ -1,0 +1,136 @@
+(* The server probe (§3.2.1): samples the five /proc files, derives rates
+   from the previous sample, and emits one ASCII report datagram to the
+   system monitor per interval. *)
+
+(* Ch. 6 "UDP vs TCP": UDP keeps the probing overhead minimal; TCP is
+   for long reports on congested networks where datagram loss would make
+   the status unusable. *)
+type transport = Udp | Tcp
+
+type config = {
+  host : string;
+  ip : string;
+  bogomips : float;
+  monitor : Output.address;       (* system monitor's endpoint *)
+  iface : string;                 (* interface to report, e.g. "eth0" *)
+  transport : transport;
+}
+
+type sample = {
+  at : float;
+  cpu : Smart_host.Procfs.cpu_jiffies;
+  disk : Smart_host.Procfs.disk_io;
+  net : Smart_host.Procfs.netdev_stat;
+}
+
+type t = { config : config; mutable prev : sample option }
+
+let create config = { config; prev = None }
+
+let ( let* ) r f = Result.bind r f
+
+let find_iface config stats =
+  match
+    List.find_opt
+      (fun s -> String.equal s.Smart_host.Procfs.iface config.iface)
+      stats
+  with
+  | Some s -> Ok s
+  | None -> Error (Printf.sprintf "probe: no interface %s" config.iface)
+
+(* Per-second rate of a counter between two samples. *)
+let rate ~dt current previous = if dt <= 0.0 then 0.0 else (current -. previous) /. dt
+
+let report_of t ~now ~(loadavg : Smart_host.Procfs.loadavg)
+    ~(cpu : Smart_host.Procfs.cpu_jiffies) ~(mem : Smart_host.Procfs.meminfo)
+    ~(disk : Smart_host.Procfs.disk_io) ~(net : Smart_host.Procfs.netdev_stat)
+    =
+  let mb bytes = float_of_int bytes /. (1024.0 *. 1024.0) in
+  let cpu_fracs, disk_rates, net_rates =
+    match t.prev with
+    | None ->
+      (* first sample: no interval to differentiate over *)
+      ((0.0, 0.0, 0.0, 1.0), (0.0, 0.0, 0.0, 0.0), (0.0, 0.0, 0.0, 0.0))
+    | Some prev ->
+      let dt = now -. prev.at in
+      let du = cpu.Smart_host.Procfs.user -. prev.cpu.Smart_host.Procfs.user in
+      let dn = cpu.Smart_host.Procfs.nice -. prev.cpu.Smart_host.Procfs.nice in
+      let ds =
+        cpu.Smart_host.Procfs.system -. prev.cpu.Smart_host.Procfs.system
+      in
+      let di = cpu.Smart_host.Procfs.idle -. prev.cpu.Smart_host.Procfs.idle in
+      let total = du +. dn +. ds +. di in
+      let frac x = if total <= 0.0 then 0.0 else x /. total in
+      ( (frac du, frac dn, frac ds, frac di),
+        ( rate ~dt disk.Smart_host.Procfs.rreq prev.disk.Smart_host.Procfs.rreq,
+          rate ~dt disk.Smart_host.Procfs.rblocks
+            prev.disk.Smart_host.Procfs.rblocks,
+          rate ~dt disk.Smart_host.Procfs.wreq prev.disk.Smart_host.Procfs.wreq,
+          rate ~dt disk.Smart_host.Procfs.wblocks
+            prev.disk.Smart_host.Procfs.wblocks ),
+        ( rate ~dt net.Smart_host.Procfs.rbytes prev.net.Smart_host.Procfs.rbytes,
+          rate ~dt net.Smart_host.Procfs.rpackets
+            prev.net.Smart_host.Procfs.rpackets,
+          rate ~dt net.Smart_host.Procfs.tbytes prev.net.Smart_host.Procfs.tbytes,
+          rate ~dt net.Smart_host.Procfs.tpackets
+            prev.net.Smart_host.Procfs.tpackets ) )
+  in
+  let cpu_user, cpu_nice, cpu_system, cpu_free = cpu_fracs in
+  let disk_rreq, disk_rblocks, disk_wreq, disk_wblocks = disk_rates in
+  let net_rbytes, net_rpackets, net_tbytes, net_tpackets = net_rates in
+  {
+    Smart_proto.Report.host = t.config.host;
+    ip = t.config.ip;
+    load1 = loadavg.Smart_host.Procfs.l1;
+    load5 = loadavg.Smart_host.Procfs.l5;
+    load15 = loadavg.Smart_host.Procfs.l15;
+    cpu_user;
+    cpu_nice;
+    cpu_system;
+    cpu_free;
+    bogomips = t.config.bogomips;
+    mem_total = mb mem.Smart_host.Procfs.total;
+    mem_used = mb mem.Smart_host.Procfs.used;
+    mem_free = mb mem.Smart_host.Procfs.free;
+    mem_buffers = mb mem.Smart_host.Procfs.buffers;
+    mem_cached = mb mem.Smart_host.Procfs.cached;
+    disk_rreq;
+    disk_rblocks;
+    disk_wreq;
+    disk_wblocks;
+    net_rbytes;
+    net_rpackets;
+    net_tbytes;
+    net_tpackets;
+  }
+
+(* One probe interval: parse the /proc snapshot, build the report, emit
+   the datagram. *)
+let tick t ~now ~(snapshot : Smart_host.Procfs.snapshot) =
+  let* loadavg =
+    Smart_host.Procfs.parse_loadavg snapshot.Smart_host.Procfs.loadavg_text
+  in
+  let* cpu, disk =
+    Smart_host.Procfs.parse_stat snapshot.Smart_host.Procfs.stat_text
+  in
+  let* mem =
+    Smart_host.Procfs.parse_meminfo snapshot.Smart_host.Procfs.meminfo_text
+  in
+  let* netdevs =
+    Smart_host.Procfs.parse_net_dev snapshot.Smart_host.Procfs.netdev_text
+  in
+  let* net = find_iface t.config netdevs in
+  let report = report_of t ~now ~loadavg ~cpu ~mem ~disk ~net in
+  t.prev <- Some { at = now; cpu; disk; net };
+  let send =
+    match t.config.transport with
+    | Udp -> Output.udp
+    | Tcp -> Output.stream
+  in
+  Ok
+    ( report,
+      [
+        send ~host:t.config.monitor.Output.host
+          ~port:t.config.monitor.Output.port
+          (Smart_proto.Report.to_string report);
+      ] )

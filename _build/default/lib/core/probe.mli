@@ -1,0 +1,31 @@
+(** The server probe (§3.2.1): turns periodic /proc snapshots into status
+    report datagrams for the system monitor.
+
+    The component is sans-IO: [tick] returns the report and the datagram
+    to send; simulated and real drivers both call it. *)
+
+(** Report transport (Ch. 6 "UDP vs TCP"): [Udp] for minimal overhead,
+    [Tcp] for long reports on lossy/congested networks. *)
+type transport = Udp | Tcp
+
+type config = {
+  host : string;
+  ip : string;
+  bogomips : float;
+  monitor : Output.address;
+  iface : string;  (** interface whose counters are reported, e.g. "eth0" *)
+  transport : transport;
+}
+
+type t
+
+val create : config -> t
+
+(** One probe interval.  Rates (CPU fractions, disk and network per-second
+    figures) are differentiated against the previous tick; the first tick
+    reports zero rates and a fully idle CPU. *)
+val tick :
+  t ->
+  now:float ->
+  snapshot:Smart_host.Procfs.snapshot ->
+  (Smart_proto.Report.t * Output.t list, string) result

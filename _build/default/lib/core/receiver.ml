@@ -1,0 +1,120 @@
+(* The receiver (§3.5.2): reassembles transmitter frames from the stream
+   and mirrors them into the wizard-side databases, so the wizard can use
+   the contents "as if they were generated locally". *)
+
+type t = {
+  order : Smart_proto.Endian.order;
+  db : Status_db.t;
+  decoders : (string, Smart_proto.Frame.decoder) Hashtbl.t;
+      (* one stream decoder per transmitter (keyed by source host) *)
+  owned_hosts : (string, string list) Hashtbl.t;
+      (* transmitter -> hosts its last Sys_db snapshot covered; hosts
+         that disappear from a snapshot (expired on the monitor side)
+         are dropped from the mirror *)
+  mutable current_from : string;
+  mutable frames_handled : int;
+  mutable decode_errors : int;
+  mutable on_update : (Smart_proto.Frame.payload_type -> unit) option;
+}
+
+let create ~order db =
+  {
+    order;
+    db;
+    decoders = Hashtbl.create 4;
+    owned_hosts = Hashtbl.create 4;
+    current_from = "";
+    frames_handled = 0;
+    decode_errors = 0;
+    on_update = None;
+  }
+
+(* The wizard (distributed mode) registers here to learn when fresh data
+   has landed. *)
+let set_update_hook t hook = t.on_update <- hook
+
+let decoder_for t ~from =
+  match Hashtbl.find_opt t.decoders from with
+  | Some d -> d
+  | None ->
+    let d = Smart_proto.Frame.decoder t.order in
+    Hashtbl.replace t.decoders from d;
+    d
+
+let apply_frame t (frame : Smart_proto.Frame.frame) =
+  let result =
+    match frame.Smart_proto.Frame.payload_type with
+    | Smart_proto.Frame.Sys_db ->
+      (* the payload is a concatenation of fixed-size sys records; hosts
+         owned by this transmitter that are absent from the snapshot have
+         expired on the monitor side and leave the mirror too *)
+      let data = frame.Smart_proto.Frame.data in
+      let size = Smart_proto.Records.sys_record_size in
+      let n = String.length data / size in
+      let rec load i hosts =
+        if i >= n then Ok hosts
+        else
+          match Smart_proto.Records.decode_sys t.order data ~pos:(i * size) with
+          | Ok record ->
+            Status_db.update_sys t.db record;
+            load (i + 1)
+              (record.Smart_proto.Records.report.Smart_proto.Report.host
+              :: hosts)
+          | Error m -> Error m
+      in
+      (match load 0 [] with
+      | Error m -> Error m
+      | Ok hosts ->
+        let previous =
+          Option.value ~default:[]
+            (Hashtbl.find_opt t.owned_hosts t.current_from)
+        in
+        List.iter
+          (fun host ->
+            if not (List.mem host hosts) then
+              Status_db.remove_sys t.db ~host)
+          previous;
+        Hashtbl.replace t.owned_hosts t.current_from hosts;
+        Ok ())
+    | Smart_proto.Frame.Net_db ->
+      (match Smart_proto.Records.decode_net t.order frame.Smart_proto.Frame.data with
+      | Ok record ->
+        Status_db.update_net t.db record;
+        Ok ()
+      | Error m -> Error m)
+    | Smart_proto.Frame.Sec_db ->
+      (match Smart_proto.Records.decode_sec t.order frame.Smart_proto.Frame.data with
+      | Ok record ->
+        Status_db.replace_sec t.db record;
+        Ok ()
+      | Error m -> Error m)
+  in
+  (match result with
+  | Ok () ->
+    t.frames_handled <- t.frames_handled + 1;
+    (match t.on_update with
+    | Some hook -> hook frame.Smart_proto.Frame.payload_type
+    | None -> ())
+  | Error _ -> t.decode_errors <- t.decode_errors + 1);
+  result
+
+(* Feed raw stream bytes from a given transmitter. *)
+let handle_stream t ~from data =
+  t.current_from <- from;
+  let dec = decoder_for t ~from in
+  Smart_proto.Frame.feed dec data;
+  match Smart_proto.Frame.frames dec with
+  | Error m ->
+    t.decode_errors <- t.decode_errors + 1;
+    Error m
+  | Ok frames ->
+    let rec apply = function
+      | [] -> Ok ()
+      | f :: rest ->
+        (match apply_frame t f with Ok () -> apply rest | Error _ as e -> e)
+    in
+    apply frames
+
+let frames_handled t = t.frames_handled
+
+let decode_errors t = t.decode_errors

@@ -1,0 +1,17 @@
+(** The receiver (§3.5.2): reassembles transmitter frames from reliable
+    streams and mirrors them into the wizard-side databases. *)
+
+type t
+
+val create : order:Smart_proto.Endian.order -> Status_db.t -> t
+
+(** Notification hook fired after every successfully applied frame (used
+    by the distributed-mode wizard to detect fresh data). *)
+val set_update_hook : t -> (Smart_proto.Frame.payload_type -> unit) option -> unit
+
+(** Feed raw stream bytes arriving from transmitter [from]. *)
+val handle_stream : t -> from:string -> string -> (unit, string) result
+
+val frames_handled : t -> int
+
+val decode_errors : t -> int

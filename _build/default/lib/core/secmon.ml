@@ -1,0 +1,32 @@
+(* The security monitor (§3.4): in this implementation it imports the
+   dummy security log — (host, clearance level) pairs — into the security
+   database.  The component boundary is deliberately thin so third-party
+   agents (the thesis mentions Cisco NAC) can replace the log source. *)
+
+type t = {
+  db : Status_db.t;
+  mutable refreshes : int;
+  mutable last_error : string option;
+}
+
+let create db = { db; refreshes = 0; last_error = None }
+
+(* Ingest a complete security log text. *)
+let refresh_from_log t text =
+  match Smart_proto.Records.parse_security_log text with
+  | Ok record ->
+    Status_db.replace_sec t.db record;
+    t.refreshes <- t.refreshes + 1;
+    Ok record
+  | Error e ->
+    t.last_error <- Some e;
+    Error e
+
+(* Direct injection for pluggable agents. *)
+let refresh t record =
+  Status_db.replace_sec t.db record;
+  t.refreshes <- t.refreshes + 1
+
+let refreshes t = t.refreshes
+
+let last_error t = t.last_error

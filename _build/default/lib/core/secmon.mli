@@ -1,0 +1,18 @@
+(** The security monitor (§3.4): imports (host, clearance level) records
+    into the security database from the dummy security log or a pluggable
+    agent. *)
+
+type t
+
+val create : Status_db.t -> t
+
+(** Parse and ingest a security log text ("host level" lines). *)
+val refresh_from_log :
+  t -> string -> (Smart_proto.Records.sec_record, string) result
+
+(** Inject a pre-built record (third-party agent path). *)
+val refresh : t -> Smart_proto.Records.sec_record -> unit
+
+val refreshes : t -> int
+
+val last_error : t -> string option

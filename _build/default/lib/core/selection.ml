@@ -1,0 +1,152 @@
+(* The wizard's server-selection algorithm (§3.6.1, Fig 1.4).
+
+   Pure function from the status databases and a compiled requirement to
+   an ordered candidate list:
+
+   1. every live server record is evaluated against the requirement, with
+      the server-side variables bound from its system record, the
+      monitor_* variables from the network metrics toward it, and
+      host_security_level from the security database;
+   2. servers named by user_denied_hostN (by name or IP) are excluded
+      outright — the Fig 1.4 blacklist;
+   3. qualified servers named by user_preferred_hostN come first, in
+      preference order; the remaining qualified servers follow in
+      database (scan) order — unless the requirement assigns the special
+      temp variable [order_by], in which case they are ranked by that
+      expression's per-server value, descending.  ("The wizard needs to
+      be modified to check multiple server reports for one requirement",
+      Ch. 6: `order_by = host_memory_free` expresses "the servers with
+      the largest memory".)
+   4. the list is cut to min(wanted, max_reply_servers). *)
+
+let order_by_variable = "order_by"
+
+type server_view = {
+  record : Smart_proto.Records.sys_record;
+  net : Smart_proto.Records.net_entry option;
+  security_level : int option;
+}
+
+type verdict = {
+  host : string;
+  qualified : bool;
+  denied : bool;
+  preferred_rank : int option;  (* position in the preferred list *)
+  order_key : float option;     (* value of the order_by expression *)
+  faults : Smart_lang.Eval.fault list;
+}
+
+type result = {
+  selected : string list;  (* host names, best first *)
+  verdicts : verdict list; (* every server examined, in scan order *)
+}
+
+let binding_for (view : server_view) name : Smart_lang.Value.t option =
+  let num f = Some (Smart_lang.Value.Num f) in
+  match Smart_proto.Report.variable view.record.Smart_proto.Records.report name with
+  | Some f -> num f
+  | None ->
+    (match name with
+    | "monitor_network_delay" ->
+      Option.map
+        (fun e ->
+          Smart_lang.Value.Num
+            (Smart_util.Units.s_to_ms e.Smart_proto.Records.delay))
+        view.net
+    | "monitor_network_bw" ->
+      Option.map
+        (fun e ->
+          Smart_lang.Value.Num
+            (Smart_util.Units.bytes_per_sec_to_mbps
+               e.Smart_proto.Records.bandwidth))
+        view.net
+    | "host_security_level" ->
+      Option.map (fun l -> Smart_lang.Value.Num (float_of_int l))
+        view.security_level
+    | _ -> None)
+
+(* A denied/preferred entry matches a server by host name or IP. *)
+let matches (view : server_view) entry =
+  let report = view.record.Smart_proto.Records.report in
+  String.equal entry report.Smart_proto.Report.host
+  || String.equal entry report.Smart_proto.Report.ip
+
+let rank_in lst view =
+  let rec go i = function
+    | [] -> None
+    | entry :: rest -> if matches view entry then Some i else go (i + 1) rest
+  in
+  go 0 lst
+
+(* The per-server value of the requirement's last [order_by] assignment,
+   read from the statement results. *)
+let order_key_of (outcome : Smart_lang.Eval.outcome) (program : Smart_lang.Ast.program) =
+  let is_order_by (st : Smart_lang.Ast.statement) =
+    match st.Smart_lang.Ast.expr with
+    | Smart_lang.Ast.Assign (name, _) -> String.equal name order_by_variable
+    | Smart_lang.Ast.Number _ | Smart_lang.Ast.Netaddr _
+    | Smart_lang.Ast.Var _ | Smart_lang.Ast.Arith _ | Smart_lang.Ast.Cmp _
+    | Smart_lang.Ast.Logic _ | Smart_lang.Ast.Call _ | Smart_lang.Ast.Neg _
+    | Smart_lang.Ast.Paren _ ->
+      false
+  in
+  List.fold_left2
+    (fun acc st (res : Smart_lang.Eval.statement_result) ->
+      if is_order_by st then
+        match res.Smart_lang.Eval.value with
+        | Ok (Smart_lang.Value.Num f) -> Some f
+        | Ok (Smart_lang.Value.Addr _) | Error _ -> acc
+      else acc)
+    None program outcome.Smart_lang.Eval.statements
+
+let select ~(requirement : Smart_lang.Ast.program) ~(servers : server_view list)
+    ~wanted =
+  let verdicts =
+    List.map
+      (fun view ->
+        let outcome =
+          Smart_lang.Requirement.evaluate requirement
+            ~lookup:(binding_for view)
+        in
+        let preferred, denied = Smart_lang.Requirement.host_lists outcome in
+        {
+          host =
+            view.record.Smart_proto.Records.report.Smart_proto.Report.host;
+          qualified = outcome.Smart_lang.Eval.qualified;
+          denied = List.exists (matches view) denied;
+          preferred_rank = rank_in preferred view;
+          order_key = order_key_of outcome requirement;
+          faults = outcome.Smart_lang.Eval.faults;
+        })
+      servers
+  in
+  let eligible =
+    List.filter (fun v -> v.qualified && not v.denied) verdicts
+  in
+  let preferred, others =
+    List.partition (fun v -> v.preferred_rank <> None) eligible
+  in
+  let preferred =
+    List.sort
+      (fun a b -> compare a.preferred_rank b.preferred_rank)
+      preferred
+  in
+  (* order_by ranks the non-preferred candidates, best (largest) first;
+     List.stable_sort keeps scan order among ties and when no key *)
+  let others =
+    if List.exists (fun v -> v.order_key <> None) others then
+      List.stable_sort
+        (fun a b ->
+          compare
+            (Option.value ~default:neg_infinity b.order_key)
+            (Option.value ~default:neg_infinity a.order_key))
+        others
+    else others
+  in
+  let limit = min wanted Smart_proto.Ports.max_reply_servers in
+  let rec take n = function
+    | [] -> []
+    | _ when n = 0 -> []
+    | x :: rest -> x.host :: take (n - 1) rest
+  in
+  { selected = take limit (preferred @ others); verdicts }

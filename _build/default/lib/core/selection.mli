@@ -1,0 +1,42 @@
+(** Pure server-selection algorithm of the wizard (§3.6.1, Fig 1.4):
+    evaluate the requirement per server, exclude blacklisted hosts, order
+    preferred hosts first, cut to the requested count.
+
+    Extension (the paper's Ch. 6 "3 servers with largest memory"): a
+    requirement assigning the temp variable [order_by] ranks the
+    candidates by that expression's per-server value, descending, e.g.
+    [order_by = host_memory_free]. *)
+
+(** Name of the ranking variable: "order_by". *)
+val order_by_variable : string
+
+type server_view = {
+  record : Smart_proto.Records.sys_record;
+  net : Smart_proto.Records.net_entry option;
+      (** network metrics toward this server *)
+  security_level : int option;
+}
+
+type verdict = {
+  host : string;
+  qualified : bool;
+  denied : bool;
+  preferred_rank : int option;
+  order_key : float option;  (** per-server value of [order_by] *)
+  faults : Smart_lang.Eval.fault list;
+}
+
+type result = {
+  selected : string list;  (** best candidates first *)
+  verdicts : verdict list; (** every server examined, in scan order *)
+}
+
+(** Requirement-variable binding for one server view (exposed for
+    tests). *)
+val binding_for : server_view -> string -> Smart_lang.Value.t option
+
+val select :
+  requirement:Smart_lang.Ast.program ->
+  servers:server_view list ->
+  wanted:int ->
+  result

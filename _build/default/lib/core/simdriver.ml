@@ -1,0 +1,408 @@
+(* Simulation driver: deploys the seven components onto a
+   [Smart_host.Cluster], wiring component outputs to the packet plane and
+   packet-plane listeners back into component handlers.
+
+   Layout mirrors Fig 3.1 for a single server group and Fig 3.8 for
+   several: each group runs its probes, the three monitors and a
+   transmitter on its monitor machine; the receiver and the wizard run on
+   the wizard machine.  In multi-group deployments the network monitors
+   probe their peer monitors (one sequential mesh, Table 3.4) and the
+   wizard binds monitor_network_* per group. *)
+
+type component_stats = { mutable messages : int; mutable bytes : int }
+
+type group = {
+  monitor_host : string;
+  monitor_node : int;
+  servers : string list;
+  db : Status_db.t;
+  sysmon : Sysmon.t;
+  netmon : Netmon.t;
+  secmon : Secmon.t;
+  transmitter : Transmitter.t;
+}
+
+type t = {
+  cluster : Smart_host.Cluster.t;
+  mode : Transmitter.mode;
+  groups : group list;
+  wizard_node : int;
+  db_wizard : Status_db.t;
+  receiver : Receiver.t;
+  wizard : Wizard.t;
+  client_rng : Smart_util.Prng.t;
+  traffic : (string, component_stats) Hashtbl.t;
+  mutable next_client_port : int;
+}
+
+let stats_for t tag =
+  match Hashtbl.find_opt t.traffic tag with
+  | Some s -> s
+  | None ->
+    let s = { messages = 0; bytes = 0 } in
+    Hashtbl.replace t.traffic tag s;
+    s
+
+(* Execute component outputs on the packet plane, attributing the bytes
+   to [tag] for the Table 5.2 accounting.  Stream outputs also travel as
+   datagrams here: the simulated LAN is loss-free and the receiver's
+   frame decoder reassembles per-source, so reliability is preserved. *)
+let perform t ~tag ~src_node ?(sport = 0) outputs =
+  let stack = Smart_host.Cluster.stack t.cluster in
+  List.iter
+    (fun output ->
+      let dst_addr, data =
+        match output with
+        | Output.Udp { dst; data } -> (dst, data)
+        | Output.Stream { dst; data } -> (dst, data)
+      in
+      match Smart_host.Cluster.resolve t.cluster dst_addr.Output.host with
+      | None -> ()  (* unresolvable host: datagram vanishes *)
+      | Some dst ->
+        let s = stats_for t tag in
+        s.messages <- s.messages + 1;
+        s.bytes <- s.bytes + String.length data;
+        ignore
+          (Smart_net.Netstack.send_udp stack ~src:src_node ~dst ~sport
+             ~dport:dst_addr.Output.port ~size:(String.length data)
+             ~payload:data))
+    outputs
+
+let node_name t id =
+  (Smart_net.Topology.node (Smart_host.Cluster.topology t.cluster) id)
+    .Smart_net.Topology.name
+
+let now t = Smart_host.Cluster.now t.cluster
+
+type config = {
+  mode : Transmitter.mode;
+  probe_interval : float;
+  probe_transport : Probe.transport;
+  transmit_interval : float;
+  order : Smart_proto.Endian.order;
+  security_log : string;
+}
+
+let default_config =
+  {
+    mode = Transmitter.Centralized;
+    probe_interval = 2.0;
+    probe_transport = Probe.Udp;
+    transmit_interval = 2.0;
+    order = Smart_proto.Endian.Little;
+    security_log = "";
+  }
+
+(* Wire one group's probes, monitors and transmitter. *)
+let setup_group t_ref config cluster ~wizard_host ~monitor_host ~servers
+    ~netmon_targets =
+  let engine = Smart_host.Cluster.engine cluster in
+  let stack = Smart_host.Cluster.stack cluster in
+  let rng = Smart_host.Cluster.rng cluster in
+  let resolve = Smart_host.Cluster.resolve_exn cluster in
+  let monitor_node = resolve monitor_host in
+  let db = Status_db.create () in
+  let sysmon =
+    Sysmon.create
+      ~config:
+        { Sysmon.probe_interval = config.probe_interval; missed_intervals = 3 }
+      db
+  in
+  let netmon =
+    Netmon.create
+      { Netmon.monitor_name = monitor_host; targets = netmon_targets }
+      db
+  in
+  let secmon = Secmon.create db in
+  if config.security_log <> "" then
+    ignore (Secmon.refresh_from_log secmon config.security_log);
+  let transmitter =
+    Transmitter.create ~monitor_name:monitor_host
+      {
+        Transmitter.mode = config.mode;
+        order = config.order;
+        receiver =
+          { Output.host = wizard_host; port = Smart_proto.Ports.receiver };
+      }
+      db
+  in
+  let the () = match !t_ref with Some t -> t | None -> assert false in
+  Smart_net.Netstack.listen_udp stack ~node:monitor_node
+    ~port:Smart_proto.Ports.sysmon (fun ~now pkt ->
+      ignore (Sysmon.handle_report sysmon ~now pkt.Smart_net.Packet.payload));
+  Smart_net.Netstack.listen_udp stack ~node:monitor_node
+    ~port:Smart_proto.Ports.transmitter (fun ~now:_ pkt ->
+      let outputs =
+        Transmitter.handle_pull transmitter ~data:pkt.Smart_net.Packet.payload
+      in
+      perform (the ()) ~tag:"transmitter" ~src_node:monitor_node outputs);
+  (* probes on every server of the group *)
+  List.iter
+    (fun server ->
+      let node = resolve server in
+      let machine = Smart_host.Cluster.machine cluster node in
+      let spec = Smart_host.Machine.spec machine in
+      let probe =
+        Probe.create
+          {
+            Probe.host = spec.Smart_host.Machine.name;
+            ip = spec.Smart_host.Machine.ip;
+            bogomips = spec.Smart_host.Machine.bogomips;
+            monitor =
+              { Output.host = monitor_host; port = Smart_proto.Ports.sysmon };
+            iface = "eth0";
+            transport = config.probe_transport;
+          }
+      in
+      ignore
+        (Smart_sim.Engine.every engine ~period:config.probe_interval
+           ~jitter:(config.probe_interval /. 20.0)
+           ~rng:(Smart_util.Prng.split rng)
+           ~start:(Smart_sim.Engine.now engine +. 0.01)
+           (fun now ->
+             if not (Smart_host.Machine.failed machine) then begin
+               let snapshot = Smart_host.Procfs.snapshot_of_machine machine ~now in
+               match Probe.tick probe ~now ~snapshot with
+               | Ok (_report, outputs) ->
+                 perform (the ()) ~tag:"probe" ~src_node:node
+                   ~sport:Smart_proto.Ports.probe outputs
+               | Error _ -> ()
+             end)))
+    servers;
+  (* periodic sweep and transmit *)
+  ignore
+    (Smart_sim.Engine.every engine ~period:config.probe_interval
+       ~start:(Smart_sim.Engine.now engine +. config.probe_interval)
+       (fun now -> ignore (Sysmon.sweep sysmon ~now)));
+  ignore
+    (Smart_sim.Engine.every engine ~period:config.transmit_interval
+       ~start:(Smart_sim.Engine.now engine +. 0.2)
+       (fun _now ->
+         let outputs = Transmitter.tick transmitter in
+         perform (the ()) ~tag:"transmitter" ~src_node:monitor_node outputs));
+  { monitor_host; monitor_node; servers; db; sysmon; netmon; secmon;
+    transmitter }
+
+(* [deploy_groups cluster ~wizard_host ~groups] installs the stack for
+   several server groups: [(monitor_host, servers); ...].  The first
+   group is the wizard's local group. *)
+let deploy_groups ?(config = default_config) cluster ~wizard_host ~groups =
+  if groups = [] then invalid_arg "Simdriver.deploy_groups: no groups";
+  let engine = Smart_host.Cluster.engine cluster in
+  let stack = Smart_host.Cluster.stack cluster in
+  let resolve = Smart_host.Cluster.resolve_exn cluster in
+  let wizard_node = resolve wizard_host in
+  let multi_group = List.length groups > 1 in
+  let monitor_hosts = List.map fst groups in
+  let t_ref = ref None in
+  let the () = match !t_ref with Some t -> t | None -> assert false in
+  let group_states =
+    List.map
+      (fun (monitor_host, servers) ->
+        (* flat deployments probe their servers directly; meshes probe
+           the peer monitors (§3.3.3) *)
+        let netmon_targets =
+          if multi_group then
+            List.filter (fun m -> m <> monitor_host) monitor_hosts
+          else servers
+        in
+        setup_group t_ref config cluster ~wizard_host ~monitor_host ~servers
+          ~netmon_targets)
+      groups
+  in
+  let db_wizard = Status_db.create () in
+  let receiver = Receiver.create ~order:config.order db_wizard in
+  let wizard_mode =
+    match config.mode with
+    | Transmitter.Centralized -> Wizard.Centralized
+    | Transmitter.Distributed ->
+      Wizard.Distributed
+        {
+          transmitters =
+            List.map
+              (fun m ->
+                { Output.host = m; port = Smart_proto.Ports.transmitter })
+              monitor_hosts;
+          freshness_timeout = 2.0;
+        }
+  in
+  let wizard_groups =
+    if not multi_group then None
+    else begin
+      let table = Hashtbl.create 32 in
+      List.iter
+        (fun (monitor_host, servers) ->
+          List.iter (fun s -> Hashtbl.replace table s monitor_host) servers)
+        groups;
+      Some
+        {
+          Wizard.local_monitor = List.hd monitor_hosts;
+          group_of = (fun host -> Hashtbl.find_opt table host);
+          local_entry = Wizard.default_local_entry;
+        }
+    end
+  in
+  let wizard =
+    Wizard.create { Wizard.mode = wizard_mode; groups = wizard_groups }
+      db_wizard
+  in
+  Receiver.set_update_hook receiver (Some (fun _ -> Wizard.note_update wizard));
+  Smart_net.Netstack.listen_udp stack ~node:wizard_node
+    ~port:Smart_proto.Ports.receiver (fun ~now:_ pkt ->
+      let t = the () in
+      let from = node_name t pkt.Smart_net.Packet.src in
+      ignore (Receiver.handle_stream receiver ~from pkt.Smart_net.Packet.payload));
+  Smart_net.Netstack.listen_udp stack ~node:wizard_node
+    ~port:Smart_proto.Ports.wizard (fun ~now pkt ->
+      let t = the () in
+      let sport =
+        match pkt.Smart_net.Packet.proto with
+        | Smart_net.Packet.Udp { sport; _ } -> sport
+        | Smart_net.Packet.Icmp _ -> 0
+      in
+      let from =
+        { Output.host = node_name t pkt.Smart_net.Packet.src; port = sport }
+      in
+      let outputs =
+        Wizard.handle_request wizard ~now ~from pkt.Smart_net.Packet.payload
+      in
+      perform t ~tag:"wizard" ~src_node:wizard_node
+        ~sport:Smart_proto.Ports.wizard outputs);
+  ignore
+    (Smart_sim.Engine.every engine ~period:0.05
+       ~start:(Smart_sim.Engine.now engine +. 0.05)
+       (fun now ->
+         let t = the () in
+         let outputs = Wizard.tick wizard ~now in
+         perform t ~tag:"wizard" ~src_node:wizard_node
+           ~sport:Smart_proto.Ports.wizard outputs));
+  let t =
+    {
+      cluster;
+      mode = config.mode;
+      groups = group_states;
+      wizard_node;
+      db_wizard;
+      receiver;
+      wizard;
+      client_rng = Smart_util.Prng.split (Smart_host.Cluster.rng cluster);
+      traffic = Hashtbl.create 8;
+      next_client_port = 45000;
+    }
+  in
+  t_ref := Some t;
+  t
+
+(* Single-group deployment (Fig 3.1): monitors + transmitter on
+   [monitor], receiver + wizard on [wizard_host], probes on [servers]. *)
+let deploy ?config cluster ~monitor ~wizard_host ~servers =
+  deploy_groups ?config cluster ~wizard_host ~groups:[ (monitor, servers) ]
+
+(* Let the deployment warm up: probes report, databases fill. *)
+let settle ?(duration = 6.0) t =
+  let engine = Smart_host.Cluster.engine t.cluster in
+  Smart_sim.Engine.run engine
+    ~until:(Smart_sim.Engine.now engine +. duration)
+
+let measure_path ?(trials = 4) t ~src_node ~target =
+  let stack = Smart_host.Cluster.stack t.cluster in
+  match Smart_host.Cluster.resolve t.cluster target with
+  | None -> None
+  | Some dst when dst = src_node ->
+    Some { Netmon.delay = 0.0; bandwidth = 4e9 /. 8.0 }
+  | Some dst ->
+    let delay = Smart_measure.Rtt_probe.ping ~count:3 stack ~src:src_node ~dst () in
+    let bw = Smart_measure.Udp_stream.measure ~trials stack ~src:src_node ~dst () in
+    (match (delay, bw) with
+    | Some d, Some b ->
+      Some
+        { Netmon.delay = d /. 2.0; bandwidth = b.Smart_measure.Udp_stream.avg_bw }
+    | _ -> None)
+
+(* Sequentially refresh every group's network monitor using the one-way
+   UDP stream method over the packet plane — one probe at a time across
+   the whole mesh, as §3.3.3 prescribes.  Advances virtual time. *)
+let refresh_netmon ?trials t =
+  let records =
+    List.map
+      (fun g ->
+        let record =
+          Netmon.probe_all g.netmon ~now:(now t)
+            ~prober:(fun ~target ->
+              measure_path ?trials t ~src_node:g.monitor_node ~target)
+        in
+        (* push so the wizard side immediately observes fresh metrics *)
+        let outputs = Transmitter.push g.transmitter in
+        perform t ~tag:"transmitter" ~src_node:g.monitor_node outputs;
+        record)
+      t.groups
+  in
+  (* let the final pushes reach the wizard machine before returning *)
+  settle ~duration:0.2 t;
+  match records with
+  | r :: _ -> r
+  | [] -> assert false
+
+let all_netmon_records t =
+  List.filter_map
+    (fun g -> Status_db.find_net t.db_wizard ~monitor:g.monitor_host)
+    t.groups
+
+(* One smart-socket request from [client] (a host name); drives the
+   simulation until the reply arrives or [timeout] virtual seconds pass. *)
+let request ?(option = Smart_proto.Wizard_msg.Accept_partial) ?(timeout = 5.0)
+    t ~client ~wanted ~requirement =
+  let engine = Smart_host.Cluster.engine t.cluster in
+  let stack = Smart_host.Cluster.stack t.cluster in
+  let client_node = Smart_host.Cluster.resolve_exn t.cluster client in
+  let client_lib = Client.create ~rng:t.client_rng in
+  let req = Client.make_request client_lib ~wanted ~option ~requirement in
+  let reply_port = t.next_client_port in
+  t.next_client_port <- t.next_client_port + 1;
+  let reply = ref None in
+  Smart_net.Netstack.listen_udp stack ~node:client_node ~port:reply_port
+    (fun ~now:_ pkt -> reply := Some pkt.Smart_net.Packet.payload);
+  let data = Smart_proto.Wizard_msg.encode_request req in
+  let s = stats_for t "client" in
+  s.messages <- s.messages + 1;
+  s.bytes <- s.bytes + String.length data;
+  ignore
+    (Smart_net.Netstack.send_udp stack ~src:client_node ~dst:t.wizard_node
+       ~sport:reply_port ~dport:Smart_proto.Ports.wizard
+       ~size:(String.length data) ~payload:data);
+  let deadline = Smart_sim.Engine.now engine +. timeout in
+  ignore
+    (Smart_measure.Runner.run_until engine ~deadline (fun () -> !reply <> None));
+  Smart_net.Netstack.unlisten_udp stack ~node:client_node ~port:reply_port;
+  match !reply with
+  | None -> Error Client.Timeout
+  | Some data -> Client.check_reply req data
+
+(* Failure injection: a failed machine's probe goes silent, and the
+   monitor expires it after three missed intervals. *)
+let fail_machine t ~host =
+  let node = Smart_host.Cluster.resolve_exn t.cluster host in
+  Smart_host.Machine.set_failed (Smart_host.Cluster.machine t.cluster node) true
+
+let revive_machine t ~host =
+  let node = Smart_host.Cluster.resolve_exn t.cluster host in
+  Smart_host.Machine.set_failed
+    (Smart_host.Cluster.machine t.cluster node)
+    false
+
+let traffic_stats t tag =
+  match Hashtbl.find_opt t.traffic tag with
+  | Some s -> (s.messages, s.bytes)
+  | None -> (0, 0)
+
+let db_wizard t = t.db_wizard
+
+let db_monitor t = (List.hd t.groups).db
+
+let wizard_component t = t.wizard
+
+let sysmon_component t = (List.hd t.groups).sysmon
+
+let group_count t = List.length t.groups
+
+let cluster t = t.cluster

@@ -1,0 +1,87 @@
+(** Simulation driver: deploys probes, monitors, transmitters, receiver
+    and wizard onto a simulated cluster and routes component outputs over
+    the packet plane.  Supports single-group (Fig 3.1) and multi-group
+    (Fig 3.8) layouts. *)
+
+type t
+
+type config = {
+  mode : Transmitter.mode;
+  probe_interval : float;
+  probe_transport : Probe.transport;
+  transmit_interval : float;
+  order : Smart_proto.Endian.order;
+  security_log : string;  (** "" for no security data *)
+}
+
+(** Centralized, 2 s probe and transmit intervals, UDP reports,
+    little-endian records. *)
+val default_config : config
+
+(** [deploy cluster ~monitor ~wizard_host ~servers] installs a
+    single-group stack: probes on every host of [servers], monitors +
+    transmitter on [monitor], receiver + wizard on [wizard_host].  The
+    network monitor probes the servers directly. *)
+val deploy :
+  ?config:config ->
+  Smart_host.Cluster.t ->
+  monitor:string ->
+  wizard_host:string ->
+  servers:string list ->
+  t
+
+(** Multi-group deployment: one [(monitor_host, servers)] per group; the
+    first group is the wizard's local group.  Network monitors probe
+    their peer monitors (the Table 3.4 mesh) and the wizard binds
+    monitor_network_* per group. *)
+val deploy_groups :
+  ?config:config ->
+  Smart_host.Cluster.t ->
+  wizard_host:string ->
+  groups:(string * string list) list ->
+  t
+
+(** Run the simulation for [duration] virtual seconds (default 6) so the
+    databases fill. *)
+val settle : ?duration:float -> t -> unit
+
+(** Sequential (delay, bandwidth) probing round of every group's network
+    monitor, then an immediate push to the wizard side.  Advances
+    virtual time.  Returns the first (local) group's record. *)
+val refresh_netmon : ?trials:int -> t -> Smart_proto.Records.net_record
+
+(** All groups' mesh records as mirrored on the wizard side. *)
+val all_netmon_records : t -> Smart_proto.Records.net_record list
+
+(** One smart-socket request from host [client]; returns the candidate
+    host list or the client-side error. *)
+val request :
+  ?option:Smart_proto.Wizard_msg.option_flag ->
+  ?timeout:float ->
+  t ->
+  client:string ->
+  wanted:int ->
+  requirement:string ->
+  (string list, Client.error) result
+
+(** Silence a machine's probe (host failure). *)
+val fail_machine : t -> host:string -> unit
+
+val revive_machine : t -> host:string -> unit
+
+(** [(messages, payload bytes)] sent so far by a component tag:
+    "probe", "transmitter", "wizard", "client". *)
+val traffic_stats : t -> string -> int * int
+
+val db_wizard : t -> Status_db.t
+
+(** The first (local) group's monitor-side database. *)
+val db_monitor : t -> Status_db.t
+
+val wizard_component : t -> Wizard.t
+
+val sysmon_component : t -> Sysmon.t
+
+val group_count : t -> int
+
+val cluster : t -> Smart_host.Cluster.t

@@ -1,0 +1,87 @@
+(* The status databases of Fig 3.10 — the in-memory equivalent of the
+   System V shared memory segments.  One instance lives on the monitor
+   machine (written by the three monitors, read by the transmitter) and
+   one on the wizard machine (written by the receiver, read by the
+   wizard). *)
+
+type t = {
+  sys : (string, Smart_proto.Records.sys_record) Hashtbl.t;  (* by host *)
+  net : (string, Smart_proto.Records.net_record) Hashtbl.t;  (* by monitor *)
+  sec : (string, int) Hashtbl.t;                             (* host -> level *)
+}
+
+let create () =
+  { sys = Hashtbl.create 32; net = Hashtbl.create 8; sec = Hashtbl.create 32 }
+
+let update_sys t (record : Smart_proto.Records.sys_record) =
+  Hashtbl.replace t.sys record.Smart_proto.Records.report.Smart_proto.Report.host
+    record
+
+let find_sys t ~host = Hashtbl.find_opt t.sys host
+
+let sys_records t =
+  Hashtbl.fold (fun _ r acc -> r :: acc) t.sys []
+  |> List.sort (fun a b ->
+         compare a.Smart_proto.Records.report.Smart_proto.Report.host
+           b.Smart_proto.Records.report.Smart_proto.Report.host)
+
+(* Drop servers whose probe has stopped reporting (§3.2.2): records older
+   than [max_age] (3 probe intervals by default in the drivers). *)
+let sweep_sys t ~now ~max_age =
+  let stale =
+    Hashtbl.fold
+      (fun host r acc ->
+        if now -. r.Smart_proto.Records.updated_at > max_age then host :: acc
+        else acc)
+      t.sys []
+  in
+  List.iter (Hashtbl.remove t.sys) stale;
+  List.length stale
+
+let update_net t (record : Smart_proto.Records.net_record) =
+  Hashtbl.replace t.net record.Smart_proto.Records.monitor record
+
+let find_net t ~monitor = Hashtbl.find_opt t.net monitor
+
+let net_records t =
+  Hashtbl.fold (fun _ r acc -> r :: acc) t.net []
+  |> List.sort (fun a b ->
+         compare a.Smart_proto.Records.monitor b.Smart_proto.Records.monitor)
+
+(* Network metrics toward a given target host, looked up across all
+   monitor records. *)
+let net_entry_for t ~target =
+  Hashtbl.fold
+    (fun _ (r : Smart_proto.Records.net_record) acc ->
+      match acc with
+      | Some _ -> acc
+      | None ->
+        List.find_opt
+          (fun e -> String.equal e.Smart_proto.Records.peer target)
+          r.Smart_proto.Records.entries)
+    t.net None
+
+let replace_sec t (record : Smart_proto.Records.sec_record) =
+  Hashtbl.reset t.sec;
+  List.iter
+    (fun e ->
+      Hashtbl.replace t.sec e.Smart_proto.Records.host
+        e.Smart_proto.Records.level)
+    record.Smart_proto.Records.entries
+
+let security_level t ~host = Hashtbl.find_opt t.sec host
+
+let sec_record t =
+  {
+    Smart_proto.Records.entries =
+      Hashtbl.fold
+        (fun host level acc ->
+          { Smart_proto.Records.host; level } :: acc)
+        t.sec []
+      |> List.sort (fun a b ->
+             compare a.Smart_proto.Records.host b.Smart_proto.Records.host);
+  }
+
+let sys_count t = Hashtbl.length t.sys
+
+let remove_sys t ~host = Hashtbl.remove t.sys host

@@ -1,0 +1,38 @@
+(** The three status databases (system / network / security) shared
+    between monitors, transmitter, receiver and wizard — the in-memory
+    stand-in for the thesis's System V shared memory segments. *)
+
+type t
+
+val create : unit -> t
+
+val update_sys : t -> Smart_proto.Records.sys_record -> unit
+
+val find_sys : t -> host:string -> Smart_proto.Records.sys_record option
+
+(** All system records, sorted by host name (the wizard's scan order). *)
+val sys_records : t -> Smart_proto.Records.sys_record list
+
+(** Remove records older than [max_age]; returns how many were dropped. *)
+val sweep_sys : t -> now:float -> max_age:float -> int
+
+val update_net : t -> Smart_proto.Records.net_record -> unit
+
+val find_net : t -> monitor:string -> Smart_proto.Records.net_record option
+
+val net_records : t -> Smart_proto.Records.net_record list
+
+(** Metrics toward [target], searched across all monitor records. *)
+val net_entry_for : t -> target:string -> Smart_proto.Records.net_entry option
+
+(** Replace the whole security table. *)
+val replace_sec : t -> Smart_proto.Records.sec_record -> unit
+
+val security_level : t -> host:string -> int option
+
+val sec_record : t -> Smart_proto.Records.sec_record
+
+val sys_count : t -> int
+
+(** Drop one server record (used by the receiver's mirror semantics). *)
+val remove_sys : t -> host:string -> unit

@@ -1,0 +1,41 @@
+(* The system status monitor (§3.2.2): collects probe reports into the
+   system database, stamping each record with its arrival time, and
+   periodically sweeps out servers whose probe has gone quiet. *)
+
+type config = {
+  probe_interval : float;  (* expected reporting period of the probes *)
+  missed_intervals : int;  (* failures tolerated before expiry (3 in §4.1) *)
+}
+
+let default_config = { probe_interval = 5.0; missed_intervals = 3 }
+
+type t = {
+  config : config;
+  db : Status_db.t;
+  mutable reports_handled : int;
+  mutable parse_errors : int;
+}
+
+let create ?(config = default_config) db =
+  { config; db; reports_handled = 0; parse_errors = 0 }
+
+let max_age t = t.config.probe_interval *. float_of_int t.config.missed_intervals
+
+(* One incoming report datagram. *)
+let handle_report t ~now data =
+  match Smart_proto.Report.of_string data with
+  | Error e ->
+    t.parse_errors <- t.parse_errors + 1;
+    Error e
+  | Ok report ->
+    t.reports_handled <- t.reports_handled + 1;
+    Status_db.update_sys t.db
+      { Smart_proto.Records.report; updated_at = now };
+    Ok report
+
+(* Periodic expiry sweep; returns the number of expired servers. *)
+let sweep t ~now = Status_db.sweep_sys t.db ~now ~max_age:(max_age t)
+
+let reports_handled t = t.reports_handled
+
+let parse_errors t = t.parse_errors

@@ -1,0 +1,25 @@
+(** The system status monitor (§3.2.2): ingests probe reports, expires
+    servers after [missed_intervals] silent probe periods. *)
+
+type config = { probe_interval : float; missed_intervals : int }
+
+(** 5 s probe interval, 3 missed intervals (§4.1). *)
+val default_config : config
+
+type t
+
+val create : ?config:config -> Status_db.t -> t
+
+(** Age beyond which a record is considered stale. *)
+val max_age : t -> float
+
+(** Handle one report datagram; updates the database on success. *)
+val handle_report :
+  t -> now:float -> string -> (Smart_proto.Report.t, string) result
+
+(** Expiry sweep; returns the number of servers dropped. *)
+val sweep : t -> now:float -> int
+
+val reports_handled : t -> int
+
+val parse_errors : t -> int

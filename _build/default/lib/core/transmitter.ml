@@ -1,0 +1,78 @@
+(* The transmitter (§3.5.1): snapshots the monitor-side databases into
+   three [type,size,data] frames and ships them to the receiver over a
+   reliable stream.
+
+   Centralized mode pushes on every tick; distributed mode stays passive
+   and answers explicit pull requests from the wizard. *)
+
+type mode = Centralized | Distributed
+
+let pull_request_magic = "SMART-PULL"
+
+type config = {
+  mode : mode;
+  order : Smart_proto.Endian.order;  (* must match the receiver's *)
+  receiver : Output.address;
+}
+
+type t = {
+  config : config;
+  db : Status_db.t;
+  monitor_name : string;
+  mutable pushes : int;
+  mutable bytes_sent : int;
+}
+
+let create ~monitor_name config db =
+  { config; db; monitor_name; pushes = 0; bytes_sent = 0 }
+
+let snapshot_frames t =
+  let order = t.config.order in
+  let sys_data =
+    String.concat ""
+      (List.map
+         (Smart_proto.Records.encode_sys order)
+         (Status_db.sys_records t.db))
+  in
+  let net_data =
+    match Status_db.find_net t.db ~monitor:t.monitor_name with
+    | Some record -> Smart_proto.Records.encode_net order record
+    | None ->
+      Smart_proto.Records.encode_net order
+        { Smart_proto.Records.monitor = t.monitor_name; entries = [] }
+  in
+  let sec_data =
+    Smart_proto.Records.encode_sec order (Status_db.sec_record t.db)
+  in
+  [
+    { Smart_proto.Frame.payload_type = Smart_proto.Frame.Sys_db; data = sys_data };
+    { Smart_proto.Frame.payload_type = Smart_proto.Frame.Net_db; data = net_data };
+    { Smart_proto.Frame.payload_type = Smart_proto.Frame.Sec_db; data = sec_data };
+  ]
+
+let push t =
+  let encoded =
+    String.concat ""
+      (List.map (Smart_proto.Frame.encode t.config.order) (snapshot_frames t))
+  in
+  t.pushes <- t.pushes + 1;
+  t.bytes_sent <- t.bytes_sent + String.length encoded;
+  [
+    Output.stream ~host:t.config.receiver.Output.host
+      ~port:t.config.receiver.Output.port encoded;
+  ]
+
+(* Centralized-mode periodic tick. *)
+let tick t =
+  match t.config.mode with Centralized -> push t | Distributed -> []
+
+(* Distributed-mode pull request (a datagram on the transmitter port). *)
+let handle_pull t ~data =
+  match t.config.mode with
+  | Distributed when String.equal data pull_request_magic -> push t
+  | Distributed -> []
+  | Centralized -> []
+
+let pushes t = t.pushes
+
+let bytes_sent t = t.bytes_sent

@@ -1,0 +1,35 @@
+(** The transmitter (§3.5.1): ships database snapshots to the receiver as
+    [type,size,data] frames; active in centralized mode, pull-driven in
+    distributed mode. *)
+
+type mode = Centralized | Distributed
+
+(** Datagram body that triggers a distributed-mode push. *)
+val pull_request_magic : string
+
+type config = {
+  mode : mode;
+  order : Smart_proto.Endian.order;
+  receiver : Output.address;
+}
+
+type t
+
+val create : monitor_name:string -> config -> Status_db.t -> t
+
+(** The three frames of the current database state. *)
+val snapshot_frames : t -> Smart_proto.Frame.frame list
+
+(** Unconditional push (both modes). *)
+val push : t -> Output.t list
+
+(** Periodic tick: pushes in centralized mode, no-op in distributed. *)
+val tick : t -> Output.t list
+
+(** Pull request handler: pushes in distributed mode when the magic
+    matches, no-op otherwise. *)
+val handle_pull : t -> data:string -> Output.t list
+
+val pushes : t -> int
+
+val bytes_sent : t -> int

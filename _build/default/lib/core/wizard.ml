@@ -1,0 +1,164 @@
+(* The wizard (§3.6.1): a daemon answering user requests on its UDP
+   service port.
+
+   Centralized mode answers straight from the receiver-maintained
+   databases.  Distributed mode first pulls fresh snapshots from every
+   transmitter, parks the request, and answers when the data has arrived
+   (or a freshness deadline passes). *)
+
+type mode =
+  | Centralized
+  | Distributed of {
+      transmitters : Output.address list;
+      freshness_timeout : float;
+    }
+
+(* Multi-group deployments (Fig 3.8): the network monitors probe peer
+   monitors, not individual servers, so the wizard maps each server to
+   its group and binds monitor_network_* from the local group's record
+   toward that group.  Servers of the local group get [local_entry]
+   ("in the local area network, the bandwidth and delay is sufficient",
+   §3.3.3). *)
+type groups = {
+  local_monitor : string;
+  group_of : string -> string option;  (* server host -> group monitor *)
+  local_entry : Smart_proto.Records.net_entry;
+}
+
+let default_local_entry =
+  {
+    Smart_proto.Records.peer = "";
+    delay = 1e-4;
+    bandwidth = 100e6 /. 8.0;  (* nominal switched 100 Mbps Ethernet *)
+    measured_at = 0.0;
+  }
+
+type config = { mode : mode; groups : groups option }
+
+type pending = {
+  from : Output.address;
+  request : Smart_proto.Wizard_msg.request;
+  deadline : float;
+  target_updates : int;  (* value of [updates_seen] that releases it *)
+}
+
+type t = {
+  config : config;
+  db : Status_db.t;
+  mutable pending : pending list;
+  mutable updates_seen : int;
+  mutable requests_handled : int;
+  mutable compile_errors : int;
+  mutable last_result : Selection.result option;
+}
+
+let create config db =
+  {
+    config;
+    db;
+    pending = [];
+    updates_seen = 0;
+    requests_handled = 0;
+    compile_errors = 0;
+    last_result = None;
+  }
+
+(* Receiver update hook: counts applied frames so distributed-mode
+   requests know when every transmitter has re-reported. *)
+let note_update t = t.updates_seen <- t.updates_seen + 1
+
+(* Network metrics toward one server: direct measurements in flat
+   deployments, group-level measurements (local monitor -> server's
+   group monitor) in multi-group ones. *)
+let net_for t ~host =
+  match t.config.groups with
+  | None -> Status_db.net_entry_for t.db ~target:host
+  | Some { local_monitor; group_of; local_entry } ->
+    (match group_of host with
+    | None -> Status_db.net_entry_for t.db ~target:host
+    | Some group when String.equal group local_monitor ->
+      Some { local_entry with Smart_proto.Records.peer = host }
+    | Some group ->
+      (match Status_db.find_net t.db ~monitor:local_monitor with
+      | None -> None
+      | Some record ->
+        List.find_opt
+          (fun (e : Smart_proto.Records.net_entry) ->
+            String.equal e.Smart_proto.Records.peer group)
+          record.Smart_proto.Records.entries))
+
+let server_views t =
+  List.map
+    (fun (record : Smart_proto.Records.sys_record) ->
+      let report = record.Smart_proto.Records.report in
+      let host = report.Smart_proto.Report.host in
+      {
+        Selection.record;
+        net = net_for t ~host;
+        security_level = Status_db.security_level t.db ~host;
+      })
+    (Status_db.sys_records t.db)
+
+let reply_to (request : Smart_proto.Wizard_msg.request) ~from ~servers =
+  let reply =
+    { Smart_proto.Wizard_msg.seq = request.Smart_proto.Wizard_msg.seq; servers }
+  in
+  [
+    Output.udp ~host:from.Output.host ~port:from.Output.port
+      (Smart_proto.Wizard_msg.encode_reply reply);
+  ]
+
+let process t (request : Smart_proto.Wizard_msg.request) ~from =
+  t.requests_handled <- t.requests_handled + 1;
+  match
+    Smart_lang.Requirement.compile request.Smart_proto.Wizard_msg.requirement
+  with
+  | Error _ ->
+    t.compile_errors <- t.compile_errors + 1;
+    reply_to request ~from ~servers:[]
+  | Ok program ->
+    let result =
+      Selection.select ~requirement:program ~servers:(server_views t)
+        ~wanted:request.Smart_proto.Wizard_msg.server_num
+    in
+    t.last_result <- Some result;
+    reply_to request ~from ~servers:result.Selection.selected
+
+let handle_request t ~now ~from data =
+  match Smart_proto.Wizard_msg.decode_request data with
+  | Error _ -> []  (* garbage datagram: drop silently like a real daemon *)
+  | Ok request ->
+    (match t.config.mode with
+    | Centralized -> process t request ~from
+    | Distributed { transmitters; freshness_timeout } ->
+      (* one push = three frames per transmitter *)
+      let target_updates =
+        t.updates_seen + (3 * List.length transmitters)
+      in
+      t.pending <-
+        t.pending
+        @ [ { from; request; deadline = now +. freshness_timeout; target_updates } ];
+      List.map
+        (fun (addr : Output.address) ->
+          Output.udp ~host:addr.Output.host ~port:addr.Output.port
+            Transmitter.pull_request_magic)
+        transmitters)
+
+(* Flush distributed-mode requests whose data is fresh (all transmitters
+   re-reported) or whose deadline passed. *)
+let tick t ~now =
+  let ready, waiting =
+    List.partition
+      (fun p -> t.updates_seen >= p.target_updates || now >= p.deadline)
+      t.pending
+  in
+  t.pending <- waiting;
+  List.concat_map (fun p -> process t p.request ~from:p.from) ready
+
+let pending_count t = List.length t.pending
+
+let requests_handled t = t.requests_handled
+
+let compile_errors t = t.compile_errors
+
+let last_result t = t.last_result

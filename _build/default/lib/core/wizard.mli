@@ -1,0 +1,48 @@
+(** The wizard (§3.6.1): decodes user requests, evaluates the requirement
+    against the status databases, and replies with a candidate server
+    list.  Distributed mode pulls fresh snapshots first. *)
+
+type mode =
+  | Centralized
+  | Distributed of {
+      transmitters : Output.address list;
+      freshness_timeout : float;
+    }
+
+(** Multi-group deployments (Fig 3.8): map servers to their group
+    monitor and bind monitor_network_* from the local group's mesh
+    record toward that group.  Local-group servers get [local_entry]. *)
+type groups = {
+  local_monitor : string;
+  group_of : string -> string option;
+  local_entry : Smart_proto.Records.net_entry;
+}
+
+(** 0.1 ms, 100 Mbps — the §3.3.3 LAN assumption. *)
+val default_local_entry : Smart_proto.Records.net_entry
+
+type config = { mode : mode; groups : groups option }
+
+type t
+
+val create : config -> Status_db.t -> t
+
+(** Called by the receiver for every applied frame. *)
+val note_update : t -> unit
+
+(** Handle a request datagram from [from]; returns the reply (centralized)
+    or the pull requests (distributed). *)
+val handle_request :
+  t -> now:float -> from:Output.address -> string -> Output.t list
+
+(** Release distributed-mode requests whose data is fresh or timed out. *)
+val tick : t -> now:float -> Output.t list
+
+val pending_count : t -> int
+
+val requests_handled : t -> int
+
+val compile_errors : t -> int
+
+(** Diagnostics of the most recent selection. *)
+val last_result : t -> Selection.result option

@@ -1,0 +1,1 @@
+lib/experiments/exp_ablation.ml: Array Fmt List Smart_core Smart_host Smart_measure Smart_proto Smart_sim Smart_util

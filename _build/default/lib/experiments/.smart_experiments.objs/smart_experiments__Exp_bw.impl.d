@@ -1,0 +1,1 @@
+lib/experiments/exp_bw.ml: Fmt List Option Printf Smart_host Smart_measure Smart_util

@@ -1,0 +1,1 @@
+lib/experiments/exp_massd.ml: Fmt List Smart_apps Smart_core Smart_host Smart_util String

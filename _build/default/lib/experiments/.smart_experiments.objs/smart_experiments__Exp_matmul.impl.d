@@ -1,0 +1,1 @@
+lib/experiments/exp_matmul.ml: Fmt List Printf Smart_apps Smart_core Smart_host Smart_sim Smart_util String

@@ -1,0 +1,1 @@
+lib/experiments/exp_netmon.ml: Fmt List Smart_core Smart_host Smart_measure Smart_net Smart_proto Smart_util

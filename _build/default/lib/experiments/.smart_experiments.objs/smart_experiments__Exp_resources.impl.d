@@ -1,0 +1,1 @@
+lib/experiments/exp_resources.ml: Fmt List Printf Smart_core Smart_host Smart_proto Smart_util

@@ -1,0 +1,1 @@
+lib/experiments/exp_rtt.ml: Array Fmt List Printf Smart_host Smart_measure Smart_util

@@ -1,0 +1,1 @@
+lib/experiments/exp_superpi.ml: Fmt Smart_host Smart_util

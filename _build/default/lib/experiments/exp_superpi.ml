@@ -1,0 +1,63 @@
+(* Table 4.1: /proc/meminfo before and after starting SuperPI on a 256 MB
+   machine — the memory-pressure behaviour (free memory collapses,
+   buffers are reclaimed, page cache grows with the scratch traffic) the
+   probe must be able to observe. *)
+
+type report = {
+  before : Smart_host.Procfs.meminfo;
+  after : Smart_host.Procfs.meminfo;
+}
+
+let run () =
+  let c = Smart_host.Cluster.create ~seed:3 () in
+  let spec =
+    { (Smart_host.Testbed.spec_of_name "helene") with
+      Smart_host.Machine.ram_bytes = 256 * 1024 * 1024 }
+  in
+  let node = Smart_host.Cluster.add_machine c spec in
+  let m = Smart_host.Cluster.machine c node in
+  (* some settling time with light background disk traffic, as a desktop
+     that has been up for a while *)
+  let warm =
+    Smart_host.Machine.add_workload m ~now:0.0
+      (Smart_host.Machine.disk_hog ~reqps:30.0)
+  in
+  Smart_host.Machine.sync m ~now:120.0;
+  ignore (Smart_host.Machine.remove_workload m ~now:120.0 warm);
+  let before_text = Smart_host.Procfs.render_meminfo m in
+  ignore
+    (Smart_host.Machine.add_workload m ~now:121.0 Smart_host.Machine.superpi);
+  (* SuperPI computes with heavy scratch-file IO for a while *)
+  Smart_host.Machine.sync m ~now:400.0;
+  let after_text = Smart_host.Procfs.render_meminfo m in
+  match
+    ( Smart_host.Procfs.parse_meminfo before_text,
+      Smart_host.Procfs.parse_meminfo after_text )
+  with
+  | Ok before, Ok after -> { before; after }
+  | Error e, _ | _, Error e -> failwith ("exp_superpi: " ^ e)
+
+let print (r : report) =
+  let tab =
+    Smart_util.Tabular.create
+      ~title:"Table 4.1: memory usage before and after SuperPI"
+      ~header:[ ""; "total"; "used"; "free"; "shared"; "buffers"; "cached" ]
+  in
+  let row label (m : Smart_host.Procfs.meminfo) =
+    Smart_util.Tabular.add_row tab
+      [
+        label;
+        string_of_int m.Smart_host.Procfs.total;
+        string_of_int m.Smart_host.Procfs.used;
+        string_of_int m.Smart_host.Procfs.free;
+        string_of_int m.Smart_host.Procfs.shared_mem;
+        string_of_int m.Smart_host.Procfs.buffers;
+        string_of_int m.Smart_host.Procfs.cached;
+      ]
+  in
+  row "Mem1 (before)" r.before;
+  row "Mem2 (after)" r.after;
+  Smart_util.Tabular.print tab;
+  Fmt.pr
+    "  paper: used 121->258 MB, free 141->3.9 MB, buffers shrink, cache \
+     grows@.@."

@@ -1,0 +1,1 @@
+lib/hostmodel/cluster.ml: Hashtbl List Machine Printf Smart_net Smart_sim Smart_util

@@ -1,0 +1,1 @@
+lib/hostmodel/cluster.mli: Machine Smart_net Smart_sim Smart_util

@@ -1,0 +1,1 @@
+lib/hostmodel/machine.mli:

@@ -1,0 +1,1 @@
+lib/hostmodel/procfs.ml: Float List Machine Option Printf Result String

@@ -1,0 +1,1 @@
+lib/hostmodel/procfs.mli: Machine

@@ -1,0 +1,1 @@
+lib/hostmodel/testbed.ml: Array Cluster List Machine Printf Smart_net Smart_util

@@ -1,0 +1,1 @@
+lib/hostmodel/testbed.mli: Cluster Machine Smart_net

@@ -1,0 +1,1 @@
+lib/lang/eval.ml: Ast Builtins Float Fmt Hashtbl List String Value Vars

@@ -1,0 +1,1 @@
+lib/lang/requirement.ml: Ast Builtins Eval Fmt Hashtbl List Parser Value Vars

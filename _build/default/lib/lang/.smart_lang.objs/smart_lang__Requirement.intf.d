@@ -1,0 +1,1 @@
+lib/lang/requirement.mli: Ast Eval Format

@@ -1,0 +1,1 @@
+lib/lang/value.ml: Fmt String

@@ -1,0 +1,1 @@
+lib/lang/vars.ml: List Printf String

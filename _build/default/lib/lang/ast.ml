@@ -1,0 +1,76 @@
+(* Abstract syntax of the requirement language (yacc grammar of
+   Fig 4.2). *)
+
+type arith_op = Add | Sub | Mul | Div | Pow
+
+type cmp_op = Lt | Le | Gt | Ge | Eq | Ne
+
+type logic_op = And | Or
+
+type expr =
+  | Number of float
+  | Netaddr of string
+  | Var of string
+  | Assign of string * expr
+  | Arith of arith_op * expr * expr
+  | Cmp of cmp_op * expr * expr
+  | Logic of logic_op * expr * expr
+  | Call of string * expr       (* built-in functions take one argument *)
+  | Neg of expr
+  | Paren of expr
+
+(* One line of the requirement file. *)
+type statement = { line : int; expr : expr }
+
+type program = statement list
+
+(* The yacc actions maintain a [logic] flag: a statement participates in
+   qualification iff the *last reduced* operator was logical.  On the
+   AST this is exactly "the top node, looking through parentheses, is a
+   comparison or a boolean connective". *)
+let rec is_logical = function
+  | Paren e -> is_logical e
+  | Cmp _ | Logic _ -> true
+  | Number _ | Netaddr _ | Var _ | Assign _ | Arith _ | Call _ | Neg _ ->
+    false
+
+let arith_op_to_string = function
+  | Add -> "+"
+  | Sub -> "-"
+  | Mul -> "*"
+  | Div -> "/"
+  | Pow -> "^"
+
+let cmp_op_to_string = function
+  | Lt -> "<"
+  | Le -> "<="
+  | Gt -> ">"
+  | Ge -> ">="
+  | Eq -> "=="
+  | Ne -> "!="
+
+let logic_op_to_string = function And -> "&&" | Or -> "||"
+
+(* Pretty-printer producing parseable text (round-trip tested). *)
+let rec pp_expr ppf = function
+  | Number f ->
+    if Float.is_integer f && Float.abs f < 1e15 then
+      Fmt.pf ppf "%.0f" f
+    else Fmt.pf ppf "%g" f
+  | Netaddr s -> Fmt.string ppf s
+  | Var v -> Fmt.string ppf v
+  | Assign (v, e) -> Fmt.pf ppf "%s = %a" v pp_expr e
+  | Arith (op, a, b) ->
+    Fmt.pf ppf "(%a %s %a)" pp_expr a (arith_op_to_string op) pp_expr b
+  | Cmp (op, a, b) ->
+    Fmt.pf ppf "(%a %s %a)" pp_expr a (cmp_op_to_string op) pp_expr b
+  | Logic (op, a, b) ->
+    Fmt.pf ppf "(%a %s %a)" pp_expr a (logic_op_to_string op) pp_expr b
+  | Call (f, e) -> Fmt.pf ppf "%s(%a)" f pp_expr e
+  | Neg e -> Fmt.pf ppf "(-%a)" pp_expr e
+  | Paren e -> Fmt.pf ppf "(%a)" pp_expr e
+
+let pp_program ppf prog =
+  List.iter (fun st -> Fmt.pf ppf "%a@." pp_expr st.expr) prog
+
+let program_to_string prog = Fmt.str "%a" pp_program prog

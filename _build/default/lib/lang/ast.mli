@@ -1,0 +1,42 @@
+(** Abstract syntax of the requirement language (Fig 4.2). *)
+
+type arith_op = Add | Sub | Mul | Div | Pow
+
+type cmp_op = Lt | Le | Gt | Ge | Eq | Ne
+
+type logic_op = And | Or
+
+type expr =
+  | Number of float
+  | Netaddr of string
+  | Var of string
+  | Assign of string * expr
+  | Arith of arith_op * expr * expr
+  | Cmp of cmp_op * expr * expr
+  | Logic of logic_op * expr * expr
+  | Call of string * expr  (** built-ins take one argument *)
+  | Neg of expr
+  | Paren of expr
+
+(** One line of the requirement file. *)
+type statement = { line : int; expr : expr }
+
+type program = statement list
+
+(** The yacc logic flag: a statement counts toward qualification iff its
+    main operator — looking through parentheses — is a comparison or a
+    boolean connective. *)
+val is_logical : expr -> bool
+
+val arith_op_to_string : arith_op -> string
+
+val cmp_op_to_string : cmp_op -> string
+
+val logic_op_to_string : logic_op -> string
+
+(** Prints parseable text (round-trip tested). *)
+val pp_expr : Format.formatter -> expr -> unit
+
+val pp_program : Format.formatter -> program -> unit
+
+val program_to_string : program -> string

@@ -1,0 +1,11 @@
+(** Built-in mathematical functions of the requirement language (the hoc
+    set of §3.6.2): sin, cos, tan, atan, exp, log, ln, log10, sqrt, int,
+    abs. *)
+
+val table : (string * (float -> float)) list
+
+val find : string -> (float -> float) option
+
+val is_builtin : string -> bool
+
+val names : string list

@@ -1,0 +1,28 @@
+(** Evaluator for requirement programs (yacc semantics of Fig 4.2).
+
+    Qualification rule: the server qualifies iff every *logical*
+    statement (one whose main operator is a comparison or boolean
+    connective) evaluates truthy; faults inside a logical statement make
+    it false. *)
+
+(** Server-side variable binding supplied by the wizard. *)
+type binding = string -> Value.t option
+
+type fault = { line : int; message : string }
+
+type statement_result = {
+  line : int;
+  logical : bool;
+  value : (Value.t, string) result;
+}
+
+type outcome = {
+  qualified : bool;
+  statements : statement_result list;
+  uparams : (string * Value.t) list;
+      (** user-side parameter assignments, in order *)
+  faults : fault list;
+}
+
+(** Evaluate a program under the given server-side bindings. *)
+val run : ?lookup:binding -> Ast.program -> outcome

@@ -1,0 +1,152 @@
+(* Hand-written lexer implementing the flex rules of Fig 4.1:
+
+     #.*                                    comments, ignored
+     [ \t]                                  whitespace, ignored
+     [0-9]+(\.[0-9]+)?                      NUMBER
+     [0-9]+\.[0-9]+\.[0-9]+\.[0-9]+         NETADDR (dotted IP)
+     [a-zA-Z][a-zA-Z_0-9]*\.[\.a-zA-Z_0-9-]* NETADDR (dotted host name)
+     [a-zA-Z][a-zA-Z_0-9]*                  IDENT
+     && || > >= < <= == != = + - * / ^ ( )  operators
+     \n                                     end of statement *)
+
+type error = { line : int; col : int; message : string }
+
+let pp_error ppf e =
+  Fmt.pf ppf "lexical error at %d:%d: %s" e.line e.col e.message
+
+type state = {
+  src : string;
+  mutable pos : int;
+  mutable line : int;
+  mutable col : int;
+}
+
+let peek st = if st.pos < String.length st.src then Some st.src.[st.pos] else None
+
+let peek2 st =
+  if st.pos + 1 < String.length st.src then Some st.src.[st.pos + 1] else None
+
+let advance st =
+  (match peek st with
+  | Some '\n' ->
+    st.line <- st.line + 1;
+    st.col <- 1
+  | Some _ -> st.col <- st.col + 1
+  | None -> ());
+  st.pos <- st.pos + 1
+
+let is_digit c = c >= '0' && c <= '9'
+let is_alpha c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+let is_ident_char c = is_alpha c || is_digit c || c = '_'
+let is_hostname_char c = is_ident_char c || c = '.' || c = '-'
+
+let take_while st pred =
+  let start = st.pos in
+  let rec go () =
+    match peek st with
+    | Some c when pred c -> advance st; go ()
+    | Some _ | None -> ()
+  in
+  go ();
+  String.sub st.src start (st.pos - start)
+
+(* A token beginning with a digit: plain number, decimal number, or a
+   dotted-quad network address. *)
+let lex_numeric st ~line ~col =
+  let body = take_while st (fun c -> is_digit c || c = '.') in
+  let dots = String.fold_left (fun n c -> if c = '.' then n + 1 else n) 0 body in
+  if dots = 0 then Ok { Token.token = Token.Number (float_of_string body); line; col }
+  else if dots = 1 then
+    match float_of_string_opt body with
+    | Some f -> Ok { Token.token = Token.Number f; line; col }
+    | None -> Error { line; col; message = "malformed number " ^ body }
+  else if dots = 3 then begin
+    (* dotted quad: each component must be numeric and non-empty *)
+    let parts = String.split_on_char '.' body in
+    if List.for_all (fun p -> p <> "" && String.for_all is_digit p) parts then
+      Ok { Token.token = Token.Netaddr body; line; col }
+    else Error { line; col; message = "malformed address " ^ body }
+  end
+  else Error { line; col; message = "malformed numeric token " ^ body }
+
+(* A token beginning with a letter: identifier, or a dotted host name
+   (which may contain '-' after the first label). *)
+let lex_word st ~line ~col =
+  let body = take_while st is_hostname_char in
+  if String.contains body '.' then
+    Ok { Token.token = Token.Netaddr body; line; col }
+  else if String.contains body '-' then
+    Error
+      {
+        line;
+        col;
+        message =
+          Printf.sprintf
+            "'%s': host names with '-' must be dotted or written as IPs"
+            body;
+      }
+  else Ok { Token.token = Token.Ident body; line; col }
+
+let simple st ~line ~col tok =
+  advance st;
+  Ok { Token.token = tok; line; col }
+
+let double st ~line ~col tok =
+  advance st;
+  advance st;
+  Ok { Token.token = tok; line; col }
+
+let rec next st =
+  let line = st.line and col = st.col in
+  match peek st with
+  | None -> Ok { Token.token = Token.Eof; line; col }
+  | Some '#' ->
+    (* comment to end of line; the newline itself is significant *)
+    let rec skip () =
+      match peek st with
+      | Some '\n' | None -> ()
+      | Some _ -> advance st; skip ()
+    in
+    skip ();
+    next st
+  | Some (' ' | '\t' | '\r') -> advance st; next st
+  | Some '\n' -> simple st ~line ~col Token.Newline
+  | Some c when is_digit c -> lex_numeric st ~line ~col
+  | Some c when is_alpha c -> lex_word st ~line ~col
+  | Some '&' ->
+    if peek2 st = Some '&' then double st ~line ~col Token.And
+    else Error { line; col; message = "expected &&" }
+  | Some '|' ->
+    if peek2 st = Some '|' then double st ~line ~col Token.Or
+    else Error { line; col; message = "expected ||" }
+  | Some '>' ->
+    if peek2 st = Some '=' then double st ~line ~col Token.Ge
+    else simple st ~line ~col Token.Gt
+  | Some '<' ->
+    if peek2 st = Some '=' then double st ~line ~col Token.Le
+    else simple st ~line ~col Token.Lt
+  | Some '=' ->
+    if peek2 st = Some '=' then double st ~line ~col Token.Eq
+    else simple st ~line ~col Token.Assign
+  | Some '!' ->
+    if peek2 st = Some '=' then double st ~line ~col Token.Ne
+    else Error { line; col; message = "expected !=" }
+  | Some '+' -> simple st ~line ~col Token.Plus
+  | Some '-' -> simple st ~line ~col Token.Minus
+  | Some '*' -> simple st ~line ~col Token.Star
+  | Some '/' -> simple st ~line ~col Token.Slash
+  | Some '^' -> simple st ~line ~col Token.Caret
+  | Some '(' -> simple st ~line ~col Token.Lparen
+  | Some ')' -> simple st ~line ~col Token.Rparen
+  | Some c ->
+    Error { line; col; message = Printf.sprintf "unexpected character %C" c }
+
+let tokenize src =
+  let st = { src; pos = 0; line = 1; col = 1 } in
+  let rec go acc =
+    match next st with
+    | Error e -> Error e
+    | Ok ({ Token.token = Token.Eof; _ } as t) -> Ok (List.rev (t :: acc))
+    | Ok t -> go (t :: acc)
+  in
+  go []

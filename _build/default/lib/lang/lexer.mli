@@ -1,0 +1,9 @@
+(** Lexer for the requirement meta-language (flex rules of Fig 4.1). *)
+
+type error = { line : int; col : int; message : string }
+
+val pp_error : Format.formatter -> error -> unit
+
+(** Tokenize a complete requirement text.  On success the list always
+    ends with [Token.Eof]. *)
+val tokenize : string -> (Token.located list, error) result

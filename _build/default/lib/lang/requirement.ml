@@ -1,0 +1,66 @@
+(* Front door of the requirement language: compile once, evaluate per
+   server, and extract the user-side host lists the wizard consumes. *)
+
+type compile_error = { line : int; col : int; message : string }
+
+let pp_compile_error ppf e =
+  Fmt.pf ppf "requirement error at %d:%d: %s" e.line e.col e.message
+
+let compile src : (Ast.program, compile_error) result =
+  match Parser.parse src with
+  | Ok program -> Ok program
+  | Error e ->
+    Error
+      { line = e.Parser.line; col = e.Parser.col; message = e.Parser.message }
+
+let evaluate program ~lookup = Eval.run ~lookup program
+
+(* Host strings mentioned by the user-side parameters.  Evaluation is run
+   once with empty server bindings: the preferred/denied assignments are
+   non-logical, so they do not depend on any particular server. *)
+let host_lists (outcome : Eval.outcome) =
+  let extract pred =
+    List.filter_map
+      (fun (name, v) ->
+        if pred name then
+          match v with
+          | Value.Addr host -> Some host
+          | Value.Num _ -> None
+        else None)
+      outcome.Eval.uparams
+  in
+  ( extract Vars.is_preferred_param,  (* preferred, in order *)
+    extract Vars.is_denied_param )
+
+(* The variable names a program reads that are neither server-side,
+   user-side, built-in, nor locally assigned: candidates for typos.  Used
+   by the client library to warn before a request is sent. *)
+let unbound_variables (program : Ast.program) =
+  let assigned = Hashtbl.create 8 in
+  let unknown = ref [] in
+  let note name =
+    if
+      (not (Vars.is_server_side name))
+      && (not (Vars.is_user_side name))
+      && (not (Builtins.is_builtin name))
+      && (not (Hashtbl.mem assigned name))
+      && not (List.mem name !unknown)
+    then unknown := name :: !unknown
+  in
+  let rec scan (e : Ast.expr) =
+    match e with
+    | Ast.Number _ | Ast.Netaddr _ -> ()
+    | Ast.Var name -> note name
+    | Ast.Assign (name, rhs) ->
+      (* a bare identifier assigned to a user param is a host name *)
+      (match rhs with
+      | Ast.Var _ when Vars.is_user_side name -> ()
+      | _ -> scan rhs);
+      Hashtbl.replace assigned name ()
+    | Ast.Arith (_, a, b) | Ast.Cmp (_, a, b) | Ast.Logic (_, a, b) ->
+      scan a;
+      scan b
+    | Ast.Call (_, a) | Ast.Neg a | Ast.Paren a -> scan a
+  in
+  List.iter (fun (st : Ast.statement) -> scan st.Ast.expr) program;
+  List.rev !unknown

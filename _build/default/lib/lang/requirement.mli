@@ -1,0 +1,18 @@
+(** Compile-and-evaluate front door of the requirement meta-language. *)
+
+type compile_error = { line : int; col : int; message : string }
+
+val pp_compile_error : Format.formatter -> compile_error -> unit
+
+(** Lex and parse a requirement text. *)
+val compile : string -> (Ast.program, compile_error) result
+
+(** Evaluate against one server's variable bindings. *)
+val evaluate : Ast.program -> lookup:Eval.binding -> Eval.outcome
+
+(** [(preferred, denied)] host strings collected from the user-side
+    parameters of an evaluation outcome. *)
+val host_lists : Eval.outcome -> string list * string list
+
+(** Free variables that no binding can supply — typo candidates. *)
+val unbound_variables : Ast.program -> string list

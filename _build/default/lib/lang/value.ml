@@ -1,0 +1,21 @@
+(* Runtime values.  The thesis's language is numeric, with network
+   addresses as the one string-like type (used for the user-side
+   preferred/denied host parameters). *)
+
+type t = Num of float | Addr of string
+
+let truthy = function
+  | Num f -> f <> 0.0
+  | Addr s -> s <> ""
+
+let of_bool b = Num (if b then 1.0 else 0.0)
+
+let pp ppf = function
+  | Num f -> Fmt.float ppf f
+  | Addr s -> Fmt.string ppf s
+
+let equal a b =
+  match (a, b) with
+  | Num x, Num y -> x = y
+  | Addr x, Addr y -> String.equal x y
+  | Num _, Addr _ | Addr _, Num _ -> false

@@ -1,0 +1,14 @@
+(** Runtime values of the requirement language: numbers plus network
+    addresses (the user-side host parameters). *)
+
+type t = Num of float | Addr of string
+
+(** [Num 0.] and [Addr ""] are false; everything else is true. *)
+val truthy : t -> bool
+
+(** [true] is [Num 1.], [false] is [Num 0.] (the yacc convention). *)
+val of_bool : bool -> t
+
+val pp : Format.formatter -> t -> unit
+
+val equal : t -> t -> bool

@@ -1,0 +1,1 @@
+lib/measure/packet_pair.ml: Array Hashtbl List Rtt_probe Runner Smart_net Smart_sim Smart_util

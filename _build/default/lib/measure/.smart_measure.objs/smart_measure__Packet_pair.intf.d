@@ -1,0 +1,1 @@
+lib/measure/packet_pair.mli: Smart_net

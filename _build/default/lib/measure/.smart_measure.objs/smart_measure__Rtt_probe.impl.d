@@ -1,0 +1,1 @@
+lib/measure/rtt_probe.ml: Array Float Hashtbl List Runner Smart_net Smart_sim Smart_util

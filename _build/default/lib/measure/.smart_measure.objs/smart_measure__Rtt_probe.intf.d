@@ -1,0 +1,1 @@
+lib/measure/rtt_probe.mli: Smart_net

@@ -1,0 +1,1 @@
+lib/measure/runner.ml: Float Smart_sim

@@ -1,0 +1,1 @@
+lib/measure/runner.mli: Smart_sim

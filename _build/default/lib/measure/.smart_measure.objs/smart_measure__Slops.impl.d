@@ -1,0 +1,1 @@
+lib/measure/slops.ml: Array Float Hashtbl List Rtt_probe Runner Smart_net Smart_sim Smart_util

@@ -1,0 +1,1 @@
+lib/measure/slops.mli: Smart_net

@@ -1,0 +1,1 @@
+lib/measure/traceroute.ml: Fmt List Printf Rtt_probe Runner Smart_net Smart_sim Smart_util

@@ -1,0 +1,1 @@
+lib/measure/traceroute.mli: Smart_net

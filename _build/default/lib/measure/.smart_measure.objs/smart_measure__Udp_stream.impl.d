@@ -1,0 +1,1 @@
+lib/measure/udp_stream.ml: Array List Rtt_probe Smart_net Smart_sim Smart_util

@@ -1,0 +1,1 @@
+lib/measure/udp_stream.mli: Smart_net

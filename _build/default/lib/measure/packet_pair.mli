@@ -1,0 +1,37 @@
+(** Packet-pair capacity estimator — the `pipechar` baseline.
+
+    Estimates bottleneck capacity from the dispersion of two back-to-back
+    MTU-sized probes; accurate on quiet paths, unreliable under delay
+    fluctuation (exactly the weakness the thesis reports). *)
+
+type trial = { gap : float; bw : float }
+
+type result = {
+  trials : trial list;
+  median_bw : float;   (** bytes/second *)
+  failures : int;
+  reliability : float; (** fraction of usable trials, cf. pipechar's
+                           "%% reliable" output *)
+}
+
+(** One pair; [None] when an echo is lost or the gap is non-positive. *)
+val probe_once :
+  ?size:int ->
+  ?timeout:float ->
+  Smart_net.Netstack.t ->
+  src:int ->
+  dst:int ->
+  unit ->
+  trial option
+
+(** [trials] pairs, [gap] seconds apart, summarised by the median. *)
+val measure :
+  ?size:int ->
+  ?trials:int ->
+  ?timeout:float ->
+  ?gap:float ->
+  Smart_net.Netstack.t ->
+  src:int ->
+  dst:int ->
+  unit ->
+  result option

@@ -1,0 +1,107 @@
+(* Hop-by-hop path probing in the style of pipechar (Appendix A of the
+   thesis): TTL-limited UDP probes elicit ICMP time-exceeded replies
+   from successive routers, giving per-hop RTTs; two probe sizes per hop
+   give a cumulative bandwidth estimate to that hop with the one-way
+   UDP stream formula.  The destination itself answers with
+   port-unreachable, terminating the trace. *)
+
+type reply_kind = Router of int | Destination | Lost
+
+type hop = {
+  ttl : int;
+  node : int option;       (* replying router's node id *)
+  name : string;           (* resolved name, or "*" when lost *)
+  rtt : float option;
+  bw_estimate : float option;  (* cumulative bytes/second to this hop *)
+}
+
+(* One TTL-limited probe; returns who answered and when. *)
+let probe_ttl ?(size = 64) ?(timeout = 5.0) stack ~src ~dst ~ttl () =
+  let engine = Smart_net.Netstack.engine stack in
+  let result = ref None in
+  let sent_at = ref 0.0 in
+  let sent_id = ref (-1) in
+  Smart_net.Netstack.on_icmp stack ~node:src (fun ~now pkt ->
+      match pkt.Smart_net.Packet.proto with
+      | Smart_net.Packet.Icmp (Smart_net.Packet.Time_exceeded { orig_id; at_node })
+        when orig_id = !sent_id ->
+        result := Some (Router at_node, now -. !sent_at)
+      | Smart_net.Packet.Icmp
+          (Smart_net.Packet.Port_unreachable { orig_id; _ })
+        when orig_id = !sent_id ->
+        result := Some (Destination, now -. !sent_at)
+      | _ -> ());
+  sent_at := Smart_sim.Engine.now engine;
+  sent_id :=
+    Smart_net.Netstack.send_udp stack ~ttl ~src ~dst
+      ~sport:Rtt_probe.probe_sport ~dport:Rtt_probe.probe_dport ~size;
+  let deadline = !sent_at +. timeout in
+  ignore (Runner.run_until engine ~deadline (fun () -> !result <> None));
+  match !result with
+  | Some (kind, rtt) -> (kind, Some rtt)
+  | None -> (Lost, None)
+
+let node_name stack id =
+  let topo = Smart_net.Netstack.topology stack in
+  let n = Smart_net.Topology.node topo id in
+  Printf.sprintf "%s (%s)" n.Smart_net.Topology.name n.Smart_net.Topology.ip
+
+(* Cumulative bandwidth to the hop at [ttl]: two TTL-limited probes of
+   different sizes, B = (S2 - S1)/(T2 - T1) on their time-exceeded
+   echoes. *)
+let hop_bandwidth ?(s1 = 1600) ?(s2 = 2900) stack ~src ~dst ~ttl () =
+  let engine = Smart_net.Netstack.engine stack in
+  let _, t1 = probe_ttl ~size:s1 stack ~src ~dst ~ttl () in
+  Smart_sim.Engine.run engine ~until:(Smart_sim.Engine.now engine +. 0.05);
+  let _, t2 = probe_ttl ~size:s2 stack ~src ~dst ~ttl () in
+  match (t1, t2) with
+  | Some t1, Some t2 when t2 > t1 ->
+    Some (float_of_int (s2 - s1) /. (t2 -. t1))
+  | _ -> None
+
+(* Full trace with per-hop RTT and cumulative bandwidth estimates. *)
+let run ?(max_ttl = 30) ?(measure_bandwidth = true) stack ~src ~dst () =
+  let engine = Smart_net.Netstack.engine stack in
+  let rec go ttl acc =
+    if ttl > max_ttl then List.rev acc
+    else begin
+      let kind, rtt = probe_ttl stack ~src ~dst ~ttl () in
+      Smart_sim.Engine.run engine ~until:(Smart_sim.Engine.now engine +. 0.05);
+      let bw_estimate =
+        if measure_bandwidth && kind <> Lost then
+          hop_bandwidth stack ~src ~dst ~ttl ()
+        else None
+      in
+      let hop =
+        match kind with
+        | Router node ->
+          { ttl; node = Some node; name = node_name stack node; rtt;
+            bw_estimate }
+        | Destination ->
+          { ttl; node = Some dst; name = node_name stack dst; rtt;
+            bw_estimate }
+        | Lost -> { ttl; node = None; name = "*"; rtt = None; bw_estimate }
+      in
+      match kind with
+      | Destination -> List.rev (hop :: acc)
+      | Router _ | Lost -> go (ttl + 1) (hop :: acc)
+    end
+  in
+  go 1 []
+
+(* Appendix-A-style report. *)
+let print stack ~src ~dst hops =
+  ignore stack;
+  ignore src;
+  Fmt.pr "traceroute to node %d, %d hops:@." dst (List.length hops);
+  List.iter
+    (fun h ->
+      Fmt.pr "%3d: %-40s %s  %s@." h.ttl h.name
+        (match h.rtt with
+        | Some rtt -> Fmt.str "%8.3f ms" (Smart_util.Units.s_to_ms rtt)
+        | None -> "       *  ")
+        (match h.bw_estimate with
+        | Some bw ->
+          Fmt.str "%8.2f Mbps" (Smart_util.Units.bytes_per_sec_to_mbps bw)
+        | None -> ""))
+    hops

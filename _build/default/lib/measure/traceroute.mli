@@ -1,0 +1,49 @@
+(** Hop-by-hop path probing à la pipechar (Appendix A): TTL-limited UDP
+    probes, per-hop RTTs from ICMP time-exceeded echoes, and cumulative
+    bandwidth estimates per hop. *)
+
+type reply_kind = Router of int | Destination | Lost
+
+type hop = {
+  ttl : int;
+  node : int option;
+  name : string;  (** "name (ip)", or "*" when no reply *)
+  rtt : float option;
+  bw_estimate : float option;  (** cumulative bytes/second to this hop *)
+}
+
+(** One TTL-limited probe: who answered, and the RTT. *)
+val probe_ttl :
+  ?size:int ->
+  ?timeout:float ->
+  Smart_net.Netstack.t ->
+  src:int ->
+  dst:int ->
+  ttl:int ->
+  unit ->
+  reply_kind * float option
+
+(** Two-size bandwidth estimate to the router at [ttl]. *)
+val hop_bandwidth :
+  ?s1:int ->
+  ?s2:int ->
+  Smart_net.Netstack.t ->
+  src:int ->
+  dst:int ->
+  ttl:int ->
+  unit ->
+  float option
+
+(** Full trace; stops at the destination's port-unreachable or at
+    [max_ttl]. *)
+val run :
+  ?max_ttl:int ->
+  ?measure_bandwidth:bool ->
+  Smart_net.Netstack.t ->
+  src:int ->
+  dst:int ->
+  unit ->
+  hop list
+
+(** Appendix-A-style printout. *)
+val print : Smart_net.Netstack.t -> src:int -> dst:int -> hop list -> unit

@@ -1,0 +1,46 @@
+(** The paper's one-way UDP stream available-bandwidth estimator:
+    [B = (S2 - S1) / (T2 - T1)] (Formula 3.5). *)
+
+(** The thesis's optimal probe sizes under MTU 1500 (Table 3.3). *)
+val default_s1 : int
+
+val default_s2 : int
+
+type trial = { s1 : int; s2 : int; t1 : float; t2 : float; bw : float }
+
+type result = {
+  trials : trial list;
+  min_bw : float;  (** bytes/second *)
+  max_bw : float;
+  avg_bw : float;
+  failures : int;
+}
+
+(** One sequential (S1, S2) probe pair; [None] on loss or a non-positive
+    delay difference.  [gap] separates the two probes so shapers refill
+    equally for both. *)
+val probe_pair :
+  ?timeout:float ->
+  ?gap:float ->
+  Smart_net.Netstack.t ->
+  src:int ->
+  dst:int ->
+  s1:int ->
+  s2:int ->
+  unit ->
+  trial option
+
+(** [trials] sequential probe pairs summarised as min/max/avg bandwidth;
+    [None] when every pair failed.  [inter_trial_gap] of idle time
+    separates consecutive pairs. *)
+val measure :
+  ?s1:int ->
+  ?s2:int ->
+  ?trials:int ->
+  ?timeout:float ->
+  ?inter_trial_gap:float ->
+  Smart_net.Netstack.t ->
+  src:int ->
+  dst:int ->
+  unit ->
+  result option

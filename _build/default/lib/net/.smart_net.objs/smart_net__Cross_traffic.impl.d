@@ -1,0 +1,1 @@
+lib/net/cross_traffic.ml: Float Link Smart_sim Smart_util

@@ -1,0 +1,1 @@
+lib/net/cross_traffic.mli: Link Smart_sim Smart_util

@@ -1,0 +1,1 @@
+lib/net/fairshare.ml: Array Float List

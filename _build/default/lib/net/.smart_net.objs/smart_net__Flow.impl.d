@@ -1,0 +1,1 @@
+lib/net/flow.ml: Array Fairshare Float Fmt Hashtbl Link List Smart_sim Topology

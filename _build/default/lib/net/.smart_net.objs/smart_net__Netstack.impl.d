@@ -1,0 +1,1 @@
+lib/net/netstack.ml: Float Fmt Hashtbl Link List Packet Smart_sim Smart_util Topology

@@ -1,0 +1,1 @@
+lib/net/netstack.mli: Packet Smart_sim Smart_util Topology

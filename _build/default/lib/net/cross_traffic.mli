@@ -1,0 +1,30 @@
+(** Fluid background traffic generators driving a channel's cross load. *)
+
+type t
+
+val stop : t -> unit
+
+(** Gaussian wobble around [mean_load] (bytes/second), re-drawn every
+    [period] seconds. *)
+val steady :
+  engine:Smart_sim.Engine.t ->
+  rng:Smart_util.Prng.t ->
+  chan:Link.t ->
+  mean_load:float ->
+  ?sigma:float ->
+  ?period:float ->
+  unit ->
+  t
+
+(** Two-state on/off load: [on_load] with probability [p_on] per period,
+    [off_load] otherwise. *)
+val bursty :
+  engine:Smart_sim.Engine.t ->
+  rng:Smart_util.Prng.t ->
+  chan:Link.t ->
+  on_load:float ->
+  off_load:float ->
+  ?p_on:float ->
+  ?period:float ->
+  unit ->
+  t

@@ -1,0 +1,79 @@
+(* Max-min fair rate allocation (progressive filling / water filling).
+
+   Input: link capacities and, per flow, the list of link indices the flow
+   traverses.  Output: one rate per flow such that every flow is
+   bottlenecked at some link whose capacity is exhausted, and no flow can
+   be increased without decreasing a flow with an equal-or-smaller rate.
+
+   This is the fluid stand-in for competing TCP connections: k downloads
+   through one shaped link each obtain capacity/k, which is what the
+   massd experiments of §5.3.2 rely on. *)
+
+let unconstrained_rate = 1e12 (* flows crossing no saturable link *)
+
+let rates ~capacities ~flows =
+  let nlinks = Array.length capacities in
+  let nflows = Array.length flows in
+  Array.iter
+    (List.iter (fun l ->
+         if l < 0 || l >= nlinks then invalid_arg "Fairshare.rates: bad link"))
+    flows;
+  let remaining = Array.copy capacities in
+  let count = Array.make nlinks 0 in
+  Array.iter (List.iter (fun l -> count.(l) <- count.(l) + 1)) flows;
+  let rate = Array.make nflows 0.0 in
+  let active = Array.make nflows true in
+  let n_active = ref nflows in
+  (* flows over no links at all are only bounded by the caller *)
+  Array.iteri
+    (fun i links ->
+      if links = [] then begin
+        rate.(i) <- unconstrained_rate;
+        active.(i) <- false;
+        decr n_active
+      end)
+    flows;
+  while !n_active > 0 do
+    (* bottleneck link: smallest fair share among links still carrying
+       active flows *)
+    let best = ref (-1) in
+    let best_share = ref Float.infinity in
+    for l = 0 to nlinks - 1 do
+      if count.(l) > 0 then begin
+        let share = remaining.(l) /. float_of_int count.(l) in
+        if share < !best_share then begin
+          best_share := share;
+          best := l
+        end
+      end
+    done;
+    if !best < 0 then begin
+      (* remaining active flows cross no counted link: unconstrained *)
+      Array.iteri
+        (fun i is_active ->
+          if is_active then begin
+            rate.(i) <- unconstrained_rate;
+            active.(i) <- false;
+            decr n_active
+          end)
+        active
+    end
+    else begin
+      let share = Float.max 0.0 !best_share in
+      let bottleneck = !best in
+      Array.iteri
+        (fun i links ->
+          if active.(i) && List.mem bottleneck links then begin
+            rate.(i) <- share;
+            active.(i) <- false;
+            decr n_active;
+            List.iter
+              (fun l ->
+                remaining.(l) <- Float.max 0.0 (remaining.(l) -. share);
+                count.(l) <- count.(l) - 1)
+              links
+          end)
+        flows
+    end
+  done;
+  rate

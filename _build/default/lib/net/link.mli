@@ -1,0 +1,49 @@
+(** Directional link channel of the packet plane.
+
+    Serves foreground packets at the residual rate (capacity minus
+    background and flow load) with FIFO ordering, optional shaping, loss
+    and jitter. *)
+
+type conf = {
+  capacity : float;    (** bytes per second *)
+  prop_delay : float;  (** one-way propagation delay, seconds *)
+  jitter : float;      (** std-dev of per-fragment delay noise, seconds *)
+  loss : float;        (** independent per-fragment loss probability *)
+}
+
+(** 100 Mbps, 50 µs, no jitter, no loss. *)
+val default_conf : conf
+
+type t = {
+  id : int;
+  src : int;
+  dst : int;
+  conf : conf;
+  mutable busy_until : float;
+  mutable cross_load : float;
+  mutable flow_load : float;
+  mutable shaper : Shaper.t option;
+  mutable bytes_carried : int;
+  mutable packets_carried : int;
+}
+
+val create : id:int -> src:int -> dst:int -> conf -> t
+
+val set_shaper : t -> Shaper.t option -> unit
+
+(** Set background cross-traffic load in bytes/second (clamped at 0). *)
+val set_cross_load : t -> float -> unit
+
+(** Physical capacity clamped by the shaper, bytes/second. *)
+val effective_capacity : t -> float
+
+(** Bandwidth currently available to foreground packets, bytes/second. *)
+val residual_rate : t -> float
+
+(** Bandwidth the fluid flow plane may share, bytes/second. *)
+val capacity_for_flows : t -> float
+
+(** [transmit t ~rng ~now ~size] serialises a fragment of [size] wire
+    bytes; returns the arrival time at the far end, or [None] if lost. *)
+val transmit :
+  t -> rng:Smart_util.Prng.t -> now:float -> size:int -> float option

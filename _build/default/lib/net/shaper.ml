@@ -1,0 +1,40 @@
+(* Token-bucket rate limiter standing in for the paper's `rshaper` kernel
+   module.  The packet plane consumes tokens per transmitted byte and is
+   delayed when the bucket runs dry; the flow plane simply treats the
+   shaper rate as a capacity clamp (fluid view of the same bucket). *)
+
+type t = {
+  rate : float;           (* bytes per second *)
+  burst : float;          (* bucket depth in bytes *)
+  mutable tokens : float;
+  mutable last_refill : float;
+}
+
+let create ?(burst = 16.0 *. 1024.0) ~rate () =
+  if rate <= 0.0 then invalid_arg "Shaper.create: rate must be positive";
+  { rate; burst; tokens = burst; last_refill = 0.0 }
+
+let rate t = t.rate
+
+let refill t ~now =
+  if now > t.last_refill then begin
+    t.tokens <- Float.min t.burst (t.tokens +. ((now -. t.last_refill) *. t.rate));
+    t.last_refill <- now
+  end
+
+(* Earliest time at which [size] bytes may leave, consuming the tokens.
+   The bucket is allowed to go negative, which serialises subsequent
+   packets behind the debt exactly like a real token bucket queue. *)
+let admit t ~now ~size =
+  refill t ~now;
+  let size = float_of_int size in
+  if t.tokens >= size then begin
+    t.tokens <- t.tokens -. size;
+    now
+  end
+  else begin
+    let wait = (size -. t.tokens) /. t.rate in
+    t.tokens <- 0.0;
+    t.last_refill <- now +. wait;
+    now +. wait
+  end

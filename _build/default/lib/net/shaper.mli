@@ -1,0 +1,14 @@
+(** Token-bucket traffic shaper (the simulation's `rshaper`). *)
+
+type t
+
+(** [create ~rate ()] makes a bucket refilling at [rate] bytes/second with
+    an optional [burst] depth (default 16 KB). *)
+val create : ?burst:float -> rate:float -> unit -> t
+
+(** Configured rate in bytes/second. *)
+val rate : t -> float
+
+(** [admit t ~now ~size] returns the earliest departure time for [size]
+    bytes and consumes the tokens.  Calls must have non-decreasing [now]. *)
+val admit : t -> now:float -> size:int -> float

@@ -1,0 +1,1 @@
+lib/proto/endian.ml: Bytes Int32 Int64 String

@@ -1,0 +1,1 @@
+lib/proto/frame.ml: Buffer Bytes Endian List Printf String

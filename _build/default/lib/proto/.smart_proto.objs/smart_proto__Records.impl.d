@@ -1,0 +1,1 @@
+lib/proto/records.ml: Array Bytes Endian List Report String

@@ -1,0 +1,1 @@
+lib/proto/records.mli: Endian Report

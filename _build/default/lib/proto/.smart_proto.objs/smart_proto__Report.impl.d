@@ -1,0 +1,1 @@
+lib/proto/report.ml: List Option Printf String

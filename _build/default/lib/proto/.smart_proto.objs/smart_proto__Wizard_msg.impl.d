@@ -1,0 +1,1 @@
+lib/proto/wizard_msg.ml: Buffer Bytes Char Endian List Ports String

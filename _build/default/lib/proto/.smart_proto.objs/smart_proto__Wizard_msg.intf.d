@@ -1,0 +1,1 @@
+lib/proto/wizard_msg.mli:

@@ -1,0 +1,20 @@
+(** Explicit-endianness primitives for the binary record codecs.  Both
+    byte orders are implemented so tests can demonstrate the §3.5.1
+    same-architecture requirement. *)
+
+type order = Little | Big
+
+val set_u16 : order -> Bytes.t -> pos:int -> int -> unit
+val get_u16 : order -> Bytes.t -> pos:int -> int
+
+val set_u32 : order -> Bytes.t -> pos:int -> int -> unit
+val get_u32 : order -> Bytes.t -> pos:int -> int
+
+val set_f64 : order -> Bytes.t -> pos:int -> float -> unit
+val get_f64 : order -> Bytes.t -> pos:int -> float
+
+(** Fixed-width NUL-padded character field (C [char\[n\]] semantics);
+    values longer than [width - 1] are truncated. *)
+val set_string : Bytes.t -> pos:int -> width:int -> string -> unit
+
+val get_string : Bytes.t -> pos:int -> width:int -> string

@@ -1,0 +1,75 @@
+(* The transmitter->receiver TCP framing of §3.5.1: [type, size, data].
+   Type and size travel first so the receiver can allocate before the
+   binary payload arrives.  An incremental decoder handles arbitrary TCP
+   segmentation. *)
+
+type payload_type = Sys_db | Net_db | Sec_db
+
+let type_code = function Sys_db -> 1 | Net_db -> 2 | Sec_db -> 3
+
+let type_of_code = function
+  | 1 -> Some Sys_db
+  | 2 -> Some Net_db
+  | 3 -> Some Sec_db
+  | _ -> None
+
+let header_size = 8
+
+let max_frame_size = 16 * 1024 * 1024
+
+type frame = { payload_type : payload_type; data : string }
+
+let encode order { payload_type; data } =
+  let b = Bytes.create (header_size + String.length data) in
+  Endian.set_u32 order b ~pos:0 (type_code payload_type);
+  Endian.set_u32 order b ~pos:4 (String.length data);
+  Bytes.blit_string data 0 b header_size (String.length data);
+  Bytes.to_string b
+
+(* Incremental decoder: feed it chunks as they arrive; it emits complete
+   frames in order. *)
+type decoder = {
+  order : Endian.order;
+  buf : Buffer.t;
+  mutable failed : string option;
+}
+
+let decoder order = { order; buf = Buffer.create 1024; failed = None }
+
+let feed dec chunk =
+  match dec.failed with
+  | Some _ -> ()
+  | None -> Buffer.add_string dec.buf chunk
+
+let rec drain dec acc =
+  match dec.failed with
+  | Some m -> Error m
+  | None ->
+    let content = Buffer.contents dec.buf in
+    let len = String.length content in
+    if len < header_size then Ok (List.rev acc)
+    else begin
+      let b = Bytes.unsafe_of_string content in
+      let code = Endian.get_u32 dec.order b ~pos:0 in
+      let size = Endian.get_u32 dec.order b ~pos:4 in
+      match type_of_code code with
+      | None ->
+        let m = Printf.sprintf "frame: unknown type code %d" code in
+        dec.failed <- Some m;
+        Error m
+      | Some _ when size > max_frame_size ->
+        let m = Printf.sprintf "frame: oversized payload (%d bytes)" size in
+        dec.failed <- Some m;
+        Error m
+      | Some payload_type ->
+        if len < header_size + size then Ok (List.rev acc)
+        else begin
+          let data = String.sub content header_size size in
+          Buffer.clear dec.buf;
+          Buffer.add_substring dec.buf content (header_size + size)
+            (len - header_size - size);
+          drain dec ({ payload_type; data } :: acc)
+        end
+    end
+
+let frames dec = drain dec []

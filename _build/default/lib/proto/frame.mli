@@ -1,0 +1,29 @@
+(** [type, size, data] TCP framing between transmitter and receiver
+    (§3.5.1), with an incremental decoder for stream reassembly. *)
+
+type payload_type = Sys_db | Net_db | Sec_db
+
+val type_code : payload_type -> int
+
+val type_of_code : int -> payload_type option
+
+val header_size : int
+
+(** Upper bound on an accepted payload, guarding the receiver's
+    pre-allocation against corrupt headers. *)
+val max_frame_size : int
+
+type frame = { payload_type : payload_type; data : string }
+
+val encode : Endian.order -> frame -> string
+
+type decoder
+
+val decoder : Endian.order -> decoder
+
+(** Append received bytes (no-op once the stream is poisoned). *)
+val feed : decoder -> string -> unit
+
+(** Pop all complete frames accumulated so far; [Error] once the stream
+    is unrecoverable (unknown type code or oversized payload). *)
+val frames : decoder -> (frame list, string) result

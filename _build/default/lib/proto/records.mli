@@ -1,0 +1,41 @@
+(** Binary status records of Fig 3.10 with explicit byte order.
+
+    Decoding with the wrong [Endian.order] produces garbage — the
+    same-architecture requirement of §3.5.1. *)
+
+type sys_record = {
+  report : Report.t;
+  updated_at : float;  (** monitor clock at last refresh *)
+}
+
+(** Encoded size of a system record in bytes. *)
+val sys_record_size : int
+
+val encode_sys : Endian.order -> sys_record -> string
+
+(** Decode one system record starting at [pos]. *)
+val decode_sys : Endian.order -> string -> pos:int -> (sys_record, string) result
+
+type net_entry = {
+  peer : string;
+  delay : float;      (** seconds *)
+  bandwidth : float;  (** bytes per second *)
+  measured_at : float;
+}
+
+type net_record = { monitor : string; entries : net_entry list }
+
+val encode_net : Endian.order -> net_record -> string
+
+val decode_net : Endian.order -> string -> (net_record, string) result
+
+type sec_entry = { host : string; level : int }
+
+type sec_record = { entries : sec_entry list }
+
+val encode_sec : Endian.order -> sec_record -> string
+
+val decode_sec : Endian.order -> string -> (sec_record, string) result
+
+(** Parse the dummy security log ("host level" lines, '#' comments). *)
+val parse_security_log : string -> (sec_record, string) result

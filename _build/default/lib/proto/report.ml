@@ -1,0 +1,117 @@
+(* The server probe's status report (§3.2.1).
+
+   Values travel as a '|'-separated ASCII string — byte-order neutral, as
+   the thesis argues, at the cost of a few extra bytes.  Rates are
+   derived by the probe from consecutive /proc snapshots, so every field
+   is directly bindable to a server-side requirement variable. *)
+
+let version_tag = "SR1"
+
+type t = {
+  host : string;
+  ip : string;
+  (* /proc/loadavg *)
+  load1 : float;
+  load5 : float;
+  load15 : float;
+  (* /proc/stat cpu, fractions of the last interval *)
+  cpu_user : float;
+  cpu_nice : float;
+  cpu_system : float;
+  cpu_free : float;
+  bogomips : float;
+  (* /proc/meminfo, megabytes *)
+  mem_total : float;
+  mem_used : float;
+  mem_free : float;
+  mem_buffers : float;
+  mem_cached : float;
+  (* /proc/stat disk_io, per-second over the last interval *)
+  disk_rreq : float;
+  disk_rblocks : float;
+  disk_wreq : float;
+  disk_wblocks : float;
+  (* /proc/net/dev, per-second over the last interval *)
+  net_rbytes : float;
+  net_rpackets : float;
+  net_tbytes : float;
+  net_tpackets : float;
+}
+
+let disk_allreq r = r.disk_rreq +. r.disk_wreq
+
+let fields r =
+  [
+    r.load1; r.load5; r.load15;
+    r.cpu_user; r.cpu_nice; r.cpu_system; r.cpu_free; r.bogomips;
+    r.mem_total; r.mem_used; r.mem_free; r.mem_buffers; r.mem_cached;
+    r.disk_rreq; r.disk_rblocks; r.disk_wreq; r.disk_wblocks;
+    r.net_rbytes; r.net_rpackets; r.net_tbytes; r.net_tpackets;
+  ]
+
+let field_count = 21
+
+let to_string r =
+  String.concat "|"
+    (version_tag :: r.host :: r.ip
+    :: List.map (fun f -> Printf.sprintf "%.6g" f) (fields r))
+
+let of_string s =
+  match String.split_on_char '|' s with
+  | tag :: host :: ip :: rest when tag = version_tag ->
+    if List.length rest <> field_count then
+      Error
+        (Printf.sprintf "report: expected %d fields, got %d" field_count
+           (List.length rest))
+    else begin
+      match List.map float_of_string_opt rest with
+      | values when List.for_all Option.is_some values ->
+        (match List.map Option.get values with
+        | [ load1; load5; load15;
+            cpu_user; cpu_nice; cpu_system; cpu_free; bogomips;
+            mem_total; mem_used; mem_free; mem_buffers; mem_cached;
+            disk_rreq; disk_rblocks; disk_wreq; disk_wblocks;
+            net_rbytes; net_rpackets; net_tbytes; net_tpackets ] ->
+          Ok
+            {
+              host; ip;
+              load1; load5; load15;
+              cpu_user; cpu_nice; cpu_system; cpu_free; bogomips;
+              mem_total; mem_used; mem_free; mem_buffers; mem_cached;
+              disk_rreq; disk_rblocks; disk_wreq; disk_wblocks;
+              net_rbytes; net_rpackets; net_tbytes; net_tpackets;
+            }
+        | _ -> Error "report: field count mismatch")
+      | _ -> Error "report: non-numeric field"
+    end
+  | tag :: _ when tag <> version_tag ->
+    Error (Printf.sprintf "report: unknown version tag %S" tag)
+  | _ -> Error "report: malformed"
+
+(* Binding of the 22 server-side requirement variables to a report. *)
+let variable r name =
+  let v f = Some f in
+  match name with
+  | "host_system_load1" -> v r.load1
+  | "host_system_load5" -> v r.load5
+  | "host_system_load15" -> v r.load15
+  | "host_cpu_user" -> v r.cpu_user
+  | "host_cpu_nice" -> v r.cpu_nice
+  | "host_cpu_system" -> v r.cpu_system
+  | "host_cpu_free" -> v r.cpu_free
+  | "host_cpu_bogomips" -> v r.bogomips
+  | "host_memory_total" -> v r.mem_total
+  | "host_memory_used" -> v r.mem_used
+  | "host_memory_free" -> v r.mem_free
+  | "host_memory_buffers" -> v r.mem_buffers
+  | "host_memory_cached" -> v r.mem_cached
+  | "host_disk_allreq" -> v (disk_allreq r)
+  | "host_disk_rreq" -> v r.disk_rreq
+  | "host_disk_rblocks" -> v r.disk_rblocks
+  | "host_disk_wreq" -> v r.disk_wreq
+  | "host_disk_wblocks" -> v r.disk_wblocks
+  | "host_network_rbytesps" -> v r.net_rbytes
+  | "host_network_rpacketsps" -> v r.net_rpackets
+  | "host_network_tbytesps" -> v r.net_tbytes
+  | "host_network_tpacketsps" -> v r.net_tpackets
+  | _ -> None

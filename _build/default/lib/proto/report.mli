@@ -1,0 +1,39 @@
+(** The server probe's periodic status report (Table 3.1), transmitted as
+    a byte-order-neutral ASCII string under 200 bytes. *)
+
+type t = {
+  host : string;
+  ip : string;
+  load1 : float;
+  load5 : float;
+  load15 : float;
+  cpu_user : float;    (** fraction of the last probe interval *)
+  cpu_nice : float;
+  cpu_system : float;
+  cpu_free : float;
+  bogomips : float;
+  mem_total : float;   (** megabytes *)
+  mem_used : float;
+  mem_free : float;
+  mem_buffers : float;
+  mem_cached : float;
+  disk_rreq : float;   (** per-second over the last interval *)
+  disk_rblocks : float;
+  disk_wreq : float;
+  disk_wblocks : float;
+  net_rbytes : float;
+  net_rpackets : float;
+  net_tbytes : float;
+  net_tpackets : float;
+}
+
+(** Total disk requests per second (the thesis's [allreq]). *)
+val disk_allreq : t -> float
+
+val to_string : t -> string
+
+val of_string : string -> (t, string) result
+
+(** Bind one of the 22 [host_*] requirement variables; [None] for names
+    this report does not define. *)
+val variable : t -> string -> float option

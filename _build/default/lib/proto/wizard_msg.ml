@@ -1,0 +1,100 @@
+(* Wizard request and reply messages (Tables 3.5 and 3.6).
+
+   Requests and replies travel in single UDP datagrams; both carry the
+   client-chosen sequence number so the client library can match replies
+   to outstanding requests.  These messages are exchanged between
+   machines of arbitrary architecture, so unlike the transmitter frames
+   they use a fixed (big-endian) network byte order. *)
+
+let order = Endian.Big
+
+(* §3.6.1 option field *)
+type option_flag =
+  | Strict           (* fewer servers than requested is a failure *)
+  | Accept_partial   (* take whatever qualified *)
+
+let option_code = function Strict -> 0 | Accept_partial -> 1
+
+let option_of_code = function
+  | 0 -> Some Strict
+  | 1 -> Some Accept_partial
+  | _ -> None
+
+type request = {
+  seq : int;            (* random 32-bit id chosen by the client *)
+  server_num : int;     (* servers wanted, <= Ports.max_reply_servers *)
+  option : option_flag;
+  requirement : string; (* meta-language source text *)
+}
+
+let encode_request r =
+  if r.server_num < 0 || r.server_num > 0xFFFF then
+    invalid_arg "Wizard_msg.encode_request: bad server_num";
+  let b = Bytes.create (8 + String.length r.requirement) in
+  Endian.set_u32 order b ~pos:0 (r.seq land 0xFFFFFFFF);
+  Endian.set_u16 order b ~pos:4 r.server_num;
+  Endian.set_u16 order b ~pos:6 (option_code r.option);
+  Bytes.blit_string r.requirement 0 b 8 (String.length r.requirement);
+  Bytes.to_string b
+
+let decode_request s =
+  if String.length s < 8 then Error "request: truncated"
+  else begin
+    let b = Bytes.of_string s in
+    let seq = Endian.get_u32 order b ~pos:0 in
+    let server_num = Endian.get_u16 order b ~pos:4 in
+    match option_of_code (Endian.get_u16 order b ~pos:6) with
+    | None -> Error "request: unknown option code"
+    | Some option ->
+      Ok
+        {
+          seq;
+          server_num;
+          option;
+          requirement = String.sub s 8 (String.length s - 8);
+        }
+  end
+
+type reply = {
+  seq : int;
+  servers : string list;  (* host names or IPs, best first *)
+}
+
+let encode_reply r =
+  if List.length r.servers > Ports.max_reply_servers then
+    invalid_arg "Wizard_msg.encode_reply: too many servers";
+  let buf = Buffer.create 128 in
+  let b = Bytes.create 6 in
+  Endian.set_u32 order b ~pos:0 (r.seq land 0xFFFFFFFF);
+  Endian.set_u16 order b ~pos:4 (List.length r.servers);
+  Buffer.add_bytes buf b;
+  List.iter
+    (fun server ->
+      if String.length server > 0xFF then
+        invalid_arg "Wizard_msg.encode_reply: server name too long";
+      Buffer.add_char buf (Char.chr (String.length server));
+      Buffer.add_string buf server)
+    r.servers;
+  Buffer.contents buf
+
+let decode_reply s =
+  if String.length s < 6 then Error "reply: truncated"
+  else begin
+    let b = Bytes.of_string s in
+    let seq = Endian.get_u32 order b ~pos:0 in
+    let count = Endian.get_u16 order b ~pos:4 in
+    let rec read pos n acc =
+      if n = 0 then Ok (List.rev acc)
+      else if pos >= String.length s then Error "reply: truncated server list"
+      else begin
+        let len = Char.code s.[pos] in
+        if pos + 1 + len > String.length s then
+          Error "reply: truncated server entry"
+        else
+          read (pos + 1 + len) (n - 1) (String.sub s (pos + 1) len :: acc)
+      end
+    in
+    match read 6 count [] with
+    | Ok servers -> Ok { seq; servers }
+    | Error _ as e -> e
+  end

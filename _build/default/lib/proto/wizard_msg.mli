@@ -1,0 +1,27 @@
+(** Wizard request/reply messages (Tables 3.5 and 3.6), fixed network
+    byte order, one UDP datagram each. *)
+
+type option_flag =
+  | Strict          (** fewer servers than requested is a failure *)
+  | Accept_partial  (** take whatever qualified *)
+
+type request = {
+  seq : int;            (** random 32-bit id chosen by the client *)
+  server_num : int;
+  option : option_flag;
+  requirement : string; (** meta-language source *)
+}
+
+val encode_request : request -> string
+
+val decode_request : string -> (request, string) result
+
+type reply = {
+  seq : int;
+  servers : string list;  (** best candidates first *)
+}
+
+(** Raises [Invalid_argument] beyond [Ports.max_reply_servers] entries. *)
+val encode_reply : reply -> string
+
+val decode_reply : string -> (reply, string) result

@@ -1,0 +1,1 @@
+lib/realnet/addr_book.ml: Hashtbl Unix

@@ -1,0 +1,1 @@
+lib/realnet/addr_book.mli: Unix

@@ -1,0 +1,1 @@
+lib/realnet/client_io.ml: Addr_book Bytes Float Fun Hashtbl List Mutex Option Printf Service Smart_core Smart_proto Smart_util Thread Udp_io Unix

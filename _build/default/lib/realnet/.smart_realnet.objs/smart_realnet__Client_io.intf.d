@@ -1,0 +1,1 @@
+lib/realnet/client_io.mli: Addr_book Bytes Smart_core Smart_proto Smart_util Unix

@@ -1,0 +1,1 @@
+lib/realnet/monitor_daemon.ml: Addr_book Fun List Perform Smart_core Smart_proto String Thread Udp_io Unix

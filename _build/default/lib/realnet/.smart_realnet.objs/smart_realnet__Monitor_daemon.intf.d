@@ -1,0 +1,1 @@
+lib/realnet/monitor_daemon.mli: Addr_book Smart_core Smart_proto

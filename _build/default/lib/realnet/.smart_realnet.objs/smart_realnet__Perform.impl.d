@@ -1,0 +1,1 @@
+lib/realnet/perform.ml: Addr_book Fun List Smart_core String Udp_io Unix

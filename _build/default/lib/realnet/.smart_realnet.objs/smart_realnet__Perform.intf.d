@@ -1,0 +1,1 @@
+lib/realnet/perform.mli: Addr_book Smart_core Udp_io Unix

@@ -1,0 +1,1 @@
+lib/realnet/probe_daemon.ml: Addr_book Option Perform Proc_reader Smart_core Smart_proto Thread Udp_io Unix

@@ -1,0 +1,1 @@
+lib/realnet/probe_daemon.mli: Addr_book Proc_reader

@@ -1,0 +1,1 @@
+lib/realnet/proc_reader.ml: Buffer Bytes List Smart_host String

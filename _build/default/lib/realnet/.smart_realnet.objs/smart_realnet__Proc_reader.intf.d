@@ -1,0 +1,1 @@
+lib/realnet/proc_reader.mli: Smart_host

@@ -1,0 +1,1 @@
+lib/realnet/service.ml: Addr_book Buffer Bytes Smart_proto String Thread Unix

@@ -1,0 +1,1 @@
+lib/realnet/service.mli: Addr_book Unix

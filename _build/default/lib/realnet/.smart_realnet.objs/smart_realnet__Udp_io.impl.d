@@ -1,0 +1,1 @@
+lib/realnet/udp_io.ml: Bytes String Thread Unix

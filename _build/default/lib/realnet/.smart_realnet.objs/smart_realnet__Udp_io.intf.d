@@ -1,0 +1,1 @@
+lib/realnet/udp_io.mli: Unix

@@ -1,0 +1,1 @@
+lib/realnet/wizard_daemon.ml: Addr_book Bytes Fun Hashtbl List Mutex Perform Printf Smart_core Smart_proto String Thread Udp_io Unix

@@ -1,0 +1,1 @@
+lib/realnet/wizard_daemon.mli: Addr_book Smart_core

@@ -1,0 +1,55 @@
+(** The client library over real sockets (§3.6.2): request, validated
+    reply with retry, then one connected TCP socket per candidate. *)
+
+type connected_server = { host : string; socket : Unix.file_descr }
+
+(** Ask the wizard for candidate host names. *)
+val request_servers :
+  ?option:Smart_proto.Wizard_msg.option_flag ->
+  ?timeout:float ->
+  ?retries:int ->
+  ?rng:Smart_util.Prng.t ->
+  Addr_book.t ->
+  wizard_host:string ->
+  wanted:int ->
+  requirement:string ->
+  unit ->
+  (string list, Smart_core.Client.error) result
+
+(** TCP-connect to one candidate's service port. *)
+val connect_service : Addr_book.t -> host:string -> connected_server option
+
+(** The full flow: ask, then connect each candidate (refusals are
+    skipped). *)
+val request_sockets :
+  ?option:Smart_proto.Wizard_msg.option_flag ->
+  ?timeout:float ->
+  ?retries:int ->
+  ?rng:Smart_util.Prng.t ->
+  Addr_book.t ->
+  wizard_host:string ->
+  wanted:int ->
+  requirement:string ->
+  unit ->
+  (connected_server list, Smart_core.Client.error) result
+
+val close_all : connected_server list -> unit
+
+(** Read exactly [n] bytes into the buffer; [false] on EOF or error. *)
+val read_exact : Unix.file_descr -> Bytes.t -> int -> bool
+
+type download_stats = {
+  total_bytes : int;
+  elapsed : float;
+  throughput : float;                (** bytes per second *)
+  per_server : (string * int) list;  (** blocks fetched per server *)
+}
+
+(** The §5.3.2 massive download over real sockets: [data_kb] kilobytes
+    in [blk_kb]-kilobyte blocks, self-scheduled across the connected
+    servers (one thread each, `GET` protocol of [Service]). *)
+val download :
+  connected:connected_server list ->
+  data_kb:int ->
+  blk_kb:int ->
+  download_stats

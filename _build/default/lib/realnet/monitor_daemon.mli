@@ -1,0 +1,33 @@
+(** Real-socket monitor machine: system monitor (UDP), security monitor
+    (log contents), network monitor (UDP echo probing of the servers'
+    probe daemons) and the transmitter. *)
+
+type config = {
+  host : string;
+  wizard_host : string;
+  mode : Smart_core.Transmitter.mode;
+  probe_interval : float;
+  transmit_interval : float;
+  netmon_targets : string list;
+  security_log : string;  (** log contents, "" for none *)
+}
+
+type t
+
+val create : Addr_book.t -> config -> t
+
+(** Socket-based (delay, bandwidth) probe against one target's echo
+    responder: the one-way-UDP-stream formula over real sockets. *)
+val socket_prober :
+  ?timeout:float -> t -> target:string -> Smart_core.Netmon.probe_result option
+
+(** Probe every configured target sequentially and publish the record. *)
+val refresh_netmon : t -> Smart_proto.Records.net_record
+
+val start : t -> unit
+
+val stop : t -> unit
+
+val db : t -> Smart_core.Status_db.t
+
+val sysmon : t -> Smart_core.Sysmon.t

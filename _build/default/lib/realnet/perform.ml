@@ -1,0 +1,45 @@
+(* Execute sans-IO component outputs on real sockets.
+
+   [Udp] outputs become single datagrams; [Stream] outputs become a
+   one-shot TCP connection (connect, send, close) — frames are
+   self-delimiting, so the receiver reassembles regardless of connection
+   boundaries. *)
+
+let send_stream sockaddr data =
+  let socket = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close socket with Unix.Unix_error (_, _, _) -> ())
+    (fun () ->
+      try
+        Unix.connect socket sockaddr;
+        let rec write off =
+          if off < String.length data then begin
+            let n =
+              Unix.write_substring socket data off (String.length data - off)
+            in
+            write (off + n)
+          end
+        in
+        write 0;
+        true
+      with Unix.Unix_error (_, _, _) -> false)
+
+let outputs book ~(udp : Udp_io.t) outs =
+  List.iter
+    (fun output ->
+      let resolve_and_send dst data ~stream =
+        match
+          Addr_book.resolve book ~host:dst.Smart_core.Output.host
+            ~port:dst.Smart_core.Output.port
+        with
+        | None -> ()
+        | Some sockaddr ->
+          if stream then ignore (send_stream sockaddr data)
+          else ignore (Udp_io.send udp ~to_:sockaddr data)
+      in
+      match output with
+      | Smart_core.Output.Udp { dst; data } ->
+        resolve_and_send dst data ~stream:false
+      | Smart_core.Output.Stream { dst; data } ->
+        resolve_and_send dst data ~stream:true)
+    outs

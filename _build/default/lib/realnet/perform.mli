@@ -1,0 +1,10 @@
+(** Execute sans-IO component outputs on real sockets: [Udp] becomes a
+    datagram, [Stream] a one-shot TCP connection (frames are
+    self-delimiting, so connection boundaries do not matter). *)
+
+(** Connect, write everything, close; [false] on any socket error. *)
+val send_stream : Unix.sockaddr -> string -> bool
+
+(** Perform a batch of outputs, resolving hosts through the book and
+    sending datagrams from [udp].  Unresolvable hosts are dropped. *)
+val outputs : Addr_book.t -> udp:Udp_io.t -> Smart_core.Output.t list -> unit

@@ -1,0 +1,90 @@
+(* Reads the real /proc of the host the probe daemon runs on.  The file
+   locations are configurable so tests can point the probe at synthetic
+   fixtures; the parsers are shared with the simulator (Smart_host.Procfs
+   accepts both 2.4 and modern formats). *)
+
+type t = {
+  loadavg_path : string;
+  stat_path : string;
+  meminfo_path : string;
+  netdev_path : string;
+  cpuinfo_path : string;
+}
+
+let default =
+  {
+    loadavg_path = "/proc/loadavg";
+    stat_path = "/proc/stat";
+    meminfo_path = "/proc/meminfo";
+    netdev_path = "/proc/net/dev";
+    cpuinfo_path = "/proc/cpuinfo";
+  }
+
+let read_file path =
+  try
+    let ic = open_in_bin path in
+    let len = 65536 in
+    let buf = Buffer.create 4096 in
+    let chunk = Bytes.create len in
+    let rec go () =
+      let n = input ic chunk 0 len in
+      if n > 0 then begin
+        Buffer.add_subbytes buf chunk 0 n;
+        go ()
+      end
+    in
+    (try go () with End_of_file -> ());
+    close_in ic;
+    Some (Buffer.contents buf)
+  with Sys_error _ -> None
+
+let snapshot t : (Smart_host.Procfs.snapshot, string) result =
+  match
+    ( read_file t.loadavg_path,
+      read_file t.stat_path,
+      read_file t.meminfo_path,
+      read_file t.netdev_path )
+  with
+  | Some loadavg_text, Some stat_text, Some meminfo_text, Some netdev_text ->
+    Ok
+      {
+        Smart_host.Procfs.loadavg_text;
+        stat_text;
+        meminfo_text;
+        netdev_text;
+      }
+  | _ -> Error "proc_reader: missing /proc file"
+
+(* Parse "bogomips : 4771.02" from /proc/cpuinfo (first CPU). *)
+let bogomips t =
+  match read_file t.cpuinfo_path with
+  | None -> None
+  | Some text ->
+    String.split_on_char '\n' text
+    |> List.find_map (fun line ->
+           let lower = String.lowercase_ascii line in
+           if String.length lower >= 8 && String.sub lower 0 8 = "bogomips" then
+             match String.index_opt line ':' with
+             | Some i ->
+               float_of_string_opt
+                 (String.trim
+                    (String.sub line (i + 1) (String.length line - i - 1)))
+             | None -> None
+           else None)
+
+(* First non-loopback interface in /proc/net/dev, for the probe default. *)
+let default_iface t =
+  match read_file t.netdev_path with
+  | None -> None
+  | Some text ->
+    (match Smart_host.Procfs.parse_net_dev text with
+    | Error _ -> None
+    | Ok stats ->
+      (match
+         List.find_opt
+           (fun s -> s.Smart_host.Procfs.iface <> "lo")
+           stats
+       with
+      | Some s -> Some s.Smart_host.Procfs.iface
+      | None ->
+        (match stats with s :: _ -> Some s.Smart_host.Procfs.iface | [] -> None)))

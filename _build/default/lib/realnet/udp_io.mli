@@ -1,0 +1,25 @@
+(** UDP endpoint with a background receive thread. *)
+
+type t
+
+val max_datagram : int
+
+(** Bind a socket (port 0 for ephemeral); raises [Unix.Unix_error] on
+    conflicts. *)
+val bind_port : ?addr:Unix.inet_addr -> int -> t
+
+(** The actually bound port. *)
+val port : t -> int
+
+(** Start the receive loop; the handler runs on the receiver thread. *)
+val start : t -> (from:Unix.sockaddr -> string -> unit) -> unit
+
+(** Send one datagram; [false] on failure. *)
+val send : t -> to_:Unix.sockaddr -> string -> bool
+
+(** Stop the receive loop (if any) and close the socket. *)
+val stop : t -> unit
+
+(** Blocking receive with timeout, for one-shot client sockets that have
+    not been [start]ed. *)
+val recv_timeout : t -> timeout:float -> (Unix.sockaddr * string) option

@@ -1,0 +1,176 @@
+(* Real-socket wizard machine: the receiver's TCP accept loop feeds the
+   frame decoder; the wizard's UDP loop answers user requests directly to
+   the requesting sockaddr. *)
+
+type config = {
+  host : string;  (* logical name of the wizard machine *)
+  mode : Smart_core.Wizard.mode;
+}
+
+type t = {
+  config : config;
+  book : Addr_book.t;
+  db : Smart_core.Status_db.t;
+  receiver : Smart_core.Receiver.t;
+  wizard : Smart_core.Wizard.t;
+  listen_socket : Unix.file_descr;
+  request_socket : Udp_io.t;
+  out_socket : Udp_io.t;
+  mutable running : bool;
+  mutable threads : Thread.t list;
+  mutex : Mutex.t;  (* guards receiver/wizard/db across threads *)
+  pending_addrs : (int, Unix.sockaddr) Hashtbl.t;  (* seq -> requester *)
+}
+
+(* The wizard component addresses replies symbolically; this marker routes
+   them back to the requesting sockaddr. *)
+let reply_marker = "@reply"
+
+let create book (config : config) =
+  let db = Smart_core.Status_db.create () in
+  let receiver = Smart_core.Receiver.create ~order:Smart_proto.Endian.Little db in
+  let wizard = Smart_core.Wizard.create
+      { Smart_core.Wizard.mode = config.mode; groups = None }
+      db in
+  Smart_core.Receiver.set_update_hook receiver
+    (Some (fun _ -> Smart_core.Wizard.note_update wizard));
+  let shift = Addr_book.port_shift book ~host:config.host in
+  let listen_socket = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.setsockopt listen_socket Unix.SO_REUSEADDR true;
+  Unix.bind listen_socket
+    (Unix.ADDR_INET (Unix.inet_addr_loopback, Smart_proto.Ports.receiver + shift));
+  Unix.listen listen_socket 16;
+  {
+    config;
+    book;
+    db;
+    receiver;
+    wizard;
+    listen_socket;
+    request_socket = Udp_io.bind_port (Smart_proto.Ports.wizard + shift);
+    out_socket = Udp_io.bind_port 0;
+    running = false;
+    threads = [];
+    mutex = Mutex.create ();
+    pending_addrs = Hashtbl.create 8;
+  }
+
+let locked t f =
+  Mutex.lock t.mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mutex) f
+
+let sockaddr_tag = function
+  | Unix.ADDR_INET (addr, port) ->
+    Printf.sprintf "%s:%d" (Unix.string_of_inet_addr addr) port
+  | Unix.ADDR_UNIX path -> path
+
+(* Drain one transmitter connection into the receiver. *)
+let serve_connection t client peer =
+  let tag = sockaddr_tag peer in
+  let buf = Bytes.create 65536 in
+  let rec go () =
+    match Unix.read client buf 0 (Bytes.length buf) with
+    | 0 -> ()
+    | n ->
+      locked t (fun () ->
+          ignore
+            (Smart_core.Receiver.handle_stream t.receiver ~from:tag
+               (Bytes.sub_string buf 0 n)));
+      go ()
+    | exception Unix.Unix_error (_, _, _) -> ()
+  in
+  go ();
+  try Unix.close client with Unix.Unix_error (_, _, _) -> ()
+
+(* Replies addressed to the marker are routed to the sockaddr remembered
+   for their sequence number (deferred distributed-mode replies included);
+   everything else (pull requests) resolves through the address book. *)
+let dispatch t outputs =
+  List.iter
+    (fun output ->
+      match output with
+      | Smart_core.Output.Udp { dst; data }
+        when String.equal dst.Smart_core.Output.host reply_marker ->
+        (match Smart_proto.Wizard_msg.decode_reply data with
+        | Ok reply ->
+          (match
+             Hashtbl.find_opt t.pending_addrs reply.Smart_proto.Wizard_msg.seq
+           with
+          | Some requester ->
+            Hashtbl.remove t.pending_addrs reply.Smart_proto.Wizard_msg.seq;
+            ignore (Udp_io.send t.out_socket ~to_:requester data)
+          | None -> ())
+        | Error _ -> ())
+      | Smart_core.Output.Udp _ | Smart_core.Output.Stream _ ->
+        Perform.outputs t.book ~udp:t.out_socket [ output ])
+    outputs
+
+let start t =
+  if t.running then invalid_arg "Wizard_daemon.start: already running";
+  t.running <- true;
+  (* receiver accept loop *)
+  let accept_loop () =
+    while t.running do
+      match Unix.accept t.listen_socket with
+      | client, peer ->
+        ignore (Thread.create (fun () -> serve_connection t client peer) ())
+      | exception Unix.Unix_error ((Unix.EBADF | Unix.EINVAL | Unix.EINTR), _, _)
+        ->
+        ()
+    done
+  in
+  (* request loop *)
+  Udp_io.start t.request_socket (fun ~from data ->
+      if data <> "" then begin
+        (match Smart_proto.Wizard_msg.decode_request data with
+        | Ok request ->
+          Hashtbl.replace t.pending_addrs request.Smart_proto.Wizard_msg.seq
+            from
+        | Error _ -> ());
+        let outputs =
+          locked t (fun () ->
+              Smart_core.Wizard.handle_request t.wizard
+                ~now:(Unix.gettimeofday ())
+                ~from:{ Smart_core.Output.host = reply_marker; port = 0 }
+                data)
+        in
+        dispatch t outputs
+      end);
+  (* distributed-mode pending flush *)
+  let tick_loop () =
+    while t.running do
+      let outputs =
+        locked t (fun () ->
+            Smart_core.Wizard.tick t.wizard ~now:(Unix.gettimeofday ()))
+      in
+      dispatch t outputs;
+      Thread.delay 0.05
+    done
+  in
+  t.threads <- [ Thread.create accept_loop (); Thread.create tick_loop () ]
+
+let stop t =
+  t.running <- false;
+  (* unblock accept *)
+  (try
+     let port =
+       match Unix.getsockname t.listen_socket with
+       | Unix.ADDR_INET (_, p) -> p
+       | Unix.ADDR_UNIX _ -> 0
+     in
+     if port > 0 then begin
+       let s = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+       (try Unix.connect s (Unix.ADDR_INET (Unix.inet_addr_loopback, port))
+        with Unix.Unix_error (_, _, _) -> ());
+       Unix.close s
+     end
+   with Unix.Unix_error (_, _, _) -> ());
+  List.iter Thread.join t.threads;
+  t.threads <- [];
+  (try Unix.close t.listen_socket with Unix.Unix_error (_, _, _) -> ());
+  Udp_io.stop t.request_socket;
+  Udp_io.stop t.out_socket
+
+let db t = t.db
+
+let wizard t = t.wizard

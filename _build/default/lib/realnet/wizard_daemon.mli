@@ -1,0 +1,16 @@
+(** Real-socket wizard machine: TCP receiver accept loop plus the UDP
+    request loop, replying directly to each requester's sockaddr. *)
+
+type config = { host : string; mode : Smart_core.Wizard.mode }
+
+type t
+
+val create : Addr_book.t -> config -> t
+
+val start : t -> unit
+
+val stop : t -> unit
+
+val db : t -> Smart_core.Status_db.t
+
+val wizard : t -> Smart_core.Wizard.t

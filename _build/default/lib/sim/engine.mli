@@ -1,0 +1,58 @@
+(** Discrete-event simulation engine with a virtual clock.
+
+    All network and host components of the simulated deployment are driven
+    from one engine; time never flows backwards, and simultaneous events
+    execute in scheduling order. *)
+
+type t
+
+type handle
+
+(** Raised when scheduling into the past or running to an earlier time. *)
+exception Time_reversal of { now : float; requested : float }
+
+(** Fresh engine at virtual time 0. *)
+val create : unit -> t
+
+(** Current virtual time in seconds. *)
+val now : t -> float
+
+(** Number of events executed so far (skips cancelled ones). *)
+val executed_events : t -> int
+
+(** Number of queued (possibly cancelled) events. *)
+val pending_events : t -> int
+
+(** Schedule a thunk at an absolute virtual time. *)
+val schedule_at : t -> time:float -> (unit -> unit) -> handle
+
+(** Schedule a thunk after a non-negative delay from now. *)
+val schedule_after : t -> delay:float -> (unit -> unit) -> handle
+
+(** Lazily cancel a scheduled event. *)
+val cancel : handle -> unit
+
+val is_cancelled : handle -> bool
+
+(** Execute all events up to and including [until], then set the clock to
+    [until]. *)
+val run : t -> until:float -> unit
+
+(** Execute every queued event regardless of time. *)
+val run_until_idle : t -> unit
+
+type periodic
+
+(** [every t ~period ~start f] fires [f now] at [start], then every
+    [period] (plus optional uniform jitter drawn from [rng]) until
+    [stop_periodic]. *)
+val every :
+  ?jitter:float ->
+  ?rng:Smart_util.Prng.t ->
+  t ->
+  period:float ->
+  start:float ->
+  (float -> unit) ->
+  periodic
+
+val stop_periodic : periodic -> unit

@@ -1,0 +1,84 @@
+(* Array-backed binary min-heap.  The event queue of the simulator sits on
+   this, so [push]/[pop] are the hot path; we keep the representation flat
+   and grow geometrically. *)
+
+type 'a t = {
+  mutable data : (float * int * 'a) array;  (* (key, tiebreak, value) *)
+  mutable size : int;
+  mutable stamp : int;  (* monotonically increasing insertion counter *)
+}
+
+let create () = { data = [||]; size = 0; stamp = 0 }
+
+let length t = t.size
+
+let is_empty t = t.size = 0
+
+let lt (k1, s1, _) (k2, s2, _) = k1 < k2 || (k1 = k2 && s1 < s2)
+
+let ensure_capacity t =
+  let cap = Array.length t.data in
+  if t.size >= cap then begin
+    let ncap = if cap = 0 then 16 else cap * 2 in
+    let fresh = Array.make ncap t.data.(0) in
+    Array.blit t.data 0 fresh 0 t.size;
+    t.data <- fresh
+  end
+
+let rec sift_up t i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if lt t.data.(i) t.data.(parent) then begin
+      let tmp = t.data.(i) in
+      t.data.(i) <- t.data.(parent);
+      t.data.(parent) <- tmp;
+      sift_up t parent
+    end
+  end
+
+let rec sift_down t i =
+  let l = (2 * i) + 1 and r = (2 * i) + 2 in
+  let smallest = ref i in
+  if l < t.size && lt t.data.(l) t.data.(!smallest) then smallest := l;
+  if r < t.size && lt t.data.(r) t.data.(!smallest) then smallest := r;
+  if !smallest <> i then begin
+    let tmp = t.data.(i) in
+    t.data.(i) <- t.data.(!smallest);
+    t.data.(!smallest) <- tmp;
+    sift_down t !smallest
+  end
+
+let push t ~key v =
+  if t.size = 0 && Array.length t.data = 0 then t.data <- Array.make 16 (key, t.stamp, v);
+  ensure_capacity t;
+  t.data.(t.size) <- (key, t.stamp, v);
+  t.stamp <- t.stamp + 1;
+  t.size <- t.size + 1;
+  sift_up t (t.size - 1)
+
+let peek t =
+  if t.size = 0 then None
+  else
+    let key, _, v = t.data.(0) in
+    Some (key, v)
+
+let pop t =
+  if t.size = 0 then None
+  else begin
+    let key, _, v = t.data.(0) in
+    t.size <- t.size - 1;
+    t.data.(0) <- t.data.(t.size);
+    if t.size > 0 then sift_down t 0;
+    Some (key, v)
+  end
+
+let clear t = t.size <- 0
+
+let to_sorted_list t =
+  let copy = { data = Array.copy t.data; size = t.size; stamp = t.stamp } in
+  let rec drain acc =
+    match pop copy with
+    | None -> List.rev acc
+    | Some (key, v) -> drain ((key, v) :: acc)
+  in
+  drain []

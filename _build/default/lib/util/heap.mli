@@ -1,0 +1,29 @@
+(** Binary min-heap keyed by [float] with FIFO tie-breaking.
+
+    Ties on the key pop in insertion order, which the simulator relies on
+    for deterministic ordering of simultaneous events. *)
+
+type 'a t
+
+(** Fresh empty heap. *)
+val create : unit -> 'a t
+
+(** Number of stored elements. *)
+val length : 'a t -> int
+
+val is_empty : 'a t -> bool
+
+(** [push t ~key v] inserts [v] with priority [key] (smaller pops first). *)
+val push : 'a t -> key:float -> 'a -> unit
+
+(** Smallest element without removing it. *)
+val peek : 'a t -> (float * 'a) option
+
+(** Remove and return the smallest element. *)
+val pop : 'a t -> (float * 'a) option
+
+(** Drop all elements. *)
+val clear : 'a t -> unit
+
+(** Non-destructive sorted drain, mainly for tests. *)
+val to_sorted_list : 'a t -> (float * 'a) list

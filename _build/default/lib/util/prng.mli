@@ -1,0 +1,48 @@
+(** Deterministic splittable pseudo-random generator (splitmix64).
+
+    Every stochastic element of the simulation (cross traffic, jitter,
+    random server selection) draws from an explicitly threaded [t] so that
+    experiment runs are reproducible bit-for-bit from their seed. *)
+
+type t
+
+(** [create ~seed] returns a fresh generator.  Equal seeds give equal
+    streams. *)
+val create : seed:int -> t
+
+(** Independent copy: the copy and the original produce the same stream. *)
+val copy : t -> t
+
+(** [split t] returns a statistically independent child generator and
+    advances [t]. *)
+val split : t -> t
+
+(** Next raw 64-bit output. *)
+val next_int64 : t -> int64
+
+(** Uniform float in [\[0, bound)]. *)
+val float : t -> bound:float -> float
+
+(** Uniform int in [\[0, bound)]; [bound] must be positive. *)
+val int : t -> bound:int -> int
+
+(** Fair coin. *)
+val bool : t -> bool
+
+(** Uniform float in [\[lo, hi)]. *)
+val range : t -> lo:float -> hi:float -> float
+
+(** Normal variate (Box-Muller). *)
+val gaussian : t -> mu:float -> sigma:float -> float
+
+(** Exponential variate with the given mean. *)
+val exponential : t -> mean:float -> float
+
+(** Uniformly chosen array element; the array must be non-empty. *)
+val pick : t -> 'a array -> 'a
+
+(** Fisher-Yates shuffle of a copy; the input is untouched. *)
+val shuffle : t -> 'a array -> 'a array
+
+(** [sample t ~k arr] draws [k] distinct elements uniformly. *)
+val sample : t -> k:int -> 'a array -> 'a array

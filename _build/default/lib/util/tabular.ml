@@ -1,0 +1,48 @@
+(* Plain-text table rendering for the benchmark harness: every paper table
+   is printed as an aligned grid so the bench output can be compared with
+   the thesis side by side. *)
+
+type t = { title : string; header : string list; mutable rows : string list list }
+
+let create ~title ~header = { title; header; rows = [] }
+
+let add_row t row = t.rows <- row :: t.rows
+
+let widths t =
+  let cols = List.length t.header in
+  let w = Array.make cols 0 in
+  let scan row =
+    List.iteri
+      (fun i cell -> if i < cols then w.(i) <- max w.(i) (String.length cell))
+      row
+  in
+  scan t.header;
+  List.iter scan t.rows;
+  w
+
+let pad width s = s ^ String.make (max 0 (width - String.length s)) ' '
+
+let trim_right s =
+  let n = ref (String.length s) in
+  while !n > 0 && s.[!n - 1] = ' ' do decr n done;
+  String.sub s 0 !n
+
+let render t =
+  let w = widths t in
+  let line row =
+    row
+    |> List.filteri (fun i _ -> i < Array.length w)
+    |> List.mapi (fun i cell -> pad w.(i) cell)
+    |> String.concat "  "
+    |> trim_right
+  in
+  let rule =
+    Array.to_list w |> List.map (fun n -> String.make n '-') |> String.concat "  "
+  in
+  let body = List.rev_map line t.rows in
+  String.concat "\n"
+    (("== " ^ t.title ^ " ==") :: line t.header :: rule :: body)
+
+let print t =
+  print_endline (render t);
+  print_newline ()

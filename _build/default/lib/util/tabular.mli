@@ -1,0 +1,15 @@
+(** Aligned plain-text tables for the experiment reports. *)
+
+type t
+
+(** [create ~title ~header] starts an empty table. *)
+val create : title:string -> header:string list -> t
+
+(** Append a row (cells beyond the header width are dropped). *)
+val add_row : t -> string list -> unit
+
+(** Render to a string, rows in insertion order. *)
+val render : t -> string
+
+(** [render] followed by printing to stdout with a trailing blank line. *)
+val print : t -> unit

@@ -1,0 +1,1 @@
+test/test_apps.ml: Alcotest Array List Printf QCheck QCheck_alcotest Smart_apps Smart_host Smart_util

@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest List Option Printf Result Smart_core Smart_host Smart_lang Smart_net Smart_proto Smart_util String

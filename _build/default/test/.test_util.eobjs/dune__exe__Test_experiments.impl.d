@@ -1,0 +1,1 @@
+test/test_experiments.ml: Alcotest Float List Printf Smart_experiments Smart_host Smart_measure Smart_proto String

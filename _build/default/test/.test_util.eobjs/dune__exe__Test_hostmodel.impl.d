@@ -1,0 +1,1 @@
+test/test_hostmodel.ml: Alcotest Float List QCheck QCheck_alcotest Result Smart_host Smart_net Smart_realnet Smart_sim Sys

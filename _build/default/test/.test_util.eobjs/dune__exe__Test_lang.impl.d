@@ -1,0 +1,1 @@
+test/test_lang.ml: Alcotest Fmt Gen List Option Printf QCheck QCheck_alcotest Smart_lang String

@@ -1,0 +1,1 @@
+test/test_measure.ml: Alcotest Array Float List Printf Smart_host Smart_measure Smart_net Smart_util

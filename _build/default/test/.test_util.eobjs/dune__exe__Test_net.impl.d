@@ -1,0 +1,1 @@
+test/test_net.ml: Alcotest Array Float Gen List QCheck QCheck_alcotest Smart_measure Smart_net Smart_sim Smart_util

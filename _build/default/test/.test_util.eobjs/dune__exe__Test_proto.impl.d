@@ -1,0 +1,1 @@
+test/test_proto.ml: Alcotest Array Bytes Float Gen Int32 List QCheck QCheck_alcotest Smart_lang Smart_proto String

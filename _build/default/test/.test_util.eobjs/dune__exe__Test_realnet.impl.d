@@ -1,0 +1,1 @@
+test/test_realnet.ml: Alcotest Bytes Fun List Printf Result Smart_core Smart_host Smart_proto Smart_realnet String Sys Thread Unix

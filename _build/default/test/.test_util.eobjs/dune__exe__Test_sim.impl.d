@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Gen List QCheck QCheck_alcotest Smart_host Smart_net Smart_sim Smart_util

@@ -1,0 +1,1086 @@
+(* Tests for the core components: status databases, probe, monitors,
+   transmitter/receiver, selection, wizard, client, and the deployed
+   simulation driver (end-to-end flows, staleness, failure injection,
+   centralized vs distributed modes). *)
+
+module C = Smart_core
+module P = Smart_proto
+module H = Smart_host
+
+let report ?(host = "helene") ?(ip = "192.168.2.3") ?(cpu_free = 0.9)
+    ?(load1 = 0.1) ?(mem_free = 100.0) ?(bogomips = 3394.76) () =
+  {
+    P.Report.host;
+    ip;
+    load1;
+    load5 = load1;
+    load15 = load1;
+    cpu_user = 1.0 -. cpu_free;
+    cpu_nice = 0.0;
+    cpu_system = 0.0;
+    cpu_free;
+    bogomips;
+    mem_total = 256.0;
+    mem_used = 256.0 -. mem_free;
+    mem_free;
+    mem_buffers = 10.0;
+    mem_cached = 10.0;
+    disk_rreq = 0.0;
+    disk_rblocks = 0.0;
+    disk_wreq = 0.0;
+    disk_wblocks = 0.0;
+    net_rbytes = 0.0;
+    net_rpackets = 0.0;
+    net_tbytes = 0.0;
+    net_tpackets = 0.0;
+  }
+
+let sys_record ?host ?ip ?cpu_free ?load1 ?mem_free ?bogomips ~at () =
+  {
+    P.Records.report = report ?host ?ip ?cpu_free ?load1 ?mem_free ?bogomips ();
+    updated_at = at;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Status_db                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_db_sys_update_and_replace () =
+  let db = C.Status_db.create () in
+  C.Status_db.update_sys db (sys_record ~at:1.0 ());
+  C.Status_db.update_sys db (sys_record ~at:2.0 ());
+  Alcotest.(check int) "replaced, not duplicated" 1 (C.Status_db.sys_count db);
+  match C.Status_db.find_sys db ~host:"helene" with
+  | Some r -> Alcotest.(check (float 1e-9)) "latest wins" 2.0 r.P.Records.updated_at
+  | None -> Alcotest.fail "record missing"
+
+let test_db_sweep () =
+  let db = C.Status_db.create () in
+  C.Status_db.update_sys db (sys_record ~host:"old" ~ip:"1.1.1.1" ~at:0.0 ());
+  C.Status_db.update_sys db (sys_record ~host:"new" ~ip:"1.1.1.2" ~at:9.0 ());
+  Alcotest.(check int) "one dropped" 1
+    (C.Status_db.sweep_sys db ~now:10.0 ~max_age:6.0);
+  Alcotest.(check bool) "old gone" true
+    (C.Status_db.find_sys db ~host:"old" = None);
+  Alcotest.(check bool) "new kept" true
+    (C.Status_db.find_sys db ~host:"new" <> None)
+
+let test_db_net_entry_for () =
+  let db = C.Status_db.create () in
+  C.Status_db.update_net db
+    {
+      P.Records.monitor = "mon";
+      entries =
+        [ { P.Records.peer = "helene"; delay = 0.001; bandwidth = 1e6;
+            measured_at = 0.0 } ];
+    };
+  (match C.Status_db.net_entry_for db ~target:"helene" with
+  | Some e -> Alcotest.(check (float 1e-9)) "bw" 1e6 e.P.Records.bandwidth
+  | None -> Alcotest.fail "entry missing");
+  Alcotest.(check bool) "unknown target" true
+    (C.Status_db.net_entry_for db ~target:"x" = None)
+
+let test_db_sec () =
+  let db = C.Status_db.create () in
+  C.Status_db.replace_sec db
+    { P.Records.entries = [ { P.Records.host = "a"; level = 4 } ] };
+  Alcotest.(check (option int)) "level" (Some 4)
+    (C.Status_db.security_level db ~host:"a");
+  C.Status_db.replace_sec db
+    { P.Records.entries = [ { P.Records.host = "b"; level = 1 } ] };
+  Alcotest.(check (option int)) "replaced wholesale" None
+    (C.Status_db.security_level db ~host:"a")
+
+(* ------------------------------------------------------------------ *)
+(* Probe                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let probe_config =
+  {
+    C.Probe.host = "helene";
+    ip = "192.168.2.3";
+    bogomips = 3394.76;
+    monitor = { C.Output.host = "mon"; port = P.Ports.sysmon };
+    iface = "eth0";
+    transport = C.Probe.Udp;
+  }
+
+let snapshot_of machine ~now = H.Procfs.snapshot_of_machine machine ~now
+
+let test_probe_first_tick () =
+  let machine = H.Machine.create (H.Testbed.spec_of_name "helene") in
+  let probe = C.Probe.create probe_config in
+  match C.Probe.tick probe ~now:0.0 ~snapshot:(snapshot_of machine ~now:0.0) with
+  | Ok (r, outputs) ->
+    Alcotest.(check string) "host" "helene" r.P.Report.host;
+    Alcotest.(check (float 1e-9)) "first tick idle" 1.0 r.P.Report.cpu_free;
+    Alcotest.(check (float 1e-9)) "no rates yet" 0.0 r.P.Report.net_tbytes;
+    Alcotest.(check int) "one datagram" 1 (List.length outputs);
+    (match outputs with
+    | [ C.Output.Udp { dst; data } ] ->
+      Alcotest.(check string) "to monitor" "mon" dst.C.Output.host;
+      Alcotest.(check int) "sysmon port" P.Ports.sysmon dst.C.Output.port;
+      Alcotest.(check bool) "parseable" true
+        (Result.is_ok (P.Report.of_string data))
+    | _ -> Alcotest.fail "expected one UDP output")
+  | Error e -> Alcotest.failf "tick failed: %s" e
+
+let test_probe_rates_from_deltas () =
+  let machine = H.Machine.create (H.Testbed.spec_of_name "helene") in
+  let probe = C.Probe.create probe_config in
+  ignore (C.Probe.tick probe ~now:0.0 ~snapshot:(snapshot_of machine ~now:0.0));
+  (* between the ticks: half-loaded CPU, 10 KB/s transmitted *)
+  ignore (H.Machine.add_workload machine ~now:0.0 (H.Machine.cpu_hog ~demand:0.5));
+  H.Machine.count_tx machine ~bytes:100_000.0;
+  match
+    C.Probe.tick probe ~now:10.0 ~snapshot:(snapshot_of machine ~now:10.0)
+  with
+  | Ok (r, _) ->
+    Alcotest.(check (float 0.02)) "cpu busy fraction" 0.5 r.P.Report.cpu_user;
+    Alcotest.(check (float 0.02)) "cpu free fraction" 0.5 r.P.Report.cpu_free;
+    Alcotest.(check (float 100.0)) "tx rate" 10_000.0 r.P.Report.net_tbytes
+  | Error e -> Alcotest.failf "tick failed: %s" e
+
+let test_probe_bad_snapshot () =
+  let probe = C.Probe.create probe_config in
+  let bad =
+    {
+      H.Procfs.loadavg_text = "garbage";
+      stat_text = "";
+      meminfo_text = "";
+      netdev_text = "";
+    }
+  in
+  Alcotest.(check bool) "error surfaces" true
+    (Result.is_error (C.Probe.tick probe ~now:0.0 ~snapshot:bad))
+
+let test_probe_missing_iface () =
+  let machine = H.Machine.create (H.Testbed.spec_of_name "helene") in
+  let probe = C.Probe.create { probe_config with C.Probe.iface = "eth7" } in
+  Alcotest.(check bool) "missing iface reported" true
+    (Result.is_error
+       (C.Probe.tick probe ~now:0.0 ~snapshot:(snapshot_of machine ~now:0.0)))
+
+(* ------------------------------------------------------------------ *)
+(* Sysmon                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_sysmon_ingest_and_expire () =
+  let db = C.Status_db.create () in
+  let sysmon =
+    C.Sysmon.create
+      ~config:{ C.Sysmon.probe_interval = 2.0; missed_intervals = 3 }
+      db
+  in
+  Alcotest.(check (float 1e-9)) "max age = 3 intervals" 6.0
+    (C.Sysmon.max_age sysmon);
+  let data = P.Report.to_string (report ()) in
+  (match C.Sysmon.handle_report sysmon ~now:1.0 data with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "ingest failed: %s" e);
+  Alcotest.(check int) "stored" 1 (C.Status_db.sys_count db);
+  Alcotest.(check int) "no expiry yet" 0 (C.Sysmon.sweep sysmon ~now:6.9);
+  Alcotest.(check int) "expired after 3 intervals" 1
+    (C.Sysmon.sweep sysmon ~now:7.1);
+  Alcotest.(check int) "gone" 0 (C.Status_db.sys_count db);
+  Alcotest.(check bool) "garbage counted" true
+    (Result.is_error (C.Sysmon.handle_report sysmon ~now:8.0 "junk"));
+  Alcotest.(check int) "parse errors" 1 (C.Sysmon.parse_errors sysmon);
+  Alcotest.(check int) "handled count" 1 (C.Sysmon.reports_handled sysmon)
+
+(* ------------------------------------------------------------------ *)
+(* Netmon / Secmon                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let test_netmon_sequential_probing () =
+  let db = C.Status_db.create () in
+  let netmon =
+    C.Netmon.create
+      { C.Netmon.monitor_name = "mon"; targets = [ "a"; "b"; "c" ] }
+      db
+  in
+  let order = ref [] in
+  let prober ~target =
+    order := target :: !order;
+    if target = "b" then None
+    else Some { C.Netmon.delay = 0.001; bandwidth = 1e6 }
+  in
+  let record = C.Netmon.probe_all netmon ~now:5.0 ~prober in
+  Alcotest.(check (list string)) "strict order" [ "a"; "b"; "c" ]
+    (List.rev !order);
+  Alcotest.(check int) "failed target dropped" 2
+    (List.length record.P.Records.entries);
+  Alcotest.(check int) "failures counted" 1 (C.Netmon.probe_failures netmon);
+  Alcotest.(check bool) "published" true
+    (C.Status_db.net_entry_for db ~target:"c" <> None)
+
+let test_netmon_interval_scaling () =
+  let i3 = C.Netmon.recommended_interval ~groups:3 ~per_probe_cost:0.5 in
+  let i10 = C.Netmon.recommended_interval ~groups:10 ~per_probe_cost:0.5 in
+  Alcotest.(check bool) "more groups, longer interval" true (i10 > i3)
+
+let test_secmon () =
+  let db = C.Status_db.create () in
+  let secmon = C.Secmon.create db in
+  (match C.Secmon.refresh_from_log secmon "a 5\nb 2\n" with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "refresh failed: %s" e);
+  Alcotest.(check (option int)) "level" (Some 5)
+    (C.Status_db.security_level db ~host:"a");
+  Alcotest.(check bool) "bad log errors" true
+    (Result.is_error (C.Secmon.refresh_from_log secmon "a x\n"));
+  Alcotest.(check (option string)) "error remembered"
+    (Some "security log: bad level for a") (C.Secmon.last_error secmon)
+
+(* ------------------------------------------------------------------ *)
+(* Transmitter / Receiver                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_transmitter_receiver_roundtrip () =
+  let db_mon = C.Status_db.create () in
+  C.Status_db.update_sys db_mon (sys_record ~at:1.0 ());
+  C.Status_db.update_net db_mon
+    {
+      P.Records.monitor = "mon";
+      entries =
+        [ { P.Records.peer = "helene"; delay = 0.002; bandwidth = 2e6;
+            measured_at = 1.0 } ];
+    };
+  C.Status_db.replace_sec db_mon
+    { P.Records.entries = [ { P.Records.host = "helene"; level = 3 } ] };
+  let tx =
+    C.Transmitter.create ~monitor_name:"mon"
+      {
+        C.Transmitter.mode = C.Transmitter.Centralized;
+        order = P.Endian.Little;
+        receiver = { C.Output.host = "wiz"; port = P.Ports.receiver };
+      }
+      db_mon
+  in
+  let db_wiz = C.Status_db.create () in
+  let rx = C.Receiver.create ~order:P.Endian.Little db_wiz in
+  (match C.Transmitter.tick tx with
+  | [ C.Output.Stream { dst; data } ] ->
+    Alcotest.(check int) "receiver port" P.Ports.receiver dst.C.Output.port;
+    (* feed in two arbitrary chunks to exercise reassembly *)
+    let half = String.length data / 2 in
+    (match C.Receiver.handle_stream rx ~from:"mon" (String.sub data 0 half) with
+    | Ok () -> ()
+    | Error e -> Alcotest.failf "first chunk: %s" e);
+    (match
+       C.Receiver.handle_stream rx ~from:"mon"
+         (String.sub data half (String.length data - half))
+     with
+    | Ok () -> ()
+    | Error e -> Alcotest.failf "second chunk: %s" e)
+  | _ -> Alcotest.fail "expected one stream output");
+  Alcotest.(check int) "three frames" 3 (C.Receiver.frames_handled rx);
+  Alcotest.(check bool) "sys mirrored" true
+    (C.Status_db.find_sys db_wiz ~host:"helene" <> None);
+  (match C.Status_db.net_entry_for db_wiz ~target:"helene" with
+  | Some e -> Alcotest.(check (float 1e-9)) "net mirrored" 2e6 e.P.Records.bandwidth
+  | None -> Alcotest.fail "net entry missing");
+  Alcotest.(check (option int)) "sec mirrored" (Some 3)
+    (C.Status_db.security_level db_wiz ~host:"helene")
+
+let test_transmitter_modes () =
+  let db = C.Status_db.create () in
+  let mk mode =
+    C.Transmitter.create ~monitor_name:"mon"
+      {
+        C.Transmitter.mode;
+        order = P.Endian.Little;
+        receiver = { C.Output.host = "wiz"; port = P.Ports.receiver };
+      }
+      db
+  in
+  let active = mk C.Transmitter.Centralized in
+  Alcotest.(check int) "centralized pushes on tick" 1
+    (List.length (C.Transmitter.tick active));
+  Alcotest.(check int) "centralized ignores pulls" 0
+    (List.length
+       (C.Transmitter.handle_pull active ~data:C.Transmitter.pull_request_magic));
+  let passive = mk C.Transmitter.Distributed in
+  Alcotest.(check int) "distributed silent on tick" 0
+    (List.length (C.Transmitter.tick passive));
+  Alcotest.(check int) "distributed answers pulls" 1
+    (List.length
+       (C.Transmitter.handle_pull passive ~data:C.Transmitter.pull_request_magic));
+  Alcotest.(check int) "bad magic ignored" 0
+    (List.length (C.Transmitter.handle_pull passive ~data:"nope"))
+
+let test_receiver_update_hook () =
+  let db = C.Status_db.create () in
+  let rx = C.Receiver.create ~order:P.Endian.Little db in
+  let count = ref 0 in
+  C.Receiver.set_update_hook rx (Some (fun _ -> incr count));
+  let frame =
+    P.Frame.encode P.Endian.Little
+      {
+        P.Frame.payload_type = P.Frame.Sec_db;
+        data = P.Records.encode_sec P.Endian.Little { P.Records.entries = [] };
+      }
+  in
+  (match C.Receiver.handle_stream rx ~from:"m" frame with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "stream: %s" e);
+  Alcotest.(check int) "hook fired" 1 !count
+
+(* ------------------------------------------------------------------ *)
+(* Selection                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let view ?host ?ip ?cpu_free ?load1 ?mem_free ?bogomips ?net ?security_level ()
+    =
+  {
+    C.Selection.record =
+      sys_record ?host ?ip ?cpu_free ?load1 ?mem_free ?bogomips ~at:0.0 ();
+    net;
+    security_level;
+  }
+
+let compile src =
+  match Smart_lang.Requirement.compile src with
+  | Ok p -> p
+  | Error e ->
+    Alcotest.failf "compile: %a" Smart_lang.Requirement.pp_compile_error e
+
+let test_selection_filters () =
+  let servers =
+    [
+      view ~host:"fast" ~ip:"1.0.0.1" ~cpu_free:0.95 ();
+      view ~host:"busy" ~ip:"1.0.0.2" ~cpu_free:0.2 ();
+      view ~host:"idle" ~ip:"1.0.0.3" ~cpu_free:0.99 ();
+    ]
+  in
+  let r =
+    C.Selection.select ~requirement:(compile "host_cpu_free > 0.9\n") ~servers
+      ~wanted:10
+  in
+  Alcotest.(check (list string)) "only qualified, scan order"
+    [ "fast"; "idle" ] r.C.Selection.selected;
+  Alcotest.(check int) "verdicts for all" 3 (List.length r.C.Selection.verdicts)
+
+let test_selection_wanted_limit () =
+  let servers =
+    List.init 5 (fun i ->
+        view
+          ~host:(Printf.sprintf "s%d" i)
+          ~ip:(Printf.sprintf "1.0.0.%d" i)
+          ())
+  in
+  let r =
+    C.Selection.select ~requirement:(compile "100 > 0\n") ~servers ~wanted:2
+  in
+  Alcotest.(check int) "cut to wanted" 2 (List.length r.C.Selection.selected)
+
+let test_selection_denied () =
+  let servers =
+    [
+      view ~host:"a" ~ip:"1.0.0.1" ();
+      view ~host:"b" ~ip:"1.0.0.2" ();
+    ]
+  in
+  let r =
+    C.Selection.select
+      ~requirement:(compile "user_denied_host1 = a\n100 > 0\n")
+      ~servers ~wanted:10
+  in
+  Alcotest.(check (list string)) "blacklist by name" [ "b" ]
+    r.C.Selection.selected;
+  (* denial also matches by IP *)
+  let r2 =
+    C.Selection.select
+      ~requirement:(compile "user_denied_host1 = 1.0.0.2\n100 > 0\n")
+      ~servers ~wanted:10
+  in
+  Alcotest.(check (list string)) "blacklist by ip" [ "a" ]
+    r2.C.Selection.selected
+
+let test_selection_preferred_order () =
+  let servers =
+    [
+      view ~host:"a" ~ip:"1.0.0.1" ();
+      view ~host:"b" ~ip:"1.0.0.2" ();
+      view ~host:"c" ~ip:"1.0.0.3" ();
+    ]
+  in
+  let r =
+    C.Selection.select
+      ~requirement:
+        (compile "user_preferred_host1 = c\nuser_preferred_host2 = b\n100 > 0\n")
+      ~servers ~wanted:10
+  in
+  Alcotest.(check (list string)) "preferred first, in order"
+    [ "c"; "b"; "a" ] r.C.Selection.selected
+
+let test_selection_preferred_must_qualify () =
+  let servers =
+    [
+      view ~host:"a" ~ip:"1.0.0.1" ~cpu_free:0.95 ();
+      view ~host:"slowpref" ~ip:"1.0.0.2" ~cpu_free:0.1 ();
+    ]
+  in
+  let r =
+    C.Selection.select
+      ~requirement:
+        (compile "user_preferred_host1 = slowpref\nhost_cpu_free > 0.9\n")
+      ~servers ~wanted:10
+  in
+  Alcotest.(check (list string)) "unqualified preferred excluded" [ "a" ]
+    r.C.Selection.selected
+
+let test_selection_monitor_bindings () =
+  let net bw =
+    Some { P.Records.peer = "x"; delay = 0.01; bandwidth = bw; measured_at = 0.0 }
+  in
+  let servers =
+    [
+      view ~host:"fat" ~ip:"1.0.0.1" ?net:(Some (Option.get (net (Smart_util.Units.mbps_to_bytes_per_sec 8.0)))) ();
+      view ~host:"thin" ~ip:"1.0.0.2" ?net:(Some (Option.get (net (Smart_util.Units.mbps_to_bytes_per_sec 2.0)))) ();
+      view ~host:"unmeasured" ~ip:"1.0.0.3" ();
+    ]
+  in
+  let r =
+    C.Selection.select ~requirement:(compile "monitor_network_bw > 6\n")
+      ~servers ~wanted:10
+  in
+  (* unmeasured servers fail the bandwidth requirement (unbound -> false) *)
+  Alcotest.(check (list string)) "bandwidth filter" [ "fat" ]
+    r.C.Selection.selected
+
+let test_selection_security_binding () =
+  let servers =
+    [
+      view ~host:"sec5" ~ip:"1.0.0.1" ~security_level:5 ();
+      view ~host:"sec1" ~ip:"1.0.0.2" ~security_level:1 ();
+    ]
+  in
+  let r =
+    C.Selection.select ~requirement:(compile "host_security_level >= 3\n")
+      ~servers ~wanted:10
+  in
+  Alcotest.(check (list string)) "clearance filter" [ "sec5" ]
+    r.C.Selection.selected
+
+let test_selection_order_by () =
+  (* the Ch. 6 extension: "3 servers with largest memory" *)
+  let servers =
+    [
+      view ~host:"small" ~ip:"1.0.0.1" ~mem_free:10.0 ();
+      view ~host:"large" ~ip:"1.0.0.2" ~mem_free:200.0 ();
+      view ~host:"medium" ~ip:"1.0.0.3" ~mem_free:100.0 ();
+      view ~host:"tiny" ~ip:"1.0.0.4" ~mem_free:1.0 ();
+    ]
+  in
+  let r =
+    C.Selection.select
+      ~requirement:(compile "order_by = host_memory_free\n100 > 0\n")
+      ~servers ~wanted:3
+  in
+  Alcotest.(check (list string)) "largest memory first"
+    [ "large"; "medium"; "small" ]
+    r.C.Selection.selected;
+  (* order_by composes with qualification and arbitrary expressions *)
+  let r2 =
+    C.Selection.select
+      ~requirement:
+        (compile "host_memory_free > 5\norder_by = 0 - host_memory_free\n")
+      ~servers ~wanted:2
+  in
+  Alcotest.(check (list string)) "smallest qualified first"
+    [ "small"; "medium" ]
+    r2.C.Selection.selected;
+  (* preferred hosts still outrank the order_by key *)
+  let r3 =
+    C.Selection.select
+      ~requirement:
+        (compile
+           "order_by = host_memory_free\nuser_preferred_host1 = tiny\n100 > 0\n")
+      ~servers ~wanted:2
+  in
+  Alcotest.(check (list string)) "preferred beats ranking"
+    [ "tiny"; "large" ]
+    r3.C.Selection.selected;
+  (* without order_by, scan order is preserved (no behaviour change) *)
+  let r4 =
+    C.Selection.select ~requirement:(compile "100 > 0\n") ~servers ~wanted:4
+  in
+  Alcotest.(check (list string)) "scan order without order_by"
+    [ "small"; "large"; "medium"; "tiny" ]
+    r4.C.Selection.selected
+
+let test_selection_fig14_scenario () =
+  (* Fig 1.4: 12 servers in 4 networks with delays 100/5/10/15 ms; the
+     user wants 3 servers with delay < 20 ms, cpu < 10%, 100 MB free
+     memory, and hacker.some.net blacklisted *)
+  let mk name ip delay_ms cpu_free mem_free =
+    view ~host:name ~ip ~cpu_free ~mem_free
+      ?net:(Some
+              {
+                P.Records.peer = name;
+                delay = delay_ms /. 1000.0;
+                bandwidth = 12.5e6;
+                measured_at = 0.0;
+              })
+      ()
+  in
+  let servers =
+    [
+      mk "a1" "10.0.1.1" 100.0 0.95 200.0;
+      mk "a2" "10.0.1.2" 100.0 0.95 200.0;
+      mk "a3" "10.0.1.3" 100.0 0.95 200.0;
+      mk "b1" "10.0.2.1" 5.0 0.5 200.0;   (* busy *)
+      mk "b2" "10.0.2.2" 5.0 0.95 200.0;
+      mk "b3" "10.0.2.3" 5.0 0.95 50.0;   (* low memory *)
+      mk "c1" "10.0.3.1" 10.0 0.95 200.0;
+      mk "hacker.some.net" "10.0.3.2" 10.0 0.95 200.0;
+      mk "d1" "10.0.4.1" 15.0 0.95 200.0;
+      mk "d2" "10.0.4.2" 15.0 0.8 200.0;  (* cpu too busy *)
+    ]
+  in
+  let requirement =
+    "monitor_network_delay < 20\n\
+     host_cpu_free > 0.9\n\
+     host_memory_free >= 100\n\
+     user_denied_host1 = hacker.some.net\n"
+  in
+  let r =
+    C.Selection.select ~requirement:(compile requirement) ~servers ~wanted:3
+  in
+  Alcotest.(check (list string)) "B2, C1, D1 as in Fig 1.4"
+    [ "b2"; "c1"; "d1" ] r.C.Selection.selected
+
+let test_selection_empty_and_limits () =
+  (* no servers at all *)
+  let r =
+    C.Selection.select ~requirement:(compile "100 > 0\n") ~servers:[] ~wanted:5
+  in
+  Alcotest.(check (list string)) "empty pool" [] r.C.Selection.selected;
+  (* more qualified servers than the 60-server reply bound *)
+  let servers =
+    List.init 70 (fun i ->
+        view
+          ~host:(Printf.sprintf "s%02d" i)
+          ~ip:(Printf.sprintf "10.0.%d.%d" (i / 250) (i mod 250))
+          ())
+  in
+  let r2 =
+    C.Selection.select ~requirement:(compile "100 > 0\n") ~servers ~wanted:100
+  in
+  Alcotest.(check int) "capped at the Table 3.6 bound"
+    P.Ports.max_reply_servers
+    (List.length r2.C.Selection.selected)
+
+(* A second transmitter's snapshot must not clobber the first's servers
+   on the mirror (per-transmitter ownership). *)
+let test_receiver_multi_transmitter_ownership () =
+  let db = C.Status_db.create () in
+  let rx = C.Receiver.create ~order:P.Endian.Little db in
+  let frame_for hosts =
+    P.Frame.encode P.Endian.Little
+      {
+        P.Frame.payload_type = P.Frame.Sys_db;
+        data =
+          String.concat ""
+            (List.map
+               (fun (h, ip) ->
+                 P.Records.encode_sys P.Endian.Little
+                   (sys_record ~host:h ~ip ~at:1.0 ()))
+               hosts);
+      }
+  in
+  let ok = function Ok () -> () | Error e -> Alcotest.failf "stream: %s" e in
+  ok (C.Receiver.handle_stream rx ~from:"monA" (frame_for [ ("a1", "1.1.1.1"); ("a2", "1.1.1.2") ]));
+  ok (C.Receiver.handle_stream rx ~from:"monB" (frame_for [ ("b1", "2.1.1.1") ]));
+  Alcotest.(check int) "three mirrored" 3 (C.Status_db.sys_count db);
+  (* monA's next snapshot lost a2: only a2 disappears *)
+  ok (C.Receiver.handle_stream rx ~from:"monA" (frame_for [ ("a1", "1.1.1.1") ]));
+  Alcotest.(check int) "a2 dropped, b1 kept" 2 (C.Status_db.sys_count db);
+  Alcotest.(check bool) "b1 still present" true
+    (C.Status_db.find_sys db ~host:"b1" <> None);
+  Alcotest.(check bool) "a2 gone" true
+    (C.Status_db.find_sys db ~host:"a2" = None)
+
+(* ------------------------------------------------------------------ *)
+(* Wizard + Client protocol (no network)                                *)
+(* ------------------------------------------------------------------ *)
+
+let client_request ?(wanted = 2) ?(option = P.Wizard_msg.Accept_partial)
+    requirement =
+  let client = C.Client.create ~rng:(Smart_util.Prng.create ~seed:4) in
+  C.Client.make_request client ~wanted ~option ~requirement
+
+let test_wizard_centralized_reply () =
+  let db = C.Status_db.create () in
+  C.Status_db.update_sys db (sys_record ~host:"a" ~ip:"1.0.0.1" ~at:0.0 ());
+  C.Status_db.update_sys db
+    (sys_record ~host:"b" ~ip:"1.0.0.2" ~cpu_free:0.1 ~at:0.0 ());
+  let wizard =
+    C.Wizard.create { C.Wizard.mode = C.Wizard.Centralized; groups = None } db
+  in
+  let request = client_request "host_cpu_free > 0.5\n" in
+  let from = { C.Output.host = "client"; port = 4567 } in
+  (match
+     C.Wizard.handle_request wizard ~now:1.0 ~from
+       (P.Wizard_msg.encode_request request)
+   with
+  | [ C.Output.Udp { dst; data } ] ->
+    Alcotest.(check string) "reply to requester" "client" dst.C.Output.host;
+    Alcotest.(check int) "reply to requester port" 4567 dst.C.Output.port;
+    (match C.Client.check_reply request data with
+    | Ok servers -> Alcotest.(check (list string)) "servers" [ "a" ] servers
+    | Error e -> Alcotest.failf "reply rejected: %a" C.Client.pp_error e)
+  | _ -> Alcotest.fail "expected one reply datagram");
+  Alcotest.(check int) "handled" 1 (C.Wizard.requests_handled wizard)
+
+let test_wizard_bad_requirement () =
+  let db = C.Status_db.create () in
+  C.Status_db.update_sys db (sys_record ~at:0.0 ());
+  let wizard =
+    C.Wizard.create { C.Wizard.mode = C.Wizard.Centralized; groups = None } db
+  in
+  let request = client_request "1 +\n" in
+  (match
+     C.Wizard.handle_request wizard ~now:1.0
+       ~from:{ C.Output.host = "c"; port = 1 }
+       (P.Wizard_msg.encode_request request)
+   with
+  | [ C.Output.Udp { data; _ } ] ->
+    (match P.Wizard_msg.decode_reply data with
+    | Ok reply ->
+      Alcotest.(check (list string)) "empty on compile error" []
+        reply.P.Wizard_msg.servers
+    | Error e -> Alcotest.failf "reply: %s" e)
+  | _ -> Alcotest.fail "expected reply");
+  Alcotest.(check int) "compile error counted" 1 (C.Wizard.compile_errors wizard)
+
+let test_wizard_garbage_dropped () =
+  let db = C.Status_db.create () in
+  let wizard =
+    C.Wizard.create { C.Wizard.mode = C.Wizard.Centralized; groups = None } db
+  in
+  Alcotest.(check int) "garbage dropped silently" 0
+    (List.length
+       (C.Wizard.handle_request wizard ~now:1.0
+          ~from:{ C.Output.host = "c"; port = 1 }
+          "xx"))
+
+let test_wizard_distributed_pull_flow () =
+  let db = C.Status_db.create () in
+  let wizard =
+    C.Wizard.create
+      {
+        C.Wizard.mode =
+          C.Wizard.Distributed
+            {
+              transmitters = [ { C.Output.host = "mon"; port = P.Ports.transmitter } ];
+              freshness_timeout = 2.0;
+            };
+        groups = None;
+      }
+      db
+  in
+  let request = client_request "100 > 0\n" in
+  let from = { C.Output.host = "client"; port = 9 } in
+  (* request triggers pulls, no immediate reply *)
+  (match
+     C.Wizard.handle_request wizard ~now:1.0 ~from
+       (P.Wizard_msg.encode_request request)
+   with
+  | [ C.Output.Udp { dst; data } ] ->
+    Alcotest.(check string) "pull to transmitter" "mon" dst.C.Output.host;
+    Alcotest.(check string) "magic" C.Transmitter.pull_request_magic data
+  | _ -> Alcotest.fail "expected one pull");
+  Alcotest.(check int) "pending" 1 (C.Wizard.pending_count wizard);
+  Alcotest.(check int) "no release yet" 0
+    (List.length (C.Wizard.tick wizard ~now:1.1));
+  (* fresh data lands: three frames *)
+  C.Status_db.update_sys db (sys_record ~host:"a" ~ip:"1.0.0.1" ~at:1.2 ());
+  C.Wizard.note_update wizard;
+  C.Wizard.note_update wizard;
+  C.Wizard.note_update wizard;
+  (match C.Wizard.tick wizard ~now:1.3 with
+  | [ C.Output.Udp { data; _ } ] ->
+    (match C.Client.check_reply request data with
+    | Ok servers -> Alcotest.(check (list string)) "served after pull" [ "a" ] servers
+    | Error e -> Alcotest.failf "reply: %a" C.Client.pp_error e)
+  | _ -> Alcotest.fail "expected deferred reply");
+  Alcotest.(check int) "pending drained" 0 (C.Wizard.pending_count wizard)
+
+let test_wizard_distributed_deadline () =
+  let db = C.Status_db.create () in
+  C.Status_db.update_sys db (sys_record ~host:"stale" ~ip:"1.0.0.1" ~at:0.0 ());
+  let wizard =
+    C.Wizard.create
+      {
+        C.Wizard.mode =
+          C.Wizard.Distributed
+            {
+              transmitters = [ { C.Output.host = "mon"; port = P.Ports.transmitter } ];
+              freshness_timeout = 2.0;
+            };
+        groups = None;
+      }
+      db
+  in
+  let request = client_request "100 > 0\n" in
+  ignore
+    (C.Wizard.handle_request wizard ~now:1.0
+       ~from:{ C.Output.host = "c"; port = 9 }
+       (P.Wizard_msg.encode_request request));
+  (* no transmitter answers; the deadline releases the request with
+     whatever (stale) data exists *)
+  Alcotest.(check int) "released at deadline" 1
+    (List.length (C.Wizard.tick wizard ~now:3.5))
+
+(* ------------------------------------------------------------------ *)
+(* Client                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_client_seq_matching () =
+  let request = client_request "x > 0\n" in
+  let reply seq = P.Wizard_msg.encode_reply { P.Wizard_msg.seq; servers = [ "a"; "b" ] } in
+  (match C.Client.check_reply request (reply request.P.Wizard_msg.seq) with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "own seq rejected: %a" C.Client.pp_error e);
+  match C.Client.check_reply request (reply (request.P.Wizard_msg.seq + 1)) with
+  | Error (C.Client.Wrong_seq _) -> ()
+  | Ok _ | Error _ -> Alcotest.fail "foreign seq accepted"
+
+let test_client_option_semantics () =
+  let strict = client_request ~wanted:3 ~option:P.Wizard_msg.Strict "x > 0\n" in
+  let partial =
+    client_request ~wanted:3 ~option:P.Wizard_msg.Accept_partial "x > 0\n"
+  in
+  let reply (request : P.Wizard_msg.request) n =
+    P.Wizard_msg.encode_reply
+      {
+        P.Wizard_msg.seq = request.P.Wizard_msg.seq;
+        servers = List.init n string_of_int;
+      }
+  in
+  (match C.Client.check_reply strict (reply strict 2) with
+  | Error (C.Client.Not_enough { wanted = 3; got = 2 }) -> ()
+  | Ok _ | Error _ -> Alcotest.fail "strict must reject shortfall");
+  (match C.Client.check_reply partial (reply partial 2) with
+  | Ok servers -> Alcotest.(check int) "partial accepts" 2 (List.length servers)
+  | Error e -> Alcotest.failf "partial rejected: %a" C.Client.pp_error e);
+  match C.Client.check_reply partial (reply partial 0) with
+  | Error (C.Client.Not_enough _) -> ()
+  | Ok _ | Error _ -> Alcotest.fail "empty reply must fail even partial"
+
+let test_client_request_validation () =
+  let client = C.Client.create ~rng:(Smart_util.Prng.create ~seed:1) in
+  Alcotest.(check bool) "zero wanted" true
+    (try
+       ignore
+         (C.Client.make_request client ~wanted:0
+            ~option:P.Wizard_msg.Accept_partial ~requirement:"");
+       false
+     with Invalid_argument _ -> true);
+  Alcotest.(check bool) "over limit" true
+    (try
+       ignore
+         (C.Client.make_request client ~wanted:61
+            ~option:P.Wizard_msg.Accept_partial ~requirement:"");
+       false
+     with Invalid_argument _ -> true)
+
+let test_client_lint () =
+  (match C.Client.lint_requirement "host_cpu_free > 0.5\ntypo_var > 1\n" with
+  | Ok unknown -> Alcotest.(check (list string)) "typo found" [ "typo_var" ] unknown
+  | Error e -> Alcotest.failf "lint: %s" e);
+  Alcotest.(check bool) "syntax error" true
+    (Result.is_error (C.Client.lint_requirement "1 +\n"))
+
+(* ------------------------------------------------------------------ *)
+(* Simdriver end-to-end                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let deploy ?config () =
+  let c = H.Testbed.icpp2005 () in
+  let d =
+    C.Simdriver.deploy ?config c ~monitor:"dalmatian" ~wizard_host:"dalmatian"
+      ~servers:H.Testbed.machine_names
+  in
+  (c, d)
+
+let test_sim_end_to_end () =
+  let _, d = deploy () in
+  C.Simdriver.settle ~duration:8.0 d;
+  Alcotest.(check int) "all 11 on wizard side" 11
+    (C.Status_db.sys_count (C.Simdriver.db_wizard d));
+  match
+    C.Simdriver.request d ~client:"sagit" ~wanted:2
+      ~requirement:"host_cpu_bogomips > 4000\n"
+  with
+  | Ok servers ->
+    Alcotest.(check (list string)) "P4-2.4 pair" [ "dalmatian"; "dione" ]
+      (List.sort compare servers)
+  | Error e -> Alcotest.failf "request failed: %a" C.Client.pp_error e
+
+let test_sim_failure_expiry () =
+  let _, d = deploy () in
+  C.Simdriver.settle ~duration:8.0 d;
+  C.Simdriver.fail_machine d ~host:"dione";
+  (* 3 missed 2-second intervals plus slack *)
+  C.Simdriver.settle ~duration:10.0 d;
+  Alcotest.(check int) "failed server expired" 10
+    (C.Status_db.sys_count (C.Simdriver.db_wizard d));
+  (match
+     C.Simdriver.request d ~client:"sagit" ~wanted:2
+       ~requirement:"host_cpu_bogomips > 4000\n"
+   with
+  | Ok servers ->
+    Alcotest.(check (list string)) "only dalmatian remains" [ "dalmatian" ]
+      servers
+  | Error e -> Alcotest.failf "request failed: %a" C.Client.pp_error e);
+  (* revival brings it back *)
+  C.Simdriver.revive_machine d ~host:"dione";
+  C.Simdriver.settle ~duration:6.0 d;
+  Alcotest.(check int) "revived" 11
+    (C.Status_db.sys_count (C.Simdriver.db_wizard d))
+
+let test_sim_distributed_mode () =
+  let config =
+    { C.Simdriver.default_config with C.Simdriver.mode = C.Transmitter.Distributed }
+  in
+  let _, d = deploy ~config () in
+  C.Simdriver.settle ~duration:8.0 d;
+  (* no standing transmissions in distributed mode... *)
+  Alcotest.(check int) "wizard db empty until a request" 0
+    (C.Status_db.sys_count (C.Simdriver.db_wizard d));
+  (* ...but a request pulls fresh data and gets answered *)
+  match
+    C.Simdriver.request d ~client:"sagit" ~wanted:2
+      ~requirement:"host_cpu_bogomips > 4000\n"
+  with
+  | Ok servers -> Alcotest.(check int) "answered after pull" 2 (List.length servers)
+  | Error e -> Alcotest.failf "request failed: %a" C.Client.pp_error e
+
+let test_sim_workload_visible_to_wizard () =
+  let c, d = deploy () in
+  (* SuperPI on helene: the wizard must see the load and avoid it *)
+  let node = H.Cluster.resolve_exn c "helene" in
+  ignore
+    (H.Machine.add_workload (H.Cluster.machine c node) ~now:(H.Cluster.now c)
+       H.Machine.superpi);
+  C.Simdriver.settle ~duration:120.0 d;
+  match
+    C.Simdriver.request d ~client:"sagit" ~wanted:20
+      ~requirement:"host_system_load1 < 0.5\nhost_cpu_free > 0.9\n"
+  with
+  | Ok servers ->
+    Alcotest.(check bool) "busy helene excluded" false
+      (List.mem "helene" servers);
+    Alcotest.(check int) "the other ten qualify" 10 (List.length servers)
+  | Error e -> Alcotest.failf "request failed: %a" C.Client.pp_error e
+
+let test_probe_tcp_transport () =
+  let machine = H.Machine.create (H.Testbed.spec_of_name "helene") in
+  let probe =
+    C.Probe.create { probe_config with C.Probe.transport = C.Probe.Tcp }
+  in
+  match C.Probe.tick probe ~now:0.0 ~snapshot:(snapshot_of machine ~now:0.0) with
+  | Ok (_, [ C.Output.Stream { dst; data } ]) ->
+    Alcotest.(check string) "to monitor" "mon" dst.C.Output.host;
+    Alcotest.(check bool) "same report format" true
+      (Result.is_ok (P.Report.of_string data))
+  | Ok _ -> Alcotest.fail "expected one stream output"
+  | Error e -> Alcotest.failf "tick failed: %s" e
+
+(* Two server groups joined by a slow WAN link (Fig 3.8): the wizard on
+   group A binds monitor_network_* per group from the monitor mesh. *)
+let two_group_world () =
+  let c = H.Cluster.create ~seed:31 () in
+  let spec name ip =
+    { (H.Testbed.spec_of_name "helene") with H.Machine.name; ip }
+  in
+  let add name ip = H.Cluster.add_machine c (spec name ip) in
+  let mon_a = add "mon-a" "10.1.0.1" in
+  let a1 = add "a1" "10.1.0.2" in
+  let a2 = add "a2" "10.1.0.3" in
+  let mon_b = add "mon-b" "10.2.0.1" in
+  let b1 = add "b1" "10.2.0.2" in
+  let b2 = add "b2" "10.2.0.3" in
+  let sw_a = H.Cluster.add_switch c ~name:"sw-a" ~ip:"10.1.0.254" in
+  let sw_b = H.Cluster.add_switch c ~name:"sw-b" ~ip:"10.2.0.254" in
+  let lan = H.Testbed.lan_conf in
+  List.iter (fun n -> ignore (H.Cluster.link c ~a:n ~b:sw_a lan)) [ mon_a; a1; a2 ];
+  List.iter (fun n -> ignore (H.Cluster.link c ~a:n ~b:sw_b lan)) [ mon_b; b1; b2 ];
+  (* 8 Mbps, 20 ms inter-group WAN link *)
+  ignore
+    (H.Cluster.link c ~a:sw_a ~b:sw_b
+       {
+         Smart_net.Link.capacity = 8e6 /. 8.0;
+         prop_delay = 10e-3;
+         jitter = 50e-6;
+         loss = 0.0;
+       });
+  let d =
+    C.Simdriver.deploy_groups c ~wizard_host:"mon-a"
+      ~groups:
+        [ ("mon-a", [ "a1"; "a2" ]); ("mon-b", [ "b1"; "b2" ]) ]
+  in
+  (c, d)
+
+let test_sim_multigroup () =
+  let _, d = two_group_world () in
+  Alcotest.(check int) "two groups" 2 (C.Simdriver.group_count d);
+  C.Simdriver.settle ~duration:8.0 d;
+  Alcotest.(check int) "all four servers mirrored" 4
+    (C.Status_db.sys_count (C.Simdriver.db_wizard d));
+  ignore (C.Simdriver.refresh_netmon ~trials:3 d);
+  (* the mesh: each monitor published one record about its peer *)
+  let records = C.Simdriver.all_netmon_records d in
+  Alcotest.(check int) "mesh records from both monitors" 2
+    (List.length records);
+  List.iter
+    (fun (r : P.Records.net_record) ->
+      Alcotest.(check int) "one peer each" 1 (List.length r.P.Records.entries))
+    records;
+  (* high-bandwidth requirement: only the local group qualifies, because
+     group B sits behind the 8 Mbps WAN link *)
+  (match
+     C.Simdriver.request d ~client:"a1" ~wanted:4
+       ~requirement:"monitor_network_bw > 50\n"
+   with
+  | Ok servers ->
+    Alcotest.(check (list string)) "local group only" [ "a1"; "a2" ]
+      (List.sort compare servers)
+  | Error e -> Alcotest.failf "request failed: %a" C.Client.pp_error e);
+  (* low threshold: everyone qualifies *)
+  (match
+     C.Simdriver.request d ~client:"a1" ~wanted:4
+       ~requirement:"monitor_network_bw > 5\n"
+   with
+  | Ok servers -> Alcotest.(check int) "all four" 4 (List.length servers)
+  | Error e -> Alcotest.failf "request failed: %a" C.Client.pp_error e);
+  (* delay requirement: the 20 ms WAN RTT excludes group B *)
+  match
+    C.Simdriver.request d ~client:"a1" ~wanted:4
+      ~requirement:"monitor_network_delay < 5\n"
+  with
+  | Ok servers ->
+    Alcotest.(check (list string)) "delay filter" [ "a1"; "a2" ]
+      (List.sort compare servers)
+  | Error e -> Alcotest.failf "request failed: %a" C.Client.pp_error e
+
+let test_sim_tcp_probe_transport () =
+  let c = H.Testbed.icpp2005 () in
+  let config =
+    { C.Simdriver.default_config with
+      C.Simdriver.probe_transport = C.Probe.Tcp }
+  in
+  let d =
+    C.Simdriver.deploy ~config c ~monitor:"dalmatian" ~wizard_host:"dalmatian"
+      ~servers:H.Testbed.machine_names
+  in
+  C.Simdriver.settle ~duration:8.0 d;
+  Alcotest.(check int) "reports flow over the stream transport" 11
+    (C.Status_db.sys_count (C.Simdriver.db_wizard d))
+
+let test_sim_traffic_stats () =
+  let _, d = deploy () in
+  C.Simdriver.settle ~duration:8.0 d;
+  let probe_msgs, probe_bytes = C.Simdriver.traffic_stats d "probe" in
+  Alcotest.(check bool) "probes reported" true (probe_msgs >= 11 * 3);
+  Alcotest.(check bool) "report size < 256 B" true
+    (probe_bytes / probe_msgs < 256);
+  let tx_msgs, _ = C.Simdriver.traffic_stats d "transmitter" in
+  Alcotest.(check bool) "transmitter pushed" true (tx_msgs > 0)
+
+let () =
+  Alcotest.run "smart_core"
+    [
+      ( "status_db",
+        [
+          Alcotest.test_case "update/replace" `Quick test_db_sys_update_and_replace;
+          Alcotest.test_case "sweep" `Quick test_db_sweep;
+          Alcotest.test_case "net entry lookup" `Quick test_db_net_entry_for;
+          Alcotest.test_case "security" `Quick test_db_sec;
+        ] );
+      ( "probe",
+        [
+          Alcotest.test_case "first tick" `Quick test_probe_first_tick;
+          Alcotest.test_case "rates from deltas" `Quick
+            test_probe_rates_from_deltas;
+          Alcotest.test_case "bad snapshot" `Quick test_probe_bad_snapshot;
+          Alcotest.test_case "missing iface" `Quick test_probe_missing_iface;
+        ] );
+      ( "sysmon",
+        [ Alcotest.test_case "ingest and expire" `Quick test_sysmon_ingest_and_expire ] );
+      ( "netmon/secmon",
+        [
+          Alcotest.test_case "sequential probing" `Quick
+            test_netmon_sequential_probing;
+          Alcotest.test_case "interval scaling" `Quick
+            test_netmon_interval_scaling;
+          Alcotest.test_case "secmon" `Quick test_secmon;
+        ] );
+      ( "transmitter/receiver",
+        [
+          Alcotest.test_case "round trip" `Quick
+            test_transmitter_receiver_roundtrip;
+          Alcotest.test_case "modes" `Quick test_transmitter_modes;
+          Alcotest.test_case "update hook" `Quick test_receiver_update_hook;
+          Alcotest.test_case "multi-transmitter ownership" `Quick
+            test_receiver_multi_transmitter_ownership;
+        ] );
+      ( "selection",
+        [
+          Alcotest.test_case "qualification filter" `Quick test_selection_filters;
+          Alcotest.test_case "wanted limit" `Quick test_selection_wanted_limit;
+          Alcotest.test_case "blacklist" `Quick test_selection_denied;
+          Alcotest.test_case "preferred order" `Quick
+            test_selection_preferred_order;
+          Alcotest.test_case "preferred must qualify" `Quick
+            test_selection_preferred_must_qualify;
+          Alcotest.test_case "monitor bindings" `Quick
+            test_selection_monitor_bindings;
+          Alcotest.test_case "security binding" `Quick
+            test_selection_security_binding;
+          Alcotest.test_case "order_by ranking" `Quick test_selection_order_by;
+          Alcotest.test_case "empty pool and 60-cap" `Quick
+            test_selection_empty_and_limits;
+          Alcotest.test_case "Fig 1.4 scenario" `Quick
+            test_selection_fig14_scenario;
+        ] );
+      ( "wizard",
+        [
+          Alcotest.test_case "centralized reply" `Quick
+            test_wizard_centralized_reply;
+          Alcotest.test_case "bad requirement" `Quick test_wizard_bad_requirement;
+          Alcotest.test_case "garbage dropped" `Quick test_wizard_garbage_dropped;
+          Alcotest.test_case "distributed pull flow" `Quick
+            test_wizard_distributed_pull_flow;
+          Alcotest.test_case "distributed deadline" `Quick
+            test_wizard_distributed_deadline;
+        ] );
+      ( "client",
+        [
+          Alcotest.test_case "sequence matching" `Quick test_client_seq_matching;
+          Alcotest.test_case "option semantics" `Quick
+            test_client_option_semantics;
+          Alcotest.test_case "request validation" `Quick
+            test_client_request_validation;
+          Alcotest.test_case "requirement lint" `Quick test_client_lint;
+        ] );
+      ( "simdriver",
+        [
+          Alcotest.test_case "end to end" `Quick test_sim_end_to_end;
+          Alcotest.test_case "failure expiry and revival" `Quick
+            test_sim_failure_expiry;
+          Alcotest.test_case "distributed mode" `Quick test_sim_distributed_mode;
+          Alcotest.test_case "workload visible" `Quick
+            test_sim_workload_visible_to_wizard;
+          Alcotest.test_case "TCP probe transport" `Quick
+            test_probe_tcp_transport;
+          Alcotest.test_case "multi-group deployment" `Quick
+            test_sim_multigroup;
+          Alcotest.test_case "TCP reports end-to-end" `Quick
+            test_sim_tcp_probe_transport;
+          Alcotest.test_case "traffic stats" `Quick test_sim_traffic_stats;
+        ] );
+    ]

@@ -1,0 +1,543 @@
+(* Tests for the requirement meta-language: lexer (Fig 4.1), parser and
+   evaluator (Fig 4.2), variable taxonomy, and the thesis's documented
+   semantics (logic flag, conjunction of logical statements, faults). *)
+
+module L = Smart_lang
+
+let tokens_of src =
+  match L.Lexer.tokenize src with
+  | Ok toks -> List.map (fun t -> t.L.Token.token) toks
+  | Error e -> Alcotest.failf "lex error: %a" L.Lexer.pp_error e
+
+let compile src =
+  match L.Requirement.compile src with
+  | Ok p -> p
+  | Error e ->
+    Alcotest.failf "compile error: %a" L.Requirement.pp_compile_error e
+
+let eval ?(lookup = fun _ -> None) src = L.Eval.run ~lookup (compile src)
+
+let qualified ?lookup src = (eval ?lookup src).L.Eval.qualified
+
+let num_lookup bindings name =
+  Option.map (fun f -> L.Value.Num f) (List.assoc_opt name bindings)
+
+(* ------------------------------------------------------------------ *)
+(* Lexer                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_lex_numbers () =
+  Alcotest.(check bool)
+    "integer" true
+    (tokens_of "42" = [ L.Token.Number 42.0; L.Token.Eof ]);
+  Alcotest.(check bool)
+    "decimal" true
+    (tokens_of "3.25" = [ L.Token.Number 3.25; L.Token.Eof ])
+
+let test_lex_netaddr_quad () =
+  Alcotest.(check bool)
+    "dotted quad" true
+    (tokens_of "137.132.90.182"
+    = [ L.Token.Netaddr "137.132.90.182"; L.Token.Eof ])
+
+let test_lex_netaddr_hostname () =
+  Alcotest.(check bool)
+    "dotted host" true
+    (tokens_of "sagit.ddns.comp.nus.edu.sg"
+    = [ L.Token.Netaddr "sagit.ddns.comp.nus.edu.sg"; L.Token.Eof ]);
+  Alcotest.(check bool)
+    "hyphen allowed when dotted" true
+    (tokens_of "titan-x.lab.net"
+    = [ L.Token.Netaddr "titan-x.lab.net"; L.Token.Eof ])
+
+let test_lex_hyphen_identifier_rejected () =
+  match L.Lexer.tokenize "titan-x" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "bare hyphenated identifier must not lex"
+
+let test_lex_identifier_vs_subtraction () =
+  Alcotest.(check bool)
+    "a - b is subtraction" true
+    (tokens_of "a - b"
+    = [ L.Token.Ident "a"; L.Token.Minus; L.Token.Ident "b"; L.Token.Eof ])
+
+let test_lex_comments_and_whitespace () =
+  Alcotest.(check bool)
+    "comment to EOL" true
+    (tokens_of "1 # the rest is ignored ><&\n2"
+    = [ L.Token.Number 1.0; L.Token.Newline; L.Token.Number 2.0; L.Token.Eof ])
+
+let test_lex_operators () =
+  Alcotest.(check bool)
+    "all operators" true
+    (tokens_of ">= <= == != && || > < = + - * / ^ ( )"
+    = L.Token.
+        [
+          Ge; Le; Eq; Ne; And; Or; Gt; Lt; Assign; Plus; Minus; Star; Slash;
+          Caret; Lparen; Rparen; Eof;
+        ])
+
+let test_lex_bad_ampersand () =
+  match L.Lexer.tokenize "a & b" with
+  | Error e -> Alcotest.(check int) "column of &" 3 e.L.Lexer.col
+  | Ok _ -> Alcotest.fail "single & must not lex"
+
+let test_lex_malformed_quad () =
+  match L.Lexer.tokenize "1.2.3" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "1.2.3 is neither number nor address"
+
+let test_lex_positions () =
+  match L.Lexer.tokenize "a\n  b" with
+  | Ok [ _a; _nl; b; _eof ] ->
+    Alcotest.(check int) "line" 2 b.L.Token.line;
+    Alcotest.(check int) "col" 3 b.L.Token.col
+  | Ok _ | Error _ -> Alcotest.fail "unexpected lex result"
+
+(* ------------------------------------------------------------------ *)
+(* Parser                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let eval_expr src =
+  match (eval src).L.Eval.statements with
+  | [ { L.Eval.value = Ok (L.Value.Num f); _ } ] -> f
+  | [ { L.Eval.value = Error m; _ } ] -> Alcotest.failf "eval fault: %s" m
+  | _ -> Alcotest.fail "expected one numeric statement"
+
+let check_eval name expected src =
+  Alcotest.(check (float 1e-9)) name expected (eval_expr src)
+
+let test_parse_precedence () =
+  check_eval "mul before add" 7.0 "1 + 2 * 3";
+  check_eval "parens" 9.0 "(1 + 2) * 3";
+  check_eval "left assoc sub" 0.0 "5 - 3 - 2";
+  check_eval "div" 2.5 "5 / 2";
+  check_eval "pow right assoc" 512.0 "2 ^ 3 ^ 2";
+  check_eval "pow before mul" 18.0 "2 * 3 ^ 2";
+  check_eval "unary minus" (-4.0) "-4";
+  check_eval "cmp after arith" 1.0 "1 + 1 == 2";
+  check_eval "and after cmp" 1.0 "1 < 2 && 2 < 3";
+  check_eval "or after and" 1.0 "0 && 0 || 1"
+
+let test_parse_builtin_call () =
+  check_eval "sqrt" 3.0 "sqrt(9)";
+  check_eval "log10" 2.0 "log10(100)";
+  check_eval "nested" 1.0 "cos(sin(0))";
+  check_eval "exp(0)" 1.0 "exp(0)";
+  check_eval "abs" 4.5 "abs(0 - 4.5)";
+  check_eval "int truncates" 3.0 "int(3.9)"
+
+let test_parse_error_reported () =
+  match L.Requirement.compile "1 + * 2\n" with
+  | Error e -> Alcotest.(check int) "error line" 1 e.L.Requirement.line
+  | Ok _ -> Alcotest.fail "must not parse"
+
+let test_parse_unbalanced_paren () =
+  match L.Requirement.compile "(1 + 2\n" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "must not parse"
+
+let test_parse_multiline () =
+  let p = compile "1 < 2\n\n# comment line\n3 < 4\n" in
+  Alcotest.(check int) "two statements" 2 (List.length p)
+
+let test_parse_statement_lines () =
+  let p = compile "1 < 2\nx = 3\nx > 1\n" in
+  Alcotest.(check (list int))
+    "line numbers" [ 1; 2; 3 ]
+    (List.map (fun (s : L.Ast.statement) -> s.L.Ast.line) p)
+
+(* ------------------------------------------------------------------ *)
+(* is_logical — the yacc logic flag                                     *)
+(* ------------------------------------------------------------------ *)
+
+let is_logical src =
+  match compile src with
+  | [ st ] -> L.Ast.is_logical st.L.Ast.expr
+  | _ -> Alcotest.fail "expected one statement"
+
+let test_logic_flag () =
+  (* the two examples of §3.6.1 *)
+  Alcotest.(check bool) "(a+b)<=b is logical" true (is_logical "(a + b) <= b");
+  Alcotest.(check bool) "a+(b<c) is not" false (is_logical "a + (b < c)");
+  Alcotest.(check bool) "parens transparent" true (is_logical "((1 < 2))");
+  Alcotest.(check bool) "assignment not logical" false (is_logical "x = 1 < 2");
+  Alcotest.(check bool) "builtin not logical" false (is_logical "sin(1)");
+  Alcotest.(check bool) "and is logical" true (is_logical "a && b")
+
+(* ------------------------------------------------------------------ *)
+(* Evaluator semantics                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let test_qualification_conjunction () =
+  Alcotest.(check bool) "all true" true (qualified "1 < 2\n3 < 4\n");
+  Alcotest.(check bool) "one false kills" false (qualified "1 < 2\n4 < 3\n");
+  Alcotest.(check bool) "non-logical ignored" true (qualified "5 + 5\n1 < 2\n")
+
+let test_empty_program_qualifies () =
+  Alcotest.(check bool) "empty qualifies" true (qualified "")
+
+let test_temp_variables () =
+  Alcotest.(check bool)
+    "temp var flows" true
+    (qualified "threshold = 10 * 2\n15 < threshold\n");
+  Alcotest.(check bool)
+    "reassignment" true
+    (qualified "x = 1\nx = x + 1\nx == 2\n")
+
+let test_undefined_in_logical_is_false () =
+  (* §3.6.1: uninitialized variable in a logical statement -> false *)
+  Alcotest.(check bool)
+    "undefined var falsifies" false
+    (qualified "no_such_thing < 10\n")
+
+let test_undefined_fault_recorded () =
+  let o = eval "no_such_thing < 10\n" in
+  Alcotest.(check int) "fault recorded" 1 (List.length o.L.Eval.faults)
+
+let test_division_by_zero () =
+  Alcotest.(check bool)
+    "div by zero falsifies logical" false
+    (qualified "1 / 0 < 5\n");
+  let o = eval "x = 1 / 0\n" in
+  Alcotest.(check bool)
+    "non-logical fault does not disqualify" true o.L.Eval.qualified;
+  Alcotest.(check int) "but is recorded" 1 (List.length o.L.Eval.faults)
+
+let test_assign_to_server_var_fault () =
+  let o = eval "host_cpu_free = 1\n" in
+  Alcotest.(check int) "read-only server vars" 1 (List.length o.L.Eval.faults)
+
+let test_server_binding () =
+  let lookup =
+    num_lookup [ ("host_cpu_free", 0.95); ("host_memory_free", 100.0) ]
+  in
+  Alcotest.(check bool)
+    "bound vars" true
+    (qualified ~lookup "host_cpu_free > 0.9 && host_memory_free > 5\n");
+  Alcotest.(check bool)
+    "fails threshold" false
+    (qualified ~lookup "host_cpu_free > 0.99\n")
+
+let test_no_short_circuit () =
+  (* the yacc actions evaluate both sides: a fault on the right of || is
+     a fault even when the left is true *)
+  Alcotest.(check bool)
+    "|| does not shield faults" false
+    (qualified "1 == 1 || no_such_thing > 0\n")
+
+let test_uparams_collected () =
+  let o =
+    eval
+      "user_denied_host1 = 137.132.90.182\n\
+       user_preferred_host1 = sagit.ddns.comp.nus.edu.sg\n"
+  in
+  let preferred, denied = L.Requirement.host_lists o in
+  Alcotest.(check (list string))
+    "preferred" [ "sagit.ddns.comp.nus.edu.sg" ] preferred;
+  Alcotest.(check (list string)) "denied" [ "137.132.90.182" ] denied
+
+let test_uparam_bare_hostname () =
+  (* Table 5.5 style: a bare identifier names a host in address context *)
+  let o = eval "user_denied_host1 = telesto\n" in
+  let _, denied = L.Requirement.host_lists o in
+  Alcotest.(check (list string)) "bare name becomes address" [ "telesto" ]
+    denied
+
+let test_uparam_assignment_inside_conjunction () =
+  (* Table 5.5 writes (user_denied_host1 = telesto) && ... ; the
+     assignment is truthy so it must not block qualification *)
+  let o = eval "(user_denied_host1 = telesto) && (1 < 2)\n" in
+  Alcotest.(check bool) "qualifies" true o.L.Eval.qualified;
+  let _, denied = L.Requirement.host_lists o in
+  Alcotest.(check (list string)) "denied collected" [ "telesto" ] denied
+
+let test_address_comparisons () =
+  Alcotest.(check bool) "equal addresses" true (qualified "1.2.3.4 == 1.2.3.4\n");
+  Alcotest.(check bool)
+    "unequal addresses" false
+    (qualified "1.2.3.4 == 1.2.3.5\n");
+  Alcotest.(check bool) "address != number" true (qualified "1.2.3.4 != 5\n");
+  Alcotest.(check bool)
+    "ordering addresses faults" false
+    (qualified "1.2.3.4 < 1.2.3.5\n")
+
+let test_thesis_sample_requirement () =
+  (* the full example of §3.6.2 *)
+  let src =
+    "host_system_load1 < 1\n\
+     host_memory_used <= 250*1024*1024\n\
+     host_cpu_free >= 0.9\n\
+     #ldjfaldjfalsjff #akldjfaldfj\n\
+     #some comments\n\
+     host_network_tbytesps < 1024*1024  # for network IO\n\
+     # comments\n\
+     user_denied_host1 = 137.132.90.182\n\
+     user_preferred_host1 = sagit.ddns.comp.nus.edu.sg\n\
+     #\n"
+  in
+  let lookup =
+    num_lookup
+      [
+        ("host_system_load1", 0.2);
+        ("host_memory_used", 120.0);
+        ("host_cpu_free", 0.95);
+        ("host_network_tbytesps", 2048.0);
+      ]
+  in
+  let o = L.Eval.run ~lookup (compile src) in
+  Alcotest.(check bool) "qualifies" true o.L.Eval.qualified;
+  let preferred, denied = L.Requirement.host_lists o in
+  Alcotest.(check int) "one preferred" 1 (List.length preferred);
+  Alcotest.(check int) "one denied" 1 (List.length denied)
+
+let test_meaningless_statement () =
+  (* "a meaningless statement like 100 > 0 will make any server
+     qualified" *)
+  Alcotest.(check bool) "100 > 0 qualifies anything" true (qualified "100 > 0\n")
+
+(* ------------------------------------------------------------------ *)
+(* Vars / builtins                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let test_vars_counts () =
+  Alcotest.(check int)
+    "22 server-side variables" 22
+    (List.length L.Vars.server_side);
+  Alcotest.(check int) "10 user-side variables" 10 (List.length L.Vars.user_side)
+
+let test_vars_classification () =
+  Alcotest.(check bool) "server side" true (L.Vars.is_server_side "host_cpu_free");
+  Alcotest.(check bool)
+    "monitor side counts as server side" true
+    (L.Vars.is_server_side "monitor_network_bw");
+  Alcotest.(check bool) "user side" true (L.Vars.is_user_side "user_denied_host3");
+  Alcotest.(check bool)
+    "temp is neither" false
+    (L.Vars.is_server_side "my_temp" || L.Vars.is_user_side "my_temp");
+  Alcotest.(check bool)
+    "preferred prefix" true
+    (L.Vars.is_preferred_param "user_preferred_host2");
+  Alcotest.(check bool)
+    "denied prefix" true
+    (L.Vars.is_denied_param "user_denied_host5")
+
+let test_builtins_present () =
+  List.iter
+    (fun name -> Alcotest.(check bool) name true (L.Builtins.is_builtin name))
+    [ "sin"; "cos"; "exp"; "log10"; "sqrt"; "abs"; "int" ];
+  Alcotest.(check bool) "unknown" false (L.Builtins.is_builtin "frobnicate")
+
+let test_builtin_domain_fault () =
+  Alcotest.(check bool)
+    "sqrt(-1) falsifies" false
+    (qualified "sqrt(0-1) < 99\n")
+
+let test_unbound_variables () =
+  let p = compile "host_cpu_free > 0.5\nx = 1\nx < typo_here\nsin(2) > 0\n" in
+  Alcotest.(check (list string))
+    "typos found" [ "typo_here" ]
+    (L.Requirement.unbound_variables p)
+
+(* ------------------------------------------------------------------ *)
+(* Edge cases                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let test_edge_numbers () =
+  check_eval "leading-zero decimal" 0.5 "0.5";
+  (match L.Lexer.tokenize ".5" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail ".5 must not lex (no leading digit)");
+  check_eval "big product" (250.0 *. 1024.0 *. 1024.0) "250*1024*1024"
+
+let test_edge_assignment_chain () =
+  (* yacc: asgn is an expr, so a = b = 3 assigns both *)
+  let o = eval "a = b = 3\na == 3 && b == 3\n" in
+  Alcotest.(check bool) "chained assignment" true o.L.Eval.qualified
+
+let test_edge_assign_to_builtin () =
+  let o = eval "sin = 4\n" in
+  Alcotest.(check int) "builtins are not assignable" 1
+    (List.length o.L.Eval.faults)
+
+let test_edge_uparam_numeric_value_ignored () =
+  (* assigning a number to a host parameter stores it, but host_lists
+     only extracts addresses *)
+  let o = eval "user_denied_host1 = 42\n" in
+  let preferred, denied = L.Requirement.host_lists o in
+  Alcotest.(check (list string)) "no bogus hosts" [] (preferred @ denied)
+
+let test_edge_deep_nesting () =
+  let deep = String.concat "" (List.init 40 (fun _ -> "(")) ^ "7"
+             ^ String.concat "" (List.init 40 (fun _ -> ")")) in
+  check_eval "40 levels of parens" 7.0 deep
+
+let test_edge_long_program () =
+  let lines = List.init 200 (fun i -> Printf.sprintf "v%d = %d" i i) in
+  let src = String.concat "\n" (lines @ [ "v199 == 199"; "" ]) in
+  Alcotest.(check bool) "200 statements" true (qualified src)
+
+let test_edge_crlf_and_trailing () =
+  (* \r is whitespace; a final line without newline still parses *)
+  Alcotest.(check bool) "crlf" true (qualified "1 < 2\r\n3 < 4");
+  Alcotest.(check int) "statement count" 2
+    (List.length (compile "1 < 2\r\n3 < 4"))
+
+let test_edge_comparison_chain () =
+  (* left-assoc: (1 < 2) < 3  ->  1 < 3  -> true *)
+  check_eval "chained comparison is left-assoc" 1.0 "1 < 2 < 3";
+  (* and the counterintuitive case that falls out of it *)
+  check_eval "(1 > 2) > 1 is false" 0.0 "1 > 2 > 1"
+
+let test_edge_netaddr_in_arith_faults () =
+  Alcotest.(check bool) "address + number faults" false
+    (qualified "1.2.3.4 + 1 < 99\n")
+
+(* ------------------------------------------------------------------ *)
+(* Property tests                                                       *)
+(* ------------------------------------------------------------------ *)
+
+(* generator for random well-formed numeric expressions *)
+let gen_expr =
+  QCheck.Gen.(
+    sized
+    @@ fix (fun self n ->
+           if n <= 0 then
+             map (fun f -> L.Ast.Number (float_of_int f)) (int_range 0 100)
+           else
+             frequency
+               [
+                 ( 2,
+                   map
+                     (fun f -> L.Ast.Number (float_of_int f))
+                     (int_range 0 100) );
+                 ( 3,
+                   map3
+                     (fun op a b -> L.Ast.Arith (op, a, b))
+                     (oneofl [ L.Ast.Add; L.Ast.Sub; L.Ast.Mul ])
+                     (self (n / 2)) (self (n / 2)) );
+                 ( 1,
+                   map2
+                     (fun a b -> L.Ast.Cmp (L.Ast.Le, a, b))
+                     (self (n / 2)) (self (n / 2)) );
+                 (1, map (fun a -> L.Ast.Paren a) (self (n - 1)));
+                 (1, map (fun a -> L.Ast.Neg a) (self (n - 1)));
+               ]))
+
+let arbitrary_expr = QCheck.make ~print:(Fmt.str "%a" L.Ast.pp_expr) gen_expr
+
+let eval_value expr =
+  match (L.Eval.run [ { L.Ast.line = 1; expr } ]).L.Eval.statements with
+  | [ { L.Eval.value; _ } ] -> value
+  | _ -> Error "no statement"
+
+let prop_pp_parse_roundtrip =
+  QCheck.Test.make ~name:"pretty-print then parse preserves evaluation"
+    ~count:300 arbitrary_expr (fun expr ->
+      let printed = Fmt.str "%a" L.Ast.pp_expr expr in
+      match L.Requirement.compile (printed ^ "\n") with
+      | Error _ -> false
+      | Ok [ st ] -> eval_value st.L.Ast.expr = eval_value expr
+      | Ok _ -> false)
+
+let prop_logic_flag_stable_under_parens =
+  QCheck.Test.make ~name:"wrapping in parens never changes is_logical"
+    ~count:300 arbitrary_expr (fun expr ->
+      L.Ast.is_logical (L.Ast.Paren expr) = L.Ast.is_logical expr)
+
+let prop_lexer_never_crashes =
+  QCheck.Test.make ~name:"lexer totality on printable strings" ~count:500
+    QCheck.(string_gen Gen.printable)
+    (fun s -> match L.Lexer.tokenize s with Ok _ | Error _ -> true)
+
+let () =
+  Alcotest.run "smart_lang"
+    [
+      ( "lexer",
+        [
+          Alcotest.test_case "numbers" `Quick test_lex_numbers;
+          Alcotest.test_case "dotted quad" `Quick test_lex_netaddr_quad;
+          Alcotest.test_case "dotted hostname" `Quick test_lex_netaddr_hostname;
+          Alcotest.test_case "hyphen identifier rejected" `Quick
+            test_lex_hyphen_identifier_rejected;
+          Alcotest.test_case "subtraction" `Quick
+            test_lex_identifier_vs_subtraction;
+          Alcotest.test_case "comments/whitespace" `Quick
+            test_lex_comments_and_whitespace;
+          Alcotest.test_case "operators" `Quick test_lex_operators;
+          Alcotest.test_case "bad ampersand" `Quick test_lex_bad_ampersand;
+          Alcotest.test_case "malformed quad" `Quick test_lex_malformed_quad;
+          Alcotest.test_case "positions" `Quick test_lex_positions;
+        ] );
+      ( "parser",
+        [
+          Alcotest.test_case "precedence" `Quick test_parse_precedence;
+          Alcotest.test_case "builtin calls" `Quick test_parse_builtin_call;
+          Alcotest.test_case "error position" `Quick test_parse_error_reported;
+          Alcotest.test_case "unbalanced paren" `Quick
+            test_parse_unbalanced_paren;
+          Alcotest.test_case "multi-line programs" `Quick test_parse_multiline;
+          Alcotest.test_case "statement lines" `Quick test_parse_statement_lines;
+        ] );
+      ("logic flag", [ Alcotest.test_case "yacc semantics" `Quick test_logic_flag ]);
+      ( "evaluator",
+        [
+          Alcotest.test_case "conjunction" `Quick test_qualification_conjunction;
+          Alcotest.test_case "empty program" `Quick test_empty_program_qualifies;
+          Alcotest.test_case "temp variables" `Quick test_temp_variables;
+          Alcotest.test_case "undefined in logical" `Quick
+            test_undefined_in_logical_is_false;
+          Alcotest.test_case "fault recorded" `Quick
+            test_undefined_fault_recorded;
+          Alcotest.test_case "division by zero" `Quick test_division_by_zero;
+          Alcotest.test_case "server vars read-only" `Quick
+            test_assign_to_server_var_fault;
+          Alcotest.test_case "server bindings" `Quick test_server_binding;
+          Alcotest.test_case "no short circuit" `Quick test_no_short_circuit;
+          Alcotest.test_case "user params collected" `Quick
+            test_uparams_collected;
+          Alcotest.test_case "bare hostname param" `Quick
+            test_uparam_bare_hostname;
+          Alcotest.test_case "assignment in conjunction" `Quick
+            test_uparam_assignment_inside_conjunction;
+          Alcotest.test_case "address comparisons" `Quick
+            test_address_comparisons;
+          Alcotest.test_case "thesis sample requirement" `Quick
+            test_thesis_sample_requirement;
+          Alcotest.test_case "meaningless statement" `Quick
+            test_meaningless_statement;
+        ] );
+      ( "vars/builtins",
+        [
+          Alcotest.test_case "counts" `Quick test_vars_counts;
+          Alcotest.test_case "classification" `Quick test_vars_classification;
+          Alcotest.test_case "builtins" `Quick test_builtins_present;
+          Alcotest.test_case "domain fault" `Quick test_builtin_domain_fault;
+          Alcotest.test_case "unbound variables" `Quick test_unbound_variables;
+        ] );
+      ( "edge cases",
+        [
+          Alcotest.test_case "numbers" `Quick test_edge_numbers;
+          Alcotest.test_case "assignment chain" `Quick
+            test_edge_assignment_chain;
+          Alcotest.test_case "assign to builtin" `Quick
+            test_edge_assign_to_builtin;
+          Alcotest.test_case "numeric host param ignored" `Quick
+            test_edge_uparam_numeric_value_ignored;
+          Alcotest.test_case "deep nesting" `Quick test_edge_deep_nesting;
+          Alcotest.test_case "long program" `Quick test_edge_long_program;
+          Alcotest.test_case "CRLF / trailing line" `Quick
+            test_edge_crlf_and_trailing;
+          Alcotest.test_case "comparison chain" `Quick
+            test_edge_comparison_chain;
+          Alcotest.test_case "address arithmetic faults" `Quick
+            test_edge_netaddr_in_arith_faults;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [
+            prop_pp_parse_roundtrip;
+            prop_logic_flag_stable_under_parens;
+            prop_lexer_never_crashes;
+          ] );
+    ]

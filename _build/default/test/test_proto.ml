@@ -1,0 +1,497 @@
+(* Tests for the wire protocols: ASCII probe reports, binary status
+   records (both byte orders, incl. the §3.5.1 endian-mismatch hazard),
+   [type,size,data] framing with incremental decoding, and the wizard
+   request/reply messages. *)
+
+module P = Smart_proto
+
+let sample_report =
+  {
+    P.Report.host = "helene";
+    ip = "192.168.2.3";
+    load1 = 0.42;
+    load5 = 0.21;
+    load15 = 0.08;
+    cpu_user = 0.31;
+    cpu_nice = 0.0;
+    cpu_system = 0.04;
+    cpu_free = 0.65;
+    bogomips = 3394.76;
+    mem_total = 256.0;
+    mem_used = 120.5;
+    mem_free = 135.5;
+    mem_buffers = 18.0;
+    mem_cached = 80.25;
+    disk_rreq = 12.0;
+    disk_rblocks = 96.0;
+    disk_wreq = 5.5;
+    disk_wblocks = 44.0;
+    net_rbytes = 20480.0;
+    net_rpackets = 22.0;
+    net_tbytes = 10240.0;
+    net_tpackets = 11.0;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Report                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_report_roundtrip () =
+  let s = P.Report.to_string sample_report in
+  match P.Report.of_string s with
+  | Ok r ->
+    Alcotest.(check string) "host" "helene" r.P.Report.host;
+    Alcotest.(check string) "ip" "192.168.2.3" r.P.Report.ip;
+    Alcotest.(check (float 1e-6)) "load1" 0.42 r.P.Report.load1;
+    Alcotest.(check (float 1e-6)) "bogomips" 3394.76 r.P.Report.bogomips;
+    Alcotest.(check (float 1e-6)) "cached" 80.25 r.P.Report.mem_cached;
+    Alcotest.(check (float 1e-6)) "tpackets" 11.0 r.P.Report.net_tpackets
+  | Error e -> Alcotest.failf "parse failed: %s" e
+
+let test_report_size_budget () =
+  (* §3.2.1: the report stays a small datagram (thesis: < 200 bytes) *)
+  let s = P.Report.to_string sample_report in
+  Alcotest.(check bool) "under 256 bytes" true (String.length s <= 256)
+
+let test_report_bad_inputs () =
+  let is_err s =
+    match P.Report.of_string s with Error _ -> true | Ok _ -> false
+  in
+  Alcotest.(check bool) "empty" true (is_err "");
+  Alcotest.(check bool) "wrong tag" true (is_err "XX|a|b|1");
+  Alcotest.(check bool) "short" true (is_err "SR1|a|b|1|2");
+  Alcotest.(check bool) "non-numeric" true
+    (is_err
+       (String.concat "|"
+          ("SR1" :: "h" :: "i" :: List.init 21 (fun _ -> "oops"))))
+
+let test_report_variable_binding () =
+  let v name = P.Report.variable sample_report name in
+  Alcotest.(check (option (float 1e-6))) "load1" (Some 0.42)
+    (v "host_system_load1");
+  Alcotest.(check (option (float 1e-6))) "cpu_free" (Some 0.65)
+    (v "host_cpu_free");
+  Alcotest.(check (option (float 1e-6))) "allreq = r+w" (Some 17.5)
+    (v "host_disk_allreq");
+  Alcotest.(check (option (float 1e-6))) "tbytesps" (Some 10240.0)
+    (v "host_network_tbytesps");
+  Alcotest.(check (option (float 1e-6))) "unknown" None (v "host_cpu_mhz");
+  (* every server-side variable except the monitor ones binds *)
+  List.iter
+    (fun name ->
+      Alcotest.(check bool) (name ^ " binds") true (v name <> None))
+    Smart_lang.Vars.server_side
+
+(* ------------------------------------------------------------------ *)
+(* Binary records                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let sys_record = { P.Records.report = sample_report; updated_at = 123.456 }
+
+let test_sys_record_roundtrip order =
+  let s = P.Records.encode_sys order sys_record in
+  Alcotest.(check int) "declared size" P.Records.sys_record_size
+    (String.length s);
+  match P.Records.decode_sys order s ~pos:0 with
+  | Ok r ->
+    Alcotest.(check string) "host" "helene"
+      r.P.Records.report.P.Report.host;
+    Alcotest.(check (float 1e-9)) "timestamp" 123.456 r.P.Records.updated_at;
+    Alcotest.(check (float 1e-9)) "bogomips" 3394.76
+      r.P.Records.report.P.Report.bogomips
+  | Error e -> Alcotest.failf "decode failed: %s" e
+
+let test_sys_record_le () = test_sys_record_roundtrip P.Endian.Little
+let test_sys_record_be () = test_sys_record_roundtrip P.Endian.Big
+
+let test_sys_record_endian_mismatch () =
+  (* §3.5.1: decoding with the wrong byte order yields garbage *)
+  let s = P.Records.encode_sys P.Endian.Little sys_record in
+  match P.Records.decode_sys P.Endian.Big s ~pos:0 with
+  | Ok r ->
+    Alcotest.(check bool) "values scrambled" true
+      (Float.abs (r.P.Records.report.P.Report.bogomips -. 3394.76) > 1.0
+      || Float.is_nan r.P.Records.report.P.Report.bogomips)
+  | Error _ -> ()  (* also acceptable: mismatch detected *)
+
+let test_sys_record_truncated () =
+  let s = P.Records.encode_sys P.Endian.Little sys_record in
+  match
+    P.Records.decode_sys P.Endian.Little (String.sub s 0 10) ~pos:0
+  with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "truncated record must not decode"
+
+let test_sys_record_concatenation () =
+  let s =
+    P.Records.encode_sys P.Endian.Little sys_record
+    ^ P.Records.encode_sys P.Endian.Little
+        {
+          sys_record with
+          P.Records.report = { sample_report with P.Report.host = "phoebe" };
+        }
+  in
+  match
+    P.Records.decode_sys P.Endian.Little s ~pos:P.Records.sys_record_size
+  with
+  | Ok r ->
+    Alcotest.(check string) "second record" "phoebe"
+      r.P.Records.report.P.Report.host
+  | Error e -> Alcotest.failf "decode failed: %s" e
+
+let net_record =
+  {
+    P.Records.monitor = "netmon-1";
+    entries =
+      [
+        { P.Records.peer = "netmon-2"; delay = 0.004; bandwidth = 5.5e6;
+          measured_at = 10.0 };
+        { P.Records.peer = "netmon-3"; delay = 0.011; bandwidth = 2.1e6;
+          measured_at = 11.0 };
+      ];
+  }
+
+let test_net_record_roundtrip () =
+  List.iter
+    (fun order ->
+      let s = P.Records.encode_net order net_record in
+      match P.Records.decode_net order s with
+      | Ok r ->
+        Alcotest.(check string) "monitor" "netmon-1" r.P.Records.monitor;
+        Alcotest.(check int) "entries" 2 (List.length r.P.Records.entries);
+        let e2 = List.nth r.P.Records.entries 1 in
+        Alcotest.(check string) "peer" "netmon-3" e2.P.Records.peer;
+        Alcotest.(check (float 1e-9)) "delay" 0.011 e2.P.Records.delay
+      | Error e -> Alcotest.failf "decode failed: %s" e)
+    [ P.Endian.Little; P.Endian.Big ]
+
+let test_net_record_empty () =
+  let s =
+    P.Records.encode_net P.Endian.Little
+      { P.Records.monitor = "m"; entries = [] }
+  in
+  match P.Records.decode_net P.Endian.Little s with
+  | Ok r -> Alcotest.(check int) "no entries" 0 (List.length r.P.Records.entries)
+  | Error e -> Alcotest.failf "decode failed: %s" e
+
+let test_sec_record_roundtrip () =
+  let record =
+    {
+      P.Records.entries =
+        [
+          { P.Records.host = "alpha"; level = 5 };
+          { P.Records.host = "beta"; level = 0 };
+        ];
+    }
+  in
+  let s = P.Records.encode_sec P.Endian.Little record in
+  match P.Records.decode_sec P.Endian.Little s with
+  | Ok r ->
+    Alcotest.(check int) "entries" 2 (List.length r.P.Records.entries);
+    Alcotest.(check int) "level" 5
+      (List.hd r.P.Records.entries).P.Records.level
+  | Error e -> Alcotest.failf "decode failed: %s" e
+
+let test_security_log_parsing () =
+  let log = "# comment\nalpha 5\n\nbeta 3   # trailing comment\n" in
+  match P.Records.parse_security_log log with
+  | Ok r ->
+    Alcotest.(check int) "two entries" 2 (List.length r.P.Records.entries);
+    Alcotest.(check int) "beta level" 3
+      (List.nth r.P.Records.entries 1).P.Records.level
+  | Error e -> Alcotest.failf "parse failed: %s" e
+
+let test_security_log_bad () =
+  match P.Records.parse_security_log "alpha notanumber\n" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "bad level must not parse"
+
+(* ------------------------------------------------------------------ *)
+(* Frames                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let frames_eq expected actual =
+  List.length expected = List.length actual
+  && List.for_all2
+       (fun (a : P.Frame.frame) (b : P.Frame.frame) ->
+         a.P.Frame.payload_type = b.P.Frame.payload_type
+         && String.equal a.P.Frame.data b.P.Frame.data)
+       expected actual
+
+let test_frame_roundtrip () =
+  let fs =
+    [
+      { P.Frame.payload_type = P.Frame.Sys_db; data = "sysdata" };
+      { P.Frame.payload_type = P.Frame.Net_db; data = "" };
+      { P.Frame.payload_type = P.Frame.Sec_db; data = String.make 1000 'x' };
+    ]
+  in
+  let wire = String.concat "" (List.map (P.Frame.encode P.Endian.Little) fs) in
+  let dec = P.Frame.decoder P.Endian.Little in
+  P.Frame.feed dec wire;
+  match P.Frame.frames dec with
+  | Ok got -> Alcotest.(check bool) "all frames" true (frames_eq fs got)
+  | Error e -> Alcotest.failf "decode failed: %s" e
+
+let test_frame_incremental () =
+  (* feed the stream one byte at a time: TCP segmentation must not
+     matter *)
+  let fs =
+    [
+      { P.Frame.payload_type = P.Frame.Sys_db; data = "hello" };
+      { P.Frame.payload_type = P.Frame.Sec_db; data = "world!" };
+    ]
+  in
+  let wire = String.concat "" (List.map (P.Frame.encode P.Endian.Little) fs) in
+  let dec = P.Frame.decoder P.Endian.Little in
+  let got = ref [] in
+  String.iter
+    (fun c ->
+      P.Frame.feed dec (String.make 1 c);
+      match P.Frame.frames dec with
+      | Ok fs -> got := !got @ fs
+      | Error e -> Alcotest.failf "decode failed: %s" e)
+    wire;
+  Alcotest.(check bool) "reassembled" true (frames_eq fs !got)
+
+let test_frame_unknown_type_poisons () =
+  let dec = P.Frame.decoder P.Endian.Little in
+  let b = Bytes.make 8 '\000' in
+  Bytes.set_int32_le b 0 99l;
+  P.Frame.feed dec (Bytes.to_string b);
+  (match P.Frame.frames dec with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "unknown type must poison the stream");
+  (* and it stays poisoned *)
+  P.Frame.feed dec "more";
+  match P.Frame.frames dec with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "stream must stay poisoned"
+
+let test_frame_oversized_rejected () =
+  let dec = P.Frame.decoder P.Endian.Little in
+  let b = Bytes.make 8 '\000' in
+  Bytes.set_int32_le b 0 1l;
+  Bytes.set_int32_le b 4 (Int32.of_int (P.Frame.max_frame_size + 1));
+  P.Frame.feed dec (Bytes.to_string b);
+  match P.Frame.frames dec with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "oversized frame must be rejected"
+
+let prop_frame_split_anywhere =
+  QCheck.Test.make ~name:"frame decoding independent of chunking" ~count:200
+    QCheck.(pair (small_list (string_gen_of_size Gen.(int_range 0 50) Gen.printable)) (int_range 1 64))
+    (fun (payloads, chunk) ->
+      let fs =
+        List.map
+          (fun data -> { P.Frame.payload_type = P.Frame.Sys_db; data })
+          payloads
+      in
+      let wire =
+        String.concat "" (List.map (P.Frame.encode P.Endian.Big) fs)
+      in
+      let dec = P.Frame.decoder P.Endian.Big in
+      let got = ref [] in
+      let n = String.length wire in
+      let rec feed off =
+        if off < n then begin
+          let len = min chunk (n - off) in
+          P.Frame.feed dec (String.sub wire off len);
+          (match P.Frame.frames dec with
+          | Ok fs -> got := !got @ fs
+          | Error _ -> ());
+          feed (off + len)
+        end
+      in
+      feed 0;
+      frames_eq fs !got)
+
+(* ------------------------------------------------------------------ *)
+(* Wizard messages                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let test_request_roundtrip () =
+  let r =
+    {
+      P.Wizard_msg.seq = 0x12345678;
+      server_num = 6;
+      option = P.Wizard_msg.Strict;
+      requirement = "host_cpu_free > 0.9\n";
+    }
+  in
+  match P.Wizard_msg.decode_request (P.Wizard_msg.encode_request r) with
+  | Ok d ->
+    Alcotest.(check int) "seq" 0x12345678 d.P.Wizard_msg.seq;
+    Alcotest.(check int) "server_num" 6 d.P.Wizard_msg.server_num;
+    Alcotest.(check bool) "option" true
+      (d.P.Wizard_msg.option = P.Wizard_msg.Strict);
+    Alcotest.(check string) "requirement" "host_cpu_free > 0.9\n"
+      d.P.Wizard_msg.requirement
+  | Error e -> Alcotest.failf "decode failed: %s" e
+
+let test_request_empty_requirement () =
+  let r =
+    {
+      P.Wizard_msg.seq = 1;
+      server_num = 1;
+      option = P.Wizard_msg.Accept_partial;
+      requirement = "";
+    }
+  in
+  match P.Wizard_msg.decode_request (P.Wizard_msg.encode_request r) with
+  | Ok d -> Alcotest.(check string) "empty" "" d.P.Wizard_msg.requirement
+  | Error e -> Alcotest.failf "decode failed: %s" e
+
+let test_request_truncated () =
+  match P.Wizard_msg.decode_request "abc" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "truncated request must not decode"
+
+let test_reply_roundtrip () =
+  let r =
+    { P.Wizard_msg.seq = 77; servers = [ "dalmatian"; "dione"; "192.168.1.2" ] }
+  in
+  match P.Wizard_msg.decode_reply (P.Wizard_msg.encode_reply r) with
+  | Ok d ->
+    Alcotest.(check int) "seq" 77 d.P.Wizard_msg.seq;
+    Alcotest.(check (list string)) "servers"
+      [ "dalmatian"; "dione"; "192.168.1.2" ]
+      d.P.Wizard_msg.servers
+  | Error e -> Alcotest.failf "decode failed: %s" e
+
+let test_reply_empty () =
+  let r = { P.Wizard_msg.seq = 1; servers = [] } in
+  match P.Wizard_msg.decode_reply (P.Wizard_msg.encode_reply r) with
+  | Ok d -> Alcotest.(check (list string)) "no servers" [] d.P.Wizard_msg.servers
+  | Error e -> Alcotest.failf "decode failed: %s" e
+
+let test_reply_limit () =
+  let servers = List.init (P.Ports.max_reply_servers + 1) string_of_int in
+  Alcotest.(check bool) "over 60 rejected" true
+    (try
+       ignore (P.Wizard_msg.encode_reply { P.Wizard_msg.seq = 1; servers });
+       false
+     with Invalid_argument _ -> true)
+
+let test_reply_truncated_list () =
+  let r = { P.Wizard_msg.seq = 5; servers = [ "abc"; "def" ] } in
+  let wire = P.Wizard_msg.encode_reply r in
+  match P.Wizard_msg.decode_reply (String.sub wire 0 (String.length wire - 2)) with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "truncated list must not decode"
+
+let prop_request_roundtrip =
+  QCheck.Test.make ~name:"request encode/decode round trip" ~count:300
+    QCheck.(
+      quad (int_bound 0x3FFFFFFF) (int_bound 60) bool
+        (string_gen_of_size Gen.(int_range 0 200) Gen.printable))
+    (fun (seq, server_num, strict, requirement) ->
+      let r =
+        {
+          P.Wizard_msg.seq;
+          server_num;
+          option =
+            (if strict then P.Wizard_msg.Strict else P.Wizard_msg.Accept_partial);
+          requirement;
+        }
+      in
+      match P.Wizard_msg.decode_request (P.Wizard_msg.encode_request r) with
+      | Ok d -> d = r
+      | Error _ -> false)
+
+let prop_report_roundtrip =
+  QCheck.Test.make ~name:"report survives format/parse for random values"
+    ~count:300
+    QCheck.(array_of_size (Gen.return 21) (float_range 0.0 1e6))
+    (fun values ->
+      let v i = values.(i) in
+      let r =
+        {
+          P.Report.host = "h";
+          ip = "1.2.3.4";
+          load1 = v 0; load5 = v 1; load15 = v 2;
+          cpu_user = v 3; cpu_nice = v 4; cpu_system = v 5; cpu_free = v 6;
+          bogomips = v 7;
+          mem_total = v 8; mem_used = v 9; mem_free = v 10;
+          mem_buffers = v 11; mem_cached = v 12;
+          disk_rreq = v 13; disk_rblocks = v 14; disk_wreq = v 15;
+          disk_wblocks = v 16;
+          net_rbytes = v 17; net_rpackets = v 18; net_tbytes = v 19;
+          net_tpackets = v 20;
+        }
+      in
+      match P.Report.of_string (P.Report.to_string r) with
+      | Ok d ->
+        (* %.6g costs precision; require 6 significant digits *)
+        Float.abs (d.P.Report.load1 -. r.P.Report.load1)
+        <= Float.abs r.P.Report.load1 *. 1e-5 +. 1e-5
+        && Float.abs (d.P.Report.net_tpackets -. r.P.Report.net_tpackets)
+           <= Float.abs r.P.Report.net_tpackets *. 1e-5 +. 1e-5
+      | Error _ -> false)
+
+let prop_sys_record_roundtrip_both_orders =
+  QCheck.Test.make ~name:"sys record round trips in both byte orders"
+    ~count:200
+    QCheck.(pair bool (float_range 0.0 1e9))
+    (fun (big, ts) ->
+      let order = if big then P.Endian.Big else P.Endian.Little in
+      let r = { P.Records.report = sample_report; updated_at = ts } in
+      match P.Records.decode_sys order (P.Records.encode_sys order r) ~pos:0 with
+      | Ok d -> Float.abs (d.P.Records.updated_at -. ts) < 1e-9
+      | Error _ -> false)
+
+let () =
+  Alcotest.run "smart_proto"
+    [
+      ( "report",
+        [
+          Alcotest.test_case "round trip" `Quick test_report_roundtrip;
+          Alcotest.test_case "size budget" `Quick test_report_size_budget;
+          Alcotest.test_case "bad inputs" `Quick test_report_bad_inputs;
+          Alcotest.test_case "variable binding" `Quick
+            test_report_variable_binding;
+        ] );
+      ( "records",
+        [
+          Alcotest.test_case "sys LE round trip" `Quick test_sys_record_le;
+          Alcotest.test_case "sys BE round trip" `Quick test_sys_record_be;
+          Alcotest.test_case "endian mismatch garbles" `Quick
+            test_sys_record_endian_mismatch;
+          Alcotest.test_case "truncated" `Quick test_sys_record_truncated;
+          Alcotest.test_case "concatenated records" `Quick
+            test_sys_record_concatenation;
+          Alcotest.test_case "net round trip" `Quick test_net_record_roundtrip;
+          Alcotest.test_case "net empty" `Quick test_net_record_empty;
+          Alcotest.test_case "sec round trip" `Quick test_sec_record_roundtrip;
+          Alcotest.test_case "security log" `Quick test_security_log_parsing;
+          Alcotest.test_case "security log bad" `Quick test_security_log_bad;
+        ] );
+      ( "frames",
+        [
+          Alcotest.test_case "round trip" `Quick test_frame_roundtrip;
+          Alcotest.test_case "incremental" `Quick test_frame_incremental;
+          Alcotest.test_case "unknown type poisons" `Quick
+            test_frame_unknown_type_poisons;
+          Alcotest.test_case "oversized rejected" `Quick
+            test_frame_oversized_rejected;
+        ] );
+      ( "wizard messages",
+        [
+          Alcotest.test_case "request round trip" `Quick test_request_roundtrip;
+          Alcotest.test_case "empty requirement" `Quick
+            test_request_empty_requirement;
+          Alcotest.test_case "request truncated" `Quick test_request_truncated;
+          Alcotest.test_case "reply round trip" `Quick test_reply_roundtrip;
+          Alcotest.test_case "reply empty" `Quick test_reply_empty;
+          Alcotest.test_case "reply limit" `Quick test_reply_limit;
+          Alcotest.test_case "reply truncated" `Quick test_reply_truncated_list;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [
+            prop_frame_split_anywhere;
+            prop_request_roundtrip;
+            prop_report_roundtrip;
+            prop_sys_record_roundtrip_both_orders;
+          ] );
+    ]

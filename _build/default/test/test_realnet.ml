@@ -1,0 +1,362 @@
+(* Integration tests of the real-socket driver on 127.0.0.1: the full
+   probe -> monitor -> transmitter -> receiver -> wizard -> client ->
+   TCP-service chain with real UDP/TCP sockets and the host's real
+   /proc, plus unit tests of the address book and proc reader. *)
+
+module R = Smart_realnet
+
+let test_addr_book () =
+  let book = R.Addr_book.create () in
+  let shift_a = R.Addr_book.register_loopback book ~host:"a" in
+  let shift_b = R.Addr_book.register_loopback book ~host:"b" in
+  Alcotest.(check bool) "distinct shifts" true (shift_a <> shift_b);
+  (match R.Addr_book.resolve book ~host:"a" ~port:1000 with
+  | Some (Unix.ADDR_INET (addr, port)) ->
+    Alcotest.(check string) "loopback" "127.0.0.1"
+      (Unix.string_of_inet_addr addr);
+    Alcotest.(check int) "shifted port" (1000 + shift_a) port
+  | _ -> Alcotest.fail "resolve failed");
+  Alcotest.(check int) "unknown host shift 0" 0
+    (R.Addr_book.port_shift book ~host:"zzz");
+  (* system resolver fallback *)
+  match R.Addr_book.resolve book ~host:"127.0.0.1" ~port:80 with
+  | Some (Unix.ADDR_INET (_, 80)) -> ()
+  | _ -> Alcotest.fail "fallback resolve failed"
+
+let test_proc_reader () =
+  if Sys.file_exists "/proc/loadavg" then begin
+    let t = R.Proc_reader.default in
+    (match R.Proc_reader.snapshot t with
+    | Ok s ->
+      Alcotest.(check bool) "loadavg text" true
+        (String.length s.Smart_host.Procfs.loadavg_text > 0)
+    | Error e -> Alcotest.failf "snapshot: %s" e);
+    match R.Proc_reader.default_iface t with
+    | Some iface -> Alcotest.(check bool) "iface named" true (iface <> "")
+    | None -> Alcotest.fail "no interface found"
+  end
+
+let test_proc_reader_missing_files () =
+  let t =
+    {
+      R.Proc_reader.loadavg_path = "/nonexistent/loadavg";
+      stat_path = "/nonexistent/stat";
+      meminfo_path = "/nonexistent/meminfo";
+      netdev_path = "/nonexistent/netdev";
+      cpuinfo_path = "/nonexistent/cpuinfo";
+    }
+  in
+  Alcotest.(check bool) "missing files error" true
+    (Result.is_error (R.Proc_reader.snapshot t));
+  Alcotest.(check bool) "no bogomips" true (R.Proc_reader.bogomips t = None)
+
+let test_udp_io_roundtrip () =
+  let server = R.Udp_io.bind_port 0 in
+  let got = ref None in
+  R.Udp_io.start server (fun ~from:_ data -> if data <> "" then got := Some data);
+  let client = R.Udp_io.bind_port 0 in
+  let to_ =
+    Unix.ADDR_INET (Unix.inet_addr_loopback, R.Udp_io.port server)
+  in
+  Alcotest.(check bool) "send ok" true (R.Udp_io.send client ~to_ "ping!");
+  let deadline = Unix.gettimeofday () +. 2.0 in
+  while !got = None && Unix.gettimeofday () < deadline do
+    Thread.delay 0.01
+  done;
+  Alcotest.(check (option string)) "delivered" (Some "ping!") !got;
+  R.Udp_io.stop client;
+  R.Udp_io.stop server
+
+let test_addr_book_reverse () =
+  let book = R.Addr_book.create () in
+  let shift = R.Addr_book.register_loopback book ~host:"rev" in
+  let sockaddr =
+    Unix.ADDR_INET (Unix.inet_addr_loopback, shift + 42)
+  in
+  Alcotest.(check (option string)) "reverse lookup" (Some "rev")
+    (R.Addr_book.host_of_sockaddr book sockaddr);
+  Alcotest.(check (option string)) "outside any shift" None
+    (R.Addr_book.host_of_sockaddr book
+       (Unix.ADDR_INET (Unix.inet_addr_loopback, 7)))
+
+let test_service_protocol () =
+  let book = R.Addr_book.create () in
+  ignore (R.Addr_book.register_loopback book ~host:"svc");
+  let service = R.Service.create book ~name:"svc" in
+  R.Service.start service;
+  Fun.protect
+    ~finally:(fun () -> R.Service.stop service)
+    (fun () ->
+      match R.Client_io.connect_service book ~host:"svc" with
+      | None -> Alcotest.fail "connect failed"
+      | Some conn ->
+        let fd = conn.R.Client_io.socket in
+        R.Service.write_line fd "WHO";
+        Alcotest.(check (option string)) "WHO" (Some "svc")
+          (R.Service.read_line_opt fd);
+        R.Service.write_line fd "nonsense";
+        Alcotest.(check (option string)) "unknown command"
+          (Some "ERR unknown command")
+          (R.Service.read_line_opt fd);
+        R.Service.write_line fd "GET -3";
+        Alcotest.(check (option string)) "bad size" (Some "ERR bad size")
+          (R.Service.read_line_opt fd);
+        R.Service.write_line fd "GET 5";
+        let buf = Bytes.create 5 in
+        Alcotest.(check bool) "blob delivered" true
+          (R.Client_io.read_exact fd buf 5);
+        R.Service.write_line fd "BYE";
+        Unix.close fd;
+        Alcotest.(check bool) "connection counted" true
+          (R.Service.connections service >= 1))
+
+let test_udp_io_recv_timeout () =
+  let s = R.Udp_io.bind_port 0 in
+  let t0 = Unix.gettimeofday () in
+  Alcotest.(check bool) "times out empty" true
+    (R.Udp_io.recv_timeout s ~timeout:0.1 = None);
+  Alcotest.(check bool) "waited about the timeout" true
+    (Unix.gettimeofday () -. t0 < 1.0);
+  R.Udp_io.stop s
+
+(* ------------------------------------------------------------------ *)
+(* Full loopback deployment                                             *)
+(* ------------------------------------------------------------------ *)
+
+type world = {
+  book : R.Addr_book.t;
+  wizard : R.Wizard_daemon.t;
+  monitor : R.Monitor_daemon.t;
+  probes : R.Probe_daemon.t list;
+  services : R.Service.t list;
+}
+
+let start_world ?(mode = Smart_core.Transmitter.Centralized)
+    ?(wizard_mode = Smart_core.Wizard.Centralized) ?(seclog = "") () =
+  let book = R.Addr_book.create () in
+  List.iter
+    (fun h -> ignore (R.Addr_book.register_loopback book ~host:h))
+    [ "mon"; "wiz"; "alpha"; "beta"; "gamma" ];
+  let wizard =
+    R.Wizard_daemon.create book
+      { R.Wizard_daemon.host = "wiz"; mode = wizard_mode }
+  in
+  R.Wizard_daemon.start wizard;
+  let monitor =
+    R.Monitor_daemon.create book
+      {
+        R.Monitor_daemon.host = "mon";
+        wizard_host = "wiz";
+        mode;
+        probe_interval = 0.2;
+        transmit_interval = 0.2;
+        netmon_targets = [ "alpha"; "beta" ];
+        security_log = seclog;
+      }
+  in
+  R.Monitor_daemon.start monitor;
+  let probes =
+    List.mapi
+      (fun i host ->
+        let p =
+          R.Probe_daemon.create book
+            {
+              R.Probe_daemon.host;
+              ip = Printf.sprintf "10.9.0.%d" (i + 1);
+              monitor_host = "mon";
+              interval = 0.2;
+              proc = R.Proc_reader.default;
+              iface = None;
+            }
+        in
+        R.Probe_daemon.start p;
+        p)
+      [ "alpha"; "beta"; "gamma" ]
+  in
+  let services =
+    List.map
+      (fun host ->
+        let s = R.Service.create book ~name:host in
+        R.Service.start s;
+        s)
+      [ "alpha"; "beta"; "gamma" ]
+  in
+  { book; wizard; monitor; probes; services }
+
+let stop_world w =
+  List.iter R.Probe_daemon.stop w.probes;
+  List.iter R.Service.stop w.services;
+  R.Monitor_daemon.stop w.monitor;
+  R.Wizard_daemon.stop w.wizard
+
+let await_reports w ~count ~timeout =
+  let deadline = Unix.gettimeofday () +. timeout in
+  let db = R.Wizard_daemon.db w.wizard in
+  while
+    Smart_core.Status_db.sys_count db < count
+    && Unix.gettimeofday () < deadline
+  do
+    Thread.delay 0.05
+  done
+
+let test_end_to_end_request_sockets () =
+  let w = start_world () in
+  Fun.protect
+    ~finally:(fun () -> stop_world w)
+    (fun () ->
+      await_reports w ~count:3 ~timeout:10.0;
+      Alcotest.(check int) "all three servers visible" 3
+        (Smart_core.Status_db.sys_count (R.Wizard_daemon.db w.wizard));
+      match
+        R.Client_io.request_sockets w.book ~wizard_host:"wiz" ~wanted:2
+          ~requirement:"host_memory_total > 1\n" ()
+      with
+      | Error e -> Alcotest.failf "request failed: %a" Smart_core.Client.pp_error e
+      | Ok connected ->
+        Alcotest.(check int) "two sockets" 2 (List.length connected);
+        List.iter
+          (fun (s : R.Client_io.connected_server) ->
+            R.Service.write_line s.R.Client_io.socket
+              ("ECHO " ^ s.R.Client_io.host);
+            match R.Service.read_line_opt s.R.Client_io.socket with
+            | Some line ->
+              Alcotest.(check string) "echo through the socket"
+                s.R.Client_io.host line
+            | None -> Alcotest.fail "no echo")
+          connected;
+        R.Client_io.close_all connected)
+
+let test_security_filter_real () =
+  let w = start_world ~seclog:"alpha 5\nbeta 4\ngamma 1\n" () in
+  Fun.protect
+    ~finally:(fun () -> stop_world w)
+    (fun () ->
+      await_reports w ~count:3 ~timeout:10.0;
+      match
+        R.Client_io.request_servers w.book ~wizard_host:"wiz" ~wanted:3
+          ~requirement:"host_security_level >= 3\n" ()
+      with
+      | Error e -> Alcotest.failf "request failed: %a" Smart_core.Client.pp_error e
+      | Ok servers ->
+        Alcotest.(check (list string)) "gamma filtered out"
+          [ "alpha"; "beta" ]
+          (List.sort compare servers))
+
+let test_strict_option_real () =
+  let w = start_world () in
+  Fun.protect
+    ~finally:(fun () -> stop_world w)
+    (fun () ->
+      await_reports w ~count:3 ~timeout:10.0;
+      (* impossible requirement + strict: must fail with Not_enough *)
+      match
+        R.Client_io.request_servers w.book
+          ~option:Smart_proto.Wizard_msg.Strict ~wizard_host:"wiz" ~wanted:2
+          ~requirement:"host_memory_total < 0\n" ()
+      with
+      | Error (Smart_core.Client.Not_enough _) -> ()
+      | Error e -> Alcotest.failf "unexpected error: %a" Smart_core.Client.pp_error e
+      | Ok _ -> Alcotest.fail "strict must fail on an impossible requirement")
+
+let test_netmon_real_probing () =
+  let w = start_world () in
+  Fun.protect
+    ~finally:(fun () -> stop_world w)
+    (fun () ->
+      await_reports w ~count:3 ~timeout:10.0;
+      let record = R.Monitor_daemon.refresh_netmon w.monitor in
+      (* both echo responders answered, loopback delay is tiny *)
+      Alcotest.(check int) "two targets measured" 2
+        (List.length record.Smart_proto.Records.entries);
+      List.iter
+        (fun (e : Smart_proto.Records.net_entry) ->
+          Alcotest.(check bool) "sub-millisecond local delay" true
+            (e.Smart_proto.Records.delay < 0.05))
+        record.Smart_proto.Records.entries)
+
+let test_download_real () =
+  (* massd over real sockets: request, connect, parallel block fetch *)
+  let w = start_world () in
+  Fun.protect
+    ~finally:(fun () -> stop_world w)
+    (fun () ->
+      await_reports w ~count:3 ~timeout:10.0;
+      match
+        R.Client_io.request_sockets w.book ~wizard_host:"wiz" ~wanted:3
+          ~requirement:"host_memory_total > 1\n" ()
+      with
+      | Error e -> Alcotest.failf "request failed: %a" Smart_core.Client.pp_error e
+      | Ok connected ->
+        Alcotest.(check int) "three servers" 3 (List.length connected);
+        let stats =
+          R.Client_io.download ~connected ~data_kb:2048 ~blk_kb:128
+        in
+        Alcotest.(check int) "all bytes" (2048 * 1024)
+          stats.R.Client_io.total_bytes;
+        let blocks =
+          List.fold_left (fun acc (_, b) -> acc + b) 0
+            stats.R.Client_io.per_server
+        in
+        Alcotest.(check int) "16 blocks fetched" 16 blocks;
+        Alcotest.(check bool) "positive throughput" true
+          (stats.R.Client_io.throughput > 0.0);
+        R.Client_io.close_all connected)
+
+let test_distributed_mode_real () =
+  let w =
+    start_world ~mode:Smart_core.Transmitter.Distributed
+      ~wizard_mode:
+        (Smart_core.Wizard.Distributed
+           {
+             transmitters =
+               [
+                 {
+                   Smart_core.Output.host = "mon";
+                   port = Smart_proto.Ports.transmitter;
+                 };
+               ];
+             freshness_timeout = 3.0;
+           })
+      ()
+  in
+  Fun.protect
+    ~finally:(fun () -> stop_world w)
+    (fun () ->
+      (* give the probes a moment to populate the monitor side *)
+      Thread.delay 1.0;
+      match
+        R.Client_io.request_servers w.book ~timeout:5.0 ~wizard_host:"wiz"
+          ~wanted:1 ~requirement:"host_memory_total > 1\n" ()
+      with
+      | Ok servers ->
+        Alcotest.(check bool) "answered after pull" true (servers <> [])
+      | Error e ->
+        Alcotest.failf "distributed request failed: %a"
+          Smart_core.Client.pp_error e)
+
+let () =
+  Alcotest.run "smart_realnet"
+    [
+      ( "units",
+        [
+          Alcotest.test_case "addr book" `Quick test_addr_book;
+          Alcotest.test_case "proc reader" `Quick test_proc_reader;
+          Alcotest.test_case "proc reader missing" `Quick
+            test_proc_reader_missing_files;
+          Alcotest.test_case "addr book reverse" `Quick test_addr_book_reverse;
+          Alcotest.test_case "service protocol" `Quick test_service_protocol;
+          Alcotest.test_case "udp io round trip" `Quick test_udp_io_roundtrip;
+          Alcotest.test_case "udp io timeout" `Quick test_udp_io_recv_timeout;
+        ] );
+      ( "integration",
+        [
+          Alcotest.test_case "request sockets end-to-end" `Slow
+            test_end_to_end_request_sockets;
+          Alcotest.test_case "security filter" `Slow test_security_filter_real;
+          Alcotest.test_case "strict option" `Slow test_strict_option_real;
+          Alcotest.test_case "netmon echo probing" `Slow
+            test_netmon_real_probing;
+          Alcotest.test_case "massd download" `Slow test_download_real;
+          Alcotest.test_case "distributed mode" `Slow test_distributed_mode_real;
+        ] );
+    ]

@@ -1,0 +1,252 @@
+(* Tests for the discrete-event engine: ordering, cancellation, periodic
+   processes, time monotonicity. *)
+
+module Engine = Smart_sim.Engine
+
+let test_event_ordering () =
+  let e = Engine.create () in
+  let log = ref [] in
+  let note tag () = log := tag :: !log in
+  ignore (Engine.schedule_at e ~time:3.0 (note "c"));
+  ignore (Engine.schedule_at e ~time:1.0 (note "a"));
+  ignore (Engine.schedule_at e ~time:2.0 (note "b"));
+  Engine.run e ~until:10.0;
+  Alcotest.(check (list string)) "time order" [ "a"; "b"; "c" ] (List.rev !log);
+  Alcotest.(check (float 1e-9)) "clock at until" 10.0 (Engine.now e)
+
+let test_simultaneous_fifo () =
+  let e = Engine.create () in
+  let log = ref [] in
+  for i = 0 to 9 do
+    ignore (Engine.schedule_at e ~time:1.0 (fun () -> log := i :: !log))
+  done;
+  Engine.run e ~until:2.0;
+  Alcotest.(check (list int))
+    "scheduling order preserved"
+    [ 0; 1; 2; 3; 4; 5; 6; 7; 8; 9 ]
+    (List.rev !log)
+
+let test_run_partial () =
+  let e = Engine.create () in
+  let fired = ref 0 in
+  ignore (Engine.schedule_at e ~time:1.0 (fun () -> incr fired));
+  ignore (Engine.schedule_at e ~time:5.0 (fun () -> incr fired));
+  Engine.run e ~until:2.0;
+  Alcotest.(check int) "only due events" 1 !fired;
+  Engine.run e ~until:6.0;
+  Alcotest.(check int) "rest later" 2 !fired
+
+let test_cancel () =
+  let e = Engine.create () in
+  let fired = ref false in
+  let h = Engine.schedule_at e ~time:1.0 (fun () -> fired := true) in
+  Engine.cancel h;
+  Alcotest.(check bool) "flag set" true (Engine.is_cancelled h);
+  Engine.run e ~until:2.0;
+  Alcotest.(check bool) "cancelled not fired" false !fired;
+  Alcotest.(check int) "not counted" 0 (Engine.executed_events e)
+
+let test_schedule_during_event () =
+  let e = Engine.create () in
+  let log = ref [] in
+  ignore
+    (Engine.schedule_at e ~time:1.0 (fun () ->
+         log := "outer" :: !log;
+         ignore
+           (Engine.schedule_after e ~delay:0.5 (fun () ->
+                log := "inner" :: !log))));
+  Engine.run e ~until:2.0;
+  Alcotest.(check (list string)) "nested" [ "outer"; "inner" ] (List.rev !log)
+
+let test_time_reversal () =
+  let e = Engine.create () in
+  Engine.run e ~until:5.0;
+  (try
+     ignore (Engine.schedule_at e ~time:1.0 (fun () -> ()));
+     Alcotest.fail "expected Time_reversal"
+   with Engine.Time_reversal { now; requested } ->
+     Alcotest.(check (float 1e-9)) "now" 5.0 now;
+     Alcotest.(check (float 1e-9)) "requested" 1.0 requested);
+  try
+    Engine.run e ~until:1.0;
+    Alcotest.fail "expected Time_reversal on run"
+  with Engine.Time_reversal _ -> ()
+
+let test_negative_delay () =
+  let e = Engine.create () in
+  Alcotest.check_raises "negative delay"
+    (Invalid_argument "Engine.schedule_after: negative delay") (fun () ->
+      ignore (Engine.schedule_after e ~delay:(-1.0) (fun () -> ())))
+
+let test_periodic () =
+  let e = Engine.create () in
+  let times = ref [] in
+  let proc =
+    Engine.every e ~period:1.0 ~start:0.5 (fun now -> times := now :: !times)
+  in
+  Engine.run e ~until:4.0;
+  Alcotest.(check (list (float 1e-9)))
+    "fires at start + k*period" [ 0.5; 1.5; 2.5; 3.5 ] (List.rev !times);
+  Engine.stop_periodic proc;
+  Engine.run e ~until:10.0;
+  Alcotest.(check int) "stopped" 4 (List.length !times)
+
+let test_periodic_stop_within_callback () =
+  let e = Engine.create () in
+  let count = ref 0 in
+  let proc_ref = ref None in
+  let proc =
+    Engine.every e ~period:1.0 ~start:1.0 (fun _ ->
+        incr count;
+        if !count = 2 then
+          match !proc_ref with
+          | Some p -> Engine.stop_periodic p
+          | None -> ())
+  in
+  proc_ref := Some proc;
+  Engine.run e ~until:10.0;
+  Alcotest.(check int) "stopped from inside" 2 !count
+
+let test_periodic_jitter () =
+  let e = Engine.create () in
+  let rng = Smart_util.Prng.create ~seed:1 in
+  let times = ref [] in
+  ignore
+    (Engine.every e ~jitter:0.2 ~rng ~period:1.0 ~start:0.0 (fun now ->
+         times := now :: !times));
+  Engine.run e ~until:10.0;
+  let times = List.rev !times in
+  Alcotest.(check bool)
+    "about 9-10 firings" true
+    (List.length times >= 8 && List.length times <= 11);
+  List.iteri
+    (fun i t ->
+      if i > 0 then begin
+        let prev = List.nth times (i - 1) in
+        let gap = t -. prev in
+        Alcotest.(check bool)
+          "gap in [period, period+jitter]" true
+          (gap >= 1.0 -. 1e-9 && gap <= 1.2 +. 1e-9)
+      end)
+    times
+
+let test_run_until_idle () =
+  let e = Engine.create () in
+  let fired = ref 0 in
+  ignore
+    (Engine.schedule_at e ~time:100.0 (fun () ->
+         incr fired;
+         ignore (Engine.schedule_after e ~delay:50.0 (fun () -> incr fired))));
+  Engine.run_until_idle e;
+  Alcotest.(check int) "all chased down" 2 !fired;
+  Alcotest.(check int) "queue empty" 0 (Engine.pending_events e)
+
+(* ------------------------------------------------------------------ *)
+(* Trace                                                                *)
+(* ------------------------------------------------------------------ *)
+
+module Trace = Smart_sim.Trace
+
+let test_trace_basic () =
+  let t = Trace.create ~capacity:10 () in
+  Trace.record t ~now:1.0 ~category:"net" "first";
+  Trace.recordf t ~now:2.0 ~category:"flow" "answer %d" 42;
+  Alcotest.(check int) "two entries" 2 (Trace.total_recorded t);
+  (match Trace.entries t with
+  | [ a; b ] ->
+    Alcotest.(check string) "first message" "first" a.Trace.message;
+    Alcotest.(check string) "formatted" "answer 42" b.Trace.message;
+    Alcotest.(check (float 1e-9)) "timestamp" 2.0 b.Trace.time
+  | _ -> Alcotest.fail "expected two entries");
+  Alcotest.(check int) "category filter" 1
+    (List.length (Trace.filter t ~category:"net"))
+
+let test_trace_ring_overflow () =
+  let t = Trace.create ~capacity:4 () in
+  for i = 1 to 10 do
+    Trace.record t ~now:(float_of_int i) ~category:"c" (string_of_int i)
+  done;
+  Alcotest.(check int) "dropped oldest" 6 (Trace.dropped t);
+  Alcotest.(check (list string)) "latest four, oldest first"
+    [ "7"; "8"; "9"; "10" ]
+    (List.map (fun e -> e.Trace.message) (Trace.entries t))
+
+let test_trace_disable () =
+  let t = Trace.create () in
+  Trace.set_enabled t false;
+  Trace.record t ~now:0.0 ~category:"c" "ignored";
+  Trace.recordf t ~now:0.0 ~category:"c" "also %s" "ignored";
+  Alcotest.(check int) "nothing recorded" 0 (Trace.total_recorded t);
+  Trace.set_enabled t true;
+  Trace.record t ~now:0.0 ~category:"c" "kept";
+  Alcotest.(check int) "recording resumed" 1 (Trace.total_recorded t);
+  Trace.clear t;
+  Alcotest.(check int) "cleared" 0 (Trace.total_recorded t)
+
+let test_trace_captures_network_events () =
+  let trace = Trace.create () in
+  let c = Smart_host.Cluster.create ~trace () in
+  let spec = Smart_host.Testbed.spec_of_name "helene" in
+  let a = Smart_host.Cluster.add_machine c spec in
+  let b =
+    Smart_host.Cluster.add_machine c
+      { spec with Smart_host.Machine.name = "x"; ip = "10.0.0.9" }
+  in
+  ignore (Smart_host.Cluster.link c ~a ~b Smart_host.Testbed.lan_conf);
+  let done_ = ref false in
+  ignore
+    (Smart_net.Flow.start (Smart_host.Cluster.flows c) ~src:a ~dst:b
+       ~bytes:100_000 ~on_complete:(fun _ -> done_ := true));
+  Engine.run_until_idle (Smart_host.Cluster.engine c);
+  Alcotest.(check bool) "flow completed" true !done_;
+  let flow_events = Trace.filter trace ~category:"flow" in
+  Alcotest.(check int) "start + complete" 2 (List.length flow_events)
+
+let prop_ordering =
+  QCheck.Test.make ~name:"random schedules execute in key order" ~count:100
+    QCheck.(list_of_size Gen.(int_range 1 100) (float_range 0.0 100.0))
+    (fun times ->
+      let e = Engine.create () in
+      let fired = ref [] in
+      List.iter
+        (fun t ->
+          ignore
+            (Engine.schedule_at e ~time:t (fun () ->
+                 fired := Engine.now e :: !fired)))
+        times;
+      Engine.run e ~until:101.0;
+      let seen = List.rev !fired in
+      List.sort compare times = seen)
+
+let () =
+  Alcotest.run "smart_sim"
+    [
+      ( "engine",
+        [
+          Alcotest.test_case "event ordering" `Quick test_event_ordering;
+          Alcotest.test_case "simultaneous FIFO" `Quick test_simultaneous_fifo;
+          Alcotest.test_case "partial run" `Quick test_run_partial;
+          Alcotest.test_case "cancel" `Quick test_cancel;
+          Alcotest.test_case "schedule during event" `Quick
+            test_schedule_during_event;
+          Alcotest.test_case "time reversal" `Quick test_time_reversal;
+          Alcotest.test_case "negative delay" `Quick test_negative_delay;
+          Alcotest.test_case "run until idle" `Quick test_run_until_idle;
+        ] );
+      ( "periodic",
+        [
+          Alcotest.test_case "regular firings" `Quick test_periodic;
+          Alcotest.test_case "stop within callback" `Quick
+            test_periodic_stop_within_callback;
+          Alcotest.test_case "jitter bounds" `Quick test_periodic_jitter;
+        ] );
+      ( "trace",
+        [
+          Alcotest.test_case "record and filter" `Quick test_trace_basic;
+          Alcotest.test_case "ring overflow" `Quick test_trace_ring_overflow;
+          Alcotest.test_case "disable/clear" `Quick test_trace_disable;
+          Alcotest.test_case "captures network events" `Quick
+            test_trace_captures_network_events;
+        ] );
+      ("properties", List.map QCheck_alcotest.to_alcotest [ prop_ordering ]);
+    ]

@@ -1,0 +1,353 @@
+(* Unit and property tests for smart_util: PRNG, heap, statistics,
+   units, table rendering. *)
+
+let check_float = Alcotest.(check (float 1e-9))
+
+(* ------------------------------------------------------------------ *)
+(* Prng                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_prng_deterministic () =
+  let a = Smart_util.Prng.create ~seed:42 in
+  let b = Smart_util.Prng.create ~seed:42 in
+  for _ = 1 to 100 do
+    Alcotest.(check int64)
+      "same stream" (Smart_util.Prng.next_int64 a)
+      (Smart_util.Prng.next_int64 b)
+  done
+
+let test_prng_seed_sensitivity () =
+  let a = Smart_util.Prng.create ~seed:1 in
+  let b = Smart_util.Prng.create ~seed:2 in
+  Alcotest.(check bool)
+    "different seeds differ" true
+    (Smart_util.Prng.next_int64 a <> Smart_util.Prng.next_int64 b)
+
+let test_prng_copy () =
+  let a = Smart_util.Prng.create ~seed:7 in
+  ignore (Smart_util.Prng.next_int64 a);
+  let b = Smart_util.Prng.copy a in
+  Alcotest.(check int64)
+    "copy continues identically" (Smart_util.Prng.next_int64 a)
+    (Smart_util.Prng.next_int64 b)
+
+let test_prng_split_independent () =
+  let a = Smart_util.Prng.create ~seed:7 in
+  let child = Smart_util.Prng.split a in
+  Alcotest.(check bool)
+    "child differs from parent" true
+    (Smart_util.Prng.next_int64 child <> Smart_util.Prng.next_int64 a)
+
+let test_prng_float_range () =
+  let rng = Smart_util.Prng.create ~seed:5 in
+  for _ = 1 to 1000 do
+    let f = Smart_util.Prng.float rng ~bound:3.5 in
+    Alcotest.(check bool) "in [0, 3.5)" true (f >= 0.0 && f < 3.5)
+  done
+
+let test_prng_int_range () =
+  let rng = Smart_util.Prng.create ~seed:5 in
+  let seen = Array.make 10 false in
+  for _ = 1 to 2000 do
+    let i = Smart_util.Prng.int rng ~bound:10 in
+    Alcotest.(check bool) "in [0, 10)" true (i >= 0 && i < 10);
+    seen.(i) <- true
+  done;
+  Alcotest.(check bool) "all values hit" true (Array.for_all Fun.id seen)
+
+let test_prng_gaussian_moments () =
+  let rng = Smart_util.Prng.create ~seed:13 in
+  let n = 20000 in
+  let xs =
+    Array.init n (fun _ -> Smart_util.Prng.gaussian rng ~mu:3.0 ~sigma:2.0)
+  in
+  let mean = Smart_util.Stats.mean xs in
+  let sd = Smart_util.Stats.stddev xs in
+  Alcotest.(check bool) "mean ~ 3" true (Float.abs (mean -. 3.0) < 0.1);
+  Alcotest.(check bool) "sd ~ 2" true (Float.abs (sd -. 2.0) < 0.1)
+
+let test_prng_exponential_mean () =
+  let rng = Smart_util.Prng.create ~seed:17 in
+  let xs =
+    Array.init 20000 (fun _ -> Smart_util.Prng.exponential rng ~mean:0.5)
+  in
+  Alcotest.(check bool)
+    "mean ~ 0.5" true
+    (Float.abs (Smart_util.Stats.mean xs -. 0.5) < 0.02)
+
+let test_prng_shuffle_permutation () =
+  let rng = Smart_util.Prng.create ~seed:3 in
+  let arr = Array.init 50 Fun.id in
+  let shuffled = Smart_util.Prng.shuffle rng arr in
+  let sorted = Array.copy shuffled in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "permutation" arr sorted;
+  Alcotest.(check (array int)) "input untouched" (Array.init 50 Fun.id) arr
+
+let test_prng_sample_distinct () =
+  let rng = Smart_util.Prng.create ~seed:3 in
+  let arr = Array.init 20 Fun.id in
+  let s = Smart_util.Prng.sample rng ~k:5 arr in
+  Alcotest.(check int) "k elements" 5 (Array.length s);
+  let sorted = Array.copy s in
+  Array.sort compare sorted;
+  for i = 1 to 4 do
+    Alcotest.(check bool) "distinct" true (sorted.(i) <> sorted.(i - 1))
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Heap                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_heap_basic () =
+  let h = Smart_util.Heap.create () in
+  Alcotest.(check bool) "empty" true (Smart_util.Heap.is_empty h);
+  Smart_util.Heap.push h ~key:2.0 "b";
+  Smart_util.Heap.push h ~key:1.0 "a";
+  Smart_util.Heap.push h ~key:3.0 "c";
+  Alcotest.(check int) "length" 3 (Smart_util.Heap.length h);
+  (match Smart_util.Heap.peek h with
+  | Some (k, v) ->
+    check_float "peek key" 1.0 k;
+    Alcotest.(check string) "peek value" "a" v
+  | None -> Alcotest.fail "peek on non-empty");
+  Alcotest.(check int) "peek does not pop" 3 (Smart_util.Heap.length h);
+  let order = List.map snd (Smart_util.Heap.to_sorted_list h) in
+  Alcotest.(check (list string)) "sorted drain" [ "a"; "b"; "c" ] order
+
+let test_heap_fifo_ties () =
+  let h = Smart_util.Heap.create () in
+  List.iter (fun v -> Smart_util.Heap.push h ~key:1.0 v) [ 1; 2; 3; 4; 5 ];
+  let order = List.map snd (Smart_util.Heap.to_sorted_list h) in
+  Alcotest.(check (list int)) "ties pop FIFO" [ 1; 2; 3; 4; 5 ] order
+
+let test_heap_clear () =
+  let h = Smart_util.Heap.create () in
+  Smart_util.Heap.push h ~key:1.0 1;
+  Smart_util.Heap.clear h;
+  Alcotest.(check bool) "cleared" true (Smart_util.Heap.is_empty h);
+  Alcotest.(check bool) "pop on empty" true (Smart_util.Heap.pop h = None)
+
+let prop_heap_sorted =
+  QCheck.Test.make ~name:"heap drains keys in sorted order" ~count:200
+    QCheck.(list (pair (float_range 0.0 1000.0) small_int))
+    (fun items ->
+      let h = Smart_util.Heap.create () in
+      List.iter (fun (key, v) -> Smart_util.Heap.push h ~key v) items;
+      let rec drain acc =
+        match Smart_util.Heap.pop h with
+        | None -> List.rev acc
+        | Some (k, _) -> drain (k :: acc)
+      in
+      let keys = drain [] in
+      List.sort compare (List.map fst items) = keys)
+
+let prop_heap_length =
+  QCheck.Test.make ~name:"heap length tracks pushes and pops" ~count:200
+    QCheck.(list (float_range 0.0 10.0))
+    (fun keys ->
+      let h = Smart_util.Heap.create () in
+      List.iteri (fun i key -> Smart_util.Heap.push h ~key i) keys;
+      let n = List.length keys in
+      let ok1 = Smart_util.Heap.length h = n in
+      (match Smart_util.Heap.pop h with
+      | Some _ -> ()
+      | None -> ());
+      ok1 && Smart_util.Heap.length h = max 0 (n - 1))
+
+(* ------------------------------------------------------------------ *)
+(* Stats                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_stats_mean_var () =
+  let xs = [| 1.0; 2.0; 3.0; 4.0 |] in
+  check_float "mean" 2.5 (Smart_util.Stats.mean xs);
+  check_float "variance" (5.0 /. 3.0) (Smart_util.Stats.variance xs);
+  check_float "single variance" 0.0 (Smart_util.Stats.variance [| 5.0 |])
+
+let test_stats_empty_mean () =
+  Alcotest.check_raises "empty mean" (Invalid_argument "Stats.mean: empty")
+    (fun () -> ignore (Smart_util.Stats.mean [||]))
+
+let test_stats_percentiles () =
+  let xs = [| 4.0; 1.0; 3.0; 2.0; 5.0 |] in
+  check_float "median" 3.0 (Smart_util.Stats.median xs);
+  check_float "p0" 1.0 (Smart_util.Stats.percentile xs ~p:0.0);
+  check_float "p100" 5.0 (Smart_util.Stats.percentile xs ~p:100.0);
+  check_float "p25 interpolates" 2.0 (Smart_util.Stats.percentile xs ~p:25.0)
+
+let test_stats_min_max () =
+  let lo, hi = Smart_util.Stats.min_max [| 3.0; -1.0; 7.0 |] in
+  check_float "min" (-1.0) lo;
+  check_float "max" 7.0 hi
+
+let test_stats_linear_fit_exact () =
+  let xs = Array.init 10 float_of_int in
+  let ys = Array.map (fun x -> (2.5 *. x) +. 1.0) xs in
+  let fit = Smart_util.Stats.linear_fit ~xs ~ys in
+  check_float "slope" 2.5 fit.Smart_util.Stats.slope;
+  check_float "intercept" 1.0 fit.Smart_util.Stats.intercept;
+  check_float "r2" 1.0 fit.Smart_util.Stats.r2
+
+let test_stats_knee_fit () =
+  (* synthetic Formula (3.6) curve: slope 3 below 1500, slope 1 above *)
+  let xs = Array.init 60 (fun i -> float_of_int ((i + 1) * 50)) in
+  let ys =
+    Array.map
+      (fun x -> if x <= 1500.0 then 3.0 *. x else (1.0 *. x) +. 3000.0)
+      xs
+  in
+  let knee = Smart_util.Stats.knee_fit ~xs ~ys in
+  Alcotest.(check bool)
+    "break near 1500" true
+    (Float.abs (knee.Smart_util.Stats.break_x -. 1500.0) <= 100.0);
+  Alcotest.(check bool)
+    "slopes ordered" true
+    (knee.Smart_util.Stats.below.Smart_util.Stats.slope
+    > knee.Smart_util.Stats.above.Smart_util.Stats.slope)
+
+let test_stats_summary () =
+  let s = Smart_util.Stats.summarize [| 1.0; 2.0; 3.0 |] in
+  Alcotest.(check int) "n" 3 s.Smart_util.Stats.n;
+  check_float "mean" 2.0 s.Smart_util.Stats.mean;
+  check_float "min" 1.0 s.Smart_util.Stats.min;
+  check_float "max" 3.0 s.Smart_util.Stats.max
+
+let prop_percentile_bounds =
+  QCheck.Test.make ~name:"percentile stays within min/max" ~count:200
+    QCheck.(pair (list_of_size Gen.(int_range 1 50) (float_range (-100.) 100.)) (float_range 0.0 100.0))
+    (fun (xs, p) ->
+      let arr = Array.of_list xs in
+      let v = Smart_util.Stats.percentile arr ~p in
+      let lo, hi = Smart_util.Stats.min_max arr in
+      v >= lo -. 1e-9 && v <= hi +. 1e-9)
+
+(* ------------------------------------------------------------------ *)
+(* Units                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_units_roundtrip () =
+  check_float "mbps" 95.0
+    (Smart_util.Units.bytes_per_sec_to_mbps
+       (Smart_util.Units.mbps_to_bytes_per_sec 95.0));
+  check_float "100 Mbps in B/s" 12.5e6
+    (Smart_util.Units.mbps_to_bytes_per_sec 100.0);
+  check_float "KB/s" 1.0 (Smart_util.Units.bytes_per_sec_to_kBps 1024.0);
+  check_float "ms" 1.5 (Smart_util.Units.s_to_ms (Smart_util.Units.ms_to_s 1.5))
+
+(* ------------------------------------------------------------------ *)
+(* Tabular                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_tabular_render () =
+  let t = Smart_util.Tabular.create ~title:"t" ~header:[ "a"; "bb" ] in
+  Smart_util.Tabular.add_row t [ "xxx"; "y" ];
+  Smart_util.Tabular.add_row t [ "z"; "wwww" ];
+  let rendered = Smart_util.Tabular.render t in
+  let lines = String.split_on_char '\n' rendered in
+  Alcotest.(check int) "title + header + rule + 2 rows" 5 (List.length lines);
+  (* rows render in insertion order *)
+  (match lines with
+  | [ _; _; _; row1; row2 ] ->
+    Alcotest.(check bool) "first row first" true
+      (String.length row1 >= 3 && String.sub row1 0 3 = "xxx");
+    Alcotest.(check bool) "second row second" true
+      (String.length row2 >= 1 && row2.[0] = 'z')
+  | _ -> Alcotest.fail "unexpected line count");
+  (* aligned columns: header 'bb' starts at same column as 'y' and 'wwww' *)
+  Alcotest.(check bool) "no trailing spaces" true
+    (List.for_all
+       (fun l -> l = "" || l.[String.length l - 1] <> ' ')
+       lines)
+
+let test_heap_sorted_list_nondestructive () =
+  let h = Smart_util.Heap.create () in
+  List.iter (fun k -> Smart_util.Heap.push h ~key:(float_of_int k) k) [ 3; 1; 2 ];
+  ignore (Smart_util.Heap.to_sorted_list h);
+  Alcotest.(check int) "heap untouched" 3 (Smart_util.Heap.length h)
+
+let test_stats_knee_needs_points () =
+  Alcotest.(check bool) "too few points rejected" true
+    (try
+       ignore
+         (Smart_util.Stats.knee_fit ~xs:[| 1.0; 2.0; 3.0 |]
+            ~ys:[| 1.0; 2.0; 3.0 |]);
+       false
+     with Invalid_argument _ -> true)
+
+let test_stats_linear_fit_degenerate () =
+  Alcotest.(check bool) "constant xs rejected" true
+    (try
+       ignore
+         (Smart_util.Stats.linear_fit ~xs:[| 2.0; 2.0; 2.0 |]
+            ~ys:[| 1.0; 2.0; 3.0 |]);
+       false
+     with Invalid_argument _ -> true)
+
+let test_tabular_extra_cells_dropped () =
+  let t = Smart_util.Tabular.create ~title:"t" ~header:[ "one" ] in
+  Smart_util.Tabular.add_row t [ "a"; "overflow"; "more" ];
+  let rendered = Smart_util.Tabular.render t in
+  Alcotest.(check bool) "cells beyond header dropped" false
+    (let re = "overflow" in
+     let n = String.length rendered and m = String.length re in
+     let rec search i =
+       i + m <= n && (String.sub rendered i m = re || search (i + 1))
+     in
+     search 0)
+
+let qsuite = List.map QCheck_alcotest.to_alcotest
+    [ prop_heap_sorted; prop_heap_length; prop_percentile_bounds ]
+
+let () =
+  Alcotest.run "smart_util"
+    [
+      ( "prng",
+        [
+          Alcotest.test_case "deterministic" `Quick test_prng_deterministic;
+          Alcotest.test_case "seed sensitivity" `Quick test_prng_seed_sensitivity;
+          Alcotest.test_case "copy" `Quick test_prng_copy;
+          Alcotest.test_case "split independence" `Quick
+            test_prng_split_independent;
+          Alcotest.test_case "float range" `Quick test_prng_float_range;
+          Alcotest.test_case "int range" `Quick test_prng_int_range;
+          Alcotest.test_case "gaussian moments" `Quick test_prng_gaussian_moments;
+          Alcotest.test_case "exponential mean" `Quick test_prng_exponential_mean;
+          Alcotest.test_case "shuffle permutation" `Quick
+            test_prng_shuffle_permutation;
+          Alcotest.test_case "sample distinct" `Quick test_prng_sample_distinct;
+        ] );
+      ( "heap",
+        [
+          Alcotest.test_case "basic ordering" `Quick test_heap_basic;
+          Alcotest.test_case "FIFO ties" `Quick test_heap_fifo_ties;
+          Alcotest.test_case "clear" `Quick test_heap_clear;
+        ] );
+      ( "stats",
+        [
+          Alcotest.test_case "mean/variance" `Quick test_stats_mean_var;
+          Alcotest.test_case "empty mean raises" `Quick test_stats_empty_mean;
+          Alcotest.test_case "percentiles" `Quick test_stats_percentiles;
+          Alcotest.test_case "min/max" `Quick test_stats_min_max;
+          Alcotest.test_case "linear fit exact" `Quick test_stats_linear_fit_exact;
+          Alcotest.test_case "knee fit" `Quick test_stats_knee_fit;
+          Alcotest.test_case "summary" `Quick test_stats_summary;
+        ] );
+      ("units", [ Alcotest.test_case "round trips" `Quick test_units_roundtrip ]);
+      ( "tabular",
+        [
+          Alcotest.test_case "render" `Quick test_tabular_render;
+          Alcotest.test_case "extra cells dropped" `Quick
+            test_tabular_extra_cells_dropped;
+        ] );
+      ( "edge cases",
+        [
+          Alcotest.test_case "sorted list nondestructive" `Quick
+            test_heap_sorted_list_nondestructive;
+          Alcotest.test_case "knee needs points" `Quick
+            test_stats_knee_needs_points;
+          Alcotest.test_case "degenerate linear fit" `Quick
+            test_stats_linear_fit_degenerate;
+        ] );
+      ("properties", qsuite);
+    ]
