@@ -1,0 +1,20 @@
+.PHONY: all build test bench check clean
+
+all: build
+
+build:
+	dune build
+
+test:
+	dune runtest
+
+# Wizard request-throughput benchmark (writes BENCH_wizard.json).
+bench:
+	dune exec bench/main.exe -- wizard
+
+# What CI runs: full build, the whole test tree, and the wizard bench as
+# a smoke test of the request path.
+check: build test bench
+
+clean:
+	dune clean

@@ -1,0 +1,183 @@
+(* Wizard request-throughput benchmark on a synthetic 60-server x
+   16-monitor status plane (the scale the ROADMAP's growth needs long
+   before "millions of users").
+
+   Two configurations of the very same request path are measured
+   end-to-end (decode -> compile -> select -> encode):
+
+   - cold: the compile cache is disabled and a status write lands
+     between requests, so every request recompiles the requirement and
+     rebuilds the server-view snapshot — the pre-cache behaviour;
+   - warm: caching on and the database quiet between requests, so the
+     compiled program and the snapshot are both reused.
+
+   Results go to stdout and to BENCH_wizard.json for trend tracking
+   across PRs. *)
+
+module C = Smart_core
+module P = Smart_proto
+
+let servers = 60
+let monitors = 16
+
+let host_of i = Printf.sprintf "srv%02d" i
+let monitor_of i = Printf.sprintf "mon%02d" i
+
+let report i =
+  {
+    P.Report.host = host_of i;
+    ip = Printf.sprintf "10.9.%d.%d" (i / 250) (i mod 250);
+    load1 = 0.05 *. float_of_int (i mod 8);
+    load5 = 0.1;
+    load15 = 0.1;
+    cpu_user = 0.01 *. float_of_int (i mod 50);
+    cpu_nice = 0.0;
+    cpu_system = 0.01;
+    cpu_free = 1.0 -. (0.01 *. float_of_int (i mod 50));
+    bogomips = 2000.0 +. (100.0 *. float_of_int (i mod 30));
+    mem_total = 512.0;
+    mem_used = 12.0 +. float_of_int (i mod 400);
+    mem_free = 500.0 -. float_of_int (i mod 400);
+    mem_buffers = 16.0;
+    mem_cached = 64.0;
+    disk_rreq = 1.0;
+    disk_rblocks = 8.0;
+    disk_wreq = 1.0;
+    disk_wblocks = 8.0;
+    net_rbytes = 1024.0;
+    net_rpackets = 4.0;
+    net_tbytes = 2048.0;
+    net_tpackets = 6.0;
+  }
+
+(* Every monitor reports an entry toward every server, so the peer index
+   holds [monitors] candidates per target and the deterministic
+   tie-break actually runs. *)
+let populate db =
+  for i = 0 to servers - 1 do
+    C.Status_db.update_sys db
+      { P.Records.report = report i; updated_at = 100.0 }
+  done;
+  for m = 0 to monitors - 1 do
+    C.Status_db.update_net db
+      {
+        P.Records.monitor = monitor_of m;
+        entries =
+          List.init servers (fun i ->
+              {
+                P.Records.peer = host_of i;
+                delay = 0.001 +. (0.0001 *. float_of_int m);
+                bandwidth = 10e6 +. (1e5 *. float_of_int ((m + i) mod 7));
+                measured_at = 50.0 +. float_of_int m;
+              });
+      }
+  done;
+  C.Status_db.replace_sec db
+    {
+      P.Records.entries =
+        List.init servers (fun i ->
+            { P.Records.host = host_of i; level = 1 + (i mod 5) });
+    }
+
+let requirement =
+  "host_cpu_free > 0.2\n\
+   host_memory_free > 10\n\
+   monitor_network_bw > 1\n\
+   host_security_level >= 1\n\
+   order_by = host_memory_free\n"
+
+let encoded_request =
+  P.Wizard_msg.encode_request
+    {
+      P.Wizard_msg.seq = 7;
+      server_num = 10;
+      option = P.Wizard_msg.Accept_partial;
+      requirement;
+    }
+
+let from = { C.Output.host = "client"; port = 4000 }
+
+(* Requests/sec over a fixed wall-time budget.  [churn] injects one
+   status write before every request, invalidating the snapshot the way
+   a pre-index wizard rebuilt it unconditionally. *)
+let measure ~churn ~budget wizard db =
+  (* one untimed request to touch every lazy path *)
+  ignore (C.Wizard.handle_request wizard ~now:0.0 ~from encoded_request);
+  let t0 = Unix.gettimeofday () in
+  let deadline = t0 +. budget in
+  let iterations = ref 0 in
+  while Unix.gettimeofday () < deadline do
+    if churn then
+      C.Status_db.update_sys db
+        { P.Records.report = report (!iterations mod servers);
+          updated_at = 100.0 };
+    ignore (C.Wizard.handle_request wizard ~now:1.0 ~from encoded_request);
+    incr iterations
+  done;
+  float_of_int !iterations /. (Unix.gettimeofday () -. t0)
+
+let run () =
+  let mk ~capacity =
+    let db = C.Status_db.create () in
+    populate db;
+    let wizard =
+      C.Wizard.create ~compile_cache_capacity:capacity
+        { C.Wizard.mode = C.Wizard.Centralized; groups = None }
+        db
+    in
+    (wizard, db)
+  in
+  let budget = 0.5 in
+  let cold_wizard, cold_db = mk ~capacity:0 in
+  let cold_rps = measure ~churn:true ~budget cold_wizard cold_db in
+  let warm_wizard, warm_db = mk ~capacity:C.Wizard.default_compile_cache_capacity in
+  let warm_rps = measure ~churn:false ~budget warm_wizard warm_db in
+  let speedup = warm_rps /. cold_rps in
+  let hits, misses = C.Wizard.compile_cache_stats warm_wizard in
+  let rhits, rmisses = C.Wizard.result_cache_stats warm_wizard in
+  let tab =
+    Smart_util.Tabular.create
+      ~title:
+        (Printf.sprintf "wizard request throughput (%d servers, %d monitors)"
+           servers monitors)
+      ~header:[ "configuration"; "requests/s"; "snapshot rebuilds" ]
+  in
+  Smart_util.Tabular.add_row tab
+    [
+      "cold (no caches, churning db)";
+      Fmt.str "%.0f" cold_rps;
+      string_of_int (C.Wizard.snapshot_rebuilds cold_wizard);
+    ];
+  Smart_util.Tabular.add_row tab
+    [
+      "warm (compile + snapshot cache)";
+      Fmt.str "%.0f" warm_rps;
+      string_of_int (C.Wizard.snapshot_rebuilds warm_wizard);
+    ];
+  Smart_util.Tabular.print tab;
+  Fmt.pr
+    "speedup: %.1fx (compile cache: %d hits / %d misses; result cache: %d \
+     hits / %d misses)@."
+    speedup hits misses rhits rmisses;
+  let oc = open_out "BENCH_wizard.json" in
+  Printf.fprintf oc
+    "{\n\
+    \  \"benchmark\": \"wizard_request_throughput\",\n\
+    \  \"servers\": %d,\n\
+    \  \"monitors\": %d,\n\
+    \  \"budget_s\": %.2f,\n\
+    \  \"cold_requests_per_sec\": %.1f,\n\
+    \  \"warm_requests_per_sec\": %.1f,\n\
+    \  \"speedup\": %.2f,\n\
+    \  \"warm_compile_cache_hits\": %d,\n\
+    \  \"warm_compile_cache_misses\": %d,\n\
+    \  \"warm_result_cache_hits\": %d,\n\
+    \  \"warm_result_cache_misses\": %d,\n\
+    \  \"warm_snapshot_rebuilds\": %d\n\
+     }\n"
+    servers monitors budget cold_rps warm_rps speedup hits misses rhits
+    rmisses
+    (C.Wizard.snapshot_rebuilds warm_wizard);
+  close_out oc;
+  Fmt.pr "wrote BENCH_wizard.json@.";
+  ignore warm_db

@@ -63,6 +63,10 @@ let massd_tables () =
   List.iter Smart_experiments.Exp_massd.print_table
     (Smart_experiments.Exp_massd.run_all ())
 
+let wizard_throughput () =
+  section_header "wizard" "wizard request throughput: cold vs cached";
+  Bench_wizard.run ()
+
 let ablations () =
   section_header "ablation" "design-choice ablations (DESIGN.md §5)";
   Smart_experiments.Exp_ablation.print_init_speed
@@ -215,6 +219,7 @@ let sections : (string * string * (unit -> unit)) list =
     ("fig5.3", "rshaper vs massd calibration", fig53);
     ("tab5.7-5.9", "massd random vs smart (3 experiments)", massd_tables);
     ("ablation", "design-choice ablations", ablations);
+    ("wizard", "wizard request throughput, cold vs cached", wizard_throughput);
     ("micro", "bechamel micro-benchmarks", micro);
   ]
 

@@ -47,31 +47,38 @@ let apply_frame t (frame : Smart_proto.Frame.frame) =
     | Smart_proto.Frame.Sys_db ->
       (* the payload is a concatenation of fixed-size sys records; hosts
          owned by this transmitter that are absent from the snapshot have
-         expired on the monitor side and leave the mirror too *)
+         expired on the monitor side and leave the mirror too.  The whole
+         snapshot is committed as one batched write (one db generation),
+         and the absence diff runs through a set, not nested lists. *)
       let data = frame.Smart_proto.Frame.data in
       let size = Smart_proto.Records.sys_record_size in
       let n = String.length data / size in
-      let rec load i hosts =
-        if i >= n then Ok hosts
+      let rec load i records =
+        if i >= n then Ok (List.rev records)
         else
           match Smart_proto.Records.decode_sys t.order data ~pos:(i * size) with
-          | Ok record ->
-            Status_db.update_sys t.db record;
-            load (i + 1)
-              (record.Smart_proto.Records.report.Smart_proto.Report.host
-              :: hosts)
+          | Ok record -> load (i + 1) (record :: records)
           | Error m -> Error m
       in
       (match load 0 [] with
       | Error m -> Error m
-      | Ok hosts ->
+      | Ok records ->
+        Status_db.update_sys_many t.db records;
+        let hosts =
+          List.map
+            (fun (r : Smart_proto.Records.sys_record) ->
+              r.Smart_proto.Records.report.Smart_proto.Report.host)
+            records
+        in
+        let covered = Hashtbl.create (max 8 (List.length hosts)) in
+        List.iter (fun h -> Hashtbl.replace covered h ()) hosts;
         let previous =
           Option.value ~default:[]
             (Hashtbl.find_opt t.owned_hosts t.current_from)
         in
         List.iter
           (fun host ->
-            if not (List.mem host hosts) then
+            if not (Hashtbl.mem covered host) then
               Status_db.remove_sys t.db ~host)
           previous;
         Hashtbl.replace t.owned_hosts t.current_from hosts;

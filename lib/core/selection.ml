@@ -27,6 +27,23 @@ type server_view = {
   security_level : int option;
 }
 
+(* An immutable view of the status plane at one database generation.
+   The wizard builds it once per generation and reuses it for every
+   request until the data changes; [select] only reads it. *)
+type snapshot = {
+  generation : int;
+  views : server_view array;  (* scan order: sorted by host *)
+}
+
+let snapshot ?(generation = 0) views =
+  { generation; views = Array.of_list views }
+
+let snapshot_generation s = s.generation
+
+let snapshot_size s = Array.length s.views
+
+let snapshot_views s = Array.to_list s.views
+
 type verdict = {
   host : string;
   qualified : bool;
@@ -99,26 +116,27 @@ let order_key_of (outcome : Smart_lang.Eval.outcome) (program : Smart_lang.Ast.p
       else acc)
     None program outcome.Smart_lang.Eval.statements
 
-let select ~(requirement : Smart_lang.Ast.program) ~(servers : server_view list)
+let select ~(requirement : Smart_lang.Ast.program) ~(servers : snapshot)
     ~wanted =
   let verdicts =
-    List.map
-      (fun view ->
-        let outcome =
-          Smart_lang.Requirement.evaluate requirement
-            ~lookup:(binding_for view)
-        in
-        let preferred, denied = Smart_lang.Requirement.host_lists outcome in
-        {
-          host =
-            view.record.Smart_proto.Records.report.Smart_proto.Report.host;
-          qualified = outcome.Smart_lang.Eval.qualified;
-          denied = List.exists (matches view) denied;
-          preferred_rank = rank_in preferred view;
-          order_key = order_key_of outcome requirement;
-          faults = outcome.Smart_lang.Eval.faults;
-        })
-      servers
+    Array.to_list
+      (Array.map
+         (fun view ->
+           let outcome =
+             Smart_lang.Requirement.evaluate requirement
+               ~lookup:(binding_for view)
+           in
+           let preferred, denied = Smart_lang.Requirement.host_lists outcome in
+           {
+             host =
+               view.record.Smart_proto.Records.report.Smart_proto.Report.host;
+             qualified = outcome.Smart_lang.Eval.qualified;
+             denied = List.exists (matches view) denied;
+             preferred_rank = rank_in preferred view;
+             order_key = order_key_of outcome requirement;
+             faults = outcome.Smart_lang.Eval.faults;
+           })
+         servers.views)
   in
   let eligible =
     List.filter (fun v -> v.qualified && not v.denied) verdicts

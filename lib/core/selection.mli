@@ -17,6 +17,20 @@ type server_view = {
   security_level : int option;
 }
 
+(** Immutable view of the status plane at one database generation; the
+    unit [select] consumes.  The wizard memoizes it per generation. *)
+type snapshot
+
+(** Build a snapshot from views in scan order.  [generation] tags the
+    database version the views were derived from (0 for ad-hoc sets). *)
+val snapshot : ?generation:int -> server_view list -> snapshot
+
+val snapshot_generation : snapshot -> int
+
+val snapshot_size : snapshot -> int
+
+val snapshot_views : snapshot -> server_view list
+
 type verdict = {
   host : string;
   qualified : bool;
@@ -37,6 +51,6 @@ val binding_for : server_view -> string -> Smart_lang.Value.t option
 
 val select :
   requirement:Smart_lang.Ast.program ->
-  servers:server_view list ->
+  servers:snapshot ->
   wanted:int ->
   result

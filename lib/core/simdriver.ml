@@ -81,6 +81,7 @@ type config = {
   transmit_interval : float;
   order : Smart_proto.Endian.order;
   security_log : string;
+  wizard_compile_cache : int;
 }
 
 let default_config =
@@ -91,6 +92,7 @@ let default_config =
     transmit_interval = 2.0;
     order = Smart_proto.Endian.Little;
     security_log = "";
+    wizard_compile_cache = Wizard.default_compile_cache_capacity;
   }
 
 (* Wire one group's probes, monitors and transmitter. *)
@@ -243,7 +245,8 @@ let deploy_groups ?(config = default_config) cluster ~wizard_host ~groups =
     end
   in
   let wizard =
-    Wizard.create { Wizard.mode = wizard_mode; groups = wizard_groups }
+    Wizard.create ~compile_cache_capacity:config.wizard_compile_cache
+      { Wizard.mode = wizard_mode; groups = wizard_groups }
       db_wizard
   in
   Receiver.set_update_hook receiver (Some (fun _ -> Wizard.note_update wizard));

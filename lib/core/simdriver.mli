@@ -12,6 +12,8 @@ type config = {
   transmit_interval : float;
   order : Smart_proto.Endian.order;
   security_log : string;  (** "" for no security data *)
+  wizard_compile_cache : int;
+      (** wizard requirement compile-cache capacity; 0 disables *)
 }
 
 (** Centralized, 2 s probe and transmit intervals, UDP reports,

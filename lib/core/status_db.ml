@@ -2,31 +2,83 @@
    System V shared memory segments.  One instance lives on the monitor
    machine (written by the three monitors, read by the transmitter) and
    one on the wizard machine (written by the receiver, read by the
-   wizard). *)
+   wizard).
+
+   The store is versioned and indexed so readers never rescan:
+
+   - a monotonic [generation] counter is bumped by every mutating write
+     (and by sweeps only when they actually removed something), letting
+     readers memoize derived views and invalidate them precisely;
+   - a peer -> (monitor, entry) secondary index is maintained
+     incrementally by [update_net], making [net_entry_for] an O(1)
+     lookup instead of a scan over every monitor's entry list;
+   - the sorted [sys_records] list is computed once per generation and
+     reused (physically equal) until the next write. *)
 
 type t = {
   sys : (string, Smart_proto.Records.sys_record) Hashtbl.t;  (* by host *)
   net : (string, Smart_proto.Records.net_record) Hashtbl.t;  (* by monitor *)
   sec : (string, int) Hashtbl.t;                             (* host -> level *)
+  peer_index :
+    (string, (string * Smart_proto.Records.net_entry) list) Hashtbl.t;
+      (* target peer -> entries about it, tagged by reporting monitor *)
+  mutable generation : int;
+  mutable sys_cache : (int * Smart_proto.Records.sys_record list) option;
+      (* (generation, sorted records) of the last [sys_records] call *)
 }
 
 let create () =
-  { sys = Hashtbl.create 32; net = Hashtbl.create 8; sec = Hashtbl.create 32 }
+  {
+    sys = Hashtbl.create 32;
+    net = Hashtbl.create 8;
+    sec = Hashtbl.create 32;
+    peer_index = Hashtbl.create 64;
+    generation = 0;
+    sys_cache = None;
+  }
+
+let generation t = t.generation
+
+let bump t = t.generation <- t.generation + 1
 
 let update_sys t (record : Smart_proto.Records.sys_record) =
   Hashtbl.replace t.sys record.Smart_proto.Records.report.Smart_proto.Report.host
-    record
+    record;
+  bump t
+
+(* Batched write for the receiver's frame application: one snapshot of n
+   records costs one generation, so readers memoizing on the generation
+   rebuild once per frame, not once per record. *)
+let update_sys_many t records =
+  match records with
+  | [] -> ()
+  | records ->
+    List.iter
+      (fun (r : Smart_proto.Records.sys_record) ->
+        Hashtbl.replace t.sys r.Smart_proto.Records.report.Smart_proto.Report.host
+          r)
+      records;
+    bump t
 
 let find_sys t ~host = Hashtbl.find_opt t.sys host
 
 let sys_records t =
-  Hashtbl.fold (fun _ r acc -> r :: acc) t.sys []
-  |> List.sort (fun a b ->
-         compare a.Smart_proto.Records.report.Smart_proto.Report.host
-           b.Smart_proto.Records.report.Smart_proto.Report.host)
+  match t.sys_cache with
+  | Some (g, records) when g = t.generation -> records
+  | _ ->
+    let records =
+      Hashtbl.fold (fun _ r acc -> r :: acc) t.sys []
+      |> List.sort (fun a b ->
+             compare a.Smart_proto.Records.report.Smart_proto.Report.host
+               b.Smart_proto.Records.report.Smart_proto.Report.host)
+    in
+    t.sys_cache <- Some (t.generation, records);
+    records
 
 (* Drop servers whose probe has stopped reporting (§3.2.2): records older
-   than [max_age] (3 probe intervals by default in the drivers). *)
+   than [max_age] (3 probe intervals by default in the drivers).  The
+   generation moves only when a record was actually removed, so an idle
+   periodic sweep does not invalidate readers' memoized views. *)
 let sweep_sys t ~now ~max_age =
   let stale =
     Hashtbl.fold
@@ -36,10 +88,42 @@ let sweep_sys t ~now ~max_age =
       t.sys []
   in
   List.iter (Hashtbl.remove t.sys) stale;
+  if stale <> [] then bump t;
   List.length stale
 
+(* Remove every peer-index contribution of [monitor]'s previous record. *)
+let unindex_net t ~monitor (record : Smart_proto.Records.net_record) =
+  List.iter
+    (fun (e : Smart_proto.Records.net_entry) ->
+      match Hashtbl.find_opt t.peer_index e.Smart_proto.Records.peer with
+      | None -> ()
+      | Some entries ->
+        (match
+           List.filter (fun (m, _) -> not (String.equal m monitor)) entries
+         with
+        | [] -> Hashtbl.remove t.peer_index e.Smart_proto.Records.peer
+        | rest -> Hashtbl.replace t.peer_index e.Smart_proto.Records.peer rest))
+    record.Smart_proto.Records.entries
+
+let index_net t ~monitor (record : Smart_proto.Records.net_record) =
+  List.iter
+    (fun (e : Smart_proto.Records.net_entry) ->
+      let previous =
+        Option.value ~default:[]
+          (Hashtbl.find_opt t.peer_index e.Smart_proto.Records.peer)
+      in
+      Hashtbl.replace t.peer_index e.Smart_proto.Records.peer
+        ((monitor, e) :: previous))
+    record.Smart_proto.Records.entries
+
 let update_net t (record : Smart_proto.Records.net_record) =
-  Hashtbl.replace t.net record.Smart_proto.Records.monitor record
+  let monitor = record.Smart_proto.Records.monitor in
+  (match Hashtbl.find_opt t.net monitor with
+  | Some old -> unindex_net t ~monitor old
+  | None -> ());
+  Hashtbl.replace t.net monitor record;
+  index_net t ~monitor record;
+  bump t
 
 let find_net t ~monitor = Hashtbl.find_opt t.net monitor
 
@@ -48,18 +132,26 @@ let net_records t =
   |> List.sort (fun a b ->
          compare a.Smart_proto.Records.monitor b.Smart_proto.Records.monitor)
 
-(* Network metrics toward a given target host, looked up across all
-   monitor records. *)
+(* Network metrics toward a given target host.  When several monitors
+   report the same peer the winner is deterministic regardless of
+   insertion or hashtable order: freshest [measured_at] first, lowest
+   monitor name on ties. *)
 let net_entry_for t ~target =
-  Hashtbl.fold
-    (fun _ (r : Smart_proto.Records.net_record) acc ->
-      match acc with
-      | Some _ -> acc
-      | None ->
-        List.find_opt
-          (fun e -> String.equal e.Smart_proto.Records.peer target)
-          r.Smart_proto.Records.entries)
-    t.net None
+  match Hashtbl.find_opt t.peer_index target with
+  | None -> None
+  | Some entries ->
+    let better (m1, (e1 : Smart_proto.Records.net_entry)) (m2, e2) =
+      if e1.Smart_proto.Records.measured_at > e2.Smart_proto.Records.measured_at
+      then (m1, e1)
+      else if
+        e1.Smart_proto.Records.measured_at < e2.Smart_proto.Records.measured_at
+      then (m2, e2)
+      else if String.compare m1 m2 <= 0 then (m1, e1)
+      else (m2, e2)
+    in
+    (match entries with
+    | [] -> None
+    | first :: rest -> Some (snd (List.fold_left better first rest)))
 
 let replace_sec t (record : Smart_proto.Records.sec_record) =
   Hashtbl.reset t.sec;
@@ -67,7 +159,8 @@ let replace_sec t (record : Smart_proto.Records.sec_record) =
     (fun e ->
       Hashtbl.replace t.sec e.Smart_proto.Records.host
         e.Smart_proto.Records.level)
-    record.Smart_proto.Records.entries
+    record.Smart_proto.Records.entries;
+  bump t
 
 let security_level t ~host = Hashtbl.find_opt t.sec host
 
@@ -84,4 +177,8 @@ let sec_record t =
 
 let sys_count t = Hashtbl.length t.sys
 
-let remove_sys t ~host = Hashtbl.remove t.sys host
+let remove_sys t ~host =
+  if Hashtbl.mem t.sys host then begin
+    Hashtbl.remove t.sys host;
+    bump t
+  end

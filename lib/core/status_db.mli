@@ -1,16 +1,32 @@
 (** The three status databases (system / network / security) shared
     between monitors, transmitter, receiver and wizard — the in-memory
-    stand-in for the thesis's System V shared memory segments. *)
+    stand-in for the thesis's System V shared memory segments.
+
+    The store is versioned: every mutating write bumps a monotonic
+    generation counter (sweeps bump it only when something was actually
+    removed), so readers can memoize derived views and rebuild them only
+    when the data really changed.  Network entries are additionally kept
+    in a peer-keyed secondary index, making per-target lookups O(1). *)
 
 type t
 
 val create : unit -> t
 
+(** Monotonic write counter.  Equal generations guarantee identical
+    contents; readers key caches on it. *)
+val generation : t -> int
+
 val update_sys : t -> Smart_proto.Records.sys_record -> unit
+
+(** Store a whole snapshot of system records under a single generation
+    bump (the receiver's per-frame write). *)
+val update_sys_many : t -> Smart_proto.Records.sys_record list -> unit
 
 val find_sys : t -> host:string -> Smart_proto.Records.sys_record option
 
-(** All system records, sorted by host name (the wizard's scan order). *)
+(** All system records, sorted by host name (the wizard's scan order).
+    Cached per generation: repeated calls on an unchanged database
+    return the same (physically equal) list. *)
 val sys_records : t -> Smart_proto.Records.sys_record list
 
 (** Remove records older than [max_age]; returns how many were dropped. *)
@@ -22,7 +38,10 @@ val find_net : t -> monitor:string -> Smart_proto.Records.net_record option
 
 val net_records : t -> Smart_proto.Records.net_record list
 
-(** Metrics toward [target], searched across all monitor records. *)
+(** Metrics toward [target], resolved through the peer index.  When
+    several monitors report the same peer, the freshest [measured_at]
+    wins, then the lowest monitor name — deterministic regardless of
+    insertion order. *)
 val net_entry_for : t -> target:string -> Smart_proto.Records.net_entry option
 
 (** Replace the whole security table. *)
@@ -34,5 +53,6 @@ val sec_record : t -> Smart_proto.Records.sec_record
 
 val sys_count : t -> int
 
-(** Drop one server record (used by the receiver's mirror semantics). *)
+(** Drop one server record (used by the receiver's mirror semantics).
+    Bumps the generation only if the host was present. *)
 val remove_sys : t -> host:string -> unit

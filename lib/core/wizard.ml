@@ -4,7 +4,20 @@
    Centralized mode answers straight from the receiver-maintained
    databases.  Distributed mode first pulls fresh snapshots from every
    transmitter, parks the request, and answers when the data has arrived
-   (or a freshness deadline passes). *)
+   (or a freshness deadline passes).
+
+   Two caches keep the request path off the database:
+
+   - compiled requirements live in a bounded LRU keyed by source text,
+     so repeated requests (the common case for a popular requirement)
+     skip the lexer and parser entirely;
+   - the server-view snapshot is memoized on the database generation, so
+     back-to-back requests against unchanged data rebuild nothing;
+   - whole selection results are memoized in a second LRU keyed by
+     (requirement, wanted) and validated against the generation:
+     selection is a pure function of the snapshot, so serving the
+     memoized result while the generation is unchanged is exact, and a
+     single status write invalidates everything at once. *)
 
 type mode =
   | Centralized
@@ -35,6 +48,8 @@ let default_local_entry =
 
 type config = { mode : mode; groups : groups option }
 
+let default_compile_cache_capacity = 128
+
 type pending = {
   from : Output.address;
   request : Smart_proto.Wizard_msg.request;
@@ -45,18 +60,30 @@ type pending = {
 type t = {
   config : config;
   db : Status_db.t;
-  mutable pending : pending list;
+  pending : pending Queue.t;
+  compile_cache :
+    (Smart_lang.Ast.program, Smart_lang.Requirement.compile_error) result
+    Smart_util.Lru.t;
+  result_cache : (int * Selection.result) Smart_util.Lru.t;
+      (* (generation, result); stale when the generation moved *)
+  mutable snapshot : Selection.snapshot option;
+  mutable snapshot_rebuilds : int;
   mutable updates_seen : int;
   mutable requests_handled : int;
   mutable compile_errors : int;
   mutable last_result : Selection.result option;
 }
 
-let create config db =
+let create ?(compile_cache_capacity = default_compile_cache_capacity) config db
+    =
   {
     config;
     db;
-    pending = [];
+    pending = Queue.create ();
+    compile_cache = Smart_util.Lru.create ~capacity:compile_cache_capacity;
+    result_cache = Smart_util.Lru.create ~capacity:compile_cache_capacity;
+    snapshot = None;
+    snapshot_rebuilds = 0;
     updates_seen = 0;
     requests_handled = 0;
     compile_errors = 0;
@@ -87,17 +114,39 @@ let net_for t ~host =
             String.equal e.Smart_proto.Records.peer group)
           record.Smart_proto.Records.entries))
 
-let server_views t =
-  List.map
-    (fun (record : Smart_proto.Records.sys_record) ->
-      let report = record.Smart_proto.Records.report in
-      let host = report.Smart_proto.Report.host in
-      {
-        Selection.record;
-        net = net_for t ~host;
-        security_level = Status_db.security_level t.db ~host;
-      })
-    (Status_db.sys_records t.db)
+let build_snapshot t ~generation =
+  t.snapshot_rebuilds <- t.snapshot_rebuilds + 1;
+  Selection.snapshot ~generation
+    (List.map
+       (fun (record : Smart_proto.Records.sys_record) ->
+         let report = record.Smart_proto.Records.report in
+         let host = report.Smart_proto.Report.host in
+         {
+           Selection.record;
+           net = net_for t ~host;
+           security_level = Status_db.security_level t.db ~host;
+         })
+       (Status_db.sys_records t.db))
+
+(* The server views at the current database generation, rebuilt only
+   when a write moved the generation since the last request. *)
+let server_snapshot t =
+  let generation = Status_db.generation t.db in
+  match t.snapshot with
+  | Some s when Selection.snapshot_generation s = generation -> s
+  | Some _ | None ->
+    let s = build_snapshot t ~generation in
+    t.snapshot <- Some s;
+    s
+
+let compile t source =
+  let key = Smart_lang.Requirement.cache_key source in
+  match Smart_util.Lru.find t.compile_cache key with
+  | Some result -> result
+  | None ->
+    let result = Smart_lang.Requirement.compile source in
+    Smart_util.Lru.add t.compile_cache key result;
+    result
 
 let reply_to (request : Smart_proto.Wizard_msg.request) ~from ~servers =
   let reply =
@@ -108,19 +157,37 @@ let reply_to (request : Smart_proto.Wizard_msg.request) ~from ~servers =
       (Smart_proto.Wizard_msg.encode_reply reply);
   ]
 
+(* The selection result for (requirement, wanted) at the current
+   generation — memoized because [Selection.select] is a pure function
+   of the snapshot, the program and the count. *)
+let select_cached t ~source ~wanted =
+  let generation = Status_db.generation t.db in
+  let key =
+    Printf.sprintf "%d\x00%s" wanted (Smart_lang.Requirement.cache_key source)
+  in
+  match Smart_util.Lru.find t.result_cache key with
+  | Some (g, result) when g = generation -> Some result
+  | Some _ | None ->
+    (match compile t source with
+    | Error _ -> None
+    | Ok program ->
+      let result =
+        Selection.select ~requirement:program ~servers:(server_snapshot t)
+          ~wanted
+      in
+      Smart_util.Lru.add t.result_cache key (generation, result);
+      Some result)
+
 let process t (request : Smart_proto.Wizard_msg.request) ~from =
   t.requests_handled <- t.requests_handled + 1;
   match
-    Smart_lang.Requirement.compile request.Smart_proto.Wizard_msg.requirement
+    select_cached t ~source:request.Smart_proto.Wizard_msg.requirement
+      ~wanted:request.Smart_proto.Wizard_msg.server_num
   with
-  | Error _ ->
+  | None ->
     t.compile_errors <- t.compile_errors + 1;
     reply_to request ~from ~servers:[]
-  | Ok program ->
-    let result =
-      Selection.select ~requirement:program ~servers:(server_views t)
-        ~wanted:request.Smart_proto.Wizard_msg.server_num
-    in
+  | Some result ->
     t.last_result <- Some result;
     reply_to request ~from ~servers:result.Selection.selected
 
@@ -135,9 +202,9 @@ let handle_request t ~now ~from data =
       let target_updates =
         t.updates_seen + (3 * List.length transmitters)
       in
-      t.pending <-
-        t.pending
-        @ [ { from; request; deadline = now +. freshness_timeout; target_updates } ];
+      Queue.add
+        { from; request; deadline = now +. freshness_timeout; target_updates }
+        t.pending;
       List.map
         (fun (addr : Output.address) ->
           Output.udp ~host:addr.Output.host ~port:addr.Output.port
@@ -147,18 +214,28 @@ let handle_request t ~now ~from data =
 (* Flush distributed-mode requests whose data is fresh (all transmitters
    re-reported) or whose deadline passed. *)
 let tick t ~now =
+  let parked = List.of_seq (Queue.to_seq t.pending) in
+  Queue.clear t.pending;
   let ready, waiting =
     List.partition
       (fun p -> t.updates_seen >= p.target_updates || now >= p.deadline)
-      t.pending
+      parked
   in
-  t.pending <- waiting;
+  List.iter (fun p -> Queue.add p t.pending) waiting;
   List.concat_map (fun p -> process t p.request ~from:p.from) ready
 
-let pending_count t = List.length t.pending
+let pending_count t = Queue.length t.pending
 
 let requests_handled t = t.requests_handled
 
 let compile_errors t = t.compile_errors
+
+let compile_cache_stats t =
+  (Smart_util.Lru.hits t.compile_cache, Smart_util.Lru.misses t.compile_cache)
+
+let result_cache_stats t =
+  (Smart_util.Lru.hits t.result_cache, Smart_util.Lru.misses t.result_cache)
+
+let snapshot_rebuilds t = t.snapshot_rebuilds
 
 let last_result t = t.last_result

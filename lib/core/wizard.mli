@@ -25,7 +25,12 @@ type config = { mode : mode; groups : groups option }
 
 type t
 
-val create : config -> Status_db.t -> t
+(** Compiled requirements kept in the LRU compile cache (128). *)
+val default_compile_cache_capacity : int
+
+(** [compile_cache_capacity] bounds the requirement compile cache;
+    0 disables it (every request recompiles). *)
+val create : ?compile_cache_capacity:int -> config -> Status_db.t -> t
 
 (** Called by the receiver for every applied frame. *)
 val note_update : t -> unit
@@ -43,6 +48,18 @@ val pending_count : t -> int
 val requests_handled : t -> int
 
 val compile_errors : t -> int
+
+(** Requirement compile cache [(hits, misses)]. *)
+val compile_cache_stats : t -> int * int
+
+(** Selection result cache [(hits, misses)].  A hit means the reply was
+    served without recompiling or rescanning anything; entries are
+    invalidated wholesale by any database generation change. *)
+val result_cache_stats : t -> int * int
+
+(** How many times the server-view snapshot was (re)built; stays flat
+    across requests while the database generation is unchanged. *)
+val snapshot_rebuilds : t -> int
 
 (** Diagnostics of the most recent selection. *)
 val last_result : t -> Selection.result option

@@ -6,6 +6,12 @@ type compile_error = { line : int; col : int; message : string }
 let pp_compile_error ppf e =
   Fmt.pf ppf "requirement error at %d:%d: %s" e.line e.col e.message
 
+(* Key under which a compiled program may be cached.  Lexing skips
+   whitespace, so sources differing only in surrounding blank space
+   compile identically; trimming lets them share one cache slot.  The
+   key stays O(n) in the source length and allocates at most once. *)
+let cache_key src = String.trim src
+
 let compile src : (Ast.program, compile_error) result =
   match Parser.parse src with
   | Ok program -> Ok program

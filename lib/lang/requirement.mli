@@ -4,6 +4,10 @@ type compile_error = { line : int; col : int; message : string }
 
 val pp_compile_error : Format.formatter -> compile_error -> unit
 
+(** Cheap canonical key for caching compiled programs by source text:
+    two sources with the same key compile to the same program. *)
+val cache_key : string -> string
+
 (** Lex and parse a requirement text. *)
 val compile : string -> (Ast.program, compile_error) result
 

@@ -91,6 +91,114 @@ let test_db_sec () =
   Alcotest.(check (option int)) "replaced wholesale" None
     (C.Status_db.security_level db ~host:"a")
 
+let net_entry ?(delay = 0.001) ?(bandwidth = 1e6) ?(measured_at = 0.0) peer =
+  { P.Records.peer; delay; bandwidth; measured_at }
+
+let test_db_generation () =
+  let db = C.Status_db.create () in
+  let g0 = C.Status_db.generation db in
+  C.Status_db.update_sys db (sys_record ~at:1.0 ());
+  Alcotest.(check bool) "sys write bumps" true (C.Status_db.generation db > g0);
+  let g1 = C.Status_db.generation db in
+  C.Status_db.update_net db
+    { P.Records.monitor = "mon"; entries = [ net_entry "helene" ] };
+  Alcotest.(check bool) "net write bumps" true (C.Status_db.generation db > g1);
+  let g2 = C.Status_db.generation db in
+  C.Status_db.replace_sec db
+    { P.Records.entries = [ { P.Records.host = "a"; level = 1 } ] };
+  Alcotest.(check bool) "sec write bumps" true (C.Status_db.generation db > g2);
+  let g3 = C.Status_db.generation db in
+  (* removing an absent host must not move the generation *)
+  C.Status_db.remove_sys db ~host:"nobody";
+  Alcotest.(check int) "no-op remove keeps generation" g3
+    (C.Status_db.generation db);
+  C.Status_db.remove_sys db ~host:"helene";
+  Alcotest.(check bool) "real remove bumps" true
+    (C.Status_db.generation db > g3);
+  (* batched writes cost a single generation *)
+  let g4 = C.Status_db.generation db in
+  C.Status_db.update_sys_many db
+    [
+      sys_record ~host:"x" ~ip:"1.1.1.1" ~at:2.0 ();
+      sys_record ~host:"y" ~ip:"1.1.1.2" ~at:2.0 ();
+    ];
+  Alcotest.(check int) "batch = one bump" (g4 + 1) (C.Status_db.generation db);
+  C.Status_db.update_sys_many db [];
+  Alcotest.(check int) "empty batch = no bump" (g4 + 1)
+    (C.Status_db.generation db)
+
+let test_db_sweep_generation () =
+  let db = C.Status_db.create () in
+  C.Status_db.update_sys db (sys_record ~host:"old" ~ip:"1.1.1.1" ~at:0.0 ());
+  C.Status_db.update_sys db (sys_record ~host:"new" ~ip:"1.1.1.2" ~at:9.0 ());
+  let g = C.Status_db.generation db in
+  Alcotest.(check int) "idle sweep removes nothing" 0
+    (C.Status_db.sweep_sys db ~now:10.0 ~max_age:60.0);
+  Alcotest.(check int) "idle sweep keeps generation" g
+    (C.Status_db.generation db);
+  Alcotest.(check int) "real sweep removes" 1
+    (C.Status_db.sweep_sys db ~now:10.0 ~max_age:6.0);
+  Alcotest.(check bool) "real sweep bumps" true (C.Status_db.generation db > g)
+
+let test_db_sys_records_cached () =
+  let db = C.Status_db.create () in
+  C.Status_db.update_sys db (sys_record ~host:"b" ~ip:"1.1.1.2" ~at:1.0 ());
+  C.Status_db.update_sys db (sys_record ~host:"a" ~ip:"1.1.1.1" ~at:1.0 ());
+  let first = C.Status_db.sys_records db in
+  Alcotest.(check (list string)) "sorted by host" [ "a"; "b" ]
+    (List.map (fun r -> r.P.Records.report.P.Report.host) first);
+  Alcotest.(check bool) "same generation reuses the snapshot" true
+    (first == C.Status_db.sys_records db);
+  C.Status_db.update_sys db (sys_record ~host:"c" ~ip:"1.1.1.3" ~at:1.0 ());
+  let second = C.Status_db.sys_records db in
+  Alcotest.(check bool) "write invalidates" false (first == second);
+  Alcotest.(check int) "rebuilt view sees the write" 3 (List.length second)
+
+(* The winner among several monitors reporting the same peer must not
+   depend on hashtable iteration or insertion order: freshest
+   measured_at first, lowest monitor name on ties. *)
+let test_db_net_entry_deterministic () =
+  let records =
+    [
+      { P.Records.monitor = "mz";
+        entries = [ net_entry ~bandwidth:1e6 ~measured_at:5.0 "peer" ] };
+      { P.Records.monitor = "ma";
+        entries = [ net_entry ~bandwidth:2e6 ~measured_at:9.0 "peer" ] };
+      { P.Records.monitor = "mb";
+        entries = [ net_entry ~bandwidth:3e6 ~measured_at:9.0 "peer" ] };
+    ]
+  in
+  let winner_with order =
+    let db = C.Status_db.create () in
+    List.iter (fun i -> C.Status_db.update_net db (List.nth records i)) order;
+    match C.Status_db.net_entry_for db ~target:"peer" with
+    | Some e -> e.P.Records.bandwidth
+    | None -> Alcotest.fail "entry missing"
+  in
+  (* all six insertion orders agree: ma wins (measured_at 9.0, "ma" < "mb") *)
+  List.iter
+    (fun order ->
+      Alcotest.(check (float 1e-9)) "insertion-order independent" 2e6
+        (winner_with order))
+    [ [0;1;2]; [0;2;1]; [1;0;2]; [1;2;0]; [2;0;1]; [2;1;0] ];
+  (* re-reporting replaces the old index entries instead of stacking *)
+  let db = C.Status_db.create () in
+  C.Status_db.update_net db
+    { P.Records.monitor = "m";
+      entries = [ net_entry ~bandwidth:1e6 ~measured_at:1.0 "peer" ] };
+  C.Status_db.update_net db
+    { P.Records.monitor = "m";
+      entries = [ net_entry ~bandwidth:7e6 ~measured_at:2.0 "peer" ] };
+  (match C.Status_db.net_entry_for db ~target:"peer" with
+  | Some e ->
+    Alcotest.(check (float 1e-9)) "replaced, not stacked" 7e6
+      e.P.Records.bandwidth
+  | None -> Alcotest.fail "entry missing");
+  (* a record dropping a peer removes it from the index *)
+  C.Status_db.update_net db { P.Records.monitor = "m"; entries = [] };
+  Alcotest.(check bool) "dropped peer unindexed" true
+    (C.Status_db.net_entry_for db ~target:"peer" = None)
+
 (* ------------------------------------------------------------------ *)
 (* Probe                                                                *)
 (* ------------------------------------------------------------------ *)
@@ -345,6 +453,12 @@ let compile src =
   | Error e ->
     Alcotest.failf "compile: %a" Smart_lang.Requirement.pp_compile_error e
 
+(* Selection consumes immutable snapshots; wrap ad-hoc view lists. *)
+let select ~requirement ~servers ~wanted =
+  C.Selection.select ~requirement
+    ~servers:(C.Selection.snapshot servers)
+    ~wanted
+
 let test_selection_filters () =
   let servers =
     [
@@ -354,7 +468,7 @@ let test_selection_filters () =
     ]
   in
   let r =
-    C.Selection.select ~requirement:(compile "host_cpu_free > 0.9\n") ~servers
+    select ~requirement:(compile "host_cpu_free > 0.9\n") ~servers
       ~wanted:10
   in
   Alcotest.(check (list string)) "only qualified, scan order"
@@ -370,7 +484,7 @@ let test_selection_wanted_limit () =
           ())
   in
   let r =
-    C.Selection.select ~requirement:(compile "100 > 0\n") ~servers ~wanted:2
+    select ~requirement:(compile "100 > 0\n") ~servers ~wanted:2
   in
   Alcotest.(check int) "cut to wanted" 2 (List.length r.C.Selection.selected)
 
@@ -382,7 +496,7 @@ let test_selection_denied () =
     ]
   in
   let r =
-    C.Selection.select
+    select
       ~requirement:(compile "user_denied_host1 = a\n100 > 0\n")
       ~servers ~wanted:10
   in
@@ -390,7 +504,7 @@ let test_selection_denied () =
     r.C.Selection.selected;
   (* denial also matches by IP *)
   let r2 =
-    C.Selection.select
+    select
       ~requirement:(compile "user_denied_host1 = 1.0.0.2\n100 > 0\n")
       ~servers ~wanted:10
   in
@@ -406,7 +520,7 @@ let test_selection_preferred_order () =
     ]
   in
   let r =
-    C.Selection.select
+    select
       ~requirement:
         (compile "user_preferred_host1 = c\nuser_preferred_host2 = b\n100 > 0\n")
       ~servers ~wanted:10
@@ -422,7 +536,7 @@ let test_selection_preferred_must_qualify () =
     ]
   in
   let r =
-    C.Selection.select
+    select
       ~requirement:
         (compile "user_preferred_host1 = slowpref\nhost_cpu_free > 0.9\n")
       ~servers ~wanted:10
@@ -442,7 +556,7 @@ let test_selection_monitor_bindings () =
     ]
   in
   let r =
-    C.Selection.select ~requirement:(compile "monitor_network_bw > 6\n")
+    select ~requirement:(compile "monitor_network_bw > 6\n")
       ~servers ~wanted:10
   in
   (* unmeasured servers fail the bandwidth requirement (unbound -> false) *)
@@ -457,7 +571,7 @@ let test_selection_security_binding () =
     ]
   in
   let r =
-    C.Selection.select ~requirement:(compile "host_security_level >= 3\n")
+    select ~requirement:(compile "host_security_level >= 3\n")
       ~servers ~wanted:10
   in
   Alcotest.(check (list string)) "clearance filter" [ "sec5" ]
@@ -474,7 +588,7 @@ let test_selection_order_by () =
     ]
   in
   let r =
-    C.Selection.select
+    select
       ~requirement:(compile "order_by = host_memory_free\n100 > 0\n")
       ~servers ~wanted:3
   in
@@ -483,7 +597,7 @@ let test_selection_order_by () =
     r.C.Selection.selected;
   (* order_by composes with qualification and arbitrary expressions *)
   let r2 =
-    C.Selection.select
+    select
       ~requirement:
         (compile "host_memory_free > 5\norder_by = 0 - host_memory_free\n")
       ~servers ~wanted:2
@@ -493,7 +607,7 @@ let test_selection_order_by () =
     r2.C.Selection.selected;
   (* preferred hosts still outrank the order_by key *)
   let r3 =
-    C.Selection.select
+    select
       ~requirement:
         (compile
            "order_by = host_memory_free\nuser_preferred_host1 = tiny\n100 > 0\n")
@@ -504,7 +618,7 @@ let test_selection_order_by () =
     r3.C.Selection.selected;
   (* without order_by, scan order is preserved (no behaviour change) *)
   let r4 =
-    C.Selection.select ~requirement:(compile "100 > 0\n") ~servers ~wanted:4
+    select ~requirement:(compile "100 > 0\n") ~servers ~wanted:4
   in
   Alcotest.(check (list string)) "scan order without order_by"
     [ "small"; "large"; "medium"; "tiny" ]
@@ -546,7 +660,7 @@ let test_selection_fig14_scenario () =
      user_denied_host1 = hacker.some.net\n"
   in
   let r =
-    C.Selection.select ~requirement:(compile requirement) ~servers ~wanted:3
+    select ~requirement:(compile requirement) ~servers ~wanted:3
   in
   Alcotest.(check (list string)) "B2, C1, D1 as in Fig 1.4"
     [ "b2"; "c1"; "d1" ] r.C.Selection.selected
@@ -554,7 +668,7 @@ let test_selection_fig14_scenario () =
 let test_selection_empty_and_limits () =
   (* no servers at all *)
   let r =
-    C.Selection.select ~requirement:(compile "100 > 0\n") ~servers:[] ~wanted:5
+    select ~requirement:(compile "100 > 0\n") ~servers:[] ~wanted:5
   in
   Alcotest.(check (list string)) "empty pool" [] r.C.Selection.selected;
   (* more qualified servers than the 60-server reply bound *)
@@ -566,7 +680,7 @@ let test_selection_empty_and_limits () =
           ())
   in
   let r2 =
-    C.Selection.select ~requirement:(compile "100 > 0\n") ~servers ~wanted:100
+    select ~requirement:(compile "100 > 0\n") ~servers ~wanted:100
   in
   Alcotest.(check int) "capped at the Table 3.6 bound"
     P.Ports.max_reply_servers
@@ -733,6 +847,78 @@ let test_wizard_distributed_deadline () =
      whatever (stale) data exists *)
   Alcotest.(check int) "released at deadline" 1
     (List.length (C.Wizard.tick wizard ~now:3.5))
+
+let ask wizard ~wanted requirement =
+  match
+    C.Wizard.handle_request wizard ~now:1.0
+      ~from:{ C.Output.host = "c"; port = 1 }
+      (P.Wizard_msg.encode_request (client_request ~wanted requirement))
+  with
+  | [ C.Output.Udp { data; _ } ] ->
+    (match P.Wizard_msg.decode_reply data with
+    | Ok reply -> reply.P.Wizard_msg.servers
+    | Error e -> Alcotest.failf "reply: %s" e)
+  | _ -> Alcotest.fail "expected one reply"
+
+let test_wizard_compile_cache () =
+  let db = C.Status_db.create () in
+  C.Status_db.update_sys db (sys_record ~host:"a" ~ip:"1.0.0.1" ~at:0.0 ());
+  let wizard =
+    C.Wizard.create { C.Wizard.mode = C.Wizard.Centralized; groups = None } db
+  in
+  (* distinct [wanted] values are distinct result-cache keys, so the
+     second request exercises the compile cache on its own *)
+  Alcotest.(check (list string)) "wanted 1" [ "a" ]
+    (ask wizard ~wanted:1 "host_cpu_free > 0.1\n");
+  Alcotest.(check (list string)) "wanted 2, same source" [ "a" ]
+    (ask wizard ~wanted:2 "host_cpu_free > 0.1\n");
+  Alcotest.(check (pair int int)) "compiled once" (1, 1)
+    (C.Wizard.compile_cache_stats wizard);
+  (* cache keys are whitespace-trimmed: a re-sent requirement with
+     padding still hits *)
+  ignore (ask wizard ~wanted:3 "  host_cpu_free > 0.1\n  ");
+  Alcotest.(check (pair int int)) "trimmed key hits" (2, 1)
+    (C.Wizard.compile_cache_stats wizard);
+  (* a disabled cache (capacity 0) still answers correctly *)
+  let uncached =
+    C.Wizard.create ~compile_cache_capacity:0
+      { C.Wizard.mode = C.Wizard.Centralized; groups = None }
+      db
+  in
+  ignore (ask uncached ~wanted:1 "host_cpu_free > 0.1\n");
+  ignore (ask uncached ~wanted:1 "host_cpu_free > 0.1\n");
+  Alcotest.(check (pair int int)) "capacity 0 never hits" (0, 2)
+    (C.Wizard.compile_cache_stats uncached)
+
+let test_wizard_result_cache_and_snapshot () =
+  let db = C.Status_db.create () in
+  C.Status_db.update_sys db (sys_record ~host:"a" ~ip:"1.0.0.1" ~at:0.0 ());
+  C.Status_db.update_sys db
+    (sys_record ~host:"b" ~ip:"1.0.0.2" ~cpu_free:0.1 ~at:0.0 ());
+  let wizard =
+    C.Wizard.create { C.Wizard.mode = C.Wizard.Centralized; groups = None } db
+  in
+  let requirement = "host_cpu_free > 0.5\n" in
+  Alcotest.(check (list string)) "first answer" [ "a" ]
+    (ask wizard ~wanted:2 requirement);
+  ignore (ask wizard ~wanted:2 requirement);
+  ignore (ask wizard ~wanted:2 requirement);
+  (let hits, _ = C.Wizard.result_cache_stats wizard in
+   Alcotest.(check int) "repeats served from the result cache" 2 hits);
+  Alcotest.(check int) "one snapshot for the whole burst" 1
+    (C.Wizard.snapshot_rebuilds wizard);
+  (* a write moves the generation: the memoized result must NOT be
+     served, and the snapshot is rebuilt exactly once more *)
+  C.Status_db.update_sys db
+    (sys_record ~host:"c" ~ip:"1.0.0.3" ~at:0.5 ());
+  Alcotest.(check (list string)) "write invalidates the cached result"
+    [ "a"; "c" ]
+    (ask wizard ~wanted:2 requirement);
+  Alcotest.(check int) "rebuilt once after the write" 2
+    (C.Wizard.snapshot_rebuilds wizard);
+  ignore (ask wizard ~wanted:2 requirement);
+  Alcotest.(check int) "then memoized again" 2
+    (C.Wizard.snapshot_rebuilds wizard)
 
 (* ------------------------------------------------------------------ *)
 (* Client                                                               *)
@@ -991,6 +1177,39 @@ let test_sim_traffic_stats () =
   let tx_msgs, _ = C.Simdriver.traffic_stats d "transmitter" in
   Alcotest.(check bool) "transmitter pushed" true (tx_msgs > 0)
 
+(* Golden equivalence: reply sequences captured from the seed wizard
+   (before the status-plane refactor) on the ICPP-2005 testbed.  The
+   requests run in this exact order — each one advances virtual time —
+   and every list is compared byte-for-byte, order included.  A diff
+   here means the refactor changed behaviour, not just structure. *)
+let test_sim_golden_selection () =
+  let _, d = deploy () in
+  C.Simdriver.settle ~duration:8.0 d;
+  ignore (C.Simdriver.refresh_netmon ~trials:3 d);
+  let req name ~wanted ~expect requirement =
+    match C.Simdriver.request d ~client:"sagit" ~wanted ~requirement with
+    | Ok servers -> Alcotest.(check (list string)) name expect servers
+    | Error e -> Alcotest.failf "%s failed: %a" name C.Client.pp_error e
+  in
+  req "g1" ~wanted:5 ~expect:[ "dalmatian"; "dione" ]
+    "host_cpu_bogomips > 4000\n";
+  req "g2" ~wanted:4 ~expect:[ "dalmatian"; "dione"; "calypso"; "helene" ]
+    "order_by = host_memory_free\n100 > 0\n";
+  req "g3" ~wanted:3 ~expect:[ "calypso"; "dalmatian"; "dione" ]
+    "host_cpu_free > 0.5\nuser_preferred_host1 = suna\n";
+  req "g4" ~wanted:10
+    ~expect:
+      [ "calypso"; "dalmatian"; "dione"; "helene"; "lhost"; "mimas";
+        "pandora-x"; "phoebe"; "sagit"; "telesto" ]
+    "monitor_network_delay < 20\nhost_memory_free >= 50\n";
+  req "g5" ~wanted:6
+    ~expect:[ "dalmatian"; "pandora-x"; "calypso"; "helene"; "phoebe"; "titan-x" ]
+    "order_by = host_cpu_bogomips\nhost_memory_free > 100\nuser_denied_host1 = dione\n";
+  (* the scenario is stable across further virtual time *)
+  C.Simdriver.settle ~duration:2.0 d;
+  req "g1b" ~wanted:5 ~expect:[ "dalmatian"; "dione" ]
+    "host_cpu_bogomips > 4000\n"
+
 let () =
   Alcotest.run "smart_core"
     [
@@ -1000,6 +1219,13 @@ let () =
           Alcotest.test_case "sweep" `Quick test_db_sweep;
           Alcotest.test_case "net entry lookup" `Quick test_db_net_entry_for;
           Alcotest.test_case "security" `Quick test_db_sec;
+          Alcotest.test_case "generation semantics" `Quick test_db_generation;
+          Alcotest.test_case "sweep bumps only on removal" `Quick
+            test_db_sweep_generation;
+          Alcotest.test_case "sys_records memoized" `Quick
+            test_db_sys_records_cached;
+          Alcotest.test_case "net entry determinism" `Quick
+            test_db_net_entry_deterministic;
         ] );
       ( "probe",
         [
@@ -1055,6 +1281,9 @@ let () =
           Alcotest.test_case "garbage dropped" `Quick test_wizard_garbage_dropped;
           Alcotest.test_case "distributed pull flow" `Quick
             test_wizard_distributed_pull_flow;
+          Alcotest.test_case "compile cache" `Quick test_wizard_compile_cache;
+          Alcotest.test_case "result cache + snapshot" `Quick
+            test_wizard_result_cache_and_snapshot;
           Alcotest.test_case "distributed deadline" `Quick
             test_wizard_distributed_deadline;
         ] );
@@ -1082,5 +1311,7 @@ let () =
           Alcotest.test_case "TCP reports end-to-end" `Quick
             test_sim_tcp_probe_transport;
           Alcotest.test_case "traffic stats" `Quick test_sim_traffic_stats;
+          Alcotest.test_case "golden selection equivalence" `Quick
+            test_sim_golden_selection;
         ] );
     ]

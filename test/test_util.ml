@@ -296,6 +296,58 @@ let test_tabular_extra_cells_dropped () =
      in
      search 0)
 
+(* ------------------------------------------------------------------ *)
+(* Lru                                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let test_lru_basics () =
+  let l = Smart_util.Lru.create ~capacity:2 in
+  Smart_util.Lru.add l "a" 1;
+  Smart_util.Lru.add l "b" 2;
+  Alcotest.(check (option int)) "hit a" (Some 1) (Smart_util.Lru.find l "a");
+  Alcotest.(check (option int)) "miss c" None (Smart_util.Lru.find l "c");
+  Alcotest.(check int) "hits" 1 (Smart_util.Lru.hits l);
+  Alcotest.(check int) "misses" 1 (Smart_util.Lru.misses l);
+  (* "a" was just used, so inserting "c" evicts "b" *)
+  Smart_util.Lru.add l "c" 3;
+  Alcotest.(check int) "bounded" 2 (Smart_util.Lru.length l);
+  Alcotest.(check (option int)) "b evicted" None (Smart_util.Lru.find l "b");
+  Alcotest.(check (option int)) "a survived" (Some 1) (Smart_util.Lru.find l "a");
+  Alcotest.(check (option int)) "c present" (Some 3) (Smart_util.Lru.find l "c")
+
+let test_lru_replace_and_clear () =
+  let l = Smart_util.Lru.create ~capacity:3 in
+  Smart_util.Lru.add l "k" 1;
+  Smart_util.Lru.add l "k" 2;
+  Alcotest.(check int) "replace keeps one entry" 1 (Smart_util.Lru.length l);
+  Alcotest.(check (option int)) "replaced value" (Some 2)
+    (Smart_util.Lru.find l "k");
+  Smart_util.Lru.clear l;
+  Alcotest.(check int) "cleared" 0 (Smart_util.Lru.length l);
+  Alcotest.(check (option int)) "empty after clear" None
+    (Smart_util.Lru.find l "k")
+
+let test_lru_zero_capacity () =
+  let l = Smart_util.Lru.create ~capacity:0 in
+  Smart_util.Lru.add l "a" 1;
+  Alcotest.(check int) "accepts nothing" 0 (Smart_util.Lru.length l);
+  Alcotest.(check (option int)) "always misses" None (Smart_util.Lru.find l "a")
+
+let test_lru_eviction_order () =
+  let l = Smart_util.Lru.create ~capacity:3 in
+  List.iter (fun (k, v) -> Smart_util.Lru.add l k v)
+    [ ("a", 1); ("b", 2); ("c", 3) ];
+  (* touch in reverse so "a" is most recent, then overflow twice *)
+  ignore (Smart_util.Lru.find l "b");
+  ignore (Smart_util.Lru.find l "a");
+  Smart_util.Lru.add l "d" 4;
+  Smart_util.Lru.add l "e" 5;
+  Alcotest.(check bool) "c evicted first" false (Smart_util.Lru.mem l "c");
+  Alcotest.(check bool) "b evicted second" false (Smart_util.Lru.mem l "b");
+  Alcotest.(check bool) "a kept" true (Smart_util.Lru.mem l "a");
+  Alcotest.(check bool) "d kept" true (Smart_util.Lru.mem l "d");
+  Alcotest.(check bool) "e kept" true (Smart_util.Lru.mem l "e")
+
 let qsuite = List.map QCheck_alcotest.to_alcotest
     [ prop_heap_sorted; prop_heap_length; prop_percentile_bounds ]
 
@@ -348,6 +400,14 @@ let () =
             test_stats_knee_needs_points;
           Alcotest.test_case "degenerate linear fit" `Quick
             test_stats_linear_fit_degenerate;
+        ] );
+      ( "lru",
+        [
+          Alcotest.test_case "basics" `Quick test_lru_basics;
+          Alcotest.test_case "replace and clear" `Quick
+            test_lru_replace_and_clear;
+          Alcotest.test_case "zero capacity" `Quick test_lru_zero_capacity;
+          Alcotest.test_case "eviction order" `Quick test_lru_eviction_order;
         ] );
       ("properties", qsuite);
     ]
