@@ -1,4 +1,4 @@
-.PHONY: all build test bench check clean
+.PHONY: all build test bench check doc clean
 
 all: build
 
@@ -12,8 +12,12 @@ test:
 bench:
 	dune exec bench/main.exe -- wizard
 
+# API docs; CI keeps this warning-clean.
+doc:
+	dune build @doc
+
 # What CI runs: full build, the whole test tree, and the wizard bench as
-# a smoke test of the request path.
+# a smoke test of the request path (plus `make doc`, its own step).
 check: build test bench
 
 clean:

@@ -116,12 +116,18 @@ let measure ~churn ~budget wizard db =
   done;
   float_of_int !iterations /. (Unix.gettimeofday () -. t0)
 
+(* JSON-safe float: the P² estimators only go non-finite when empty, but
+   a crash-proof dump beats a clever one. *)
+let json_float x = if Float.is_finite x then Printf.sprintf "%.9f" x else "null"
+
 let run () =
   let mk ~capacity =
     let db = C.Status_db.create () in
     populate db;
     let wizard =
-      C.Wizard.create ~compile_cache_capacity:capacity
+      (* the real wall clock feeds wizard.request_latency_seconds; the
+         default Sys.time is too coarse for µs-scale requests *)
+      C.Wizard.create ~compile_cache_capacity:capacity ~clock:Unix.gettimeofday
         { C.Wizard.mode = C.Wizard.Centralized; groups = None }
         db
     in
@@ -135,23 +141,36 @@ let run () =
   let speedup = warm_rps /. cold_rps in
   let hits, misses = C.Wizard.compile_cache_stats warm_wizard in
   let rhits, rmisses = C.Wizard.result_cache_stats warm_wizard in
+  let cold_lat = C.Wizard.request_latency_summary cold_wizard in
+  let warm_lat = C.Wizard.request_latency_summary warm_wizard in
+  let us x = Fmt.str "%.1f" (x *. 1e6) in
   let tab =
     Smart_util.Tabular.create
       ~title:
         (Printf.sprintf "wizard request throughput (%d servers, %d monitors)"
            servers monitors)
-      ~header:[ "configuration"; "requests/s"; "snapshot rebuilds" ]
+      ~header:
+        [
+          "configuration"; "requests/s"; "p50 µs"; "p95 µs"; "p99 µs";
+          "snapshot rebuilds";
+        ]
   in
   Smart_util.Tabular.add_row tab
     [
       "cold (no caches, churning db)";
       Fmt.str "%.0f" cold_rps;
+      us cold_lat.Smart_util.Metrics.p50;
+      us cold_lat.Smart_util.Metrics.p95;
+      us cold_lat.Smart_util.Metrics.p99;
       string_of_int (C.Wizard.snapshot_rebuilds cold_wizard);
     ];
   Smart_util.Tabular.add_row tab
     [
       "warm (compile + snapshot cache)";
       Fmt.str "%.0f" warm_rps;
+      us warm_lat.Smart_util.Metrics.p50;
+      us warm_lat.Smart_util.Metrics.p95;
+      us warm_lat.Smart_util.Metrics.p99;
       string_of_int (C.Wizard.snapshot_rebuilds warm_wizard);
     ];
   Smart_util.Tabular.print tab;
@@ -169,14 +188,26 @@ let run () =
     \  \"cold_requests_per_sec\": %.1f,\n\
     \  \"warm_requests_per_sec\": %.1f,\n\
     \  \"speedup\": %.2f,\n\
+    \  \"cold_latency_p50_s\": %s,\n\
+    \  \"cold_latency_p95_s\": %s,\n\
+    \  \"cold_latency_p99_s\": %s,\n\
+    \  \"warm_latency_p50_s\": %s,\n\
+    \  \"warm_latency_p95_s\": %s,\n\
+    \  \"warm_latency_p99_s\": %s,\n\
     \  \"warm_compile_cache_hits\": %d,\n\
     \  \"warm_compile_cache_misses\": %d,\n\
     \  \"warm_result_cache_hits\": %d,\n\
     \  \"warm_result_cache_misses\": %d,\n\
     \  \"warm_snapshot_rebuilds\": %d\n\
      }\n"
-    servers monitors budget cold_rps warm_rps speedup hits misses rhits
-    rmisses
+    servers monitors budget cold_rps warm_rps speedup
+    (json_float cold_lat.Smart_util.Metrics.p50)
+    (json_float cold_lat.Smart_util.Metrics.p95)
+    (json_float cold_lat.Smart_util.Metrics.p99)
+    (json_float warm_lat.Smart_util.Metrics.p50)
+    (json_float warm_lat.Smart_util.Metrics.p95)
+    (json_float warm_lat.Smart_util.Metrics.p99)
+    hits misses rhits rmisses
     (C.Wizard.snapshot_rebuilds warm_wizard);
   close_out oc;
   Fmt.pr "wrote BENCH_wizard.json@.";

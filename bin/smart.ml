@@ -174,6 +174,33 @@ let run_query wizard wanted expr file connect strict =
   end
 
 (* ------------------------------------------------------------------ *)
+(* metrics                                                              *)
+(* ------------------------------------------------------------------ *)
+
+(* Which daemon socket answers the scrape; see OBSERVABILITY.md. *)
+let metrics_port = function
+  | "wizard" -> Ok Smart_proto.Ports.wizard
+  | "monitor" -> Ok Smart_proto.Ports.transmitter
+  | "probe" -> Ok Smart_proto.Ports.probe
+  | c -> Error c
+
+let run_metrics host component json =
+  setup_logs (Some Logs.Warning);
+  match metrics_port component with
+  | Error c ->
+    Fmt.epr "unknown component %S (expected wizard, monitor or probe)@." c;
+    exit 2
+  | Ok port ->
+    let format =
+      if json then Smart_proto.Metrics_msg.Json else Smart_proto.Metrics_msg.Text
+    in
+    (match Smart_realnet.Client_io.scrape_metrics ~format (book ()) ~host ~port () with
+    | Error reason ->
+      Fmt.epr "scrape failed: %s@." reason;
+      exit 1
+    | Ok dump -> print_string dump)
+
+(* ------------------------------------------------------------------ *)
 (* cmdliner plumbing                                                    *)
 (* ------------------------------------------------------------------ *)
 
@@ -296,9 +323,35 @@ let query_cmd =
     (Cmd.info "query" ~doc:"Ask the wizard for qualified servers.")
     Term.(const run_query $ wizard $ wanted $ expr $ file $ connect $ strict)
 
+let metrics_cmd =
+  let target =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "host" ] ~docv:"NAME" ~doc:"Host the daemon runs on.")
+  in
+  let component =
+    Arg.(
+      value & opt string "wizard"
+      & info [ "component" ] ~docv:"KIND"
+          ~doc:
+            "Which daemon to scrape: $(b,wizard), $(b,monitor) (the \
+             transmitter's pull port) or $(b,probe) (the echo port).")
+  in
+  let json =
+    Arg.(
+      value & flag
+      & info [ "json" ] ~doc:"Emit the dump as JSON instead of text lines.")
+  in
+  Cmd.v
+    (Cmd.info "metrics"
+       ~doc:"Dump a running daemon's metrics registry (counters, gauges, \
+             latency quantiles).")
+    Term.(const run_metrics $ target $ component $ json)
+
 let () =
   let doc = "Smart TCP socket for distributed computing (ICPP 2005)" in
   exit
     (Cmd.eval
        (Cmd.group (Cmd.info "smart" ~version:"1.0.0" ~doc)
-          [ probe_cmd; monitor_cmd; wizard_cmd; query_cmd ]))
+          [ probe_cmd; monitor_cmd; wizard_cmd; query_cmd; metrics_cmd ]))

@@ -3,6 +3,8 @@
    option semantics.  Driver code (simulated or Unix) performs the send,
    the receive, and the final TCP connections to the candidates. *)
 
+module Metrics = Smart_util.Metrics
+
 type error =
   | Timeout
   | Wrong_seq of { expected : int; got : int }
@@ -17,9 +19,25 @@ let pp_error ppf = function
     Fmt.pf ppf "only %d of %d servers available" got wanted
   | Malformed m -> Fmt.pf ppf "malformed reply: %s" m
 
-type t = { rng : Smart_util.Prng.t }
+type t = {
+  rng : Smart_util.Prng.t;
+  requests_total : Metrics.Counter.t;
+  replies_ok_total : Metrics.Counter.t;
+  reply_errors_total : Metrics.Counter.t;
+}
 
-let create ~rng = { rng }
+let create ?(metrics = Metrics.create ()) ~rng () =
+  {
+    rng;
+    requests_total =
+      Metrics.counter metrics ~help:"requests built" "client.requests_total";
+    replies_ok_total =
+      Metrics.counter metrics ~help:"replies accepted" "client.replies_ok_total";
+    reply_errors_total =
+      Metrics.counter metrics
+        ~help:"replies rejected (sequence, count or decode)"
+        "client.reply_errors_total";
+  }
 
 let make_request t ~wanted ~option ~requirement =
   if wanted <= 0 then invalid_arg "Client.make_request: wanted must be positive";
@@ -27,6 +45,7 @@ let make_request t ~wanted ~option ~requirement =
     invalid_arg
       (Printf.sprintf "Client.make_request: at most %d servers per request"
          Smart_proto.Ports.max_reply_servers);
+  Metrics.Counter.incr t.requests_total;
   {
     Smart_proto.Wizard_msg.seq = Smart_util.Prng.int t.rng ~bound:0x3FFFFFFF;
     server_num = wanted;
@@ -37,29 +56,35 @@ let make_request t ~wanted ~option ~requirement =
 (* Validate a reply datagram against the outstanding request and apply
    the option field: [Strict] fails unless the full count came back,
    [Accept_partial] takes a non-empty subset. *)
-let check_reply (request : Smart_proto.Wizard_msg.request) data =
-  match Smart_proto.Wizard_msg.decode_reply data with
-  | Error m -> Error (Malformed m)
-  | Ok reply ->
-    if reply.Smart_proto.Wizard_msg.seq <> request.Smart_proto.Wizard_msg.seq
-    then
-      Error
-        (Wrong_seq
-           {
-             expected = request.Smart_proto.Wizard_msg.seq;
-             got = reply.Smart_proto.Wizard_msg.seq;
-           })
-    else begin
-      let servers = reply.Smart_proto.Wizard_msg.servers in
-      let got = List.length servers in
-      let wanted = request.Smart_proto.Wizard_msg.server_num in
-      match request.Smart_proto.Wizard_msg.option with
-      | Smart_proto.Wizard_msg.Strict ->
-        if got >= wanted then Ok servers
-        else Error (Not_enough { wanted; got })
-      | Smart_proto.Wizard_msg.Accept_partial ->
-        if got = 0 then Error (Not_enough { wanted; got }) else Ok servers
-    end
+let check_reply t (request : Smart_proto.Wizard_msg.request) data =
+  let result =
+    match Smart_proto.Wizard_msg.decode_reply data with
+    | Error m -> Error (Malformed m)
+    | Ok reply ->
+      if reply.Smart_proto.Wizard_msg.seq <> request.Smart_proto.Wizard_msg.seq
+      then
+        Error
+          (Wrong_seq
+             {
+               expected = request.Smart_proto.Wizard_msg.seq;
+               got = reply.Smart_proto.Wizard_msg.seq;
+             })
+      else begin
+        let servers = reply.Smart_proto.Wizard_msg.servers in
+        let got = List.length servers in
+        let wanted = request.Smart_proto.Wizard_msg.server_num in
+        match request.Smart_proto.Wizard_msg.option with
+        | Smart_proto.Wizard_msg.Strict ->
+          if got >= wanted then Ok servers
+          else Error (Not_enough { wanted; got })
+        | Smart_proto.Wizard_msg.Accept_partial ->
+          if got = 0 then Error (Not_enough { wanted; got }) else Ok servers
+      end
+  in
+  (match result with
+  | Ok _ -> Metrics.Counter.incr t.replies_ok_total
+  | Error _ -> Metrics.Counter.incr t.reply_errors_total);
+  result
 
 (* Pre-flight check: warn about variables no binding can ever supply. *)
 let lint_requirement requirement =

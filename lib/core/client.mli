@@ -1,17 +1,24 @@
 (** Protocol half of the client library (§3.6.2): request construction,
     reply validation, option semantics. *)
 
+(** Why a request failed from the client's point of view. *)
 type error =
-  | Timeout
+  | Timeout  (** no reply before the driver's deadline *)
   | Wrong_seq of { expected : int; got : int }
+      (** reply carried a stale or foreign sequence number *)
   | Not_enough of { wanted : int; got : int }
-  | Malformed of string
+      (** wizard returned fewer servers than the option allows *)
+  | Malformed of string  (** reply datagram failed to decode *)
 
+(** Human-readable rendering of [error]. *)
 val pp_error : Format.formatter -> error -> unit
 
 type t
 
-val create : rng:Smart_util.Prng.t -> t
+(** [create ?metrics ~rng ()] builds a client drawing sequence numbers
+    from [rng].  [metrics] receives the [client.*] instruments (see
+    OBSERVABILITY.md); by default a private registry is used. *)
+val create : ?metrics:Smart_util.Metrics.t -> rng:Smart_util.Prng.t -> unit -> t
 
 (** Build a request with a fresh random sequence number.  Raises
     [Invalid_argument] when [wanted] is out of range. *)
@@ -22,9 +29,10 @@ val make_request :
   requirement:string ->
   Smart_proto.Wizard_msg.request
 
-(** Validate a reply datagram and apply the option semantics. *)
+(** Validate a reply datagram and apply the option semantics: [Strict]
+    needs the full count back, [Accept_partial] any non-empty subset. *)
 val check_reply :
-  Smart_proto.Wizard_msg.request -> string -> (string list, error) result
+  t -> Smart_proto.Wizard_msg.request -> string -> (string list, error) result
 
 (** Compile the requirement locally and report unbound variables (typo
     candidates) before anything is sent. *)

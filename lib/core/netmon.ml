@@ -8,6 +8,8 @@
    one-way UDP stream estimator over the packet plane, the realnet driver
    a socket-based equivalent. *)
 
+module Metrics = Smart_util.Metrics
+
 type probe_result = { delay : float; bandwidth : float }
 
 type prober = target:string -> probe_result option
@@ -20,18 +22,36 @@ type config = {
 type t = {
   config : config;
   db : Status_db.t;
-  mutable probes_run : int;
-  mutable probe_failures : int;
+  probes_total : Metrics.Counter.t;
+  probe_failures_total : Metrics.Counter.t;
+  rounds_total : Metrics.Counter.t;
+  reachable : Metrics.Gauge.t;
 }
 
-let create config db = { config; db; probes_run = 0; probe_failures = 0 }
+let create ?(metrics = Metrics.create ()) config db =
+  {
+    config;
+    db;
+    probes_total =
+      Metrics.counter metrics ~help:"path probes attempted"
+        "netmon.probes_total";
+    probe_failures_total =
+      Metrics.counter metrics ~help:"path probes that returned nothing"
+        "netmon.probe_failures_total";
+    rounds_total =
+      Metrics.counter metrics ~help:"full probe_all rounds completed"
+        "netmon.rounds_total";
+    reachable =
+      Metrics.gauge metrics ~help:"targets answering in the last round"
+        "netmon.reachable";
+  }
 
 (* Probe every target sequentially and publish the refreshed record. *)
 let probe_all t ~now ~(prober : prober) =
   let entries =
     List.filter_map
       (fun target ->
-        t.probes_run <- t.probes_run + 1;
+        Metrics.Counter.incr t.probes_total;
         match prober ~target with
         | Some { delay; bandwidth } ->
           Some
@@ -42,7 +62,7 @@ let probe_all t ~now ~(prober : prober) =
               measured_at = now;
             }
         | None ->
-          t.probe_failures <- t.probe_failures + 1;
+          Metrics.Counter.incr t.probe_failures_total;
           None)
       t.config.targets
   in
@@ -50,6 +70,8 @@ let probe_all t ~now ~(prober : prober) =
     { Smart_proto.Records.monitor = t.config.monitor_name; entries }
   in
   Status_db.update_net t.db record;
+  Metrics.Counter.incr t.rounds_total;
+  Metrics.Gauge.set t.reachable (float_of_int (List.length entries));
   record
 
 (* Recommended probing interval for [n] groups: the number of paths grows
@@ -58,6 +80,6 @@ let recommended_interval ~groups ~per_probe_cost =
   let paths = groups * (groups - 1) in
   Float.max 2.0 (float_of_int paths *. per_probe_cost *. 2.0)
 
-let probes_run t = t.probes_run
+let probes_run t = Metrics.Counter.value t.probes_total
 
-let probe_failures t = t.probe_failures
+let probe_failures t = Metrics.Counter.value t.probe_failures_total

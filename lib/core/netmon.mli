@@ -1,19 +1,24 @@
 (** The network monitor (§3.3.3): sequential (delay, bandwidth) probing
     of its targets, publishing a [net_record] to the status database. *)
 
+(** One path measurement: one-way delay in seconds, bandwidth in
+    bytes/second. *)
 type probe_result = { delay : float; bandwidth : float }
 
 (** Injected measurement backend (one-way UDP stream in both drivers). *)
 type prober = target:string -> probe_result option
 
 type config = {
-  monitor_name : string;
+  monitor_name : string;  (** name this monitor publishes records under *)
   targets : string list;  (** probed strictly in order, never in parallel *)
 }
 
 type t
 
-val create : config -> Status_db.t -> t
+(** [create ?metrics config db] builds a monitor publishing to [db].
+    [metrics] receives the [netmon.*] instruments (see
+    OBSERVABILITY.md); by default a private registry is used. *)
+val create : ?metrics:Smart_util.Metrics.t -> config -> Status_db.t -> t
 
 (** Probe every target in order and publish the refreshed record. *)
 val probe_all :
@@ -23,6 +28,8 @@ val probe_all :
     count. *)
 val recommended_interval : groups:int -> per_probe_cost:float -> float
 
+(** Path probes attempted over the monitor's lifetime. *)
 val probes_run : t -> int
 
+(** Path probes whose prober returned nothing (unreachable target). *)
 val probe_failures : t -> int

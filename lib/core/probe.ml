@@ -23,9 +23,29 @@ type sample = {
   net : Smart_host.Procfs.netdev_stat;
 }
 
-type t = { config : config; mutable prev : sample option }
+type t = {
+  config : config;
+  mutable prev : sample option;
+  reports_total : Smart_util.Metrics.Counter.t;
+  report_bytes_total : Smart_util.Metrics.Counter.t;
+  errors_total : Smart_util.Metrics.Counter.t;
+}
 
-let create config = { config; prev = None }
+let create ?(metrics = Smart_util.Metrics.create ()) config =
+  {
+    config;
+    prev = None;
+    reports_total =
+      Smart_util.Metrics.counter metrics ~help:"report datagrams emitted"
+        "probe.reports_total";
+    report_bytes_total =
+      Smart_util.Metrics.counter metrics ~help:"report payload bytes emitted"
+        "probe.report_bytes_total";
+    errors_total =
+      Smart_util.Metrics.counter metrics
+        ~help:"ticks lost to /proc parse or interface failures"
+        "probe.errors_total";
+  }
 
 let ( let* ) r f = Result.bind r f
 
@@ -106,7 +126,7 @@ let report_of t ~now ~(loadavg : Smart_host.Procfs.loadavg)
 
 (* One probe interval: parse the /proc snapshot, build the report, emit
    the datagram. *)
-let tick t ~now ~(snapshot : Smart_host.Procfs.snapshot) =
+let tick_inner t ~now ~(snapshot : Smart_host.Procfs.snapshot) =
   let* loadavg =
     Smart_host.Procfs.parse_loadavg snapshot.Smart_host.Procfs.loadavg_text
   in
@@ -127,10 +147,21 @@ let tick t ~now ~(snapshot : Smart_host.Procfs.snapshot) =
     | Udp -> Output.udp
     | Tcp -> Output.stream
   in
+  let payload = Smart_proto.Report.to_string report in
   Ok
     ( report,
       [
         send ~host:t.config.monitor.Output.host
-          ~port:t.config.monitor.Output.port
-          (Smart_proto.Report.to_string report);
-      ] )
+          ~port:t.config.monitor.Output.port payload;
+      ],
+      String.length payload )
+
+let tick t ~now ~snapshot =
+  match tick_inner t ~now ~snapshot with
+  | Ok (report, outputs, bytes) ->
+    Smart_util.Metrics.Counter.incr t.reports_total;
+    Smart_util.Metrics.Counter.incr t.report_bytes_total ~by:bytes;
+    Ok (report, outputs)
+  | Error _ as e ->
+    Smart_util.Metrics.Counter.incr t.errors_total;
+    e

@@ -9,17 +9,20 @@
 type transport = Udp | Tcp
 
 type config = {
-  host : string;
-  ip : string;
-  bogomips : float;
-  monitor : Output.address;
+  host : string;  (** logical name this server reports as *)
+  ip : string;  (** address included in each report *)
+  bogomips : float;  (** static CPU speed figure from /proc/cpuinfo *)
+  monitor : Output.address;  (** system monitor endpoint reports go to *)
   iface : string;  (** interface whose counters are reported, e.g. "eth0" *)
-  transport : transport;
+  transport : transport;  (** how report datagrams travel *)
 }
 
 type t
 
-val create : config -> t
+(** [create ?metrics config] builds a probe.  [metrics] receives the
+    [probe.*] instruments (see OBSERVABILITY.md); by default a private
+    registry is used. *)
+val create : ?metrics:Smart_util.Metrics.t -> config -> t
 
 (** One probe interval.  Rates (CPU fractions, disk and network per-second
     figures) are differentiated against the previous tick; the first tick

@@ -2,6 +2,8 @@
    and mirrors them into the wizard-side databases, so the wizard can use
    the contents "as if they were generated locally". *)
 
+module Metrics = Smart_util.Metrics
+
 type t = {
   order : Smart_proto.Endian.order;
   db : Status_db.t;
@@ -12,20 +14,32 @@ type t = {
          that disappear from a snapshot (expired on the monitor side)
          are dropped from the mirror *)
   mutable current_from : string;
-  mutable frames_handled : int;
-  mutable decode_errors : int;
+  frames_total : Metrics.Counter.t;
+  frames_bytes : Metrics.Counter.t;
+  decode_errors_total : Metrics.Counter.t;
+  transmitters : Metrics.Gauge.t;
   mutable on_update : (Smart_proto.Frame.payload_type -> unit) option;
 }
 
-let create ~order db =
+let create ?(metrics = Metrics.create ()) ~order db =
   {
     order;
     db;
     decoders = Hashtbl.create 4;
     owned_hosts = Hashtbl.create 4;
     current_from = "";
-    frames_handled = 0;
-    decode_errors = 0;
+    frames_total =
+      Metrics.counter metrics ~help:"frames applied to the mirror"
+        "receiver.frames_total";
+    frames_bytes =
+      Metrics.counter metrics ~help:"payload bytes of applied frames"
+        "receiver.frames_bytes";
+    decode_errors_total =
+      Metrics.counter metrics ~help:"stream or record decode failures"
+        "receiver.decode_errors_total";
+    transmitters =
+      Metrics.gauge metrics ~help:"transmitter sources with live stream state"
+        "receiver.transmitters";
     on_update = None;
   }
 
@@ -39,6 +53,7 @@ let decoder_for t ~from =
   | None ->
     let d = Smart_proto.Frame.decoder t.order in
     Hashtbl.replace t.decoders from d;
+    Metrics.Gauge.set t.transmitters (float_of_int (Hashtbl.length t.decoders));
     d
 
 let apply_frame t (frame : Smart_proto.Frame.frame) =
@@ -98,11 +113,13 @@ let apply_frame t (frame : Smart_proto.Frame.frame) =
   in
   (match result with
   | Ok () ->
-    t.frames_handled <- t.frames_handled + 1;
+    Metrics.Counter.incr t.frames_total;
+    Metrics.Counter.incr t.frames_bytes
+      ~by:(String.length frame.Smart_proto.Frame.data);
     (match t.on_update with
     | Some hook -> hook frame.Smart_proto.Frame.payload_type
     | None -> ())
-  | Error _ -> t.decode_errors <- t.decode_errors + 1);
+  | Error _ -> Metrics.Counter.incr t.decode_errors_total);
   result
 
 (* Feed raw stream bytes from a given transmitter. *)
@@ -112,7 +129,7 @@ let handle_stream t ~from data =
   Smart_proto.Frame.feed dec data;
   match Smart_proto.Frame.frames dec with
   | Error m ->
-    t.decode_errors <- t.decode_errors + 1;
+    Metrics.Counter.incr t.decode_errors_total;
     Error m
   | Ok frames ->
     let rec apply = function
@@ -122,6 +139,15 @@ let handle_stream t ~from data =
     in
     apply frames
 
-let frames_handled t = t.frames_handled
+(* A transmitter connection closed: drop its decoder (partial bytes
+   would poison a later stream reusing the tag) and its ownership
+   record.  Realnet drivers tag sources per connection, so without this
+   the tables grow by one entry per push. *)
+let forget_source t ~from =
+  Hashtbl.remove t.decoders from;
+  Hashtbl.remove t.owned_hosts from;
+  Metrics.Gauge.set t.transmitters (float_of_int (Hashtbl.length t.decoders))
 
-let decode_errors t = t.decode_errors
+let frames_handled t = Metrics.Counter.value t.frames_total
+
+let decode_errors t = Metrics.Counter.value t.decode_errors_total

@@ -3,7 +3,15 @@
 
 type t
 
-val create : order:Smart_proto.Endian.order -> Status_db.t -> t
+(** [create ?metrics ~order db] builds a receiver mirroring into [db].
+    [order] must match the transmitters' byte order.  [metrics] receives
+    the [receiver.*] instruments (see OBSERVABILITY.md); by default a
+    private registry is used. *)
+val create :
+  ?metrics:Smart_util.Metrics.t ->
+  order:Smart_proto.Endian.order ->
+  Status_db.t ->
+  t
 
 (** Notification hook fired after every successfully applied frame (used
     by the distributed-mode wizard to detect fresh data). *)
@@ -12,6 +20,16 @@ val set_update_hook : t -> (Smart_proto.Frame.payload_type -> unit) option -> un
 (** Feed raw stream bytes arriving from transmitter [from]. *)
 val handle_stream : t -> from:string -> string -> (unit, string) result
 
+(** Discard the stream state of source [from] (call when its connection
+    closes): pending partial-frame bytes and the host-ownership record
+    are dropped, and the [receiver.transmitters] gauge shrinks.  Drivers
+    that tag sources per connection must call this or the per-source
+    tables grow by one entry per push. *)
+val forget_source : t -> from:string -> unit
+
+(** Frames successfully applied to the mirror over the receiver's
+    lifetime. *)
 val frames_handled : t -> int
 
+(** Stream or record decode failures. *)
 val decode_errors : t -> int

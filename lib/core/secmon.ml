@@ -3,30 +3,53 @@
    database.  The component boundary is deliberately thin so third-party
    agents (the thesis mentions Cisco NAC) can replace the log source. *)
 
+module Metrics = Smart_util.Metrics
+
 type t = {
   db : Status_db.t;
-  mutable refreshes : int;
+  refreshes_total : Metrics.Counter.t;
+  parse_errors_total : Metrics.Counter.t;
+  hosts : Metrics.Gauge.t;
   mutable last_error : string option;
 }
 
-let create db = { db; refreshes = 0; last_error = None }
+let create ?(metrics = Metrics.create ()) db =
+  {
+    db;
+    refreshes_total =
+      Metrics.counter metrics ~help:"security table replacements"
+        "secmon.refreshes_total";
+    parse_errors_total =
+      Metrics.counter metrics ~help:"security logs that failed to parse"
+        "secmon.parse_errors_total";
+    hosts =
+      Metrics.gauge metrics ~help:"hosts with a clearance level"
+        "secmon.hosts";
+    last_error = None;
+  }
+
+let note_refresh t (record : Smart_proto.Records.sec_record) =
+  Metrics.Counter.incr t.refreshes_total;
+  Metrics.Gauge.set t.hosts
+    (float_of_int (List.length record.Smart_proto.Records.entries))
 
 (* Ingest a complete security log text. *)
 let refresh_from_log t text =
   match Smart_proto.Records.parse_security_log text with
   | Ok record ->
     Status_db.replace_sec t.db record;
-    t.refreshes <- t.refreshes + 1;
+    note_refresh t record;
     Ok record
   | Error e ->
+    Metrics.Counter.incr t.parse_errors_total;
     t.last_error <- Some e;
     Error e
 
 (* Direct injection for pluggable agents. *)
 let refresh t record =
   Status_db.replace_sec t.db record;
-  t.refreshes <- t.refreshes + 1
+  note_refresh t record
 
-let refreshes t = t.refreshes
+let refreshes t = Metrics.Counter.value t.refreshes_total
 
 let last_error t = t.last_error

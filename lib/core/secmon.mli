@@ -4,7 +4,10 @@
 
 type t
 
-val create : Status_db.t -> t
+(** [create ?metrics db] builds a monitor writing to [db].  [metrics]
+    receives the [secmon.*] instruments (see OBSERVABILITY.md); by
+    default a private registry is used. *)
+val create : ?metrics:Smart_util.Metrics.t -> Status_db.t -> t
 
 (** Parse and ingest a security log text ("host level" lines). *)
 val refresh_from_log :
@@ -13,6 +16,9 @@ val refresh_from_log :
 (** Inject a pre-built record (third-party agent path). *)
 val refresh : t -> Smart_proto.Records.sec_record -> unit
 
+(** Successful security-table replacements over the monitor's
+    lifetime. *)
 val refreshes : t -> int
 
+(** Most recent parse failure, if any. *)
 val last_error : t -> string option

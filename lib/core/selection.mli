@@ -11,10 +11,11 @@
 val order_by_variable : string
 
 type server_view = {
-  record : Smart_proto.Records.sys_record;
+  record : Smart_proto.Records.sys_record;  (** latest probe report *)
   net : Smart_proto.Records.net_entry option;
       (** network metrics toward this server *)
   security_level : int option;
+      (** clearance from the security table, if any *)
 }
 
 (** Immutable view of the status plane at one database generation; the
@@ -25,10 +26,13 @@ type snapshot
     database version the views were derived from (0 for ad-hoc sets). *)
 val snapshot : ?generation:int -> server_view list -> snapshot
 
+(** Database generation the snapshot was built from. *)
 val snapshot_generation : snapshot -> int
 
+(** Number of server views in the snapshot. *)
 val snapshot_size : snapshot -> int
 
+(** The views, in the scan order they were given to [snapshot]. *)
 val snapshot_views : snapshot -> server_view list
 
 type verdict = {
@@ -49,6 +53,10 @@ type result = {
     tests). *)
 val binding_for : server_view -> string -> Smart_lang.Value.t option
 
+(** Evaluate [requirement] against every view in [servers] and pick the
+    best [wanted] candidates (denied hosts excluded, preferred hosts
+    first, then [order_by] rank).  Pure: same snapshot and program give
+    the same result. *)
 val select :
   requirement:Smart_lang.Ast.program ->
   servers:snapshot ->

@@ -31,6 +31,9 @@ type t = {
   receiver : Receiver.t;
   wizard : Wizard.t;
   client_rng : Smart_util.Prng.t;
+  metrics : Smart_util.Metrics.t;
+      (* one registry for the whole deployment: same-named instruments
+         from different instances (e.g. every probe) aggregate *)
   traffic : (string, component_stats) Hashtbl.t;
   mutable next_client_port : int;
 }
@@ -96,8 +99,8 @@ let default_config =
   }
 
 (* Wire one group's probes, monitors and transmitter. *)
-let setup_group t_ref config cluster ~wizard_host ~monitor_host ~servers
-    ~netmon_targets =
+let setup_group t_ref config cluster ~metrics ~wizard_host ~monitor_host
+    ~servers ~netmon_targets =
   let engine = Smart_host.Cluster.engine cluster in
   let stack = Smart_host.Cluster.stack cluster in
   let rng = Smart_host.Cluster.rng cluster in
@@ -108,18 +111,18 @@ let setup_group t_ref config cluster ~wizard_host ~monitor_host ~servers
     Sysmon.create
       ~config:
         { Sysmon.probe_interval = config.probe_interval; missed_intervals = 3 }
-      db
+      ~metrics db
   in
   let netmon =
-    Netmon.create
+    Netmon.create ~metrics
       { Netmon.monitor_name = monitor_host; targets = netmon_targets }
       db
   in
-  let secmon = Secmon.create db in
+  let secmon = Secmon.create ~metrics db in
   if config.security_log <> "" then
     ignore (Secmon.refresh_from_log secmon config.security_log);
   let transmitter =
-    Transmitter.create ~monitor_name:monitor_host
+    Transmitter.create ~metrics ~monitor_name:monitor_host
       {
         Transmitter.mode = config.mode;
         order = config.order;
@@ -145,7 +148,7 @@ let setup_group t_ref config cluster ~wizard_host ~monitor_host ~servers
       let machine = Smart_host.Cluster.machine cluster node in
       let spec = Smart_host.Machine.spec machine in
       let probe =
-        Probe.create
+        Probe.create ~metrics
           {
             Probe.host = spec.Smart_host.Machine.name;
             ip = spec.Smart_host.Machine.ip;
@@ -194,6 +197,7 @@ let deploy_groups ?(config = default_config) cluster ~wizard_host ~groups =
   let stack = Smart_host.Cluster.stack cluster in
   let resolve = Smart_host.Cluster.resolve_exn cluster in
   let wizard_node = resolve wizard_host in
+  let metrics = Smart_util.Metrics.create () in
   let multi_group = List.length groups > 1 in
   let monitor_hosts = List.map fst groups in
   let t_ref = ref None in
@@ -208,12 +212,12 @@ let deploy_groups ?(config = default_config) cluster ~wizard_host ~groups =
             List.filter (fun m -> m <> monitor_host) monitor_hosts
           else servers
         in
-        setup_group t_ref config cluster ~wizard_host ~monitor_host ~servers
-          ~netmon_targets)
+        setup_group t_ref config cluster ~metrics ~wizard_host ~monitor_host
+          ~servers ~netmon_targets)
       groups
   in
   let db_wizard = Status_db.create () in
-  let receiver = Receiver.create ~order:config.order db_wizard in
+  let receiver = Receiver.create ~metrics ~order:config.order db_wizard in
   let wizard_mode =
     match config.mode with
     | Transmitter.Centralized -> Wizard.Centralized
@@ -245,7 +249,7 @@ let deploy_groups ?(config = default_config) cluster ~wizard_host ~groups =
     end
   in
   let wizard =
-    Wizard.create ~compile_cache_capacity:config.wizard_compile_cache
+    Wizard.create ~compile_cache_capacity:config.wizard_compile_cache ~metrics
       { Wizard.mode = wizard_mode; groups = wizard_groups }
       db_wizard
   in
@@ -289,6 +293,7 @@ let deploy_groups ?(config = default_config) cluster ~wizard_host ~groups =
       receiver;
       wizard;
       client_rng = Smart_util.Prng.split (Smart_host.Cluster.rng cluster);
+      metrics;
       traffic = Hashtbl.create 8;
       next_client_port = 45000;
     }
@@ -358,7 +363,7 @@ let request ?(option = Smart_proto.Wizard_msg.Accept_partial) ?(timeout = 5.0)
   let engine = Smart_host.Cluster.engine t.cluster in
   let stack = Smart_host.Cluster.stack t.cluster in
   let client_node = Smart_host.Cluster.resolve_exn t.cluster client in
-  let client_lib = Client.create ~rng:t.client_rng in
+  let client_lib = Client.create ~metrics:t.metrics ~rng:t.client_rng () in
   let req = Client.make_request client_lib ~wanted ~option ~requirement in
   let reply_port = t.next_client_port in
   t.next_client_port <- t.next_client_port + 1;
@@ -379,7 +384,7 @@ let request ?(option = Smart_proto.Wizard_msg.Accept_partial) ?(timeout = 5.0)
   Smart_net.Netstack.unlisten_udp stack ~node:client_node ~port:reply_port;
   match !reply with
   | None -> Error Client.Timeout
-  | Some data -> Client.check_reply req data
+  | Some data -> Client.check_reply client_lib req data
 
 (* Failure injection: a failed machine's probe goes silent, and the
    monitor expires it after three missed intervals. *)
@@ -409,3 +414,5 @@ let sysmon_component t = (List.hd t.groups).sysmon
 let group_count t = List.length t.groups
 
 let cluster t = t.cluster
+
+let metrics t = t.metrics

@@ -87,3 +87,9 @@ val sysmon_component : t -> Sysmon.t
 val group_count : t -> int
 
 val cluster : t -> Smart_host.Cluster.t
+
+(** The deployment-wide metrics registry: every component of every group
+    (and the client library used by [request]) registers its instruments
+    here, so same-named metrics aggregate across instances.  Snapshot it
+    for deterministic end-to-end assertions (see OBSERVABILITY.md). *)
+val metrics : t -> Smart_util.Metrics.t

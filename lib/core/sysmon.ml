@@ -2,6 +2,8 @@
    system database, stamping each record with its arrival time, and
    periodically sweeps out servers whose probe has gone quiet. *)
 
+module Metrics = Smart_util.Metrics
+
 type config = {
   probe_interval : float;  (* expected reporting period of the probes *)
   missed_intervals : int;  (* failures tolerated before expiry (3 in §4.1) *)
@@ -12,12 +14,32 @@ let default_config = { probe_interval = 5.0; missed_intervals = 3 }
 type t = {
   config : config;
   db : Status_db.t;
-  mutable reports_handled : int;
-  mutable parse_errors : int;
+  reports_total : Metrics.Counter.t;
+  parse_errors_total : Metrics.Counter.t;
+  sweeps_total : Metrics.Counter.t;
+  expired_total : Metrics.Counter.t;
+  hosts : Metrics.Gauge.t;
 }
 
-let create ?(config = default_config) db =
-  { config; db; reports_handled = 0; parse_errors = 0 }
+let create ?(config = default_config) ?(metrics = Metrics.create ()) db =
+  {
+    config;
+    db;
+    reports_total =
+      Metrics.counter metrics ~help:"probe reports ingested"
+        "sysmon.reports_total";
+    parse_errors_total =
+      Metrics.counter metrics ~help:"malformed report datagrams dropped"
+        "sysmon.parse_errors_total";
+    sweeps_total =
+      Metrics.counter metrics ~help:"expiry sweeps run" "sysmon.sweeps_total";
+    expired_total =
+      Metrics.counter metrics ~help:"servers expired for probe silence"
+        "sysmon.expired_total";
+    hosts =
+      Metrics.gauge metrics ~help:"servers currently in the system database"
+        "sysmon.hosts";
+  }
 
 let max_age t = t.config.probe_interval *. float_of_int t.config.missed_intervals
 
@@ -25,17 +47,23 @@ let max_age t = t.config.probe_interval *. float_of_int t.config.missed_interval
 let handle_report t ~now data =
   match Smart_proto.Report.of_string data with
   | Error e ->
-    t.parse_errors <- t.parse_errors + 1;
+    Metrics.Counter.incr t.parse_errors_total;
     Error e
   | Ok report ->
-    t.reports_handled <- t.reports_handled + 1;
+    Metrics.Counter.incr t.reports_total;
     Status_db.update_sys t.db
       { Smart_proto.Records.report; updated_at = now };
+    Metrics.Gauge.set t.hosts (float_of_int (Status_db.sys_count t.db));
     Ok report
 
 (* Periodic expiry sweep; returns the number of expired servers. *)
-let sweep t ~now = Status_db.sweep_sys t.db ~now ~max_age:(max_age t)
+let sweep t ~now =
+  let expired = Status_db.sweep_sys t.db ~now ~max_age:(max_age t) in
+  Metrics.Counter.incr t.sweeps_total;
+  Metrics.Counter.incr t.expired_total ~by:expired;
+  Metrics.Gauge.set t.hosts (float_of_int (Status_db.sys_count t.db));
+  expired
 
-let reports_handled t = t.reports_handled
+let reports_handled t = Metrics.Counter.value t.reports_total
 
-let parse_errors t = t.parse_errors
+let parse_errors t = Metrics.Counter.value t.parse_errors_total

@@ -1,14 +1,21 @@
 (** The system status monitor (§3.2.2): ingests probe reports, expires
     servers after [missed_intervals] silent probe periods. *)
 
-type config = { probe_interval : float; missed_intervals : int }
+type config = {
+  probe_interval : float;  (** expected reporting period of the probes *)
+  missed_intervals : int;
+      (** silent periods tolerated before a server expires (3 in §4.1) *)
+}
 
 (** 5 s probe interval, 3 missed intervals (§4.1). *)
 val default_config : config
 
 type t
 
-val create : ?config:config -> Status_db.t -> t
+(** [create ?config ?metrics db] builds a monitor writing to [db].
+    [metrics] receives the [sysmon.*] instruments (see OBSERVABILITY.md);
+    by default a private registry is used. *)
+val create : ?config:config -> ?metrics:Smart_util.Metrics.t -> Status_db.t -> t
 
 (** Age beyond which a record is considered stale. *)
 val max_age : t -> float
@@ -20,6 +27,8 @@ val handle_report :
 (** Expiry sweep; returns the number of servers dropped. *)
 val sweep : t -> now:float -> int
 
+(** Reports successfully ingested over the monitor's lifetime. *)
 val reports_handled : t -> int
 
+(** Malformed report datagrams dropped. *)
 val parse_errors : t -> int

@@ -5,6 +5,8 @@
    Centralized mode pushes on every tick; distributed mode stays passive
    and answers explicit pull requests from the wizard. *)
 
+module Metrics = Smart_util.Metrics
+
 type mode = Centralized | Distributed
 
 let pull_request_magic = "SMART-PULL"
@@ -19,12 +21,30 @@ type t = {
   config : config;
   db : Status_db.t;
   monitor_name : string;
-  mutable pushes : int;
-  mutable bytes_sent : int;
+  pushes_total : Metrics.Counter.t;
+  bytes_total : Metrics.Counter.t;
+  frames_total : Metrics.Counter.t;
+  pulls_total : Metrics.Counter.t;
 }
 
-let create ~monitor_name config db =
-  { config; db; monitor_name; pushes = 0; bytes_sent = 0 }
+let create ?(metrics = Metrics.create ()) ~monitor_name config db =
+  {
+    config;
+    db;
+    monitor_name;
+    pushes_total =
+      Metrics.counter metrics ~help:"database snapshots shipped"
+        "transmitter.pushes_total";
+    bytes_total =
+      Metrics.counter metrics ~help:"encoded frame bytes shipped"
+        "transmitter.bytes_total";
+    frames_total =
+      Metrics.counter metrics ~help:"frames shipped (three per push)"
+        "transmitter.frames_total";
+    pulls_total =
+      Metrics.counter metrics ~help:"distributed-mode pull requests honoured"
+        "transmitter.pulls_total";
+  }
 
 let snapshot_frames t =
   let order = t.config.order in
@@ -51,12 +71,13 @@ let snapshot_frames t =
   ]
 
 let push t =
+  let frames = snapshot_frames t in
   let encoded =
-    String.concat ""
-      (List.map (Smart_proto.Frame.encode t.config.order) (snapshot_frames t))
+    String.concat "" (List.map (Smart_proto.Frame.encode t.config.order) frames)
   in
-  t.pushes <- t.pushes + 1;
-  t.bytes_sent <- t.bytes_sent + String.length encoded;
+  Metrics.Counter.incr t.pushes_total;
+  Metrics.Counter.incr t.frames_total ~by:(List.length frames);
+  Metrics.Counter.incr t.bytes_total ~by:(String.length encoded);
   [
     Output.stream ~host:t.config.receiver.Output.host
       ~port:t.config.receiver.Output.port encoded;
@@ -69,10 +90,12 @@ let tick t =
 (* Distributed-mode pull request (a datagram on the transmitter port). *)
 let handle_pull t ~data =
   match t.config.mode with
-  | Distributed when String.equal data pull_request_magic -> push t
+  | Distributed when String.equal data pull_request_magic ->
+    Metrics.Counter.incr t.pulls_total;
+    push t
   | Distributed -> []
   | Centralized -> []
 
-let pushes t = t.pushes
+let pushes t = Metrics.Counter.value t.pushes_total
 
-let bytes_sent t = t.bytes_sent
+let bytes_sent t = Metrics.Counter.value t.bytes_total

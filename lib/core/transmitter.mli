@@ -2,20 +2,32 @@
     [type,size,data] frames; active in centralized mode, pull-driven in
     distributed mode. *)
 
+(** [Centralized] pushes on every tick; [Distributed] stays passive and
+    answers the wizard's pull requests. *)
 type mode = Centralized | Distributed
 
 (** Datagram body that triggers a distributed-mode push. *)
 val pull_request_magic : string
 
 type config = {
-  mode : mode;
-  order : Smart_proto.Endian.order;
-  receiver : Output.address;
+  mode : mode;  (** push-on-tick vs pull-driven *)
+  order : Smart_proto.Endian.order;  (** must match the receiver's *)
+  receiver : Output.address;  (** where the frames are streamed to *)
 }
 
 type t
 
-val create : monitor_name:string -> config -> Status_db.t -> t
+(** [create ?metrics ~monitor_name config db] builds a transmitter
+    snapshotting [db].  [monitor_name] selects which network record the
+    Net_db frame carries.  [metrics] receives the [transmitter.*]
+    instruments (see OBSERVABILITY.md); by default a private registry is
+    used. *)
+val create :
+  ?metrics:Smart_util.Metrics.t ->
+  monitor_name:string ->
+  config ->
+  Status_db.t ->
+  t
 
 (** The three frames of the current database state. *)
 val snapshot_frames : t -> Smart_proto.Frame.frame list
@@ -30,6 +42,8 @@ val tick : t -> Output.t list
     matches, no-op otherwise. *)
 val handle_pull : t -> data:string -> Output.t list
 
+(** Snapshots shipped over the transmitter's lifetime. *)
 val pushes : t -> int
 
+(** Total encoded frame bytes shipped. *)
 val bytes_sent : t -> int

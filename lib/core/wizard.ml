@@ -57,6 +57,8 @@ type pending = {
   target_updates : int;  (* value of [updates_seen] that releases it *)
 }
 
+module Metrics = Smart_util.Metrics
+
 type t = {
   config : config;
   db : Status_db.t;
@@ -66,33 +68,73 @@ type t = {
     Smart_util.Lru.t;
   result_cache : (int * Selection.result) Smart_util.Lru.t;
       (* (generation, result); stale when the generation moved *)
+  clock : unit -> float;  (* wall clock for the latency histogram *)
+  requests_total : Metrics.Counter.t;
+  compile_errors_total : Metrics.Counter.t;
+  snapshot_rebuilds_total : Metrics.Counter.t;
+  updates_total : Metrics.Counter.t;
+  compile_cache_hits_total : Metrics.Counter.t;
+  compile_cache_misses_total : Metrics.Counter.t;
+  result_cache_hits_total : Metrics.Counter.t;
+  result_cache_misses_total : Metrics.Counter.t;
+  pending_gauge : Metrics.Gauge.t;
+  request_latency : Metrics.Histogram.t;
   mutable snapshot : Selection.snapshot option;
-  mutable snapshot_rebuilds : int;
   mutable updates_seen : int;
-  mutable requests_handled : int;
-  mutable compile_errors : int;
   mutable last_result : Selection.result option;
 }
 
-let create ?(compile_cache_capacity = default_compile_cache_capacity) config db
-    =
+let create ?(compile_cache_capacity = default_compile_cache_capacity)
+    ?(metrics = Metrics.create ()) ?(clock = Sys.time) config db =
   {
     config;
     db;
     pending = Queue.create ();
     compile_cache = Smart_util.Lru.create ~capacity:compile_cache_capacity;
     result_cache = Smart_util.Lru.create ~capacity:compile_cache_capacity;
+    clock;
+    requests_total =
+      Metrics.counter metrics ~help:"requests decoded and answered"
+        "wizard.requests_total";
+    compile_errors_total =
+      Metrics.counter metrics ~help:"requests whose requirement failed to compile"
+        "wizard.compile_errors_total";
+    snapshot_rebuilds_total =
+      Metrics.counter metrics ~help:"server-view snapshot (re)builds"
+        "wizard.snapshot_rebuilds_total";
+    updates_total =
+      Metrics.counter metrics ~help:"receiver frames observed via the update hook"
+        "wizard.updates_total";
+    compile_cache_hits_total =
+      Metrics.counter metrics ~help:"requirement compile cache hits"
+        "wizard.compile_cache_hits_total";
+    compile_cache_misses_total =
+      Metrics.counter metrics ~help:"requirement compile cache misses"
+        "wizard.compile_cache_misses_total";
+    result_cache_hits_total =
+      Metrics.counter metrics ~help:"selection results served from cache"
+        "wizard.result_cache_hits_total";
+    result_cache_misses_total =
+      Metrics.counter metrics
+        ~help:"selection results recomputed (cold or stale generation)"
+        "wizard.result_cache_misses_total";
+    pending_gauge =
+      Metrics.gauge metrics ~help:"distributed-mode requests parked"
+        "wizard.pending";
+    request_latency =
+      Metrics.histogram metrics
+        ~help:"request processing wall time, seconds (decode to reply)"
+        "wizard.request_latency_seconds";
     snapshot = None;
-    snapshot_rebuilds = 0;
     updates_seen = 0;
-    requests_handled = 0;
-    compile_errors = 0;
     last_result = None;
   }
 
 (* Receiver update hook: counts applied frames so distributed-mode
    requests know when every transmitter has re-reported. *)
-let note_update t = t.updates_seen <- t.updates_seen + 1
+let note_update t =
+  t.updates_seen <- t.updates_seen + 1;
+  Metrics.Counter.incr t.updates_total
 
 (* Network metrics toward one server: direct measurements in flat
    deployments, group-level measurements (local monitor -> server's
@@ -115,7 +157,7 @@ let net_for t ~host =
           record.Smart_proto.Records.entries))
 
 let build_snapshot t ~generation =
-  t.snapshot_rebuilds <- t.snapshot_rebuilds + 1;
+  Metrics.Counter.incr t.snapshot_rebuilds_total;
   Selection.snapshot ~generation
     (List.map
        (fun (record : Smart_proto.Records.sys_record) ->
@@ -142,8 +184,11 @@ let server_snapshot t =
 let compile t source =
   let key = Smart_lang.Requirement.cache_key source in
   match Smart_util.Lru.find t.compile_cache key with
-  | Some result -> result
+  | Some result ->
+    Metrics.Counter.incr t.compile_cache_hits_total;
+    result
   | None ->
+    Metrics.Counter.incr t.compile_cache_misses_total;
     let result = Smart_lang.Requirement.compile source in
     Smart_util.Lru.add t.compile_cache key result;
     result
@@ -166,8 +211,11 @@ let select_cached t ~source ~wanted =
     Printf.sprintf "%d\x00%s" wanted (Smart_lang.Requirement.cache_key source)
   in
   match Smart_util.Lru.find t.result_cache key with
-  | Some (g, result) when g = generation -> Some result
+  | Some (g, result) when g = generation ->
+    Metrics.Counter.incr t.result_cache_hits_total;
+    Some result
   | Some _ | None ->
+    Metrics.Counter.incr t.result_cache_misses_total;
     (match compile t source with
     | Error _ -> None
     | Ok program ->
@@ -179,17 +227,22 @@ let select_cached t ~source ~wanted =
       Some result)
 
 let process t (request : Smart_proto.Wizard_msg.request) ~from =
-  t.requests_handled <- t.requests_handled + 1;
-  match
-    select_cached t ~source:request.Smart_proto.Wizard_msg.requirement
-      ~wanted:request.Smart_proto.Wizard_msg.server_num
-  with
-  | None ->
-    t.compile_errors <- t.compile_errors + 1;
-    reply_to request ~from ~servers:[]
-  | Some result ->
-    t.last_result <- Some result;
-    reply_to request ~from ~servers:result.Selection.selected
+  Metrics.Counter.incr t.requests_total;
+  let started = t.clock () in
+  let outputs =
+    match
+      select_cached t ~source:request.Smart_proto.Wizard_msg.requirement
+        ~wanted:request.Smart_proto.Wizard_msg.server_num
+    with
+    | None ->
+      Metrics.Counter.incr t.compile_errors_total;
+      reply_to request ~from ~servers:[]
+    | Some result ->
+      t.last_result <- Some result;
+      reply_to request ~from ~servers:result.Selection.selected
+  in
+  Metrics.Histogram.observe t.request_latency (t.clock () -. started);
+  outputs
 
 let handle_request t ~now ~from data =
   match Smart_proto.Wizard_msg.decode_request data with
@@ -205,6 +258,7 @@ let handle_request t ~now ~from data =
       Queue.add
         { from; request; deadline = now +. freshness_timeout; target_updates }
         t.pending;
+      Metrics.Gauge.set t.pending_gauge (float_of_int (Queue.length t.pending));
       List.map
         (fun (addr : Output.address) ->
           Output.udp ~host:addr.Output.host ~port:addr.Output.port
@@ -222,13 +276,14 @@ let tick t ~now =
       parked
   in
   List.iter (fun p -> Queue.add p t.pending) waiting;
+  Metrics.Gauge.set t.pending_gauge (float_of_int (Queue.length t.pending));
   List.concat_map (fun p -> process t p.request ~from:p.from) ready
 
 let pending_count t = Queue.length t.pending
 
-let requests_handled t = t.requests_handled
+let requests_handled t = Metrics.Counter.value t.requests_total
 
-let compile_errors t = t.compile_errors
+let compile_errors t = Metrics.Counter.value t.compile_errors_total
 
 let compile_cache_stats t =
   (Smart_util.Lru.hits t.compile_cache, Smart_util.Lru.misses t.compile_cache)
@@ -236,6 +291,8 @@ let compile_cache_stats t =
 let result_cache_stats t =
   (Smart_util.Lru.hits t.result_cache, Smart_util.Lru.misses t.result_cache)
 
-let snapshot_rebuilds t = t.snapshot_rebuilds
+let snapshot_rebuilds t = Metrics.Counter.value t.snapshot_rebuilds_total
+
+let request_latency_summary t = Metrics.histogram_summary t.request_latency
 
 let last_result t = t.last_result

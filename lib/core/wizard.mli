@@ -2,6 +2,10 @@
     against the status databases, and replies with a candidate server
     list.  Distributed mode pulls fresh snapshots first. *)
 
+(** Answering strategy: [Centralized] replies straight from the
+    receiver-maintained mirror; [Distributed] first pulls fresh
+    snapshots from every transmitter and parks the request until the
+    data arrives or [freshness_timeout] passes. *)
 type mode =
   | Centralized
   | Distributed of {
@@ -13,24 +17,41 @@ type mode =
     monitor and bind monitor_network_* from the local group's mesh
     record toward that group.  Local-group servers get [local_entry]. *)
 type groups = {
-  local_monitor : string;
+  local_monitor : string;  (** the wizard's own group's monitor *)
   group_of : string -> string option;
+      (** server host -> its group's monitor, [None] when unknown *)
   local_entry : Smart_proto.Records.net_entry;
+      (** network metrics assumed toward local-group servers *)
 }
 
 (** 0.1 ms, 100 Mbps — the §3.3.3 LAN assumption. *)
 val default_local_entry : Smart_proto.Records.net_entry
 
-type config = { mode : mode; groups : groups option }
+type config = {
+  mode : mode;  (** centralized or distributed answering *)
+  groups : groups option;  (** [None] for flat single-group deployments *)
+}
 
 type t
 
 (** Compiled requirements kept in the LRU compile cache (128). *)
 val default_compile_cache_capacity : int
 
-(** [compile_cache_capacity] bounds the requirement compile cache;
-    0 disables it (every request recompiles). *)
-val create : ?compile_cache_capacity:int -> config -> Status_db.t -> t
+(** [create ?compile_cache_capacity ?metrics ?clock config db] builds a
+    wizard answering from [db].  [compile_cache_capacity] bounds the
+    requirement compile cache; 0 disables it (every request
+    recompiles).  [metrics] receives the [wizard.*] instruments,
+    including the [wizard.request_latency_seconds] histogram (see
+    OBSERVABILITY.md); by default a private registry is used.  [clock]
+    supplies the wall time the latency histogram is measured with
+    (default [Sys.time]). *)
+val create :
+  ?compile_cache_capacity:int ->
+  ?metrics:Smart_util.Metrics.t ->
+  ?clock:(unit -> float) ->
+  config ->
+  Status_db.t ->
+  t
 
 (** Called by the receiver for every applied frame. *)
 val note_update : t -> unit
@@ -43,10 +64,14 @@ val handle_request :
 (** Release distributed-mode requests whose data is fresh or timed out. *)
 val tick : t -> now:float -> Output.t list
 
+(** Distributed-mode requests currently parked. *)
 val pending_count : t -> int
 
+(** Requests decoded and answered over the wizard's lifetime. *)
 val requests_handled : t -> int
 
+(** Requests whose requirement failed to compile (answered with an
+    empty server list). *)
 val compile_errors : t -> int
 
 (** Requirement compile cache [(hits, misses)]. *)
@@ -60,6 +85,10 @@ val result_cache_stats : t -> int * int
 (** How many times the server-view snapshot was (re)built; stays flat
     across requests while the database generation is unchanged. *)
 val snapshot_rebuilds : t -> int
+
+(** The [wizard.request_latency_seconds] histogram in one read:
+    count/sum/min/max plus incremental p50/p95/p99 estimates. *)
+val request_latency_summary : t -> Smart_util.Metrics.histogram_summary
 
 (** Diagnostics of the most recent selection. *)
 val last_result : t -> Selection.result option

@@ -1,0 +1,30 @@
+(* Metrics scrape datagrams.  Like the transmitter's pull request, a
+   scrape is a magic string on an already-open daemon socket: no extra
+   port, no framing, one request datagram in and one reply datagram out.
+   The reply is the rendered dump itself — text for eyeballs, JSON for
+   tooling. *)
+
+type format = Text | Json
+
+let request_magic = "SMART-METRICS"
+
+let encode_request = function
+  | Text -> request_magic ^ " text"
+  | Json -> request_magic ^ " json"
+
+let decode_request data =
+  let magic_len = String.length request_magic in
+  if
+    String.length data < magic_len
+    || not (String.equal (String.sub data 0 magic_len) request_magic)
+  then None
+  else
+    match String.trim (String.sub data magic_len (String.length data - magic_len)) with
+    | "" | "text" -> Some Text
+    | "json" -> Some Json
+    | _ -> None
+
+let encode_reply format metrics =
+  match format with
+  | Text -> Smart_util.Metrics.to_text metrics
+  | Json -> Smart_util.Metrics.to_json metrics

@@ -5,14 +5,14 @@
 type connected_server = { host : string; socket : Unix.file_descr }
 
 let request_servers ?(option = Smart_proto.Wizard_msg.Accept_partial)
-    ?(timeout = 2.0) ?(retries = 2) ?rng book ~wizard_host ~wanted
+    ?(timeout = 2.0) ?(retries = 2) ?rng ?metrics book ~wizard_host ~wanted
     ~requirement () =
   let rng =
     match rng with
     | Some rng -> rng
     | None -> Smart_util.Prng.create ~seed:(Unix.getpid () + int_of_float (Unix.gettimeofday () *. 1e3))
   in
-  let client = Smart_core.Client.create ~rng in
+  let client = Smart_core.Client.create ?metrics ~rng () in
   let request =
     Smart_core.Client.make_request client ~wanted ~option ~requirement
   in
@@ -33,7 +33,7 @@ let request_servers ?(option = Smart_proto.Wizard_msg.Accept_partial)
             match Udp_io.recv_timeout socket ~timeout with
             | None -> attempt (n - 1)
             | Some (_, reply) ->
-              (match Smart_core.Client.check_reply request reply with
+              (match Smart_core.Client.check_reply client request reply with
               | Ok servers -> Ok servers
               | Error (Smart_core.Client.Wrong_seq _) ->
                 (* stale reply from an earlier attempt: keep waiting *)
@@ -42,6 +42,28 @@ let request_servers ?(option = Smart_proto.Wizard_msg.Accept_partial)
           end
         in
         attempt retries)
+
+(* One metrics scrape: magic datagram out, rendered dump back.  [port]
+   picks the daemon — wizard request port, transmitter pull port or probe
+   echo port all answer. *)
+let scrape_metrics ?(timeout = 2.0) ?(format = Smart_proto.Metrics_msg.Text)
+    book ~host ~port () =
+  match Addr_book.resolve book ~host ~port with
+  | None -> Error (Printf.sprintf "unknown host %s" host)
+  | Some addr ->
+    let socket = Udp_io.bind_port 0 in
+    Fun.protect
+      ~finally:(fun () -> Udp_io.stop socket)
+      (fun () ->
+        if
+          not
+            (Udp_io.send socket ~to_:addr
+               (Smart_proto.Metrics_msg.encode_request format))
+        then Error "send failed"
+        else
+          match Udp_io.recv_timeout socket ~timeout with
+          | Some (_, dump) -> Ok dump
+          | None -> Error "scrape timed out")
 
 (* Connect one TCP socket to a candidate's service port. *)
 let connect_service book ~host =
@@ -58,11 +80,11 @@ let connect_service book ~host =
 
 (* The full §3.6.2 flow: ask the wizard, then return one connected socket
    per candidate (candidates that refuse the connection are skipped). *)
-let request_sockets ?option ?timeout ?retries ?rng book ~wizard_host ~wanted
-    ~requirement () =
+let request_sockets ?option ?timeout ?retries ?rng ?metrics book ~wizard_host
+    ~wanted ~requirement () =
   match
-    request_servers ?option ?timeout ?retries ?rng book ~wizard_host ~wanted
-      ~requirement ()
+    request_servers ?option ?timeout ?retries ?rng ?metrics book ~wizard_host
+      ~wanted ~requirement ()
   with
   | Error _ as e -> e
   | Ok servers ->

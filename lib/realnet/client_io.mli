@@ -3,18 +3,34 @@
 
 type connected_server = { host : string; socket : Unix.file_descr }
 
-(** Ask the wizard for candidate host names. *)
+(** Ask the wizard for candidate host names.  [metrics] receives the
+    [client.*] instruments (see OBSERVABILITY.md). *)
 val request_servers :
   ?option:Smart_proto.Wizard_msg.option_flag ->
   ?timeout:float ->
   ?retries:int ->
   ?rng:Smart_util.Prng.t ->
+  ?metrics:Smart_util.Metrics.t ->
   Addr_book.t ->
   wizard_host:string ->
   wanted:int ->
   requirement:string ->
   unit ->
   (string list, Smart_core.Client.error) result
+
+(** Scrape one daemon's metrics registry: sends the
+    [Smart_proto.Metrics_msg] magic to [host]:[port] (the wizard request
+    port, a transmitter pull port or a probe echo port) and returns the
+    rendered dump.  [Error] carries a human-readable reason (resolution,
+    send failure or timeout). *)
+val scrape_metrics :
+  ?timeout:float ->
+  ?format:Smart_proto.Metrics_msg.format ->
+  Addr_book.t ->
+  host:string ->
+  port:int ->
+  unit ->
+  (string, string) result
 
 (** TCP-connect to one candidate's service port. *)
 val connect_service : Addr_book.t -> host:string -> connected_server option
@@ -26,6 +42,7 @@ val request_sockets :
   ?timeout:float ->
   ?retries:int ->
   ?rng:Smart_util.Prng.t ->
+  ?metrics:Smart_util.Metrics.t ->
   Addr_book.t ->
   wizard_host:string ->
   wanted:int ->

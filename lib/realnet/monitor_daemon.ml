@@ -17,6 +17,7 @@ type t = {
   config : config;
   book : Addr_book.t;
   db : Smart_core.Status_db.t;
+  metrics : Smart_util.Metrics.t;
   sysmon : Smart_core.Sysmon.t;
   secmon : Smart_core.Secmon.t;
   netmon : Smart_core.Netmon.t;
@@ -30,6 +31,7 @@ type t = {
 
 let create book (config : config) =
   let db = Smart_core.Status_db.create () in
+  let metrics = Smart_util.Metrics.create () in
   let sysmon =
     Smart_core.Sysmon.create
       ~config:
@@ -37,13 +39,13 @@ let create book (config : config) =
           Smart_core.Sysmon.probe_interval = config.probe_interval;
           missed_intervals = 3;
         }
-      db
+      ~metrics db
   in
-  let secmon = Smart_core.Secmon.create db in
+  let secmon = Smart_core.Secmon.create ~metrics db in
   if config.security_log <> "" then
     ignore (Smart_core.Secmon.refresh_from_log secmon config.security_log);
   let netmon =
-    Smart_core.Netmon.create
+    Smart_core.Netmon.create ~metrics
       {
         Smart_core.Netmon.monitor_name = config.host;
         targets = config.netmon_targets;
@@ -51,7 +53,7 @@ let create book (config : config) =
       db
   in
   let transmitter =
-    Smart_core.Transmitter.create ~monitor_name:config.host
+    Smart_core.Transmitter.create ~metrics ~monitor_name:config.host
       {
         Smart_core.Transmitter.mode = config.mode;
         order = Smart_proto.Endian.Little;
@@ -68,6 +70,7 @@ let create book (config : config) =
     config;
     book;
     db;
+    metrics;
     sysmon;
     secmon;
     netmon;
@@ -128,9 +131,15 @@ let start t =
         ignore
           (Smart_core.Sysmon.handle_report t.sysmon
              ~now:(Unix.gettimeofday ()) data));
-  Udp_io.start t.pull_socket (fun ~from:_ data ->
-      let outputs = Smart_core.Transmitter.handle_pull t.transmitter ~data in
-      Perform.outputs t.book ~udp:t.out_socket outputs);
+  Udp_io.start t.pull_socket (fun ~from data ->
+      match Smart_proto.Metrics_msg.decode_request data with
+      | Some format ->
+        ignore
+          (Udp_io.send t.pull_socket ~to_:from
+             (Smart_proto.Metrics_msg.encode_reply format t.metrics))
+      | None ->
+        let outputs = Smart_core.Transmitter.handle_pull t.transmitter ~data in
+        Perform.outputs t.book ~udp:t.out_socket outputs);
   let transmit_loop () =
     while t.running do
       ignore (Smart_core.Sysmon.sweep t.sysmon ~now:(Unix.gettimeofday ()));
@@ -152,3 +161,5 @@ let stop t =
 let db t = t.db
 
 let sysmon t = t.sysmon
+
+let metrics t = t.metrics

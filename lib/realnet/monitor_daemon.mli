@@ -31,3 +31,8 @@ val stop : t -> unit
 val db : t -> Smart_core.Status_db.t
 
 val sysmon : t -> Smart_core.Sysmon.t
+
+(** The machine-wide registry shared by the four components; also served
+    over UDP to [Smart_proto.Metrics_msg] scrapes on the transmitter's
+    pull port. *)
+val metrics : t -> Smart_util.Metrics.t

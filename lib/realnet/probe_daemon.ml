@@ -14,6 +14,7 @@ type config = {
 
 type t = {
   config : config;
+  metrics : Smart_util.Metrics.t;
   probe : Smart_core.Probe.t;
   udp : Udp_io.t;          (* source socket for reports *)
   echo : Udp_io.t;         (* netmon echo responder *)
@@ -34,8 +35,9 @@ let create book (config : config) =
     | None ->
       Option.value ~default:"eth0" (Proc_reader.default_iface config.proc)
   in
+  let metrics = Smart_util.Metrics.create () in
   let probe =
-    Smart_core.Probe.create
+    Smart_core.Probe.create ~metrics
       {
         Smart_core.Probe.host = config.host;
         ip = config.ip;
@@ -54,6 +56,7 @@ let create book (config : config) =
   let echo = Udp_io.bind_port (Smart_proto.Ports.probe + shift) in
   {
     config;
+    metrics;
     probe;
     udp;
     echo;
@@ -79,9 +82,15 @@ let tick_once t =
 let start t =
   if t.running then invalid_arg "Probe_daemon.start: already running";
   t.running <- true;
-  (* echo responder: bounce every datagram back to its sender *)
+  (* echo responder: bounce every datagram back to its sender (metrics
+     scrapes answered with the registry dump instead) *)
   Udp_io.start t.echo (fun ~from data ->
-      ignore (Udp_io.send t.echo ~to_:from data));
+      match Smart_proto.Metrics_msg.decode_request data with
+      | Some format ->
+        ignore
+          (Udp_io.send t.echo ~to_:from
+             (Smart_proto.Metrics_msg.encode_reply format t.metrics))
+      | None -> ignore (Udp_io.send t.echo ~to_:from data));
   let loop () =
     while t.running do
       tick_once t;
@@ -100,3 +109,5 @@ let stop t =
 let reports_sent t = t.reports_sent
 
 let last_error t = t.last_error
+
+let metrics t = t.metrics

@@ -25,3 +25,7 @@ val stop : t -> unit
 val reports_sent : t -> int
 
 val last_error : t -> string option
+
+(** The daemon's registry (the [probe.*] instruments); also served over
+    UDP to [Smart_proto.Metrics_msg] scrapes on the echo port. *)
+val metrics : t -> Smart_util.Metrics.t

@@ -11,6 +11,7 @@ type t = {
   config : config;
   book : Addr_book.t;
   db : Smart_core.Status_db.t;
+  metrics : Smart_util.Metrics.t;
   receiver : Smart_core.Receiver.t;
   wizard : Smart_core.Wizard.t;
   listen_socket : Unix.file_descr;
@@ -28,8 +29,11 @@ let reply_marker = "@reply"
 
 let create book (config : config) =
   let db = Smart_core.Status_db.create () in
-  let receiver = Smart_core.Receiver.create ~order:Smart_proto.Endian.Little db in
-  let wizard = Smart_core.Wizard.create
+  let metrics = Smart_util.Metrics.create () in
+  let receiver =
+    Smart_core.Receiver.create ~metrics ~order:Smart_proto.Endian.Little db
+  in
+  let wizard = Smart_core.Wizard.create ~metrics
       { Smart_core.Wizard.mode = config.mode; groups = None }
       db in
   Smart_core.Receiver.set_update_hook receiver
@@ -44,6 +48,7 @@ let create book (config : config) =
     config;
     book;
     db;
+    metrics;
     receiver;
     wizard;
     listen_socket;
@@ -80,7 +85,8 @@ let serve_connection t client peer =
     | exception Unix.Unix_error (_, _, _) -> ()
   in
   go ();
-  try Unix.close client with Unix.Unix_error (_, _, _) -> ()
+  locked t (fun () -> Smart_core.Receiver.forget_source t.receiver ~from:tag);
+  (try Unix.close client with Unix.Unix_error (_, _, _) -> ())
 
 (* Replies addressed to the marker are routed to the sockaddr remembered
    for their sequence number (deferred distributed-mode replies included);
@@ -121,6 +127,12 @@ let start t =
   in
   (* request loop *)
   Udp_io.start t.request_socket (fun ~from data ->
+      match Smart_proto.Metrics_msg.decode_request data with
+      | Some format ->
+        ignore
+          (Udp_io.send t.request_socket ~to_:from
+             (Smart_proto.Metrics_msg.encode_reply format t.metrics))
+      | None ->
       if data <> "" then begin
         (match Smart_proto.Wizard_msg.decode_request data with
         | Ok request ->
@@ -174,3 +186,5 @@ let stop t =
 let db t = t.db
 
 let wizard t = t.wizard
+
+let metrics t = t.metrics

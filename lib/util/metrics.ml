@@ -1,0 +1,365 @@
+(* Self-instrumentation registry: counters, gauges and bounded
+   histograms with P² incremental quantile estimates (Jain & Chlamtac,
+   CACM 1985) — O(1) memory per tracked quantile, no sample buffer, so
+   a component can observe every request forever.
+
+   The registry is deliberately dependency-free and driver-agnostic:
+   the simulation driver reads it synchronously, the realnet daemons
+   dump it into a UDP reply, the bench writes it to JSON. *)
+
+(* ------------------------------------------------------------------ *)
+(* P² single-quantile estimator                                         *)
+(* ------------------------------------------------------------------ *)
+
+(* Five markers track the running min, the p/2, p and (1+p)/2 quantile
+   estimates and the running max; marker heights are nudged toward
+   their desired positions with a piecewise-parabolic interpolation.
+   The caller seeds it with the first five observations sorted. *)
+module P2 = struct
+  type t = {
+    q : float array;        (* marker heights *)
+    pos : int array;        (* actual marker positions, 1-based *)
+    desired : float array;  (* desired marker positions *)
+    inc : float array;      (* desired-position increments *)
+  }
+
+  let create p =
+    {
+      q = Array.make 5 0.0;
+      pos = [| 1; 2; 3; 4; 5 |];
+      desired = [| 1.0; 1.0 +. (2.0 *. p); 1.0 +. (4.0 *. p);
+                   3.0 +. (2.0 *. p); 5.0 |];
+      inc = [| 0.0; p /. 2.0; p; (1.0 +. p) /. 2.0; 1.0 |];
+    }
+
+  let init t sorted5 = Array.blit sorted5 0 t.q 0 5
+
+  let parabolic t i s =
+    let q = t.q and pos = t.pos in
+    let fp i = float_of_int pos.(i) in
+    q.(i)
+    +. s /. (fp (i + 1) -. fp (i - 1))
+       *. (((fp i -. fp (i - 1) +. s) *. (q.(i + 1) -. q.(i))
+            /. (fp (i + 1) -. fp i))
+           +. ((fp (i + 1) -. fp i -. s) *. (q.(i) -. q.(i - 1))
+               /. (fp i -. fp (i - 1))))
+
+  let linear t i s =
+    let q = t.q and pos = t.pos in
+    q.(i) +. (float_of_int s *. (q.(i + s) -. q.(i))
+              /. float_of_int (pos.(i + s) - pos.(i)))
+
+  (* One observation past the first five. *)
+  let observe t x =
+    let q = t.q and pos = t.pos in
+    let cell =
+      if x < q.(0) then begin
+        q.(0) <- x;
+        0
+      end
+      else if x >= q.(4) then begin
+        q.(4) <- x;
+        3
+      end
+      else begin
+        let rec find i = if x < q.(i + 1) then i else find (i + 1) in
+        find 0
+      end
+    in
+    for i = cell + 1 to 4 do
+      pos.(i) <- pos.(i) + 1
+    done;
+    for i = 0 to 4 do
+      t.desired.(i) <- t.desired.(i) +. t.inc.(i)
+    done;
+    for i = 1 to 3 do
+      let d = t.desired.(i) -. float_of_int pos.(i) in
+      if
+        (d >= 1.0 && pos.(i + 1) - pos.(i) > 1)
+        || (d <= -1.0 && pos.(i - 1) - pos.(i) < -1)
+      then begin
+        let s = if d >= 0.0 then 1 else -1 in
+        let candidate = parabolic t i (float_of_int s) in
+        if q.(i - 1) < candidate && candidate < q.(i + 1) then
+          q.(i) <- candidate
+        else q.(i) <- linear t i s;
+        pos.(i) <- pos.(i) + s
+      end
+    done
+
+  let estimate t = t.q.(2)
+end
+
+(* ------------------------------------------------------------------ *)
+(* Instruments                                                          *)
+(* ------------------------------------------------------------------ *)
+
+module Counter = struct
+  type t = { mutable count : int }
+
+  let make () = { count = 0 }
+
+  let incr ?(by = 1) t =
+    if by < 0 then invalid_arg "Metrics.Counter.incr: negative increment";
+    t.count <- t.count + by
+
+  let value t = t.count
+end
+
+module Gauge = struct
+  type t = { mutable v : float }
+
+  let make () = { v = 0.0 }
+
+  let set t v = t.v <- v
+
+  let add t dv = t.v <- t.v +. dv
+
+  let value t = t.v
+end
+
+(* Linear interpolation on the sorted sample, matching
+   [Stats.percentile] so the "exact while small" regime agrees with the
+   offline toolkit. *)
+let percentile_of_sorted sorted ~p =
+  let n = Array.length sorted in
+  let rank = p *. float_of_int (n - 1) in
+  let lo = int_of_float (Float.floor rank) in
+  let hi = int_of_float (Float.ceil rank) in
+  if lo = hi then sorted.(lo)
+  else begin
+    let w = rank -. float_of_int lo in
+    (sorted.(lo) *. (1.0 -. w)) +. (sorted.(hi) *. w)
+  end
+
+module Histogram = struct
+  type t = {
+    mutable n : int;
+    mutable sum : float;
+    mutable minv : float;
+    mutable maxv : float;
+    first : float array;  (* the first five observations, unsorted *)
+    q50 : P2.t;
+    q95 : P2.t;
+    q99 : P2.t;
+  }
+
+  let make () =
+    {
+      n = 0;
+      sum = 0.0;
+      minv = Float.nan;
+      maxv = Float.nan;
+      first = Array.make 5 0.0;
+      q50 = P2.create 0.5;
+      q95 = P2.create 0.95;
+      q99 = P2.create 0.99;
+    }
+
+  let observe t x =
+    if t.n < 5 then t.first.(t.n) <- x;
+    t.n <- t.n + 1;
+    t.sum <- t.sum +. x;
+    t.minv <- (if t.n = 1 then x else Float.min t.minv x);
+    t.maxv <- (if t.n = 1 then x else Float.max t.maxv x);
+    if t.n = 5 then begin
+      let sorted = Array.copy t.first in
+      Array.sort compare sorted;
+      P2.init t.q50 sorted;
+      P2.init t.q95 sorted;
+      P2.init t.q99 sorted
+    end
+    else if t.n > 5 then begin
+      P2.observe t.q50 x;
+      P2.observe t.q95 x;
+      P2.observe t.q99 x
+    end
+
+  let count t = t.n
+
+  let sum t = t.sum
+
+  let quantile t p =
+    let estimator =
+      if p = 0.5 then t.q50
+      else if p = 0.95 then t.q95
+      else if p = 0.99 then t.q99
+      else invalid_arg "Metrics.Histogram.quantile: tracked p are 0.5/0.95/0.99"
+    in
+    if t.n = 0 then Float.nan
+    else if t.n <= 5 then begin
+      let sorted = Array.sub t.first 0 t.n in
+      Array.sort compare sorted;
+      percentile_of_sorted sorted ~p
+    end
+    else P2.estimate estimator
+end
+
+type histogram_summary = {
+  count : int;
+  sum : float;
+  min : float;
+  max : float;
+  p50 : float;
+  p95 : float;
+  p99 : float;
+}
+
+let histogram_summary (h : Histogram.t) =
+  {
+    count = h.Histogram.n;
+    sum = h.Histogram.sum;
+    min = h.Histogram.minv;
+    max = h.Histogram.maxv;
+    p50 = Histogram.quantile h 0.5;
+    p95 = Histogram.quantile h 0.95;
+    p99 = Histogram.quantile h 0.99;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Registry                                                             *)
+(* ------------------------------------------------------------------ *)
+
+type metric =
+  | Counter_m of Counter.t
+  | Gauge_m of Gauge.t
+  | Histogram_m of Histogram.t
+
+type entry = { help : string; metric : metric }
+
+type t = { table : (string, entry) Hashtbl.t }
+
+let create () = { table = Hashtbl.create 32 }
+
+let kind_name = function
+  | Counter_m _ -> "counter"
+  | Gauge_m _ -> "gauge"
+  | Histogram_m _ -> "histogram"
+
+let register t ?(help = "") name ~make ~extract ~wanted =
+  match Hashtbl.find_opt t.table name with
+  | Some { metric; _ } ->
+    (match extract metric with
+    | Some instrument -> instrument
+    | None ->
+      invalid_arg
+        (Printf.sprintf "Metrics: %s already registered as a %s, wanted %s"
+           name (kind_name metric) wanted))
+  | None ->
+    let instrument, metric = make () in
+    Hashtbl.replace t.table name { help; metric };
+    instrument
+
+let counter t ?help name =
+  register t ?help name ~wanted:"counter"
+    ~make:(fun () ->
+      let c = Counter.make () in
+      (c, Counter_m c))
+    ~extract:(function Counter_m c -> Some c | Gauge_m _ | Histogram_m _ -> None)
+
+let gauge t ?help name =
+  register t ?help name ~wanted:"gauge"
+    ~make:(fun () ->
+      let g = Gauge.make () in
+      (g, Gauge_m g))
+    ~extract:(function Gauge_m g -> Some g | Counter_m _ | Histogram_m _ -> None)
+
+let histogram t ?help name =
+  register t ?help name ~wanted:"histogram"
+    ~make:(fun () ->
+      let h = Histogram.make () in
+      (h, Histogram_m h))
+    ~extract:(function
+      | Histogram_m h -> Some h
+      | Counter_m _ | Gauge_m _ -> None)
+
+type value =
+  | Counter of int
+  | Gauge of float
+  | Histogram of histogram_summary
+
+type sample = { name : string; help : string; value : value }
+
+let read = function
+  | Counter_m c -> Counter (Counter.value c)
+  | Gauge_m g -> Gauge (Gauge.value g)
+  | Histogram_m h -> Histogram (histogram_summary h)
+
+let snapshot t =
+  Hashtbl.fold
+    (fun name { help; metric } acc -> { name; help; value = read metric } :: acc)
+    t.table []
+  |> List.sort (fun a b -> String.compare a.name b.name)
+
+let find t name =
+  Option.map (fun { metric; _ } -> read metric) (Hashtbl.find_opt t.table name)
+
+let counter_value t name =
+  match find t name with Some (Counter n) -> n | Some _ | None -> 0
+
+let gauge_value t name =
+  match find t name with Some (Gauge v) -> v | Some _ | None -> 0.0
+
+(* ------------------------------------------------------------------ *)
+(* Rendering                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let to_text t =
+  let buf = Buffer.create 512 in
+  List.iter
+    (fun { name; value; _ } ->
+      (match value with
+      | Counter n -> Buffer.add_string buf (Printf.sprintf "%s counter %d" name n)
+      | Gauge v -> Buffer.add_string buf (Printf.sprintf "%s gauge %.6g" name v)
+      | Histogram h ->
+        Buffer.add_string buf
+          (Printf.sprintf
+             "%s histogram count=%d sum=%.6g min=%.6g p50=%.6g p95=%.6g \
+              p99=%.6g max=%.6g"
+             name h.count h.sum h.min h.p50 h.p95 h.p99 h.max));
+      Buffer.add_char buf '\n')
+    (snapshot t);
+  Buffer.contents buf
+
+let json_escape s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+(* Non-finite readings (empty-histogram min/quantiles) become [null]. *)
+let json_float v =
+  if Float.is_finite v then Printf.sprintf "%.9g" v else "null"
+
+let to_json t =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "{";
+  List.iteri
+    (fun i { name; value; _ } ->
+      if i > 0 then Buffer.add_string buf ",";
+      Buffer.add_string buf (Printf.sprintf "\n  \"%s\": " (json_escape name));
+      (match value with
+      | Counter n ->
+        Buffer.add_string buf
+          (Printf.sprintf "{\"type\": \"counter\", \"value\": %d}" n)
+      | Gauge v ->
+        Buffer.add_string buf
+          (Printf.sprintf "{\"type\": \"gauge\", \"value\": %s}" (json_float v))
+      | Histogram h ->
+        Buffer.add_string buf
+          (Printf.sprintf
+             "{\"type\": \"histogram\", \"count\": %d, \"sum\": %s, \"min\": \
+              %s, \"p50\": %s, \"p95\": %s, \"p99\": %s, \"max\": %s}"
+             h.count (json_float h.sum) (json_float h.min) (json_float h.p50)
+             (json_float h.p95) (json_float h.p99) (json_float h.max))))
+    (snapshot t);
+  Buffer.add_string buf "\n}\n";
+  Buffer.contents buf

@@ -1,0 +1,114 @@
+(** Self-instrumentation registry for the monitoring system itself:
+    named counters, gauges and bounded histograms with incremental
+    quantile estimates (p50/p95/p99, the P² algorithm — O(1) memory per
+    tracked quantile).
+
+    Every sans-IO component registers its instruments against a registry
+    handed in at creation time, so the same instrumentation is read
+    deterministically by the simulation driver and scraped over UDP by
+    the realnet daemons (see OBSERVABILITY.md for the full namespace).
+
+    Registration is get-or-create: asking twice for the same name
+    returns the same instrument, which is how components deployed many
+    times against one registry (e.g. every probe of a simulated
+    cluster) aggregate into a single metric. *)
+
+type t
+
+(** A fresh, empty registry. *)
+val create : unit -> t
+
+(** Monotonically increasing event count. *)
+module Counter : sig
+  type t
+
+  (** [incr ?by c] adds [by] (default 1, must be [>= 0]) to the count. *)
+  val incr : ?by:int -> t -> unit
+
+  val value : t -> int
+end
+
+(** A value that can move both ways (queue depths, table sizes). *)
+module Gauge : sig
+  type t
+
+  val set : t -> float -> unit
+
+  val add : t -> float -> unit
+
+  val value : t -> float
+end
+
+(** Bounded-memory distribution tracker: count, sum, min, max, and three
+    P² quantile estimators (p50, p95, p99).  With five or fewer
+    observations the quantiles are exact (linear interpolation on the
+    sorted sample, matching {!Stats.percentile}); beyond that the P²
+    markers take over. *)
+module Histogram : sig
+  type t
+
+  val observe : t -> float -> unit
+
+  val count : t -> int
+
+  val sum : t -> float
+
+  (** Estimate for [p] in {0.5, 0.95, 0.99}; [Float.nan] while empty.
+      Raises [Invalid_argument] for any other [p]. *)
+  val quantile : t -> float -> float
+end
+
+(** Everything a histogram exposes, in one read. *)
+type histogram_summary = {
+  count : int;
+  sum : float;
+  min : float;  (** [Float.nan] while empty *)
+  max : float;  (** [Float.nan] while empty *)
+  p50 : float;
+  p95 : float;
+  p99 : float;
+}
+
+val histogram_summary : Histogram.t -> histogram_summary
+
+(** One metric's current reading. *)
+type value =
+  | Counter of int
+  | Gauge of float
+  | Histogram of histogram_summary
+
+type sample = { name : string; help : string; value : value }
+
+(** [counter t name] returns the counter registered under [name],
+    creating it on first use.  [help] is kept from the first
+    registration.  Raises [Invalid_argument] if [name] is already
+    registered as a different kind. *)
+val counter : t -> ?help:string -> string -> Counter.t
+
+val gauge : t -> ?help:string -> string -> Gauge.t
+
+val histogram : t -> ?help:string -> string -> Histogram.t
+
+(** Current readings of every registered metric, sorted by name — the
+    stable view tests and experiments assert on. *)
+val snapshot : t -> sample list
+
+(** Reading of one metric by name. *)
+val find : t -> string -> value option
+
+(** Convenience for tests: the counter's value, or 0 when [name] is
+    absent or not a counter. *)
+val counter_value : t -> string -> int
+
+(** Gauge reading, or 0 when absent or not a gauge. *)
+val gauge_value : t -> string -> float
+
+(** One line per metric:
+    [<name> counter <n>],
+    [<name> gauge <v>], or
+    [<name> histogram count=.. sum=.. min=.. p50=.. p95=.. p99=.. max=..]. *)
+val to_text : t -> string
+
+(** The same readings as a JSON object keyed by metric name; histogram
+    quantiles of an empty histogram render as [null]. *)
+val to_json : t -> string

@@ -720,10 +720,12 @@ let test_receiver_multi_transmitter_ownership () =
 (* Wizard + Client protocol (no network)                                *)
 (* ------------------------------------------------------------------ *)
 
+let fresh_client ?(seed = 4) () =
+  C.Client.create ~rng:(Smart_util.Prng.create ~seed) ()
+
 let client_request ?(wanted = 2) ?(option = P.Wizard_msg.Accept_partial)
     requirement =
-  let client = C.Client.create ~rng:(Smart_util.Prng.create ~seed:4) in
-  C.Client.make_request client ~wanted ~option ~requirement
+  C.Client.make_request (fresh_client ()) ~wanted ~option ~requirement
 
 let test_wizard_centralized_reply () =
   let db = C.Status_db.create () in
@@ -742,7 +744,7 @@ let test_wizard_centralized_reply () =
   | [ C.Output.Udp { dst; data } ] ->
     Alcotest.(check string) "reply to requester" "client" dst.C.Output.host;
     Alcotest.(check int) "reply to requester port" 4567 dst.C.Output.port;
-    (match C.Client.check_reply request data with
+    (match C.Client.check_reply (fresh_client ()) request data with
     | Ok servers -> Alcotest.(check (list string)) "servers" [ "a" ] servers
     | Error e -> Alcotest.failf "reply rejected: %a" C.Client.pp_error e)
   | _ -> Alcotest.fail "expected one reply datagram");
@@ -816,7 +818,7 @@ let test_wizard_distributed_pull_flow () =
   C.Wizard.note_update wizard;
   (match C.Wizard.tick wizard ~now:1.3 with
   | [ C.Output.Udp { data; _ } ] ->
-    (match C.Client.check_reply request data with
+    (match C.Client.check_reply (fresh_client ()) request data with
     | Ok servers -> Alcotest.(check (list string)) "served after pull" [ "a" ] servers
     | Error e -> Alcotest.failf "reply: %a" C.Client.pp_error e)
   | _ -> Alcotest.fail "expected deferred reply");
@@ -927,10 +929,10 @@ let test_wizard_result_cache_and_snapshot () =
 let test_client_seq_matching () =
   let request = client_request "x > 0\n" in
   let reply seq = P.Wizard_msg.encode_reply { P.Wizard_msg.seq; servers = [ "a"; "b" ] } in
-  (match C.Client.check_reply request (reply request.P.Wizard_msg.seq) with
+  (match C.Client.check_reply (fresh_client ()) request (reply request.P.Wizard_msg.seq) with
   | Ok _ -> ()
   | Error e -> Alcotest.failf "own seq rejected: %a" C.Client.pp_error e);
-  match C.Client.check_reply request (reply (request.P.Wizard_msg.seq + 1)) with
+  match C.Client.check_reply (fresh_client ()) request (reply (request.P.Wizard_msg.seq + 1)) with
   | Error (C.Client.Wrong_seq _) -> ()
   | Ok _ | Error _ -> Alcotest.fail "foreign seq accepted"
 
@@ -946,18 +948,18 @@ let test_client_option_semantics () =
         servers = List.init n string_of_int;
       }
   in
-  (match C.Client.check_reply strict (reply strict 2) with
+  (match C.Client.check_reply (fresh_client ()) strict (reply strict 2) with
   | Error (C.Client.Not_enough { wanted = 3; got = 2 }) -> ()
   | Ok _ | Error _ -> Alcotest.fail "strict must reject shortfall");
-  (match C.Client.check_reply partial (reply partial 2) with
+  (match C.Client.check_reply (fresh_client ()) partial (reply partial 2) with
   | Ok servers -> Alcotest.(check int) "partial accepts" 2 (List.length servers)
   | Error e -> Alcotest.failf "partial rejected: %a" C.Client.pp_error e);
-  match C.Client.check_reply partial (reply partial 0) with
+  match C.Client.check_reply (fresh_client ()) partial (reply partial 0) with
   | Error (C.Client.Not_enough _) -> ()
   | Ok _ | Error _ -> Alcotest.fail "empty reply must fail even partial"
 
 let test_client_request_validation () =
-  let client = C.Client.create ~rng:(Smart_util.Prng.create ~seed:1) in
+  let client = C.Client.create ~rng:(Smart_util.Prng.create ~seed:1) () in
   Alcotest.(check bool) "zero wanted" true
     (try
        ignore
@@ -1177,6 +1179,64 @@ let test_sim_traffic_stats () =
   let tx_msgs, _ = C.Simdriver.traffic_stats d "transmitter" in
   Alcotest.(check bool) "transmitter pushed" true (tx_msgs > 0)
 
+(* The deployment-wide metrics registry, asserted end-to-end: counters
+   move in lockstep with the simulated traffic, and draining the
+   deployment (probes silenced, packets delivered) makes sender-side and
+   receiver-side counts agree exactly. *)
+let test_sim_metrics_end_to_end () =
+  let _, d = deploy () in
+  C.Simdriver.settle ~duration:8.0 d;
+  let m = C.Simdriver.metrics d in
+  let cv = Smart_util.Metrics.counter_value m in
+  let gv = Smart_util.Metrics.gauge_value m in
+  (* one sequential netmon round over the 11 servers *)
+  ignore (C.Simdriver.refresh_netmon ~trials:1 d);
+  Alcotest.(check int) "one netmon round" 1 (cv "netmon.rounds_total");
+  Alcotest.(check int) "11 netmon probes" 11 (cv "netmon.probes_total");
+  Alcotest.(check int) "no probe failures" 0 (cv "netmon.probe_failures_total");
+  Alcotest.(check (float 1e-9)) "all reachable" 11.0 (gv "netmon.reachable");
+  (* three requests: wizard and client counters move in lockstep *)
+  for _ = 1 to 3 do
+    match
+      C.Simdriver.request d ~client:"sagit" ~wanted:2
+        ~requirement:"host_cpu_bogomips > 4000\n"
+    with
+    | Ok _ -> ()
+    | Error e -> Alcotest.failf "request failed: %a" C.Client.pp_error e
+  done;
+  Alcotest.(check int) "wizard handled 3" 3 (cv "wizard.requests_total");
+  Alcotest.(check int) "client built 3" 3 (cv "client.requests_total");
+  Alcotest.(check int) "3 replies accepted" 3 (cv "client.replies_ok_total");
+  Alcotest.(check int) "no replies rejected" 0 (cv "client.reply_errors_total");
+  (match Smart_util.Metrics.find m "wizard.request_latency_seconds" with
+  | Some (Smart_util.Metrics.Histogram h) ->
+    Alcotest.(check int) "one latency observation per request" 3
+      h.Smart_util.Metrics.count
+  | _ -> Alcotest.fail "wizard.request_latency_seconds missing");
+  (* receiver-side sanity while traffic flows *)
+  Alcotest.(check bool) "frames mirrored" true (cv "receiver.frames_total" > 0);
+  Alcotest.(check int) "no decode errors" 0 (cv "receiver.decode_errors_total");
+  Alcotest.(check (float 1e-9)) "one transmitter stream" 1.0
+    (gv "receiver.transmitters");
+  (* silence every probe, let in-flight datagrams land: sender-side and
+     monitor-side report counts must then agree exactly *)
+  List.iter
+    (fun h -> C.Simdriver.fail_machine d ~host:h)
+    H.Testbed.machine_names;
+  C.Simdriver.settle ~duration:1.0 d;
+  Alcotest.(check bool) "probes reported" true (cv "probe.reports_total" > 0);
+  Alcotest.(check int) "every probe report reached the sysmon"
+    (cv "probe.reports_total")
+    (cv "sysmon.reports_total");
+  Alcotest.(check int) "no probe errors" 0 (cv "probe.errors_total");
+  Alcotest.(check int) "no report parse errors" 0
+    (cv "sysmon.parse_errors_total");
+  (* three missed intervals later the sweep expires all 11, exactly once *)
+  C.Simdriver.settle ~duration:10.0 d;
+  Alcotest.(check int) "all 11 expired exactly once" 11
+    (cv "sysmon.expired_total");
+  Alcotest.(check (float 1e-9)) "hosts gauge drained" 0.0 (gv "sysmon.hosts")
+
 (* Golden equivalence: reply sequences captured from the seed wizard
    (before the status-plane refactor) on the ICPP-2005 testbed.  The
    requests run in this exact order — each one advances virtual time —
@@ -1311,6 +1371,8 @@ let () =
           Alcotest.test_case "TCP reports end-to-end" `Quick
             test_sim_tcp_probe_transport;
           Alcotest.test_case "traffic stats" `Quick test_sim_traffic_stats;
+          Alcotest.test_case "metrics end to end" `Quick
+            test_sim_metrics_end_to_end;
           Alcotest.test_case "golden selection equivalence" `Quick
             test_sim_golden_selection;
         ] );

@@ -334,6 +334,56 @@ let test_distributed_mode_real () =
         Alcotest.failf "distributed request failed: %a"
           Smart_core.Client.pp_error e)
 
+(* One daemon of each kind answers the SMART-METRICS magic on its
+   existing socket (wizard request port, transmitter pull port, probe
+   echo port) with its own registry dump. *)
+let test_metrics_scrape_real () =
+  let contains ~affix s =
+    let n = String.length affix and m = String.length s in
+    let rec go i = i + n <= m && (String.sub s i n = affix || go (i + 1)) in
+    n = 0 || go 0
+  in
+  let w = start_world () in
+  Fun.protect
+    ~finally:(fun () -> stop_world w)
+    (fun () ->
+      await_reports w ~count:3 ~timeout:10.0;
+      (* move the wizard-side counters before scraping *)
+      (match
+         R.Client_io.request_servers w.book ~timeout:5.0 ~wizard_host:"wiz"
+           ~wanted:1 ~requirement:"host_memory_total > 1\n" ()
+       with
+      | Ok _ -> ()
+      | Error e ->
+        Alcotest.failf "request before scrape failed: %a"
+          Smart_core.Client.pp_error e);
+      let scrape ?format host port =
+        match R.Client_io.scrape_metrics ?format w.book ~host ~port () with
+        | Ok dump -> dump
+        | Error reason -> Alcotest.failf "scrape %s failed: %s" host reason
+      in
+      let wiz = scrape "wiz" Smart_proto.Ports.wizard in
+      Alcotest.(check bool) "wizard requests counted" true
+        (contains ~affix:"wizard.requests_total counter 1" wiz);
+      Alcotest.(check bool) "receiver frames in wizard dump" true
+        (contains ~affix:"receiver.frames_total" wiz);
+      Alcotest.(check bool) "latency histogram in wizard dump" true
+        (contains ~affix:"wizard.request_latency_seconds" wiz);
+      let mon = scrape "mon" Smart_proto.Ports.transmitter in
+      Alcotest.(check bool) "sysmon reports in monitor dump" true
+        (contains ~affix:"sysmon.reports_total" mon);
+      Alcotest.(check bool) "transmitter frames in monitor dump" true
+        (contains ~affix:"transmitter.frames_total" mon);
+      let probe = scrape "alpha" Smart_proto.Ports.probe in
+      Alcotest.(check bool) "probe reports in probe dump" true
+        (contains ~affix:"probe.reports_total" probe);
+      let wiz_json =
+        scrape ~format:Smart_proto.Metrics_msg.Json "wiz"
+          Smart_proto.Ports.wizard
+      in
+      Alcotest.(check bool) "json dump quotes metric names" true
+        (contains ~affix:"\"wizard.requests_total\"" wiz_json))
+
 let () =
   Alcotest.run "smart_realnet"
     [
@@ -358,5 +408,6 @@ let () =
             test_netmon_real_probing;
           Alcotest.test_case "massd download" `Slow test_download_real;
           Alcotest.test_case "distributed mode" `Slow test_distributed_mode_real;
+          Alcotest.test_case "metrics scrape" `Slow test_metrics_scrape_real;
         ] );
     ]

@@ -348,6 +348,118 @@ let test_lru_eviction_order () =
   Alcotest.(check bool) "d kept" true (Smart_util.Lru.mem l "d");
   Alcotest.(check bool) "e kept" true (Smart_util.Lru.mem l "e")
 
+(* ------------------------------------------------------------------ *)
+(* Metrics                                                              *)
+(* ------------------------------------------------------------------ *)
+
+module M = Smart_util.Metrics
+
+let contains ~affix s =
+  let n = String.length affix and m = String.length s in
+  let rec go i = i + n <= m && (String.sub s i n = affix || go (i + 1)) in
+  n = 0 || go 0
+
+let test_metrics_counter_gauge () =
+  let r = M.create () in
+  let c = M.counter r ~help:"events" "x.events_total" in
+  M.Counter.incr c;
+  M.Counter.incr c ~by:4;
+  Alcotest.(check int) "counter value" 5 (M.Counter.value c);
+  Alcotest.(check int) "counter_value by name" 5
+    (M.counter_value r "x.events_total");
+  Alcotest.(check int) "absent counter reads 0" 0 (M.counter_value r "nope");
+  let g = M.gauge r "x.depth" in
+  M.Gauge.set g 3.0;
+  M.Gauge.add g (-1.0);
+  check_float "gauge value" 2.0 (M.Gauge.value g);
+  check_float "gauge_value by name" 2.0 (M.gauge_value r "x.depth")
+
+let test_metrics_get_or_create () =
+  let r = M.create () in
+  let a = M.counter r "shared_total" in
+  let b = M.counter r "shared_total" in
+  M.Counter.incr a;
+  M.Counter.incr b;
+  (* two registrations, one instrument: increments aggregate *)
+  Alcotest.(check int) "same underlying counter" 2 (M.Counter.value a);
+  Alcotest.(check bool) "kind clash rejected" true
+    (try
+       ignore (M.gauge r "shared_total");
+       false
+     with Invalid_argument _ -> true)
+
+let test_metrics_histogram_exact_small () =
+  let r = M.create () in
+  let h = M.histogram r "lat" in
+  Alcotest.(check bool) "empty quantile is nan" true
+    (Float.is_nan (M.Histogram.quantile h 0.5));
+  List.iter (M.Histogram.observe h) [ 4.0; 1.0; 3.0; 2.0 ];
+  (* n <= 5: exact linear interpolation, identical to Stats.percentile *)
+  check_float "p50 exact"
+    (Smart_util.Stats.percentile [| 1.; 2.; 3.; 4. |] ~p:50.0)
+    (M.Histogram.quantile h 0.5);
+  check_float "p95 exact"
+    (Smart_util.Stats.percentile [| 1.; 2.; 3.; 4. |] ~p:95.0)
+    (M.Histogram.quantile h 0.95);
+  Alcotest.(check int) "count" 4 (M.Histogram.count h);
+  check_float "sum" 10.0 (M.Histogram.sum h);
+  Alcotest.(check bool) "other p rejected" true
+    (try
+       ignore (M.Histogram.quantile h 0.25);
+       false
+     with Invalid_argument _ -> true)
+
+let test_metrics_histogram_p2_estimates () =
+  let r = M.create () in
+  let h = M.histogram r "lat" in
+  (* a deterministic non-monotone pass over 1..1000: the P² markers must
+     land near the true quantiles of the uniform sample *)
+  let n = 1000 in
+  for i = 0 to n - 1 do
+    M.Histogram.observe h (float_of_int (((i * 617) mod n) + 1))
+  done;
+  let s = M.histogram_summary h in
+  Alcotest.(check int) "count" n s.M.count;
+  check_float "min" 1.0 s.M.min;
+  check_float "max" (float_of_int n) s.M.max;
+  let within name expected tolerance got =
+    Alcotest.(check bool)
+      (Printf.sprintf "%s: |%g - %g| <= %g" name got expected tolerance)
+      true
+      (Float.abs (got -. expected) <= tolerance)
+  in
+  within "p50" 500.5 25.0 s.M.p50;
+  within "p95" 950.95 25.0 s.M.p95;
+  within "p99" 990.99 25.0 s.M.p99
+
+let test_metrics_snapshot_and_render () =
+  let r = M.create () in
+  M.Counter.incr (M.counter r ~help:"h" "b.count_total") ~by:3;
+  M.Gauge.set (M.gauge r "a.depth") 1.5;
+  M.Histogram.observe (M.histogram r "c.lat") 2.0;
+  (match M.snapshot r with
+  | [ a; b; c ] ->
+    (* sorted by name *)
+    Alcotest.(check string) "first" "a.depth" a.M.name;
+    Alcotest.(check string) "second" "b.count_total" b.M.name;
+    Alcotest.(check string) "third" "c.lat" c.M.name;
+    (match (a.M.value, b.M.value, c.M.value) with
+    | M.Gauge g, M.Counter n, M.Histogram hs ->
+      check_float "gauge sample" 1.5 g;
+      Alcotest.(check int) "counter sample" 3 n;
+      Alcotest.(check int) "histogram sample" 1 hs.M.count
+    | _ -> Alcotest.fail "sample kinds wrong")
+  | other ->
+    Alcotest.failf "expected 3 samples, got %d" (List.length other));
+  let text = M.to_text r in
+  Alcotest.(check bool) "text has counter line" true
+    (contains ~affix:"b.count_total counter 3" text);
+  let json = M.to_json r in
+  Alcotest.(check bool) "json mentions every metric" true
+    (List.for_all
+       (fun name -> contains ~affix:(Printf.sprintf "%S" name) json)
+       [ "a.depth"; "b.count_total"; "c.lat" ])
+
 let qsuite = List.map QCheck_alcotest.to_alcotest
     [ prop_heap_sorted; prop_heap_length; prop_percentile_bounds ]
 
@@ -408,6 +520,19 @@ let () =
             test_lru_replace_and_clear;
           Alcotest.test_case "zero capacity" `Quick test_lru_zero_capacity;
           Alcotest.test_case "eviction order" `Quick test_lru_eviction_order;
+        ] );
+      ( "metrics",
+        [
+          Alcotest.test_case "counter and gauge" `Quick
+            test_metrics_counter_gauge;
+          Alcotest.test_case "get-or-create aggregation" `Quick
+            test_metrics_get_or_create;
+          Alcotest.test_case "histogram exact below 6" `Quick
+            test_metrics_histogram_exact_small;
+          Alcotest.test_case "histogram P2 estimates" `Quick
+            test_metrics_histogram_p2_estimates;
+          Alcotest.test_case "snapshot and rendering" `Quick
+            test_metrics_snapshot_and_render;
         ] );
       ("properties", qsuite);
     ]
