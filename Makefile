@@ -1,4 +1,4 @@
-.PHONY: all build test bench check doc clean
+.PHONY: all build test bench lint check doc clean
 
 all: build
 
@@ -12,13 +12,20 @@ test:
 bench:
 	dune exec bench/main.exe -- wizard
 
+# Static analysis over the typed trees (see ANALYSIS.md); exits
+# non-zero on any error not excused by lint.allow.  Needs the cmts,
+# hence the build dependency.
+lint: build
+	dune exec tools/smartlint/main.exe -- --root .
+
 # API docs; CI keeps this warning-clean.
 doc:
 	dune build @doc
 
-# What CI runs: full build, the whole test tree, and the wizard bench as
-# a smoke test of the request path (plus `make doc`, its own step).
-check: build test bench
+# What CI runs: full build, the whole test tree, the wizard bench as a
+# smoke test of the request path, and the lint gate (plus `make doc`,
+# its own step).
+check: build test bench lint
 
 clean:
 	dune clean

@@ -144,18 +144,21 @@ let select ~(requirement : Smart_lang.Ast.program) ~(servers : snapshot)
   let preferred, others =
     List.partition (fun v -> v.preferred_rank <> None) eligible
   in
-  let preferred =
-    List.sort
-      (fun a b -> compare a.preferred_rank b.preferred_rank)
-      preferred
+  let compare_rank a b =
+    match (a.preferred_rank, b.preferred_rank) with
+    | Some x, Some y -> Int.compare x y
+    | Some _, None -> -1
+    | None, Some _ -> 1
+    | None, None -> 0
   in
+  let preferred = List.sort compare_rank preferred in
   (* order_by ranks the non-preferred candidates, best (largest) first;
      List.stable_sort keeps scan order among ties and when no key *)
   let others =
     if List.exists (fun v -> v.order_key <> None) others then
       List.stable_sort
         (fun a b ->
-          compare
+          Float.compare
             (Option.value ~default:neg_infinity b.order_key)
             (Option.value ~default:neg_infinity a.order_key))
         others

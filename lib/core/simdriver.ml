@@ -119,7 +119,7 @@ let setup_group t_ref config cluster ~metrics ~wizard_host ~monitor_host
       db
   in
   let secmon = Secmon.create ~metrics db in
-  if config.security_log <> "" then
+  if not (String.equal config.security_log "") then
     ignore (Secmon.refresh_from_log secmon config.security_log);
   let transmitter =
     Transmitter.create ~metrics ~monitor_name:monitor_host
@@ -209,7 +209,9 @@ let deploy_groups ?(config = default_config) cluster ~wizard_host ~groups =
            the peer monitors (§3.3.3) *)
         let netmon_targets =
           if multi_group then
-            List.filter (fun m -> m <> monitor_host) monitor_hosts
+            List.filter
+              (fun m -> not (String.equal m monitor_host))
+              monitor_hosts
           else servers
         in
         setup_group t_ref config cluster ~metrics ~wizard_host ~monitor_host
@@ -249,7 +251,10 @@ let deploy_groups ?(config = default_config) cluster ~wizard_host ~groups =
     end
   in
   let wizard =
+    (* virtual clock: request latencies land in the histogram in
+       simulated seconds, and the run stays deterministic *)
     Wizard.create ~compile_cache_capacity:config.wizard_compile_cache ~metrics
+      ~clock:(fun () -> Smart_sim.Engine.now engine)
       { Wizard.mode = wizard_mode; groups = wizard_groups }
       db_wizard
   in

@@ -69,7 +69,7 @@ let sys_records t =
     let records =
       Hashtbl.fold (fun _ r acc -> r :: acc) t.sys []
       |> List.sort (fun a b ->
-             compare a.Smart_proto.Records.report.Smart_proto.Report.host
+             String.compare a.Smart_proto.Records.report.Smart_proto.Report.host
                b.Smart_proto.Records.report.Smart_proto.Report.host)
     in
     t.sys_cache <- Some (t.generation, records);
@@ -130,7 +130,7 @@ let find_net t ~monitor = Hashtbl.find_opt t.net monitor
 let net_records t =
   Hashtbl.fold (fun _ r acc -> r :: acc) t.net []
   |> List.sort (fun a b ->
-         compare a.Smart_proto.Records.monitor b.Smart_proto.Records.monitor)
+         String.compare a.Smart_proto.Records.monitor b.Smart_proto.Records.monitor)
 
 (* Network metrics toward a given target host.  When several monitors
    report the same peer the winner is deterministic regardless of
@@ -172,7 +172,7 @@ let sec_record t =
           { Smart_proto.Records.host; level } :: acc)
         t.sec []
       |> List.sort (fun a b ->
-             compare a.Smart_proto.Records.host b.Smart_proto.Records.host);
+             String.compare a.Smart_proto.Records.host b.Smart_proto.Records.host);
   }
 
 let sys_count t = Hashtbl.length t.sys

@@ -68,7 +68,7 @@ type t = {
     Smart_util.Lru.t;
   result_cache : (int * Selection.result) Smart_util.Lru.t;
       (* (generation, result); stale when the generation moved *)
-  clock : unit -> float;  (* wall clock for the latency histogram *)
+  clock : unit -> float;  (* injected clock for the latency histogram *)
   requests_total : Metrics.Counter.t;
   compile_errors_total : Metrics.Counter.t;
   snapshot_rebuilds_total : Metrics.Counter.t;
@@ -85,7 +85,7 @@ type t = {
 }
 
 let create ?(compile_cache_capacity = default_compile_cache_capacity)
-    ?(metrics = Metrics.create ()) ?(clock = Sys.time) config db =
+    ?(metrics = Metrics.create ()) ?(clock = fun () -> 0.) config db =
   {
     config;
     db;

@@ -43,8 +43,11 @@ val default_compile_cache_capacity : int
     recompiles).  [metrics] receives the [wizard.*] instruments,
     including the [wizard.request_latency_seconds] histogram (see
     OBSERVABILITY.md); by default a private registry is used.  [clock]
-    supplies the wall time the latency histogram is measured with
-    (default [Sys.time]). *)
+    supplies the time the latency histogram is measured with — the
+    engine's virtual clock in simulation, [Unix.gettimeofday] in the
+    realnet daemon.  The default is a constant clock (the histogram
+    records zeros): this module is sans-IO and never reads real time
+    itself. *)
 val create :
   ?compile_cache_capacity:int ->
   ?metrics:Smart_util.Metrics.t ->

@@ -1,0 +1,53 @@
+(** Ablation studies for the measurement plane: probe-train sizing,
+    packet-pair spacing, transmitter modes, and staleness detection. *)
+
+(** One NIC kind's bandwidth estimate below and above the MTU knee. *)
+type init_row = {
+  nic_kind : string;
+  sub_mtu_bw : float;   (** Mbps measured with 100~1000 B probes *)
+  super_mtu_bw : float; (** Mbps measured with 1600~2900 B probes *)
+  knee_significant : bool;
+}
+
+val init_speed_ablation : ?trials:int -> unit -> init_row list
+
+val print_init_speed : init_row list -> unit
+
+(** Packet-pair spacing sensitivity against a known link speed. *)
+type spacing_row = {
+  spacing : string;
+  measured_mbps : float;
+  truth_mbps : float;
+}
+
+val spacing_ablation : ?truth:float -> unit -> spacing_row list
+
+val print_spacing : spacing_row list -> unit
+
+(** Standing bandwidth and request latency per transmitter mode. *)
+type mode_row = {
+  mode : string;
+  standing_kBps : float;       (** transmitter bytes over an idle minute *)
+  request_latency_ms : float;  (** request round trip, virtual time *)
+}
+
+val mode_ablation : unit -> mode_row list
+
+val print_modes : mode_row list -> unit
+
+(** Failure-detection delay vs. spurious expiries per expiry threshold. *)
+type staleness_row = {
+  missed_intervals : int;
+  detection_s : float;     (** time to expire a really dead server *)
+  false_expiries : int;    (** spurious expiries under report loss *)
+}
+
+val staleness_ablation :
+  ?loss:float ->
+  ?interval:float ->
+  ?fail_at:float ->
+  ?horizon:float ->
+  unit ->
+  staleness_row list
+
+val print_staleness : staleness_row list -> unit

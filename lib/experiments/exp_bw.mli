@@ -1,0 +1,24 @@
+(** Bandwidth-measurement experiment (Table 3.3): packet-pair estimates
+    per probe-size group, against pipechar/pathload reference points. *)
+
+type group_row = {
+  label : string;
+  s1 : int;
+  s2 : int;
+  min_bw : float;  (** Mbps *)
+  max_bw : float;
+  avg_bw : float;
+  paper_avg : float option;  (** Mbps, Table 3.3 *)
+}
+
+type report = {
+  groups : group_row list;
+  pipechar_bw : float option;  (** Mbps *)
+  pipechar_reliability : float option;
+  pathload_low : float;  (** Mbps *)
+  pathload_high : float;
+}
+
+val run : ?trials:int -> unit -> report
+
+val print : report -> unit

@@ -1,0 +1,47 @@
+(** The matrix-multiplication experiment (§5.2): smart vs. random worker
+    selection under background SuperPI load. *)
+
+type comparison = {
+  title : string;
+  matrix : string;
+  requirement : string;
+  workloads : string list;  (** hosts running SuperPI during the run *)
+  random_servers : string list;
+  smart_servers : string list;
+  random_time : float;
+  smart_time : float;
+  paper_random : float;
+  paper_smart : float;
+}
+
+(** Percent improvement of the smart run over the random one. *)
+val improvement : comparison -> float
+
+(** Fig 5.2: single-machine benchmark rows. *)
+type benchmark_row = { host : string; cpu : string; seconds : float }
+
+val benchmark : ?n:int -> unit -> benchmark_row list
+
+val print_benchmark : benchmark_row list -> unit
+
+(** One thesis scenario: pool, workloads, and the paper's timings. *)
+type setup = {
+  title : string;
+  n : int;
+  blk : int;
+  wanted : int;
+  requirement : string;
+  pool : string list;
+  workloads : string list;
+  paper_random_servers : string list;
+  paper_random : float;
+  paper_smart : float;
+}
+
+val setups : setup list
+
+val run_setup : setup -> comparison
+
+val run_all : unit -> comparison list
+
+val print_comparison : comparison -> unit

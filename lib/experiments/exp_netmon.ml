@@ -56,7 +56,8 @@ let run ?(trials = 8) () =
       (fun (name, node) ->
         let targets =
           List.filter_map
-            (fun (peer, _) -> if peer = name then None else Some peer)
+            (fun (peer, _) ->
+              if String.equal peer name then None else Some peer)
             monitors
         in
         let netmon =

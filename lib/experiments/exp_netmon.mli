@@ -1,0 +1,12 @@
+(** Network-monitor experiment: the Table 3.4 monitor mesh measured over
+    a simulated topology with known link truth. *)
+
+type report = {
+  records : Smart_proto.Records.net_record list;
+  link_truth : (string * string * float * float) list;
+      (** a, b, capacity Mbps, one-way delay s *)
+}
+
+val run : ?trials:int -> unit -> report
+
+val print : report -> unit

@@ -1,0 +1,16 @@
+(** Resource-footprint experiment (Table 5.1): CPU, memory, and standing
+    bandwidth of each component over a simulated deployment. *)
+
+type row = {
+  component : string;
+  cpu_pct : float;
+  memory_bytes : int;
+  bandwidth_kBps : float;
+  paper : string;  (** the thesis's figures for the same cell *)
+}
+
+type report = { rows : row list; duration : float; probes : int }
+
+val run : ?duration:float -> unit -> report
+
+val print : report -> unit

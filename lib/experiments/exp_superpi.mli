@@ -1,0 +1,11 @@
+(** SuperPI workload experiment: memory pressure before and after a run,
+    as the probe would report it. *)
+
+type report = {
+  before : Smart_host.Procfs.meminfo;
+  after : Smart_host.Procfs.meminfo;
+}
+
+val run : unit -> report
+
+val print : report -> unit

@@ -100,7 +100,8 @@ let render_net_dev (m : Machine.t) =
 let lines s = String.split_on_char '\n' s
 
 let words s =
-  String.split_on_char ' ' s |> List.filter (fun w -> w <> "")
+  String.split_on_char ' ' s
+  |> List.filter (fun w -> not (String.equal w ""))
 
 let float_field name s =
   match float_of_string_opt s with
@@ -147,7 +148,7 @@ let parse_stat text =
   let cpu_line =
     List.find_opt
       (fun l ->
-        String.length l > 4 && String.sub l 0 4 = "cpu " )
+        String.length l > 4 && String.equal (String.sub l 0 4) "cpu ")
       ls
   in
   let* cpu =
@@ -165,7 +166,7 @@ let parse_stat text =
   in
   let disk =
     List.find_opt
-      (fun l -> String.length l > 8 && String.sub l 0 8 = "disk_io:")
+      (fun l -> String.length l > 8 && String.equal (String.sub l 0 8) "disk_io:")
       ls
   in
   match disk with
@@ -182,7 +183,7 @@ let parse_meminfo text =
   let ls = lines text in
   let mem24 =
     List.find_opt
-      (fun l -> String.length l > 4 && String.sub l 0 4 = "Mem:")
+      (fun l -> String.length l > 4 && String.equal (String.sub l 0 4) "Mem:")
       ls
   in
   match mem24 with
@@ -211,7 +212,7 @@ let parse_meminfo text =
       List.find_map
         (fun l ->
           let n = String.length name in
-          if String.length l > n && String.sub l 0 n = name then
+          if String.length l > n && String.equal (String.sub l 0 n) name then
             match words l with
             | _ :: v :: _ -> float_of_string_opt v
             | _ -> None

@@ -65,7 +65,7 @@ let specs =
   ]
 
 let spec_of_name name =
-  match List.find_opt (fun s -> s.Machine.name = name) specs with
+  match List.find_opt (fun s -> String.equal s.Machine.name name) specs with
   | Some s -> s
   | None -> invalid_arg ("Testbed.spec_of_name: unknown machine " ^ name)
 
@@ -78,8 +78,8 @@ let lan_conf =
   }
 
 (* Fig 5.1: sagit — dalmatian (gateway) — lab backbone — 5 segments. *)
-let icpp2005 ?(seed = 42) () =
-  let c = Cluster.create ~seed () in
+let icpp2005 ?(seed = 42) ?trace () =
+  let c = Cluster.create ~seed ?trace () in
   let add name = Cluster.add_machine c (spec_of_name name) in
   let sagit = add "sagit" in
   let dalmatian = add "dalmatian" in

@@ -15,8 +15,9 @@ val machine_names : string list
 (** 100 Mbps switched-Ethernet link. *)
 val lan_conf : Smart_net.Link.conf
 
-(** The 11-machine testbed. *)
-val icpp2005 : ?seed:int -> unit -> Cluster.t
+(** The 11-machine testbed; [trace] is attached to the cluster's engine
+    so packet/flow events are recorded. *)
+val icpp2005 : ?seed:int -> ?trace:Smart_sim.Trace.t -> unit -> Cluster.t
 
 type rtt_path = {
   label : string;

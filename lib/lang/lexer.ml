@@ -26,6 +26,10 @@ let peek st = if st.pos < String.length st.src then Some st.src.[st.pos] else No
 let peek2 st =
   if st.pos + 1 < String.length st.src then Some st.src.[st.pos + 1] else None
 
+(* Lookahead test for two-character operators. *)
+let peek2_is st c =
+  match peek2 st with Some d -> Char.equal c d | None -> false
+
 let advance st =
   (match peek st with
   | Some '\n' ->
@@ -63,7 +67,11 @@ let lex_numeric st ~line ~col =
   else if dots = 3 then begin
     (* dotted quad: each component must be numeric and non-empty *)
     let parts = String.split_on_char '.' body in
-    if List.for_all (fun p -> p <> "" && String.for_all is_digit p) parts then
+    if
+      List.for_all
+        (fun p -> (not (String.equal p "")) && String.for_all is_digit p)
+        parts
+    then
       Ok { Token.token = Token.Netaddr body; line; col }
     else Error { line; col; message = "malformed address " ^ body }
   end
@@ -114,22 +122,22 @@ let rec next st =
   | Some c when is_digit c -> lex_numeric st ~line ~col
   | Some c when is_alpha c -> lex_word st ~line ~col
   | Some '&' ->
-    if peek2 st = Some '&' then double st ~line ~col Token.And
+    if peek2_is st '&' then double st ~line ~col Token.And
     else Error { line; col; message = "expected &&" }
   | Some '|' ->
-    if peek2 st = Some '|' then double st ~line ~col Token.Or
+    if peek2_is st '|' then double st ~line ~col Token.Or
     else Error { line; col; message = "expected ||" }
   | Some '>' ->
-    if peek2 st = Some '=' then double st ~line ~col Token.Ge
+    if peek2_is st '=' then double st ~line ~col Token.Ge
     else simple st ~line ~col Token.Gt
   | Some '<' ->
-    if peek2 st = Some '=' then double st ~line ~col Token.Le
+    if peek2_is st '=' then double st ~line ~col Token.Le
     else simple st ~line ~col Token.Lt
   | Some '=' ->
-    if peek2 st = Some '=' then double st ~line ~col Token.Eq
+    if peek2_is st '=' then double st ~line ~col Token.Eq
     else simple st ~line ~col Token.Assign
   | Some '!' ->
-    if peek2 st = Some '=' then double st ~line ~col Token.Ne
+    if peek2_is st '=' then double st ~line ~col Token.Ne
     else Error { line; col; message = "expected !=" }
   | Some '+' -> simple st ~line ~col Token.Plus
   | Some '-' -> simple st ~line ~col Token.Minus

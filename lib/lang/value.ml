@@ -6,7 +6,7 @@ type t = Num of float | Addr of string
 
 let truthy = function
   | Num f -> f <> 0.0
-  | Addr s -> s <> ""
+  | Addr s -> not (String.equal s "")
 
 let of_bool b = Num (if b then 1.0 else 0.0)
 

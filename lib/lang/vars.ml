@@ -57,7 +57,7 @@ let is_user_side name = List.mem name user_side
 
 let starts_with ~prefix s =
   String.length s >= String.length prefix
-  && String.sub s 0 (String.length prefix) = prefix
+  && String.equal (String.sub s 0 (String.length prefix)) prefix
 
 let is_preferred_param name = starts_with ~prefix:user_preferred_prefix name
 

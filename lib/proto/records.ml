@@ -176,7 +176,7 @@ let parse_security_log text =
     in
     match
       String.split_on_char ' ' (String.trim line)
-      |> List.filter (fun w -> w <> "")
+      |> List.filter (fun w -> not (String.equal w ""))
     with
     | [] -> None
     | [ host; level ] ->

@@ -58,7 +58,7 @@ let to_string r =
 
 let of_string s =
   match String.split_on_char '|' s with
-  | tag :: host :: ip :: rest when tag = version_tag ->
+  | tag :: host :: ip :: rest when String.equal tag version_tag ->
     if List.length rest <> field_count then
       Error
         (Printf.sprintf "report: expected %d fields, got %d" field_count
@@ -84,7 +84,7 @@ let of_string s =
         | _ -> Error "report: field count mismatch")
       | _ -> Error "report: non-numeric field"
     end
-  | tag :: _ when tag <> version_tag ->
+  | tag :: _ when not (String.equal tag version_tag) ->
     Error (Printf.sprintf "report: unknown version tag %S" tag)
   | _ -> Error "report: malformed"
 

@@ -42,7 +42,7 @@ let create book (config : config) =
       ~metrics db
   in
   let secmon = Smart_core.Secmon.create ~metrics db in
-  if config.security_log <> "" then
+  if not (String.equal config.security_log "") then
     ignore (Smart_core.Secmon.refresh_from_log secmon config.security_log);
   let netmon =
     Smart_core.Netmon.create ~metrics
@@ -127,7 +127,7 @@ let start t =
   if t.running then invalid_arg "Monitor_daemon.start: already running";
   t.running <- true;
   Udp_io.start t.sys_socket (fun ~from:_ data ->
-      if data <> "" then
+      if not (String.equal data "") then
         ignore
           (Smart_core.Sysmon.handle_report t.sysmon
              ~now:(Unix.gettimeofday ()) data));

@@ -63,7 +63,10 @@ let bogomips t =
     String.split_on_char '\n' text
     |> List.find_map (fun line ->
            let lower = String.lowercase_ascii line in
-           if String.length lower >= 8 && String.sub lower 0 8 = "bogomips" then
+           if
+             String.length lower >= 8
+             && String.equal (String.sub lower 0 8) "bogomips"
+           then
              match String.index_opt line ':' with
              | Some i ->
                float_of_string_opt
@@ -82,7 +85,7 @@ let default_iface t =
     | Ok stats ->
       (match
          List.find_opt
-           (fun s -> s.Smart_host.Procfs.iface <> "lo")
+           (fun s -> not (String.equal s.Smart_host.Procfs.iface "lo"))
            stats
        with
       | Some s -> Some s.Smart_host.Procfs.iface

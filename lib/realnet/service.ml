@@ -65,7 +65,8 @@ let serve t client =
     match read_line_opt client with
     | None -> ()
     | Some line ->
-      if String.length line >= 5 && String.sub line 0 5 = "ECHO " then begin
+      if String.length line >= 5 && String.equal (String.sub line 0 5) "ECHO "
+      then begin
         write_line client (String.sub line 5 (String.length line - 5));
         go ()
       end
@@ -73,7 +74,9 @@ let serve t client =
         write_line client t.name;
         go ()
       end
-      else if String.length line >= 4 && String.sub line 0 4 = "GET " then begin
+      else if
+        String.length line >= 4 && String.equal (String.sub line 0 4) "GET "
+      then begin
         (match int_of_string_opt (String.trim (String.sub line 4 (String.length line - 4))) with
         | Some n when n >= 0 && n <= 1_000_000_000 -> send_blob client n
         | Some _ | None -> write_line client "ERR bad size");

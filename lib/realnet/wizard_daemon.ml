@@ -33,7 +33,7 @@ let create book (config : config) =
   let receiver =
     Smart_core.Receiver.create ~metrics ~order:Smart_proto.Endian.Little db
   in
-  let wizard = Smart_core.Wizard.create ~metrics
+  let wizard = Smart_core.Wizard.create ~metrics ~clock:Unix.gettimeofday
       { Smart_core.Wizard.mode = config.mode; groups = None }
       db in
   Smart_core.Receiver.set_update_hook receiver
@@ -133,7 +133,7 @@ let start t =
           (Udp_io.send t.request_socket ~to_:from
              (Smart_proto.Metrics_msg.encode_reply format t.metrics))
       | None ->
-      if data <> "" then begin
+      if not (String.equal data "") then begin
         (match Smart_proto.Wizard_msg.decode_request data with
         | Ok request ->
           Hashtbl.replace t.pending_addrs request.Smart_proto.Wizard_msg.seq

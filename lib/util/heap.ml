@@ -14,7 +14,8 @@ let length t = t.size
 
 let is_empty t = t.size = 0
 
-let lt (k1, s1, _) (k2, s2, _) = k1 < k2 || (k1 = k2 && s1 < s2)
+let lt ((k1 : float), (s1 : int), _) ((k2 : float), (s2 : int), _) =
+  k1 < k2 || (k1 = k2 && s1 < s2)
 
 let ensure_capacity t =
   let cap = Array.length t.data in

@@ -164,7 +164,7 @@ module Histogram = struct
     t.maxv <- (if t.n = 1 then x else Float.max t.maxv x);
     if t.n = 5 then begin
       let sorted = Array.copy t.first in
-      Array.sort compare sorted;
+      Array.sort Float.compare sorted;
       P2.init t.q50 sorted;
       P2.init t.q95 sorted;
       P2.init t.q99 sorted
@@ -189,7 +189,7 @@ module Histogram = struct
     if t.n = 0 then Float.nan
     else if t.n <= 5 then begin
       let sorted = Array.sub t.first 0 t.n in
-      Array.sort compare sorted;
+      Array.sort Float.compare sorted;
       percentile_of_sorted sorted ~p
     end
     else P2.estimate estimator

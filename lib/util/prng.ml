@@ -34,7 +34,7 @@ let int t ~bound =
   assert (bound > 0);
   int_of_float (float t ~bound:(float_of_int bound))
 
-let bool t = Int64.logand (next_int64 t) 1L = 1L
+let bool t = Int64.equal (Int64.logand (next_int64 t) 1L) 1L
 
 let range t ~lo ~hi =
   assert (hi >= lo);

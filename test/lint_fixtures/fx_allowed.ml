@@ -1,0 +1,3 @@
+(* Lint fixture: violation suppressed by fixtures.allow. *)
+
+let same (x : string) (y : string) = x = y

@@ -1,0 +1,8 @@
+(* Lint fixture: poly-compare violations and one exempt comparison. *)
+
+type pair = { a : int; b : string }
+
+let eq_name (x : pair) (y : pair) = x.b = y.b
+let order (x : pair) (y : pair) = compare x y
+let close (a : float) (b : float) = a < b
+let is_some (x : 'a option) = x <> None

@@ -1,0 +1,6 @@
+type pair = { a : int; b : string }
+
+val eq_name : pair -> pair -> bool
+val order : pair -> pair -> int
+val close : float -> float -> bool
+val is_some : 'a option -> bool

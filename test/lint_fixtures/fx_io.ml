@@ -1,0 +1,4 @@
+(* Lint fixture: io-purity violations. *)
+
+let pid () = Unix.getpid ()
+let slurp path = open_in path

@@ -1,0 +1,2 @@
+val pid : unit -> int
+val slurp : string -> in_channel

@@ -1,0 +1,3 @@
+(* Lint fixture: module shipped without an interface. *)
+
+let answer = 42

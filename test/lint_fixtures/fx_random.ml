@@ -1,0 +1,6 @@
+(* Lint fixture: determinism violations. *)
+
+let roll n = Random.int n
+let stamp () = Sys.time ()
+
+let keys tbl = Hashtbl.fold (fun k _ acc -> k :: acc) tbl []

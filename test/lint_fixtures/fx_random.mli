@@ -1,0 +1,3 @@
+val roll : int -> int
+val stamp : unit -> float
+val keys : ('a, 'b) Hashtbl.t -> 'a list

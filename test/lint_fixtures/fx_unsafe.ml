@@ -1,0 +1,6 @@
+(* Lint fixture: unsafe-surface violations. *)
+
+let cast v = Obj.magic v
+let blob v = Marshal.to_string v []
+
+let decode = function 0 -> "ok" | _ -> assert false

@@ -1,0 +1,3 @@
+val cast : 'a -> 'b
+val blob : 'a -> string
+val decode : int -> string

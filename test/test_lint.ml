@@ -1,0 +1,206 @@
+(* Tier-2: the smartlint analyzer against the lint_fixtures mini-project,
+   plus the whole-stack determinism regression the linter exists to guard.
+
+   Tests execute with cwd [_build/default/test]; [..] is the build-tree
+   root, which mirrors the source tree, so the same path serves as both
+   [root] (sources, dune files, allowlists) and [build_root] (cmts). *)
+
+module D = Smartlint.Diagnostic
+module Dr = Smartlint.Driver
+module U = Smart_util
+module S = Smart_sim
+module H = Smart_host
+module C = Smart_core
+
+let fixture_config ~allow =
+  {
+    Dr.root = "..";
+    build_root = "..";
+    lib_dirs = [ "test/lint_fixtures" ];
+    sans_io_dirs = [ "test/lint_fixtures" ];
+    proto_dirs = [ "test/lint_fixtures" ];
+    allow_path = allow;
+    only = [];
+    skip = [];
+  }
+
+let run ?(only = []) ~allow () =
+  match Dr.run { (fixture_config ~allow) with only } with
+  | Ok r -> r
+  | Error e -> Alcotest.failf "smartlint failed: %s" e
+
+(* No allowlist: every planted violation must surface. *)
+let report = lazy (run ~allow:"no-such.allow" ())
+
+let find (report : Dr.report) ~rule ~file ~line =
+  List.filter
+    (fun (d : D.t) ->
+      String.equal d.rule rule && String.equal d.file file && d.line = line)
+    report.diagnostics
+
+let check_hit ?(severity = D.Error) ~rule ~file ~line () =
+  let report = Lazy.force report in
+  match find report ~rule ~file ~line with
+  | [] ->
+    Alcotest.failf "expected %s diagnostic at %s:%d, got none in:\n%s" rule file
+      line
+      (String.concat "\n" (List.map D.to_string report.diagnostics))
+  | d :: _ ->
+    Alcotest.(check bool)
+      (Printf.sprintf "%s %s:%d severity" rule file line)
+      true
+      (d.D.severity = severity)
+
+let fx name = "test/lint_fixtures/" ^ name
+
+let test_io_purity () =
+  check_hit ~rule:"io-purity" ~file:(fx "fx_io.ml") ~line:3 ();
+  check_hit ~rule:"io-purity" ~file:(fx "fx_io.ml") ~line:4 ();
+  (* the dune stanza lists unix and fx_io really imports it *)
+  check_hit ~rule:"io-purity" ~file:(fx "dune") ~line:1 ()
+
+let test_determinism_rule () =
+  check_hit ~rule:"determinism" ~file:(fx "fx_random.ml") ~line:3 ();
+  check_hit ~rule:"determinism" ~file:(fx "fx_random.ml") ~line:4 ();
+  check_hit ~severity:D.Warn ~rule:"determinism" ~file:(fx "fx_random.ml")
+    ~line:6 ()
+
+let test_poly_compare () =
+  check_hit ~rule:"poly-compare" ~file:(fx "fx_compare.ml") ~line:5 ();
+  check_hit ~rule:"poly-compare" ~file:(fx "fx_compare.ml") ~line:6 ();
+  check_hit ~severity:D.Warn ~rule:"poly-compare" ~file:(fx "fx_compare.ml")
+    ~line:7 ();
+  (* [x <> None] only inspects the tag: exempt *)
+  Alcotest.(check (list string))
+    "nullary-constructor comparison exempt" []
+    (List.map D.to_string
+       (find (Lazy.force report) ~rule:"poly-compare" ~file:(fx "fx_compare.ml")
+          ~line:8))
+
+let test_unsafe () =
+  check_hit ~rule:"unsafe" ~file:(fx "fx_unsafe.ml") ~line:3 ();
+  check_hit ~rule:"unsafe" ~file:(fx "fx_unsafe.ml") ~line:4 ();
+  check_hit ~rule:"unsafe" ~file:(fx "fx_unsafe.ml") ~line:6 ()
+
+let test_iface () =
+  check_hit ~rule:"iface" ~file:(fx "fx_nomli.ml") ~line:1 ();
+  Alcotest.(check (list string))
+    "modules with .mli pass" []
+    (List.map D.to_string
+       (find (Lazy.force report) ~rule:"iface" ~file:(fx "fx_io.ml") ~line:1))
+
+let test_severity_model () =
+  let r = Lazy.force report in
+  Alcotest.(check bool) "errors counted" true (r.Dr.errors >= 10);
+  Alcotest.(check bool) "warns counted" true (r.Dr.warns >= 2);
+  Alcotest.(check int) "nothing suppressed without an allowlist" 0 r.Dr.suppressed
+
+let test_only_filter () =
+  let r = run ~only:[ "iface" ] ~allow:"no-such.allow" () in
+  Alcotest.(check bool) "some iface diagnostics" true (r.Dr.errors > 0);
+  List.iter
+    (fun (d : D.t) ->
+      Alcotest.(check string) "only iface survives the filter" "iface" d.rule)
+    r.Dr.diagnostics
+
+let test_allowlist_suppression () =
+  let bare = Lazy.force report in
+  let allowed = run ~allow:(fx "fixtures.allow") () in
+  (* exactly the fx_allowed entry disappears; everything else stays *)
+  Alcotest.(check bool)
+    "violation present without allowlist" true
+    (find bare ~rule:"poly-compare" ~file:(fx "fx_allowed.ml") ~line:3 <> []);
+  Alcotest.(check (list string))
+    "violation suppressed with allowlist" []
+    (List.map D.to_string
+       (find allowed ~rule:"poly-compare" ~file:(fx "fx_allowed.ml") ~line:3));
+  Alcotest.(check int) "exactly one diagnostic suppressed" 1 allowed.Dr.suppressed;
+  Alcotest.(check int) "one entry loaded" 1 allowed.Dr.allow_size;
+  Alcotest.(check int) "errors drop by exactly one" (bare.Dr.errors - 1)
+    allowed.Dr.errors
+
+let test_allowlist_unused () =
+  let r = run ~allow:(fx "unused.allow") () in
+  Alcotest.(check int) "stale entry suppresses nothing" 0 r.Dr.suppressed;
+  Alcotest.(check bool) "stale entry reported" true
+    (List.exists
+       (fun (d : D.t) ->
+         String.equal d.rule "allowlist" && d.severity = D.Warn)
+       r.Dr.diagnostics)
+
+let test_allowlist_malformed () =
+  (* A rule with no target is a hard config error, not a silent skip. *)
+  let path = Filename.temp_file "smartlint" ".allow" in
+  let oc = open_out path in
+  output_string oc "nospace\n";
+  close_out oc;
+  let result = Smartlint.Allowlist.load path in
+  Sys.remove path;
+  match result with
+  | Ok _ -> Alcotest.fail "malformed allowlist accepted"
+  | Error msg ->
+    Alcotest.(check bool) "error names the offending line" true
+      (String.length msg > 0)
+
+(* ------------------------------------------------------------------ *)
+(* Determinism regression: the property the linter enforces statically  *)
+(* must hold dynamically — two same-seed runs are byte-identical.       *)
+(* ------------------------------------------------------------------ *)
+
+let render_trace trace =
+  S.Trace.entries trace
+  |> List.map (fun (e : S.Trace.entry) ->
+         Printf.sprintf "%.9f|%s|%s" e.time e.category e.message)
+  |> String.concat "\n"
+
+let run_stack seed =
+  let trace = S.Trace.create ~capacity:65536 () in
+  let c = H.Testbed.icpp2005 ~seed ~trace () in
+  let d =
+    C.Simdriver.deploy c ~monitor:"dalmatian" ~wizard_host:"dalmatian"
+      ~servers:H.Testbed.machine_names
+  in
+  C.Simdriver.settle ~duration:8.0 d;
+  let servers =
+    match
+      C.Simdriver.request d ~client:"sagit" ~wanted:2
+        ~requirement:"host_cpu_bogomips > 4000\n"
+    with
+    | Ok servers -> String.concat "," servers
+    | Error e -> Format.asprintf "error: %a" C.Client.pp_error e
+  in
+  (render_trace trace, U.Metrics.to_text (C.Simdriver.metrics d), servers)
+
+let test_same_seed_identical () =
+  let t1, m1, s1 = run_stack 7 and t2, m2, s2 = run_stack 7 in
+  Alcotest.(check bool) "trace non-empty" true (String.length t1 > 0);
+  Alcotest.(check bool) "metrics non-empty" true (String.length m1 > 0);
+  Alcotest.(check string) "traces byte-identical" t1 t2;
+  Alcotest.(check string) "metrics snapshots byte-identical" m1 m2;
+  Alcotest.(check string) "selections identical" s1 s2
+
+let () =
+  Alcotest.run "lint"
+    [
+      ( "rules",
+        [
+          Alcotest.test_case "io-purity" `Quick test_io_purity;
+          Alcotest.test_case "determinism" `Quick test_determinism_rule;
+          Alcotest.test_case "poly-compare" `Quick test_poly_compare;
+          Alcotest.test_case "unsafe" `Quick test_unsafe;
+          Alcotest.test_case "iface" `Quick test_iface;
+          Alcotest.test_case "severity model" `Quick test_severity_model;
+          Alcotest.test_case "--only filter" `Quick test_only_filter;
+        ] );
+      ( "allowlist",
+        [
+          Alcotest.test_case "suppression" `Quick test_allowlist_suppression;
+          Alcotest.test_case "unused entry" `Quick test_allowlist_unused;
+          Alcotest.test_case "malformed entry" `Quick test_allowlist_malformed;
+        ] );
+      ( "determinism",
+        [
+          Alcotest.test_case "same-seed runs byte-identical" `Quick
+            test_same_seed_identical;
+        ] );
+    ]

@@ -1,0 +1,31 @@
+(* A single lint finding.  [file] is always a root-relative source path
+   ("lib/core/status_db.ml") so diagnostics are stable across build
+   contexts and directly usable as allowlist keys. *)
+
+type severity = Error | Warn
+
+type t = {
+  rule : string;      (* rule identifier, e.g. "poly-compare" *)
+  severity : severity;
+  file : string;
+  line : int;
+  message : string;
+}
+
+let severity_to_string = function Error -> "error" | Warn -> "warn"
+
+let make ~rule ~severity ~file ~line message =
+  { rule; severity; file; line; message }
+
+(* Stable report order: file, then line, then rule. *)
+let compare_diag a b =
+  let c = String.compare a.file b.file in
+  if c <> 0 then c
+  else
+    let c = Int.compare a.line b.line in
+    if c <> 0 then c else String.compare a.rule b.rule
+
+let to_string d =
+  Printf.sprintf "%s:%d: %s [%s] %s" d.file d.line
+    (severity_to_string d.severity)
+    d.rule d.message

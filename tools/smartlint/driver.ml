@@ -1,0 +1,107 @@
+(* Orchestration: load the allowlist, scan the build tree's cmts, run
+   every enabled rule family, apply suppression, and render the report.
+
+   [root] is the source tree, [build_root] the directory where compiled
+   artifacts mirror it (dune's _build/default — or the source root itself
+   when running from inside _build, as the test suite does). *)
+
+type config = {
+  root : string;
+  build_root : string;
+  lib_dirs : string list;      (* scanned at all: poly-compare, unsafe, iface *)
+  sans_io_dirs : string list;  (* subset: io-purity + determinism *)
+  proto_dirs : string list;    (* subset: assert-false ban *)
+  allow_path : string;         (* allowlist file, relative to [root] *)
+  only : string list;          (* when non-empty, run just these rules *)
+  skip : string list;          (* rules to disable *)
+}
+
+let all_rules = [ "io-purity"; "determinism"; "poly-compare"; "unsafe"; "iface" ]
+
+let rule_enabled config rule =
+  (match config.only with [] -> true | only -> List.mem rule only)
+  && not (List.mem rule config.skip)
+
+type report = {
+  diagnostics : Diagnostic.t list;  (* survivors, sorted *)
+  errors : int;
+  warns : int;
+  suppressed : int;
+  files_scanned : int;
+  allow_size : int;
+}
+
+let run config =
+  let ( / ) = Filename.concat in
+  match Allowlist.load (config.root / config.allow_path) with
+  | Error msg -> Error msg
+  | Ok allow ->
+    let cmts =
+      Project.load_cmts ~root:config.root ~build_root:config.build_root
+        config.lib_dirs
+    in
+    let tree_diags =
+      List.concat_map
+        (fun (c : Project.cmt) ->
+          match c.structure with
+          | None -> []
+          | Some str ->
+            let ctx =
+              {
+                Rules.file = c.source;
+                sans_io = List.exists (Project.in_dir c.source) config.sans_io_dirs;
+                proto = List.exists (Project.in_dir c.source) config.proto_dirs;
+              }
+            in
+            Rules.check_structure ctx str)
+        cmts
+    in
+    let already_flagged =
+      List.filter_map
+        (fun (d : Diagnostic.t) ->
+          if String.equal d.rule "io-purity" then Some d.file else None)
+        tree_diags
+    in
+    let diags =
+      tree_diags
+      @ Project.iface_check ~root:config.root config.lib_dirs
+      @ Project.deps_check ~root:config.root ~cmts config.sans_io_dirs
+      @ Project.imports_check ~cmts ~already_flagged config.sans_io_dirs
+    in
+    let diags =
+      List.filter (fun (d : Diagnostic.t) -> rule_enabled config d.rule) diags
+    in
+    let kept, suppressed =
+      List.partition (fun d -> not (Allowlist.suppresses allow d)) diags
+    in
+    let kept = kept @ Allowlist.unused_entries allow in
+    let kept = List.sort Diagnostic.compare_diag kept in
+    let count sev =
+      List.length
+        (List.filter (fun (d : Diagnostic.t) -> d.severity = sev) kept)
+    in
+    Ok
+      {
+        diagnostics = kept;
+        errors = count Diagnostic.Error;
+        warns = count Diagnostic.Warn;
+        suppressed = List.length suppressed;
+        files_scanned = List.length cmts;
+        allow_size = Allowlist.size allow;
+      }
+
+let print_report ?(out = stdout) report =
+  List.iter
+    (fun d -> output_string out (Diagnostic.to_string d ^ "\n"))
+    report.diagnostics;
+  Printf.fprintf out
+    "smartlint: %d file%s scanned, %d error%s, %d warning%s, %d suppressed by \
+     allowlist (%d entr%s)\n"
+    report.files_scanned
+    (if report.files_scanned = 1 then "" else "s")
+    report.errors
+    (if report.errors = 1 then "" else "s")
+    report.warns
+    (if report.warns = 1 then "" else "s")
+    report.suppressed report.allow_size
+    (if report.allow_size = 1 then "y" else "ies")

@@ -1,0 +1,286 @@
+(* Typed-tree rule checks.  Every check walks the Typedtree stored in a
+   .cmt file (so identifier references are fully resolved paths and every
+   expression carries its inferred type) and emits diagnostics keyed to
+   the original source line.
+
+   Rule families implemented here:
+
+   - io-purity     sans-IO layers must not touch the real world: no
+                   [Unix.*], no channel opening ([open_in]/[open_out],
+                   [In_channel]/[Out_channel]).
+   - determinism   sans-IO layers must behave identically run-to-run: no
+                   [Random.*] (use [Smart_util.Prng]), no wall clock
+                   ([Sys.time]), no [Hashtbl.hash], and (warn) no
+                   [Hashtbl.iter]/[fold] whose enclosing definition never
+                   sorts, since hash-bucket order then leaks out.
+   - poly-compare  the polymorphic comparison operators at non-immediate
+                   types need explicit comparators; comparisons against a
+                   constant constructor ([x <> None], [l = []]) only look
+                   at the tag and are exempt, and boolean operators at
+                   [float] are deterministic-but-NaN-hazardous, so warn.
+   - unsafe        [Obj.*] and [Marshal.*] are banned everywhere;
+                   [assert false] is banned in wire-decode layers where
+                   decoders must be total.
+
+   The interface-coverage rule and the dune-stanza cross-checks live in
+   [Project]; they are file-level, not typed-tree-level. *)
+
+type ctx = {
+  file : string;   (* root-relative source path, used in diagnostics *)
+  sans_io : bool;  (* io-purity + determinism apply *)
+  proto : bool;    (* assert-false ban applies *)
+}
+
+let starts_with ~prefix s =
+  String.length s >= String.length prefix
+  && String.equal (String.sub s 0 (String.length prefix)) prefix
+
+(* ------------------------------------------------------------------ *)
+(* Identifier classification                                           *)
+(* ------------------------------------------------------------------ *)
+
+let is_unix_ident name = starts_with ~prefix:"Unix." name
+
+let channel_open_idents =
+  [
+    "Stdlib.open_in"; "Stdlib.open_in_bin"; "Stdlib.open_in_gen";
+    "Stdlib.open_out"; "Stdlib.open_out_bin"; "Stdlib.open_out_gen";
+  ]
+
+let is_channel_ident name =
+  List.mem name channel_open_idents
+  || starts_with ~prefix:"Stdlib.In_channel." name
+  || starts_with ~prefix:"Stdlib.Out_channel." name
+
+let is_random_ident name = starts_with ~prefix:"Stdlib.Random." name
+
+let wall_clock_idents = [ "Stdlib.Sys.time"; "Unix.gettimeofday"; "Unix.time" ]
+
+let hash_idents =
+  [ "Stdlib.Hashtbl.hash"; "Stdlib.Hashtbl.hash_param"; "Stdlib.Hashtbl.seeded_hash" ]
+
+let is_unsafe_ident name =
+  starts_with ~prefix:"Stdlib.Obj." name
+  || starts_with ~prefix:"Stdlib.Marshal." name
+
+(* The polymorphic three-way comparator and the polymorphic boolean
+   comparison operators, as their resolved path names. *)
+let poly_compare_ident = "Stdlib.compare"
+
+let poly_bool_op_idents =
+  [ "Stdlib.="; "Stdlib.<>"; "Stdlib.<"; "Stdlib.>"; "Stdlib.<="; "Stdlib.>=" ]
+
+let hashtbl_iteration_idents = [ "Stdlib.Hashtbl.iter"; "Stdlib.Hashtbl.fold" ]
+
+let sort_idents =
+  [
+    "Stdlib.List.sort"; "Stdlib.List.stable_sort"; "Stdlib.List.fast_sort";
+    "Stdlib.List.sort_uniq"; "Stdlib.Array.sort"; "Stdlib.Array.stable_sort";
+    "Stdlib.Array.fast_sort";
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Type classification for poly-compare                                *)
+(* ------------------------------------------------------------------ *)
+
+(* The comparator idents all have (instantiated) type [t -> t -> _]; the
+   first arrow argument is the compared type. *)
+let rec compared_type ty =
+  match Types.get_desc ty with
+  | Types.Tarrow (_, a, _, _) -> Some a
+  | Types.Tpoly (t, _) -> compared_type t
+  | _ -> None
+
+type type_class =
+  | Immediate          (* unboxed, compared by value: always safe *)
+  | Unknown            (* type variable: the use is itself polymorphic *)
+  | Float_type
+  | Boxed of string    (* display name for the diagnostic *)
+
+let rec classify_type ty =
+  match Types.get_desc ty with
+  | Types.Tvar _ | Types.Tunivar _ -> Unknown
+  | Types.Tpoly (t, _) -> classify_type t
+  | Types.Ttuple _ -> Boxed "tuple"
+  | Types.Tarrow _ -> Boxed "function"
+  | Types.Tconstr (p, _, _) -> (
+    match Path.name p with
+    | "int" | "bool" | "char" | "unit" -> Immediate
+    | "float" | "Stdlib.Float.t" -> Float_type
+    | name -> Boxed name)
+  | _ -> Boxed "value"
+
+let suggested_comparator ~three_way = function
+  | Float_type -> if three_way then "Float.compare" else "Float.equal / Float.compare"
+  | Boxed "string" | Boxed "Stdlib.String.t" ->
+    if three_way then "String.compare" else "String.equal / String.compare"
+  | Boxed "int64" -> "Int64.equal / Int64.compare"
+  | Boxed "int32" -> "Int32.equal / Int32.compare"
+  | _ -> "an explicit comparator"
+
+(* ------------------------------------------------------------------ *)
+(* Collection pass                                                     *)
+(* ------------------------------------------------------------------ *)
+
+(* One structure item's worth of facts, gathered in a single walk. *)
+type collected = {
+  mutable idents : (string * Location.t * Types.type_expr) list;
+  (* comparator uses applied to a constant constructor ([x = None]):
+     keyed by the operator ident's location *)
+  mutable exempt : (string * int) list;  (* (pos_fname, pos_cnum) *)
+  mutable asserts_false : Location.t list;
+}
+
+let loc_key (loc : Location.t) =
+  (loc.Location.loc_start.Lexing.pos_fname, loc.Location.loc_start.Lexing.pos_cnum)
+
+let is_constant_constructor (e : Typedtree.expression) =
+  match e.Typedtree.exp_desc with
+  | Typedtree.Texp_construct (_, cd, []) -> cd.Types.cstr_arity = 0
+  | _ -> false
+
+let collect_item (item : Typedtree.structure_item) =
+  let acc = { idents = []; exempt = []; asserts_false = [] } in
+  let open Tast_iterator in
+  let expr sub (e : Typedtree.expression) =
+    (match e.Typedtree.exp_desc with
+    | Typedtree.Texp_ident (path, _, _) ->
+      acc.idents <- (Path.name path, e.Typedtree.exp_loc, e.Typedtree.exp_type) :: acc.idents
+    | Typedtree.Texp_apply (fn, args) -> (
+      match fn.Typedtree.exp_desc with
+      | Typedtree.Texp_ident (path, _, _)
+        when List.mem (Path.name path) poly_bool_op_idents
+             || String.equal (Path.name path) poly_compare_ident ->
+        let nullary_arg =
+          List.exists
+            (function _, Some a -> is_constant_constructor a | _, None -> false)
+            args
+        in
+        if nullary_arg then acc.exempt <- loc_key fn.Typedtree.exp_loc :: acc.exempt
+      | _ -> ())
+    | Typedtree.Texp_assert (cond, _) ->
+      (match cond.Typedtree.exp_desc with
+      | Typedtree.Texp_construct (_, cd, []) when String.equal cd.Types.cstr_name "false" ->
+        acc.asserts_false <- e.Typedtree.exp_loc :: acc.asserts_false
+      | _ -> ())
+    | _ -> ());
+    default_iterator.expr sub e
+  in
+  let it = { default_iterator with expr } in
+  it.structure_item it item;
+  acc
+
+(* ------------------------------------------------------------------ *)
+(* Per-item diagnostics                                                *)
+(* ------------------------------------------------------------------ *)
+
+let line_of (loc : Location.t) = loc.Location.loc_start.Lexing.pos_lnum
+
+let diag ctx ~rule ~severity ~loc fmt =
+  Printf.ksprintf
+    (fun message ->
+      Diagnostic.make ~rule ~severity ~file:ctx.file ~line:(line_of loc) message)
+    fmt
+
+let short_op name =
+  (* "Stdlib.<>" -> "<>" for readable messages *)
+  match String.rindex_opt name '.' with
+  | Some i -> String.sub name (i + 1) (String.length name - i - 1)
+  | None -> name
+
+let check_ident ctx ~exempt (name, loc, ty) =
+  let e = Diagnostic.Error and w = Diagnostic.Warn in
+  let io_purity () =
+    if not ctx.sans_io then []
+    else if is_unix_ident name then
+      [ diag ctx ~rule:"io-purity" ~severity:e ~loc
+          "reference to %s: sans-IO layers must not touch Unix (move the effect \
+           behind the realnet boundary)" name ]
+    else if is_channel_ident name then
+      [ diag ctx ~rule:"io-purity" ~severity:e ~loc
+          "reference to %s: sans-IO layers must not open real channels" name ]
+    else []
+  in
+  let determinism () =
+    if not ctx.sans_io then []
+    else if is_random_ident name then
+      [ diag ctx ~rule:"determinism" ~severity:e ~loc
+          "reference to %s: use the deterministic Smart_util.Prng instead of the \
+           stdlib Random state" name ]
+    else if List.mem name wall_clock_idents then
+      [ diag ctx ~rule:"determinism" ~severity:e ~loc
+          "reference to %s: sans-IO layers must take time as an input (engine \
+           clock or injected closure), never read a real clock" name ]
+    else if List.mem name hash_idents then
+      [ diag ctx ~rule:"determinism" ~severity:e ~loc
+          "reference to %s: stdlib hashing is not stable across runs/versions"
+          name ]
+    else []
+  in
+  let unsafe () =
+    if is_unsafe_ident name then
+      [ diag ctx ~rule:"unsafe" ~severity:e ~loc
+          "reference to %s: Obj/Marshal break abstraction and wire-compatibility \
+           guarantees" name ]
+    else []
+  in
+  let poly_compare () =
+    let three_way = String.equal name poly_compare_ident in
+    let bool_op = List.mem name poly_bool_op_idents in
+    if (not three_way) && not bool_op then []
+    else if List.mem (loc_key loc) exempt then []
+    else
+      match Option.map classify_type (compared_type ty) with
+      | None | Some Immediate | Some Unknown -> []
+      | Some Float_type when not three_way ->
+        [ diag ctx ~rule:"poly-compare" ~severity:w ~loc
+            "polymorphic %s at type float: deterministic but NaN-hazardous; \
+             prefer %s" (short_op name)
+            (suggested_comparator ~three_way:false Float_type) ]
+      | Some cls ->
+        let tyname =
+          match cls with Boxed n -> n | Float_type -> "float" | _ -> "?"
+        in
+        [ diag ctx ~rule:"poly-compare" ~severity:e ~loc
+            "polymorphic %s at non-immediate type %s: use %s" (short_op name)
+            tyname
+            (suggested_comparator ~three_way cls) ]
+  in
+  io_purity () @ determinism () @ unsafe () @ poly_compare ()
+
+let check_item ctx (item : Typedtree.structure_item) =
+  let acc = collect_item item in
+  let idents = List.rev acc.idents in
+  let per_ident =
+    List.concat_map (check_ident ctx ~exempt:acc.exempt) idents
+  in
+  let asserts =
+    if not ctx.proto then []
+    else
+      List.map
+        (fun loc ->
+          diag ctx ~rule:"unsafe" ~severity:Diagnostic.Error ~loc
+            "assert false on a wire-decode path: decoders must be total and \
+             return Error on malformed input")
+        acc.asserts_false
+  in
+  (* Hash-order heuristic: an item that iterates a Hashtbl and never
+     sorts anything is at risk of leaking bucket order into its output. *)
+  let hash_order =
+    if not ctx.sans_io then []
+    else if List.exists (fun (n, _, _) -> List.mem n sort_idents) idents then []
+    else
+      List.filter_map
+        (fun (n, loc, _) ->
+          if List.mem n hashtbl_iteration_idents then
+            Some
+              (diag ctx ~rule:"determinism" ~severity:Diagnostic.Warn ~loc
+                 "%s with no sort in the same definition: hash-bucket order may \
+                  leak into ordered output" (short_op n))
+          else None)
+        idents
+  in
+  per_ident @ asserts @ hash_order
+
+let check_structure ctx (str : Typedtree.structure) =
+  List.concat_map (check_item ctx) str.Typedtree.str_items
