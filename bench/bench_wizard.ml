@@ -9,7 +9,10 @@
      between requests, so every request recompiles the requirement and
      rebuilds the server-view snapshot — the pre-cache behaviour;
    - warm: caching on and the database quiet between requests, so the
-     compiled program and the snapshot are both reused.
+     compiled program and the snapshot are both reused;
+   - warm+trace: the warm configuration again with a live span recorder
+     attached, so the cost of the trace plane shows up as a ratio
+     against the untraced warm run.
 
    Results go to stdout and to BENCH_wizard.json for trend tracking
    across PRs. *)
@@ -93,6 +96,7 @@ let encoded_request =
       server_num = 10;
       option = P.Wizard_msg.Accept_partial;
       requirement;
+      trace = Smart_util.Tracelog.root;
     }
 
 let from = { C.Output.host = "client"; port = 4000 }
@@ -121,28 +125,40 @@ let measure ~churn ~budget wizard db =
 let json_float x = if Float.is_finite x then Printf.sprintf "%.9f" x else "null"
 
 let run () =
-  let mk ~capacity =
+  let mk ?trace ~capacity () =
     let db = C.Status_db.create () in
     populate db;
     let wizard =
       (* the real wall clock feeds wizard.request_latency_seconds; the
          default Sys.time is too coarse for µs-scale requests *)
       C.Wizard.create ~compile_cache_capacity:capacity ~clock:Unix.gettimeofday
+        ?trace
         { C.Wizard.mode = C.Wizard.Centralized; groups = None }
         db
     in
     (wizard, db)
   in
   let budget = 0.5 in
-  let cold_wizard, cold_db = mk ~capacity:0 in
+  let cold_wizard, cold_db = mk ~capacity:0 () in
   let cold_rps = measure ~churn:true ~budget cold_wizard cold_db in
-  let warm_wizard, warm_db = mk ~capacity:C.Wizard.default_compile_cache_capacity in
+  let warm_wizard, warm_db =
+    mk ~capacity:C.Wizard.default_compile_cache_capacity ()
+  in
   let warm_rps = measure ~churn:false ~budget warm_wizard warm_db in
+  (* The traced run drives the same warm path with a live recorder; the
+     ring is big enough that drops never short-circuit the record path. *)
+  let trace = Smart_util.Tracelog.create ~capacity:65536 ~clock:Unix.gettimeofday () in
+  let traced_wizard, traced_db =
+    mk ~trace ~capacity:C.Wizard.default_compile_cache_capacity ()
+  in
+  let traced_rps = measure ~churn:false ~budget traced_wizard traced_db in
+  let trace_overhead = (warm_rps -. traced_rps) /. warm_rps in
   let speedup = warm_rps /. cold_rps in
   let hits, misses = C.Wizard.compile_cache_stats warm_wizard in
   let rhits, rmisses = C.Wizard.result_cache_stats warm_wizard in
   let cold_lat = C.Wizard.request_latency_summary cold_wizard in
   let warm_lat = C.Wizard.request_latency_summary warm_wizard in
+  let traced_lat = C.Wizard.request_latency_summary traced_wizard in
   let us x = Fmt.str "%.1f" (x *. 1e6) in
   let tab =
     Smart_util.Tabular.create
@@ -173,11 +189,23 @@ let run () =
       us warm_lat.Smart_util.Metrics.p99;
       string_of_int (C.Wizard.snapshot_rebuilds warm_wizard);
     ];
+  Smart_util.Tabular.add_row tab
+    [
+      "warm + tracing (span recorder on)";
+      Fmt.str "%.0f" traced_rps;
+      us traced_lat.Smart_util.Metrics.p50;
+      us traced_lat.Smart_util.Metrics.p95;
+      us traced_lat.Smart_util.Metrics.p99;
+      string_of_int (C.Wizard.snapshot_rebuilds traced_wizard);
+    ];
   Smart_util.Tabular.print tab;
   Fmt.pr
     "speedup: %.1fx (compile cache: %d hits / %d misses; result cache: %d \
      hits / %d misses)@."
     speedup hits misses rhits rmisses;
+  Fmt.pr "tracing overhead: %.1f%% (%d spans recorded)@."
+    (100.0 *. trace_overhead)
+    (Smart_util.Tracelog.total_recorded trace);
   let oc = open_out "BENCH_wizard.json" in
   Printf.fprintf oc
     "{\n\
@@ -194,6 +222,12 @@ let run () =
     \  \"warm_latency_p50_s\": %s,\n\
     \  \"warm_latency_p95_s\": %s,\n\
     \  \"warm_latency_p99_s\": %s,\n\
+    \  \"warm_traced_requests_per_sec\": %.1f,\n\
+    \  \"warm_traced_latency_p50_s\": %s,\n\
+    \  \"warm_traced_latency_p95_s\": %s,\n\
+    \  \"warm_traced_latency_p99_s\": %s,\n\
+    \  \"trace_overhead_fraction\": %.4f,\n\
+    \  \"trace_overhead_spans_recorded\": %d,\n\
     \  \"warm_compile_cache_hits\": %d,\n\
     \  \"warm_compile_cache_misses\": %d,\n\
     \  \"warm_result_cache_hits\": %d,\n\
@@ -207,8 +241,15 @@ let run () =
     (json_float warm_lat.Smart_util.Metrics.p50)
     (json_float warm_lat.Smart_util.Metrics.p95)
     (json_float warm_lat.Smart_util.Metrics.p99)
+    traced_rps
+    (json_float traced_lat.Smart_util.Metrics.p50)
+    (json_float traced_lat.Smart_util.Metrics.p95)
+    (json_float traced_lat.Smart_util.Metrics.p99)
+    trace_overhead
+    (Smart_util.Tracelog.total_recorded trace)
     hits misses rhits rmisses
     (C.Wizard.snapshot_rebuilds warm_wizard);
   close_out oc;
   Fmt.pr "wrote BENCH_wizard.json@.";
-  ignore warm_db
+  ignore warm_db;
+  ignore traced_db

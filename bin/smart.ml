@@ -201,6 +201,26 @@ let run_metrics host component json =
     | Ok dump -> print_string dump)
 
 (* ------------------------------------------------------------------ *)
+(* trace                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let run_trace host component json =
+  setup_logs (Some Logs.Warning);
+  match metrics_port component with
+  | Error c ->
+    Fmt.epr "unknown component %S (expected wizard, monitor or probe)@." c;
+    exit 2
+  | Ok port ->
+    let format =
+      if json then Smart_proto.Trace_msg.Json else Smart_proto.Trace_msg.Text
+    in
+    (match Smart_realnet.Client_io.scrape_trace ~format (book ()) ~host ~port () with
+    | Error reason ->
+      Fmt.epr "scrape failed: %s@." reason;
+      exit 1
+    | Ok dump -> print_string dump)
+
+(* ------------------------------------------------------------------ *)
 (* cmdliner plumbing                                                    *)
 (* ------------------------------------------------------------------ *)
 
@@ -349,9 +369,39 @@ let metrics_cmd =
              latency quantiles).")
     Term.(const run_metrics $ target $ component $ json)
 
+let trace_cmd =
+  let target =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "host" ] ~docv:"NAME" ~doc:"Host the daemon runs on.")
+  in
+  let component =
+    Arg.(
+      value & opt string "wizard"
+      & info [ "component" ] ~docv:"KIND"
+          ~doc:
+            "Which daemon to scrape: $(b,wizard), $(b,monitor) (the \
+             transmitter's pull port) or $(b,probe) (the echo port).")
+  in
+  let json =
+    Arg.(
+      value & flag
+      & info [ "json" ]
+          ~doc:
+            "Emit Chrome trace-event JSON (Perfetto-loadable) instead of \
+             text lines.")
+  in
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:"Dump a running daemon's flight recorder (recent spans with \
+             trace and parent ids).")
+    Term.(const run_trace $ target $ component $ json)
+
 let () =
   let doc = "Smart TCP socket for distributed computing (ICPP 2005)" in
   exit
     (Cmd.eval
        (Cmd.group (Cmd.info "smart" ~version:"1.0.0" ~doc)
-          [ probe_cmd; monitor_cmd; wizard_cmd; query_cmd; metrics_cmd ]))
+          [ probe_cmd; monitor_cmd; wizard_cmd; query_cmd; metrics_cmd;
+            trace_cmd ]))

@@ -21,14 +21,21 @@ let pp_error ppf = function
 
 type t = {
   rng : Smart_util.Prng.t;
+  trace : Smart_util.Tracelog.t;
+  mutable open_spans : (int * Smart_util.Tracelog.span) list;
+      (* seq -> request span, finished when the reply is checked;
+         typically at most one outstanding request *)
   requests_total : Metrics.Counter.t;
   replies_ok_total : Metrics.Counter.t;
   reply_errors_total : Metrics.Counter.t;
 }
 
-let create ?(metrics = Metrics.create ()) ~rng () =
+let create ?(metrics = Metrics.create ())
+    ?(trace = Smart_util.Tracelog.disabled) ~rng () =
   {
     rng;
+    trace;
+    open_spans = [];
     requests_total =
       Metrics.counter metrics ~help:"requests built" "client.requests_total";
     replies_ok_total =
@@ -46,11 +53,19 @@ let make_request t ~wanted ~option ~requirement =
       (Printf.sprintf "Client.make_request: at most %d servers per request"
          Smart_proto.Ports.max_reply_servers);
   Metrics.Counter.incr t.requests_total;
+  let seq = Smart_util.Prng.int t.rng ~bound:0x3FFFFFFF in
+  (* The client.request span is the root of the request's trace; its
+     context rides in the datagram and the span stays open until
+     [check_reply] sees the matching sequence number. *)
+  let span = Smart_util.Tracelog.start t.trace "client.request" in
+  if Smart_util.Tracelog.enabled t.trace then
+    t.open_spans <- (seq, span) :: t.open_spans;
   {
-    Smart_proto.Wizard_msg.seq = Smart_util.Prng.int t.rng ~bound:0x3FFFFFFF;
+    Smart_proto.Wizard_msg.seq;
     server_num = wanted;
     option;
     requirement;
+    trace = Smart_util.Tracelog.ctx_of span;
   }
 
 (* Validate a reply datagram against the outstanding request and apply
@@ -84,6 +99,12 @@ let check_reply t (request : Smart_proto.Wizard_msg.request) data =
   (match result with
   | Ok _ -> Metrics.Counter.incr t.replies_ok_total
   | Error _ -> Metrics.Counter.incr t.reply_errors_total);
+  let seq = request.Smart_proto.Wizard_msg.seq in
+  (match List.assoc_opt seq t.open_spans with
+  | Some span ->
+    Smart_util.Tracelog.finish t.trace span;
+    t.open_spans <- List.remove_assoc seq t.open_spans
+  | None -> ());
   result
 
 (* Pre-flight check: warn about variables no binding can ever supply. *)

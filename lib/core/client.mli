@@ -15,10 +15,20 @@ val pp_error : Format.formatter -> error -> unit
 
 type t
 
-(** [create ?metrics ~rng ()] builds a client drawing sequence numbers
-    from [rng].  [metrics] receives the [client.*] instruments (see
-    OBSERVABILITY.md); by default a private registry is used. *)
-val create : ?metrics:Smart_util.Metrics.t -> rng:Smart_util.Prng.t -> unit -> t
+(** [create ?metrics ?trace ~rng ()] builds a client drawing sequence
+    numbers from [rng].  [metrics] receives the [client.*] instruments
+    (see OBSERVABILITY.md); by default a private registry is used.
+    [trace] records a [client.request] span per request — opened by
+    {!make_request}, whose context rides in the request datagram (making
+    it the root of the request's cross-component trace), and closed when
+    {!check_reply} sees the matching reply; defaults to
+    {!Smart_util.Tracelog.disabled}. *)
+val create :
+  ?metrics:Smart_util.Metrics.t ->
+  ?trace:Smart_util.Tracelog.t ->
+  rng:Smart_util.Prng.t ->
+  unit ->
+  t
 
 (** Build a request with a fresh random sequence number.  Raises
     [Invalid_argument] when [wanted] is out of range. *)

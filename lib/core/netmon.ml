@@ -22,16 +22,19 @@ type config = {
 type t = {
   config : config;
   db : Status_db.t;
+  trace : Smart_util.Tracelog.t;
   probes_total : Metrics.Counter.t;
   probe_failures_total : Metrics.Counter.t;
   rounds_total : Metrics.Counter.t;
   reachable : Metrics.Gauge.t;
 }
 
-let create ?(metrics = Metrics.create ()) config db =
+let create ?(metrics = Metrics.create ())
+    ?(trace = Smart_util.Tracelog.disabled) config db =
   {
     config;
     db;
+    trace;
     probes_total =
       Metrics.counter metrics ~help:"path probes attempted"
         "netmon.probes_total";
@@ -48,10 +51,20 @@ let create ?(metrics = Metrics.create ()) config db =
 
 (* Probe every target sequentially and publish the refreshed record. *)
 let probe_all t ~now ~(prober : prober) =
+  let round =
+    Smart_util.Tracelog.start t.trace "netmon.round"
+  in
+  let parent = Smart_util.Tracelog.ctx_of round in
   let entries =
     List.filter_map
       (fun target ->
         Metrics.Counter.incr t.probes_total;
+        let probe_span =
+          Smart_util.Tracelog.start t.trace ~parent "netmon.probe"
+        in
+        Fun.protect ~finally:(fun () ->
+            Smart_util.Tracelog.finish t.trace probe_span)
+        @@ fun () ->
         match prober ~target with
         | Some { delay; bandwidth } ->
           Some
@@ -72,6 +85,7 @@ let probe_all t ~now ~(prober : prober) =
   Status_db.update_net t.db record;
   Metrics.Counter.incr t.rounds_total;
   Metrics.Gauge.set t.reachable (float_of_int (List.length entries));
+  Smart_util.Tracelog.finish t.trace round;
   record
 
 (* Recommended probing interval for [n] groups: the number of paths grows

@@ -15,10 +15,18 @@ type config = {
 
 type t
 
-(** [create ?metrics config db] builds a monitor publishing to [db].
-    [metrics] receives the [netmon.*] instruments (see
-    OBSERVABILITY.md); by default a private registry is used. *)
-val create : ?metrics:Smart_util.Metrics.t -> config -> Status_db.t -> t
+(** [create ?metrics ?trace config db] builds a monitor publishing to
+    [db].  [metrics] receives the [netmon.*] instruments (see
+    OBSERVABILITY.md); by default a private registry is used.  [trace]
+    records one [netmon.round] span per {!probe_all} with a child
+    [netmon.probe] span per target; defaults to
+    {!Smart_util.Tracelog.disabled}. *)
+val create :
+  ?metrics:Smart_util.Metrics.t ->
+  ?trace:Smart_util.Tracelog.t ->
+  config ->
+  Status_db.t ->
+  t
 
 (** Probe every target in order and publish the refreshed record. *)
 val probe_all :

@@ -26,15 +26,18 @@ type sample = {
 type t = {
   config : config;
   mutable prev : sample option;
+  trace : Smart_util.Tracelog.t;
   reports_total : Smart_util.Metrics.Counter.t;
   report_bytes_total : Smart_util.Metrics.Counter.t;
   errors_total : Smart_util.Metrics.Counter.t;
 }
 
-let create ?(metrics = Smart_util.Metrics.create ()) config =
+let create ?(metrics = Smart_util.Metrics.create ())
+    ?(trace = Smart_util.Tracelog.disabled) config =
   {
     config;
     prev = None;
+    trace;
     reports_total =
       Smart_util.Metrics.counter metrics ~help:"report datagrams emitted"
         "probe.reports_total";
@@ -125,8 +128,10 @@ let report_of t ~now ~(loadavg : Smart_host.Procfs.loadavg)
   }
 
 (* One probe interval: parse the /proc snapshot, build the report, emit
-   the datagram. *)
-let tick_inner t ~now ~(snapshot : Smart_host.Procfs.snapshot) =
+   the datagram.  The tick span is the root of the report pipeline's
+   trace: its context rides inside the report payload so the monitor and
+   receiver spans downstream join the same tree. *)
+let tick_inner t ~tick_span ~now ~(snapshot : Smart_host.Procfs.snapshot) =
   let* loadavg =
     Smart_host.Procfs.parse_loadavg snapshot.Smart_host.Procfs.loadavg_text
   in
@@ -140,6 +145,10 @@ let tick_inner t ~now ~(snapshot : Smart_host.Procfs.snapshot) =
     Smart_host.Procfs.parse_net_dev snapshot.Smart_host.Procfs.netdev_text
   in
   let* net = find_iface t.config netdevs in
+  let build =
+    Smart_util.Tracelog.start t.trace
+      ~parent:(Smart_util.Tracelog.ctx_of tick_span) "probe.build"
+  in
   let report = report_of t ~now ~loadavg ~cpu ~mem ~disk ~net in
   t.prev <- Some { at = now; cpu; disk; net };
   let send =
@@ -147,7 +156,11 @@ let tick_inner t ~now ~(snapshot : Smart_host.Procfs.snapshot) =
     | Udp -> Output.udp
     | Tcp -> Output.stream
   in
-  let payload = Smart_proto.Report.to_string report in
+  let payload =
+    Smart_proto.Report.to_string
+      ~trace:(Smart_util.Tracelog.ctx_of tick_span) report
+  in
+  Smart_util.Tracelog.finish t.trace build;
   Ok
     ( report,
       [
@@ -157,11 +170,16 @@ let tick_inner t ~now ~(snapshot : Smart_host.Procfs.snapshot) =
       String.length payload )
 
 let tick t ~now ~snapshot =
-  match tick_inner t ~now ~snapshot with
-  | Ok (report, outputs, bytes) ->
-    Smart_util.Metrics.Counter.incr t.reports_total;
-    Smart_util.Metrics.Counter.incr t.report_bytes_total ~by:bytes;
-    Ok (report, outputs)
-  | Error _ as e ->
-    Smart_util.Metrics.Counter.incr t.errors_total;
-    e
+  let tick_span = Smart_util.Tracelog.start t.trace "probe.tick" in
+  let result =
+    match tick_inner t ~tick_span ~now ~snapshot with
+    | Ok (report, outputs, bytes) ->
+      Smart_util.Metrics.Counter.incr t.reports_total;
+      Smart_util.Metrics.Counter.incr t.report_bytes_total ~by:bytes;
+      Ok (report, outputs)
+    | Error _ as e ->
+      Smart_util.Metrics.Counter.incr t.errors_total;
+      e
+  in
+  Smart_util.Tracelog.finish t.trace tick_span;
+  result

@@ -19,10 +19,18 @@ type config = {
 
 type t
 
-(** [create ?metrics config] builds a probe.  [metrics] receives the
-    [probe.*] instruments (see OBSERVABILITY.md); by default a private
-    registry is used. *)
-val create : ?metrics:Smart_util.Metrics.t -> config -> t
+(** [create ?metrics ?trace config] builds a probe.  [metrics] receives
+    the [probe.*] instruments (see OBSERVABILITY.md); by default a
+    private registry is used.  [trace] records [probe.tick] and
+    [probe.build] spans; the tick span's context is embedded in the
+    emitted report so downstream components continue the same trace.
+    Defaults to {!Smart_util.Tracelog.disabled} (no recording, no
+    context on the wire). *)
+val create :
+  ?metrics:Smart_util.Metrics.t ->
+  ?trace:Smart_util.Tracelog.t ->
+  config ->
+  t
 
 (** One probe interval.  Rates (CPU fractions, disk and network per-second
     figures) are differentiated against the previous tick; the first tick

@@ -7,6 +7,7 @@ module Metrics = Smart_util.Metrics
 type t = {
   order : Smart_proto.Endian.order;
   db : Status_db.t;
+  trace : Smart_util.Tracelog.t;
   decoders : (string, Smart_proto.Frame.decoder) Hashtbl.t;
       (* one stream decoder per transmitter (keyed by source host) *)
   owned_hosts : (string, string list) Hashtbl.t;
@@ -21,10 +22,12 @@ type t = {
   mutable on_update : (Smart_proto.Frame.payload_type -> unit) option;
 }
 
-let create ?(metrics = Metrics.create ()) ~order db =
+let create ?(metrics = Metrics.create ())
+    ?(trace = Smart_util.Tracelog.disabled) ~order db =
   {
     order;
     db;
+    trace;
     decoders = Hashtbl.create 4;
     owned_hosts = Hashtbl.create 4;
     current_from = "";
@@ -56,7 +59,15 @@ let decoder_for t ~from =
     Metrics.Gauge.set t.transmitters (float_of_int (Hashtbl.length t.decoders));
     d
 
+(* Frames from a traced push carry the push span's context; the frame
+   span adopts it, tying this mirror write to the monitor-side trace
+   across the TCP hop. *)
 let apply_frame t (frame : Smart_proto.Frame.frame) =
+  let frame_span =
+    Smart_util.Tracelog.start t.trace
+      ~parent:frame.Smart_proto.Frame.trace "receiver.frame"
+  in
+  let commit_parent = Smart_util.Tracelog.ctx_of frame_span in
   let result =
     match frame.Smart_proto.Frame.payload_type with
     | Smart_proto.Frame.Sys_db ->
@@ -78,7 +89,12 @@ let apply_frame t (frame : Smart_proto.Frame.frame) =
       (match load 0 [] with
       | Error m -> Error m
       | Ok records ->
+        let commit =
+          Smart_util.Tracelog.start t.trace ~parent:commit_parent
+            "receiver.commit"
+        in
         Status_db.update_sys_many t.db records;
+        Smart_util.Tracelog.finish t.trace commit;
         let hosts =
           List.map
             (fun (r : Smart_proto.Records.sys_record) ->
@@ -120,6 +136,7 @@ let apply_frame t (frame : Smart_proto.Frame.frame) =
     | Some hook -> hook frame.Smart_proto.Frame.payload_type
     | None -> ())
   | Error _ -> Metrics.Counter.incr t.decode_errors_total);
+  Smart_util.Tracelog.finish t.trace frame_span;
   result
 
 (* Feed raw stream bytes from a given transmitter. *)

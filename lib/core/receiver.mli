@@ -3,12 +3,16 @@
 
 type t
 
-(** [create ?metrics ~order db] builds a receiver mirroring into [db].
-    [order] must match the transmitters' byte order.  [metrics] receives
-    the [receiver.*] instruments (see OBSERVABILITY.md); by default a
-    private registry is used. *)
+(** [create ?metrics ?trace ~order db] builds a receiver mirroring into
+    [db].  [order] must match the transmitters' byte order.  [metrics]
+    receives the [receiver.*] instruments (see OBSERVABILITY.md); by
+    default a private registry is used.  [trace] records a
+    [receiver.frame] span per applied frame (parented on the context the
+    frame carries) with a [receiver.commit] child around the Sys_db
+    batch write; defaults to {!Smart_util.Tracelog.disabled}. *)
 val create :
   ?metrics:Smart_util.Metrics.t ->
+  ?trace:Smart_util.Tracelog.t ->
   order:Smart_proto.Endian.order ->
   Status_db.t ->
   t

@@ -7,15 +7,18 @@ module Metrics = Smart_util.Metrics
 
 type t = {
   db : Status_db.t;
+  trace : Smart_util.Tracelog.t;
   refreshes_total : Metrics.Counter.t;
   parse_errors_total : Metrics.Counter.t;
   hosts : Metrics.Gauge.t;
   mutable last_error : string option;
 }
 
-let create ?(metrics = Metrics.create ()) db =
+let create ?(metrics = Metrics.create ())
+    ?(trace = Smart_util.Tracelog.disabled) db =
   {
     db;
+    trace;
     refreshes_total =
       Metrics.counter metrics ~help:"security table replacements"
         "secmon.refreshes_total";
@@ -35,20 +38,27 @@ let note_refresh t (record : Smart_proto.Records.sec_record) =
 
 (* Ingest a complete security log text. *)
 let refresh_from_log t text =
-  match Smart_proto.Records.parse_security_log text with
-  | Ok record ->
-    Status_db.replace_sec t.db record;
-    note_refresh t record;
-    Ok record
-  | Error e ->
-    Metrics.Counter.incr t.parse_errors_total;
-    t.last_error <- Some e;
-    Error e
+  let span = Smart_util.Tracelog.start t.trace "secmon.refresh" in
+  let result =
+    match Smart_proto.Records.parse_security_log text with
+    | Ok record ->
+      Status_db.replace_sec t.db record;
+      note_refresh t record;
+      Ok record
+    | Error e ->
+      Metrics.Counter.incr t.parse_errors_total;
+      t.last_error <- Some e;
+      Error e
+  in
+  Smart_util.Tracelog.finish t.trace span;
+  result
 
 (* Direct injection for pluggable agents. *)
 let refresh t record =
+  let span = Smart_util.Tracelog.start t.trace "secmon.refresh" in
   Status_db.replace_sec t.db record;
-  note_refresh t record
+  note_refresh t record;
+  Smart_util.Tracelog.finish t.trace span
 
 let refreshes t = Metrics.Counter.value t.refreshes_total
 

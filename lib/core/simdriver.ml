@@ -34,6 +34,10 @@ type t = {
   metrics : Smart_util.Metrics.t;
       (* one registry for the whole deployment: same-named instruments
          from different instances (e.g. every probe) aggregate *)
+  tracelog : Smart_util.Tracelog.t;
+      (* one span recorder for the whole deployment, stamped with the
+         engine's virtual clock: cross-component traces land in a single
+         ring and the export is deterministic for a given seed *)
   traffic : (string, component_stats) Hashtbl.t;
   mutable next_client_port : int;
 }
@@ -99,8 +103,8 @@ let default_config =
   }
 
 (* Wire one group's probes, monitors and transmitter. *)
-let setup_group t_ref config cluster ~metrics ~wizard_host ~monitor_host
-    ~servers ~netmon_targets =
+let setup_group t_ref config cluster ~metrics ~trace ~wizard_host
+    ~monitor_host ~servers ~netmon_targets =
   let engine = Smart_host.Cluster.engine cluster in
   let stack = Smart_host.Cluster.stack cluster in
   let rng = Smart_host.Cluster.rng cluster in
@@ -111,18 +115,18 @@ let setup_group t_ref config cluster ~metrics ~wizard_host ~monitor_host
     Sysmon.create
       ~config:
         { Sysmon.probe_interval = config.probe_interval; missed_intervals = 3 }
-      ~metrics db
+      ~metrics ~trace db
   in
   let netmon =
-    Netmon.create ~metrics
+    Netmon.create ~metrics ~trace
       { Netmon.monitor_name = monitor_host; targets = netmon_targets }
       db
   in
-  let secmon = Secmon.create ~metrics db in
+  let secmon = Secmon.create ~metrics ~trace db in
   if not (String.equal config.security_log "") then
     ignore (Secmon.refresh_from_log secmon config.security_log);
   let transmitter =
-    Transmitter.create ~metrics ~monitor_name:monitor_host
+    Transmitter.create ~metrics ~trace ~monitor_name:monitor_host
       {
         Transmitter.mode = config.mode;
         order = config.order;
@@ -148,7 +152,7 @@ let setup_group t_ref config cluster ~metrics ~wizard_host ~monitor_host
       let machine = Smart_host.Cluster.machine cluster node in
       let spec = Smart_host.Machine.spec machine in
       let probe =
-        Probe.create ~metrics
+        Probe.create ~metrics ~trace
           {
             Probe.host = spec.Smart_host.Machine.name;
             ip = spec.Smart_host.Machine.ip;
@@ -198,6 +202,14 @@ let deploy_groups ?(config = default_config) cluster ~wizard_host ~groups =
   let resolve = Smart_host.Cluster.resolve_exn cluster in
   let wizard_node = resolve wizard_host in
   let metrics = Smart_util.Metrics.create () in
+  (* deployment-wide flight recorder on the virtual clock; always on:
+     recording is a ring write per span, far below the noise floor of a
+     simulated run, and every export stays seed-deterministic *)
+  let tracelog =
+    Smart_util.Tracelog.create ~capacity:65536
+      ~clock:(fun () -> Smart_sim.Engine.now engine)
+      ()
+  in
   let multi_group = List.length groups > 1 in
   let monitor_hosts = List.map fst groups in
   let t_ref = ref None in
@@ -214,12 +226,14 @@ let deploy_groups ?(config = default_config) cluster ~wizard_host ~groups =
               monitor_hosts
           else servers
         in
-        setup_group t_ref config cluster ~metrics ~wizard_host ~monitor_host
-          ~servers ~netmon_targets)
+        setup_group t_ref config cluster ~metrics ~trace:tracelog
+          ~wizard_host ~monitor_host ~servers ~netmon_targets)
       groups
   in
   let db_wizard = Status_db.create () in
-  let receiver = Receiver.create ~metrics ~order:config.order db_wizard in
+  let receiver =
+    Receiver.create ~metrics ~trace:tracelog ~order:config.order db_wizard
+  in
   let wizard_mode =
     match config.mode with
     | Transmitter.Centralized -> Wizard.Centralized
@@ -254,6 +268,7 @@ let deploy_groups ?(config = default_config) cluster ~wizard_host ~groups =
     (* virtual clock: request latencies land in the histogram in
        simulated seconds, and the run stays deterministic *)
     Wizard.create ~compile_cache_capacity:config.wizard_compile_cache ~metrics
+      ~trace:tracelog
       ~clock:(fun () -> Smart_sim.Engine.now engine)
       { Wizard.mode = wizard_mode; groups = wizard_groups }
       db_wizard
@@ -299,6 +314,7 @@ let deploy_groups ?(config = default_config) cluster ~wizard_host ~groups =
       wizard;
       client_rng = Smart_util.Prng.split (Smart_host.Cluster.rng cluster);
       metrics;
+      tracelog;
       traffic = Hashtbl.create 8;
       next_client_port = 45000;
     }
@@ -368,7 +384,9 @@ let request ?(option = Smart_proto.Wizard_msg.Accept_partial) ?(timeout = 5.0)
   let engine = Smart_host.Cluster.engine t.cluster in
   let stack = Smart_host.Cluster.stack t.cluster in
   let client_node = Smart_host.Cluster.resolve_exn t.cluster client in
-  let client_lib = Client.create ~metrics:t.metrics ~rng:t.client_rng () in
+  let client_lib =
+    Client.create ~metrics:t.metrics ~trace:t.tracelog ~rng:t.client_rng ()
+  in
   let req = Client.make_request client_lib ~wanted ~option ~requirement in
   let reply_port = t.next_client_port in
   t.next_client_port <- t.next_client_port + 1;
@@ -421,3 +439,21 @@ let group_count t = List.length t.groups
 let cluster t = t.cluster
 
 let metrics t = t.metrics
+
+let tracelog t = t.tracelog
+
+(* Chrome trace-event export of the whole deployment, with the engine's
+   own event trace (packet sends, timer fires, ...) merged in as instant
+   events so spans can be read against the packet plane's activity. *)
+let trace_json t =
+  let instants =
+    match Smart_host.Cluster.trace t.cluster with
+    | None -> []
+    | Some trace ->
+      List.map
+        (fun (e : Smart_sim.Trace.entry) ->
+          (e.Smart_sim.Trace.time, e.Smart_sim.Trace.category,
+           e.Smart_sim.Trace.message))
+        (Smart_sim.Trace.entries trace)
+  in
+  Smart_util.Tracelog.to_chrome_json ~instants t.tracelog

@@ -93,3 +93,16 @@ val cluster : t -> Smart_host.Cluster.t
     here, so same-named metrics aggregate across instances.  Snapshot it
     for deterministic end-to-end assertions (see OBSERVABILITY.md). *)
 val metrics : t -> Smart_util.Metrics.t
+
+(** The deployment-wide span recorder: every component of every group
+    (and the client library used by [request]) records its spans here,
+    stamped with the engine's virtual clock.  Always enabled — for a
+    given seed the recorded spans, and hence {!trace_json}, are
+    byte-for-byte deterministic. *)
+val tracelog : t -> Smart_util.Tracelog.t
+
+(** Chrome trace-event JSON of the whole deployment (load in Perfetto or
+    chrome://tracing).  When the cluster was built with an attached
+    {!Smart_sim.Trace.t}, its packet/timer events are merged in as
+    instant events. *)
+val trace_json : t -> string

@@ -25,6 +25,10 @@ type t = {
   mutable generation : int;
   mutable sys_cache : (int * Smart_proto.Records.sys_record list) option;
       (* (generation, sorted records) of the last [sys_records] call *)
+  mutable last_trace : Smart_util.Tracelog.ctx;
+      (* context of the ingest that last wrote the system table; the
+         transmitter parents its push spans here so the monitor-side
+         trace stays causally connected to the frames it sends *)
 }
 
 let create () =
@@ -35,7 +39,12 @@ let create () =
     peer_index = Hashtbl.create 64;
     generation = 0;
     sys_cache = None;
+    last_trace = Smart_util.Tracelog.root;
   }
+
+let set_last_trace t ctx = t.last_trace <- ctx
+
+let last_trace t = t.last_trace
 
 let generation t = t.generation
 

@@ -56,3 +56,11 @@ val sys_count : t -> int
 (** Drop one server record (used by the receiver's mirror semantics).
     Bumps the generation only if the host was present. *)
 val remove_sys : t -> host:string -> unit
+
+(** Trace context of the last writer ({!Smart_util.Tracelog.root}
+    initially).  The system monitor stamps its ingest span here; the
+    transmitter parents its push spans on it so monitor-side traces stay
+    connected to the frames that carry the data away. *)
+val set_last_trace : t -> Smart_util.Tracelog.ctx -> unit
+
+val last_trace : t -> Smart_util.Tracelog.ctx

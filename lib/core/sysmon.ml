@@ -14,6 +14,7 @@ let default_config = { probe_interval = 5.0; missed_intervals = 3 }
 type t = {
   config : config;
   db : Status_db.t;
+  trace : Smart_util.Tracelog.t;
   reports_total : Metrics.Counter.t;
   parse_errors_total : Metrics.Counter.t;
   sweeps_total : Metrics.Counter.t;
@@ -21,10 +22,12 @@ type t = {
   hosts : Metrics.Gauge.t;
 }
 
-let create ?(config = default_config) ?(metrics = Metrics.create ()) db =
+let create ?(config = default_config) ?(metrics = Metrics.create ())
+    ?(trace = Smart_util.Tracelog.disabled) db =
   {
     config;
     db;
+    trace;
     reports_total =
       Metrics.counter metrics ~help:"probe reports ingested"
         "sysmon.reports_total";
@@ -43,25 +46,35 @@ let create ?(config = default_config) ?(metrics = Metrics.create ()) db =
 
 let max_age t = t.config.probe_interval *. float_of_int t.config.missed_intervals
 
-(* One incoming report datagram. *)
+(* One incoming report datagram.  A traced report carries the probe's
+   tick-span context: the ingest span adopts it as parent and is left in
+   the database as the table's last writer, which is how the report
+   pipeline's trace crosses from the probe machine into the monitor. *)
 let handle_report t ~now data =
-  match Smart_proto.Report.of_string data with
+  match Smart_proto.Report.decode data with
   | Error e ->
     Metrics.Counter.incr t.parse_errors_total;
     Error e
-  | Ok report ->
+  | Ok (report, ctx) ->
+    let span =
+      Smart_util.Tracelog.start t.trace ~parent:ctx "sysmon.ingest"
+    in
     Metrics.Counter.incr t.reports_total;
     Status_db.update_sys t.db
       { Smart_proto.Records.report; updated_at = now };
+    Status_db.set_last_trace t.db (Smart_util.Tracelog.ctx_of span);
     Metrics.Gauge.set t.hosts (float_of_int (Status_db.sys_count t.db));
+    Smart_util.Tracelog.finish t.trace span;
     Ok report
 
 (* Periodic expiry sweep; returns the number of expired servers. *)
 let sweep t ~now =
+  let span = Smart_util.Tracelog.start t.trace "sysmon.sweep" in
   let expired = Status_db.sweep_sys t.db ~now ~max_age:(max_age t) in
   Metrics.Counter.incr t.sweeps_total;
   Metrics.Counter.incr t.expired_total ~by:expired;
   Metrics.Gauge.set t.hosts (float_of_int (Status_db.sys_count t.db));
+  Smart_util.Tracelog.finish t.trace span;
   expired
 
 let reports_handled t = Metrics.Counter.value t.reports_total

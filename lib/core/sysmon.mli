@@ -12,10 +12,18 @@ val default_config : config
 
 type t
 
-(** [create ?config ?metrics db] builds a monitor writing to [db].
-    [metrics] receives the [sysmon.*] instruments (see OBSERVABILITY.md);
-    by default a private registry is used. *)
-val create : ?config:config -> ?metrics:Smart_util.Metrics.t -> Status_db.t -> t
+(** [create ?config ?metrics ?trace db] builds a monitor writing to
+    [db].  [metrics] receives the [sysmon.*] instruments (see
+    OBSERVABILITY.md); by default a private registry is used.  [trace]
+    records [sysmon.ingest] spans (parented on the trace context a
+    traced report carries) and [sysmon.sweep] spans; defaults to
+    {!Smart_util.Tracelog.disabled}. *)
+val create :
+  ?config:config ->
+  ?metrics:Smart_util.Metrics.t ->
+  ?trace:Smart_util.Tracelog.t ->
+  Status_db.t ->
+  t
 
 (** Age beyond which a record is considered stale. *)
 val max_age : t -> float

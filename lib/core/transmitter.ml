@@ -21,17 +21,20 @@ type t = {
   config : config;
   db : Status_db.t;
   monitor_name : string;
+  trace : Smart_util.Tracelog.t;
   pushes_total : Metrics.Counter.t;
   bytes_total : Metrics.Counter.t;
   frames_total : Metrics.Counter.t;
   pulls_total : Metrics.Counter.t;
 }
 
-let create ?(metrics = Metrics.create ()) ~monitor_name config db =
+let create ?(metrics = Metrics.create ())
+    ?(trace = Smart_util.Tracelog.disabled) ~monitor_name config db =
   {
     config;
     db;
     monitor_name;
+    trace;
     pushes_total =
       Metrics.counter metrics ~help:"database snapshots shipped"
         "transmitter.pushes_total";
@@ -46,7 +49,7 @@ let create ?(metrics = Metrics.create ()) ~monitor_name config db =
         "transmitter.pulls_total";
   }
 
-let snapshot_frames t =
+let snapshot_frames ?(trace = Smart_util.Tracelog.root) t =
   let order = t.config.order in
   let sys_data =
     String.concat ""
@@ -65,19 +68,33 @@ let snapshot_frames t =
     Smart_proto.Records.encode_sec order (Status_db.sec_record t.db)
   in
   [
-    { Smart_proto.Frame.payload_type = Smart_proto.Frame.Sys_db; data = sys_data };
-    { Smart_proto.Frame.payload_type = Smart_proto.Frame.Net_db; data = net_data };
-    { Smart_proto.Frame.payload_type = Smart_proto.Frame.Sec_db; data = sec_data };
+    { Smart_proto.Frame.payload_type = Smart_proto.Frame.Sys_db; data = sys_data;
+      trace };
+    { Smart_proto.Frame.payload_type = Smart_proto.Frame.Net_db; data = net_data;
+      trace };
+    { Smart_proto.Frame.payload_type = Smart_proto.Frame.Sec_db; data = sec_data;
+      trace };
   ]
 
+(* The push span is parented on the database's last writer (typically a
+   [sysmon.ingest] span), and its own context rides in the frames — this
+   is the hop that carries the report pipeline's trace from the monitor
+   machine to the wizard machine. *)
 let push t =
-  let frames = snapshot_frames t in
+  let span =
+    Smart_util.Tracelog.start t.trace
+      ~parent:(Status_db.last_trace t.db) "transmitter.push"
+  in
+  let frames =
+    snapshot_frames ~trace:(Smart_util.Tracelog.ctx_of span) t
+  in
   let encoded =
     String.concat "" (List.map (Smart_proto.Frame.encode t.config.order) frames)
   in
   Metrics.Counter.incr t.pushes_total;
   Metrics.Counter.incr t.frames_total ~by:(List.length frames);
   Metrics.Counter.incr t.bytes_total ~by:(String.length encoded);
+  Smart_util.Tracelog.finish t.trace span;
   [
     Output.stream ~host:t.config.receiver.Output.host
       ~port:t.config.receiver.Output.port encoded;

@@ -17,20 +17,26 @@ type config = {
 
 type t
 
-(** [create ?metrics ~monitor_name config db] builds a transmitter
-    snapshotting [db].  [monitor_name] selects which network record the
-    Net_db frame carries.  [metrics] receives the [transmitter.*]
-    instruments (see OBSERVABILITY.md); by default a private registry is
-    used. *)
+(** [create ?metrics ?trace ~monitor_name config db] builds a
+    transmitter snapshotting [db].  [monitor_name] selects which network
+    record the Net_db frame carries.  [metrics] receives the
+    [transmitter.*] instruments (see OBSERVABILITY.md); by default a
+    private registry is used.  [trace] records a [transmitter.push] span
+    per push, parented on {!Status_db.last_trace} and embedded in the
+    emitted frames; defaults to {!Smart_util.Tracelog.disabled}. *)
 val create :
   ?metrics:Smart_util.Metrics.t ->
+  ?trace:Smart_util.Tracelog.t ->
   monitor_name:string ->
   config ->
   Status_db.t ->
   t
 
-(** The three frames of the current database state. *)
-val snapshot_frames : t -> Smart_proto.Frame.frame list
+(** The three frames of the current database state, carrying [trace]
+    (default {!Smart_util.Tracelog.root}, i.e. untraced) as their
+    context. *)
+val snapshot_frames :
+  ?trace:Smart_util.Tracelog.ctx -> t -> Smart_proto.Frame.frame list
 
 (** Unconditional push (both modes). *)
 val push : t -> Output.t list

@@ -69,6 +69,7 @@ type t = {
   result_cache : (int * Selection.result) Smart_util.Lru.t;
       (* (generation, result); stale when the generation moved *)
   clock : unit -> float;  (* injected clock for the latency histogram *)
+  trace : Smart_util.Tracelog.t;
   requests_total : Metrics.Counter.t;
   compile_errors_total : Metrics.Counter.t;
   snapshot_rebuilds_total : Metrics.Counter.t;
@@ -85,7 +86,8 @@ type t = {
 }
 
 let create ?(compile_cache_capacity = default_compile_cache_capacity)
-    ?(metrics = Metrics.create ()) ?(clock = fun () -> 0.) config db =
+    ?(metrics = Metrics.create ()) ?(clock = fun () -> 0.)
+    ?(trace = Smart_util.Tracelog.disabled) config db =
   {
     config;
     db;
@@ -93,6 +95,7 @@ let create ?(compile_cache_capacity = default_compile_cache_capacity)
     compile_cache = Smart_util.Lru.create ~capacity:compile_cache_capacity;
     result_cache = Smart_util.Lru.create ~capacity:compile_cache_capacity;
     clock;
+    trace;
     requests_total =
       Metrics.counter metrics ~help:"requests decoded and answered"
         "wizard.requests_total";
@@ -156,56 +159,73 @@ let net_for t ~host =
             String.equal e.Smart_proto.Records.peer group)
           record.Smart_proto.Records.entries))
 
-let build_snapshot t ~generation =
+let build_snapshot t ~parent ~generation =
+  let span =
+    Smart_util.Tracelog.start t.trace ~parent "wizard.snapshot"
+  in
   Metrics.Counter.incr t.snapshot_rebuilds_total;
-  Selection.snapshot ~generation
-    (List.map
-       (fun (record : Smart_proto.Records.sys_record) ->
-         let report = record.Smart_proto.Records.report in
-         let host = report.Smart_proto.Report.host in
-         {
-           Selection.record;
-           net = net_for t ~host;
-           security_level = Status_db.security_level t.db ~host;
-         })
-       (Status_db.sys_records t.db))
+  let s =
+    Selection.snapshot ~generation
+      (List.map
+         (fun (record : Smart_proto.Records.sys_record) ->
+           let report = record.Smart_proto.Records.report in
+           let host = report.Smart_proto.Report.host in
+           {
+             Selection.record;
+             net = net_for t ~host;
+             security_level = Status_db.security_level t.db ~host;
+           })
+         (Status_db.sys_records t.db))
+  in
+  Smart_util.Tracelog.finish t.trace span;
+  s
 
 (* The server views at the current database generation, rebuilt only
    when a write moved the generation since the last request. *)
-let server_snapshot t =
+let server_snapshot t ~parent =
   let generation = Status_db.generation t.db in
   match t.snapshot with
   | Some s when Selection.snapshot_generation s = generation -> s
   | Some _ | None ->
-    let s = build_snapshot t ~generation in
+    let s = build_snapshot t ~parent ~generation in
     t.snapshot <- Some s;
     s
 
-let compile t source =
+let compile t ~parent source =
   let key = Smart_lang.Requirement.cache_key source in
   match Smart_util.Lru.find t.compile_cache key with
   | Some result ->
     Metrics.Counter.incr t.compile_cache_hits_total;
     result
   | None ->
+    (* only an actual lex+parse earns a parse span: cache hits do no
+       parsing work worth a tree node *)
+    let span = Smart_util.Tracelog.start t.trace ~parent "wizard.parse" in
     Metrics.Counter.incr t.compile_cache_misses_total;
     let result = Smart_lang.Requirement.compile source in
     Smart_util.Lru.add t.compile_cache key result;
+    Smart_util.Tracelog.finish t.trace span;
     result
 
-let reply_to (request : Smart_proto.Wizard_msg.request) ~from ~servers =
+let reply_to t (request : Smart_proto.Wizard_msg.request) ~parent ~from
+    ~servers =
+  let span = Smart_util.Tracelog.start t.trace ~parent "wizard.reply" in
   let reply =
     { Smart_proto.Wizard_msg.seq = request.Smart_proto.Wizard_msg.seq; servers }
   in
-  [
-    Output.udp ~host:from.Output.host ~port:from.Output.port
-      (Smart_proto.Wizard_msg.encode_reply reply);
-  ]
+  let outputs =
+    [
+      Output.udp ~host:from.Output.host ~port:from.Output.port
+        (Smart_proto.Wizard_msg.encode_reply reply);
+    ]
+  in
+  Smart_util.Tracelog.finish t.trace span;
+  outputs
 
 (* The selection result for (requirement, wanted) at the current
    generation — memoized because [Selection.select] is a pure function
    of the snapshot, the program and the count. *)
-let select_cached t ~source ~wanted =
+let select_cached t ~parent ~source ~wanted =
   let generation = Status_db.generation t.db in
   let key =
     Printf.sprintf "%d\x00%s" wanted (Smart_lang.Requirement.cache_key source)
@@ -216,31 +236,42 @@ let select_cached t ~source ~wanted =
     Some result
   | Some _ | None ->
     Metrics.Counter.incr t.result_cache_misses_total;
-    (match compile t source with
+    (match compile t ~parent source with
     | Error _ -> None
     | Ok program ->
-      let result =
-        Selection.select ~requirement:program ~servers:(server_snapshot t)
-          ~wanted
+      let servers = server_snapshot t ~parent in
+      let span =
+        Smart_util.Tracelog.start t.trace ~parent "wizard.select"
       in
+      let result = Selection.select ~requirement:program ~servers ~wanted in
+      Smart_util.Tracelog.finish t.trace span;
       Smart_util.Lru.add t.result_cache key (generation, result);
       Some result)
 
+(* The request span adopts the context carried in the request datagram,
+   so the wizard's parse/snapshot/select/reply internals appear as
+   children of the requesting client's span. *)
 let process t (request : Smart_proto.Wizard_msg.request) ~from =
   Metrics.Counter.incr t.requests_total;
   let started = t.clock () in
+  let span =
+    Smart_util.Tracelog.start t.trace
+      ~parent:request.Smart_proto.Wizard_msg.trace "wizard.request"
+  in
+  let parent = Smart_util.Tracelog.ctx_of span in
   let outputs =
     match
-      select_cached t ~source:request.Smart_proto.Wizard_msg.requirement
+      select_cached t ~parent ~source:request.Smart_proto.Wizard_msg.requirement
         ~wanted:request.Smart_proto.Wizard_msg.server_num
     with
     | None ->
       Metrics.Counter.incr t.compile_errors_total;
-      reply_to request ~from ~servers:[]
+      reply_to t request ~parent ~from ~servers:[]
     | Some result ->
       t.last_result <- Some result;
-      reply_to request ~from ~servers:result.Selection.selected
+      reply_to t request ~parent ~from ~servers:result.Selection.selected
   in
+  Smart_util.Tracelog.finish t.trace span;
   Metrics.Histogram.observe t.request_latency (t.clock () -. started);
   outputs
 

@@ -47,11 +47,16 @@ val default_compile_cache_capacity : int
     engine's virtual clock in simulation, [Unix.gettimeofday] in the
     realnet daemon.  The default is a constant clock (the histogram
     records zeros): this module is sans-IO and never reads real time
-    itself. *)
+    itself.  [trace] records a [wizard.request] span per request
+    (parented on the context the request datagram carries) with
+    [wizard.parse] (compile-cache misses only), [wizard.snapshot]
+    (rebuilds only), [wizard.select] and [wizard.reply] children;
+    defaults to {!Smart_util.Tracelog.disabled}. *)
 val create :
   ?compile_cache_capacity:int ->
   ?metrics:Smart_util.Metrics.t ->
   ?clock:(unit -> float) ->
+  ?trace:Smart_util.Tracelog.t ->
   config ->
   Status_db.t ->
   t

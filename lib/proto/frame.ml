@@ -1,7 +1,14 @@
 (* The transmitter->receiver TCP framing of §3.5.1: [type, size, data].
    Type and size travel first so the receiver can allocate before the
    binary payload arrives.  An incremental decoder handles arbitrary TCP
-   segmentation. *)
+   segmentation.
+
+   Trace-context carriage: a frame whose push was traced uses type code
+   [type_code + traced_code_offset] and inserts 8 bytes of context
+   (trace id, span id, both u32) between the header and the payload.
+   [size] still counts payload bytes only.  An untraced frame encodes
+   exactly as before, so old receivers keep working until they meet a
+   traced stream. *)
 
 type payload_type = Sys_db | Net_db | Sec_db
 
@@ -13,17 +20,36 @@ let type_of_code = function
   | 3 -> Some Sec_db
   | _ -> None
 
+let traced_code_offset = 16
+
 let header_size = 8
+
+let ctx_size = 8
 
 let max_frame_size = 16 * 1024 * 1024
 
-type frame = { payload_type : payload_type; data : string }
+type frame = {
+  payload_type : payload_type;
+  data : string;
+  trace : Smart_util.Tracelog.ctx;
+      (* context of the transmitter push that sent this frame;
+         [Tracelog.root] means untraced and adds no bytes *)
+}
 
-let encode order { payload_type; data } =
-  let b = Bytes.create (header_size + String.length data) in
-  Endian.set_u32 order b ~pos:0 (type_code payload_type);
+let encode order { payload_type; data; trace } =
+  let traced = not (Smart_util.Tracelog.is_root trace) in
+  let code =
+    type_code payload_type + if traced then traced_code_offset else 0
+  in
+  let pre = header_size + if traced then ctx_size else 0 in
+  let b = Bytes.create (pre + String.length data) in
+  Endian.set_u32 order b ~pos:0 code;
   Endian.set_u32 order b ~pos:4 (String.length data);
-  Bytes.blit_string data 0 b header_size (String.length data);
+  if traced then begin
+    Endian.set_u32 order b ~pos:8 (trace.Smart_util.Tracelog.trace_id land 0xFFFFFFFF);
+    Endian.set_u32 order b ~pos:12 (trace.Smart_util.Tracelog.span_id land 0xFFFFFFFF)
+  end;
+  Bytes.blit_string data 0 b pre (String.length data);
   Bytes.to_string b
 
 (* Incremental decoder: feed it chunks as they arrive; it emits complete
@@ -52,7 +78,11 @@ let rec drain dec acc =
       let b = Bytes.unsafe_of_string content in
       let code = Endian.get_u32 dec.order b ~pos:0 in
       let size = Endian.get_u32 dec.order b ~pos:4 in
-      match type_of_code code with
+      let traced = code >= traced_code_offset in
+      let base_code =
+        if traced then code - traced_code_offset else code
+      in
+      match type_of_code base_code with
       | None ->
         let m = Printf.sprintf "frame: unknown type code %d" code in
         dec.failed <- Some m;
@@ -62,13 +92,23 @@ let rec drain dec acc =
         dec.failed <- Some m;
         Error m
       | Some payload_type ->
-        if len < header_size + size then Ok (List.rev acc)
+        let pre = header_size + if traced then ctx_size else 0 in
+        if len < pre + size then Ok (List.rev acc)
         else begin
-          let data = String.sub content header_size size in
+          let trace =
+            if traced then
+              {
+                Smart_util.Tracelog.trace_id =
+                  Endian.get_u32 dec.order b ~pos:8;
+                span_id = Endian.get_u32 dec.order b ~pos:12;
+              }
+            else Smart_util.Tracelog.root
+          in
+          let data = String.sub content pre size in
           Buffer.clear dec.buf;
-          Buffer.add_substring dec.buf content (header_size + size)
-            (len - header_size - size);
-          drain dec ({ payload_type; data } :: acc)
+          Buffer.add_substring dec.buf content (pre + size)
+            (len - pre - size);
+          drain dec ({ payload_type; data; trace } :: acc)
         end
     end
 

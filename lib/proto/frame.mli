@@ -7,13 +7,23 @@ val type_code : payload_type -> int
 
 val type_of_code : int -> payload_type option
 
+(** A traced frame's wire type code is [type_code + traced_code_offset];
+    it carries an 8-byte trace context between header and payload. *)
+val traced_code_offset : int
+
 val header_size : int
 
 (** Upper bound on an accepted payload, guarding the receiver's
     pre-allocation against corrupt headers. *)
 val max_frame_size : int
 
-type frame = { payload_type : payload_type; data : string }
+type frame = {
+  payload_type : payload_type;
+  data : string;
+  trace : Smart_util.Tracelog.ctx;
+      (** context of the push that produced this frame; [Tracelog.root]
+          (untraced) encodes byte-identically to the pre-trace format *)
+}
 
 val encode : Endian.order -> frame -> string
 

@@ -51,13 +51,46 @@ let fields r =
 
 let field_count = 21
 
-let to_string r =
-  String.concat "|"
-    (version_tag :: r.host :: r.ip
-    :: List.map (fun f -> Printf.sprintf "%.6g" f) (fields r))
+(* Trace-context carriage: a traced report appends "|TR|<trace>|<span>".
+   The suffix tag cannot be confused with a numeric field, the untraced
+   rendering is byte-identical to the pre-trace format, and [decode]
+   strips the suffix before the field parse so the 21-field check and
+   variable binding never see it. *)
+let trace_tag = "TR"
 
-let of_string s =
-  match String.split_on_char '|' s with
+let to_string ?(trace = Smart_util.Tracelog.root) r =
+  let base =
+    String.concat "|"
+      (version_tag :: r.host :: r.ip
+      :: List.map (fun f -> Printf.sprintf "%.6g" f) (fields r))
+  in
+  if Smart_util.Tracelog.is_root trace then base
+  else
+    Printf.sprintf "%s|%s|%d|%d" base trace_tag
+      trace.Smart_util.Tracelog.trace_id trace.Smart_util.Tracelog.span_id
+
+let split_trace parts =
+  (* Recognise a trailing [trace_tag; trace; span] triple. *)
+  let rec last3 = function
+    | [ a; b; c ] -> Some (a, b, c)
+    | _ :: tl -> last3 tl
+    | [] -> None
+  in
+  match last3 parts with
+  | Some (tag, t, s) when String.equal tag trace_tag -> begin
+    match (int_of_string_opt t, int_of_string_opt s) with
+    | Some trace_id, Some span_id when trace_id >= 0 && span_id >= 0 ->
+      let body =
+        List.filteri (fun i _ -> i < List.length parts - 3) parts
+      in
+      (body, { Smart_util.Tracelog.trace_id; span_id })
+    | _ -> (parts, Smart_util.Tracelog.root)
+  end
+  | _ -> (parts, Smart_util.Tracelog.root)
+
+let decode s =
+  let parts, ctx = split_trace (String.split_on_char '|' s) in
+  match parts with
   | tag :: host :: ip :: rest when String.equal tag version_tag ->
     if List.length rest <> field_count then
       Error
@@ -73,20 +106,23 @@ let of_string s =
             disk_rreq; disk_rblocks; disk_wreq; disk_wblocks;
             net_rbytes; net_rpackets; net_tbytes; net_tpackets ] ->
           Ok
-            {
-              host; ip;
-              load1; load5; load15;
-              cpu_user; cpu_nice; cpu_system; cpu_free; bogomips;
-              mem_total; mem_used; mem_free; mem_buffers; mem_cached;
-              disk_rreq; disk_rblocks; disk_wreq; disk_wblocks;
-              net_rbytes; net_rpackets; net_tbytes; net_tpackets;
-            }
+            ( {
+                host; ip;
+                load1; load5; load15;
+                cpu_user; cpu_nice; cpu_system; cpu_free; bogomips;
+                mem_total; mem_used; mem_free; mem_buffers; mem_cached;
+                disk_rreq; disk_rblocks; disk_wreq; disk_wblocks;
+                net_rbytes; net_rpackets; net_tbytes; net_tpackets;
+              },
+              ctx )
         | _ -> Error "report: field count mismatch")
       | _ -> Error "report: non-numeric field"
     end
   | tag :: _ when not (String.equal tag version_tag) ->
     Error (Printf.sprintf "report: unknown version tag %S" tag)
   | _ -> Error "report: malformed"
+
+let of_string s = Result.map fst (decode s)
 
 (* Binding of the 22 server-side requirement variables to a report. *)
 let variable r name =

@@ -30,8 +30,16 @@ type t = {
 (** Total disk requests per second (the thesis's [allreq]). *)
 val disk_allreq : t -> float
 
-val to_string : t -> string
+(** [to_string ?trace r] renders the report.  A non-root [trace] appends
+    a trace-context suffix; the default ({!Smart_util.Tracelog.root})
+    keeps the rendering byte-identical to the pre-trace format. *)
+val to_string : ?trace:Smart_util.Tracelog.ctx -> t -> string
 
+(** Parse a report along with its trace context
+    ({!Smart_util.Tracelog.root} when the suffix is absent). *)
+val decode : string -> (t * Smart_util.Tracelog.ctx, string) result
+
+(** {!decode}, discarding the trace context. *)
 val of_string : string -> (t, string) result
 
 (** Bind one of the 22 [host_*] requirement variables; [None] for names

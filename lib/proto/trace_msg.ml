@@ -1,0 +1,30 @@
+(* Flight-recorder scrape datagrams, mirroring Metrics_msg: a magic
+   string on an already-open daemon socket, answered with the daemon's
+   recent span ring rendered as text or Chrome trace-event JSON. *)
+
+type format = Text | Json
+
+let request_magic = "SMART-TRACE"
+
+let encode_request = function
+  | Text -> request_magic ^ " text"
+  | Json -> request_magic ^ " json"
+
+let decode_request data =
+  let magic_len = String.length request_magic in
+  if
+    String.length data < magic_len
+    || not (String.equal (String.sub data 0 magic_len) request_magic)
+  then None
+  else
+    match
+      String.trim (String.sub data magic_len (String.length data - magic_len))
+    with
+    | "" | "text" -> Some Text
+    | "json" -> Some Json
+    | _ -> None
+
+let encode_reply format tracelog =
+  match format with
+  | Text -> Smart_util.Tracelog.to_text tracelog
+  | Json -> Smart_util.Tracelog.to_chrome_json tracelog

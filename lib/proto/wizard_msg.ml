@@ -20,21 +20,36 @@ let option_of_code = function
   | 1 -> Some Accept_partial
   | _ -> None
 
+(* Bit 1 of the option field flags an appended trace context.  Untraced
+   requests encode exactly as they always did, so old and new daemons
+   interoperate and the golden byte-level tests stay valid. *)
+let ctx_flag = 2
+
 type request = {
   seq : int;            (* random 32-bit id chosen by the client *)
   server_num : int;     (* servers wanted, <= Ports.max_reply_servers *)
   option : option_flag;
   requirement : string; (* meta-language source text *)
+  trace : Smart_util.Tracelog.ctx;
+      (* the client's span, so the wizard's spans join its trace;
+         [Tracelog.root] travels as no bytes at all *)
 }
 
 let encode_request r =
   if r.server_num < 0 || r.server_num > 0xFFFF then
     invalid_arg "Wizard_msg.encode_request: bad server_num";
-  let b = Bytes.create (8 + String.length r.requirement) in
+  let traced = not (Smart_util.Tracelog.is_root r.trace) in
+  let header = if traced then 16 else 8 in
+  let b = Bytes.create (header + String.length r.requirement) in
   Endian.set_u32 order b ~pos:0 (r.seq land 0xFFFFFFFF);
   Endian.set_u16 order b ~pos:4 r.server_num;
-  Endian.set_u16 order b ~pos:6 (option_code r.option);
-  Bytes.blit_string r.requirement 0 b 8 (String.length r.requirement);
+  Endian.set_u16 order b ~pos:6
+    (option_code r.option lor if traced then ctx_flag else 0);
+  if traced then begin
+    Endian.set_u32 order b ~pos:8 (r.trace.Smart_util.Tracelog.trace_id land 0xFFFFFFFF);
+    Endian.set_u32 order b ~pos:12 (r.trace.Smart_util.Tracelog.span_id land 0xFFFFFFFF)
+  end;
+  Bytes.blit_string r.requirement 0 b header (String.length r.requirement);
   Bytes.to_string b
 
 let decode_request s =
@@ -43,16 +58,33 @@ let decode_request s =
     let b = Bytes.of_string s in
     let seq = Endian.get_u32 order b ~pos:0 in
     let server_num = Endian.get_u16 order b ~pos:4 in
-    match option_of_code (Endian.get_u16 order b ~pos:6) with
-    | None -> Error "request: unknown option code"
-    | Some option ->
-      Ok
-        {
-          seq;
-          server_num;
-          option;
-          requirement = String.sub s 8 (String.length s - 8);
-        }
+    let code = Endian.get_u16 order b ~pos:6 in
+    let traced = code land ctx_flag <> 0 in
+    if code land lnot (1 lor ctx_flag) <> 0 then
+      Error "request: unknown option code"
+    else if traced && String.length s < 16 then
+      Error "request: truncated trace context"
+    else
+      match option_of_code (code land 1) with
+      | None -> Error "request: unknown option code"
+      | Some option ->
+        let trace =
+          if traced then
+            {
+              Smart_util.Tracelog.trace_id = Endian.get_u32 order b ~pos:8;
+              span_id = Endian.get_u32 order b ~pos:12;
+            }
+          else Smart_util.Tracelog.root
+        in
+        let header = if traced then 16 else 8 in
+        Ok
+          {
+            seq;
+            server_num;
+            option;
+            requirement = String.sub s header (String.length s - header);
+            trace;
+          }
   end
 
 type reply = {

@@ -10,6 +10,10 @@ type request = {
   server_num : int;
   option : option_flag;
   requirement : string; (** meta-language source *)
+  trace : Smart_util.Tracelog.ctx;
+      (** trace context of the requesting span; [Tracelog.root] (the
+          default for untraced clients) adds no bytes on the wire, and
+          the encoding is then byte-identical to the pre-trace format *)
 }
 
 val encode_request : request -> string

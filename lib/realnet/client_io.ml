@@ -65,6 +65,27 @@ let scrape_metrics ?(timeout = 2.0) ?(format = Smart_proto.Metrics_msg.Text)
           | Some (_, dump) -> Ok dump
           | None -> Error "scrape timed out")
 
+(* One flight-recorder scrape, the trace-plane twin of
+   [scrape_metrics]: SMART-TRACE magic out, span dump back. *)
+let scrape_trace ?(timeout = 2.0) ?(format = Smart_proto.Trace_msg.Text)
+    book ~host ~port () =
+  match Addr_book.resolve book ~host ~port with
+  | None -> Error (Printf.sprintf "unknown host %s" host)
+  | Some addr ->
+    let socket = Udp_io.bind_port 0 in
+    Fun.protect
+      ~finally:(fun () -> Udp_io.stop socket)
+      (fun () ->
+        if
+          not
+            (Udp_io.send socket ~to_:addr
+               (Smart_proto.Trace_msg.encode_request format))
+        then Error "send failed"
+        else
+          match Udp_io.recv_timeout socket ~timeout with
+          | Some (_, dump) -> Ok dump
+          | None -> Error "scrape timed out")
+
 (* Connect one TCP socket to a candidate's service port. *)
 let connect_service book ~host =
   match Addr_book.resolve book ~host ~port:Smart_proto.Ports.service with

@@ -32,6 +32,19 @@ val scrape_metrics :
   unit ->
   (string, string) result
 
+(** Scrape one daemon's flight recorder: sends the
+    [Smart_proto.Trace_msg] magic to [host]:[port] (same ports as
+    {!scrape_metrics}) and returns the span dump — recent spans as text
+    or Chrome trace-event JSON. *)
+val scrape_trace :
+  ?timeout:float ->
+  ?format:Smart_proto.Trace_msg.format ->
+  Addr_book.t ->
+  host:string ->
+  port:int ->
+  unit ->
+  (string, string) result
+
 (** TCP-connect to one candidate's service port. *)
 val connect_service : Addr_book.t -> host:string -> connected_server option
 

@@ -18,6 +18,7 @@ type t = {
   book : Addr_book.t;
   db : Smart_core.Status_db.t;
   metrics : Smart_util.Metrics.t;
+  tracelog : Smart_util.Tracelog.t;
   sysmon : Smart_core.Sysmon.t;
   secmon : Smart_core.Secmon.t;
   netmon : Smart_core.Netmon.t;
@@ -32,6 +33,11 @@ type t = {
 let create book (config : config) =
   let db = Smart_core.Status_db.create () in
   let metrics = Smart_util.Metrics.create () in
+  (* flight recorder: a small ring of recent spans on the wall clock,
+     dumped on demand by SMART-TRACE scrapes *)
+  let tracelog =
+    Smart_util.Tracelog.create ~capacity:256 ~clock:Unix.gettimeofday ()
+  in
   let sysmon =
     Smart_core.Sysmon.create
       ~config:
@@ -39,13 +45,13 @@ let create book (config : config) =
           Smart_core.Sysmon.probe_interval = config.probe_interval;
           missed_intervals = 3;
         }
-      ~metrics db
+      ~metrics ~trace:tracelog db
   in
-  let secmon = Smart_core.Secmon.create ~metrics db in
+  let secmon = Smart_core.Secmon.create ~metrics ~trace:tracelog db in
   if not (String.equal config.security_log "") then
     ignore (Smart_core.Secmon.refresh_from_log secmon config.security_log);
   let netmon =
-    Smart_core.Netmon.create ~metrics
+    Smart_core.Netmon.create ~metrics ~trace:tracelog
       {
         Smart_core.Netmon.monitor_name = config.host;
         targets = config.netmon_targets;
@@ -53,7 +59,8 @@ let create book (config : config) =
       db
   in
   let transmitter =
-    Smart_core.Transmitter.create ~metrics ~monitor_name:config.host
+    Smart_core.Transmitter.create ~metrics ~trace:tracelog
+      ~monitor_name:config.host
       {
         Smart_core.Transmitter.mode = config.mode;
         order = Smart_proto.Endian.Little;
@@ -71,6 +78,7 @@ let create book (config : config) =
     book;
     db;
     metrics;
+    tracelog;
     sysmon;
     secmon;
     netmon;
@@ -138,6 +146,12 @@ let start t =
           (Udp_io.send t.pull_socket ~to_:from
              (Smart_proto.Metrics_msg.encode_reply format t.metrics))
       | None ->
+      match Smart_proto.Trace_msg.decode_request data with
+      | Some format ->
+        ignore
+          (Udp_io.send t.pull_socket ~to_:from
+             (Smart_proto.Trace_msg.encode_reply format t.tracelog))
+      | None ->
         let outputs = Smart_core.Transmitter.handle_pull t.transmitter ~data in
         Perform.outputs t.book ~udp:t.out_socket outputs);
   let transmit_loop () =
@@ -163,3 +177,5 @@ let db t = t.db
 let sysmon t = t.sysmon
 
 let metrics t = t.metrics
+
+let tracelog t = t.tracelog

@@ -36,3 +36,8 @@ val sysmon : t -> Smart_core.Sysmon.t
     over UDP to [Smart_proto.Metrics_msg] scrapes on the transmitter's
     pull port. *)
 val metrics : t -> Smart_util.Metrics.t
+
+(** The machine-wide flight recorder shared by the four components (256
+    most recent spans, wall clock); also served over UDP to
+    [Smart_proto.Trace_msg] scrapes on the transmitter's pull port. *)
+val tracelog : t -> Smart_util.Tracelog.t

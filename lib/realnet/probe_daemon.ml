@@ -15,6 +15,7 @@ type config = {
 type t = {
   config : config;
   metrics : Smart_util.Metrics.t;
+  tracelog : Smart_util.Tracelog.t;
   probe : Smart_core.Probe.t;
   udp : Udp_io.t;          (* source socket for reports *)
   echo : Udp_io.t;         (* netmon echo responder *)
@@ -36,8 +37,13 @@ let create book (config : config) =
       Option.value ~default:"eth0" (Proc_reader.default_iface config.proc)
   in
   let metrics = Smart_util.Metrics.create () in
+  (* flight recorder: a small ring of recent spans on the wall clock,
+     dumped on demand by SMART-TRACE scrapes *)
+  let tracelog =
+    Smart_util.Tracelog.create ~capacity:256 ~clock:Unix.gettimeofday ()
+  in
   let probe =
-    Smart_core.Probe.create ~metrics
+    Smart_core.Probe.create ~metrics ~trace:tracelog
       {
         Smart_core.Probe.host = config.host;
         ip = config.ip;
@@ -57,6 +63,7 @@ let create book (config : config) =
   {
     config;
     metrics;
+    tracelog;
     probe;
     udp;
     echo;
@@ -90,6 +97,12 @@ let start t =
         ignore
           (Udp_io.send t.echo ~to_:from
              (Smart_proto.Metrics_msg.encode_reply format t.metrics))
+      | None ->
+      match Smart_proto.Trace_msg.decode_request data with
+      | Some format ->
+        ignore
+          (Udp_io.send t.echo ~to_:from
+             (Smart_proto.Trace_msg.encode_reply format t.tracelog))
       | None -> ignore (Udp_io.send t.echo ~to_:from data));
   let loop () =
     while t.running do
@@ -111,3 +124,5 @@ let reports_sent t = t.reports_sent
 let last_error t = t.last_error
 
 let metrics t = t.metrics
+
+let tracelog t = t.tracelog

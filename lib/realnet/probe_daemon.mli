@@ -29,3 +29,8 @@ val last_error : t -> string option
 (** The daemon's registry (the [probe.*] instruments); also served over
     UDP to [Smart_proto.Metrics_msg] scrapes on the echo port. *)
 val metrics : t -> Smart_util.Metrics.t
+
+(** The daemon's flight recorder (256 most recent spans, wall clock);
+    also served over UDP to [Smart_proto.Trace_msg] scrapes on the echo
+    port. *)
+val tracelog : t -> Smart_util.Tracelog.t

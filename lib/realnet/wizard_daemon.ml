@@ -12,6 +12,7 @@ type t = {
   book : Addr_book.t;
   db : Smart_core.Status_db.t;
   metrics : Smart_util.Metrics.t;
+  tracelog : Smart_util.Tracelog.t;
   receiver : Smart_core.Receiver.t;
   wizard : Smart_core.Wizard.t;
   listen_socket : Unix.file_descr;
@@ -30,10 +31,17 @@ let reply_marker = "@reply"
 let create book (config : config) =
   let db = Smart_core.Status_db.create () in
   let metrics = Smart_util.Metrics.create () in
-  let receiver =
-    Smart_core.Receiver.create ~metrics ~order:Smart_proto.Endian.Little db
+  (* flight recorder: a small ring of recent spans on the wall clock,
+     dumped on demand by SMART-TRACE scrapes *)
+  let tracelog =
+    Smart_util.Tracelog.create ~capacity:256 ~clock:Unix.gettimeofday ()
   in
-  let wizard = Smart_core.Wizard.create ~metrics ~clock:Unix.gettimeofday
+  let receiver =
+    Smart_core.Receiver.create ~metrics ~trace:tracelog
+      ~order:Smart_proto.Endian.Little db
+  in
+  let wizard = Smart_core.Wizard.create ~metrics ~trace:tracelog
+      ~clock:Unix.gettimeofday
       { Smart_core.Wizard.mode = config.mode; groups = None }
       db in
   Smart_core.Receiver.set_update_hook receiver
@@ -49,6 +57,7 @@ let create book (config : config) =
     book;
     db;
     metrics;
+    tracelog;
     receiver;
     wizard;
     listen_socket;
@@ -133,6 +142,12 @@ let start t =
           (Udp_io.send t.request_socket ~to_:from
              (Smart_proto.Metrics_msg.encode_reply format t.metrics))
       | None ->
+      match Smart_proto.Trace_msg.decode_request data with
+      | Some format ->
+        ignore
+          (Udp_io.send t.request_socket ~to_:from
+             (Smart_proto.Trace_msg.encode_reply format t.tracelog))
+      | None ->
       if not (String.equal data "") then begin
         (match Smart_proto.Wizard_msg.decode_request data with
         | Ok request ->
@@ -188,3 +203,5 @@ let db t = t.db
 let wizard t = t.wizard
 
 let metrics t = t.metrics
+
+let tracelog t = t.tracelog

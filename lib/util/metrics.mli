@@ -112,3 +112,10 @@ val to_text : t -> string
 (** The same readings as a JSON object keyed by metric name; histogram
     quantiles of an empty histogram render as [null]. *)
 val to_json : t -> string
+
+(** The string-escaping {!to_json} (and {!Tracelog.to_chrome_json})
+    applies to names: double quotes and backslashes are
+    backslash-escaped, a newline renders as backslash-n, every other
+    byte below 0x20 as a \uNNNN escape, and all remaining bytes —
+    including non-ASCII — pass through untouched. *)
+val json_escape : string -> string

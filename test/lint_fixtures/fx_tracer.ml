@@ -1,0 +1,15 @@
+(* Lint fixture: a wall clock hidden inside a span recorder.  The real
+   Tracelog takes its clock by injection; this one reaches for the
+   ambient clock in both the start and finish paths, and the
+   determinism rule must flag each call site. *)
+
+type span = { name : string; mutable started : float; mutable ended : float }
+
+let spans : span list ref = ref []
+
+let start name =
+  let span = { name; started = Sys.time (); ended = Float.nan } in
+  spans := span :: !spans;
+  span
+
+let finish span = span.ended <- Sys.time ()

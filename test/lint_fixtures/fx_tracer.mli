@@ -1,0 +1,5 @@
+type span = { name : string; mutable started : float; mutable ended : float }
+
+val spans : span list ref
+val start : string -> span
+val finish : span -> unit

@@ -427,6 +427,7 @@ let test_receiver_update_hook () =
       {
         P.Frame.payload_type = P.Frame.Sec_db;
         data = P.Records.encode_sec P.Endian.Little { P.Records.entries = [] };
+        trace = Smart_util.Tracelog.root;
       }
   in
   (match C.Receiver.handle_stream rx ~from:"m" frame with
@@ -702,6 +703,7 @@ let test_receiver_multi_transmitter_ownership () =
                  P.Records.encode_sys P.Endian.Little
                    (sys_record ~host:h ~ip ~at:1.0 ()))
                hosts);
+        trace = Smart_util.Tracelog.root;
       }
   in
   let ok = function Ok () -> () | Error e -> Alcotest.failf "stream: %s" e in
@@ -1270,6 +1272,81 @@ let test_sim_golden_selection () =
   req "g1b" ~wanted:5 ~expect:[ "dalmatian"; "dione" ]
     "host_cpu_bogomips > 4000\n"
 
+(* The trace plane end-to-end: one client request must yield one
+   connected span tree (client -> wizard and its phases), and the
+   standing report traffic must yield the pipeline tree
+   (probe -> sysmon -> transmitter -> receiver -> commit), each tree
+   tied together across components by nothing but propagated contexts. *)
+let test_sim_trace_trees () =
+  let module T = Smart_util.Tracelog in
+  let _, d = deploy () in
+  C.Simdriver.settle ~duration:8.0 d;
+  (match
+     C.Simdriver.request d ~client:"sagit" ~wanted:2
+       ~requirement:"host_cpu_bogomips > 4000\n"
+   with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "request failed: %a" C.Client.pp_error e);
+  let entries = T.entries (C.Simdriver.tracelog d) in
+  Alcotest.(check bool) "spans recorded" true (entries <> []);
+  let by_span = Hashtbl.create 256 in
+  List.iter (fun (e : T.entry) -> Hashtbl.replace by_span e.T.span_id e) entries;
+  let parent_of (e : T.entry) = Hashtbl.find_opt by_span e.T.parent_id in
+  let named name = List.filter (fun (e : T.entry) -> e.T.name = name) entries in
+  let the name =
+    match named name with
+    | [ e ] -> e
+    | l -> Alcotest.failf "expected exactly one %s span, got %d" name (List.length l)
+  in
+  (* --- the client request tree --- *)
+  let client = the "client.request" in
+  Alcotest.(check bool) "client span opens its own trace" true
+    (client.T.trace_id = client.T.span_id);
+  let wizard = the "wizard.request" in
+  Alcotest.(check int) "wizard joins the client trace" client.T.trace_id
+    wizard.T.trace_id;
+  Alcotest.(check int) "wizard parented on the client span" client.T.span_id
+    wizard.T.parent_id;
+  List.iter
+    (fun phase ->
+      let e = the phase in
+      Alcotest.(check int)
+        (phase ^ " in the client trace")
+        client.T.trace_id e.T.trace_id;
+      Alcotest.(check int)
+        (phase ^ " parented on wizard.request")
+        wizard.T.span_id e.T.parent_id)
+    [ "wizard.parse"; "wizard.snapshot"; "wizard.select"; "wizard.reply" ];
+  (* every span of the request trace is closed with a real duration *)
+  List.iter
+    (fun (e : T.entry) ->
+      if e.T.trace_id = client.T.trace_id then
+        Alcotest.(check bool) (e.T.name ^ " closed") false
+          (Float.is_nan e.T.duration))
+    entries;
+  (* --- the report pipeline tree --- *)
+  let commits = named "receiver.commit" in
+  Alcotest.(check bool) "commits recorded" true (commits <> []);
+  let commit = List.nth commits (List.length commits - 1) in
+  let step name entry =
+    match parent_of entry with
+    | Some p ->
+      Alcotest.(check string) ("parent is " ^ name) name p.T.name;
+      Alcotest.(check int) (name ^ " in the same trace") entry.T.trace_id
+        p.T.trace_id;
+      p
+    | None -> Alcotest.failf "%s has no retained parent" entry.T.name
+  in
+  let frame = step "receiver.frame" commit in
+  let push = step "transmitter.push" frame in
+  let ingest = step "sysmon.ingest" push in
+  let tick = step "probe.tick" ingest in
+  Alcotest.(check bool) "probe.tick is the root" true
+    (tick.T.trace_id = tick.T.span_id && tick.T.parent_id = 0);
+  (* the two trees are distinct traces *)
+  Alcotest.(check bool) "request and report traces distinct" true
+    (client.T.trace_id <> tick.T.trace_id)
+
 let () =
   Alcotest.run "smart_core"
     [
@@ -1375,5 +1452,6 @@ let () =
             test_sim_metrics_end_to_end;
           Alcotest.test_case "golden selection equivalence" `Quick
             test_sim_golden_selection;
+          Alcotest.test_case "trace span trees" `Quick test_sim_trace_trees;
         ] );
     ]

@@ -65,6 +65,12 @@ let test_determinism_rule () =
   check_hit ~severity:D.Warn ~rule:"determinism" ~file:(fx "fx_random.ml")
     ~line:6 ()
 
+(* A span recorder is exactly where a wall clock sneaks into sans-IO
+   code; the rule must see through the record-path indirection. *)
+let test_determinism_tracer () =
+  check_hit ~rule:"determinism" ~file:(fx "fx_tracer.ml") ~line:11 ();
+  check_hit ~rule:"determinism" ~file:(fx "fx_tracer.ml") ~line:15 ()
+
 let test_poly_compare () =
   check_hit ~rule:"poly-compare" ~file:(fx "fx_compare.ml") ~line:5 ();
   check_hit ~rule:"poly-compare" ~file:(fx "fx_compare.ml") ~line:6 ();
@@ -169,14 +175,19 @@ let run_stack seed =
     | Ok servers -> String.concat "," servers
     | Error e -> Format.asprintf "error: %a" C.Client.pp_error e
   in
-  (render_trace trace, U.Metrics.to_text (C.Simdriver.metrics d), servers)
+  ( render_trace trace,
+    U.Metrics.to_text (C.Simdriver.metrics d),
+    C.Simdriver.trace_json d,
+    servers )
 
 let test_same_seed_identical () =
-  let t1, m1, s1 = run_stack 7 and t2, m2, s2 = run_stack 7 in
+  let t1, m1, j1, s1 = run_stack 7 and t2, m2, j2, s2 = run_stack 7 in
   Alcotest.(check bool) "trace non-empty" true (String.length t1 > 0);
   Alcotest.(check bool) "metrics non-empty" true (String.length m1 > 0);
+  Alcotest.(check bool) "span export non-empty" true (String.length j1 > 0);
   Alcotest.(check string) "traces byte-identical" t1 t2;
   Alcotest.(check string) "metrics snapshots byte-identical" m1 m2;
+  Alcotest.(check string) "span exports byte-identical" j1 j2;
   Alcotest.(check string) "selections identical" s1 s2
 
 let () =
@@ -186,6 +197,8 @@ let () =
         [
           Alcotest.test_case "io-purity" `Quick test_io_purity;
           Alcotest.test_case "determinism" `Quick test_determinism_rule;
+          Alcotest.test_case "determinism: span recorder" `Quick
+            test_determinism_tracer;
           Alcotest.test_case "poly-compare" `Quick test_poly_compare;
           Alcotest.test_case "unsafe" `Quick test_unsafe;
           Alcotest.test_case "iface" `Quick test_iface;

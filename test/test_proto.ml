@@ -221,9 +221,9 @@ let frames_eq expected actual =
 let test_frame_roundtrip () =
   let fs =
     [
-      { P.Frame.payload_type = P.Frame.Sys_db; data = "sysdata" };
-      { P.Frame.payload_type = P.Frame.Net_db; data = "" };
-      { P.Frame.payload_type = P.Frame.Sec_db; data = String.make 1000 'x' };
+      { P.Frame.payload_type = P.Frame.Sys_db; data = "sysdata"; trace = Smart_util.Tracelog.root };
+      { P.Frame.payload_type = P.Frame.Net_db; data = ""; trace = Smart_util.Tracelog.root };
+      { P.Frame.payload_type = P.Frame.Sec_db; data = String.make 1000 'x'; trace = Smart_util.Tracelog.root };
     ]
   in
   let wire = String.concat "" (List.map (P.Frame.encode P.Endian.Little) fs) in
@@ -238,8 +238,8 @@ let test_frame_incremental () =
      matter *)
   let fs =
     [
-      { P.Frame.payload_type = P.Frame.Sys_db; data = "hello" };
-      { P.Frame.payload_type = P.Frame.Sec_db; data = "world!" };
+      { P.Frame.payload_type = P.Frame.Sys_db; data = "hello"; trace = Smart_util.Tracelog.root };
+      { P.Frame.payload_type = P.Frame.Sec_db; data = "world!"; trace = Smart_util.Tracelog.root };
     ]
   in
   let wire = String.concat "" (List.map (P.Frame.encode P.Endian.Little) fs) in
@@ -284,7 +284,7 @@ let prop_frame_split_anywhere =
     (fun (payloads, chunk) ->
       let fs =
         List.map
-          (fun data -> { P.Frame.payload_type = P.Frame.Sys_db; data })
+          (fun data -> { P.Frame.payload_type = P.Frame.Sys_db; data; trace = Smart_util.Tracelog.root })
           payloads
       in
       let wire =
@@ -317,6 +317,7 @@ let test_request_roundtrip () =
       server_num = 6;
       option = P.Wizard_msg.Strict;
       requirement = "host_cpu_free > 0.9\n";
+      trace = Smart_util.Tracelog.root;
     }
   in
   match P.Wizard_msg.decode_request (P.Wizard_msg.encode_request r) with
@@ -336,6 +337,7 @@ let test_request_empty_requirement () =
       server_num = 1;
       option = P.Wizard_msg.Accept_partial;
       requirement = "";
+      trace = Smart_util.Tracelog.root;
     }
   in
   match P.Wizard_msg.decode_request (P.Wizard_msg.encode_request r) with
@@ -393,6 +395,7 @@ let prop_request_roundtrip =
           option =
             (if strict then P.Wizard_msg.Strict else P.Wizard_msg.Accept_partial);
           requirement;
+          trace = Smart_util.Tracelog.root;
         }
       in
       match P.Wizard_msg.decode_request (P.Wizard_msg.encode_request r) with
@@ -427,6 +430,184 @@ let prop_report_roundtrip =
         <= Float.abs r.P.Report.load1 *. 1e-5 +. 1e-5
         && Float.abs (d.P.Report.net_tpackets -. r.P.Report.net_tpackets)
            <= Float.abs r.P.Report.net_tpackets *. 1e-5 +. 1e-5
+      | Error _ -> false)
+
+(* ------------------------------------------------------------------ *)
+(* Trace-context propagation on the wire                                *)
+(* ------------------------------------------------------------------ *)
+
+let ctx = { Smart_util.Tracelog.trace_id = 0xDEAD; span_id = 0x42 }
+
+let test_request_traced_roundtrip () =
+  let r =
+    {
+      P.Wizard_msg.seq = 9;
+      server_num = 3;
+      option = P.Wizard_msg.Accept_partial;
+      requirement = "host_cpu_free > 0.5\n";
+      trace = ctx;
+    }
+  in
+  let wire = P.Wizard_msg.encode_request r in
+  (* traced header is 16 bytes; untraced stays the original 8 *)
+  Alcotest.(check int) "traced header size"
+    (16 + String.length r.P.Wizard_msg.requirement)
+    (String.length wire);
+  let untraced =
+    P.Wizard_msg.encode_request { r with P.Wizard_msg.trace = Smart_util.Tracelog.root }
+  in
+  Alcotest.(check int) "untraced header unchanged"
+    (8 + String.length r.P.Wizard_msg.requirement)
+    (String.length untraced);
+  match P.Wizard_msg.decode_request wire with
+  | Ok d ->
+    Alcotest.(check int) "trace id" 0xDEAD d.P.Wizard_msg.trace.Smart_util.Tracelog.trace_id;
+    Alcotest.(check int) "span id" 0x42 d.P.Wizard_msg.trace.Smart_util.Tracelog.span_id;
+    Alcotest.(check int) "seq" 9 d.P.Wizard_msg.seq;
+    Alcotest.(check string) "requirement" r.P.Wizard_msg.requirement
+      d.P.Wizard_msg.requirement
+  | Error e -> Alcotest.failf "decode failed: %s" e
+
+let test_request_traced_malformed () =
+  let r =
+    {
+      P.Wizard_msg.seq = 9;
+      server_num = 3;
+      option = P.Wizard_msg.Strict;
+      requirement = "x\n";
+      trace = ctx;
+    }
+  in
+  let wire = P.Wizard_msg.encode_request r in
+  (* cut inside the trace context: must be rejected, not misparsed *)
+  (match P.Wizard_msg.decode_request (String.sub wire 0 12) with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "truncated trace context must not decode");
+  (* an unknown option-word bit is a decode error, traced or not *)
+  let b = Bytes.of_string wire in
+  Bytes.set_uint16_be b 6 (Char.code (Bytes.get b 7) lor 4);
+  match P.Wizard_msg.decode_request (Bytes.to_string b) with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "unknown option bit must not decode"
+
+let test_frame_traced_roundtrip () =
+  let fs =
+    [
+      { P.Frame.payload_type = P.Frame.Sys_db; data = "sysdata"; trace = ctx };
+      { P.Frame.payload_type = P.Frame.Net_db; data = ""; trace = ctx };
+      {
+        P.Frame.payload_type = P.Frame.Sec_db;
+        data = "mixed";
+        trace = Smart_util.Tracelog.root;
+      };
+    ]
+  in
+  let wire = String.concat "" (List.map (P.Frame.encode P.Endian.Big) fs) in
+  (* feed byte-by-byte so the ctx bytes cross segment boundaries *)
+  let dec = P.Frame.decoder P.Endian.Big in
+  let got = ref [] in
+  String.iter
+    (fun c ->
+      P.Frame.feed dec (String.make 1 c);
+      match P.Frame.frames dec with
+      | Ok fs -> got := !got @ fs
+      | Error e -> Alcotest.failf "decode failed: %s" e)
+    wire;
+  Alcotest.(check bool) "payloads survive" true (frames_eq fs !got);
+  match !got with
+  | [ a; b; c ] ->
+    Alcotest.(check int) "frame 1 trace id" 0xDEAD
+      a.P.Frame.trace.Smart_util.Tracelog.trace_id;
+    Alcotest.(check int) "frame 1 span id" 0x42
+      a.P.Frame.trace.Smart_util.Tracelog.span_id;
+    Alcotest.(check int) "frame 2 trace id" 0xDEAD
+      b.P.Frame.trace.Smart_util.Tracelog.trace_id;
+    Alcotest.(check bool) "untraced frame decodes to root" true
+      (Smart_util.Tracelog.is_root c.P.Frame.trace)
+  | other -> Alcotest.failf "expected 3 frames, got %d" (List.length other)
+
+let test_frame_untraced_bytes_unchanged () =
+  (* the traced encoding is strictly additive: without a ctx the wire
+     bytes are the pre-trace [type,size,data] format *)
+  let f =
+    { P.Frame.payload_type = P.Frame.Sys_db; data = "abc";
+      trace = Smart_util.Tracelog.root }
+  in
+  let wire = P.Frame.encode P.Endian.Little f in
+  Alcotest.(check int) "8-byte header only" (8 + 3) (String.length wire);
+  let b = Bytes.of_string wire in
+  Alcotest.(check int32) "plain type code" 1l (Bytes.get_int32_le b 0);
+  let traced = P.Frame.encode P.Endian.Little { f with P.Frame.trace = ctx } in
+  Alcotest.(check int) "traced adds exactly 8 bytes" (16 + 3)
+    (String.length traced);
+  Alcotest.(check int32) "offset type code"
+    (Int32.of_int (1 + P.Frame.traced_code_offset))
+    (Bytes.get_int32_le (Bytes.of_string traced) 0)
+
+let test_report_trace_suffix () =
+  let untraced = P.Report.to_string sample_report in
+  let traced = P.Report.to_string ~trace:ctx sample_report in
+  Alcotest.(check string) "traced = untraced + suffix"
+    (Printf.sprintf "%s|TR|%d|%d" untraced 0xDEAD 0x42)
+    traced;
+  (match P.Report.decode traced with
+  | Ok (r, c) ->
+    Alcotest.(check string) "host survives" "helene" r.P.Report.host;
+    Alcotest.(check int) "trace id" 0xDEAD c.Smart_util.Tracelog.trace_id;
+    Alcotest.(check int) "span id" 0x42 c.Smart_util.Tracelog.span_id
+  | Error e -> Alcotest.failf "traced decode failed: %s" e);
+  (match P.Report.decode untraced with
+  | Ok (r, c) ->
+    Alcotest.(check string) "untraced host" "helene" r.P.Report.host;
+    Alcotest.(check bool) "untraced ctx is root" true
+      (Smart_util.Tracelog.is_root c)
+  | Error e -> Alcotest.failf "untraced decode failed: %s" e);
+  (* of_string is decode minus the context *)
+  match P.Report.of_string traced with
+  | Ok r -> Alcotest.(check string) "of_string strips suffix" "helene" r.P.Report.host
+  | Error e -> Alcotest.failf "of_string failed: %s" e
+
+let test_trace_msg_roundtrip () =
+  Alcotest.(check string) "text request" "SMART-TRACE text"
+    (P.Trace_msg.encode_request P.Trace_msg.Text);
+  Alcotest.(check string) "json request" "SMART-TRACE json"
+    (P.Trace_msg.encode_request P.Trace_msg.Json);
+  let dec s = P.Trace_msg.decode_request s in
+  Alcotest.(check bool) "text decodes" true (dec "SMART-TRACE text" = Some P.Trace_msg.Text);
+  Alcotest.(check bool) "bare magic means text" true
+    (dec "SMART-TRACE" = Some P.Trace_msg.Text);
+  Alcotest.(check bool) "json decodes" true (dec "SMART-TRACE json" = Some P.Trace_msg.Json);
+  Alcotest.(check bool) "garbage suffix refused" true (dec "SMART-TRACE xml" = None);
+  Alcotest.(check bool) "metrics magic refused" true (dec "SMART-METRICS" = None);
+  Alcotest.(check bool) "prefix-only refused" true (dec "SMART-TRAC" = None);
+  let log = Smart_util.Tracelog.create ~clock:(fun () -> 1.0) () in
+  let span = Smart_util.Tracelog.start log "probe.tick" in
+  Smart_util.Tracelog.finish log span;
+  let contains ~affix s =
+    let n = String.length affix and m = String.length s in
+    let rec go i = i + n <= m && (String.sub s i n = affix || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "text reply names the span" true
+    (contains ~affix:"probe.tick" (P.Trace_msg.encode_reply P.Trace_msg.Text log));
+  Alcotest.(check bool) "json reply is a chrome trace" true
+    (contains ~affix:"\"ph\":\"X\"" (P.Trace_msg.encode_reply P.Trace_msg.Json log))
+
+let prop_traced_request_roundtrip =
+  QCheck.Test.make ~name:"traced request round trips any context" ~count:200
+    QCheck.(pair (int_bound 0xFFFFFF) (int_bound 0xFFFFFF))
+    (fun (trace_id, span_id) ->
+      let r =
+        {
+          P.Wizard_msg.seq = 5;
+          server_num = 2;
+          option = P.Wizard_msg.Accept_partial;
+          requirement = "r\n";
+          trace = { Smart_util.Tracelog.trace_id; span_id };
+        }
+      in
+      match P.Wizard_msg.decode_request (P.Wizard_msg.encode_request r) with
+      | Ok d -> d = r
       | Error _ -> false)
 
 let prop_sys_record_roundtrip_both_orders =
@@ -486,6 +667,21 @@ let () =
           Alcotest.test_case "reply limit" `Quick test_reply_limit;
           Alcotest.test_case "reply truncated" `Quick test_reply_truncated_list;
         ] );
+      ( "trace plane",
+        [
+          Alcotest.test_case "traced request round trip" `Quick
+            test_request_traced_roundtrip;
+          Alcotest.test_case "traced request malformed" `Quick
+            test_request_traced_malformed;
+          Alcotest.test_case "traced frame round trip" `Quick
+            test_frame_traced_roundtrip;
+          Alcotest.test_case "untraced frame bytes unchanged" `Quick
+            test_frame_untraced_bytes_unchanged;
+          Alcotest.test_case "report trace suffix" `Quick
+            test_report_trace_suffix;
+          Alcotest.test_case "trace scrape messages" `Quick
+            test_trace_msg_roundtrip;
+        ] );
       ( "properties",
         List.map QCheck_alcotest.to_alcotest
           [
@@ -493,5 +689,6 @@ let () =
             prop_request_roundtrip;
             prop_report_roundtrip;
             prop_sys_record_roundtrip_both_orders;
+            prop_traced_request_roundtrip;
           ] );
     ]

@@ -384,6 +384,58 @@ let test_metrics_scrape_real () =
       Alcotest.(check bool) "json dump quotes metric names" true
         (contains ~affix:"\"wizard.requests_total\"" wiz_json))
 
+(* Each daemon's flight recorder answers the SMART-TRACE magic on the
+   same sockets: after live traffic, all three dumps are non-empty and
+   name the spans their components record. *)
+let test_trace_scrape_real () =
+  let contains ~affix s =
+    let n = String.length affix and m = String.length s in
+    let rec go i = i + n <= m && (String.sub s i n = affix || go (i + 1)) in
+    n = 0 || go 0
+  in
+  let w = start_world () in
+  Fun.protect
+    ~finally:(fun () -> stop_world w)
+    (fun () ->
+      await_reports w ~count:3 ~timeout:10.0;
+      (* drive the request path so the wizard ring has a span tree *)
+      (match
+         R.Client_io.request_servers w.book ~timeout:5.0 ~wizard_host:"wiz"
+           ~wanted:1 ~requirement:"host_memory_total > 1\n" ()
+       with
+      | Ok _ -> ()
+      | Error e ->
+        Alcotest.failf "request before scrape failed: %a"
+          Smart_core.Client.pp_error e);
+      let scrape ?format host port =
+        match R.Client_io.scrape_trace ?format w.book ~host ~port () with
+        | Ok dump -> dump
+        | Error reason -> Alcotest.failf "trace scrape %s failed: %s" host reason
+      in
+      let wiz = scrape "wiz" Smart_proto.Ports.wizard in
+      Alcotest.(check bool) "wizard dump non-empty" true (String.length wiz > 0);
+      Alcotest.(check bool) "wizard.request span recorded" true
+        (contains ~affix:"wizard.request" wiz);
+      Alcotest.(check bool) "receiver.commit span recorded" true
+        (contains ~affix:"receiver.commit" wiz);
+      let mon = scrape "mon" Smart_proto.Ports.transmitter in
+      Alcotest.(check bool) "monitor dump non-empty" true (String.length mon > 0);
+      Alcotest.(check bool) "sysmon.ingest span recorded" true
+        (contains ~affix:"sysmon.ingest" mon);
+      Alcotest.(check bool) "transmitter.push span recorded" true
+        (contains ~affix:"transmitter.push" mon);
+      let probe = scrape "alpha" Smart_proto.Ports.probe in
+      Alcotest.(check bool) "probe dump non-empty" true (String.length probe > 0);
+      Alcotest.(check bool) "probe.tick span recorded" true
+        (contains ~affix:"probe.tick" probe);
+      let wiz_json =
+        scrape ~format:Smart_proto.Trace_msg.Json "wiz" Smart_proto.Ports.wizard
+      in
+      Alcotest.(check bool) "json dump is a chrome trace" true
+        (contains ~affix:"\"ph\":\"X\"" wiz_json);
+      Alcotest.(check bool) "json dump names the span" true
+        (contains ~affix:"wizard.request" wiz_json))
+
 let () =
   Alcotest.run "smart_realnet"
     [
@@ -409,5 +461,6 @@ let () =
           Alcotest.test_case "massd download" `Slow test_download_real;
           Alcotest.test_case "distributed mode" `Slow test_distributed_mode_real;
           Alcotest.test_case "metrics scrape" `Slow test_metrics_scrape_real;
+          Alcotest.test_case "trace scrape" `Slow test_trace_scrape_real;
         ] );
     ]

@@ -460,6 +460,145 @@ let test_metrics_snapshot_and_render () =
        (fun name -> contains ~affix:(Printf.sprintf "%S" name) json)
        [ "a.depth"; "b.count_total"; "c.lat" ])
 
+(* Adversarial instrument names: the JSON dump must stay parseable and
+   the text dump must keep one instrument per line regardless of what
+   the caller names things. *)
+let test_metrics_json_escape () =
+  let e = M.json_escape in
+  Alcotest.(check string) "plain untouched" "a.depth" (e "a.depth");
+  Alcotest.(check string) "quote" "say \\\"hi\\\"" (e "say \"hi\"");
+  Alcotest.(check string) "backslash" "a\\\\b" (e "a\\b");
+  Alcotest.(check string) "newline" "a\\nb" (e "a\nb");
+  Alcotest.(check string) "tab is a control" "a\\u0009b" (e "a\tb");
+  Alcotest.(check string) "carriage return" "a\\u000db" (e "a\rb");
+  Alcotest.(check string) "nul byte" "\\u0000" (e "\x00");
+  Alcotest.(check string) "last control" "\\u001f" (e "\x1f");
+  Alcotest.(check string) "first printable kept" " " (e " ");
+  (* multi-byte UTF-8 passes through byte-for-byte *)
+  Alcotest.(check string) "non-ascii untouched" "caf\xc3\xa9" (e "caf\xc3\xa9");
+  Alcotest.(check string) "mixed"
+    "\\\"\\\\\\n\\u0001x" (e "\"\\\n\x01x")
+
+let test_metrics_adversarial_names () =
+  let r = M.create () in
+  let hostile = "evil\"name\\with\nnasties" in
+  M.Counter.incr (M.counter r hostile) ~by:1;
+  M.Gauge.set (M.gauge r "quote\"gauge") 2.0;
+  let json = M.to_json r in
+  Alcotest.(check bool) "json escapes the counter name" true
+    (contains ~affix:"evil\\\"name\\\\with\\nnasties" json);
+  Alcotest.(check bool) "json escapes the gauge name" true
+    (contains ~affix:"quote\\\"gauge" json);
+  Alcotest.(check bool) "no raw quote-in-string survives" false
+    (contains ~affix:"evil\"name" json);
+  (* the text dump is line-oriented: names render raw, values intact *)
+  let text = M.to_text r in
+  Alcotest.(check bool) "text keeps the raw name" true
+    (contains ~affix:"counter 1" text);
+  Alcotest.(check bool) "gauge rendered" true (contains ~affix:"2" text)
+
+(* ------------------------------------------------------------------ *)
+(* Tracelog                                                            *)
+(* ------------------------------------------------------------------ *)
+
+module T = Smart_util.Tracelog
+
+(* A hand-cranked clock so spans get pinned, distinct timestamps. *)
+let ticking_clock () =
+  let now = ref 0.0 in
+  ((fun () -> now := !now +. 1.0; !now), now)
+
+let test_tracelog_span_tree () =
+  let clock, _ = ticking_clock () in
+  let t = T.create ~clock () in
+  let parent = T.start t "wizard.request" in
+  let child = T.start t ~parent:(T.ctx_of parent) "wizard.select" in
+  T.finish t child;
+  T.finish t parent;
+  match T.entries t with
+  | [ p; c ] ->
+    Alcotest.(check string) "parent name" "wizard.request" p.T.name;
+    Alcotest.(check string) "child name" "wizard.select" c.T.name;
+    Alcotest.(check bool) "root span opens its own trace" true
+      (p.T.trace_id = p.T.span_id);
+    Alcotest.(check int) "root span has no parent" 0 p.T.parent_id;
+    Alcotest.(check int) "child joins the trace" p.T.trace_id c.T.trace_id;
+    Alcotest.(check int) "child parented on the span" p.T.span_id c.T.parent_id;
+    Alcotest.(check bool) "ids distinct" true (p.T.span_id <> c.T.span_id);
+    Alcotest.(check (float 1e-9)) "parent start" 1.0 p.T.start_time;
+    Alcotest.(check (float 1e-9)) "child start" 2.0 c.T.start_time;
+    Alcotest.(check (float 1e-9)) "child closed first" 1.0 c.T.duration;
+    Alcotest.(check (float 1e-9)) "parent spans the child" 3.0 p.T.duration
+  | other -> Alcotest.failf "expected 2 entries, got %d" (List.length other)
+
+let test_tracelog_disabled () =
+  Alcotest.(check bool) "shared recorder off" false (T.enabled T.disabled);
+  let span = T.start T.disabled "never" in
+  T.finish T.disabled span;
+  T.instant T.disabled "nor this";
+  Alcotest.(check bool) "no span ctx" true (T.is_root (T.ctx_of span));
+  Alcotest.(check int) "nothing recorded" 0 (T.total_recorded T.disabled);
+  Alcotest.(check int) "no entries" 0 (List.length (T.entries T.disabled));
+  Alcotest.(check bool) "cannot enable the shared recorder" true
+    (try T.set_enabled T.disabled true; false
+     with Invalid_argument _ -> true)
+
+let test_tracelog_ring_bounded () =
+  let clock, _ = ticking_clock () in
+  let t = T.create ~capacity:4 ~clock () in
+  for i = 1 to 10 do
+    T.instant t (Printf.sprintf "event%d" i)
+  done;
+  let names = List.map (fun (e : T.entry) -> e.T.name) (T.entries t) in
+  Alcotest.(check (list string)) "oldest first, newest kept"
+    [ "event7"; "event8"; "event9"; "event10" ] names;
+  Alcotest.(check int) "total counts drops" 10 (T.total_recorded t);
+  Alcotest.(check int) "dropped" 6 (T.dropped t);
+  T.clear t;
+  Alcotest.(check int) "clear resets" 0 (T.total_recorded t)
+
+let test_tracelog_chrome_json () =
+  let clock, _ = ticking_clock () in
+  let t = T.create ~clock () in
+  let span = T.start t "probe.tick" in
+  T.finish t span;
+  let open_span = T.start t "probe.build \"quoted\"" in
+  ignore open_span;
+  let json =
+    T.to_chrome_json ~instants:[ (0.5, "net", "packet \"x\" sent") ] t
+  in
+  Alcotest.(check bool) "complete event" true (contains ~affix:"\"ph\":\"X\"" json);
+  Alcotest.(check bool) "instant event" true (contains ~affix:"\"ph\":\"i\"" json);
+  Alcotest.(check bool) "process metadata" true (contains ~affix:"\"ph\":\"M\"" json);
+  Alcotest.(check bool) "component from dot-prefix" true
+    (contains ~affix:"probe" json);
+  Alcotest.(check bool) "hostile span name escaped" true
+    (contains ~affix:"\\\"quoted\\\"" json);
+  Alcotest.(check bool) "hostile instant escaped" true
+    (contains ~affix:"packet \\\"x\\\" sent" json);
+  let again =
+    T.to_chrome_json ~instants:[ (0.5, "net", "packet \"x\" sent") ] t
+  in
+  Alcotest.(check string) "export deterministic" json again
+
+let test_tracelog_render_tree () =
+  let clock, _ = ticking_clock () in
+  let t = T.create ~clock () in
+  let req = T.start t "client.request" in
+  let wiz = T.start t ~parent:(T.ctx_of req) "wizard.request" in
+  let sel = T.start t ~parent:(T.ctx_of wiz) "wizard.select" in
+  T.finish t sel;
+  T.finish t wiz;
+  T.finish t req;
+  let other = T.start t "probe.tick" in
+  T.finish t other;
+  let tree = T.render_tree t ~trace_id:(T.ctx_of req).T.trace_id in
+  Alcotest.(check bool) "root present" true (contains ~affix:"client.request" tree);
+  Alcotest.(check bool) "grandchild present" true
+    (contains ~affix:"wizard.select" tree);
+  Alcotest.(check bool) "foreign trace excluded" false
+    (contains ~affix:"probe.tick" tree)
+
 let qsuite = List.map QCheck_alcotest.to_alcotest
     [ prop_heap_sorted; prop_heap_length; prop_percentile_bounds ]
 
@@ -533,6 +672,17 @@ let () =
             test_metrics_histogram_p2_estimates;
           Alcotest.test_case "snapshot and rendering" `Quick
             test_metrics_snapshot_and_render;
+          Alcotest.test_case "json escaping" `Quick test_metrics_json_escape;
+          Alcotest.test_case "adversarial instrument names" `Quick
+            test_metrics_adversarial_names;
+        ] );
+      ( "tracelog",
+        [
+          Alcotest.test_case "span tree" `Quick test_tracelog_span_tree;
+          Alcotest.test_case "disabled recorder" `Quick test_tracelog_disabled;
+          Alcotest.test_case "bounded ring" `Quick test_tracelog_ring_bounded;
+          Alcotest.test_case "chrome export" `Quick test_tracelog_chrome_json;
+          Alcotest.test_case "render tree" `Quick test_tracelog_render_tree;
         ] );
       ("properties", qsuite);
     ]
