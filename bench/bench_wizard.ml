@@ -124,6 +124,70 @@ let measure ~churn ~budget wizard db =
    a crash-proof dump beats a clever one. *)
 let json_float x = if Float.is_finite x then Printf.sprintf "%.9f" x else "null"
 
+(* ------------------------------------------------------------------ *)
+(* Lossy-plane run: the same request path driven end-to-end through the
+   simulator with 25% datagram loss on the client's link, so every
+   answer leans on the client's retransmit + backoff machinery.  All on
+   virtual time — the numbers are seed-deterministic, not wall-clock. *)
+
+module H = Smart_host
+
+let lossy_loss = 0.25
+let lossy_requests = 200
+
+let lossy_run () =
+  let c = H.Cluster.create ~seed:11 () in
+  let spec name ip =
+    { (H.Testbed.spec_of_name "helene") with H.Machine.name; ip }
+  in
+  let add name ip = H.Cluster.add_machine c (spec name ip) in
+  let wiz = add "wiz" "10.0.0.1" in
+  let cli = add "cli" "10.0.0.2" in
+  let s1 = add "s1" "10.0.0.3" in
+  let s2 = add "s2" "10.0.0.4" in
+  let sw = H.Cluster.add_switch c ~name:"sw" ~ip:"10.0.0.254" in
+  let lan = H.Testbed.lan_conf in
+  ignore (H.Cluster.link c ~a:wiz ~b:sw lan);
+  ignore
+    (H.Cluster.link c ~a:cli ~b:sw
+       { lan with Smart_net.Link.loss = lossy_loss });
+  ignore (H.Cluster.link c ~a:s1 ~b:sw lan);
+  ignore (H.Cluster.link c ~a:s2 ~b:sw lan);
+  let d =
+    C.Simdriver.deploy c ~monitor:"wiz" ~wizard_host:"wiz"
+      ~servers:[ "s1"; "s2" ]
+  in
+  C.Simdriver.settle ~duration:8.0 d;
+  let backoff =
+    Smart_util.Backoff.policy ~base:0.05 ~multiplier:2.0 ~max_delay:0.5
+      ~jitter:0.0 ()
+  in
+  let ok = ref 0 in
+  for _ = 1 to lossy_requests do
+    C.Simdriver.settle ~duration:0.1 d;
+    match
+      C.Simdriver.request ~attempts:6 ~backoff d ~client:"cli" ~wanted:1
+        ~requirement:"host_cpu_free > 0.1\n"
+    with
+    | Ok _ -> incr ok
+    | Error _ -> ()
+  done;
+  let m = C.Simdriver.metrics d in
+  let success_rate = float_of_int !ok /. float_of_int lossy_requests in
+  let retries =
+    Smart_util.Metrics.counter_value m "client.retries_total"
+  in
+  (* the attempts histogram counts sends per request; retries per
+     request is attempts - 1, a monotone shift, so the quantile moves
+     with it *)
+  let retry_p95 =
+    match Smart_util.Metrics.find m "client.request_attempts" with
+    | Some (Smart_util.Metrics.Histogram h) ->
+      Float.max 0.0 (h.Smart_util.Metrics.p95 -. 1.0)
+    | _ -> Float.nan
+  in
+  (success_rate, retries, retry_p95)
+
 let run () =
   let mk ?trace ~capacity () =
     let db = C.Status_db.create () in
@@ -206,6 +270,11 @@ let run () =
   Fmt.pr "tracing overhead: %.1f%% (%d spans recorded)@."
     (100.0 *. trace_overhead)
     (Smart_util.Tracelog.total_recorded trace);
+  let success_rate, lossy_retries, retry_p95 = lossy_run () in
+  Fmt.pr
+    "lossy plane (%.0f%% datagram loss, %d requests): success rate %.3f, \
+     %d retransmits, retry p95 %.1f@."
+    (100.0 *. lossy_loss) lossy_requests success_rate lossy_retries retry_p95;
   let oc = open_out "BENCH_wizard.json" in
   Printf.fprintf oc
     "{\n\
@@ -232,7 +301,12 @@ let run () =
     \  \"warm_compile_cache_misses\": %d,\n\
     \  \"warm_result_cache_hits\": %d,\n\
     \  \"warm_result_cache_misses\": %d,\n\
-    \  \"warm_snapshot_rebuilds\": %d\n\
+    \  \"warm_snapshot_rebuilds\": %d,\n\
+    \  \"lossy_datagram_loss\": %.2f,\n\
+    \  \"lossy_requests\": %d,\n\
+    \  \"request_success_rate\": %.4f,\n\
+    \  \"lossy_retries_total\": %d,\n\
+    \  \"retry_p95\": %s\n\
      }\n"
     servers monitors budget cold_rps warm_rps speedup
     (json_float cold_lat.Smart_util.Metrics.p50)
@@ -248,7 +322,9 @@ let run () =
     trace_overhead
     (Smart_util.Tracelog.total_recorded trace)
     hits misses rhits rmisses
-    (C.Wizard.snapshot_rebuilds warm_wizard);
+    (C.Wizard.snapshot_rebuilds warm_wizard)
+    lossy_loss lossy_requests success_rate lossy_retries
+    (json_float retry_p95);
   close_out oc;
   Fmt.pr "wrote BENCH_wizard.json@.";
   ignore warm_db;

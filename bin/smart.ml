@@ -111,7 +111,7 @@ let run_wizard host distributed transmitters =
   in
   let daemon =
     Smart_realnet.Wizard_daemon.create (book ())
-      { Smart_realnet.Wizard_daemon.host; mode }
+      { Smart_realnet.Wizard_daemon.host; mode; staleness_threshold = infinity }
   in
   Smart_realnet.Wizard_daemon.start daemon;
   Logs.app (fun m ->

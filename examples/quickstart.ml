@@ -27,6 +27,7 @@ let () =
       {
         Smart_realnet.Wizard_daemon.host = "wizard";
         mode = Smart_core.Wizard.Centralized;
+        staleness_threshold = infinity;
       }
   in
   Smart_realnet.Wizard_daemon.start wizard;

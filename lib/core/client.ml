@@ -19,15 +19,25 @@ let pp_error ppf = function
     Fmt.pf ppf "only %d of %d servers available" got wanted
   | Malformed m -> Fmt.pf ppf "malformed reply: %s" m
 
+(* Completed sequence numbers remembered for duplicate suppression: a
+   retransmitted request can harvest two replies, and the late one must
+   not be fed to a later request's validation.  Bounded FIFO. *)
+let completed_capacity = 64
+
 type t = {
   rng : Smart_util.Prng.t;
   trace : Smart_util.Tracelog.t;
   mutable open_spans : (int * Smart_util.Tracelog.span) list;
       (* seq -> request span, finished when the reply is checked;
          typically at most one outstanding request *)
+  completed : int Queue.t;  (* eviction order for [completed_set] *)
+  completed_set : (int, unit) Hashtbl.t;
   requests_total : Metrics.Counter.t;
   replies_ok_total : Metrics.Counter.t;
   reply_errors_total : Metrics.Counter.t;
+  retries_total : Metrics.Counter.t;
+  duplicate_replies_total : Metrics.Counter.t;
+  attempts_histogram : Metrics.Histogram.t;
 }
 
 let create ?(metrics = Metrics.create ())
@@ -36,6 +46,8 @@ let create ?(metrics = Metrics.create ())
     rng;
     trace;
     open_spans = [];
+    completed = Queue.create ();
+    completed_set = Hashtbl.create completed_capacity;
     requests_total =
       Metrics.counter metrics ~help:"requests built" "client.requests_total";
     replies_ok_total =
@@ -44,6 +56,18 @@ let create ?(metrics = Metrics.create ())
       Metrics.counter metrics
         ~help:"replies rejected (sequence, count or decode)"
         "client.reply_errors_total";
+    retries_total =
+      Metrics.counter metrics
+        ~help:"request retransmits after a per-attempt timeout"
+        "client.retries_total";
+    duplicate_replies_total =
+      Metrics.counter metrics
+        ~help:"late replies to already-completed requests, dropped"
+        "client.duplicate_replies_total";
+    attempts_histogram =
+      Metrics.histogram metrics
+        ~help:"send attempts per completed request (1 = no retransmit)"
+        "client.request_attempts";
   }
 
 let make_request t ~wanted ~option ~requirement =
@@ -67,6 +91,37 @@ let make_request t ~wanted ~option ~requirement =
     requirement;
     trace = Smart_util.Tracelog.ctx_of span;
   }
+
+(* The driver reports a retransmit of the outstanding request (same
+   sequence number, fresh send after a per-attempt timeout). *)
+let note_retry t =
+  Metrics.Counter.incr t.retries_total;
+  Smart_util.Tracelog.instant t.trace "client.retry"
+
+(* The driver reports how many sends a completed request took; feeds the
+   attempts histogram behind the bench's retry_p95. *)
+let note_attempts t n =
+  if n > 0 then Metrics.Histogram.observe t.attempts_histogram (float_of_int n)
+
+let mark_completed t ~seq =
+  if not (Hashtbl.mem t.completed_set seq) then begin
+    Queue.add seq t.completed;
+    Hashtbl.replace t.completed_set seq ();
+    while Queue.length t.completed > completed_capacity do
+      let old = Queue.pop t.completed in
+      Hashtbl.remove t.completed_set old
+    done
+  end
+
+(* A retransmitted request can harvest several replies; the driver asks
+   here before validating one, and drops the duplicates this flags. *)
+let is_duplicate_reply t data =
+  match Smart_proto.Wizard_msg.decode_reply data with
+  | Error _ -> false  (* let [check_reply] report the malformation *)
+  | Ok reply ->
+    let dup = Hashtbl.mem t.completed_set reply.Smart_proto.Wizard_msg.seq in
+    if dup then Metrics.Counter.incr t.duplicate_replies_total;
+    dup
 
 (* Validate a reply datagram against the outstanding request and apply
    the option field: [Strict] fails unless the full count came back,
@@ -97,7 +152,9 @@ let check_reply t (request : Smart_proto.Wizard_msg.request) data =
       end
   in
   (match result with
-  | Ok _ -> Metrics.Counter.incr t.replies_ok_total
+  | Ok _ ->
+    Metrics.Counter.incr t.replies_ok_total;
+    mark_completed t ~seq:request.Smart_proto.Wizard_msg.seq
   | Error _ -> Metrics.Counter.incr t.reply_errors_total);
   let seq = request.Smart_proto.Wizard_msg.seq in
   (match List.assoc_opt seq t.open_spans with

@@ -39,8 +39,26 @@ val make_request :
   requirement:string ->
   Smart_proto.Wizard_msg.request
 
+(** The driver reports a retransmit of the outstanding request (same
+    sequence number, fresh send after a per-attempt timeout): bumps
+    [client.retries_total] and records a [client.retry] trace instant. *)
+val note_retry : t -> unit
+
+(** The driver reports how many sends a completed request took (1 = no
+    retransmit); feeds the [client.request_attempts] histogram. *)
+val note_attempts : t -> int -> unit
+
+(** [is_duplicate_reply t data] is [true] when [data] decodes to a reply
+    for a request already completed — a late answer to a retransmitted
+    request the driver must drop (counted in
+    [client.duplicate_replies_total]).  Undecodable data is not a
+    duplicate; {!check_reply} reports the malformation. *)
+val is_duplicate_reply : t -> string -> bool
+
 (** Validate a reply datagram and apply the option semantics: [Strict]
-    needs the full count back, [Accept_partial] any non-empty subset. *)
+    needs the full count back, [Accept_partial] any non-empty subset.
+    An accepted reply's sequence number is remembered for
+    {!is_duplicate_reply}. *)
 val check_reply :
   t -> Smart_proto.Wizard_msg.request -> string -> (string list, error) result
 

@@ -4,11 +4,20 @@
 
 module Metrics = Smart_util.Metrics
 
+(* Per-source stream state: the decoder plus the resync statistics we
+   have already exported, so cumulative decoder counts turn into metric
+   increments. *)
+type source = {
+  dec : Smart_proto.Frame.decoder;
+  mutable seen_skipped : int;
+  mutable seen_resyncs : int;
+}
+
 type t = {
   order : Smart_proto.Endian.order;
   db : Status_db.t;
   trace : Smart_util.Tracelog.t;
-  decoders : (string, Smart_proto.Frame.decoder) Hashtbl.t;
+  decoders : (string, source) Hashtbl.t;
       (* one stream decoder per transmitter (keyed by source host) *)
   owned_hosts : (string, string list) Hashtbl.t;
       (* transmitter -> hosts its last Sys_db snapshot covered; hosts
@@ -18,6 +27,8 @@ type t = {
   frames_total : Metrics.Counter.t;
   frames_bytes : Metrics.Counter.t;
   decode_errors_total : Metrics.Counter.t;
+  resyncs_total : Metrics.Counter.t;
+  corrupt_bytes_total : Metrics.Counter.t;
   transmitters : Metrics.Gauge.t;
   mutable on_update : (Smart_proto.Frame.payload_type -> unit) option;
 }
@@ -40,6 +51,14 @@ let create ?(metrics = Metrics.create ())
     decode_errors_total =
       Metrics.counter metrics ~help:"stream or record decode failures"
         "receiver.decode_errors_total";
+    resyncs_total =
+      Metrics.counter metrics
+        ~help:"stream corruption episodes survived by resync"
+        "receiver.resyncs_total";
+    corrupt_bytes_total =
+      Metrics.counter metrics
+        ~help:"stream bytes discarded while resynchronising"
+        "receiver.corrupt_bytes_total";
     transmitters =
       Metrics.gauge metrics ~help:"transmitter sources with live stream state"
         "receiver.transmitters";
@@ -52,12 +71,18 @@ let set_update_hook t hook = t.on_update <- hook
 
 let decoder_for t ~from =
   match Hashtbl.find_opt t.decoders from with
-  | Some d -> d
+  | Some s -> s
   | None ->
-    let d = Smart_proto.Frame.decoder t.order in
-    Hashtbl.replace t.decoders from d;
+    let s =
+      {
+        dec = Smart_proto.Frame.decoder t.order;
+        seen_skipped = 0;
+        seen_resyncs = 0;
+      }
+    in
+    Hashtbl.replace t.decoders from s;
     Metrics.Gauge.set t.transmitters (float_of_int (Hashtbl.length t.decoders));
-    d
+    s
 
 (* Frames from a traced push carry the push span's context; the frame
    span adopts it, tying this mirror write to the monitor-side trace
@@ -139,22 +164,31 @@ let apply_frame t (frame : Smart_proto.Frame.frame) =
   Smart_util.Tracelog.finish t.trace frame_span;
   result
 
-(* Feed raw stream bytes from a given transmitter. *)
+(* Feed raw stream bytes from a given transmitter.  Corruption never
+   stops the stream: the decoder resyncs past damaged stretches (counted
+   in [receiver.resyncs_total] / [receiver.corrupt_bytes_total]) and
+   every frame that decodes is applied even when an earlier one in the
+   same batch carried an undecodable record.  The result reports the
+   first record-level failure, if any. *)
 let handle_stream t ~from data =
   t.current_from <- from;
-  let dec = decoder_for t ~from in
-  Smart_proto.Frame.feed dec data;
-  match Smart_proto.Frame.frames dec with
-  | Error m ->
-    Metrics.Counter.incr t.decode_errors_total;
-    Error m
-  | Ok frames ->
-    let rec apply = function
-      | [] -> Ok ()
-      | f :: rest ->
-        (match apply_frame t f with Ok () -> apply rest | Error _ as e -> e)
-    in
-    apply frames
+  let src = decoder_for t ~from in
+  Smart_proto.Frame.feed src.dec data;
+  let frames = Smart_proto.Frame.frames src.dec in
+  let skipped = Smart_proto.Frame.skipped_bytes src.dec in
+  let resyncs = Smart_proto.Frame.resyncs src.dec in
+  if skipped > src.seen_skipped then
+    Metrics.Counter.incr t.corrupt_bytes_total ~by:(skipped - src.seen_skipped);
+  if resyncs > src.seen_resyncs then
+    Metrics.Counter.incr t.resyncs_total ~by:(resyncs - src.seen_resyncs);
+  src.seen_skipped <- skipped;
+  src.seen_resyncs <- resyncs;
+  List.fold_left
+    (fun acc f ->
+      match (apply_frame t f, acc) with
+      | Ok (), _ | _, Error _ -> acc
+      | (Error _ as e), Ok () -> e)
+    (Ok ()) frames
 
 (* A transmitter connection closed: drop its decoder (partial bytes
    would poison a later stream reusing the tag) and its ownership
@@ -168,3 +202,7 @@ let forget_source t ~from =
 let frames_handled t = Metrics.Counter.value t.frames_total
 
 let decode_errors t = Metrics.Counter.value t.decode_errors_total
+
+let resyncs t = Metrics.Counter.value t.resyncs_total
+
+let corrupt_bytes t = Metrics.Counter.value t.corrupt_bytes_total

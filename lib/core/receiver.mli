@@ -21,7 +21,12 @@ val create :
     by the distributed-mode wizard to detect fresh data). *)
 val set_update_hook : t -> (Smart_proto.Frame.payload_type -> unit) option -> unit
 
-(** Feed raw stream bytes arriving from transmitter [from]. *)
+(** Feed raw stream bytes arriving from transmitter [from].  Corrupt
+    stretches never stop the stream: the frame decoder resynchronises
+    past them (metered by [receiver.resyncs_total] and
+    [receiver.corrupt_bytes_total]) and every decodable frame is
+    applied.  [Error] reports the first record-level decode failure of
+    the batch, after the rest has still been applied. *)
 val handle_stream : t -> from:string -> string -> (unit, string) result
 
 (** Discard the stream state of source [from] (call when its connection
@@ -37,3 +42,9 @@ val frames_handled : t -> int
 
 (** Stream or record decode failures. *)
 val decode_errors : t -> int
+
+(** Stream corruption episodes survived by resynchronisation. *)
+val resyncs : t -> int
+
+(** Stream bytes discarded while resynchronising. *)
+val corrupt_bytes : t -> int

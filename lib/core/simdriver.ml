@@ -20,6 +20,9 @@ type group = {
   netmon : Netmon.t;
   secmon : Secmon.t;
   transmitter : Transmitter.t;
+  down : bool ref;
+      (* monitor-process outage (fault injection): the group's monitors
+         and transmitter stop handling and ticking while set *)
 }
 
 type t = {
@@ -40,6 +43,11 @@ type t = {
          ring and the export is deterministic for a given seed *)
   traffic : (string, component_stats) Hashtbl.t;
   mutable next_client_port : int;
+  mutable corrupt_rate : float;
+      (* per-message probability of flipping one byte of a stream
+         payload in flight (fault injection) *)
+  corrupt_rng : Smart_util.Prng.t;
+  corrupted_total : Smart_util.Metrics.Counter.t;
 }
 
 let stats_for t tag =
@@ -50,10 +58,28 @@ let stats_for t tag =
     Hashtbl.replace t.traffic tag s;
     s
 
+(* Fault injection: with probability [corrupt_rate], XOR one byte of a
+   stream payload in flight.  0x5A never maps a byte to itself, so a
+   drawn corruption always damages the message. *)
+let maybe_corrupt t data =
+  if
+    t.corrupt_rate > 0.0
+    && String.length data > 0
+    && Smart_util.Prng.float t.corrupt_rng ~bound:1.0 < t.corrupt_rate
+  then begin
+    Smart_util.Metrics.Counter.incr t.corrupted_total;
+    let pos = Smart_util.Prng.int t.corrupt_rng ~bound:(String.length data) in
+    let b = Bytes.of_string data in
+    Bytes.set b pos (Char.chr (Char.code (Bytes.get b pos) lxor 0x5A));
+    Bytes.to_string b
+  end
+  else data
+
 (* Execute component outputs on the packet plane, attributing the bytes
    to [tag] for the Table 5.2 accounting.  Stream outputs also travel as
    datagrams here: the simulated LAN is loss-free and the receiver's
-   frame decoder reassembles per-source, so reliability is preserved. *)
+   frame decoder reassembles per-source, so reliability is preserved.
+   Stream payloads pass through the fault plane's corruption filter. *)
 let perform t ~tag ~src_node ?(sport = 0) outputs =
   let stack = Smart_host.Cluster.stack t.cluster in
   List.iter
@@ -61,7 +87,7 @@ let perform t ~tag ~src_node ?(sport = 0) outputs =
       let dst_addr, data =
         match output with
         | Output.Udp { dst; data } -> (dst, data)
-        | Output.Stream { dst; data } -> (dst, data)
+        | Output.Stream { dst; data } -> (dst, maybe_corrupt t data)
       in
       match Smart_host.Cluster.resolve t.cluster dst_addr.Output.host with
       | None -> ()  (* unresolvable host: datagram vanishes *)
@@ -81,6 +107,23 @@ let node_name t id =
 
 let now t = Smart_host.Cluster.now t.cluster
 
+(* A stream delivery is doomed when the destination is unresolvable, its
+   machine has failed, or the routed path crosses a partitioned channel.
+   The driver plays the role of the TCP connection here: these are the
+   conditions under which a real connect/send would error out
+   synchronously, so they are reported to the transmitter instead of
+   launching bytes that can only vanish. *)
+let stream_blocked cluster ~src_node ~host =
+  match Smart_host.Cluster.resolve cluster host with
+  | None -> true
+  | Some dst ->
+    (match Smart_host.Cluster.machine_opt cluster dst with
+    | Some m when Smart_host.Machine.failed m -> true
+    | Some _ | None ->
+      let topo = Smart_host.Cluster.topology cluster in
+      List.exists Smart_net.Link.partitioned
+        (Smart_net.Topology.path topo ~src:src_node ~dst))
+
 type config = {
   mode : Transmitter.mode;
   probe_interval : float;
@@ -89,6 +132,11 @@ type config = {
   order : Smart_proto.Endian.order;
   security_log : string;
   wizard_compile_cache : int;
+  frame_crc : bool;
+      (* CRC-32 trailers on transmitter frames; required for the
+         receiver to detect injected stream corruption *)
+  wizard_staleness : float;
+      (* receiver silence before wizard replies are flagged degraded *)
 }
 
 let default_config =
@@ -100,6 +148,8 @@ let default_config =
     order = Smart_proto.Endian.Little;
     security_log = "";
     wizard_compile_cache = Wizard.default_compile_cache_capacity;
+    frame_crc = false;
+    wizard_staleness = Wizard.default_staleness_threshold;
   }
 
 (* Wire one group's probes, monitors and transmitter. *)
@@ -114,7 +164,11 @@ let setup_group t_ref config cluster ~metrics ~trace ~wizard_host
   let sysmon =
     Sysmon.create
       ~config:
-        { Sysmon.probe_interval = config.probe_interval; missed_intervals = 3 }
+        {
+          Sysmon.default_config with
+          probe_interval = config.probe_interval;
+          missed_intervals = 3;
+        }
       ~metrics ~trace db
   in
   let netmon =
@@ -126,7 +180,8 @@ let setup_group t_ref config cluster ~metrics ~trace ~wizard_host
   if not (String.equal config.security_log "") then
     ignore (Secmon.refresh_from_log secmon config.security_log);
   let transmitter =
-    Transmitter.create ~metrics ~trace ~monitor_name:monitor_host
+    Transmitter.create ~metrics ~trace ~crc:config.frame_crc
+      ~monitor_name:monitor_host
       {
         Transmitter.mode = config.mode;
         order = config.order;
@@ -136,15 +191,39 @@ let setup_group t_ref config cluster ~metrics ~trace ~wizard_host
       db
   in
   let the () = match !t_ref with Some t -> t | None -> assert false in
+  let down = ref false in
+  (* machine failure silences only the host's probe (the seed's
+     fail_machine contract); the monitor processes stop when an outage
+     is injected — Crash_node of a monitor host sets both *)
+  let alive () = not !down in
+  (* Route transmitter outputs, reporting doomed stream deliveries back
+     to the transmitter (bounded resend queue + backoff) instead of
+     sending them into a black hole. *)
+  let send_transmitter ~now outputs =
+    List.iter
+      (fun output ->
+        match output with
+        | Output.Stream { dst; data }
+          when stream_blocked cluster ~src_node:monitor_node
+                 ~host:dst.Output.host ->
+          Transmitter.note_send_failure transmitter ~now ~data
+        | Output.Stream _ | Output.Udp _ ->
+          (match output with
+          | Output.Stream _ -> Transmitter.note_send_ok transmitter
+          | Output.Udp _ -> ());
+          perform (the ()) ~tag:"transmitter" ~src_node:monitor_node [ output ])
+      outputs
+  in
   Smart_net.Netstack.listen_udp stack ~node:monitor_node
     ~port:Smart_proto.Ports.sysmon (fun ~now pkt ->
-      ignore (Sysmon.handle_report sysmon ~now pkt.Smart_net.Packet.payload));
+      if alive () then
+        ignore (Sysmon.handle_report sysmon ~now pkt.Smart_net.Packet.payload));
   Smart_net.Netstack.listen_udp stack ~node:monitor_node
-    ~port:Smart_proto.Ports.transmitter (fun ~now:_ pkt ->
-      let outputs =
-        Transmitter.handle_pull transmitter ~data:pkt.Smart_net.Packet.payload
-      in
-      perform (the ()) ~tag:"transmitter" ~src_node:monitor_node outputs);
+    ~port:Smart_proto.Ports.transmitter (fun ~now pkt ->
+      if alive () then
+        send_transmitter ~now
+          (Transmitter.handle_pull transmitter
+             ~data:pkt.Smart_net.Packet.payload));
   (* probes on every server of the group *)
   List.iter
     (fun server ->
@@ -182,15 +261,15 @@ let setup_group t_ref config cluster ~metrics ~trace ~wizard_host
   ignore
     (Smart_sim.Engine.every engine ~period:config.probe_interval
        ~start:(Smart_sim.Engine.now engine +. config.probe_interval)
-       (fun now -> ignore (Sysmon.sweep sysmon ~now)));
+       (fun now -> if alive () then ignore (Sysmon.sweep sysmon ~now)));
   ignore
     (Smart_sim.Engine.every engine ~period:config.transmit_interval
        ~start:(Smart_sim.Engine.now engine +. 0.2)
-       (fun _now ->
-         let outputs = Transmitter.tick transmitter in
-         perform (the ()) ~tag:"transmitter" ~src_node:monitor_node outputs));
+       (fun now ->
+         if alive () then
+           send_transmitter ~now (Transmitter.tick transmitter ~now)));
   { monitor_host; monitor_node; servers; db; sysmon; netmon; secmon;
-    transmitter }
+    transmitter; down }
 
 (* [deploy_groups cluster ~wizard_host ~groups] installs the stack for
    several server groups: [(monitor_host, servers); ...].  The first
@@ -270,17 +349,27 @@ let deploy_groups ?(config = default_config) cluster ~wizard_host ~groups =
     Wizard.create ~compile_cache_capacity:config.wizard_compile_cache ~metrics
       ~trace:tracelog
       ~clock:(fun () -> Smart_sim.Engine.now engine)
+      ~staleness_threshold:config.wizard_staleness
       { Wizard.mode = wizard_mode; groups = wizard_groups }
       db_wizard
   in
   Receiver.set_update_hook receiver (Some (fun _ -> Wizard.note_update wizard));
+  let wizard_alive () =
+    match Smart_host.Cluster.machine_opt cluster wizard_node with
+    | Some m -> not (Smart_host.Machine.failed m)
+    | None -> true
+  in
   Smart_net.Netstack.listen_udp stack ~node:wizard_node
     ~port:Smart_proto.Ports.receiver (fun ~now:_ pkt ->
-      let t = the () in
-      let from = node_name t pkt.Smart_net.Packet.src in
-      ignore (Receiver.handle_stream receiver ~from pkt.Smart_net.Packet.payload));
+      if wizard_alive () then begin
+        let t = the () in
+        let from = node_name t pkt.Smart_net.Packet.src in
+        ignore
+          (Receiver.handle_stream receiver ~from pkt.Smart_net.Packet.payload)
+      end);
   Smart_net.Netstack.listen_udp stack ~node:wizard_node
     ~port:Smart_proto.Ports.wizard (fun ~now pkt ->
+      if wizard_alive () then begin
       let t = the () in
       let sport =
         match pkt.Smart_net.Packet.proto with
@@ -294,15 +383,18 @@ let deploy_groups ?(config = default_config) cluster ~wizard_host ~groups =
         Wizard.handle_request wizard ~now ~from pkt.Smart_net.Packet.payload
       in
       perform t ~tag:"wizard" ~src_node:wizard_node
-        ~sport:Smart_proto.Ports.wizard outputs);
+        ~sport:Smart_proto.Ports.wizard outputs
+      end);
   ignore
     (Smart_sim.Engine.every engine ~period:0.05
        ~start:(Smart_sim.Engine.now engine +. 0.05)
        (fun now ->
-         let t = the () in
-         let outputs = Wizard.tick wizard ~now in
-         perform t ~tag:"wizard" ~src_node:wizard_node
-           ~sport:Smart_proto.Ports.wizard outputs));
+         if wizard_alive () then begin
+           let t = the () in
+           let outputs = Wizard.tick wizard ~now in
+           perform t ~tag:"wizard" ~src_node:wizard_node
+             ~sport:Smart_proto.Ports.wizard outputs
+         end));
   let t =
     {
       cluster;
@@ -317,6 +409,12 @@ let deploy_groups ?(config = default_config) cluster ~wizard_host ~groups =
       tracelog;
       traffic = Hashtbl.create 8;
       next_client_port = 45000;
+      corrupt_rate = 0.0;
+      corrupt_rng = Smart_util.Prng.split (Smart_host.Cluster.rng cluster);
+      corrupted_total =
+        Smart_util.Metrics.counter metrics
+          ~help:"stream payloads corrupted in flight by fault injection"
+          "faults.corrupted_messages_total";
     }
   in
   t_ref := Some t;
@@ -378,9 +476,18 @@ let all_netmon_records t =
     t.groups
 
 (* One smart-socket request from [client] (a host name); drives the
-   simulation until the reply arrives or [timeout] virtual seconds pass. *)
+   simulation until the reply arrives or [timeout] virtual seconds pass.
+
+   The request is retransmitted (same sequence number) whenever a
+   per-attempt timeout drawn from the shared backoff policy expires with
+   no reply, up to [attempts] sends; late answers to a request that
+   already completed are dropped by the client library's duplicate
+   suppression.  All of it runs on virtual time, so retry schedules are
+   deterministic for a given seed. *)
 let request ?(option = Smart_proto.Wizard_msg.Accept_partial) ?(timeout = 5.0)
-    t ~client ~wanted ~requirement =
+    ?(attempts = 5) ?(backoff = Smart_util.Backoff.default) t ~client ~wanted
+    ~requirement =
+  if attempts <= 0 then invalid_arg "Simdriver.request: attempts must be positive";
   let engine = Smart_host.Cluster.engine t.cluster in
   let stack = Smart_host.Cluster.stack t.cluster in
   let client_node = Smart_host.Cluster.resolve_exn t.cluster client in
@@ -392,19 +499,48 @@ let request ?(option = Smart_proto.Wizard_msg.Accept_partial) ?(timeout = 5.0)
   t.next_client_port <- t.next_client_port + 1;
   let reply = ref None in
   Smart_net.Netstack.listen_udp stack ~node:client_node ~port:reply_port
-    (fun ~now:_ pkt -> reply := Some pkt.Smart_net.Packet.payload);
+    (fun ~now:_ pkt ->
+      let data = pkt.Smart_net.Packet.payload in
+      if not (Client.is_duplicate_reply client_lib data) then
+        reply := Some data);
   let data = Smart_proto.Wizard_msg.encode_request req in
-  let s = stats_for t "client" in
-  s.messages <- s.messages + 1;
-  s.bytes <- s.bytes + String.length data;
-  ignore
-    (Smart_net.Netstack.send_udp stack ~src:client_node ~dst:t.wizard_node
-       ~sport:reply_port ~dport:Smart_proto.Ports.wizard
-       ~size:(String.length data) ~payload:data);
+  let send () =
+    let s = stats_for t "client" in
+    s.messages <- s.messages + 1;
+    s.bytes <- s.bytes + String.length data;
+    ignore
+      (Smart_net.Netstack.send_udp stack ~src:client_node ~dst:t.wizard_node
+         ~sport:reply_port ~dport:Smart_proto.Ports.wizard
+         ~size:(String.length data) ~payload:data)
+  in
+  let boff =
+    Smart_util.Backoff.create ~rng:(Smart_util.Prng.split t.client_rng) backoff
+  in
   let deadline = Smart_sim.Engine.now engine +. timeout in
-  ignore
-    (Smart_measure.Runner.run_until engine ~deadline (fun () -> !reply <> None));
+  let used = ref 0 in
+  let rec attempt () =
+    incr used;
+    if !used > 1 then Client.note_retry client_lib;
+    send ();
+    let wait = Smart_util.Backoff.next boff in
+    let attempt_deadline =
+      Float.min deadline (Smart_sim.Engine.now engine +. wait)
+    in
+    ignore
+      (Smart_measure.Runner.run_until engine ~deadline:attempt_deadline
+         (fun () -> !reply <> None));
+    if !reply = None && !used < attempts
+       && Smart_sim.Engine.now engine < deadline
+    then attempt ()
+  in
+  attempt ();
+  (* past the last retransmit, wait out the remaining overall budget *)
+  if !reply = None then
+    ignore
+      (Smart_measure.Runner.run_until engine ~deadline (fun () ->
+           !reply <> None));
   Smart_net.Netstack.unlisten_udp stack ~node:client_node ~port:reply_port;
+  Client.note_attempts client_lib !used;
   match !reply with
   | None -> Error Client.Timeout
   | Some data -> Client.check_reply client_lib req data
@@ -421,6 +557,70 @@ let revive_machine t ~host =
     (Smart_host.Cluster.machine t.cluster node)
     false
 
+(* Partition every channel touching [host] (both directions through its
+   access link), or heal them. *)
+let set_host_partitioned t ~host on =
+  match Smart_host.Cluster.resolve t.cluster host with
+  | None -> ()
+  | Some node ->
+    Smart_net.Topology.iter_channels
+      (Smart_host.Cluster.topology t.cluster)
+      (fun l ->
+        if l.Smart_net.Link.src = node || l.Smart_net.Link.dst = node then
+          Smart_net.Link.set_partitioned l on)
+
+(* Partition the channels directly connecting [a] and [b] (no-op when
+   they are not adjacent in the topology). *)
+let set_link_partitioned t ~a ~b on =
+  match
+    (Smart_host.Cluster.resolve t.cluster a, Smart_host.Cluster.resolve t.cluster b)
+  with
+  | Some na, Some nb ->
+    Smart_net.Topology.iter_channels
+      (Smart_host.Cluster.topology t.cluster)
+      (fun l ->
+        if
+          (l.Smart_net.Link.src = na && l.Smart_net.Link.dst = nb)
+          || (l.Smart_net.Link.src = nb && l.Smart_net.Link.dst = na)
+        then Smart_net.Link.set_partitioned l on)
+  | _ -> ()
+
+let set_monitor_down t ~host on =
+  List.iter
+    (fun g -> if String.equal g.monitor_host host then g.down := on)
+    t.groups
+
+let set_frame_corruption t rate =
+  if rate < 0.0 || rate > 1.0 then
+    invalid_arg "Simdriver.set_frame_corruption: rate out of [0,1]";
+  t.corrupt_rate <- rate
+
+(* Carry out one fault-plane action (see Smart_sim.Faults).  Crashing a
+   monitor host also stops its monitor processes — fail_machine alone
+   only silences the probe. *)
+let apply_fault t = function
+  | Smart_sim.Faults.Crash_node host ->
+    fail_machine t ~host;
+    set_monitor_down t ~host true
+  | Smart_sim.Faults.Restart_node host ->
+    revive_machine t ~host;
+    set_monitor_down t ~host false
+  | Smart_sim.Faults.Partition_link (a, b) -> set_link_partitioned t ~a ~b true
+  | Smart_sim.Faults.Heal_link (a, b) -> set_link_partitioned t ~a ~b false
+  | Smart_sim.Faults.Partition_host host -> set_host_partitioned t ~host true
+  | Smart_sim.Faults.Heal_host host -> set_host_partitioned t ~host false
+  | Smart_sim.Faults.Corrupt_frames rate -> set_frame_corruption t rate
+  | Smart_sim.Faults.Monitor_outage host -> set_monitor_down t ~host true
+  | Smart_sim.Faults.Monitor_restore host -> set_monitor_down t ~host false
+
+(* Arm a fault plan on the deployment's engine; the schedule and every
+   effect run on virtual time, so same-seed chaos runs are identical. *)
+let install_faults t plan =
+  Smart_sim.Faults.install ~metrics:t.metrics ~trace:t.tracelog
+    ~engine:(Smart_host.Cluster.engine t.cluster)
+    ~apply:(fun action -> apply_fault t action)
+    plan
+
 let traffic_stats t tag =
   match Hashtbl.find_opt t.traffic tag with
   | Some s -> (s.messages, s.bytes)
@@ -431,6 +631,10 @@ let db_wizard t = t.db_wizard
 let db_monitor t = (List.hd t.groups).db
 
 let wizard_component t = t.wizard
+
+let receiver_component t = t.receiver
+
+let transmitter_component t = (List.hd t.groups).transmitter
 
 let sysmon_component t = (List.hd t.groups).sysmon
 

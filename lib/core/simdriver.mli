@@ -14,10 +14,15 @@ type config = {
   security_log : string;  (** "" for no security data *)
   wizard_compile_cache : int;
       (** wizard requirement compile-cache capacity; 0 disables *)
+  frame_crc : bool;
+      (** CRC-32 trailers on transmitter frames, letting the receiver
+          detect (and resync past) injected stream corruption *)
+  wizard_staleness : float;
+      (** receiver silence before the wizard flags replies degraded *)
 }
 
 (** Centralized, 2 s probe and transmit intervals, UDP reports,
-    little-endian records. *)
+    little-endian records, no frame CRC, no staleness degradation. *)
 val default_config : config
 
 (** [deploy cluster ~monitor ~wizard_host ~servers] installs a
@@ -56,10 +61,16 @@ val refresh_netmon : ?trials:int -> t -> Smart_proto.Records.net_record
 val all_netmon_records : t -> Smart_proto.Records.net_record list
 
 (** One smart-socket request from host [client]; returns the candidate
-    host list or the client-side error. *)
+    host list or the client-side error.  The datagram is retransmitted
+    (same sequence number) on per-attempt timeouts drawn from [backoff],
+    up to [attempts] sends within the overall [timeout]; late duplicate
+    replies are suppressed by the client library.  Runs entirely on
+    virtual time. *)
 val request :
   ?option:Smart_proto.Wizard_msg.option_flag ->
   ?timeout:float ->
+  ?attempts:int ->
+  ?backoff:Smart_util.Backoff.policy ->
   t ->
   client:string ->
   wanted:int ->
@@ -71,6 +82,33 @@ val fail_machine : t -> host:string -> unit
 
 val revive_machine : t -> host:string -> unit
 
+(** Partition (or heal) every channel touching [host]. *)
+val set_host_partitioned : t -> host:string -> bool -> unit
+
+(** Partition (or heal) the channels directly connecting two adjacent
+    nodes; no-op when they are not adjacent. *)
+val set_link_partitioned : t -> a:string -> b:string -> bool -> unit
+
+(** Inject (or lift, [host] matching a group's monitor) a monitor
+    outage: the group's monitors and transmitter stop handling and
+    ticking, as if the processes were stopped — the machine and its
+    network stay up. *)
+val set_monitor_down : t -> host:string -> bool -> unit
+
+(** Per-message probability of corrupting one byte of a stream payload
+    in flight (metered by [faults.corrupted_messages_total]).  Raises
+    [Invalid_argument] outside [0, 1]. *)
+val set_frame_corruption : t -> float -> unit
+
+(** Carry out one fault action immediately (the effector behind
+    {!install_faults}). *)
+val apply_fault : t -> Smart_sim.Faults.action -> unit
+
+(** Arm a {!Smart_sim.Faults.plan} on the deployment's engine: each
+    event fires at its virtual time and is applied through
+    {!apply_fault}, so same-seed chaos runs replay identically. *)
+val install_faults : t -> Smart_sim.Faults.plan -> Smart_sim.Faults.t
+
 (** [(messages, payload bytes)] sent so far by a component tag:
     "probe", "transmitter", "wizard", "client". *)
 val traffic_stats : t -> string -> int * int
@@ -81,6 +119,11 @@ val db_wizard : t -> Status_db.t
 val db_monitor : t -> Status_db.t
 
 val wizard_component : t -> Wizard.t
+
+val receiver_component : t -> Receiver.t
+
+(** The first (local) group's transmitter. *)
+val transmitter_component : t -> Transmitter.t
 
 val sysmon_component : t -> Sysmon.t
 

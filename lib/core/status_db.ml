@@ -88,17 +88,20 @@ let sys_records t =
    than [max_age] (3 probe intervals by default in the drivers).  The
    generation moves only when a record was actually removed, so an idle
    periodic sweep does not invalidate readers' memoized views. *)
-let sweep_sys t ~now ~max_age =
+let sweep_sys_expired t ~now ~max_age =
   let stale =
     Hashtbl.fold
       (fun host r acc ->
         if now -. r.Smart_proto.Records.updated_at > max_age then host :: acc
         else acc)
       t.sys []
+    |> List.sort String.compare
   in
   List.iter (Hashtbl.remove t.sys) stale;
   if stale <> [] then bump t;
-  List.length stale
+  stale
+
+let sweep_sys t ~now ~max_age = List.length (sweep_sys_expired t ~now ~max_age)
 
 (* Remove every peer-index contribution of [monitor]'s previous record. *)
 let unindex_net t ~monitor (record : Smart_proto.Records.net_record) =

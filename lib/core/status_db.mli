@@ -32,6 +32,11 @@ val sys_records : t -> Smart_proto.Records.sys_record list
 (** Remove records older than [max_age]; returns how many were dropped. *)
 val sweep_sys : t -> now:float -> max_age:float -> int
 
+(** Like {!sweep_sys} but returns the dropped host names (sorted), so
+    callers tracking per-host failure history — the sysmon's flap
+    quarantine — know exactly who went quiet. *)
+val sweep_sys_expired : t -> now:float -> max_age:float -> string list
+
 val update_net : t -> Smart_proto.Records.net_record -> unit
 
 val find_net : t -> monitor:string -> Smart_proto.Records.net_record option

@@ -1,24 +1,52 @@
 (* The system status monitor (§3.2.2): collects probe reports into the
    system database, stamping each record with its arrival time, and
-   periodically sweeps out servers whose probe has gone quiet. *)
+   periodically sweeps out servers whose probe has gone quiet.
+
+   Flap quarantine: a server that keeps expiring and re-registering (a
+   crashing-and-restarting probe, a lossy path) whipsaws the wizard's
+   candidate set.  After [flap_threshold] expiries the host is
+   quarantined — its reports are counted but not inserted — until it has
+   reported continuously for [clean_intervals] probe periods. *)
 
 module Metrics = Smart_util.Metrics
 
 type config = {
   probe_interval : float;  (* expected reporting period of the probes *)
   missed_intervals : int;  (* failures tolerated before expiry (3 in §4.1) *)
+  flap_threshold : int;    (* expiries before quarantine; 0 disables *)
+  clean_intervals : int;   (* clean probe periods before re-admission *)
 }
 
-let default_config = { probe_interval = 5.0; missed_intervals = 3 }
+let default_config =
+  {
+    probe_interval = 5.0;
+    missed_intervals = 3;
+    flap_threshold = 3;
+    clean_intervals = 3;
+  }
+
+(* Clean-streak bookkeeping for a quarantined host.  A gap longer than
+   1.5 probe intervals means the probe went quiet again: the streak
+   restarts. *)
+type quarantine = {
+  mutable clean_since : float option;  (* start of the current streak *)
+  mutable last_report : float;
+}
 
 type t = {
   config : config;
   db : Status_db.t;
   trace : Smart_util.Tracelog.t;
+  flaps : (string, int) Hashtbl.t;  (* host -> expiries since last re-admit *)
+  quarantined : (string, quarantine) Hashtbl.t;
   reports_total : Metrics.Counter.t;
   parse_errors_total : Metrics.Counter.t;
   sweeps_total : Metrics.Counter.t;
   expired_total : Metrics.Counter.t;
+  quarantined_total : Metrics.Counter.t;
+  quarantined_reports_total : Metrics.Counter.t;
+  readmitted_total : Metrics.Counter.t;
+  quarantined_gauge : Metrics.Gauge.t;
   hosts : Metrics.Gauge.t;
 }
 
@@ -28,6 +56,8 @@ let create ?(config = default_config) ?(metrics = Metrics.create ())
     config;
     db;
     trace;
+    flaps = Hashtbl.create 8;
+    quarantined = Hashtbl.create 8;
     reports_total =
       Metrics.counter metrics ~help:"probe reports ingested"
         "sysmon.reports_total";
@@ -39,12 +69,40 @@ let create ?(config = default_config) ?(metrics = Metrics.create ())
     expired_total =
       Metrics.counter metrics ~help:"servers expired for probe silence"
         "sysmon.expired_total";
+    quarantined_total =
+      Metrics.counter metrics ~help:"flapping servers put in quarantine"
+        "sysmon.quarantined_total";
+    quarantined_reports_total =
+      Metrics.counter metrics
+        ~help:"reports from quarantined servers, counted but not inserted"
+        "sysmon.quarantined_reports_total";
+    readmitted_total =
+      Metrics.counter metrics
+        ~help:"quarantined servers re-admitted after a clean streak"
+        "sysmon.readmitted_total";
+    quarantined_gauge =
+      Metrics.gauge metrics ~help:"servers currently quarantined"
+        "sysmon.quarantined";
     hosts =
       Metrics.gauge metrics ~help:"servers currently in the system database"
         "sysmon.hosts";
   }
 
 let max_age t = t.config.probe_interval *. float_of_int t.config.missed_intervals
+
+(* A quarantined host reported.  Returns [true] when the clean streak
+   just reached [clean_intervals] probe periods and the host may rejoin
+   the database. *)
+let quarantine_report t q ~now =
+  (match q.clean_since with
+  | Some _ when now -. q.last_report <= 1.5 *. t.config.probe_interval -> ()
+  | Some _ | None -> q.clean_since <- Some now);
+  q.last_report <- now;
+  match q.clean_since with
+  | Some since ->
+    now -. since
+    >= t.config.probe_interval *. float_of_int t.config.clean_intervals
+  | None -> false
 
 (* One incoming report datagram.  A traced report carries the probe's
    tick-span context: the ingest span adopts it as parent and is left in
@@ -56,27 +114,74 @@ let handle_report t ~now data =
     Metrics.Counter.incr t.parse_errors_total;
     Error e
   | Ok (report, ctx) ->
+    let host = report.Smart_proto.Report.host in
+    let admitted =
+      match Hashtbl.find_opt t.quarantined host with
+      | None -> true
+      | Some q ->
+        if quarantine_report t q ~now then begin
+          Hashtbl.remove t.quarantined host;
+          Hashtbl.remove t.flaps host;
+          Metrics.Counter.incr t.readmitted_total;
+          Metrics.Gauge.set t.quarantined_gauge
+            (float_of_int (Hashtbl.length t.quarantined));
+          Smart_util.Tracelog.instant t.trace "sysmon.readmit";
+          true
+        end
+        else begin
+          Metrics.Counter.incr t.quarantined_reports_total;
+          false
+        end
+    in
     let span =
       Smart_util.Tracelog.start t.trace ~parent:ctx "sysmon.ingest"
     in
     Metrics.Counter.incr t.reports_total;
-    Status_db.update_sys t.db
-      { Smart_proto.Records.report; updated_at = now };
-    Status_db.set_last_trace t.db (Smart_util.Tracelog.ctx_of span);
+    if admitted then begin
+      Status_db.update_sys t.db
+        { Smart_proto.Records.report; updated_at = now };
+      Status_db.set_last_trace t.db (Smart_util.Tracelog.ctx_of span)
+    end;
     Metrics.Gauge.set t.hosts (float_of_int (Status_db.sys_count t.db));
     Smart_util.Tracelog.finish t.trace span;
     Ok report
 
-(* Periodic expiry sweep; returns the number of expired servers. *)
+(* Periodic expiry sweep; returns the number of expired servers.  Each
+   expiry counts against the host's flap score; crossing the threshold
+   quarantines it until it reports cleanly for a while. *)
 let sweep t ~now =
   let span = Smart_util.Tracelog.start t.trace "sysmon.sweep" in
-  let expired = Status_db.sweep_sys t.db ~now ~max_age:(max_age t) in
+  let expired =
+    Status_db.sweep_sys_expired t.db ~now ~max_age:(max_age t)
+  in
+  if t.config.flap_threshold > 0 then
+    List.iter
+      (fun host ->
+        let flaps =
+          1 + Option.value ~default:0 (Hashtbl.find_opt t.flaps host)
+        in
+        Hashtbl.replace t.flaps host flaps;
+        if flaps >= t.config.flap_threshold
+           && not (Hashtbl.mem t.quarantined host)
+        then begin
+          Hashtbl.replace t.quarantined host
+            { clean_since = None; last_report = now };
+          Metrics.Counter.incr t.quarantined_total;
+          Metrics.Gauge.set t.quarantined_gauge
+            (float_of_int (Hashtbl.length t.quarantined));
+          Smart_util.Tracelog.instant t.trace "sysmon.quarantine"
+        end)
+      expired;
   Metrics.Counter.incr t.sweeps_total;
-  Metrics.Counter.incr t.expired_total ~by:expired;
+  Metrics.Counter.incr t.expired_total ~by:(List.length expired);
   Metrics.Gauge.set t.hosts (float_of_int (Status_db.sys_count t.db));
   Smart_util.Tracelog.finish t.trace span;
-  expired
+  List.length expired
 
 let reports_handled t = Metrics.Counter.value t.reports_total
 
 let parse_errors t = Metrics.Counter.value t.parse_errors_total
+
+let quarantined t = Hashtbl.length t.quarantined
+
+let is_quarantined t ~host = Hashtbl.mem t.quarantined host

@@ -5,9 +5,16 @@ type config = {
   probe_interval : float;  (** expected reporting period of the probes *)
   missed_intervals : int;
       (** silent periods tolerated before a server expires (3 in §4.1) *)
+  flap_threshold : int;
+      (** expiries before a server is quarantined as flapping (its
+          reports are counted but no longer inserted); 0 disables *)
+  clean_intervals : int;
+      (** continuous clean probe periods (no gap over 1.5 intervals)
+          before a quarantined server is re-admitted *)
 }
 
-(** 5 s probe interval, 3 missed intervals (§4.1). *)
+(** 5 s probe interval, 3 missed intervals (§4.1); quarantine after 3
+    expiries, re-admit after 3 clean intervals. *)
 val default_config : config
 
 type t
@@ -28,11 +35,17 @@ val create :
 (** Age beyond which a record is considered stale. *)
 val max_age : t -> float
 
-(** Handle one report datagram; updates the database on success. *)
+(** Handle one report datagram; updates the database on success.  A
+    quarantined host's report is decoded and counted
+    ([sysmon.quarantined_reports_total]) but only re-enters the database
+    once its clean streak spans [clean_intervals] probe periods. *)
 val handle_report :
   t -> now:float -> string -> (Smart_proto.Report.t, string) result
 
-(** Expiry sweep; returns the number of servers dropped. *)
+(** Expiry sweep; returns the number of servers dropped.  Every expiry
+    raises the host's flap score; at [flap_threshold] the host is
+    quarantined ([sysmon.quarantined_total], [sysmon.quarantine] trace
+    instant). *)
 val sweep : t -> now:float -> int
 
 (** Reports successfully ingested over the monitor's lifetime. *)
@@ -40,3 +53,8 @@ val reports_handled : t -> int
 
 (** Malformed report datagrams dropped. *)
 val parse_errors : t -> int
+
+(** Servers currently quarantined as flapping. *)
+val quarantined : t -> int
+
+val is_quarantined : t -> host:string -> bool

@@ -3,13 +3,20 @@
    reliable stream.
 
    Centralized mode pushes on every tick; distributed mode stays passive
-   and answers explicit pull requests from the wizard. *)
+   and answers explicit pull requests from the wizard.
+
+   Delivery failures (the driver could not reach the receiver) feed a
+   bounded resend queue with exponential backoff: the failed payload is
+   kept, ticks go quiet until the retry time, then the queue drains
+   ahead of fresh pushes.  A success resets the backoff. *)
 
 module Metrics = Smart_util.Metrics
 
 type mode = Centralized | Distributed
 
 let pull_request_magic = "SMART-PULL"
+
+let default_resend_capacity = 8
 
 type config = {
   mode : mode;
@@ -21,20 +28,38 @@ type t = {
   config : config;
   db : Status_db.t;
   monitor_name : string;
+  crc : bool;  (* append CRC-32 trailers to emitted frames *)
   trace : Smart_util.Tracelog.t;
+  resend : string Queue.t;  (* encoded stream payloads awaiting resend *)
+  resend_capacity : int;
+  backoff : Smart_util.Backoff.t;
+  mutable retry_at : float option;  (* quiet until then after a failure *)
   pushes_total : Metrics.Counter.t;
   bytes_total : Metrics.Counter.t;
   frames_total : Metrics.Counter.t;
   pulls_total : Metrics.Counter.t;
+  send_failures_total : Metrics.Counter.t;
+  resends_total : Metrics.Counter.t;
+  resend_dropped_total : Metrics.Counter.t;
+  resend_queue_gauge : Metrics.Gauge.t;
 }
 
 let create ?(metrics = Metrics.create ())
-    ?(trace = Smart_util.Tracelog.disabled) ~monitor_name config db =
+    ?(trace = Smart_util.Tracelog.disabled) ?(crc = false)
+    ?(resend_capacity = default_resend_capacity)
+    ?(backoff = Smart_util.Backoff.default) ?rng ~monitor_name config db =
+  if resend_capacity < 0 then
+    invalid_arg "Transmitter.create: negative resend_capacity";
   {
     config;
     db;
     monitor_name;
+    crc;
     trace;
+    resend = Queue.create ();
+    resend_capacity;
+    backoff = Smart_util.Backoff.create ?rng backoff;
+    retry_at = None;
     pushes_total =
       Metrics.counter metrics ~help:"database snapshots shipped"
         "transmitter.pushes_total";
@@ -47,6 +72,19 @@ let create ?(metrics = Metrics.create ())
     pulls_total =
       Metrics.counter metrics ~help:"distributed-mode pull requests honoured"
         "transmitter.pulls_total";
+    send_failures_total =
+      Metrics.counter metrics ~help:"stream deliveries reported failed"
+        "transmitter.send_failures_total";
+    resends_total =
+      Metrics.counter metrics ~help:"queued payloads re-sent after backoff"
+        "transmitter.resends_total";
+    resend_dropped_total =
+      Metrics.counter metrics
+        ~help:"queued payloads dropped by the resend bound (oldest first)"
+        "transmitter.resend_dropped_total";
+    resend_queue_gauge =
+      Metrics.gauge metrics ~help:"payloads waiting in the resend queue"
+        "transmitter.resend_queue";
   }
 
 let snapshot_frames ?(trace = Smart_util.Tracelog.root) t =
@@ -89,7 +127,8 @@ let push t =
     snapshot_frames ~trace:(Smart_util.Tracelog.ctx_of span) t
   in
   let encoded =
-    String.concat "" (List.map (Smart_proto.Frame.encode t.config.order) frames)
+    String.concat ""
+      (List.map (Smart_proto.Frame.encode ~crc:t.crc t.config.order) frames)
   in
   Metrics.Counter.incr t.pushes_total;
   Metrics.Counter.incr t.frames_total ~by:(List.length frames);
@@ -100,9 +139,57 @@ let push t =
       ~port:t.config.receiver.Output.port encoded;
   ]
 
-(* Centralized-mode periodic tick. *)
-let tick t =
-  match t.config.mode with Centralized -> push t | Distributed -> []
+(* The driver reports a stream delivery it could not complete.  The
+   payload joins the bounded resend queue (oldest entries fall out — a
+   newer snapshot supersedes them anyway) and the next attempt waits out
+   an exponential backoff. *)
+let note_send_failure t ~now ~data =
+  Metrics.Counter.incr t.send_failures_total;
+  Smart_util.Tracelog.instant t.trace "transmitter.send_failure";
+  Queue.add data t.resend;
+  while Queue.length t.resend > t.resend_capacity do
+    ignore (Queue.pop t.resend);
+    Metrics.Counter.incr t.resend_dropped_total
+  done;
+  Metrics.Gauge.set t.resend_queue_gauge
+    (float_of_int (Queue.length t.resend));
+  t.retry_at <- Some (now +. Smart_util.Backoff.next t.backoff)
+
+(* The driver reports a completed stream delivery: the receiver is
+   reachable again, so the backoff resets. *)
+let note_send_ok t =
+  Smart_util.Backoff.reset t.backoff;
+  t.retry_at <- None
+
+let backing_off t ~now =
+  match t.retry_at with Some at -> now < at | None -> false
+
+(* Drain the resend queue into stream outputs (one attempt each; a
+   failure re-queues through [note_send_failure]). *)
+let drain_resend t =
+  let outputs = ref [] in
+  while not (Queue.is_empty t.resend) do
+    let data = Queue.pop t.resend in
+    Metrics.Counter.incr t.resends_total;
+    outputs :=
+      Output.stream ~host:t.config.receiver.Output.host
+        ~port:t.config.receiver.Output.port data
+      :: !outputs
+  done;
+  Metrics.Gauge.set t.resend_queue_gauge 0.0;
+  List.rev !outputs
+
+(* Periodic tick: quiet while backing off after a failure; otherwise
+   queued resends first, then (centralized mode) a fresh push. *)
+let tick t ~now =
+  if backing_off t ~now then []
+  else begin
+    t.retry_at <- None;
+    let resends = drain_resend t in
+    match t.config.mode with
+    | Centralized -> resends @ push t
+    | Distributed -> resends
+  end
 
 (* Distributed-mode pull request (a datagram on the transmitter port). *)
 let handle_pull t ~data =
@@ -116,3 +203,9 @@ let handle_pull t ~data =
 let pushes t = Metrics.Counter.value t.pushes_total
 
 let bytes_sent t = Metrics.Counter.value t.bytes_total
+
+let send_failures t = Metrics.Counter.value t.send_failures_total
+
+let resends t = Metrics.Counter.value t.resends_total
+
+let resend_queue_length t = Queue.length t.resend

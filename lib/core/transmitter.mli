@@ -9,6 +9,9 @@ type mode = Centralized | Distributed
 (** Datagram body that triggers a distributed-mode push. *)
 val pull_request_magic : string
 
+(** Payloads the resend queue holds before dropping the oldest (8). *)
+val default_resend_capacity : int
+
 type config = {
   mode : mode;  (** push-on-tick vs pull-driven *)
   order : Smart_proto.Endian.order;  (** must match the receiver's *)
@@ -23,10 +26,21 @@ type t
     [transmitter.*] instruments (see OBSERVABILITY.md); by default a
     private registry is used.  [trace] records a [transmitter.push] span
     per push, parented on {!Status_db.last_trace} and embedded in the
-    emitted frames; defaults to {!Smart_util.Tracelog.disabled}. *)
+    emitted frames; defaults to {!Smart_util.Tracelog.disabled}.
+
+    [crc] (default off) appends a CRC-32 trailer to every emitted frame
+    so the receiver can detect and resynchronise past stream corruption.
+    [resend_capacity] bounds the failure resend queue (oldest payloads
+    drop first — a newer snapshot supersedes them); [backoff] and [rng]
+    shape the retry delays after {!note_send_failure} ([rng] jitters
+    them; omitted, delays are the deterministic nominal schedule). *)
 val create :
   ?metrics:Smart_util.Metrics.t ->
   ?trace:Smart_util.Tracelog.t ->
+  ?crc:bool ->
+  ?resend_capacity:int ->
+  ?backoff:Smart_util.Backoff.policy ->
+  ?rng:Smart_util.Prng.t ->
   monitor_name:string ->
   config ->
   Status_db.t ->
@@ -41,8 +55,22 @@ val snapshot_frames :
 (** Unconditional push (both modes). *)
 val push : t -> Output.t list
 
-(** Periodic tick: pushes in centralized mode, no-op in distributed. *)
-val tick : t -> Output.t list
+(** Periodic tick at driver time [now]: quiet while backing off after a
+    reported failure; otherwise drains the resend queue (both modes) and
+    pushes a fresh snapshot (centralized mode only). *)
+val tick : t -> now:float -> Output.t list
+
+(** The driver reports a stream delivery that failed: the payload joins
+    the bounded resend queue, [transmitter.send_failures_total] ticks,
+    and subsequent {!tick}s stay quiet until an exponential-backoff
+    delay from [now] has passed. *)
+val note_send_failure : t -> now:float -> data:string -> unit
+
+(** The driver reports a completed stream delivery; resets the backoff. *)
+val note_send_ok : t -> unit
+
+(** Whether {!tick} would currently stay quiet. *)
+val backing_off : t -> now:float -> bool
 
 (** Pull request handler: pushes in distributed mode when the magic
     matches, no-op otherwise. *)
@@ -53,3 +81,12 @@ val pushes : t -> int
 
 (** Total encoded frame bytes shipped. *)
 val bytes_sent : t -> int
+
+(** Stream deliveries the driver reported failed. *)
+val send_failures : t -> int
+
+(** Queued payloads re-sent after backoff. *)
+val resends : t -> int
+
+(** Payloads currently waiting in the resend queue. *)
+val resend_queue_length : t -> int

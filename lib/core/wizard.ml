@@ -48,6 +48,9 @@ let default_local_entry =
 
 type config = { mode : mode; groups : groups option }
 
+(* Receiver silence tolerated before replies are flagged degraded. *)
+let default_staleness_threshold = infinity
+
 let default_compile_cache_capacity = 128
 
 type pending = {
@@ -69,6 +72,8 @@ type t = {
   result_cache : (int * Selection.result) Smart_util.Lru.t;
       (* (generation, result); stale when the generation moved *)
   clock : unit -> float;  (* injected clock for the latency histogram *)
+  staleness_threshold : float;
+      (* receiver silence beyond this flags replies degraded *)
   trace : Smart_util.Tracelog.t;
   requests_total : Metrics.Counter.t;
   compile_errors_total : Metrics.Counter.t;
@@ -79,16 +84,23 @@ type t = {
   result_cache_hits_total : Metrics.Counter.t;
   result_cache_misses_total : Metrics.Counter.t;
   pending_gauge : Metrics.Gauge.t;
+  degraded_replies_total : Metrics.Counter.t;
   request_latency : Metrics.Histogram.t;
   mutable snapshot : Selection.snapshot option;
   mutable updates_seen : int;
+  mutable last_update_at : float option;
+      (* clock time of the last receiver update; [None] until fed *)
   mutable last_result : Selection.result option;
 }
 
 let create ?(compile_cache_capacity = default_compile_cache_capacity)
     ?(metrics = Metrics.create ()) ?(clock = fun () -> 0.)
+    ?(staleness_threshold = default_staleness_threshold)
     ?(trace = Smart_util.Tracelog.disabled) config db =
+  if staleness_threshold <= 0.0 then
+    invalid_arg "Wizard.create: staleness_threshold must be positive";
   {
+    staleness_threshold;
     config;
     db;
     pending = Queue.create ();
@@ -124,12 +136,17 @@ let create ?(compile_cache_capacity = default_compile_cache_capacity)
     pending_gauge =
       Metrics.gauge metrics ~help:"distributed-mode requests parked"
         "wizard.pending";
+    degraded_replies_total =
+      Metrics.counter metrics
+        ~help:"replies served from a stale snapshot (receiver feed quiet)"
+        "wizard.degraded_replies_total";
     request_latency =
       Metrics.histogram metrics
         ~help:"request processing wall time, seconds (decode to reply)"
         "wizard.request_latency_seconds";
     snapshot = None;
     updates_seen = 0;
+    last_update_at = None;
     last_result = None;
   }
 
@@ -137,7 +154,18 @@ let create ?(compile_cache_capacity = default_compile_cache_capacity)
    requests know when every transmitter has re-reported. *)
 let note_update t =
   t.updates_seen <- t.updates_seen + 1;
+  t.last_update_at <- Some (t.clock ());
   Metrics.Counter.incr t.updates_total
+
+(* Degraded mode: the receiver feed has been quiet longer than the
+   staleness threshold, so the answer comes from the last good snapshot
+   and says so.  A database that was never receiver-fed (centralized
+   single-process setups, direct test population) is not stale — there
+   is no feed to have gone quiet. *)
+let degraded_now t =
+  match t.last_update_at with
+  | None -> false
+  | Some ts -> t.clock () -. ts > t.staleness_threshold
 
 (* Network metrics toward one server: direct measurements in flat
    deployments, group-level measurements (local monitor -> server's
@@ -210,8 +238,17 @@ let compile t ~parent source =
 let reply_to t (request : Smart_proto.Wizard_msg.request) ~parent ~from
     ~servers =
   let span = Smart_util.Tracelog.start t.trace ~parent "wizard.reply" in
+  let degraded = degraded_now t in
+  if degraded then begin
+    Metrics.Counter.incr t.degraded_replies_total;
+    Smart_util.Tracelog.instant t.trace ~parent "wizard.degraded"
+  end;
   let reply =
-    { Smart_proto.Wizard_msg.seq = request.Smart_proto.Wizard_msg.seq; servers }
+    {
+      Smart_proto.Wizard_msg.seq = request.Smart_proto.Wizard_msg.seq;
+      servers;
+      degraded;
+    }
   in
   let outputs =
     [
@@ -325,5 +362,7 @@ let result_cache_stats t =
 let snapshot_rebuilds t = Metrics.Counter.value t.snapshot_rebuilds_total
 
 let request_latency_summary t = Metrics.histogram_summary t.request_latency
+
+let degraded_replies t = Metrics.Counter.value t.degraded_replies_total
 
 let last_result t = t.last_result

@@ -37,6 +37,10 @@ type t
 (** Compiled requirements kept in the LRU compile cache (128). *)
 val default_compile_cache_capacity : int
 
+(** Receiver silence tolerated before replies are flagged degraded;
+    the default ([infinity]) never degrades. *)
+val default_staleness_threshold : float
+
 (** [create ?compile_cache_capacity ?metrics ?clock config db] builds a
     wizard answering from [db].  [compile_cache_capacity] bounds the
     requirement compile cache; 0 disables it (every request
@@ -51,11 +55,19 @@ val default_compile_cache_capacity : int
     (parented on the context the request datagram carries) with
     [wizard.parse] (compile-cache misses only), [wizard.snapshot]
     (rebuilds only), [wizard.select] and [wizard.reply] children;
-    defaults to {!Smart_util.Tracelog.disabled}. *)
+    defaults to {!Smart_util.Tracelog.disabled}.
+
+    [staleness_threshold] (seconds, default {!default_staleness_threshold})
+    arms degraded mode: once the receiver feed has been quiet longer
+    than this, replies still answer from the last good snapshot but
+    carry the [degraded] flag, bump [wizard.degraded_replies_total] and
+    record a [wizard.degraded] trace instant.  A database never fed
+    through {!note_update} is not considered stale. *)
 val create :
   ?compile_cache_capacity:int ->
   ?metrics:Smart_util.Metrics.t ->
   ?clock:(unit -> float) ->
+  ?staleness_threshold:float ->
   ?trace:Smart_util.Tracelog.t ->
   config ->
   Status_db.t ->
@@ -97,6 +109,9 @@ val snapshot_rebuilds : t -> int
 (** The [wizard.request_latency_seconds] histogram in one read:
     count/sum/min/max plus incremental p50/p95/p99 estimates. *)
 val request_latency_summary : t -> Smart_util.Metrics.histogram_summary
+
+(** Replies served with the degraded (stale snapshot) flag set. *)
+val degraded_replies : t -> int
 
 (** Diagnostics of the most recent selection. *)
 val last_result : t -> Selection.result option

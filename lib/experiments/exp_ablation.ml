@@ -244,7 +244,12 @@ let staleness_ablation ?(loss = 0.15) ?(interval = 2.0) ?(fail_at = 600.0)
       let db = Smart_core.Status_db.create () in
       let sysmon =
         Smart_core.Sysmon.create
-          ~config:{ Smart_core.Sysmon.probe_interval = interval; missed_intervals }
+          ~config:
+            {
+              Smart_core.Sysmon.default_config with
+              probe_interval = interval;
+              missed_intervals;
+            }
           db
       in
       let false_expiries = ref 0 in

@@ -28,6 +28,8 @@ type t = {
   mutable shaper : Shaper.t option;
   mutable bytes_carried : int;
   mutable packets_carried : int;
+  mutable partitioned : bool;
+  mutable packets_dropped : int;
 }
 
 let create ~id ~src ~dst conf =
@@ -42,9 +44,15 @@ let create ~id ~src ~dst conf =
     shaper = None;
     bytes_carried = 0;
     packets_carried = 0;
+    partitioned = false;
+    packets_dropped = 0;
   }
 
 let set_shaper t shaper = t.shaper <- shaper
+
+let set_partitioned t on = t.partitioned <- on
+
+let partitioned t = t.partitioned
 
 let set_cross_load t load = t.cross_load <- Float.max 0.0 load
 
@@ -71,6 +79,11 @@ let capacity_for_flows t = Float.max 0.0 (effective_capacity t -. t.cross_load)
    fragment is lost.  FIFO: a fragment cannot start before the previous
    one finished serialising. *)
 let transmit t ~rng ~now ~size =
+  if t.partitioned then begin
+    t.packets_dropped <- t.packets_dropped + 1;
+    None
+  end
+  else
   let now =
     match t.shaper with
     | None -> now

@@ -25,11 +25,21 @@ type t = {
   mutable shaper : Shaper.t option;
   mutable bytes_carried : int;
   mutable packets_carried : int;
+  mutable partitioned : bool;
+  mutable packets_dropped : int;
 }
 
 val create : id:int -> src:int -> dst:int -> conf -> t
 
 val set_shaper : t -> Shaper.t option -> unit
+
+(** A partitioned channel drops every fragment (counted in
+    [packets_dropped]) without consuming serialisation time; healing
+    restores normal service.  Fault-injection uses this for link and
+    host partitions. *)
+val set_partitioned : t -> bool -> unit
+
+val partitioned : t -> bool
 
 (** Set background cross-traffic load in bytes/second (clamped at 0). *)
 val set_cross_load : t -> float -> unit

@@ -87,9 +87,15 @@ let decode_request s =
           }
   end
 
+(* Bit 15 of the reply's server-count word flags a degraded answer: the
+   wizard served it from a stale snapshot because its receiver feed had
+   gone quiet.  Fresh replies encode exactly as they always did. *)
+let degraded_flag = 0x8000
+
 type reply = {
   seq : int;
   servers : string list;  (* host names or IPs, best first *)
+  degraded : bool;        (* answered from a stale snapshot *)
 }
 
 let encode_reply r =
@@ -98,7 +104,8 @@ let encode_reply r =
   let buf = Buffer.create 128 in
   let b = Bytes.create 6 in
   Endian.set_u32 order b ~pos:0 (r.seq land 0xFFFFFFFF);
-  Endian.set_u16 order b ~pos:4 (List.length r.servers);
+  Endian.set_u16 order b ~pos:4
+    (List.length r.servers lor if r.degraded then degraded_flag else 0);
   Buffer.add_bytes buf b;
   List.iter
     (fun server ->
@@ -114,7 +121,9 @@ let decode_reply s =
   else begin
     let b = Bytes.of_string s in
     let seq = Endian.get_u32 order b ~pos:0 in
-    let count = Endian.get_u16 order b ~pos:4 in
+    let word = Endian.get_u16 order b ~pos:4 in
+    let degraded = word land degraded_flag <> 0 in
+    let count = word land lnot degraded_flag in
     let rec read pos n acc =
       if n = 0 then Ok (List.rev acc)
       else if pos >= String.length s then Error "reply: truncated server list"
@@ -127,6 +136,6 @@ let decode_reply s =
       end
     in
     match read 6 count [] with
-    | Ok servers -> Ok { seq; servers }
+    | Ok servers -> Ok { seq; servers; degraded }
     | Error _ as e -> e
   end

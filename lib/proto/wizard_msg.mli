@@ -23,6 +23,10 @@ val decode_request : string -> (request, string) result
 type reply = {
   seq : int;
   servers : string list;  (** best candidates first *)
+  degraded : bool;
+      (** the wizard answered from a stale snapshot (its receiver feed
+          had gone quiet); travels as bit 15 of the server-count word,
+          so fresh replies encode byte-identically to the old format *)
 }
 
 (** Raises [Invalid_argument] beyond [Ports.max_reply_servers] entries. *)

@@ -1,12 +1,14 @@
 (* The client library over real sockets (§3.6.2): send the request, wait
-   for the matching reply with retry, then connect a TCP socket to each
-   candidate's service port and hand the socket list to the caller. *)
+   for the matching reply with retransmit-and-backoff, then connect a TCP
+   socket to each candidate's service port and hand the list to the
+   caller. *)
 
 type connected_server = { host : string; socket : Unix.file_descr }
 
 let request_servers ?(option = Smart_proto.Wizard_msg.Accept_partial)
-    ?(timeout = 2.0) ?(retries = 2) ?rng ?metrics book ~wizard_host ~wanted
-    ~requirement () =
+    ?(timeout = 2.0) ?(retries = 2)
+    ?(backoff = Smart_util.Backoff.default) ?rng ?metrics book
+    ~wizard_host ~wanted ~requirement () =
   let rng =
     match rng with
     | Some rng -> rng
@@ -26,20 +28,42 @@ let request_servers ?(option = Smart_proto.Wizard_msg.Accept_partial)
       ~finally:(fun () -> Udp_io.stop socket)
       (fun () ->
         let data = Smart_proto.Wizard_msg.encode_request request in
+        (* the per-attempt receive window grows with the shared backoff
+           policy: same retry shape as the simulated client, real clock *)
+        let boff = Smart_util.Backoff.create ~rng backoff in
+        let sends = ref 0 in
+        let finish result =
+          Smart_core.Client.note_attempts client !sends;
+          result
+        in
         let rec attempt n =
-          if n < 0 then Error Smart_core.Client.Timeout
+          if n < 0 then finish (Error Smart_core.Client.Timeout)
           else begin
+            incr sends;
+            if !sends > 1 then Smart_core.Client.note_retry client;
             ignore (Udp_io.send socket ~to_:wizard_addr data);
-            match Udp_io.recv_timeout socket ~timeout with
+            let window =
+              Float.min timeout (Smart_util.Backoff.next boff)
+            in
+            wait n (Unix.gettimeofday () +. window)
+          end
+        and wait n deadline =
+          let remaining = deadline -. Unix.gettimeofday () in
+          if remaining <= 0.0 then attempt (n - 1)
+          else
+            match Udp_io.recv_timeout socket ~timeout:remaining with
             | None -> attempt (n - 1)
+            | Some (_, reply)
+              when Smart_core.Client.is_duplicate_reply client reply ->
+              (* late answer to an earlier, completed request *)
+              wait n deadline
             | Some (_, reply) ->
               (match Smart_core.Client.check_reply client request reply with
-              | Ok servers -> Ok servers
+              | Ok servers -> finish (Ok servers)
               | Error (Smart_core.Client.Wrong_seq _) ->
                 (* stale reply from an earlier attempt: keep waiting *)
-                attempt n
-              | Error _ as e -> e)
-          end
+                wait n deadline
+              | Error _ as e -> finish e)
         in
         attempt retries)
 
@@ -86,30 +110,74 @@ let scrape_trace ?(timeout = 2.0) ?(format = Smart_proto.Trace_msg.Text)
           | Some (_, dump) -> Ok dump
           | None -> Error "scrape timed out")
 
-(* Connect one TCP socket to a candidate's service port. *)
-let connect_service book ~host =
+(* Connect one TCP socket to a candidate's service port.  The optional
+   [connect_timeout] bounds the handshake with a non-blocking connect:
+   a black-holed candidate (dropped SYNs) costs seconds, not the
+   kernel's minutes-long default. *)
+let connect_service ?connect_timeout book ~host =
   match Addr_book.resolve book ~host ~port:Smart_proto.Ports.service with
   | None -> None
   | Some sockaddr ->
     let socket = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
-    (try
-       Unix.connect socket sockaddr;
-       Some { host; socket }
-     with Unix.Unix_error (_, _, _) ->
-       (try Unix.close socket with Unix.Unix_error (_, _, _) -> ());
-       None)
+    let fail () =
+      (try Unix.close socket with Unix.Unix_error (_, _, _) -> ());
+      None
+    in
+    (match connect_timeout with
+    | None ->
+      (try
+         Unix.connect socket sockaddr;
+         Some { host; socket }
+       with Unix.Unix_error (_, _, _) -> fail ())
+    | Some timeout ->
+      (try
+         Unix.set_nonblock socket;
+         (try Unix.connect socket sockaddr
+          with Unix.Unix_error (Unix.EINPROGRESS, _, _) -> ());
+         (* writability signals the handshake's end; SO_ERROR says how
+            it went *)
+         (match Unix.select [] [ socket ] [] timeout with
+         | _, _ :: _, _ ->
+           (match Unix.getsockopt_error socket with
+           | None ->
+             Unix.clear_nonblock socket;
+             Some { host; socket }
+           | Some _ -> fail ())
+         | _ -> fail ())
+       with Unix.Unix_error (_, _, _) -> fail ()))
 
 (* The full §3.6.2 flow: ask the wizard, then return one connected socket
-   per candidate (candidates that refuse the connection are skipped). *)
-let request_sockets ?option ?timeout ?retries ?rng ?metrics book ~wizard_host
-    ~wanted ~requirement () =
+   per candidate.  A candidate that refuses or times out is skipped —
+   counted in [client.connect_failed_total] — and the partial socket
+   list is returned, so one dead server never sinks the whole request. *)
+let request_sockets ?option ?timeout ?retries ?backoff ?connect_timeout ?rng
+    ?metrics book ~wizard_host ~wanted ~requirement () =
   match
-    request_servers ?option ?timeout ?retries ?rng ?metrics book ~wizard_host
-      ~wanted ~requirement ()
+    request_servers ?option ?timeout ?retries ?backoff ?rng ?metrics book
+      ~wizard_host ~wanted ~requirement ()
   with
   | Error _ as e -> e
   | Ok servers ->
-    Ok (List.filter_map (fun host -> connect_service book ~host) servers)
+    let connect_failed =
+      match metrics with
+      | None -> None
+      | Some m ->
+        Some
+          (Smart_util.Metrics.counter m
+             ~help:"candidate service connections refused or timed out"
+             "client.connect_failed_total")
+    in
+    Ok
+      (List.filter_map
+         (fun host ->
+           match connect_service ?connect_timeout book ~host with
+           | Some _ as c -> c
+           | None ->
+             (match connect_failed with
+             | Some c -> Smart_util.Metrics.Counter.incr c
+             | None -> ());
+             None)
+         servers)
 
 let close_all connected =
   List.iter

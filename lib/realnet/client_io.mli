@@ -4,11 +4,16 @@
 type connected_server = { host : string; socket : Unix.file_descr }
 
 (** Ask the wizard for candidate host names.  [metrics] receives the
-    [client.*] instruments (see OBSERVABILITY.md). *)
+    [client.*] instruments (see OBSERVABILITY.md).  The request is
+    retransmitted up to [retries] extra times, each receive window drawn
+    from [backoff] (the same truncated-exponential policy the simulated
+    client uses) and capped by [timeout]; late replies to completed
+    requests are dropped by sequence number. *)
 val request_servers :
   ?option:Smart_proto.Wizard_msg.option_flag ->
   ?timeout:float ->
   ?retries:int ->
+  ?backoff:Smart_util.Backoff.policy ->
   ?rng:Smart_util.Prng.t ->
   ?metrics:Smart_util.Metrics.t ->
   Addr_book.t ->
@@ -45,15 +50,22 @@ val scrape_trace :
   unit ->
   (string, string) result
 
-(** TCP-connect to one candidate's service port. *)
-val connect_service : Addr_book.t -> host:string -> connected_server option
+(** TCP-connect to one candidate's service port.  [connect_timeout]
+    bounds the handshake (non-blocking connect + select), so a
+    black-holed candidate costs seconds instead of the kernel default. *)
+val connect_service :
+  ?connect_timeout:float -> Addr_book.t -> host:string -> connected_server option
 
-(** The full flow: ask, then connect each candidate (refusals are
-    skipped). *)
+(** The full flow: ask, then connect each candidate.  A candidate that
+    refuses or times out is skipped and counted in
+    [client.connect_failed_total] (when [metrics] is given); the partial
+    socket list is returned. *)
 val request_sockets :
   ?option:Smart_proto.Wizard_msg.option_flag ->
   ?timeout:float ->
   ?retries:int ->
+  ?backoff:Smart_util.Backoff.policy ->
+  ?connect_timeout:float ->
   ?rng:Smart_util.Prng.t ->
   ?metrics:Smart_util.Metrics.t ->
   Addr_book.t ->

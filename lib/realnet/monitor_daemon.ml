@@ -42,7 +42,8 @@ let create book (config : config) =
     Smart_core.Sysmon.create
       ~config:
         {
-          Smart_core.Sysmon.probe_interval = config.probe_interval;
+          Smart_core.Sysmon.default_config with
+          probe_interval = config.probe_interval;
           missed_intervals = 3;
         }
       ~metrics ~trace:tracelog db
@@ -131,6 +132,17 @@ let refresh_netmon t =
   Smart_core.Netmon.probe_all t.netmon ~now:(Unix.gettimeofday ())
     ~prober:(fun ~target -> socket_prober t ~target)
 
+(* Execute transmitter outputs with the resilience hooks wired: a failed
+   TCP push lands in the transmitter's bounded resend queue (and arms its
+   backoff), a successful one resets it. *)
+let perform_transmits t outputs =
+  Perform.outputs t.book ~udp:t.out_socket outputs
+    ~on_stream_failure:(fun ~data ->
+      Smart_core.Transmitter.note_send_failure t.transmitter
+        ~now:(Unix.gettimeofday ()) ~data)
+    ~on_stream_ok:(fun () ->
+      Smart_core.Transmitter.note_send_ok t.transmitter)
+
 let start t =
   if t.running then invalid_arg "Monitor_daemon.start: already running";
   t.running <- true;
@@ -153,12 +165,12 @@ let start t =
              (Smart_proto.Trace_msg.encode_reply format t.tracelog))
       | None ->
         let outputs = Smart_core.Transmitter.handle_pull t.transmitter ~data in
-        Perform.outputs t.book ~udp:t.out_socket outputs);
+        perform_transmits t outputs);
   let transmit_loop () =
     while t.running do
-      ignore (Smart_core.Sysmon.sweep t.sysmon ~now:(Unix.gettimeofday ()));
-      let outputs = Smart_core.Transmitter.tick t.transmitter in
-      Perform.outputs t.book ~udp:t.out_socket outputs;
+      let now = Unix.gettimeofday () in
+      ignore (Smart_core.Sysmon.sweep t.sysmon ~now);
+      perform_transmits t (Smart_core.Transmitter.tick t.transmitter ~now);
       Thread.delay t.config.transmit_interval
     done
   in

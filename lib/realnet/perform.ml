@@ -24,7 +24,13 @@ let send_stream sockaddr data =
         true
       with Unix.Unix_error (_, _, _) -> false)
 
-let outputs book ~(udp : Udp_io.t) outs =
+let outputs ?on_stream_failure ?on_stream_ok book ~(udp : Udp_io.t) outs =
+  let stream_failed data =
+    match on_stream_failure with None -> () | Some f -> f ~data
+  in
+  let stream_ok () =
+    match on_stream_ok with None -> () | Some f -> f ()
+  in
   List.iter
     (fun output ->
       let resolve_and_send dst data ~stream =
@@ -32,9 +38,11 @@ let outputs book ~(udp : Udp_io.t) outs =
           Addr_book.resolve book ~host:dst.Smart_core.Output.host
             ~port:dst.Smart_core.Output.port
         with
-        | None -> ()
+        | None -> if stream then stream_failed data
         | Some sockaddr ->
-          if stream then ignore (send_stream sockaddr data)
+          if stream then
+            if send_stream sockaddr data then stream_ok ()
+            else stream_failed data
           else ignore (Udp_io.send udp ~to_:sockaddr data)
       in
       match output with

@@ -6,5 +6,15 @@
 val send_stream : Unix.sockaddr -> string -> bool
 
 (** Perform a batch of outputs, resolving hosts through the book and
-    sending datagrams from [udp].  Unresolvable hosts are dropped. *)
-val outputs : Addr_book.t -> udp:Udp_io.t -> Smart_core.Output.t list -> unit
+    sending datagrams from [udp].  Unresolvable UDP destinations are
+    dropped.  A [Stream] that fails (unresolvable, connection refused,
+    write error) invokes [on_stream_failure] with the undelivered frame
+    bytes — the transmitter's hook for queueing a resend; each fully
+    written stream invokes [on_stream_ok]. *)
+val outputs :
+  ?on_stream_failure:(data:string -> unit) ->
+  ?on_stream_ok:(unit -> unit) ->
+  Addr_book.t ->
+  udp:Udp_io.t ->
+  Smart_core.Output.t list ->
+  unit

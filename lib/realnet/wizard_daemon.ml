@@ -5,6 +5,7 @@
 type config = {
   host : string;  (* logical name of the wizard machine *)
   mode : Smart_core.Wizard.mode;
+  staleness_threshold : float;  (* receiver silence before degraded replies *)
 }
 
 type t = {
@@ -42,6 +43,7 @@ let create book (config : config) =
   in
   let wizard = Smart_core.Wizard.create ~metrics ~trace:tracelog
       ~clock:Unix.gettimeofday
+      ~staleness_threshold:config.staleness_threshold
       { Smart_core.Wizard.mode = config.mode; groups = None }
       db in
   Smart_core.Receiver.set_update_hook receiver

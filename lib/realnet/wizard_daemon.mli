@@ -1,7 +1,13 @@
 (** Real-socket wizard machine: TCP receiver accept loop plus the UDP
     request loop, replying directly to each requester's sockaddr. *)
 
-type config = { host : string; mode : Smart_core.Wizard.mode }
+type config = {
+  host : string;
+  mode : Smart_core.Wizard.mode;
+  staleness_threshold : float;
+      (** receiver silence (wall-clock seconds) before replies carry the
+          degraded flag; [infinity] never degrades *)
+}
 
 type t
 

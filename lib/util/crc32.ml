@@ -1,0 +1,31 @@
+(* CRC-32 (IEEE 802.3, the zlib/PNG polynomial), table-driven.
+
+   Guards the transmitter->receiver frames against corruption in transit;
+   kept dependency-free so both the sans-IO components and the realnet
+   daemons share the same implementation. *)
+
+let polynomial = 0xEDB88320
+
+let table =
+  lazy
+    (Array.init 256 (fun n ->
+         let c = ref n in
+         for _ = 0 to 7 do
+           if !c land 1 = 1 then c := polynomial lxor (!c lsr 1)
+           else c := !c lsr 1
+         done;
+         !c))
+
+let update crc s ~pos ~len =
+  if pos < 0 || len < 0 || pos + len > String.length s then
+    invalid_arg "Crc32.update: out of bounds";
+  let table = Lazy.force table in
+  let c = ref (crc lxor 0xFFFFFFFF) in
+  for i = pos to pos + len - 1 do
+    c := table.((!c lxor Char.code s.[i]) land 0xFF) lxor (!c lsr 8)
+  done;
+  !c lxor 0xFFFFFFFF
+
+let string s = update 0 s ~pos:0 ~len:(String.length s)
+
+let substring s ~pos ~len = update 0 s ~pos ~len

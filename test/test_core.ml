@@ -277,7 +277,8 @@ let test_sysmon_ingest_and_expire () =
   let db = C.Status_db.create () in
   let sysmon =
     C.Sysmon.create
-      ~config:{ C.Sysmon.probe_interval = 2.0; missed_intervals = 3 }
+      ~config:
+        { C.Sysmon.default_config with probe_interval = 2.0; missed_intervals = 3 }
       db
   in
   Alcotest.(check (float 1e-9)) "max age = 3 intervals" 6.0
@@ -367,7 +368,7 @@ let test_transmitter_receiver_roundtrip () =
   in
   let db_wiz = C.Status_db.create () in
   let rx = C.Receiver.create ~order:P.Endian.Little db_wiz in
-  (match C.Transmitter.tick tx with
+  (match C.Transmitter.tick tx ~now:0.0 with
   | [ C.Output.Stream { dst; data } ] ->
     Alcotest.(check int) "receiver port" P.Ports.receiver dst.C.Output.port;
     (* feed in two arbitrary chunks to exercise reassembly *)
@@ -404,13 +405,13 @@ let test_transmitter_modes () =
   in
   let active = mk C.Transmitter.Centralized in
   Alcotest.(check int) "centralized pushes on tick" 1
-    (List.length (C.Transmitter.tick active));
+    (List.length (C.Transmitter.tick active ~now:0.0));
   Alcotest.(check int) "centralized ignores pulls" 0
     (List.length
        (C.Transmitter.handle_pull active ~data:C.Transmitter.pull_request_magic));
   let passive = mk C.Transmitter.Distributed in
   Alcotest.(check int) "distributed silent on tick" 0
-    (List.length (C.Transmitter.tick passive));
+    (List.length (C.Transmitter.tick passive ~now:0.0));
   Alcotest.(check int) "distributed answers pulls" 1
     (List.length
        (C.Transmitter.handle_pull passive ~data:C.Transmitter.pull_request_magic));
@@ -930,7 +931,10 @@ let test_wizard_result_cache_and_snapshot () =
 
 let test_client_seq_matching () =
   let request = client_request "x > 0\n" in
-  let reply seq = P.Wizard_msg.encode_reply { P.Wizard_msg.seq; servers = [ "a"; "b" ] } in
+  let reply seq =
+    P.Wizard_msg.encode_reply
+      { P.Wizard_msg.seq; servers = [ "a"; "b" ]; degraded = false }
+  in
   (match C.Client.check_reply (fresh_client ()) request (reply request.P.Wizard_msg.seq) with
   | Ok _ -> ()
   | Error e -> Alcotest.failf "own seq rejected: %a" C.Client.pp_error e);
@@ -948,6 +952,7 @@ let test_client_option_semantics () =
       {
         P.Wizard_msg.seq = request.P.Wizard_msg.seq;
         servers = List.init n string_of_int;
+        degraded = false;
       }
   in
   (match C.Client.check_reply (fresh_client ()) strict (reply strict 2) with
@@ -1347,6 +1352,306 @@ let test_sim_trace_trees () =
   Alcotest.(check bool) "request and report traces distinct" true
     (client.T.trace_id <> tick.T.trace_id)
 
+(* ------------------------------------------------------------------ *)
+(* Failure recovery                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let test_transmitter_resend_backoff () =
+  let db = C.Status_db.create () in
+  C.Status_db.update_sys db (sys_record ~at:0.0 ());
+  let m = Smart_util.Metrics.create () in
+  let tx =
+    C.Transmitter.create ~metrics:m ~monitor_name:"mon" ~resend_capacity:2
+      ~backoff:
+        (Smart_util.Backoff.policy ~base:1.0 ~multiplier:2.0 ~max_delay:8.0
+           ~jitter:0.0 ())
+      {
+        C.Transmitter.mode = C.Transmitter.Centralized;
+        order = P.Endian.Little;
+        receiver = { C.Output.host = "wiz"; port = P.Ports.receiver };
+      }
+      db
+  in
+  (* a failed push lands in the resend queue and arms the backoff *)
+  C.Transmitter.note_send_failure tx ~now:0.0 ~data:"frame-1";
+  Alcotest.(check int) "queued" 1 (C.Transmitter.resend_queue_length tx);
+  Alcotest.(check bool) "backing off" true
+    (C.Transmitter.backing_off tx ~now:0.5);
+  Alcotest.(check int) "tick muted during backoff" 0
+    (List.length (C.Transmitter.tick tx ~now:0.5));
+  (* past the delay: the queued frame leads the next tick's outputs *)
+  (match C.Transmitter.tick tx ~now:1.5 with
+  | C.Output.Stream { data; _ } :: _ ->
+    Alcotest.(check string) "resent first" "frame-1" data
+  | _ -> Alcotest.fail "expected the resend stream first");
+  Alcotest.(check int) "resend counted" 1 (C.Transmitter.resends tx);
+  Alcotest.(check int) "queue drained" 0 (C.Transmitter.resend_queue_length tx);
+  (* the queue is bounded: oldest frames are dropped, and metered *)
+  C.Transmitter.note_send_failure tx ~now:2.0 ~data:"a";
+  C.Transmitter.note_send_failure tx ~now:2.0 ~data:"b";
+  C.Transmitter.note_send_failure tx ~now:2.0 ~data:"c";
+  Alcotest.(check int) "capacity bound" 2 (C.Transmitter.resend_queue_length tx);
+  Alcotest.(check int) "failures metered" 4
+    (Smart_util.Metrics.counter_value m "transmitter.send_failures_total");
+  Alcotest.(check int) "drop metered" 1
+    (Smart_util.Metrics.counter_value m "transmitter.resend_dropped_total");
+  (* a successful send resets the schedule *)
+  C.Transmitter.note_send_ok tx;
+  Alcotest.(check bool) "reset after success" false
+    (C.Transmitter.backing_off tx ~now:2.1)
+
+let test_client_duplicate_suppression () =
+  let m = Smart_util.Metrics.create () in
+  let client =
+    C.Client.create ~metrics:m ~rng:(Smart_util.Prng.create ~seed:5) ()
+  in
+  let request =
+    C.Client.make_request client ~wanted:1
+      ~option:P.Wizard_msg.Accept_partial ~requirement:"host_cpu_free > 0\n"
+  in
+  let reply =
+    P.Wizard_msg.encode_reply
+      {
+        P.Wizard_msg.seq = request.P.Wizard_msg.seq;
+        servers = [ "a" ];
+        degraded = false;
+      }
+  in
+  Alcotest.(check bool) "first reply is fresh" false
+    (C.Client.is_duplicate_reply client reply);
+  (match C.Client.check_reply client request reply with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "reply rejected: %a" C.Client.pp_error e);
+  (* a retransmitted request's late second answer is now recognised *)
+  Alcotest.(check bool) "late duplicate flagged" true
+    (C.Client.is_duplicate_reply client reply);
+  Alcotest.(check int) "duplicate metered" 1
+    (Smart_util.Metrics.counter_value m "client.duplicate_replies_total");
+  Alcotest.(check bool) "garbage is not a duplicate" false
+    (C.Client.is_duplicate_reply client "junk")
+
+let test_wizard_degraded_mode () =
+  let db = C.Status_db.create () in
+  C.Status_db.update_sys db (sys_record ~host:"a" ~ip:"1.0.0.1" ~at:0.0 ());
+  let now = ref 0.0 in
+  let m = Smart_util.Metrics.create () in
+  let wizard =
+    C.Wizard.create ~metrics:m
+      ~clock:(fun () -> !now)
+      ~staleness_threshold:5.0
+      { C.Wizard.mode = C.Wizard.Centralized; groups = None }
+      db
+  in
+  let ask () =
+    let request = client_request "host_cpu_free > 0.5\n" in
+    match
+      C.Wizard.handle_request wizard ~now:!now
+        ~from:{ C.Output.host = "c"; port = 1 }
+        (P.Wizard_msg.encode_request request)
+    with
+    | [ C.Output.Udp { data; _ } ] ->
+      (match P.Wizard_msg.decode_reply data with
+      | Ok r -> r
+      | Error e -> Alcotest.failf "reply: %s" e)
+    | _ -> Alcotest.fail "expected one reply"
+  in
+  (* a database never fed through the receiver is not stale *)
+  now := 100.0;
+  Alcotest.(check bool) "never fed, not degraded" false
+    (ask ()).P.Wizard_msg.degraded;
+  C.Wizard.note_update wizard;
+  now := 103.0;
+  Alcotest.(check bool) "fresh feed" false (ask ()).P.Wizard_msg.degraded;
+  (* feed quiet past the threshold: still answered, flagged stale *)
+  now := 106.0;
+  let r = ask () in
+  Alcotest.(check bool) "stale feed degrades" true r.P.Wizard_msg.degraded;
+  Alcotest.(check (list string)) "still answers from the last snapshot"
+    [ "a" ] r.P.Wizard_msg.servers;
+  Alcotest.(check int) "degraded metered" 1
+    (Smart_util.Metrics.counter_value m "wizard.degraded_replies_total");
+  C.Wizard.note_update wizard;
+  Alcotest.(check bool) "recovers when the feed resumes" false
+    (ask ()).P.Wizard_msg.degraded
+
+let test_sysmon_quarantine_flapping () =
+  let db = C.Status_db.create () in
+  let m = Smart_util.Metrics.create () in
+  let sysmon =
+    C.Sysmon.create ~metrics:m
+      ~config:
+        {
+          C.Sysmon.probe_interval = 1.0;
+          missed_intervals = 1;
+          flap_threshold = 2;
+          clean_intervals = 3;
+        }
+      db
+  in
+  let data = P.Report.to_string (report ()) in
+  let ingest now =
+    match C.Sysmon.handle_report sysmon ~now data with
+    | Ok _ -> ()
+    | Error e -> Alcotest.failf "report rejected: %s" e
+  in
+  (* two expire/re-register whipsaws reach the flap threshold *)
+  ingest 0.0;
+  Alcotest.(check int) "first expiry" 1 (C.Sysmon.sweep sysmon ~now:3.0);
+  ingest 3.5;
+  Alcotest.(check int) "second expiry" 1 (C.Sysmon.sweep sysmon ~now:7.0);
+  Alcotest.(check bool) "quarantined" true
+    (C.Sysmon.is_quarantined sysmon ~host:"helene");
+  Alcotest.(check int) "quarantine metered" 1
+    (Smart_util.Metrics.counter_value m "sysmon.quarantined_total");
+  (* while quarantined, reports are counted but not inserted *)
+  ingest 8.0;
+  ingest 9.0;
+  ingest 10.0;
+  Alcotest.(check int) "db stays empty" 0 (C.Status_db.sys_count db);
+  Alcotest.(check int) "quarantined reports metered" 3
+    (Smart_util.Metrics.counter_value m "sysmon.quarantined_reports_total");
+  (* a clean streak spanning clean_intervals probe periods re-admits *)
+  ingest 11.0;
+  Alcotest.(check bool) "re-admitted" false
+    (C.Sysmon.is_quarantined sysmon ~host:"helene");
+  Alcotest.(check int) "back in the database" 1 (C.Status_db.sys_count db);
+  Alcotest.(check int) "re-admission metered" 1
+    (Smart_util.Metrics.counter_value m "sysmon.readmitted_total")
+
+(* Satellite: the §4.1 three-missed-intervals expiry under a lossy
+   substrate — reports ride 5%-loss links, the server goes silent, is
+   expired, and re-registers once the silence lifts. *)
+let test_sim_lossy_expiry_and_rereg () =
+  let c = H.Cluster.create ~seed:77 () in
+  let add name = H.Cluster.add_machine c (H.Testbed.spec_of_name name) in
+  let sagit = add "sagit" in
+  let mon = add "dalmatian" in
+  let helene = add "helene" in
+  let dione = add "dione" in
+  let lossy = { H.Testbed.lan_conf with Smart_net.Link.loss = 0.05 } in
+  ignore (H.Cluster.link c ~a:sagit ~b:mon H.Testbed.lan_conf);
+  ignore (H.Cluster.link c ~a:mon ~b:helene lossy);
+  ignore (H.Cluster.link c ~a:mon ~b:dione lossy);
+  let d =
+    C.Simdriver.deploy c ~monitor:"dalmatian" ~wizard_host:"dalmatian"
+      ~servers:[ "helene"; "dione" ]
+  in
+  C.Simdriver.settle ~duration:8.0 d;
+  Alcotest.(check int) "both registered despite loss" 2
+    (C.Status_db.sys_count (C.Simdriver.db_wizard d));
+  (* total silence: three missed 2 s probe intervals expire the server *)
+  C.Simdriver.set_host_partitioned d ~host:"helene" true;
+  C.Simdriver.settle ~duration:10.0 d;
+  Alcotest.(check int) "expired after 3 missed intervals" 1
+    (C.Status_db.sys_count (C.Simdriver.db_wizard d));
+  Alcotest.(check bool) "expiry metered" true
+    (Smart_util.Metrics.counter_value (C.Simdriver.metrics d)
+       "sysmon.expired_total"
+    >= 1);
+  (* the silence lifts: the next surviving report re-registers it *)
+  C.Simdriver.set_host_partitioned d ~host:"helene" false;
+  C.Simdriver.settle ~duration:8.0 d;
+  Alcotest.(check int) "re-registered" 2
+    (C.Status_db.sys_count (C.Simdriver.db_wizard d))
+
+(* The acceptance chaos scenario: crash the wizard-feed transmitter
+   mid-stream, partition the other group's monitor (overlapping, so the
+   wizard's feed goes fully quiet and degraded mode engages), 2% frame
+   corruption throughout — while a client fires 100 requests.  Both
+   same-seed runs must produce byte-identical metrics and traces. *)
+let chaos_world seed =
+  let c = H.Cluster.create ~seed () in
+  let spec name ip =
+    { (H.Testbed.spec_of_name "helene") with H.Machine.name; ip }
+  in
+  let add name ip = H.Cluster.add_machine c (spec name ip) in
+  let wiz = add "wiz" "10.0.0.1" in
+  let cli = add "cli" "10.0.0.2" in
+  let mon_a = add "mon-a" "10.1.0.1" in
+  let a1 = add "a1" "10.1.0.2" in
+  let a2 = add "a2" "10.1.0.3" in
+  let mon_b = add "mon-b" "10.2.0.1" in
+  let b1 = add "b1" "10.2.0.2" in
+  let b2 = add "b2" "10.2.0.3" in
+  let sw_a = H.Cluster.add_switch c ~name:"sw-a" ~ip:"10.1.0.254" in
+  let sw_b = H.Cluster.add_switch c ~name:"sw-b" ~ip:"10.2.0.254" in
+  let lan = H.Testbed.lan_conf in
+  List.iter
+    (fun n -> ignore (H.Cluster.link c ~a:n ~b:sw_a lan))
+    [ wiz; cli; mon_a; a1; a2 ];
+  List.iter
+    (fun n -> ignore (H.Cluster.link c ~a:n ~b:sw_b lan))
+    [ mon_b; b1; b2 ];
+  ignore (H.Cluster.link c ~a:sw_a ~b:sw_b lan);
+  let config =
+    {
+      C.Simdriver.default_config with
+      C.Simdriver.transmit_interval = 0.5;
+      frame_crc = true;
+      wizard_staleness = 3.0;
+    }
+  in
+  let d =
+    C.Simdriver.deploy_groups ~config c ~wizard_host:"wiz"
+      ~groups:[ ("mon-a", [ "a1"; "a2" ]); ("mon-b", [ "b1"; "b2" ]) ]
+  in
+  (c, d)
+
+let run_chaos seed =
+  let c, d = chaos_world seed in
+  C.Simdriver.settle ~duration:8.0 d;
+  let base = H.Cluster.now c in
+  let module F = Smart_sim.Faults in
+  ignore
+    (C.Simdriver.install_faults d
+       [
+         { F.at = base +. 0.1; action = F.Corrupt_frames 0.02 };
+         { F.at = base +. 5.0; action = F.Crash_node "mon-a" };
+         { F.at = base +. 8.0; action = F.Partition_host "mon-b" };
+         { F.at = base +. 18.0; action = F.Restart_node "mon-a" };
+         { F.at = base +. 22.0; action = F.Heal_host "mon-b" };
+       ]);
+  let ok = ref 0 and total = 100 in
+  for _ = 1 to total do
+    C.Simdriver.settle ~duration:0.4 d;
+    match
+      C.Simdriver.request d ~client:"cli" ~wanted:2
+        ~requirement:"host_cpu_free > 0.1\n"
+    with
+    | Ok _ -> incr ok
+    | Error _ -> ()
+  done;
+  C.Simdriver.settle ~duration:10.0 d;
+  let m = C.Simdriver.metrics d in
+  let db = C.Simdriver.db_wizard d in
+  (!ok, total, m, db, Smart_util.Metrics.to_text m, C.Simdriver.trace_json d)
+
+let test_sim_chaos_acceptance () =
+  let ok, total, m, db, metrics_text, trace_json = run_chaos 3 in
+  Alcotest.(check bool)
+    (Printf.sprintf "at least 99%% requests answered (%d/%d)" ok total)
+    true
+    (float_of_int ok >= 0.99 *. float_of_int total);
+  let cv name = Smart_util.Metrics.counter_value m name in
+  (* corruption was really injected and really survived: frames were
+     damaged in flight, the receiver resynced past them, nothing died *)
+  Alcotest.(check bool) "frames corrupted in flight" true
+    (cv "faults.corrupted_messages_total" >= 1);
+  Alcotest.(check bool) "receiver resynced past damage" true
+    (cv "receiver.resyncs_total" >= 1);
+  Alcotest.(check int) "no record-level decode failures" 0
+    (cv "receiver.decode_errors_total");
+  Alcotest.(check bool) "degraded replies while the feed was dark" true
+    (cv "wizard.degraded_replies_total" >= 1);
+  Alcotest.(check bool) "faults all fired" true (cv "faults.injected_total" >= 5);
+  Alcotest.(check int) "mirror recovered after heal" 4
+    (C.Status_db.sys_count db);
+  (* same seed, same chaos: the whole observable surface is identical *)
+  let ok2, _, _, _, metrics_text2, trace_json2 = run_chaos 3 in
+  Alcotest.(check int) "same successes" ok ok2;
+  Alcotest.(check string) "metrics byte-identical" metrics_text metrics_text2;
+  Alcotest.(check string) "trace byte-identical" trace_json trace_json2
+
 let () =
   Alcotest.run "smart_core"
     [
@@ -1373,7 +1678,12 @@ let () =
           Alcotest.test_case "missing iface" `Quick test_probe_missing_iface;
         ] );
       ( "sysmon",
-        [ Alcotest.test_case "ingest and expire" `Quick test_sysmon_ingest_and_expire ] );
+        [
+          Alcotest.test_case "ingest and expire" `Quick
+            test_sysmon_ingest_and_expire;
+          Alcotest.test_case "quarantine flapping server" `Quick
+            test_sysmon_quarantine_flapping;
+        ] );
       ( "netmon/secmon",
         [
           Alcotest.test_case "sequential probing" `Quick
@@ -1390,6 +1700,8 @@ let () =
           Alcotest.test_case "update hook" `Quick test_receiver_update_hook;
           Alcotest.test_case "multi-transmitter ownership" `Quick
             test_receiver_multi_transmitter_ownership;
+          Alcotest.test_case "resend queue + backoff" `Quick
+            test_transmitter_resend_backoff;
         ] );
       ( "selection",
         [
@@ -1423,6 +1735,7 @@ let () =
             test_wizard_result_cache_and_snapshot;
           Alcotest.test_case "distributed deadline" `Quick
             test_wizard_distributed_deadline;
+          Alcotest.test_case "degraded mode" `Quick test_wizard_degraded_mode;
         ] );
       ( "client",
         [
@@ -1432,6 +1745,8 @@ let () =
           Alcotest.test_case "request validation" `Quick
             test_client_request_validation;
           Alcotest.test_case "requirement lint" `Quick test_client_lint;
+          Alcotest.test_case "duplicate reply suppression" `Quick
+            test_client_duplicate_suppression;
         ] );
       ( "simdriver",
         [
@@ -1453,5 +1768,8 @@ let () =
           Alcotest.test_case "golden selection equivalence" `Quick
             test_sim_golden_selection;
           Alcotest.test_case "trace span trees" `Quick test_sim_trace_trees;
+          Alcotest.test_case "lossy expiry and re-register" `Quick
+            test_sim_lossy_expiry_and_rereg;
+          Alcotest.test_case "chaos acceptance" `Slow test_sim_chaos_acceptance;
         ] );
     ]

@@ -229,9 +229,8 @@ let test_frame_roundtrip () =
   let wire = String.concat "" (List.map (P.Frame.encode P.Endian.Little) fs) in
   let dec = P.Frame.decoder P.Endian.Little in
   P.Frame.feed dec wire;
-  match P.Frame.frames dec with
-  | Ok got -> Alcotest.(check bool) "all frames" true (frames_eq fs got)
-  | Error e -> Alcotest.failf "decode failed: %s" e
+  Alcotest.(check bool) "all frames" true (frames_eq fs (P.Frame.frames dec));
+  Alcotest.(check int) "nothing skipped" 0 (P.Frame.skipped_bytes dec)
 
 let test_frame_incremental () =
   (* feed the stream one byte at a time: TCP segmentation must not
@@ -248,35 +247,142 @@ let test_frame_incremental () =
   String.iter
     (fun c ->
       P.Frame.feed dec (String.make 1 c);
-      match P.Frame.frames dec with
-      | Ok fs -> got := !got @ fs
-      | Error e -> Alcotest.failf "decode failed: %s" e)
+      got := !got @ P.Frame.frames dec)
     wire;
   Alcotest.(check bool) "reassembled" true (frames_eq fs !got)
 
-let test_frame_unknown_type_poisons () =
+let test_frame_unknown_type_resyncs () =
+  (* garbage bytes before a valid frame: the decoder skips past them and
+     still delivers the frame, recording one corruption episode *)
   let dec = P.Frame.decoder P.Endian.Little in
   let b = Bytes.make 8 '\000' in
   Bytes.set_int32_le b 0 99l;
   P.Frame.feed dec (Bytes.to_string b);
-  (match P.Frame.frames dec with
-  | Error _ -> ()
-  | Ok _ -> Alcotest.fail "unknown type must poison the stream");
-  (* and it stays poisoned *)
-  P.Frame.feed dec "more";
-  match P.Frame.frames dec with
-  | Error _ -> ()
-  | Ok _ -> Alcotest.fail "stream must stay poisoned"
+  Alcotest.(check (list unit)) "no frame from garbage" []
+    (List.map ignore (P.Frame.frames dec));
+  (match P.Frame.last_error dec with
+  | Some (P.Frame.Unknown_code 99) -> ()
+  | _ -> Alcotest.fail "expected Unknown_code 99");
+  let f =
+    { P.Frame.payload_type = P.Frame.Sys_db; data = "after"; trace = Smart_util.Tracelog.root }
+  in
+  P.Frame.feed dec (P.Frame.encode P.Endian.Little f);
+  Alcotest.(check bool) "frame after garbage decodes" true
+    (frames_eq [ f ] (P.Frame.frames dec));
+  Alcotest.(check int) "one resync episode" 1 (P.Frame.resyncs dec);
+  Alcotest.(check int) "garbage skipped" 8 (P.Frame.skipped_bytes dec)
 
-let test_frame_oversized_rejected () =
+let test_frame_oversized_resyncs () =
   let dec = P.Frame.decoder P.Endian.Little in
   let b = Bytes.make 8 '\000' in
   Bytes.set_int32_le b 0 1l;
   Bytes.set_int32_le b 4 (Int32.of_int (P.Frame.max_frame_size + 1));
   P.Frame.feed dec (Bytes.to_string b);
-  match P.Frame.frames dec with
-  | Error _ -> ()
-  | Ok _ -> Alcotest.fail "oversized frame must be rejected"
+  Alcotest.(check int) "no frame from oversized header" 0
+    (List.length (P.Frame.frames dec));
+  (match P.Frame.last_error dec with
+  | Some (P.Frame.Oversized _) -> ()
+  | _ -> Alcotest.fail "expected Oversized");
+  Alcotest.(check bool) "skipping began" true (P.Frame.skipped_bytes dec > 0)
+
+let test_frame_truncated_waits () =
+  (* a short size prefix is not corruption: the decoder waits for the
+     rest instead of raising or skipping *)
+  let f =
+    { P.Frame.payload_type = P.Frame.Net_db; data = "payload"; trace = Smart_util.Tracelog.root }
+  in
+  let wire = P.Frame.encode P.Endian.Big f in
+  let dec = P.Frame.decoder P.Endian.Big in
+  P.Frame.feed dec (String.sub wire 0 6);
+  Alcotest.(check int) "nothing yet" 0 (List.length (P.Frame.frames dec));
+  Alcotest.(check int) "no bytes skipped" 0 (P.Frame.skipped_bytes dec);
+  Alcotest.(check int) "six pending" 6 (P.Frame.pending_bytes dec);
+  P.Frame.feed dec (String.sub wire 6 (String.length wire - 6));
+  Alcotest.(check bool) "completes" true (frames_eq [ f ] (P.Frame.frames dec))
+
+let test_frame_decode_one_truncated () =
+  (* decode_one returns typed errors for truncated prefixes at every
+     cut point — never raises *)
+  let f =
+    { P.Frame.payload_type = P.Frame.Sys_db; data = "abcdef"; trace = Smart_util.Tracelog.root }
+  in
+  let wire = P.Frame.encode ~crc:true P.Endian.Little f in
+  for cut = 0 to String.length wire - 1 do
+    match P.Frame.decode_one P.Endian.Little (String.sub wire 0 cut) with
+    | Error (P.Frame.Truncated { need; have }) ->
+      Alcotest.(check bool) "need > have" true (need > have)
+    | Error e ->
+      Alcotest.failf "cut %d: unexpected %s" cut (P.Frame.error_to_string e)
+    | Ok _ -> Alcotest.failf "cut %d: truncated input decoded" cut
+  done;
+  match P.Frame.decode_one P.Endian.Little wire with
+  | Ok (got, used) ->
+    Alcotest.(check bool) "full roundtrip" true (frames_eq [ f ] [ got ]);
+    Alcotest.(check int) "all bytes used" (String.length wire) used
+  | Error e -> Alcotest.failf "full frame: %s" (P.Frame.error_to_string e)
+
+let test_frame_crc_detects_flip () =
+  (* CRC trailer: any single-byte flip is detected, and the decoder
+     resyncs onto the next clean frame *)
+  let f data =
+    { P.Frame.payload_type = P.Frame.Sec_db; data; trace = Smart_util.Tracelog.root }
+  in
+  let first = P.Frame.encode ~crc:true P.Endian.Little (f "corrupt-me") in
+  let second = f "survivor" in
+  let flipped = Bytes.of_string first in
+  Bytes.set flipped 9 (Char.chr (Char.code (Bytes.get flipped 9) lxor 0x5A));
+  (* the flip is caught as a CRC mismatch, not a silent bad payload *)
+  (match P.Frame.decode_one P.Endian.Little (Bytes.to_string flipped) with
+  | Error (P.Frame.Crc_mismatch _) -> ()
+  | Error e -> Alcotest.failf "unexpected %s" (P.Frame.error_to_string e)
+  | Ok _ -> Alcotest.fail "flipped byte slipped past the CRC");
+  let dec = P.Frame.decoder P.Endian.Little in
+  P.Frame.feed dec (Bytes.to_string flipped);
+  P.Frame.feed dec (P.Frame.encode ~crc:true P.Endian.Little second);
+  Alcotest.(check bool) "only the clean frame survives" true
+    (frames_eq [ second ] (P.Frame.frames dec));
+  Alcotest.(check int) "one resync" 1 (P.Frame.resyncs dec);
+  Alcotest.(check bool) "damage metered" true (P.Frame.skipped_bytes dec > 0)
+
+let test_frame_crc_roundtrip_plain_compat () =
+  (* a CRC'd stream decodes, and a plain frame still encodes to the
+     legacy bytes (no trailer, no flags) *)
+  let f =
+    { P.Frame.payload_type = P.Frame.Sys_db; data = "x"; trace = Smart_util.Tracelog.root }
+  in
+  let plain = P.Frame.encode P.Endian.Little f in
+  let crcd = P.Frame.encode ~crc:true P.Endian.Little f in
+  Alcotest.(check int) "plain has no trailer" (P.Frame.header_size + 1)
+    (String.length plain);
+  Alcotest.(check int) "crc adds exactly the trailer"
+    (String.length plain + P.Frame.crc_size)
+    (String.length crcd);
+  let dec = P.Frame.decoder P.Endian.Little in
+  P.Frame.feed dec (plain ^ crcd);
+  Alcotest.(check bool) "both decode" true
+    (frames_eq [ f; f ] (P.Frame.frames dec))
+
+let prop_frame_resync_recovers =
+  QCheck.Test.make ~name:"decoder resyncs after arbitrary garbage" ~count:200
+    QCheck.(
+      pair
+        (string_gen_of_size Gen.(int_range 1 40) Gen.char)
+        (string_gen_of_size Gen.(int_range 0 50) Gen.printable))
+    (fun (garbage, payload) ->
+      (* strip NULs so no garbage offset can fake a valid (small) type
+         code and stall the decoder waiting for a phantom payload *)
+      let garbage =
+        String.map (fun c -> if Char.equal c '\000' then '\001' else c) garbage
+      in
+      let f =
+        { P.Frame.payload_type = P.Frame.Sys_db; data = payload; trace = Smart_util.Tracelog.root }
+      in
+      let dec = P.Frame.decoder P.Endian.Little in
+      P.Frame.feed dec garbage;
+      let before = P.Frame.frames dec in
+      P.Frame.feed dec (P.Frame.encode ~crc:true P.Endian.Little f);
+      let after = P.Frame.frames dec in
+      frames_eq [] before && frames_eq [ f ] after && P.Frame.resyncs dec >= 1)
 
 let prop_frame_split_anywhere =
   QCheck.Test.make ~name:"frame decoding independent of chunking" ~count:200
@@ -297,9 +403,7 @@ let prop_frame_split_anywhere =
         if off < n then begin
           let len = min chunk (n - off) in
           P.Frame.feed dec (String.sub wire off len);
-          (match P.Frame.frames dec with
-          | Ok fs -> got := !got @ fs
-          | Error _ -> ());
+          got := !got @ P.Frame.frames dec;
           feed (off + len)
         end
       in
@@ -351,18 +455,45 @@ let test_request_truncated () =
 
 let test_reply_roundtrip () =
   let r =
-    { P.Wizard_msg.seq = 77; servers = [ "dalmatian"; "dione"; "192.168.1.2" ] }
+    {
+      P.Wizard_msg.seq = 77;
+      servers = [ "dalmatian"; "dione"; "192.168.1.2" ];
+      degraded = false;
+    }
   in
   match P.Wizard_msg.decode_reply (P.Wizard_msg.encode_reply r) with
   | Ok d ->
     Alcotest.(check int) "seq" 77 d.P.Wizard_msg.seq;
     Alcotest.(check (list string)) "servers"
       [ "dalmatian"; "dione"; "192.168.1.2" ]
+      d.P.Wizard_msg.servers;
+    Alcotest.(check bool) "fresh" false d.P.Wizard_msg.degraded
+  | Error e -> Alcotest.failf "decode failed: %s" e
+
+let test_reply_degraded_flag () =
+  (* the degraded bit survives the roundtrip without disturbing seq or
+     the server list, and a fresh reply's bytes match the legacy layout *)
+  let fresh =
+    { P.Wizard_msg.seq = 9; servers = [ "a"; "b" ]; degraded = false }
+  in
+  let stale = { fresh with P.Wizard_msg.degraded = true } in
+  let fresh_wire = P.Wizard_msg.encode_reply fresh in
+  let stale_wire = P.Wizard_msg.encode_reply stale in
+  Alcotest.(check int) "same length" (String.length fresh_wire)
+    (String.length stale_wire);
+  (match P.Wizard_msg.decode_reply stale_wire with
+  | Ok d ->
+    Alcotest.(check bool) "degraded" true d.P.Wizard_msg.degraded;
+    Alcotest.(check int) "seq intact" 9 d.P.Wizard_msg.seq;
+    Alcotest.(check (list string)) "servers intact" [ "a"; "b" ]
       d.P.Wizard_msg.servers
+  | Error e -> Alcotest.failf "decode failed: %s" e);
+  match P.Wizard_msg.decode_reply fresh_wire with
+  | Ok d -> Alcotest.(check bool) "fresh" false d.P.Wizard_msg.degraded
   | Error e -> Alcotest.failf "decode failed: %s" e
 
 let test_reply_empty () =
-  let r = { P.Wizard_msg.seq = 1; servers = [] } in
+  let r = { P.Wizard_msg.seq = 1; servers = []; degraded = false } in
   match P.Wizard_msg.decode_reply (P.Wizard_msg.encode_reply r) with
   | Ok d -> Alcotest.(check (list string)) "no servers" [] d.P.Wizard_msg.servers
   | Error e -> Alcotest.failf "decode failed: %s" e
@@ -371,12 +502,14 @@ let test_reply_limit () =
   let servers = List.init (P.Ports.max_reply_servers + 1) string_of_int in
   Alcotest.(check bool) "over 60 rejected" true
     (try
-       ignore (P.Wizard_msg.encode_reply { P.Wizard_msg.seq = 1; servers });
+       ignore
+         (P.Wizard_msg.encode_reply
+            { P.Wizard_msg.seq = 1; servers; degraded = false });
        false
      with Invalid_argument _ -> true)
 
 let test_reply_truncated_list () =
-  let r = { P.Wizard_msg.seq = 5; servers = [ "abc"; "def" ] } in
+  let r = { P.Wizard_msg.seq = 5; servers = [ "abc"; "def" ]; degraded = false } in
   let wire = P.Wizard_msg.encode_reply r in
   match P.Wizard_msg.decode_reply (String.sub wire 0 (String.length wire - 2)) with
   | Error _ -> ()
@@ -509,9 +642,7 @@ let test_frame_traced_roundtrip () =
   String.iter
     (fun c ->
       P.Frame.feed dec (String.make 1 c);
-      match P.Frame.frames dec with
-      | Ok fs -> got := !got @ fs
-      | Error e -> Alcotest.failf "decode failed: %s" e)
+      got := !got @ P.Frame.frames dec)
     wire;
   Alcotest.(check bool) "payloads survive" true (frames_eq fs !got);
   match !got with
@@ -651,10 +782,16 @@ let () =
         [
           Alcotest.test_case "round trip" `Quick test_frame_roundtrip;
           Alcotest.test_case "incremental" `Quick test_frame_incremental;
-          Alcotest.test_case "unknown type poisons" `Quick
-            test_frame_unknown_type_poisons;
-          Alcotest.test_case "oversized rejected" `Quick
-            test_frame_oversized_rejected;
+          Alcotest.test_case "unknown type resyncs" `Quick
+            test_frame_unknown_type_resyncs;
+          Alcotest.test_case "oversized resyncs" `Quick
+            test_frame_oversized_resyncs;
+          Alcotest.test_case "truncated waits" `Quick test_frame_truncated_waits;
+          Alcotest.test_case "decode_one truncated" `Quick
+            test_frame_decode_one_truncated;
+          Alcotest.test_case "crc detects flip" `Quick test_frame_crc_detects_flip;
+          Alcotest.test_case "crc roundtrip, plain compat" `Quick
+            test_frame_crc_roundtrip_plain_compat;
         ] );
       ( "wizard messages",
         [
@@ -666,6 +803,8 @@ let () =
           Alcotest.test_case "reply empty" `Quick test_reply_empty;
           Alcotest.test_case "reply limit" `Quick test_reply_limit;
           Alcotest.test_case "reply truncated" `Quick test_reply_truncated_list;
+          Alcotest.test_case "reply degraded flag" `Quick
+            test_reply_degraded_flag;
         ] );
       ( "trace plane",
         [
@@ -686,6 +825,7 @@ let () =
         List.map QCheck_alcotest.to_alcotest
           [
             prop_frame_split_anywhere;
+            prop_frame_resync_recovers;
             prop_request_roundtrip;
             prop_report_roundtrip;
             prop_sys_record_roundtrip_both_orders;

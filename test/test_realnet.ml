@@ -139,7 +139,11 @@ let start_world ?(mode = Smart_core.Transmitter.Centralized)
     [ "mon"; "wiz"; "alpha"; "beta"; "gamma" ];
   let wizard =
     R.Wizard_daemon.create book
-      { R.Wizard_daemon.host = "wiz"; mode = wizard_mode }
+      {
+        R.Wizard_daemon.host = "wiz";
+        mode = wizard_mode;
+        staleness_threshold = infinity;
+      }
   in
   R.Wizard_daemon.start wizard;
   let monitor =

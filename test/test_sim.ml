@@ -218,6 +218,114 @@ let prop_ordering =
       let seen = List.rev !fired in
       List.sort compare times = seen)
 
+(* ------------------------------------------------------------------ *)
+(* Fault-injection plane                                                *)
+(* ------------------------------------------------------------------ *)
+
+module Faults = Smart_sim.Faults
+
+let test_faults_fire_in_order () =
+  let e = Engine.create () in
+  let applied = ref [] in
+  let plan =
+    Faults.sort_plan
+      [
+        { Faults.at = 3.0; action = Faults.Restart_node "a" };
+        { Faults.at = 1.0; action = Faults.Crash_node "a" };
+        { Faults.at = 2.0; action = Faults.Partition_link ("a", "b") };
+      ]
+  in
+  let f =
+    Faults.install ~engine:e
+      ~apply:(fun a -> applied := Faults.action_kind a :: !applied)
+      plan
+  in
+  Alcotest.(check int) "all pending" 3 (Faults.pending f);
+  Engine.run e ~until:2.5;
+  Alcotest.(check (list string)) "time order"
+    [ "crash_node"; "partition_link" ]
+    (List.rev !applied);
+  Alcotest.(check int) "two injected" 2 (Faults.injected f);
+  Alcotest.(check int) "one pending" 1 (Faults.pending f);
+  Engine.run e ~until:10.0;
+  Alcotest.(check int) "all injected" 3 (Faults.injected f)
+
+let test_faults_metered () =
+  let e = Engine.create () in
+  let m = Smart_util.Metrics.create () in
+  let plan =
+    [
+      { Faults.at = 1.0; action = Faults.Crash_node "x" };
+      { Faults.at = 2.0; action = Faults.Crash_node "y" };
+      { Faults.at = 3.0; action = Faults.Corrupt_frames 0.02 };
+    ]
+  in
+  ignore (Faults.install ~metrics:m ~engine:e ~apply:(fun _ -> ()) plan);
+  Engine.run e ~until:10.0;
+  let cv name =
+    match Smart_util.Metrics.find m name with
+    | Some (Smart_util.Metrics.Counter c) -> c
+    | _ -> Alcotest.failf "missing counter %s" name
+  in
+  Alcotest.(check int) "total" 3 (cv "faults.injected_total");
+  Alcotest.(check int) "crashes" 2 (cv "faults.crash_node_total");
+  Alcotest.(check int) "corruptions" 1 (cv "faults.corrupt_frames_total")
+
+let test_faults_random_plan_deterministic () =
+  let mk seed =
+    Faults.random_plan ~episodes:5 ~corruption:0.02
+      ~rng:(Smart_util.Prng.create ~seed)
+      ~hosts:[ "a"; "b"; "c" ] ~monitors:[ "mon" ] ~duration:60.0 ()
+  in
+  let render plan =
+    String.concat ";"
+      (List.map
+         (fun { Faults.at; action } ->
+           Printf.sprintf "%.6f:%s" at (Faults.action_kind action))
+         plan)
+  in
+  Alcotest.(check string) "same seed, same plan" (render (mk 9))
+    (render (mk 9));
+  Alcotest.(check bool) "different seed, different plan" true
+    (not (String.equal (render (mk 9)) (render (mk 10))));
+  (* structure: sorted by time, every fault repaired, inside the window *)
+  let plan = mk 9 in
+  Alcotest.(check bool) "sorted" true
+    (String.equal (render plan) (render (Faults.sort_plan plan)));
+  let count pred = List.length (List.filter pred plan) in
+  let faults =
+    count (fun ev ->
+        match ev.Faults.action with
+        | Faults.Crash_node _ | Faults.Partition_host _
+        | Faults.Monitor_outage _ -> true
+        | _ -> false)
+  in
+  let repairs =
+    count (fun ev ->
+        match ev.Faults.action with
+        | Faults.Restart_node _ | Faults.Heal_host _ | Faults.Monitor_restore _
+          -> true
+        | _ -> false)
+  in
+  Alcotest.(check int) "five faults" 5 faults;
+  Alcotest.(check int) "every fault repaired" faults repairs;
+  List.iter
+    (fun ev ->
+      Alcotest.(check bool) "within the run" true
+        (ev.Faults.at >= 0.0 && ev.Faults.at <= 60.0))
+    plan
+
+let test_faults_past_event_rejected () =
+  let e = Engine.create () in
+  Engine.run e ~until:5.0;
+  Alcotest.(check bool) "time reversal rejected" true
+    (try
+       ignore
+         (Faults.install ~engine:e ~apply:(fun _ -> ())
+            [ { Faults.at = 1.0; action = Faults.Crash_node "x" } ]);
+       false
+     with Engine.Time_reversal _ -> true)
+
 let () =
   Alcotest.run "smart_sim"
     [
@@ -247,6 +355,15 @@ let () =
           Alcotest.test_case "disable/clear" `Quick test_trace_disable;
           Alcotest.test_case "captures network events" `Quick
             test_trace_captures_network_events;
+        ] );
+      ( "faults",
+        [
+          Alcotest.test_case "fire in order" `Quick test_faults_fire_in_order;
+          Alcotest.test_case "metered" `Quick test_faults_metered;
+          Alcotest.test_case "random plan deterministic" `Quick
+            test_faults_random_plan_deterministic;
+          Alcotest.test_case "past event rejected" `Quick
+            test_faults_past_event_rejected;
         ] );
       ("properties", List.map QCheck_alcotest.to_alcotest [ prop_ordering ]);
     ]

@@ -599,8 +599,101 @@ let test_tracelog_render_tree () =
   Alcotest.(check bool) "foreign trace excluded" false
     (contains ~affix:"probe.tick" tree)
 
+(* ------------------------------------------------------------------ *)
+(* Backoff                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_backoff_nominal_schedule () =
+  let p =
+    Smart_util.Backoff.policy ~base:0.2 ~multiplier:2.0 ~max_delay:1.0
+      ~jitter:0.0 ()
+  in
+  check_float "attempt 0" 0.2 (Smart_util.Backoff.nominal p ~attempt:0);
+  check_float "attempt 1" 0.4 (Smart_util.Backoff.nominal p ~attempt:1);
+  check_float "attempt 2" 0.8 (Smart_util.Backoff.nominal p ~attempt:2);
+  check_float "saturates" 1.0 (Smart_util.Backoff.nominal p ~attempt:3);
+  check_float "stays saturated" 1.0 (Smart_util.Backoff.nominal p ~attempt:50);
+  let b = Smart_util.Backoff.create p in
+  (* no rng: next follows the nominal schedule exactly *)
+  check_float "next 0" 0.2 (Smart_util.Backoff.next b);
+  check_float "next 1" 0.4 (Smart_util.Backoff.next b);
+  Alcotest.(check int) "attempt counter" 2 (Smart_util.Backoff.attempt b);
+  Smart_util.Backoff.reset b;
+  Alcotest.(check int) "reset to 0" 0 (Smart_util.Backoff.attempt b);
+  check_float "schedule restarts" 0.2 (Smart_util.Backoff.next b)
+
+let test_backoff_jitter_bounded_deterministic () =
+  let p = Smart_util.Backoff.policy ~jitter:0.5 () in
+  let delays rng_seed =
+    let b =
+      Smart_util.Backoff.create
+        ~rng:(Smart_util.Prng.create ~seed:rng_seed)
+        p
+    in
+    List.init 8 (fun _ -> Smart_util.Backoff.next b)
+  in
+  let one = delays 11 in
+  (* jitter only shortens: nominal is the worst case, and at most half
+     of it is randomised away here *)
+  List.iteri
+    (fun i d ->
+      let n = Smart_util.Backoff.nominal p ~attempt:i in
+      Alcotest.(check bool) "under nominal" true (d <= n);
+      Alcotest.(check bool) "over jitter floor" true (d >= n *. 0.5))
+    one;
+  (* same seed, same schedule — byte-identical retries across runs *)
+  List.iter2 (check_float "same seed, same delays") one (delays 11)
+
+let test_backoff_rejects_nonsense () =
+  let invalid f = Alcotest.(check bool) "rejected" true
+      (try ignore (f ()); false with Invalid_argument _ -> true)
+  in
+  invalid (fun () -> Smart_util.Backoff.policy ~base:0.0 ());
+  invalid (fun () -> Smart_util.Backoff.policy ~multiplier:0.9 ());
+  invalid (fun () -> Smart_util.Backoff.policy ~max_delay:0.0 ());
+  invalid (fun () -> Smart_util.Backoff.policy ~jitter:1.0 ());
+  invalid (fun () -> Smart_util.Backoff.policy ~jitter:(-0.1) ())
+
+(* ------------------------------------------------------------------ *)
+(* Crc32                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_crc32_known_vectors () =
+  (* IEEE 802.3 / zlib polynomial reference values *)
+  Alcotest.(check int) "empty" 0 (Smart_util.Crc32.string "");
+  Alcotest.(check int) "check vector" 0xCBF43926
+    (Smart_util.Crc32.string "123456789");
+  Alcotest.(check int) "'a'" 0xE8B7BE43 (Smart_util.Crc32.string "a")
+
+let test_crc32_streaming_and_substring () =
+  let s = "the quick brown fox" in
+  let whole = Smart_util.Crc32.string s in
+  Alcotest.(check int) "substring of whole" whole
+    (Smart_util.Crc32.substring s ~pos:0 ~len:(String.length s));
+  let mid = Smart_util.Crc32.update 0 s ~pos:0 ~len:9 in
+  Alcotest.(check int) "streaming in two parts" whole
+    (Smart_util.Crc32.update mid s ~pos:9 ~len:(String.length s - 9));
+  Alcotest.(check bool) "out of bounds rejected" true
+    (try
+       ignore (Smart_util.Crc32.substring s ~pos:0 ~len:(String.length s + 1));
+       false
+     with Invalid_argument _ -> true)
+
+let prop_crc32_detects_byte_flips =
+  QCheck.Test.make ~name:"crc32 detects any single byte flip" ~count:300
+    QCheck.(
+      triple
+        (string_gen_of_size Gen.(int_range 1 64) Gen.char)
+        (int_bound 1000) (int_range 1 255))
+    (fun (s, pos, delta) ->
+      let pos = pos mod String.length s in
+      let b = Bytes.of_string s in
+      Bytes.set b pos (Char.chr (Char.code (Bytes.get b pos) lxor delta));
+      Smart_util.Crc32.string s <> Smart_util.Crc32.string (Bytes.to_string b))
+
 let qsuite = List.map QCheck_alcotest.to_alcotest
-    [ prop_heap_sorted; prop_heap_length; prop_percentile_bounds ]
+    [ prop_heap_sorted; prop_heap_length; prop_percentile_bounds;
+      prop_crc32_detects_byte_flips ]
 
 let () =
   Alcotest.run "smart_util"
@@ -619,6 +712,21 @@ let () =
           Alcotest.test_case "shuffle permutation" `Quick
             test_prng_shuffle_permutation;
           Alcotest.test_case "sample distinct" `Quick test_prng_sample_distinct;
+        ] );
+      ( "backoff",
+        [
+          Alcotest.test_case "nominal schedule" `Quick
+            test_backoff_nominal_schedule;
+          Alcotest.test_case "jitter bounded and deterministic" `Quick
+            test_backoff_jitter_bounded_deterministic;
+          Alcotest.test_case "rejects nonsense" `Quick
+            test_backoff_rejects_nonsense;
+        ] );
+      ( "crc32",
+        [
+          Alcotest.test_case "known vectors" `Quick test_crc32_known_vectors;
+          Alcotest.test_case "streaming and substring" `Quick
+            test_crc32_streaming_and_substring;
         ] );
       ( "heap",
         [
