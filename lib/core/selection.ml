@@ -158,9 +158,11 @@ let select ~(requirement : Smart_lang.Ast.program) ~(servers : snapshot)
     if List.exists (fun v -> v.order_key <> None) others then
       List.stable_sort
         (fun a b ->
+          (* +. 0.0 collapses -0.0 onto 0.0, so keys IEEE-equal tie and
+             scan order decides — the property the heap path relies on *)
           Float.compare
-            (Option.value ~default:neg_infinity b.order_key)
-            (Option.value ~default:neg_infinity a.order_key))
+            (Option.value ~default:neg_infinity b.order_key +. 0.0)
+            (Option.value ~default:neg_infinity a.order_key +. 0.0))
         others
     else others
   in
@@ -171,3 +173,168 @@ let select ~(requirement : Smart_lang.Ast.program) ~(servers : snapshot)
     | x :: rest -> x.host :: take (n - 1) rest
   in
   { selected = take limit (preferred @ others); verdicts }
+
+(* ------------------------------------------------------------------ *)
+(* Columnar fast path                                                   *)
+(* ------------------------------------------------------------------ *)
+
+module B = Smart_lang.Bytecode
+
+(* Reusable buffers for [select_columns]: two rank heaps plus two
+   growable string buffers.  One scratch per wizard; reusing it keeps
+   the per-request allocation down to the heap tuples and the reply
+   list itself. *)
+type scratch = {
+  pref : string Smart_util.Heap.t;
+      (* eligible preferred hosts, keyed by preference rank *)
+  ranked : string Smart_util.Heap.t;
+      (* eligible others under order_by, keyed by negated order key *)
+  mutable plain : string array;  (* eligible others, scan order *)
+  mutable plain_len : int;
+  mutable nans : string array;   (* NaN order keys, scan order *)
+  mutable nan_len : int;
+  mutable qbuf : Bytes.t;        (* sweep plan: per-server verdicts *)
+  mutable obuf : float array;    (* sweep plan: per-server order keys *)
+}
+
+let scratch () =
+  {
+    pref = Smart_util.Heap.create ();
+    ranked = Smart_util.Heap.create ();
+    plain = Array.make 64 "";
+    plain_len = 0;
+    nans = Array.make 16 "";
+    nan_len = 0;
+    qbuf = Bytes.make 64 '\000';
+    obuf = Array.make 64 0.0;
+  }
+
+let grown buf len =
+  if len < Array.length buf then buf
+  else begin
+    let fresh = Array.make (2 * Array.length buf) "" in
+    Array.blit buf 0 fresh 0 len;
+    fresh
+  end
+
+(* The bytecode twin of [select]: one pass over the columnar snapshot,
+   same answer (the test suite pins the two against each other with a
+   differential property).  Ordering replays the reference exactly:
+
+   - preferred hosts pop from a rank-keyed min-heap whose insertion
+     stamp breaks ties in scan order — [List.sort] on ranks is stable;
+   - [order_by] candidates pop from a min-heap keyed by the negated
+     key (normalized by [+. 0.0] so -0.0 ties 0.0, as [Float.compare]
+     does after the same normalization in [select]); NaN keys, which
+     [Float.compare] orders below -infinity, are stashed and pushed
+     after the scan with key +infinity so they pop after every real
+     key, still in scan order;
+   - without [order_by], eligible hosts are emitted in scan order. *)
+let select_columns scratch ~(fast : Smart_lang.Requirement.fast)
+    ~(view : Status_db.column_view) ~wanted =
+  let prog = fast.Smart_lang.Requirement.prog in
+  let st = fast.Smart_lang.Requirement.state in
+  let cols = view.Status_db.cols in
+  Smart_util.Heap.clear scratch.pref;
+  Smart_util.Heap.clear scratch.ranked;
+  scratch.plain_len <- 0;
+  scratch.nan_len <- 0;
+  let emit_ordered host key =
+    if Float.is_nan key then begin
+      scratch.nans <- grown scratch.nans scratch.nan_len;
+      scratch.nans.(scratch.nan_len) <- host;
+      scratch.nan_len <- scratch.nan_len + 1
+    end
+    else Smart_util.Heap.push scratch.ranked ~key:(-.(key +. 0.0)) host
+  in
+  let emit_plain host =
+    scratch.plain <- grown scratch.plain scratch.plain_len;
+    scratch.plain.(scratch.plain_len) <- host;
+    scratch.plain_len <- scratch.plain_len + 1
+  in
+  (match fast.Smart_lang.Requirement.sweep with
+  | Some sw ->
+    (* statement-major plan: all verdicts and order keys in one
+       column-at-a-time pass, then a straight emit loop (the plan rules
+       out user parameters, so no blacklist/preference scan) *)
+    if Bytes.length scratch.qbuf < cols.B.n then begin
+      scratch.qbuf <- Bytes.make (2 * cols.B.n) '\000';
+      scratch.obuf <- Array.make (2 * cols.B.n) 0.0
+    end;
+    B.run_sweep sw cols ~qualified:scratch.qbuf ~order:scratch.obuf;
+    let ordered = prog.B.has_order_by in
+    for i = 0 to cols.B.n - 1 do
+      if Bytes.get scratch.qbuf i <> '\000' then
+        if ordered then
+          emit_ordered view.Status_db.hosts.(i) scratch.obuf.(i)
+        else emit_plain view.Status_db.hosts.(i)
+    done
+  | None ->
+  for i = 0 to cols.B.n - 1 do
+    B.run ~stop_unqualified:true prog st cols ~server:i;
+    if B.qualified prog st then begin
+      let host = view.Status_db.hosts.(i) in
+      let ip = view.Status_db.ips.(i) in
+      (* blacklist and preference rank, read off the uparam log: the
+         denied/preferred lists are the Addr-valued user parameters in
+         assignment order, an entry matching by host name or IP *)
+      let denied = ref false in
+      let rank = ref (-1) in
+      let pcount = ref 0 in
+      for k = 0 to st.B.ulog_len - 1 do
+        let tag = st.B.ulog_tag.(k) in
+        if tag >= 0 then begin
+          let entry = prog.B.pool.(tag) in
+          if st.B.ulog_slot.(k) < B.preferred_slots then begin
+            if
+              !rank < 0
+              && (String.equal entry host || String.equal entry ip)
+            then rank := !pcount;
+            incr pcount
+          end
+          else if
+            (not !denied)
+            && (String.equal entry host || String.equal entry ip)
+          then denied := true
+        end
+      done;
+      if not !denied then
+        if !rank >= 0 then
+          Smart_util.Heap.push scratch.pref ~key:(float_of_int !rank) host
+        else if prog.B.has_order_by then
+          emit_ordered host
+            (if st.B.order_found then st.B.order_val else neg_infinity)
+        else emit_plain host
+    end
+  done);
+  for k = 0 to scratch.nan_len - 1 do
+    Smart_util.Heap.push scratch.ranked ~key:infinity scratch.nans.(k)
+  done;
+  let limit = min wanted Smart_proto.Ports.max_reply_servers in
+  (* the reference [take] only stops on exactly 0, so a negative
+     [wanted] means "no cut" there; replay that *)
+  let limit = if limit < 0 then max_int else limit in
+  let selected = ref [] in
+  let count = ref 0 in
+  let take host =
+    selected := host :: !selected;
+    incr count
+  in
+  let rec drain heap =
+    if !count < limit then
+      match Smart_util.Heap.pop heap with
+      | Some (_, host) ->
+        take host;
+        drain heap
+      | None -> ()
+  in
+  drain scratch.pref;
+  if prog.B.has_order_by then drain scratch.ranked
+  else begin
+    let k = ref 0 in
+    while !count < limit && !k < scratch.plain_len do
+      take scratch.plain.(!k);
+      incr k
+    done
+  end;
+  List.rev !selected

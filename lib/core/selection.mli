@@ -62,3 +62,21 @@ val select :
   servers:snapshot ->
   wanted:int ->
   result
+
+(** Reusable buffers for {!select_columns} (heaps and string buffers);
+    one per wizard. *)
+type scratch
+
+val scratch : unit -> scratch
+
+(** The bytecode twin of {!select}: evaluate the compiled requirement
+    over the columnar snapshot in one pass and return the selected host
+    names.  Produces exactly {!select}'s [selected] list for equivalent
+    inputs (the test suite holds the two to a differential property);
+    skips the per-server diagnostics. *)
+val select_columns :
+  scratch ->
+  fast:Smart_lang.Requirement.fast ->
+  view:Status_db.column_view ->
+  wanted:int ->
+  string list

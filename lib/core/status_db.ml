@@ -13,7 +13,22 @@
      incrementally by [update_net], making [net_entry_for] an O(1)
      lookup instead of a scan over every monitor's entry list;
    - the sorted [sys_records] list is computed once per generation and
-     reused (physically equal) until the next write. *)
+     reused (physically equal) until the next write;
+   - a columnar snapshot ([columns]) of the whole status plane — the
+     structure-of-arrays the wizard's bytecode interpreter scans — is
+     maintained incrementally: an in-place system update dirties only
+     its own row, and a full rebuild happens only on membership, network
+     or security changes. *)
+
+type column_view = {
+  cols : Smart_lang.Bytecode.columns;
+  hosts : string array;  (* dense row -> host name, scan (sorted) order *)
+  ips : string array;    (* dense row -> IP *)
+}
+
+(* What the last [columns] call did, for the wizard's rebuild counter
+   and the bench's refresh accounting. *)
+type refresh = Cached | Refreshed of int | Rebuilt
 
 type t = {
   sys : (string, Smart_proto.Records.sys_record) Hashtbl.t;  (* by host *)
@@ -29,6 +44,15 @@ type t = {
       (* context of the ingest that last wrote the system table; the
          transmitter parents its push spans here so the monitor-side
          trace stays causally connected to the frames it sends *)
+  (* --- columnar snapshot state --- *)
+  mutable cview : column_view option;
+  mutable cgen : int;  (* generation [cview] matches; -1 = never built *)
+  crow : (string, int) Hashtbl.t;  (* host -> dense row of [cview] *)
+  cdirty : (string, unit) Hashtbl.t;  (* hosts updated in place since *)
+  mutable cstructural : bool;
+      (* membership / network / security changed: next [columns] call
+         must rebuild rather than refresh rows *)
+  mutable clast : refresh;
 }
 
 let create () =
@@ -40,6 +64,12 @@ let create () =
     generation = 0;
     sys_cache = None;
     last_trace = Smart_util.Tracelog.root;
+    cview = None;
+    cgen = -1;
+    crow = Hashtbl.create 32;
+    cdirty = Hashtbl.create 16;
+    cstructural = true;
+    clast = Rebuilt;
   }
 
 let set_last_trace t ctx = t.last_trace <- ctx
@@ -50,9 +80,23 @@ let generation t = t.generation
 
 let bump t = t.generation <- t.generation + 1
 
+(* Columnar-snapshot bookkeeping: an in-place update of a known host
+   dirties one row; anything else (new host, removal, network or
+   security write) forces a rebuild. *)
+let note_sys_write t ~host =
+  if Hashtbl.mem t.sys host then begin
+    if not t.cstructural then Hashtbl.replace t.cdirty host ()
+  end
+  else t.cstructural <- true
+
+let note_structural t = t.cstructural <- true
+
 let update_sys t (record : Smart_proto.Records.sys_record) =
-  Hashtbl.replace t.sys record.Smart_proto.Records.report.Smart_proto.Report.host
-    record;
+  let host =
+    record.Smart_proto.Records.report.Smart_proto.Report.host
+  in
+  note_sys_write t ~host;
+  Hashtbl.replace t.sys host record;
   bump t
 
 (* Batched write for the receiver's frame application: one snapshot of n
@@ -64,8 +108,11 @@ let update_sys_many t records =
   | records ->
     List.iter
       (fun (r : Smart_proto.Records.sys_record) ->
-        Hashtbl.replace t.sys r.Smart_proto.Records.report.Smart_proto.Report.host
-          r)
+        let host =
+          r.Smart_proto.Records.report.Smart_proto.Report.host
+        in
+        note_sys_write t ~host;
+        Hashtbl.replace t.sys host r)
       records;
     bump t
 
@@ -98,7 +145,10 @@ let sweep_sys_expired t ~now ~max_age =
     |> List.sort String.compare
   in
   List.iter (Hashtbl.remove t.sys) stale;
-  if stale <> [] then bump t;
+  if stale <> [] then begin
+    note_structural t;
+    bump t
+  end;
   stale
 
 let sweep_sys t ~now ~max_age = List.length (sweep_sys_expired t ~now ~max_age)
@@ -135,6 +185,7 @@ let update_net t (record : Smart_proto.Records.net_record) =
   | None -> ());
   Hashtbl.replace t.net monitor record;
   index_net t ~monitor record;
+  note_structural t;
   bump t
 
 let find_net t ~monitor = Hashtbl.find_opt t.net monitor
@@ -172,6 +223,7 @@ let replace_sec t (record : Smart_proto.Records.sec_record) =
       Hashtbl.replace t.sec e.Smart_proto.Records.host
         e.Smart_proto.Records.level)
     record.Smart_proto.Records.entries;
+  note_structural t;
   bump t
 
 let security_level t ~host = Hashtbl.find_opt t.sec host
@@ -187,10 +239,121 @@ let sec_record t =
              String.compare a.Smart_proto.Records.host b.Smart_proto.Records.host);
   }
 
+(* ------------------------------------------------------------------ *)
+(* Columnar snapshot                                                    *)
+(* ------------------------------------------------------------------ *)
+
+module B = Smart_lang.Bytecode
+
+(* The 22 system-field readers in column order, resolved once: the
+   column contents agree with the reference evaluator's binding by
+   construction ([Report.reader] is [Report.variable] by name). *)
+let sys_readers =
+  Array.map
+    (fun name ->
+      match Smart_proto.Report.reader name with
+      | Some f -> f
+      | None -> assert false (* sys_fields ⊆ Report.variable's domain *))
+    B.sys_fields
+
+let fill_sys_row (cols : B.columns) ~row (report : Smart_proto.Report.t) =
+  for field = 0 to Array.length sys_readers - 1 do
+    Bigarray.Array2.set cols.B.sys field row (sys_readers.(field) report)
+  done
+
+let fill_net_row (cols : B.columns) ~row entry =
+  match entry with
+  | Some (e : Smart_proto.Records.net_entry) ->
+    Bigarray.Array1.set cols.B.net_delay row
+      (Smart_util.Units.s_to_ms e.Smart_proto.Records.delay);
+    Bigarray.Array1.set cols.B.net_bw row
+      (Smart_util.Units.bytes_per_sec_to_mbps e.Smart_proto.Records.bandwidth);
+    Bigarray.Array1.set cols.B.has_net row 1
+  | None ->
+    Bigarray.Array1.set cols.B.net_delay row 0.0;
+    Bigarray.Array1.set cols.B.net_bw row 0.0;
+    Bigarray.Array1.set cols.B.has_net row 0
+
+let fill_sec_row (cols : B.columns) ~row level =
+  match level with
+  | Some l ->
+    Bigarray.Array1.set cols.B.sec_level row (float_of_int l);
+    Bigarray.Array1.set cols.B.has_sec row 1
+  | None ->
+    Bigarray.Array1.set cols.B.sec_level row 0.0;
+    Bigarray.Array1.set cols.B.has_sec row 0
+
+let rebuild_columns t ~net_for =
+  let records = sys_records t in
+  let n = List.length records in
+  let cols = B.create_columns n in
+  let hosts = Array.make n "" and ips = Array.make n "" in
+  Hashtbl.reset t.crow;
+  List.iteri
+    (fun row (r : Smart_proto.Records.sys_record) ->
+      let report = r.Smart_proto.Records.report in
+      let host = report.Smart_proto.Report.host in
+      hosts.(row) <- host;
+      ips.(row) <- report.Smart_proto.Report.ip;
+      Hashtbl.replace t.crow host row;
+      fill_sys_row cols ~row report;
+      fill_net_row cols ~row (net_for host);
+      fill_sec_row cols ~row (security_level t ~host))
+    records;
+  let view = { cols; hosts; ips } in
+  t.cview <- Some view;
+  t.clast <- Rebuilt;
+  Hashtbl.reset t.cdirty;
+  t.cstructural <- false;
+  t.cgen <- t.generation;
+  view
+
+(* The columnar snapshot at the current generation.  Three speeds:
+   unchanged data returns the memoized view untouched; in-place system
+   updates refresh just the dirty rows; membership/network/security
+   changes rebuild from scratch.  [net_for] resolves the network metrics
+   toward a host (the wizard's group-aware lookup) and is only consulted
+   on rebuilds — its answers must only change when the generation does,
+   which holds because it reads this same database. *)
+let columns t ~net_for =
+  match t.cview with
+  | Some view when t.cgen = t.generation ->
+    t.clast <- Cached;
+    view
+  | Some view
+    when (not t.cstructural)
+         && Hashtbl.length t.sys = Array.length view.hosts
+         && Hashtbl.fold (fun h () acc -> acc && Hashtbl.mem t.crow h)
+              t.cdirty true ->
+    (* deterministic row-refresh order, and no Hashtbl.iter while the
+       loop writes other tables *)
+    let dirty =
+      List.sort String.compare
+        (Hashtbl.fold (fun h () acc -> h :: acc) t.cdirty [])
+    in
+    List.iter
+      (fun host ->
+        match Hashtbl.find_opt t.sys host with
+        | Some (r : Smart_proto.Records.sys_record) ->
+          fill_sys_row view.cols ~row:(Hashtbl.find t.crow host)
+            r.Smart_proto.Records.report
+        | None -> ())
+      dirty;
+    t.clast <- Refreshed (List.length dirty);
+    Hashtbl.reset t.cdirty;
+    t.cgen <- t.generation;
+    view
+  | Some _ | None -> rebuild_columns t ~net_for
+
+let columns_fresh t = t.cgen = t.generation && t.cview <> None
+
+let last_refresh t = t.clast
+
 let sys_count t = Hashtbl.length t.sys
 
 let remove_sys t ~host =
   if Hashtbl.mem t.sys host then begin
     Hashtbl.remove t.sys host;
+    note_structural t;
     bump t
   end

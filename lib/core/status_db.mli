@@ -10,6 +10,19 @@
 
 type t
 
+(** The columnar snapshot the wizard's bytecode interpreter scans: the
+    structure-of-arrays status plane plus the dense-row -> host/IP maps
+    (rows are scan order, i.e. sorted by host). *)
+type column_view = {
+  cols : Smart_lang.Bytecode.columns;
+  hosts : string array;
+  ips : string array;
+}
+
+(** What the last {!columns} call did: served the memoized view, wrote
+    [n] dirty rows in place, or rebuilt from scratch. *)
+type refresh = Cached | Refreshed of int | Rebuilt
+
 val create : unit -> t
 
 (** Monotonic write counter.  Equal generations guarantee identical
@@ -61,6 +74,24 @@ val sys_count : t -> int
 (** Drop one server record (used by the receiver's mirror semantics).
     Bumps the generation only if the host was present. *)
 val remove_sys : t -> host:string -> unit
+
+(** The columnar snapshot at the current generation, memoized.  In-place
+    system updates refresh only their own rows; membership, network or
+    security changes trigger a full rebuild.  [net_for] resolves the
+    network metrics toward a server host (consulted on rebuilds only; it
+    must be a pure function of this database's contents, which the
+    wizard's group-aware lookup is). *)
+val columns :
+  t ->
+  net_for:(string -> Smart_proto.Records.net_entry option) ->
+  column_view
+
+(** Would {!columns} return the memoized view untouched?  Lets the
+    caller skip tracing a snapshot phase that will do no work. *)
+val columns_fresh : t -> bool
+
+(** What the most recent {!columns} call did. *)
+val last_refresh : t -> refresh
 
 (** Trace context of the last writer ({!Smart_util.Tracelog.root}
     initially).  The system monitor stamps its ingest span here; the

@@ -6,18 +6,26 @@
    transmitter, parks the request, and answers when the data has arrived
    (or a freshness deadline passes).
 
-   Two caches keep the request path off the database:
+   The request path runs on the columnar status snapshot and the
+   requirement bytecode:
 
-   - compiled requirements live in a bounded LRU keyed by source text,
-     so repeated requests (the common case for a popular requirement)
-     skip the lexer and parser entirely;
-   - the server-view snapshot is memoized on the database generation, so
-     back-to-back requests against unchanged data rebuild nothing;
+   - requirements compile (lex, parse, bytecode) into a bounded LRU
+     keyed by the token-canonical source, so repeated requests skip the
+     front end entirely and reuse one preallocated interpreter state;
+   - the status databases maintain a structure-of-arrays snapshot
+     ([Status_db.columns]) memoized on the generation — in-place system
+     updates refresh single rows, only membership/network/security
+     changes rebuild it;
+   - selection is one bytecode pass over that snapshot
+     ([Selection.select_columns]) reusing a per-wizard scratch;
    - whole selection results are memoized in a second LRU keyed by
      (requirement, wanted) and validated against the generation:
      selection is a pure function of the snapshot, so serving the
      memoized result while the generation is unchanged is exact, and a
-     single status write invalidates everything at once. *)
+     single status write invalidates everything at once;
+   - distributed-mode ticks additionally share a per-tick batch memo,
+     so a burst of parked requests carrying the same requirement is
+     answered by a single scan even when the LRU has churned. *)
 
 type mode =
   | Centralized
@@ -67,10 +75,11 @@ type t = {
   db : Status_db.t;
   pending : pending Queue.t;
   compile_cache :
-    (Smart_lang.Ast.program, Smart_lang.Requirement.compile_error) result
+    (Smart_lang.Requirement.fast, Smart_lang.Requirement.compile_error) result
     Smart_util.Lru.t;
-  result_cache : (int * Selection.result) Smart_util.Lru.t;
-      (* (generation, result); stale when the generation moved *)
+  result_cache : (int * string list) Smart_util.Lru.t;
+      (* (generation, servers); stale when the generation moved *)
+  scratch : Selection.scratch;
   clock : unit -> float;  (* injected clock for the latency histogram *)
   staleness_threshold : float;
       (* receiver silence beyond this flags replies degraded *)
@@ -78,6 +87,8 @@ type t = {
   requests_total : Metrics.Counter.t;
   compile_errors_total : Metrics.Counter.t;
   snapshot_rebuilds_total : Metrics.Counter.t;
+  snapshot_refreshes_total : Metrics.Counter.t;
+  batched_requests_total : Metrics.Counter.t;
   updates_total : Metrics.Counter.t;
   compile_cache_hits_total : Metrics.Counter.t;
   compile_cache_misses_total : Metrics.Counter.t;
@@ -86,11 +97,10 @@ type t = {
   pending_gauge : Metrics.Gauge.t;
   degraded_replies_total : Metrics.Counter.t;
   request_latency : Metrics.Histogram.t;
-  mutable snapshot : Selection.snapshot option;
   mutable updates_seen : int;
   mutable last_update_at : float option;
       (* clock time of the last receiver update; [None] until fed *)
-  mutable last_result : Selection.result option;
+  mutable last_result : string list option;
 }
 
 let create ?(compile_cache_capacity = default_compile_cache_capacity)
@@ -106,6 +116,7 @@ let create ?(compile_cache_capacity = default_compile_cache_capacity)
     pending = Queue.create ();
     compile_cache = Smart_util.Lru.create ~capacity:compile_cache_capacity;
     result_cache = Smart_util.Lru.create ~capacity:compile_cache_capacity;
+    scratch = Selection.scratch ();
     clock;
     trace;
     requests_total =
@@ -115,8 +126,16 @@ let create ?(compile_cache_capacity = default_compile_cache_capacity)
       Metrics.counter metrics ~help:"requests whose requirement failed to compile"
         "wizard.compile_errors_total";
     snapshot_rebuilds_total =
-      Metrics.counter metrics ~help:"server-view snapshot (re)builds"
+      Metrics.counter metrics ~help:"columnar snapshot full rebuilds"
         "wizard.snapshot_rebuilds_total";
+    snapshot_refreshes_total =
+      Metrics.counter metrics
+        ~help:"columnar snapshot in-place row refreshes"
+        "wizard.snapshot_refreshes_total";
+    batched_requests_total =
+      Metrics.counter metrics
+        ~help:"parked requests answered from the per-tick batch memo"
+        "wizard.batched_requests_total";
     updates_total =
       Metrics.counter metrics ~help:"receiver frames observed via the update hook"
         "wizard.updates_total";
@@ -144,7 +163,6 @@ let create ?(compile_cache_capacity = default_compile_cache_capacity)
       Metrics.histogram metrics
         ~help:"request processing wall time, seconds (decode to reply)"
         "wizard.request_latency_seconds";
-    snapshot = None;
     updates_seen = 0;
     last_update_at = None;
     last_result = None;
@@ -187,57 +205,49 @@ let net_for t ~host =
             String.equal e.Smart_proto.Records.peer group)
           record.Smart_proto.Records.entries))
 
-let build_snapshot t ~parent ~generation =
-  let span =
-    Smart_util.Tracelog.start t.trace ~parent "wizard.snapshot"
-  in
-  Metrics.Counter.incr t.snapshot_rebuilds_total;
-  let s =
-    Selection.snapshot ~generation
-      (List.map
-         (fun (record : Smart_proto.Records.sys_record) ->
-           let report = record.Smart_proto.Records.report in
-           let host = report.Smart_proto.Report.host in
-           {
-             Selection.record;
-             net = net_for t ~host;
-             security_level = Status_db.security_level t.db ~host;
-           })
-         (Status_db.sys_records t.db))
-  in
-  Smart_util.Tracelog.finish t.trace span;
-  s
+let net_lookup t host = net_for t ~host
 
-(* The server views at the current database generation, rebuilt only
-   when a write moved the generation since the last request. *)
-let server_snapshot t ~parent =
-  let generation = Status_db.generation t.db in
-  match t.snapshot with
-  | Some s when Selection.snapshot_generation s = generation -> s
-  | Some _ | None ->
-    let s = build_snapshot t ~parent ~generation in
-    t.snapshot <- Some s;
-    s
+(* The columnar snapshot at the current generation.  [Status_db.columns]
+   does the memoized/refresh/rebuild work; this wrapper adds the trace
+   span (only when there is actual work to record) and the counters. *)
+let server_columns t ~parent =
+  if Status_db.columns_fresh t.db then
+    Status_db.columns t.db ~net_for:(net_lookup t)
+  else begin
+    let span =
+      Smart_util.Tracelog.start t.trace ~parent "wizard.snapshot"
+    in
+    let view = Status_db.columns t.db ~net_for:(net_lookup t) in
+    (match Status_db.last_refresh t.db with
+    | Status_db.Rebuilt -> Metrics.Counter.incr t.snapshot_rebuilds_total
+    | Status_db.Refreshed _ ->
+      Metrics.Counter.incr t.snapshot_refreshes_total
+    | Status_db.Cached -> ());
+    Smart_util.Tracelog.finish t.trace span;
+    view
+  end
 
-let compile t ~parent source =
-  let key = Smart_lang.Requirement.cache_key source in
+let compile t ~parent ~key source =
   match Smart_util.Lru.find t.compile_cache key with
   | Some result ->
     Metrics.Counter.incr t.compile_cache_hits_total;
     result
   | None ->
-    (* only an actual lex+parse earns a parse span: cache hits do no
-       parsing work worth a tree node *)
+    (* only an actual lex+parse+compile earns a parse span: cache hits
+       do no front-end work worth a tree node *)
     let span = Smart_util.Tracelog.start t.trace ~parent "wizard.parse" in
     Metrics.Counter.incr t.compile_cache_misses_total;
-    let result = Smart_lang.Requirement.compile source in
+    let result = Smart_lang.Requirement.compile_fast source in
     Smart_util.Lru.add t.compile_cache key result;
     Smart_util.Tracelog.finish t.trace span;
     result
 
-let reply_to t (request : Smart_proto.Wizard_msg.request) ~parent ~from
+let reply_to t (request : Smart_proto.Wizard_msg.request) ~parent ~at ~from
     ~servers =
-  let span = Smart_util.Tracelog.start t.trace ~parent "wizard.reply" in
+  (* [at] is the request span's start timestamp, reused for the whole
+     (µs-scale) reply span: a dedicated clock read would cost as much
+     as the span body *)
+  let span = Smart_util.Tracelog.start t.trace ~parent ?at "wizard.reply" in
   let degraded = degraded_now t in
   if degraded then begin
     Metrics.Counter.incr t.degraded_replies_total;
@@ -256,60 +266,99 @@ let reply_to t (request : Smart_proto.Wizard_msg.request) ~parent ~from
         (Smart_proto.Wizard_msg.encode_reply reply);
     ]
   in
-  Smart_util.Tracelog.finish t.trace span;
+  Smart_util.Tracelog.finish t.trace ?at span;
   outputs
 
-(* The selection result for (requirement, wanted) at the current
-   generation — memoized because [Selection.select] is a pure function
-   of the snapshot, the program and the count. *)
-let select_cached t ~parent ~source ~wanted =
-  let generation = Status_db.generation t.db in
-  let key =
-    Printf.sprintf "%d\x00%s" wanted (Smart_lang.Requirement.cache_key source)
-  in
-  match Smart_util.Lru.find t.result_cache key with
-  | Some (g, result) when g = generation ->
-    Metrics.Counter.incr t.result_cache_hits_total;
-    Some result
-  | Some _ | None ->
+(* The selected servers for (requirement, wanted) at the current
+   generation — memoized because selection is a pure function of the
+   snapshot, the program and the count.  [None] means the requirement
+   did not compile.  [batch] is a per-tick memo shared by a burst of
+   parked requests: unlike the LRU it cannot churn, so each distinct
+   requirement is scanned at most once per tick. *)
+(* The uncached scan: columnar snapshot + one bytecode pass. *)
+let select_scan t ~parent ~fast ~wanted =
+  let view = server_columns t ~parent in
+  let span = Smart_util.Tracelog.start t.trace ~parent "wizard.select" in
+  let servers = Selection.select_columns t.scratch ~fast ~view ~wanted in
+  Smart_util.Tracelog.finish t.trace span;
+  servers
+
+(* An uncached compile still earns its parse span and miss count. *)
+let compile_fresh t ~parent source =
+  let span = Smart_util.Tracelog.start t.trace ~parent "wizard.parse" in
+  Metrics.Counter.incr t.compile_cache_misses_total;
+  let result = Smart_lang.Requirement.compile_fast source in
+  Smart_util.Tracelog.finish t.trace span;
+  result
+
+let select_cached t ~parent ?batch ~source ~wanted () =
+  match batch with
+  | None when Smart_util.Lru.capacity t.result_cache = 0 ->
+    (* caching disabled (capacity 0): the pre-cache request path is
+       exactly compile + scan, so skip key derivation entirely — token
+       canonicalization would cost more than the cache could save *)
     Metrics.Counter.incr t.result_cache_misses_total;
-    (match compile t ~parent source with
+    (match compile_fresh t ~parent source with
     | Error _ -> None
-    | Ok program ->
-      let servers = server_snapshot t ~parent in
-      let span =
-        Smart_util.Tracelog.start t.trace ~parent "wizard.select"
-      in
-      let result = Selection.select ~requirement:program ~servers ~wanted in
-      Smart_util.Tracelog.finish t.trace span;
-      Smart_util.Lru.add t.result_cache key (generation, result);
-      Some result)
+    | Ok fast -> Some (select_scan t ~parent ~fast ~wanted))
+  | _ ->
+  let ckey = Smart_lang.Requirement.cache_key source in
+  let key = string_of_int wanted ^ "\x00" ^ ckey in
+  match
+    (match batch with Some b -> Hashtbl.find_opt b key | None -> None)
+  with
+  | Some servers ->
+    Metrics.Counter.incr t.batched_requests_total;
+    servers
+  | None ->
+    let generation = Status_db.generation t.db in
+    let servers =
+      match Smart_util.Lru.find t.result_cache key with
+      | Some (g, servers) when g = generation ->
+        Metrics.Counter.incr t.result_cache_hits_total;
+        Some servers
+      | Some _ | None ->
+        Metrics.Counter.incr t.result_cache_misses_total;
+        (match compile t ~parent ~key:ckey source with
+        | Error _ -> None
+        | Ok fast ->
+          let servers = select_scan t ~parent ~fast ~wanted in
+          Smart_util.Lru.add t.result_cache key (generation, servers);
+          Some servers)
+    in
+    (match batch with Some b -> Hashtbl.replace b key servers | None -> ());
+    servers
 
 (* The request span adopts the context carried in the request datagram,
    so the wizard's parse/snapshot/select/reply internals appear as
    children of the requesting client's span. *)
-let process t (request : Smart_proto.Wizard_msg.request) ~from =
+let process t ?batch (request : Smart_proto.Wizard_msg.request) ~from =
   Metrics.Counter.incr t.requests_total;
   let started = t.clock () in
   let span =
-    Smart_util.Tracelog.start t.trace
+    Smart_util.Tracelog.start t.trace ~at:started
       ~parent:request.Smart_proto.Wizard_msg.trace "wizard.request"
   in
   let parent = Smart_util.Tracelog.ctx_of span in
+  let at =
+    if Smart_util.Tracelog.enabled t.trace then Some started else None
+  in
   let outputs =
     match
-      select_cached t ~parent ~source:request.Smart_proto.Wizard_msg.requirement
-        ~wanted:request.Smart_proto.Wizard_msg.server_num
+      select_cached t ~parent ?batch
+        ~source:request.Smart_proto.Wizard_msg.requirement
+        ~wanted:request.Smart_proto.Wizard_msg.server_num ()
     with
     | None ->
       Metrics.Counter.incr t.compile_errors_total;
-      reply_to t request ~parent ~from ~servers:[]
-    | Some result ->
-      t.last_result <- Some result;
-      reply_to t request ~parent ~from ~servers:result.Selection.selected
+      reply_to t request ~parent ~at ~from ~servers:[]
+    | Some servers ->
+      t.last_result <- Some servers;
+      reply_to t request ~parent ~at ~from ~servers
   in
-  Smart_util.Tracelog.finish t.trace span;
-  Metrics.Histogram.observe t.request_latency (t.clock () -. started);
+  let finished = t.clock () in
+  Smart_util.Tracelog.finish t.trace ~at:finished span;
+  Metrics.Histogram.observe t.request_latency (finished -. started);
   outputs
 
 let handle_request t ~now ~from data =
@@ -334,7 +383,9 @@ let handle_request t ~now ~from data =
         transmitters)
 
 (* Flush distributed-mode requests whose data is fresh (all transmitters
-   re-reported) or whose deadline passed. *)
+   re-reported) or whose deadline passed.  Replies go out in arrival
+   order; the shared batch memo means a burst of identical requirements
+   costs one snapshot scan regardless of LRU churn. *)
 let tick t ~now =
   let parked = List.of_seq (Queue.to_seq t.pending) in
   Queue.clear t.pending;
@@ -345,7 +396,11 @@ let tick t ~now =
   in
   List.iter (fun p -> Queue.add p t.pending) waiting;
   Metrics.Gauge.set t.pending_gauge (float_of_int (Queue.length t.pending));
-  List.concat_map (fun p -> process t p.request ~from:p.from) ready
+  match ready with
+  | [] -> []
+  | ready ->
+    let batch = Hashtbl.create 16 in
+    List.concat_map (fun p -> process t ~batch p.request ~from:p.from) ready
 
 let pending_count t = Queue.length t.pending
 
@@ -353,13 +408,22 @@ let requests_handled t = Metrics.Counter.value t.requests_total
 
 let compile_errors t = Metrics.Counter.value t.compile_errors_total
 
+(* Stats come from the wizard's own counters, not the LRU internals:
+   the capacity-0 bypass never consults the LRU yet still counts its
+   compiles as misses. *)
 let compile_cache_stats t =
-  (Smart_util.Lru.hits t.compile_cache, Smart_util.Lru.misses t.compile_cache)
+  ( Metrics.Counter.value t.compile_cache_hits_total,
+    Metrics.Counter.value t.compile_cache_misses_total )
 
 let result_cache_stats t =
-  (Smart_util.Lru.hits t.result_cache, Smart_util.Lru.misses t.result_cache)
+  ( Metrics.Counter.value t.result_cache_hits_total,
+    Metrics.Counter.value t.result_cache_misses_total )
 
 let snapshot_rebuilds t = Metrics.Counter.value t.snapshot_rebuilds_total
+
+let snapshot_refreshes t = Metrics.Counter.value t.snapshot_refreshes_total
+
+let batched_requests t = Metrics.Counter.value t.batched_requests_total
 
 let request_latency_summary t = Metrics.histogram_summary t.request_latency
 

@@ -102,9 +102,19 @@ val compile_cache_stats : t -> int * int
     invalidated wholesale by any database generation change. *)
 val result_cache_stats : t -> int * int
 
-(** How many times the server-view snapshot was (re)built; stays flat
-    across requests while the database generation is unchanged. *)
+(** How many times the columnar snapshot was rebuilt from scratch;
+    stays flat across requests while the database generation is
+    unchanged, and in-place system updates refresh rows instead (see
+    {!snapshot_refreshes}). *)
 val snapshot_rebuilds : t -> int
+
+(** How many times the columnar snapshot was refreshed in place (only
+    existing hosts' system rows rewritten, no rebuild). *)
+val snapshot_refreshes : t -> int
+
+(** Parked distributed-mode requests answered from the per-tick batch
+    memo (one snapshot scan shared by identical requirements). *)
+val batched_requests : t -> int
 
 (** The [wizard.request_latency_seconds] histogram in one read:
     count/sum/min/max plus incremental p50/p95/p99 estimates. *)
@@ -113,5 +123,5 @@ val request_latency_summary : t -> Smart_util.Metrics.histogram_summary
 (** Replies served with the degraded (stale snapshot) flag set. *)
 val degraded_replies : t -> int
 
-(** Diagnostics of the most recent selection. *)
-val last_result : t -> Selection.result option
+(** Server list of the most recent successful selection. *)
+val last_result : t -> string list option

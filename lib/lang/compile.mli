@@ -1,0 +1,14 @@
+(** Translation of a parsed requirement {!Ast.program} into the flat
+    register {!Bytecode.program}.
+
+    Compilation is total: statically-detectable faults (assignment to a
+    server-side variable or builtin, unknown function, read of a
+    never-assigned temp) compile to FAULT instructions at the exact
+    position where the reference evaluator would raise, so the bytecode
+    reproduces {!Eval}'s per-statement fault behaviour rather than
+    rejecting the program. *)
+
+val program : Ast.program -> Bytecode.program
+
+(** Is a statement an [order_by = ...] ranking assignment? *)
+val is_order_by : Ast.statement -> bool

@@ -21,44 +21,47 @@ type state = {
   mutable col : int;
 }
 
-let peek st = if st.pos < String.length st.src then Some st.src.[st.pos] else None
+(* The primitives below index the source directly rather than going
+   through a [char option] — lexing runs on the wizard's cold request
+   path, and one [Some] box per character-peek dominated its profile. *)
 
-let peek2 st =
-  if st.pos + 1 < String.length st.src then Some st.src.[st.pos + 1] else None
+let at_end st = st.pos >= String.length st.src
 
 (* Lookahead test for two-character operators. *)
 let peek2_is st c =
-  match peek2 st with Some d -> Char.equal c d | None -> false
+  st.pos + 1 < String.length st.src && Char.equal c st.src.[st.pos + 1]
 
 let advance st =
-  (match peek st with
-  | Some '\n' ->
-    st.line <- st.line + 1;
-    st.col <- 1
-  | Some _ -> st.col <- st.col + 1
-  | None -> ());
+  (if (not (at_end st)) && st.src.[st.pos] = '\n' then begin
+     st.line <- st.line + 1;
+     st.col <- 1
+   end
+   else st.col <- st.col + 1);
   st.pos <- st.pos + 1
 
 let is_digit c = c >= '0' && c <= '9'
 let is_alpha c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
-let is_ident_char c = is_alpha c || is_digit c || c = '_'
-let is_hostname_char c = is_ident_char c || c = '.' || c = '-'
-
-let take_while st pred =
-  let start = st.pos in
-  let rec go () =
-    match peek st with
-    | Some c when pred c -> advance st; go ()
-    | Some _ | None -> ()
-  in
-  go ();
-  String.sub st.src start (st.pos - start)
 
 (* A token beginning with a digit: plain number, decimal number, or a
-   dotted-quad network address. *)
+   dotted-quad network address.  Dots are counted during the scan, so
+   classification needs no second pass. *)
 let lex_numeric st ~line ~col =
-  let body = take_while st (fun c -> is_digit c || c = '.') in
-  let dots = String.fold_left (fun n c -> if c = '.' then n + 1 else n) 0 body in
+  let src = st.src in
+  let n = String.length src in
+  let start = st.pos in
+  let dots = ref 0 in
+  let scanning = ref true in
+  while !scanning && st.pos < n do
+    match src.[st.pos] with
+    | '0' .. '9' -> st.pos <- st.pos + 1
+    | '.' ->
+      incr dots;
+      st.pos <- st.pos + 1
+    | _ -> scanning := false
+  done;
+  st.col <- st.col + (st.pos - start);
+  let body = String.sub src start (st.pos - start) in
+  let dots = !dots in
   if dots = 0 then Ok { Token.token = Token.Number (float_of_string body); line; col }
   else if dots = 1 then
     match float_of_string_opt body with
@@ -77,13 +80,44 @@ let lex_numeric st ~line ~col =
   end
   else Error { line; col; message = "malformed numeric token " ^ body }
 
+(* Reserved words of the language: the server/monitor/user-side variable
+   names, the builtin functions, and the [order_by] ranking temp. *)
+let is_reserved name =
+  Vars.is_server_side name || Vars.is_user_side name
+  || Builtins.is_builtin name
+  || String.equal name "order_by"
+
 (* A token beginning with a letter: identifier, or a dotted host name
-   (which may contain '-' after the first label). *)
+   (which may contain '-' after the first label).  Identifiers whose
+   lowercase form is a reserved word are case-folded to it
+   (HOST_CPU_FREE and host_cpu_free are the same variable); other
+   identifiers — user temps, bare host names — stay case-sensitive. *)
 let lex_word st ~line ~col =
-  let body = take_while st is_hostname_char in
-  if String.contains body '.' then
-    Ok { Token.token = Token.Netaddr body; line; col }
-  else if String.contains body '-' then
+  let src = st.src in
+  let n = String.length src in
+  let start = st.pos in
+  let dotted = ref false in
+  let dashed = ref false in
+  let upper = ref false in
+  let scanning = ref true in
+  while !scanning && st.pos < n do
+    match src.[st.pos] with
+    | 'a' .. 'z' | '0' .. '9' | '_' -> st.pos <- st.pos + 1
+    | 'A' .. 'Z' ->
+      upper := true;
+      st.pos <- st.pos + 1
+    | '.' ->
+      dotted := true;
+      st.pos <- st.pos + 1
+    | '-' ->
+      dashed := true;
+      st.pos <- st.pos + 1
+    | _ -> scanning := false
+  done;
+  st.col <- st.col + (st.pos - start);
+  let body = String.sub src start (st.pos - start) in
+  if !dotted then Ok { Token.token = Token.Netaddr body; line; col }
+  else if !dashed then
     Error
       {
         line;
@@ -93,7 +127,13 @@ let lex_word st ~line ~col =
             "'%s': host names with '-' must be dotted or written as IPs"
             body;
       }
-  else Ok { Token.token = Token.Ident body; line; col }
+  else if not !upper then
+    (* all-lowercase (the overwhelmingly common case): already canonical *)
+    Ok { Token.token = Token.Ident body; line; col }
+  else
+    let folded = String.lowercase_ascii body in
+    let canonical = if is_reserved folded then folded else body in
+    Ok { Token.token = Token.Ident canonical; line; col }
 
 let simple st ~line ~col tok =
   advance st;
@@ -106,48 +146,49 @@ let double st ~line ~col tok =
 
 let rec next st =
   let line = st.line and col = st.col in
-  match peek st with
-  | None -> Ok { Token.token = Token.Eof; line; col }
-  | Some '#' ->
-    (* comment to end of line; the newline itself is significant *)
-    let rec skip () =
-      match peek st with
-      | Some '\n' | None -> ()
-      | Some _ -> advance st; skip ()
-    in
-    skip ();
-    next st
-  | Some (' ' | '\t' | '\r') -> advance st; next st
-  | Some '\n' -> simple st ~line ~col Token.Newline
-  | Some c when is_digit c -> lex_numeric st ~line ~col
-  | Some c when is_alpha c -> lex_word st ~line ~col
-  | Some '&' ->
-    if peek2_is st '&' then double st ~line ~col Token.And
-    else Error { line; col; message = "expected &&" }
-  | Some '|' ->
-    if peek2_is st '|' then double st ~line ~col Token.Or
-    else Error { line; col; message = "expected ||" }
-  | Some '>' ->
-    if peek2_is st '=' then double st ~line ~col Token.Ge
-    else simple st ~line ~col Token.Gt
-  | Some '<' ->
-    if peek2_is st '=' then double st ~line ~col Token.Le
-    else simple st ~line ~col Token.Lt
-  | Some '=' ->
-    if peek2_is st '=' then double st ~line ~col Token.Eq
-    else simple st ~line ~col Token.Assign
-  | Some '!' ->
-    if peek2_is st '=' then double st ~line ~col Token.Ne
-    else Error { line; col; message = "expected !=" }
-  | Some '+' -> simple st ~line ~col Token.Plus
-  | Some '-' -> simple st ~line ~col Token.Minus
-  | Some '*' -> simple st ~line ~col Token.Star
-  | Some '/' -> simple st ~line ~col Token.Slash
-  | Some '^' -> simple st ~line ~col Token.Caret
-  | Some '(' -> simple st ~line ~col Token.Lparen
-  | Some ')' -> simple st ~line ~col Token.Rparen
-  | Some c ->
-    Error { line; col; message = Printf.sprintf "unexpected character %C" c }
+  if at_end st then Ok { Token.token = Token.Eof; line; col }
+  else
+    match st.src.[st.pos] with
+    | '#' ->
+      (* comment to end of line; the newline itself is significant *)
+      let n = String.length st.src in
+      let start = st.pos in
+      while st.pos < n && st.src.[st.pos] <> '\n' do
+        st.pos <- st.pos + 1
+      done;
+      st.col <- st.col + (st.pos - start);
+      next st
+    | ' ' | '\t' | '\r' -> advance st; next st
+    | '\n' -> simple st ~line ~col Token.Newline
+    | c when is_digit c -> lex_numeric st ~line ~col
+    | c when is_alpha c -> lex_word st ~line ~col
+    | '&' ->
+      if peek2_is st '&' then double st ~line ~col Token.And
+      else Error { line; col; message = "expected &&" }
+    | '|' ->
+      if peek2_is st '|' then double st ~line ~col Token.Or
+      else Error { line; col; message = "expected ||" }
+    | '>' ->
+      if peek2_is st '=' then double st ~line ~col Token.Ge
+      else simple st ~line ~col Token.Gt
+    | '<' ->
+      if peek2_is st '=' then double st ~line ~col Token.Le
+      else simple st ~line ~col Token.Lt
+    | '=' ->
+      if peek2_is st '=' then double st ~line ~col Token.Eq
+      else simple st ~line ~col Token.Assign
+    | '!' ->
+      if peek2_is st '=' then double st ~line ~col Token.Ne
+      else Error { line; col; message = "expected !=" }
+    | '+' -> simple st ~line ~col Token.Plus
+    | '-' -> simple st ~line ~col Token.Minus
+    | '*' -> simple st ~line ~col Token.Star
+    | '/' -> simple st ~line ~col Token.Slash
+    | '^' -> simple st ~line ~col Token.Caret
+    | '(' -> simple st ~line ~col Token.Lparen
+    | ')' -> simple st ~line ~col Token.Rparen
+    | c ->
+      Error { line; col; message = Printf.sprintf "unexpected character %C" c }
 
 let tokenize src =
   let st = { src; pos = 0; line = 1; col = 1 } in

@@ -6,11 +6,60 @@ type compile_error = { line : int; col : int; message : string }
 let pp_compile_error ppf e =
   Fmt.pf ppf "requirement error at %d:%d: %s" e.line e.col e.message
 
-(* Key under which a compiled program may be cached.  Lexing skips
-   whitespace, so sources differing only in surrounding blank space
-   compile identically; trimming lets them share one cache slot.  The
-   key stays O(n) in the source length and allocates at most once. *)
-let cache_key src = String.trim src
+(* Key under which a compiled program may be cached: the token stream
+   rendered back to a canonical spelling.  Whitespace runs collapse to
+   one space, blank lines and comments vanish, numbers print exactly
+   (hex float), and reserved words are already case-folded by the lexer
+   — so trivially-different spellings of the same requirement share one
+   cache entry.  Statement structure (the newlines) is preserved, and
+   two sources with equal keys select identically: they differ at most
+   in source line numbers, which only reach fault diagnostics.  A source
+   that does not lex falls back to trimming (it will not compile either,
+   and the error is cached under that key). *)
+let render_token = function
+  | Token.Number f -> Printf.sprintf "%h" f
+  | Token.Netaddr s | Token.Ident s -> s
+  | Token.And -> "&&"
+  | Token.Or -> "||"
+  | Token.Gt -> ">"
+  | Token.Ge -> ">="
+  | Token.Lt -> "<"
+  | Token.Le -> "<="
+  | Token.Eq -> "=="
+  | Token.Ne -> "!="
+  | Token.Assign -> "="
+  | Token.Plus -> "+"
+  | Token.Minus -> "-"
+  | Token.Star -> "*"
+  | Token.Slash -> "/"
+  | Token.Caret -> "^"
+  | Token.Lparen -> "("
+  | Token.Rparen -> ")"
+  | Token.Newline | Token.Eof -> ""
+
+let cache_key src =
+  match Lexer.tokenize src with
+  | Error _ -> String.trim src
+  | Ok tokens ->
+    let buf = Buffer.create (String.length src) in
+    let line_has_content = ref false in
+    List.iter
+      (fun { Token.token; _ } ->
+        match token with
+        | Token.Eof -> ()
+        | Token.Newline ->
+          if !line_has_content then begin
+            Buffer.add_char buf '\n';
+            line_has_content := false
+          end
+        | tok ->
+          if !line_has_content then Buffer.add_char buf ' ';
+          Buffer.add_string buf (render_token tok);
+          line_has_content := true)
+      tokens;
+    let s = Buffer.contents buf in
+    let n = String.length s in
+    if n > 0 && s.[n - 1] = '\n' then String.sub s 0 (n - 1) else s
 
 let compile src : (Ast.program, compile_error) result =
   match Parser.parse src with
@@ -18,6 +67,27 @@ let compile src : (Ast.program, compile_error) result =
   | Error e ->
     Error
       { line = e.Parser.line; col = e.Parser.col; message = e.Parser.message }
+
+(* The wizard's hot-path form: parsed, compiled to bytecode, with a
+   preallocated interpreter state that selection reuses across servers
+   and requests (the wizard caches [fast] values in its compile LRU). *)
+type fast = {
+  prog : Bytecode.program;
+  state : Bytecode.state;
+  sweep : Bytecode.sweep option;
+}
+
+let compile_fast src : (fast, compile_error) result =
+  match compile src with
+  | Error e -> Error e
+  | Ok ast ->
+    let prog = Compile.program ast in
+    Ok
+      {
+        prog;
+        state = Bytecode.make_state prog;
+        sweep = Bytecode.sweep_of prog;
+      }
 
 let evaluate program ~lookup = Eval.run ~lookup program
 

@@ -4,12 +4,29 @@ type compile_error = { line : int; col : int; message : string }
 
 val pp_compile_error : Format.formatter -> compile_error -> unit
 
-(** Cheap canonical key for caching compiled programs by source text:
-    two sources with the same key compile to the same program. *)
+(** Canonical key for caching compiled programs by source text: the
+    token stream rendered back out (whitespace runs collapsed, comments
+    and blank lines dropped, reserved words case-folded), so trivially
+    different spellings of one requirement share a cache entry.  Two
+    sources with the same key select identically — they can differ only
+    in the source line numbers reported by fault diagnostics. *)
 val cache_key : string -> string
 
 (** Lex and parse a requirement text. *)
 val compile : string -> (Ast.program, compile_error) result
+
+(** A requirement in the wizard's hot-path form: bytecode plus the
+    preallocated interpreter state selection reuses across servers, and
+    the statement-major {!Bytecode.sweep} plan when the program fits
+    that shape. *)
+type fast = {
+  prog : Bytecode.program;
+  state : Bytecode.state;
+  sweep : Bytecode.sweep option;
+}
+
+(** Parse and compile to bytecode in one step. *)
+val compile_fast : string -> (fast, compile_error) result
 
 (** Evaluate against one server's variable bindings. *)
 val evaluate : Ast.program -> lookup:Eval.binding -> Eval.outcome

@@ -50,10 +50,20 @@ let user_side =
   List.init 5 (fun i -> Printf.sprintf "%s%d" user_preferred_prefix (i + 1))
   @ List.init 5 (fun i -> Printf.sprintf "%s%d" user_denied_prefix (i + 1))
 
-let is_server_side name =
-  List.mem name server_side || List.mem name monitor_side
+(* Membership is asked for every variable occurrence the lexer, compiler
+   and evaluator see; hashed sets beat rescanning the lists. *)
+let set_of names =
+  let tbl = Hashtbl.create (2 * List.length names) in
+  List.iter (fun n -> Hashtbl.replace tbl n ()) names;
+  tbl
 
-let is_user_side name = List.mem name user_side
+let server_side_set = set_of (server_side @ monitor_side)
+
+let user_side_set = set_of user_side
+
+let is_server_side name = Hashtbl.mem server_side_set name
+
+let is_user_side name = Hashtbl.mem user_side_set name
 
 let starts_with ~prefix s =
   String.length s >= String.length prefix

@@ -124,6 +124,35 @@ let decode s =
 
 let of_string s = Result.map fst (decode s)
 
+(* [variable] with the name resolved once: columnar row fills look the
+   reader up per field at snapshot-build time instead of string-matching
+   22 names for every row refresh. *)
+let reader name : (t -> float) option =
+  match name with
+  | "host_system_load1" -> Some (fun r -> r.load1)
+  | "host_system_load5" -> Some (fun r -> r.load5)
+  | "host_system_load15" -> Some (fun r -> r.load15)
+  | "host_cpu_user" -> Some (fun r -> r.cpu_user)
+  | "host_cpu_nice" -> Some (fun r -> r.cpu_nice)
+  | "host_cpu_system" -> Some (fun r -> r.cpu_system)
+  | "host_cpu_free" -> Some (fun r -> r.cpu_free)
+  | "host_cpu_bogomips" -> Some (fun r -> r.bogomips)
+  | "host_memory_total" -> Some (fun r -> r.mem_total)
+  | "host_memory_used" -> Some (fun r -> r.mem_used)
+  | "host_memory_free" -> Some (fun r -> r.mem_free)
+  | "host_memory_buffers" -> Some (fun r -> r.mem_buffers)
+  | "host_memory_cached" -> Some (fun r -> r.mem_cached)
+  | "host_disk_allreq" -> Some disk_allreq
+  | "host_disk_rreq" -> Some (fun r -> r.disk_rreq)
+  | "host_disk_rblocks" -> Some (fun r -> r.disk_rblocks)
+  | "host_disk_wreq" -> Some (fun r -> r.disk_wreq)
+  | "host_disk_wblocks" -> Some (fun r -> r.disk_wblocks)
+  | "host_network_rbytesps" -> Some (fun r -> r.net_rbytes)
+  | "host_network_rpacketsps" -> Some (fun r -> r.net_rpackets)
+  | "host_network_tbytesps" -> Some (fun r -> r.net_tbytes)
+  | "host_network_tpacketsps" -> Some (fun r -> r.net_tpackets)
+  | _ -> None
+
 (* Binding of the 22 server-side requirement variables to a report. *)
 let variable r name =
   let v f = Some f in

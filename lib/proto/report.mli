@@ -45,3 +45,9 @@ val of_string : string -> (t, string) result
 (** Bind one of the 22 [host_*] requirement variables; [None] for names
     this report does not define. *)
 val variable : t -> string -> float option
+
+(** {!variable} with the name resolved once — the per-field reader used
+    by columnar row fills.  [reader name] is [Some f] with
+    [f r = Option.get (variable r name)] exactly when
+    [variable r name] is defined. *)
+val reader : string -> (t -> float) option

@@ -1,82 +1,122 @@
-(* Array-backed binary min-heap.  The event queue of the simulator sits on
-   this, so [push]/[pop] are the hot path; we keep the representation flat
-   and grow geometrically. *)
+(* Array-backed binary min-heap.  The event queue of the simulator and
+   the wizard's selection scratch sit on this, so [push]/[pop] are the
+   hot path: the three fields live in parallel arrays (the key column a
+   flat float array, so keys stay unboxed) and [push] allocates nothing
+   once the arrays have grown to working size. *)
 
 type 'a t = {
-  mutable data : (float * int * 'a) array;  (* (key, tiebreak, value) *)
+  mutable keys : float array;
+  mutable stamps : int array;  (* monotonic insertion order, breaks ties *)
+  mutable vals : 'a array;
   mutable size : int;
-  mutable stamp : int;  (* monotonically increasing insertion counter *)
+  mutable stamp : int;
 }
 
-let create () = { data = [||]; size = 0; stamp = 0 }
+let create () = { keys = [||]; stamps = [||]; vals = [||]; size = 0; stamp = 0 }
 
 let length t = t.size
 
 let is_empty t = t.size = 0
 
-let lt ((k1 : float), (s1 : int), _) ((k2 : float), (s2 : int), _) =
-  k1 < k2 || (k1 = k2 && s1 < s2)
-
-let ensure_capacity t =
-  let cap = Array.length t.data in
+(* [seed] fills the value slots of a fresh allocation (['a] has no
+   default); only live slots are ever read back. *)
+let ensure_capacity t seed =
+  let cap = Array.length t.keys in
   if t.size >= cap then begin
     let ncap = if cap = 0 then 16 else cap * 2 in
-    let fresh = Array.make ncap t.data.(0) in
-    Array.blit t.data 0 fresh 0 t.size;
-    t.data <- fresh
+    let keys = Array.make ncap 0.0 in
+    let stamps = Array.make ncap 0 in
+    let vals = Array.make ncap seed in
+    Array.blit t.keys 0 keys 0 t.size;
+    Array.blit t.stamps 0 stamps 0 t.size;
+    Array.blit t.vals 0 vals 0 t.size;
+    t.keys <- keys;
+    t.stamps <- stamps;
+    t.vals <- vals
   end
 
-let rec sift_up t i =
-  if i > 0 then begin
-    let parent = (i - 1) / 2 in
-    if lt t.data.(i) t.data.(parent) then begin
-      let tmp = t.data.(i) in
-      t.data.(i) <- t.data.(parent);
-      t.data.(parent) <- tmp;
-      sift_up t parent
-    end
-  end
-
-let rec sift_down t i =
-  let l = (2 * i) + 1 and r = (2 * i) + 2 in
-  let smallest = ref i in
-  if l < t.size && lt t.data.(l) t.data.(!smallest) then smallest := l;
-  if r < t.size && lt t.data.(r) t.data.(!smallest) then smallest := r;
-  if !smallest <> i then begin
-    let tmp = t.data.(i) in
-    t.data.(i) <- t.data.(!smallest);
-    t.data.(!smallest) <- tmp;
-    sift_down t !smallest
-  end
-
+(* Sifts move a hole instead of swapping — one write per level across
+   the three arrays, not six.  The ordering is the tuple heap's:
+   smaller key first, equal keys in insertion (stamp) order.  A freshly
+   pushed element carries the largest stamp yet, so on the way up only
+   [key] can decide. *)
 let push t ~key v =
-  if t.size = 0 && Array.length t.data = 0 then t.data <- Array.make 16 (key, t.stamp, v);
-  ensure_capacity t;
-  t.data.(t.size) <- (key, t.stamp, v);
-  t.stamp <- t.stamp + 1;
+  ensure_capacity t v;
+  let stamp = t.stamp in
+  t.stamp <- stamp + 1;
+  let keys = t.keys and stamps = t.stamps and vals = t.vals in
+  let i = ref t.size in
   t.size <- t.size + 1;
-  sift_up t (t.size - 1)
+  let sifting = ref true in
+  while !sifting && !i > 0 do
+    let parent = (!i - 1) / 2 in
+    if keys.(parent) > key then begin
+      keys.(!i) <- keys.(parent);
+      stamps.(!i) <- stamps.(parent);
+      vals.(!i) <- vals.(parent);
+      i := parent
+    end
+    else sifting := false
+  done;
+  keys.(!i) <- key;
+  stamps.(!i) <- stamp;
+  vals.(!i) <- v
 
-let peek t =
-  if t.size = 0 then None
-  else
-    let key, _, v = t.data.(0) in
-    Some (key, v)
+let peek t = if t.size = 0 then None else Some (t.keys.(0), t.vals.(0))
 
 let pop t =
   if t.size = 0 then None
   else begin
-    let key, _, v = t.data.(0) in
-    t.size <- t.size - 1;
-    t.data.(0) <- t.data.(t.size);
-    if t.size > 0 then sift_down t 0;
+    let key = t.keys.(0) and v = t.vals.(0) in
+    let n = t.size - 1 in
+    t.size <- n;
+    if n > 0 then begin
+      (* re-insert the last element down a hole from the root *)
+      let keys = t.keys and stamps = t.stamps and vals = t.vals in
+      let mk = keys.(n) and ms = stamps.(n) and mv = vals.(n) in
+      let i = ref 0 in
+      let sifting = ref true in
+      while !sifting do
+        let l = (2 * !i) + 1 in
+        if l >= n then sifting := false
+        else begin
+          let r = l + 1 in
+          let c =
+            if
+              r < n
+              && (keys.(r) < keys.(l)
+                 || (keys.(r) = keys.(l) && stamps.(r) < stamps.(l)))
+            then r
+            else l
+          in
+          if keys.(c) < mk || (keys.(c) = mk && stamps.(c) < ms) then begin
+            keys.(!i) <- keys.(c);
+            stamps.(!i) <- stamps.(c);
+            vals.(!i) <- vals.(c);
+            i := c
+          end
+          else sifting := false
+        end
+      done;
+      keys.(!i) <- mk;
+      stamps.(!i) <- ms;
+      vals.(!i) <- mv
+    end;
     Some (key, v)
   end
 
 let clear t = t.size <- 0
 
 let to_sorted_list t =
-  let copy = { data = Array.copy t.data; size = t.size; stamp = t.stamp } in
+  let copy =
+    {
+      keys = Array.copy t.keys;
+      stamps = Array.copy t.stamps;
+      vals = Array.copy t.vals;
+      size = t.size;
+      stamp = t.stamp;
+    }
+  in
   let rec drain acc =
     match pop copy with
     | None -> List.rev acc

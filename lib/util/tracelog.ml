@@ -2,11 +2,16 @@
    with parent links and an injected clock, exported as text or Chrome
    trace-event JSON.
 
-   Span handles are the ring entries themselves (mutable), so [finish]
-   stamps the duration in place; a handle whose slot the ring has since
-   overwritten finishes into a dead record, which is harmless.  Ids come
-   from one per-recorder counter, so a trace id is simply the id of the
-   span that opened the trace. *)
+   The ring's span records are preallocated at [create] and reused in
+   place, so recording a span on an enabled recorder allocates nothing:
+   [start] claims the next slot and overwrites its fields, [finish]
+   stamps the duration through the handle (which *is* the slot).  A
+   handle whose slot the ring has lapped (capacity spans opened between
+   its [start] and [finish]) stamps whatever span now occupies the slot
+   — a bounded inaccuracy accepted for the zero-allocation hot path,
+   and impossible in the drivers, which close spans promptly against a
+   4096-deep ring.  Ids come from one per-recorder counter, so a trace
+   id is simply the id of the span that opened the trace. *)
 
 type ctx = { trace_id : int; span_id : int }
 
@@ -17,7 +22,8 @@ let is_root c = c.span_id = 0 && c.trace_id = 0
 type kind = Span | Instant
 
 (* One mutable record serves as both the span handle and the ring
-   entry.  [sp_id = 0] marks the inert [none] handle. *)
+   entry.  [sp_id = 0] marks the inert [none] handle and never-used
+   ring slots. *)
 type span = {
   mutable sp_name : string;
   mutable sp_kind : kind;
@@ -28,7 +34,7 @@ type span = {
   mutable sp_dur : float;  (* nan while open *)
 }
 
-let none =
+let fresh_slot () =
   {
     sp_name = "";
     sp_kind = Span;
@@ -39,9 +45,11 @@ let none =
     sp_dur = Float.nan;
   }
 
+let none = fresh_slot ()
+
 type t = {
   capacity : int;
-  ring : span option array;
+  ring : span array;    (* preallocated records, reused in place *)
   mutable next : int;   (* next write position *)
   mutable count : int;  (* spans ever recorded *)
   mutable next_id : int;
@@ -53,7 +61,7 @@ let create ?(capacity = 4096) ?(clock = fun () -> 0.0) ?(enabled = true) () =
   if capacity <= 0 then invalid_arg "Tracelog.create: capacity must be positive";
   {
     capacity;
-    ring = Array.make capacity None;
+    ring = Array.init capacity (fun _ -> fresh_slot ());
     next = 0;
     count = 0;
     next_id = 1;
@@ -72,36 +80,39 @@ let enabled t = t.on
 
 let set_clock t clock = t.clock <- clock
 
-let push t span =
-  t.ring.(t.next) <- Some span;
-  t.next <- (t.next + 1) mod t.capacity;
-  t.count <- t.count + 1
-
-let open_span t ~parent ~kind ~dur name =
+let open_span t ~parent ~kind ~dur ~at name =
   let id = t.next_id in
   t.next_id <- id + 1;
-  let span =
-    {
-      sp_name = name;
-      sp_kind = kind;
-      sp_trace = (if parent.span_id = 0 then id else parent.trace_id);
-      sp_id = id;
-      sp_parent = parent.span_id;
-      sp_start = t.clock ();
-      sp_dur = dur;
-    }
-  in
-  push t span;
+  let span = t.ring.(t.next) in
+  span.sp_name <- name;
+  span.sp_kind <- kind;
+  span.sp_trace <- (if parent.span_id = 0 then id else parent.trace_id);
+  span.sp_id <- id;
+  span.sp_parent <- parent.span_id;
+  span.sp_start <- at;
+  span.sp_dur <- dur;
+  (* [next] is always in range, so wrap with a compare instead of the
+     integer division a [mod] would cost on every record *)
+  let n = t.next + 1 in
+  t.next <- (if n = t.capacity then 0 else n);
+  t.count <- t.count + 1;
   span
 
-let start t ?(parent = root) name =
-  if not t.on then none else open_span t ~parent ~kind:Span ~dur:Float.nan name
+let start t ?(parent = root) ?at name =
+  if not t.on then none
+  else
+    let at = match at with Some a -> a | None -> t.clock () in
+    open_span t ~parent ~kind:Span ~dur:Float.nan ~at name
 
-let finish t span =
-  if span.sp_id <> 0 && t.on then span.sp_dur <- t.clock () -. span.sp_start
+let finish t ?at span =
+  if span.sp_id <> 0 && t.on then
+    let at = match at with Some a -> a | None -> t.clock () in
+    span.sp_dur <- at -. span.sp_start
 
-let instant t ?(parent = root) name =
-  if t.on then ignore (open_span t ~parent ~kind:Instant ~dur:0.0 name)
+let instant t ?(parent = root) ?at name =
+  if t.on then
+    let at = match at with Some a -> a | None -> t.clock () in
+    ignore (open_span t ~parent ~kind:Instant ~dur:0.0 ~at name)
 
 let ctx_of span =
   if span.sp_id = 0 then root
@@ -132,20 +143,21 @@ let total_recorded t = t.count
 
 let dropped t = max 0 (t.count - t.capacity)
 
-(* Oldest-first snapshot.  Slots are read defensively ([None] slots are
-   skipped, not asserted away): a realnet flight recorder is written
-   from daemon threads without a lock, and a torn ring is acceptable
-   there where a crash is not. *)
+(* Oldest-first snapshot.  Slots are read defensively (never-written
+   slots, [sp_id = 0], are skipped, not asserted away): a realnet flight
+   recorder is written from daemon threads without a lock, and a torn
+   ring is acceptable there where a crash is not. *)
 let entries t =
   let stored = min t.count t.capacity in
   let start = (t.next - stored + t.capacity) mod t.capacity in
   List.filter_map
     (fun i ->
-      Option.map entry_of t.ring.((start + i) mod t.capacity))
+      let s = t.ring.((start + i) mod t.capacity) in
+      if s.sp_id = 0 then None else Some (entry_of s))
     (List.init stored (fun i -> i))
 
 let clear t =
-  Array.fill t.ring 0 t.capacity None;
+  Array.iter (fun s -> s.sp_id <- 0) t.ring;
   t.next <- 0;
   t.count <- 0
 

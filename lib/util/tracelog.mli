@@ -15,6 +15,13 @@
     deterministic under the determinism lint — this module never reads
     real time itself.
 
+    The ring's span records are preallocated at {!create} and reused in
+    place, so recording on an enabled recorder allocates nothing.  The
+    price is that a span handle is the ring slot itself: if [capacity]
+    further spans open between a {!start} and its {!finish}, the stamp
+    lands on whichever span now occupies the slot.  Close spans promptly
+    relative to the ring depth (all in-tree drivers do).
+
     Recording through a disabled recorder costs one branch and no
     allocation; {!disabled} is the shared always-off recorder components
     default to. *)
@@ -57,18 +64,21 @@ val enabled : t -> bool
     construction). *)
 val set_clock : t -> (unit -> float) -> unit
 
-(** [start t ?parent name] opens a span.  Under a [parent] the span
+(** [start t ?parent ?at name] opens a span.  Under a [parent] the span
     joins the parent's trace; without one (or under {!root}) it opens a
-    fresh trace whose id is the span's own id.  Returns {!none} when the
+    fresh trace whose id is the span's own id.  [at] supplies the start
+    timestamp, defaulting to one clock read — callers recording several
+    spans at one instant share a single read.  Returns {!none} when the
     recorder is disabled. *)
-val start : t -> ?parent:ctx -> string -> span
+val start : t -> ?parent:ctx -> ?at:float -> string -> span
 
-(** Close the span, stamping its duration.  No-op on {!none} and on
-    spans of a recorder that was disabled meanwhile. *)
-val finish : t -> span -> unit
+(** Close the span, stamping its duration ([at] defaulting to a clock
+    read, as in {!start}).  No-op on {!none} and on spans of a recorder
+    that was disabled meanwhile. *)
+val finish : t -> ?at:float -> span -> unit
 
 (** Record a zero-duration point event. *)
-val instant : t -> ?parent:ctx -> string -> unit
+val instant : t -> ?parent:ctx -> ?at:float -> string -> unit
 
 (** The span's propagable context ({!root} for {!none}). *)
 val ctx_of : span -> ctx

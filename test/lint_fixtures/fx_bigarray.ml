@@ -1,0 +1,6 @@
+(* Lint fixture: unchecked indexing outside the bytecode interpreter. *)
+
+let ba_read (a : (float, Bigarray.float64_elt, Bigarray.c_layout) Bigarray.Array1.t) =
+  Bigarray.Array1.unsafe_get a 0
+
+let arr_read (a : float array) = Array.unsafe_get a 0

@@ -1,0 +1,4 @@
+val ba_read :
+  (float, Bigarray.float64_elt, Bigarray.c_layout) Bigarray.Array1.t -> float
+
+val arr_read : float array -> float

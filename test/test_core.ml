@@ -688,6 +688,178 @@ let test_selection_empty_and_limits () =
     P.Ports.max_reply_servers
     (List.length r2.C.Selection.selected)
 
+(* ------------------------------------------------------------------ *)
+(* Differential: select_columns vs the reference select                 *)
+(* ------------------------------------------------------------------ *)
+
+(* Random status databases and requirement texts: the columnar
+   selection must reproduce the reference [select]'s chosen hosts
+   exactly, across both the statement-major sweep shape (plain
+   column-vs-constant conjunctions) and the general interpreter path
+   (temps, arithmetic order keys, preferred/denied parameters). *)
+
+type diff_server = {
+  ds_cpu_free : float;
+  ds_load1 : float;
+  ds_mem_free : float;
+  ds_bogomips : float;
+  ds_net : (float * float) option;  (* delay s, bandwidth B/s *)
+  ds_sec : int option;
+}
+
+let gen_diff_server =
+  QCheck.Gen.(
+    let* k = int_range 0 4 in
+    let* load1 = map float_of_int (int_range 0 2) in
+    let* mem_free = map (fun m -> float_of_int (50 * m)) (int_range 0 4) in
+    let* bogomips = map (fun b -> float_of_int (1000 * b)) (int_range 1 4) in
+    let* net =
+      opt
+        (map2
+           (fun d b -> (float_of_int d /. 1000.0, float_of_int b *. 125000.0))
+           (int_range 1 30) (int_range 0 8))
+    in
+    let* sec = opt (int_range 0 4) in
+    return
+      {
+        ds_cpu_free = float_of_int k /. 4.0;
+        ds_load1 = load1;
+        ds_mem_free = mem_free;
+        ds_bogomips = bogomips;
+        ds_net = net;
+        ds_sec = sec;
+      })
+
+let gen_diff_requirement =
+  QCheck.Gen.(
+    let cmp_line =
+      map3
+        (fun v op c -> Printf.sprintf "%s %s %s" v op c)
+        (oneofl
+           [
+             "host_cpu_free";
+             "host_memory_free";
+             "host_system_load1";
+             "monitor_network_bw";
+             "host_security_level";
+           ])
+        (oneofl [ ">"; ">="; "<"; "<="; "=="; "!=" ])
+        (oneofl [ "0"; "0.5"; "1"; "2"; "100" ])
+    in
+    let order_line =
+      oneofl
+        [
+          "order_by = host_memory_free";
+          "order_by = host_cpu_bogomips";
+          "order_by = monitor_network_delay";
+          "order_by = host_memory_free + 4 * host_cpu_free";
+        ]
+    in
+    let param_line =
+      map2
+        (fun which ip -> Printf.sprintf "%s = %s" which ip)
+        (oneofl
+           [ "user_preferred_host1"; "user_preferred_host2"; "user_denied_host1" ])
+        (oneofl [ "10.0.0.1"; "10.0.0.2"; "10.0.0.3"; "10.0.0.9" ])
+    in
+    let chunk =
+      frequency
+        [
+          (4, cmp_line);
+          (1, order_line);
+          (1, param_line);
+          (1, return "t = host_cpu_free * 2\nt > 0.5");
+          (1, return "100 > 0");
+        ]
+    in
+    map
+      (fun chunks -> String.concat "\n" chunks ^ "\n")
+      (list_size (int_range 1 4) chunk))
+
+let arbitrary_selection_case =
+  QCheck.make
+    ~print:(fun (servers, source, wanted) ->
+      Printf.sprintf "%d servers, wanted %d:\n%s" (Array.length servers) wanted
+        source)
+    QCheck.Gen.(
+      triple
+        (array_size (int_range 1 6) gen_diff_server)
+        gen_diff_requirement (int_range (-1) 5))
+
+let prop_select_columns_matches_select =
+  QCheck.Test.make
+    ~name:"select_columns agrees with the reference select" ~count:400
+    arbitrary_selection_case
+    (fun (servers, source, wanted) ->
+      let db = C.Status_db.create () in
+      Array.iteri
+        (fun i s ->
+          C.Status_db.update_sys db
+            (sys_record
+               ~host:(Printf.sprintf "s%d" (i + 1))
+               ~ip:(Printf.sprintf "10.0.0.%d" (i + 1))
+               ~cpu_free:s.ds_cpu_free ~load1:s.ds_load1
+               ~mem_free:s.ds_mem_free ~bogomips:s.ds_bogomips ~at:1.0 ()))
+        servers;
+      let net_entries =
+        List.concat
+          (List.mapi
+             (fun i s ->
+               match s.ds_net with
+               | Some (delay, bandwidth) ->
+                 [
+                   {
+                     P.Records.peer = Printf.sprintf "s%d" (i + 1);
+                     delay;
+                     bandwidth;
+                     measured_at = 1.0;
+                   };
+                 ]
+               | None -> [])
+             (Array.to_list servers))
+      in
+      if net_entries <> [] then
+        C.Status_db.update_net db
+          { P.Records.monitor = "mon"; entries = net_entries };
+      let sec_entries =
+        List.concat
+          (List.mapi
+             (fun i s ->
+               match s.ds_sec with
+               | Some level ->
+                 [ { P.Records.host = Printf.sprintf "s%d" (i + 1); level } ]
+               | None -> [])
+             (Array.to_list servers))
+      in
+      if sec_entries <> [] then
+        C.Status_db.replace_sec db { P.Records.entries = sec_entries };
+      let net_for host = C.Status_db.net_entry_for db ~target:host in
+      let reference =
+        let views =
+          List.map
+            (fun (r : P.Records.sys_record) ->
+              let host = r.P.Records.report.P.Report.host in
+              {
+                C.Selection.record = r;
+                net = net_for host;
+                security_level = C.Status_db.security_level db ~host;
+              })
+            (C.Status_db.sys_records db)
+        in
+        C.Selection.select ~requirement:(compile source)
+          ~servers:(C.Selection.snapshot views)
+          ~wanted
+      in
+      match Smart_lang.Requirement.compile_fast source with
+      | Error _ -> false
+      | Ok fast ->
+        let view = C.Status_db.columns db ~net_for in
+        let got =
+          C.Selection.select_columns (C.Selection.scratch ()) ~fast ~view
+            ~wanted
+        in
+        List.equal String.equal reference.C.Selection.selected got)
+
 (* A second transmitter's snapshot must not clobber the first's servers
    on the mirror (per-transmitter ownership). *)
 let test_receiver_multi_transmitter_ownership () =
@@ -1721,6 +1893,7 @@ let () =
             test_selection_empty_and_limits;
           Alcotest.test_case "Fig 1.4 scenario" `Quick
             test_selection_fig14_scenario;
+          QCheck_alcotest.to_alcotest prop_select_columns_matches_select;
         ] );
       ( "wizard",
         [

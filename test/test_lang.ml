@@ -450,6 +450,306 @@ let prop_lexer_never_crashes =
     QCheck.(string_gen Gen.printable)
     (fun s -> match L.Lexer.tokenize s with Ok _ | Error _ -> true)
 
+(* ------------------------------------------------------------------ *)
+(* Differential: bytecode interpreter vs the reference evaluator        *)
+(* ------------------------------------------------------------------ *)
+
+(* One server's worth of status data, as both sides see it: the
+   bytecode gets it as a 1-server columnar snapshot, [Eval] as a
+   variable binding.  Values are small integers so comparisons tie and
+   divisions hit zero often. *)
+type diff_env = {
+  sys_vals : float array;  (* the 22 server-side columns *)
+  net : (float * float) option;  (* delay, bandwidth (requirement units) *)
+  sec : float option;
+}
+
+let gen_env =
+  QCheck.Gen.(
+    let small = map float_of_int (int_range (-2) 4) in
+    map3
+      (fun sys_vals net sec -> { sys_vals; net; sec })
+      (array_repeat L.Bytecode.sys_field_count small)
+      (opt (pair small small))
+      (opt small))
+
+let columns_of_env env =
+  let cols = L.Bytecode.create_columns 1 in
+  Array.iteri
+    (fun field v -> Bigarray.Array2.set cols.L.Bytecode.sys field 0 v)
+    env.sys_vals;
+  (match env.net with
+  | Some (delay, bw) ->
+    Bigarray.Array1.set cols.L.Bytecode.has_net 0 1;
+    Bigarray.Array1.set cols.L.Bytecode.net_delay 0 delay;
+    Bigarray.Array1.set cols.L.Bytecode.net_bw 0 bw
+  | None ->
+    Bigarray.Array1.set cols.L.Bytecode.has_net 0 0;
+    Bigarray.Array1.set cols.L.Bytecode.net_delay 0 0.0;
+    Bigarray.Array1.set cols.L.Bytecode.net_bw 0 0.0);
+  (match env.sec with
+  | Some level ->
+    Bigarray.Array1.set cols.L.Bytecode.has_sec 0 1;
+    Bigarray.Array1.set cols.L.Bytecode.sec_level 0 level
+  | None ->
+    Bigarray.Array1.set cols.L.Bytecode.has_sec 0 0;
+    Bigarray.Array1.set cols.L.Bytecode.sec_level 0 0.0);
+  cols
+
+(* The [Eval] binding equivalent to [columns_of_env]. *)
+let lookup_of_env env name =
+  match L.Bytecode.column_of_var name with
+  | None -> None
+  | Some c ->
+    if c < L.Bytecode.sys_field_count then
+      Some (L.Value.Num env.sys_vals.(c))
+    else if c = L.Bytecode.col_net_delay then
+      Option.map (fun (d, _) -> L.Value.Num d) env.net
+    else if c = L.Bytecode.col_net_bw then
+      Option.map (fun (_, b) -> L.Value.Num b) env.net
+    else Option.map (fun s -> L.Value.Num s) env.sec
+
+(* Expression generator exercising every construct the compiler
+   translates: column variables (sometimes absent net/sec ones), temps
+   that may be read before assignment, user parameters, addresses in
+   arithmetic, faulting divisions, builtins, and assignments to
+   read-only names — every fault path has to match byte-for-byte. *)
+let diff_vars =
+  [|
+    "host_cpu_free";
+    "host_memory_free";
+    "host_system_load1";
+    "host_disk_allreq";
+    "monitor_network_delay";
+    "monitor_network_bw";
+    "host_security_level";
+  |]
+
+let gen_diff_expr =
+  QCheck.Gen.(
+    sized
+    @@ fix (fun self n ->
+           let leaf =
+             frequency
+               [
+                 ( 3,
+                   map
+                     (fun f -> L.Ast.Number (float_of_int f))
+                     (int_range (-2) 4) );
+                 (3, map (fun v -> L.Ast.Var v) (oneofa diff_vars));
+                 (1, return (L.Ast.Var "t1"));
+                 (1, return (L.Ast.Var "scratch"));
+                 (1, return (L.Ast.Netaddr "10.0.0.7"));
+                 (1, return (L.Ast.Var "user_preferred_host1"));
+               ]
+           in
+           if n <= 0 then leaf
+           else
+             frequency
+               [
+                 (2, leaf);
+                 ( 4,
+                   map3
+                     (fun op a b -> L.Ast.Arith (op, a, b))
+                     (oneofl
+                        [ L.Ast.Add; L.Ast.Sub; L.Ast.Mul; L.Ast.Div; L.Ast.Pow ])
+                     (self (n / 2)) (self (n / 2)) );
+                 ( 3,
+                   map3
+                     (fun op a b -> L.Ast.Cmp (op, a, b))
+                     (oneofl
+                        [ L.Ast.Lt; L.Ast.Le; L.Ast.Gt; L.Ast.Ge; L.Ast.Eq; L.Ast.Ne ])
+                     (self (n / 2)) (self (n / 2)) );
+                 ( 2,
+                   map3
+                     (fun op a b -> L.Ast.Logic (op, a, b))
+                     (oneofl [ L.Ast.And; L.Ast.Or ])
+                     (self (n / 2)) (self (n / 2)) );
+                 ( 1,
+                   map2
+                     (fun f a -> L.Ast.Call (f, a))
+                     (oneofl [ "sqrt"; "log"; "abs"; "int" ])
+                     (self (n - 1)) );
+                 (1, map (fun a -> L.Ast.Neg a) (self (n - 1)));
+                 (1, map (fun a -> L.Ast.Paren a) (self (n - 1)));
+                 ( 2,
+                   map2
+                     (fun v a -> L.Ast.Assign (v, a))
+                     (oneofl
+                        [
+                          "t1";
+                          "scratch";
+                          "order_by";
+                          "user_preferred_host2";
+                          "user_denied_host1";
+                          "host_cpu_free";
+                        ])
+                     (self (n - 1)) );
+               ]))
+
+let gen_diff_program =
+  QCheck.Gen.(
+    map
+      (List.mapi (fun i expr -> { L.Ast.line = i + 1; expr }))
+      (list_size (int_range 1 5) gen_diff_expr))
+
+let arbitrary_diff_case =
+  QCheck.make
+    ~print:(fun (prog, env) ->
+      Fmt.str "%s@.sys=%a net=%a sec=%a" (L.Ast.program_to_string prog)
+        Fmt.(array ~sep:comma float)
+        env.sys_vals
+        Fmt.(option (pair float float))
+        env.net
+        Fmt.(option float)
+        env.sec)
+    QCheck.Gen.(pair gen_diff_program gen_env)
+
+(* Equality over outcomes that treats NaN as equal to itself (both
+   evaluators compute with the same OCaml floats, so NaN payloads never
+   diverge in any way [=] could see). *)
+let float_eq a b = (Float.is_nan a && Float.is_nan b) || a = b
+
+let value_eq a b =
+  match (a, b) with
+  | L.Value.Num x, L.Value.Num y -> float_eq x y
+  | L.Value.Addr x, L.Value.Addr y -> String.equal x y
+  | _ -> false
+
+let result_eq a b =
+  match (a, b) with
+  | Ok x, Ok y -> value_eq x y
+  | Error x, Error y -> String.equal x y
+  | _ -> false
+
+let outcome_eq (a : L.Eval.outcome) (b : L.Eval.outcome) =
+  a.qualified = b.qualified
+  && List.length a.statements = List.length b.statements
+  && List.for_all2
+       (fun (x : L.Eval.statement_result) (y : L.Eval.statement_result) ->
+         x.line = y.line && x.logical = y.logical && result_eq x.value y.value)
+       a.statements b.statements
+  && List.length a.uparams = List.length b.uparams
+  && List.for_all2
+       (fun (n, v) (m, w) -> String.equal n m && value_eq v w)
+       a.uparams b.uparams
+  && List.length a.faults = List.length b.faults
+  && List.for_all2
+       (fun (x : L.Eval.fault) (y : L.Eval.fault) ->
+         x.line = y.line && String.equal x.message y.message)
+       a.faults b.faults
+
+let prop_bytecode_matches_eval =
+  QCheck.Test.make
+    ~name:"bytecode run agrees with Eval on random programs" ~count:1000
+    arbitrary_diff_case
+    (fun (prog_ast, env) ->
+      let reference = L.Eval.run ~lookup:(lookup_of_env env) prog_ast in
+      let prog = L.Compile.program prog_ast in
+      let state = L.Bytecode.make_state prog in
+      L.Bytecode.run prog state (columns_of_env env) ~server:0;
+      outcome_eq reference (L.Bytecode.to_outcome prog state))
+
+(* The statement-major sweep plan against the scalar interpreter, over
+   multi-server snapshots: qualification verdicts and order keys must
+   agree on every server, including servers whose net/sec columns have
+   no data. *)
+let sweep_cols =
+  [|
+    "host_cpu_free";
+    "host_memory_free";
+    "host_system_load1";
+    "monitor_network_delay";
+    "monitor_network_bw";
+    "host_security_level";
+  |]
+
+let gen_sweep_program =
+  QCheck.Gen.(
+    let cmp_stmt =
+      map3
+        (fun op v c -> L.Ast.Cmp (op, L.Ast.Var v, L.Ast.Number (float_of_int c)))
+        (oneofl [ L.Ast.Lt; L.Ast.Le; L.Ast.Gt; L.Ast.Ge; L.Ast.Eq; L.Ast.Ne ])
+        (oneofa sweep_cols) (int_range (-1) 3)
+    in
+    let order_stmt =
+      map (fun v -> L.Ast.Assign ("order_by", L.Ast.Var v)) (oneofa sweep_cols)
+    in
+    map2
+      (fun cmps order ->
+        List.mapi
+          (fun i expr -> { L.Ast.line = i + 1; expr })
+          (cmps @ Option.to_list order))
+      (list_size (int_range 1 4) cmp_stmt)
+      (opt order_stmt))
+
+let columns_of_envs envs =
+  let n = Array.length envs in
+  let cols = L.Bytecode.create_columns n in
+  Array.iteri
+    (fun s env ->
+      Array.iteri
+        (fun field v -> Bigarray.Array2.set cols.L.Bytecode.sys field s v)
+        env.sys_vals;
+      (match env.net with
+      | Some (delay, bw) ->
+        Bigarray.Array1.set cols.L.Bytecode.has_net s 1;
+        Bigarray.Array1.set cols.L.Bytecode.net_delay s delay;
+        Bigarray.Array1.set cols.L.Bytecode.net_bw s bw
+      | None ->
+        Bigarray.Array1.set cols.L.Bytecode.has_net s 0;
+        Bigarray.Array1.set cols.L.Bytecode.net_delay s 0.0;
+        Bigarray.Array1.set cols.L.Bytecode.net_bw s 0.0);
+      match env.sec with
+      | Some level ->
+        Bigarray.Array1.set cols.L.Bytecode.has_sec s 1;
+        Bigarray.Array1.set cols.L.Bytecode.sec_level s level
+      | None ->
+        Bigarray.Array1.set cols.L.Bytecode.has_sec s 0;
+        Bigarray.Array1.set cols.L.Bytecode.sec_level s 0.0)
+    envs;
+  cols
+
+let arbitrary_sweep_case =
+  QCheck.make
+    ~print:(fun (prog, envs) ->
+      Fmt.str "%s@.%d servers" (L.Ast.program_to_string prog)
+        (Array.length envs))
+    QCheck.Gen.(
+      pair gen_sweep_program (array_size (int_range 1 8) gen_env))
+
+let prop_sweep_matches_run =
+  QCheck.Test.make
+    ~name:"sweep plan agrees with the interpreter on every server"
+    ~count:500 arbitrary_sweep_case
+    (fun (prog_ast, envs) ->
+      let prog = L.Compile.program prog_ast in
+      match L.Bytecode.sweep_of prog with
+      | None ->
+        QCheck.Test.fail_report "sweep-shaped program produced no plan"
+      | Some sw ->
+        let n = Array.length envs in
+        let cols = columns_of_envs envs in
+        let qualified = Bytes.make n '\000' in
+        let order = Array.make n 0.0 in
+        L.Bytecode.run_sweep sw cols ~qualified ~order;
+        let state = L.Bytecode.make_state prog in
+        let agree s =
+          L.Bytecode.run prog state cols ~server:s;
+          let ref_ok = L.Bytecode.qualified prog state in
+          let ref_key =
+            if state.L.Bytecode.order_found then state.L.Bytecode.order_val
+            else Float.neg_infinity
+          in
+          ref_ok = (Bytes.get qualified s <> '\000')
+          && ((not prog.L.Bytecode.has_order_by) || float_eq ref_key order.(s))
+        in
+        let ok = ref true in
+        for s = 0 to n - 1 do
+          ok := !ok && agree s
+        done;
+        !ok)
+
 let () =
   Alcotest.run "smart_lang"
     [
@@ -539,5 +839,7 @@ let () =
             prop_pp_parse_roundtrip;
             prop_logic_flag_stable_under_parens;
             prop_lexer_never_crashes;
+            prop_bytecode_matches_eval;
+            prop_sweep_matches_run;
           ] );
     ]

@@ -19,6 +19,7 @@ let fixture_config ~allow =
     lib_dirs = [ "test/lint_fixtures" ];
     sans_io_dirs = [ "test/lint_fixtures" ];
     proto_dirs = [ "test/lint_fixtures" ];
+    unchecked_files = [];
     allow_path = allow;
     only = [];
     skip = [];
@@ -87,6 +88,32 @@ let test_unsafe () =
   check_hit ~rule:"unsafe" ~file:(fx "fx_unsafe.ml") ~line:3 ();
   check_hit ~rule:"unsafe" ~file:(fx "fx_unsafe.ml") ~line:4 ();
   check_hit ~rule:"unsafe" ~file:(fx "fx_unsafe.ml") ~line:6 ()
+
+(* Bigarray/Array unsafe accessors: banned by default, waived only for
+   the files the config declares unchecked-safe (in the real tree, the
+   bytecode interpreter). *)
+let test_unchecked_indexing () =
+  check_hit ~rule:"unsafe" ~file:(fx "fx_bigarray.ml") ~line:4 ();
+  check_hit ~rule:"unsafe" ~file:(fx "fx_bigarray.ml") ~line:6 ();
+  let waived =
+    match
+      Dr.run
+        {
+          (fixture_config ~allow:"no-such.allow") with
+          unchecked_files = [ fx "fx_bigarray.ml" ];
+        }
+    with
+    | Ok r -> r
+    | Error e -> Alcotest.failf "smartlint failed: %s" e
+  in
+  Alcotest.(check (list string))
+    "declared file is exempt" []
+    (List.map D.to_string
+       (List.filter
+          (fun (d : D.t) ->
+            String.equal d.rule "unsafe"
+            && String.equal d.file (fx "fx_bigarray.ml"))
+          waived.Dr.diagnostics))
 
 let test_iface () =
   check_hit ~rule:"iface" ~file:(fx "fx_nomli.ml") ~line:1 ();
@@ -201,6 +228,8 @@ let () =
             test_determinism_tracer;
           Alcotest.test_case "poly-compare" `Quick test_poly_compare;
           Alcotest.test_case "unsafe" `Quick test_unsafe;
+          Alcotest.test_case "unchecked indexing" `Quick
+            test_unchecked_indexing;
           Alcotest.test_case "iface" `Quick test_iface;
           Alcotest.test_case "severity model" `Quick test_severity_model;
           Alcotest.test_case "--only filter" `Quick test_only_filter;

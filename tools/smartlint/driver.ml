@@ -11,6 +11,9 @@ type config = {
   lib_dirs : string list;      (* scanned at all: poly-compare, unsafe, iface *)
   sans_io_dirs : string list;  (* subset: io-purity + determinism *)
   proto_dirs : string list;    (* subset: assert-false ban *)
+  unchecked_files : string list;
+      (* root-relative sources where Bigarray/Array unsafe accessors are
+         in contract (the bytecode interpreter) *)
   allow_path : string;         (* allowlist file, relative to [root] *)
   only : string list;          (* when non-empty, run just these rules *)
   skip : string list;          (* rules to disable *)
@@ -51,6 +54,8 @@ let run config =
                 Rules.file = c.source;
                 sans_io = List.exists (Project.in_dir c.source) config.sans_io_dirs;
                 proto = List.exists (Project.in_dir c.source) config.proto_dirs;
+                unchecked_ok =
+                  List.exists (String.equal c.source) config.unchecked_files;
               }
             in
             Rules.check_structure ctx str)

@@ -28,6 +28,7 @@ let default_config root =
     sans_io_dirs =
       List.filter (fun d -> not (String.equal d realnet_dir)) lib_dirs;
     proto_dirs = [ "lib/proto" ];
+    unchecked_files = [ "lib/lang/bytecode.ml" ];
     allow_path = "lint.allow";
     only = [];
     skip = [];

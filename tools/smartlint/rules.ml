@@ -20,7 +20,11 @@
                    [float] are deterministic-but-NaN-hazardous, so warn.
    - unsafe        [Obj.*] and [Marshal.*] are banned everywhere;
                    [assert false] is banned in wire-decode layers where
-                   decoders must be total.
+                   decoders must be total; the bounds-skipping
+                   [Bigarray.*.unsafe_*] / [Array.unsafe_*] accessors
+                   are banned outside the files the driver declares
+                   unchecked-safe (the bytecode interpreter, whose
+                   operand indices are pre-validated).
 
    The interface-coverage rule and the dune-stanza cross-checks live in
    [Project]; they are file-level, not typed-tree-level. *)
@@ -29,6 +33,7 @@ type ctx = {
   file : string;   (* root-relative source path, used in diagnostics *)
   sans_io : bool;  (* io-purity + determinism apply *)
   proto : bool;    (* assert-false ban applies *)
+  unchecked_ok : bool;  (* unchecked-indexing ban waived for this file *)
 }
 
 let starts_with ~prefix s =
@@ -62,6 +67,20 @@ let hash_idents =
 let is_unsafe_ident name =
   starts_with ~prefix:"Stdlib.Obj." name
   || starts_with ~prefix:"Stdlib.Marshal." name
+
+(* The bounds-skipping accessors ([Bigarray.Array2.unsafe_get],
+   [Array.unsafe_set], ...): an out-of-range index is memory corruption,
+   not an exception, so their use is confined to files whose indices are
+   proven in range some other way. *)
+let is_unchecked_index_ident name =
+  (starts_with ~prefix:"Stdlib.Bigarray." name
+  || starts_with ~prefix:"Stdlib.Array." name)
+  &&
+  match String.rindex_opt name '.' with
+  | Some i ->
+    starts_with ~prefix:"unsafe_"
+      (String.sub name (i + 1) (String.length name - i - 1))
+  | None -> false
 
 (* The polymorphic three-way comparator and the polymorphic boolean
    comparison operators, as their resolved path names. *)
@@ -222,6 +241,11 @@ let check_ident ctx ~exempt (name, loc, ty) =
       [ diag ctx ~rule:"unsafe" ~severity:e ~loc
           "reference to %s: Obj/Marshal break abstraction and wire-compatibility \
            guarantees" name ]
+    else if (not ctx.unchecked_ok) && is_unchecked_index_ident name then
+      [ diag ctx ~rule:"unsafe" ~severity:e ~loc
+          "reference to %s: unchecked indexing is confined to the bytecode \
+           interpreter (lib/lang/bytecode.ml), whose operand indices are \
+           pre-validated; use the checked accessor here" name ]
     else []
   in
   let poly_compare () =
