@@ -8,9 +8,10 @@ build:
 test:
 	dune runtest
 
-# Wizard request-throughput benchmark (writes BENCH_wizard.json).
+# Wizard request-throughput and federated fan-out benchmarks (write
+# BENCH_wizard.json and BENCH_federation.json).
 bench:
-	dune exec bench/main.exe -- wizard
+	dune exec bench/main.exe -- wizard federation
 
 # Static analysis over the typed trees (see ANALYSIS.md); exits
 # non-zero on any error not excused by lint.allow.  Needs the cmts,

@@ -1,0 +1,283 @@
+(* Federated fan-out benchmark: the same request load is answered by a
+   root over 1, 2, 4 and 8 shards of one synthetic server pool, so the
+   numbers show how the aggregation tree's latency behaves as the status
+   plane is split (DESIGN.md §13).
+
+   The pool holds BENCH_FED_SERVERS servers (default 6000 — the scale
+   where a single flat mirror's columnar scan is clearly the dominant
+   term).  For each shard count the servers are partitioned round-robin
+   into per-shard status databases, each fronted by a regional wizard;
+   digests are registered with the root exactly as the uplink
+   transmitters would deliver them.  Requests are then driven through
+   the real message path in process — root fan-out, shard
+   [handle_subquery] scans, reply merge — with datagrams routed by
+   destination host instead of a socket, and each request is timed
+   end-to-end (encode -> fan-out -> per-shard select -> merge ->
+   decode).
+
+   The acceptance gate this feeds (ISSUE 7): p99 at the highest shard
+   count stays within 1.5x of the single-shard p99 — splitting the
+   plane must not cost the client latency — and every request succeeds.
+
+   Results go to stdout and to BENCH_federation.json for trend tracking
+   across PRs. *)
+
+module C = Smart_core
+module P = Smart_proto
+
+let env_int name default =
+  match Sys.getenv_opt name with
+  | Some v -> (try int_of_string (String.trim v) with _ -> default)
+  | None -> default
+
+let servers = env_int "BENCH_FED_SERVERS" 6000
+let requests = env_int "BENCH_FED_REQUESTS" 200
+let shard_counts = [ 1; 2; 4; 8 ]
+let wanted = 10
+
+let host_of i = Printf.sprintf "srv%05d" i
+let shard_of k = Printf.sprintf "shard%d" k
+
+let report i =
+  {
+    P.Report.host = host_of i;
+    ip = Printf.sprintf "10.%d.%d.%d" (i / 62500) (i / 250 mod 250) (i mod 250);
+    load1 = 0.05 *. float_of_int (i mod 8);
+    load5 = 0.1;
+    load15 = 0.1;
+    cpu_user = 0.01 *. float_of_int (i mod 50);
+    cpu_nice = 0.0;
+    cpu_system = 0.01;
+    cpu_free = 1.0 -. (0.01 *. float_of_int (i mod 50));
+    bogomips = 2000.0 +. (100.0 *. float_of_int (i mod 30));
+    mem_total = 512.0;
+    mem_used = 12.0 +. float_of_int (i mod 400);
+    mem_free = 500.0 -. float_of_int (i mod 400);
+    mem_buffers = 16.0;
+    mem_cached = 64.0;
+    disk_rreq = 1.0;
+    disk_rblocks = 8.0;
+    disk_wreq = 1.0;
+    disk_wblocks = 8.0;
+    net_rbytes = 1024.0;
+    net_rpackets = 4.0;
+    net_tbytes = 2048.0;
+    net_tpackets = 6.0;
+  }
+
+(* One shard's slice of the pool: servers assigned round-robin, one
+   monitor's network entries toward each of them, security levels for
+   all. *)
+let populate_shard db k nshards =
+  let mine = ref [] in
+  for i = servers - 1 downto 0 do
+    if i mod nshards = k then mine := i :: !mine
+  done;
+  List.iter
+    (fun i ->
+      C.Status_db.update_sys db
+        { P.Records.report = report i; updated_at = 100.0 })
+    !mine;
+  C.Status_db.update_net db
+    {
+      P.Records.monitor = Printf.sprintf "mon%d" k;
+      entries =
+        List.map
+          (fun i ->
+            {
+              P.Records.peer = host_of i;
+              delay = 0.001 +. (0.0001 *. float_of_int (i mod 9));
+              bandwidth = 10e6 +. (1e5 *. float_of_int (i mod 7));
+              measured_at = 50.0;
+            })
+          !mine;
+    };
+  C.Status_db.replace_sec db
+    {
+      P.Records.entries =
+        List.map
+          (fun i -> { P.Records.host = host_of i; level = 1 + (i mod 5) })
+          !mine;
+    }
+
+let requirement =
+  "host_cpu_free > 0.2\n\
+   host_memory_free > 10\n\
+   monitor_network_bw > 1\n\
+   host_security_level >= 1\n\
+   order_by = host_memory_free\n"
+
+let client = { C.Output.host = "client"; port = 4000 }
+let root_addr = { C.Output.host = "root"; port = P.Ports.fed }
+
+(* Drain the datagram exchange a request triggers: subqueries go to the
+   named shard wizard, shard replies back into the root, and the merged
+   reply addressed to the client is the result. *)
+let pump root wizards outputs =
+  let final = ref None in
+  let queue = Queue.create () in
+  List.iter (fun o -> Queue.add o queue) outputs;
+  while not (Queue.is_empty queue) do
+    match Queue.pop queue with
+    | C.Output.Stream _ -> ()
+    | C.Output.Udp { dst; data } ->
+      if String.equal dst.C.Output.host "client" then final := Some data
+      else (
+        match List.assoc_opt dst.C.Output.host wizards with
+        | Some wizard ->
+          List.iter
+            (fun o -> Queue.add o queue)
+            (C.Wizard.handle_subquery wizard ~from:root_addr data)
+        | None ->
+          List.iter
+            (fun o -> Queue.add o queue)
+            (C.Fed_root.handle_reply root data))
+  done;
+  !final
+
+type shard_result = {
+  sr_shards : int;
+  sr_rps : float;
+  sr_p50 : float;
+  sr_p99 : float;
+  sr_ok : int;
+}
+
+let percentile sorted q =
+  let n = Array.length sorted in
+  if n = 0 then Float.nan
+  else sorted.(min (n - 1) (int_of_float (ceil (q *. float_of_int n)) - 1))
+
+let run_shard_count nshards =
+  let shards =
+    List.init nshards (fun k ->
+        let db = C.Status_db.create () in
+        populate_shard db k nshards;
+        ( shard_of k,
+          db,
+          C.Wizard.create ~shard_name:(shard_of k)
+            { C.Wizard.mode = C.Wizard.Centralized; groups = None }
+            db ))
+  in
+  let wizards = List.map (fun (name, _, wizard) -> (name, wizard)) shards in
+  let root =
+    C.Fed_root.create
+      {
+        C.Fed_root.shards =
+          List.map
+            (fun (name, _) ->
+              {
+                C.Fed_root.name;
+                addr = { C.Output.host = name; port = P.Ports.fed };
+              })
+            wizards;
+        fanout_timeout = 1.0;
+        routing = true;
+      }
+  in
+  (* digests exactly as the uplink transmitters would ship them *)
+  List.iter
+    (fun (name, db, wizard) ->
+      C.Fed_root.note_digest root
+        (C.Status_db.summary db ~shard:name ~net_for:(fun host ->
+             C.Wizard.net_entry_for wizard ~host)))
+    shards;
+  let encoded seq =
+    P.Wizard_msg.encode_request
+      {
+        P.Wizard_msg.seq;
+        server_num = wanted;
+        option = P.Wizard_msg.Accept_partial;
+        requirement;
+        trace = Smart_util.Tracelog.root;
+      }
+  in
+  let one seq =
+    pump root wizards
+      (C.Fed_root.handle_request root ~now:0.0 ~from:client (encoded seq))
+  in
+  (* untimed warm-up: columnar snapshots and compile caches *)
+  ignore (one 0);
+  let latencies = Array.make requests 0.0 in
+  let ok = ref 0 in
+  let t0 = Unix.gettimeofday () in
+  for i = 0 to requests - 1 do
+    let s0 = Unix.gettimeofday () in
+    let reply = one (i + 1) in
+    latencies.(i) <- Unix.gettimeofday () -. s0;
+    match Option.map P.Wizard_msg.decode_reply reply with
+    | Some (Ok r)
+      when List.length r.P.Wizard_msg.servers = wanted
+           && not r.P.Wizard_msg.degraded ->
+      incr ok
+    | _ -> ()
+  done;
+  let elapsed = Unix.gettimeofday () -. t0 in
+  Array.sort Float.compare latencies;
+  {
+    sr_shards = nshards;
+    sr_rps = float_of_int requests /. elapsed;
+    sr_p50 = percentile latencies 0.50;
+    sr_p99 = percentile latencies 0.99;
+    sr_ok = !ok;
+  }
+
+let json_float x = if Float.is_finite x then Printf.sprintf "%.9f" x else "null"
+
+let run () =
+  let results = List.map run_shard_count shard_counts in
+  let tab =
+    Smart_util.Tabular.create
+      ~title:
+        (Printf.sprintf "federated fan-out, %d servers, %d requests" servers
+           requests)
+      ~header:[ "shards"; "req/s"; "p50"; "p99"; "ok" ]
+  in
+  List.iter
+    (fun r ->
+      Smart_util.Tabular.add_row tab
+        [
+          string_of_int r.sr_shards;
+          Printf.sprintf "%.0f" r.sr_rps;
+          Printf.sprintf "%.1f us" (1e6 *. r.sr_p50);
+          Printf.sprintf "%.1f us" (1e6 *. r.sr_p99);
+          Printf.sprintf "%d/%d" r.sr_ok requests;
+        ])
+    results;
+  Smart_util.Tabular.print tab;
+  let first = List.hd results in
+  let last = List.nth results (List.length results - 1) in
+  let p99_ratio =
+    if first.sr_p99 > 0.0 then last.sr_p99 /. first.sr_p99 else Float.nan
+  in
+  let success_rate =
+    float_of_int (List.fold_left (fun a r -> a + r.sr_ok) 0 results)
+    /. float_of_int (requests * List.length results)
+  in
+  Fmt.pr "p99 ratio %d shards vs 1: %.2f, success rate %.3f@." last.sr_shards
+    p99_ratio success_rate;
+  let oc = open_out "BENCH_federation.json" in
+  Printf.fprintf oc
+    "{\n\
+    \  \"benchmark\": \"federation_fanout\",\n\
+    \  \"servers\": %d,\n\
+    \  \"requests_per_shard_count\": %d,\n\
+    \  \"wanted\": %d,\n\
+    \  \"results\": [\n%s\n\
+    \  ],\n\
+    \  \"request_success_rate\": %s,\n\
+    \  \"p99_ratio_max_vs_one\": %s\n\
+     }\n"
+    servers requests wanted
+    (String.concat ",\n"
+       (List.map
+          (fun r ->
+            Printf.sprintf
+              "    { \"shards\": %d, \"requests_per_sec\": %s, \
+               \"latency_p50_s\": %s, \"latency_p99_s\": %s }"
+              r.sr_shards (json_float r.sr_rps) (json_float r.sr_p50)
+              (json_float r.sr_p99))
+          results))
+    (json_float success_rate) (json_float p99_ratio);
+  close_out oc;
+  Fmt.pr "wrote BENCH_federation.json@."

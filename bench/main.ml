@@ -67,6 +67,10 @@ let wizard_throughput () =
   section_header "wizard" "wizard request throughput: cold vs cached";
   Bench_wizard.run ()
 
+let federation_fanout () =
+  section_header "federation" "federated fan-out: req/s and p99 vs shard count";
+  Bench_federation.run ()
+
 let ablations () =
   section_header "ablation" "design-choice ablations (DESIGN.md §5)";
   Smart_experiments.Exp_ablation.print_init_speed
@@ -220,6 +224,7 @@ let sections : (string * string * (unit -> unit)) list =
     ("tab5.7-5.9", "massd random vs smart (3 experiments)", massd_tables);
     ("ablation", "design-choice ablations", ablations);
     ("wizard", "wizard request throughput, cold vs cached", wizard_throughput);
+    ("federation", "federated fan-out, req/s and p99 vs shards", federation_fanout);
     ("micro", "bechamel micro-benchmarks", micro);
   ]
 

@@ -30,7 +30,9 @@ type t = {
   resyncs_total : Metrics.Counter.t;
   corrupt_bytes_total : Metrics.Counter.t;
   transmitters : Metrics.Gauge.t;
+  digests_total : Metrics.Counter.t;
   mutable on_update : (Smart_proto.Frame.payload_type -> unit) option;
+  mutable on_digest : (Smart_proto.Digest.t -> unit) option;
 }
 
 let create ?(metrics = Metrics.create ())
@@ -62,12 +64,22 @@ let create ?(metrics = Metrics.create ())
     transmitters =
       Metrics.gauge metrics ~help:"transmitter sources with live stream state"
         "receiver.transmitters";
+    digests_total =
+      Metrics.counter metrics
+        ~help:"federation digest frames decoded and handed to the hook"
+        "federation.digests_received_total";
     on_update = None;
+    on_digest = None;
   }
 
 (* The wizard (distributed mode) registers here to learn when fresh data
    has landed. *)
 let set_update_hook t hook = t.on_update <- hook
+
+(* The federation root registers here to collect shard digests; the
+   receiver itself never mirrors them into the database — a digest is a
+   summary, not server records. *)
+let set_digest_hook t hook = t.on_digest <- hook
 
 let decoder_for t ~from =
   match Hashtbl.find_opt t.decoders from with
@@ -151,6 +163,13 @@ let apply_frame t (frame : Smart_proto.Frame.frame) =
         Status_db.replace_sec t.db record;
         Ok ()
       | Error m -> Error m)
+    | Smart_proto.Frame.Digest_db ->
+      (match Smart_proto.Digest.decode t.order frame.Smart_proto.Frame.data with
+      | Ok digest ->
+        Metrics.Counter.incr t.digests_total;
+        (match t.on_digest with Some hook -> hook digest | None -> ());
+        Ok ()
+      | Error m -> Error m)
   in
   (match result with
   | Ok () ->
@@ -200,6 +219,8 @@ let forget_source t ~from =
   Metrics.Gauge.set t.transmitters (float_of_int (Hashtbl.length t.decoders))
 
 let frames_handled t = Metrics.Counter.value t.frames_total
+
+let digests_handled t = Metrics.Counter.value t.digests_total
 
 let decode_errors t = Metrics.Counter.value t.decode_errors_total
 

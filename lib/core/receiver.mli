@@ -21,6 +21,12 @@ val create :
     by the distributed-mode wizard to detect fresh data). *)
 val set_update_hook : t -> (Smart_proto.Frame.payload_type -> unit) option -> unit
 
+(** Hook receiving every decoded [Digest_db] payload — the federation
+    root's intake of shard summaries.  Digests never touch the mirror
+    database; they are counted in [federation.digests_received_total]
+    and handed here (dropped when no hook is set). *)
+val set_digest_hook : t -> (Smart_proto.Digest.t -> unit) option -> unit
+
 (** Feed raw stream bytes arriving from transmitter [from].  Corrupt
     stretches never stop the stream: the frame decoder resynchronises
     past them (metered by [receiver.resyncs_total] and
@@ -39,6 +45,9 @@ val forget_source : t -> from:string -> unit
 (** Frames successfully applied to the mirror over the receiver's
     lifetime. *)
 val frames_handled : t -> int
+
+(** [Digest_db] frames decoded and handed to the digest hook. *)
+val digests_handled : t -> int
 
 (** Stream or record decode failures. *)
 val decode_errors : t -> int

@@ -217,21 +217,20 @@ let grown buf len =
     fresh
   end
 
-(* The bytecode twin of [select]: one pass over the columnar snapshot,
-   same answer (the test suite pins the two against each other with a
-   differential property).  Ordering replays the reference exactly:
+(* The shared scan of the columnar fast path: evaluate the compiled
+   requirement over every row and sort the eligible hosts into the
+   scratch buffers.  Ordering replays the reference [select] exactly:
 
-   - preferred hosts pop from a rank-keyed min-heap whose insertion
+   - preferred hosts land in a rank-keyed min-heap whose insertion
      stamp breaks ties in scan order — [List.sort] on ranks is stable;
-   - [order_by] candidates pop from a min-heap keyed by the negated
+   - [order_by] candidates land in a min-heap keyed by the negated
      key (normalized by [+. 0.0] so -0.0 ties 0.0, as [Float.compare]
      does after the same normalization in [select]); NaN keys, which
-     [Float.compare] orders below -infinity, are stashed and pushed
-     after the scan with key +infinity so they pop after every real
-     key, still in scan order;
-   - without [order_by], eligible hosts are emitted in scan order. *)
-let select_columns scratch ~(fast : Smart_lang.Requirement.fast)
-    ~(view : Status_db.column_view) ~wanted =
+     [Float.compare] orders below -infinity, stay in the [nans] stash
+     (scan order) for the caller to emit after every real key;
+   - without [order_by], eligible hosts fill [plain] in scan order. *)
+let scan scratch ~(fast : Smart_lang.Requirement.fast)
+    ~(view : Status_db.column_view) =
   let prog = fast.Smart_lang.Requirement.prog in
   let st = fast.Smart_lang.Requirement.state in
   let cols = view.Status_db.cols in
@@ -306,14 +305,28 @@ let select_columns scratch ~(fast : Smart_lang.Requirement.fast)
             (if st.B.order_found then st.B.order_val else neg_infinity)
         else emit_plain host
     end
-  done);
+  done)
+
+(* The reference [take] only stops on exactly 0, so a negative [wanted]
+   means "no cut" there; both drains replay that. *)
+let cut_limit wanted =
+  let limit = min wanted Smart_proto.Ports.max_reply_servers in
+  if limit < 0 then max_int else limit
+
+(* The bytecode twin of [select]: one pass over the columnar snapshot,
+   same answer (the test suite pins the two against each other with a
+   differential property).  NaN order keys are pushed after the scan
+   with key +infinity so they pop after every real key — including real
+   -infinity keys, whose earlier insertion stamps win the FIFO tie —
+   still in scan order. *)
+let select_columns scratch ~(fast : Smart_lang.Requirement.fast)
+    ~(view : Status_db.column_view) ~wanted =
+  let prog = fast.Smart_lang.Requirement.prog in
+  scan scratch ~fast ~view;
   for k = 0 to scratch.nan_len - 1 do
     Smart_util.Heap.push scratch.ranked ~key:infinity scratch.nans.(k)
   done;
-  let limit = min wanted Smart_proto.Ports.max_reply_servers in
-  (* the reference [take] only stops on exactly 0, so a negative
-     [wanted] means "no cut" there; replay that *)
-  let limit = if limit < 0 then max_int else limit in
+  let limit = cut_limit wanted in
   let selected = ref [] in
   let count = ref 0 in
   let take host =
@@ -338,3 +351,134 @@ let select_columns scratch ~(fast : Smart_lang.Requirement.fast)
     done
   end;
   List.rev !selected
+
+(* ------------------------------------------------------------------ *)
+(* Federation: scored selection and deterministic cross-shard merge     *)
+(* ------------------------------------------------------------------ *)
+
+(* A shard wizard's answer to a root subquery: the same scan, but each
+   candidate keeps the ordering information the root needs to merge
+   per-shard lists into exactly the flat ranking — preference rank for
+   preferred hosts, the order_by key for the rest.  The drain order is
+   the shard-local selection order, i.e. the restriction of the global
+   candidate order to this shard, which is what makes merging per-shard
+   prefixes exact (see [merge_candidates]).
+
+   Key recovery: the ranked heap stores the negated normalized key, so
+   popping gives it back with [-0.0] already collapsed; NaN keys live in
+   the scan-order stash and are emitted last with an honest NaN key so
+   the root can order them after every real key, as [Float.compare]
+   does. *)
+let select_scored scratch ~(fast : Smart_lang.Requirement.fast)
+    ~(view : Status_db.column_view) ~wanted =
+  let prog = fast.Smart_lang.Requirement.prog in
+  scan scratch ~fast ~view;
+  let limit = cut_limit wanted in
+  let out = ref [] in
+  let count = ref 0 in
+  let take c =
+    out := c :: !out;
+    incr count
+  in
+  let rec drain_pref () =
+    if !count < limit then
+      match Smart_util.Heap.pop scratch.pref with
+      | Some (rank, host) ->
+        take
+          {
+            Smart_proto.Fed_msg.host;
+            rank = int_of_float rank;
+            key = neg_infinity;
+          };
+        drain_pref ()
+      | None -> ()
+  in
+  drain_pref ();
+  if prog.B.has_order_by then begin
+    let rec drain_ranked () =
+      if !count < limit then
+        match Smart_util.Heap.pop scratch.ranked with
+        | Some (negkey, host) ->
+          take { Smart_proto.Fed_msg.host; rank = -1; key = -.negkey };
+          drain_ranked ()
+        | None -> ()
+    in
+    drain_ranked ();
+    let k = ref 0 in
+    while !count < limit && !k < scratch.nan_len do
+      take { Smart_proto.Fed_msg.host = scratch.nans.(!k); rank = -1;
+             key = Float.nan };
+      incr k
+    done
+  end
+  else begin
+    let k = ref 0 in
+    while !count < limit && !k < scratch.plain_len do
+      take { Smart_proto.Fed_msg.host = scratch.plain.(!k); rank = -1;
+             key = neg_infinity };
+      incr k
+    done
+  end;
+  List.rev !out
+
+(* Total order over candidates, identical to the flat wizard's ranking:
+   preferred hosts first by preference rank, then the rest by order_by
+   key descending with NaN after every real key ([Float.compare] orders
+   NaN below -infinity; the [+. 0.0] normalization collapses -0.0 onto
+   0.0 exactly as the reference sort does).  The host name breaks every
+   remaining tie — scan order is host order, since status databases
+   scan sorted by host — which is what keeps a cross-shard merge
+   byte-deterministic regardless of reply arrival order. *)
+let compare_candidates (a : Smart_proto.Fed_msg.candidate)
+    (b : Smart_proto.Fed_msg.candidate) =
+  match (a.Smart_proto.Fed_msg.rank >= 0, b.Smart_proto.Fed_msg.rank >= 0) with
+  | true, false -> -1
+  | false, true -> 1
+  | true, true ->
+    let c = Int.compare a.Smart_proto.Fed_msg.rank b.Smart_proto.Fed_msg.rank in
+    if c <> 0 then c
+    else
+      String.compare a.Smart_proto.Fed_msg.host b.Smart_proto.Fed_msg.host
+  | false, false ->
+    let c =
+      Float.compare
+        (b.Smart_proto.Fed_msg.key +. 0.0)
+        (a.Smart_proto.Fed_msg.key +. 0.0)
+    in
+    if c <> 0 then c
+    else
+      String.compare a.Smart_proto.Fed_msg.host b.Smart_proto.Fed_msg.host
+
+(* Merge per-shard candidate lists into the final reply: the best
+   [wanted] hosts under the global candidate order.
+
+   Exactness: each shard list is the [select_scored] prefix of that
+   shard's eligible servers under the same total order, and the order is
+   total, so every member of the global top-k is inside its own shard's
+   top-k — merging the prefixes and cutting to k loses nothing.  With
+   shards partitioning the server set this returns exactly what a flat
+   wizard over the union database would have selected.
+
+   Determinism: shard lists are processed in shard-name order and the
+   sort's remaining ties fall to the host name, so the result does not
+   depend on reply arrival order.  A host reported by several shards
+   (possible only when shards overlap) keeps its best-ordered candidate. *)
+let merge_candidates ~wanted shards =
+  let shards =
+    List.sort (fun (a, _) (b, _) -> String.compare a b) shards
+  in
+  let all = List.concat_map snd shards in
+  let sorted = List.stable_sort compare_candidates all in
+  let limit = cut_limit wanted in
+  let seen = Hashtbl.create 16 in
+  let rec take n = function
+    | [] -> []
+    | _ when n = 0 -> []
+    | (c : Smart_proto.Fed_msg.candidate) :: rest ->
+      if Hashtbl.mem seen c.Smart_proto.Fed_msg.host then take n rest
+      else begin
+        Hashtbl.replace seen c.Smart_proto.Fed_msg.host ();
+        c.Smart_proto.Fed_msg.host :: take (n - 1) rest
+      end
+  in
+  take limit sorted

@@ -80,3 +80,46 @@ val select_columns :
   view:Status_db.column_view ->
   wanted:int ->
   string list
+
+(** {1 Federation}
+
+    A regional (shard) wizard answers a root subquery with
+    {!select_scored}: the same one-pass columnar scan as
+    {!select_columns}, but each candidate carries the ordering
+    information the root needs — the preference rank for preferred
+    hosts, the [order_by] key for the rest (NaN when the ranking
+    expression produced no comparable value, [neg_infinity] when the
+    program has no [order_by] at all).  The root combines per-shard
+    lists with {!merge_candidates}. *)
+
+(** Shard-local scored selection: the best [wanted] candidates of this
+    shard under the same total order {!select_columns} uses, with their
+    merge keys.  The list is the shard-local prefix of the global
+    candidate order, which is what makes {!merge_candidates} exact. *)
+val select_scored :
+  scratch ->
+  fast:Smart_lang.Requirement.fast ->
+  view:Status_db.column_view ->
+  wanted:int ->
+  Smart_proto.Fed_msg.candidate list
+
+(** Total order on candidates replicating the flat wizard's ranking:
+    preferred hosts first by rank ascending, then [order_by] key
+    descending with NaN after every real key, host name breaking all
+    remaining ties.  Exposed for tests. *)
+val compare_candidates :
+  Smart_proto.Fed_msg.candidate -> Smart_proto.Fed_msg.candidate -> int
+
+(** [merge_candidates ~wanted shards] merges per-shard
+    [(shard_name, candidates)] lists into the final ranked host list:
+    the best [wanted] hosts under {!compare_candidates}, duplicates
+    (possible only when shards overlap) keeping their best-ordered
+    entry.  Deterministic in shard-reply arrival order: shards are
+    sorted by name and every tie falls to the host name.  When the
+    shards partition the server population, the result equals what a
+    flat wizard over the union database selects (the test suite pins
+    this with a differential property). *)
+val merge_candidates :
+  wanted:int ->
+  (string * Smart_proto.Fed_msg.candidate list) list ->
+  string list

@@ -25,6 +25,19 @@ type group = {
          and transmitter stop handling and ticking while set *)
 }
 
+(* One regional shard of a federated deployment: the mirror its groups'
+   transmitters feed, the wizard answering root subqueries from it, and
+   the transmitter shipping its digest up the tree. *)
+type fed_shard = {
+  shard_host : string;
+  shard_db : Status_db.t;
+  shard_receiver : Receiver.t;
+  shard_wizard : Wizard.t;
+  uplink : Transmitter.t;
+}
+
+type federation = { root : Fed_root.t; fed_shards : fed_shard list }
+
 type t = {
   cluster : Smart_host.Cluster.t;
   mode : Transmitter.mode;
@@ -33,6 +46,7 @@ type t = {
   db_wizard : Status_db.t;
   receiver : Receiver.t;
   wizard : Wizard.t;
+  fed : federation option;
   client_rng : Smart_util.Prng.t;
   metrics : Smart_util.Metrics.t;
       (* one registry for the whole deployment: same-named instruments
@@ -137,6 +151,10 @@ type config = {
          receiver to detect injected stream corruption *)
   wizard_staleness : float;
       (* receiver silence before wizard replies are flagged degraded *)
+  fed_fanout_timeout : float;
+      (* federation root: seconds to wait for shard replies *)
+  fed_routing : bool;
+      (* federation root: skip shards whose digest proves them empty *)
 }
 
 let default_config =
@@ -150,6 +168,8 @@ let default_config =
     wizard_compile_cache = Wizard.default_compile_cache_capacity;
     frame_crc = false;
     wizard_staleness = Wizard.default_staleness_threshold;
+    fed_fanout_timeout = 1.0;
+    fed_routing = true;
   }
 
 (* Wire one group's probes, monitors and transmitter. *)
@@ -404,6 +424,7 @@ let deploy_groups ?(config = default_config) cluster ~wizard_host ~groups =
       db_wizard;
       receiver;
       wizard;
+      fed = None;
       client_rng = Smart_util.Prng.split (Smart_host.Cluster.rng cluster);
       metrics;
       tracelog;
@@ -424,6 +445,258 @@ let deploy_groups ?(config = default_config) cluster ~wizard_host ~groups =
    [monitor], receiver + wizard on [wizard_host], probes on [servers]. *)
 let deploy ?config cluster ~monitor ~wizard_host ~servers =
   deploy_groups ?config cluster ~wizard_host ~groups:[ (monitor, servers) ]
+
+(* Federated deployment (DESIGN.md §13): every shard is a complete
+   Fig 3.1 stack — its groups' monitors and transmitters feed a mirror
+   on the shard host, where a regional wizard answers root subqueries on
+   the federation port — plus a digest uplink shipping the shard's
+   column ranges to the root host every transmit interval.  The root
+   host runs a receiver (digests only) and the {!Fed_root}, which
+   listens for clients on the ordinary wizard port, so {!request}
+   drives a federated deployment unchanged.
+
+   Groups always run centralized here: the regional wizard answers
+   subqueries immediately from its mirror, so passive (pull-driven)
+   transmitters would never be pulled. *)
+let deploy_federation ?(config = default_config) cluster ~root_host ~shards =
+  if shards = [] then invalid_arg "Simdriver.deploy_federation: no shards";
+  let config = { config with mode = Transmitter.Centralized } in
+  let engine = Smart_host.Cluster.engine cluster in
+  let stack = Smart_host.Cluster.stack cluster in
+  let resolve = Smart_host.Cluster.resolve_exn cluster in
+  let root_node = resolve root_host in
+  let metrics = Smart_util.Metrics.create () in
+  let tracelog =
+    Smart_util.Tracelog.create ~capacity:65536
+      ~clock:(fun () -> Smart_sim.Engine.now engine)
+      ()
+  in
+  let vclock () = Smart_sim.Engine.now engine in
+  let t_ref = ref None in
+  let the () = match !t_ref with Some t -> t | None -> assert false in
+  let sport_of pkt =
+    match pkt.Smart_net.Packet.proto with
+    | Smart_net.Packet.Udp { sport; _ } -> sport
+    | Smart_net.Packet.Icmp _ -> 0
+  in
+  let alive node () =
+    match Smart_host.Cluster.machine_opt cluster node with
+    | Some m -> not (Smart_host.Machine.failed m)
+    | None -> true
+  in
+  let build_shard (shard_host, groups) =
+    if groups = [] then
+      invalid_arg "Simdriver.deploy_federation: shard with no groups";
+    let monitor_hosts = List.map fst groups in
+    let multi_group = List.length groups > 1 in
+    let group_states =
+      List.map
+        (fun (monitor_host, servers) ->
+          let netmon_targets =
+            if multi_group then
+              List.filter
+                (fun m -> not (String.equal m monitor_host))
+                monitor_hosts
+            else servers
+          in
+          setup_group t_ref config cluster ~metrics ~trace:tracelog
+            ~wizard_host:shard_host ~monitor_host ~servers ~netmon_targets)
+        groups
+    in
+    let shard_db = Status_db.create () in
+    let shard_receiver =
+      Receiver.create ~metrics ~trace:tracelog ~order:config.order shard_db
+    in
+    let wizard_groups =
+      if not multi_group then None
+      else begin
+        let table = Hashtbl.create 32 in
+        List.iter
+          (fun (monitor_host, servers) ->
+            List.iter (fun s -> Hashtbl.replace table s monitor_host) servers)
+          groups;
+        Some
+          {
+            Wizard.local_monitor = List.hd monitor_hosts;
+            group_of = (fun host -> Hashtbl.find_opt table host);
+            local_entry = Wizard.default_local_entry;
+          }
+      end
+    in
+    let shard_wizard =
+      Wizard.create ~compile_cache_capacity:config.wizard_compile_cache
+        ~metrics ~trace:tracelog ~clock:vclock
+        ~staleness_threshold:config.wizard_staleness ~shard_name:shard_host
+        { Wizard.mode = Wizard.Centralized; groups = wizard_groups }
+        shard_db
+    in
+    Receiver.set_update_hook shard_receiver
+      (Some (fun _ -> Wizard.note_update shard_wizard));
+    let shard_node = resolve shard_host in
+    let shard_alive = alive shard_node in
+    Smart_net.Netstack.listen_udp stack ~node:shard_node
+      ~port:Smart_proto.Ports.receiver (fun ~now:_ pkt ->
+        if shard_alive () then begin
+          let t = the () in
+          let from = node_name t pkt.Smart_net.Packet.src in
+          ignore
+            (Receiver.handle_stream shard_receiver ~from
+               pkt.Smart_net.Packet.payload)
+        end);
+    Smart_net.Netstack.listen_udp stack ~node:shard_node
+      ~port:Smart_proto.Ports.fed (fun ~now:_ pkt ->
+        if shard_alive () then begin
+          let t = the () in
+          let from =
+            {
+              Output.host = node_name t pkt.Smart_net.Packet.src;
+              port = sport_of pkt;
+            }
+          in
+          let outputs =
+            Wizard.handle_subquery shard_wizard ~from
+              pkt.Smart_net.Packet.payload
+          in
+          perform t ~tag:"fed_shard" ~src_node:shard_node
+            ~sport:Smart_proto.Ports.fed outputs
+        end);
+    (* digest uplink: one Digest_db frame per transmit interval, built
+       with the shard wizard's own network bindings so the advertised
+       ranges cover exactly the values subqueries compare *)
+    let uplink =
+      Transmitter.create ~metrics ~trace:tracelog ~crc:config.frame_crc
+        ~summary:(fun () ->
+          Status_db.summary shard_db ~shard:shard_host ~net_for:(fun host ->
+              Wizard.net_entry_for shard_wizard ~host))
+        ~monitor_name:shard_host
+        {
+          Transmitter.mode = Transmitter.Centralized;
+          order = config.order;
+          receiver =
+            { Output.host = root_host; port = Smart_proto.Ports.receiver };
+        }
+        shard_db
+    in
+    let send_uplink ~now outputs =
+      List.iter
+        (fun output ->
+          match output with
+          | Output.Stream { dst; data }
+            when stream_blocked cluster ~src_node:shard_node
+                   ~host:dst.Output.host ->
+            Transmitter.note_send_failure uplink ~now ~data
+          | Output.Stream _ | Output.Udp _ ->
+            (match output with
+            | Output.Stream _ -> Transmitter.note_send_ok uplink
+            | Output.Udp _ -> ());
+            perform (the ()) ~tag:"fed_uplink" ~src_node:shard_node [ output ])
+        outputs
+    in
+    ignore
+      (Smart_sim.Engine.every engine ~period:config.transmit_interval
+         ~start:(Smart_sim.Engine.now engine +. 0.3)
+         (fun now ->
+           if shard_alive () then send_uplink ~now (Transmitter.tick uplink ~now)));
+    ({ shard_host; shard_db; shard_receiver; shard_wizard; uplink },
+     group_states)
+  in
+  let built = List.map build_shard shards in
+  let fed_shards = List.map fst built in
+  let all_groups = List.concat_map snd built in
+  let db_root = Status_db.create () in
+  let root_receiver =
+    Receiver.create ~metrics ~trace:tracelog ~order:config.order db_root
+  in
+  let root =
+    Fed_root.create ~metrics ~clock:vclock ~trace:tracelog
+      {
+        Fed_root.shards =
+          List.map
+            (fun s ->
+              {
+                Fed_root.name = s.shard_host;
+                addr =
+                  { Output.host = s.shard_host; port = Smart_proto.Ports.fed };
+              })
+            fed_shards;
+        fanout_timeout = config.fed_fanout_timeout;
+        routing = config.fed_routing;
+      }
+  in
+  Receiver.set_digest_hook root_receiver (Some (Fed_root.note_digest root));
+  let root_alive = alive root_node in
+  Smart_net.Netstack.listen_udp stack ~node:root_node
+    ~port:Smart_proto.Ports.receiver (fun ~now:_ pkt ->
+      if root_alive () then begin
+        let t = the () in
+        let from = node_name t pkt.Smart_net.Packet.src in
+        ignore
+          (Receiver.handle_stream root_receiver ~from
+             pkt.Smart_net.Packet.payload)
+      end);
+  (* clients on the ordinary wizard port; subqueries leave from the
+     federation port so shard replies come back there *)
+  Smart_net.Netstack.listen_udp stack ~node:root_node
+    ~port:Smart_proto.Ports.wizard (fun ~now pkt ->
+      if root_alive () then begin
+        let t = the () in
+        let from =
+          {
+            Output.host = node_name t pkt.Smart_net.Packet.src;
+            port = sport_of pkt;
+          }
+        in
+        let outputs =
+          Fed_root.handle_request root ~now ~from pkt.Smart_net.Packet.payload
+        in
+        perform t ~tag:"fed_root" ~src_node:root_node
+          ~sport:Smart_proto.Ports.fed outputs
+      end);
+  Smart_net.Netstack.listen_udp stack ~node:root_node
+    ~port:Smart_proto.Ports.fed (fun ~now:_ pkt ->
+      if root_alive () then begin
+        let t = the () in
+        let outputs = Fed_root.handle_reply root pkt.Smart_net.Packet.payload in
+        perform t ~tag:"fed_root" ~src_node:root_node
+          ~sport:Smart_proto.Ports.wizard outputs
+      end);
+  ignore
+    (Smart_sim.Engine.every engine ~period:0.05
+       ~start:(Smart_sim.Engine.now engine +. 0.05)
+       (fun now ->
+         if root_alive () then begin
+           let t = the () in
+           let outputs = Fed_root.tick root ~now in
+           perform t ~tag:"fed_root" ~src_node:root_node
+             ~sport:Smart_proto.Ports.wizard outputs
+         end));
+  let t =
+    {
+      cluster;
+      mode = config.mode;
+      groups = all_groups;
+      wizard_node = root_node;
+      db_wizard = db_root;
+      receiver = root_receiver;
+      wizard = (List.hd fed_shards).shard_wizard;
+      fed = Some { root; fed_shards };
+      client_rng = Smart_util.Prng.split (Smart_host.Cluster.rng cluster);
+      metrics;
+      tracelog;
+      traffic = Hashtbl.create 8;
+      next_client_port = 45000;
+      corrupt_rate = 0.0;
+      corrupt_rng = Smart_util.Prng.split (Smart_host.Cluster.rng cluster);
+      corrupted_total =
+        Smart_util.Metrics.counter metrics
+          ~help:"stream payloads corrupted in flight by fault injection"
+          "faults.corrupted_messages_total";
+    }
+  in
+  t_ref := Some t;
+  t
+
+let federation t = t.fed
 
 (* Let the deployment warm up: probes report, databases fill. *)
 let settle ?(duration = 6.0) t =

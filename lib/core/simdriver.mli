@@ -19,10 +19,17 @@ type config = {
           detect (and resync past) injected stream corruption *)
   wizard_staleness : float;
       (** receiver silence before the wizard flags replies degraded *)
+  fed_fanout_timeout : float;
+      (** federation root: seconds a request waits for shard replies
+          before answering degraded with what arrived *)
+  fed_routing : bool;
+      (** federation root: skip shards whose digest proves the
+          requirement unsatisfiable *)
 }
 
 (** Centralized, 2 s probe and transmit intervals, UDP reports,
-    little-endian records, no frame CRC, no staleness degradation. *)
+    little-endian records, no frame CRC, no staleness degradation,
+    1 s federation fan-out timeout with digest routing on. *)
 val default_config : config
 
 (** [deploy cluster ~monitor ~wizard_host ~servers] installs a
@@ -47,6 +54,40 @@ val deploy_groups :
   wizard_host:string ->
   groups:(string * string list) list ->
   t
+
+(** One regional shard of a federated deployment (exposed for tests and
+    the federation bench). *)
+type fed_shard = {
+  shard_host : string;  (** runs the shard mirror + regional wizard *)
+  shard_db : Status_db.t;  (** the mirror subqueries are answered from *)
+  shard_receiver : Receiver.t;
+  shard_wizard : Wizard.t;
+  uplink : Transmitter.t;  (** digest uplink to the root *)
+}
+
+type federation = { root : Fed_root.t; fed_shards : fed_shard list }
+
+(** Federated deployment (DESIGN.md §13): an aggregation tree.  Each
+    shard [(shard_host, groups)] is a complete {!deploy_groups}-style
+    stack whose transmitters feed a mirror on [shard_host], where a
+    regional wizard answers root subqueries on the federation port
+    ({!Smart_proto.Ports.fed}); a digest uplink on [shard_host] ships
+    the shard's column ranges to [root_host] every transmit interval.
+    [root_host] runs the {!Fed_root}, listening for clients on the
+    ordinary wizard port — {!request} drives a federated deployment
+    unchanged.  Groups always run centralized (a passive transmitter
+    would never be pulled); [fed_fanout_timeout] and [fed_routing] in
+    [config] shape the root. *)
+val deploy_federation :
+  ?config:config ->
+  Smart_host.Cluster.t ->
+  root_host:string ->
+  shards:(string * (string * string list) list) list ->
+  t
+
+(** The federation state of a {!deploy_federation} deployment; [None]
+    for flat deployments. *)
+val federation : t -> federation option
 
 (** Run the simulation for [duration] virtual seconds (default 6) so the
     databases fill. *)

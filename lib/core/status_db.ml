@@ -347,6 +347,52 @@ let columns t ~net_for =
 
 let columns_fresh t = t.cgen = t.generation && t.cview <> None
 
+(* Shard digest for the federation uplink: column ranges folded straight
+   off the columnar snapshot with imperative lo/hi/count loops (a digest
+   per transmit interval must not allocate 22n stat records).  System
+   columns always carry a value for present rows; net/sec are gated on
+   their presence flags, matching what [run]/[run_sweep] can read. *)
+let summary t ~shard ~net_for =
+  let view = columns t ~net_for in
+  let cols = view.cols in
+  let n = cols.B.n in
+  let nsys = B.sys_field_count in
+  let sys =
+    Array.init nsys (fun f ->
+        if n = 0 then Smart_proto.Digest.empty_stat
+        else begin
+          let lo = ref infinity and hi = ref neg_infinity in
+          for row = 0 to n - 1 do
+            let v = Bigarray.Array2.get cols.B.sys f row in
+            if v < !lo then lo := v;
+            if v > !hi then hi := v
+          done;
+          { Smart_proto.Digest.present = n; lo = !lo; hi = !hi }
+        end)
+  in
+  let gated flags column =
+    let present = ref 0 and lo = ref infinity and hi = ref neg_infinity in
+    for row = 0 to n - 1 do
+      if Bigarray.Array1.get flags row <> 0 then begin
+        incr present;
+        let v = Bigarray.Array1.get column row in
+        if v < !lo then lo := v;
+        if v > !hi then hi := v
+      end
+    done;
+    if !present = 0 then Smart_proto.Digest.empty_stat
+    else { Smart_proto.Digest.present = !present; lo = !lo; hi = !hi }
+  in
+  {
+    Smart_proto.Digest.shard;
+    generation = t.generation;
+    servers = n;
+    sys;
+    net_delay = gated cols.B.has_net cols.B.net_delay;
+    net_bw = gated cols.B.has_net cols.B.net_bw;
+    sec_level = gated cols.B.has_sec cols.B.sec_level;
+  }
+
 let last_refresh t = t.clast
 
 let sys_count t = Hashtbl.length t.sys

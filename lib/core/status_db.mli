@@ -90,6 +90,21 @@ val columns :
     caller skip tracing a snapshot phase that will do no work. *)
 val columns_fresh : t -> bool
 
+(** Shard digest of the current columnar snapshot — what a regional
+    wizard's transmitter ships up the aggregation tree instead of raw
+    records.  [shard] names this wizard in the digest; [net_for]
+    resolves network metrics exactly as in {!columns} (the digest is
+    derived from that same memoized view, so building it costs one
+    column sweep, not a rebuild).  System column ranges cover every row;
+    net/sec ranges only rows whose presence flags are set.  The result's
+    [generation] equals {!generation}, letting the root detect stale
+    digests. *)
+val summary :
+  t ->
+  shard:string ->
+  net_for:(string -> Smart_proto.Records.net_entry option) ->
+  Smart_proto.Digest.t
+
 (** What the most recent {!columns} call did. *)
 val last_refresh : t -> refresh
 

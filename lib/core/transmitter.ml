@@ -28,6 +28,10 @@ type t = {
   config : config;
   db : Status_db.t;
   monitor_name : string;
+  summary : (unit -> Smart_proto.Digest.t) option;
+      (* digest uplink: ship one Digest_db frame per push instead of the
+         three database snapshots (a regional wizard feeding the
+         federation root) *)
   crc : bool;  (* append CRC-32 trailers to emitted frames *)
   trace : Smart_util.Tracelog.t;
   resend : string Queue.t;  (* encoded stream payloads awaiting resend *)
@@ -42,18 +46,21 @@ type t = {
   resends_total : Metrics.Counter.t;
   resend_dropped_total : Metrics.Counter.t;
   resend_queue_gauge : Metrics.Gauge.t;
+  digest_pushes_total : Metrics.Counter.t;
 }
 
 let create ?(metrics = Metrics.create ())
     ?(trace = Smart_util.Tracelog.disabled) ?(crc = false)
     ?(resend_capacity = default_resend_capacity)
-    ?(backoff = Smart_util.Backoff.default) ?rng ~monitor_name config db =
+    ?(backoff = Smart_util.Backoff.default) ?rng ?summary ~monitor_name
+    config db =
   if resend_capacity < 0 then
     invalid_arg "Transmitter.create: negative resend_capacity";
   {
     config;
     db;
     monitor_name;
+    summary;
     crc;
     trace;
     resend = Queue.create ();
@@ -85,9 +92,13 @@ let create ?(metrics = Metrics.create ())
     resend_queue_gauge =
       Metrics.gauge metrics ~help:"payloads waiting in the resend queue"
         "transmitter.resend_queue";
+    digest_pushes_total =
+      Metrics.counter metrics
+        ~help:"pushes that shipped a federation digest instead of snapshots"
+        "transmitter.digest_pushes_total";
   }
 
-let snapshot_frames ?(trace = Smart_util.Tracelog.root) t =
+let snapshot_db_frames ~trace t =
   let order = t.config.order in
   let sys_data =
     String.concat ""
@@ -113,6 +124,22 @@ let snapshot_frames ?(trace = Smart_util.Tracelog.root) t =
     { Smart_proto.Frame.payload_type = Smart_proto.Frame.Sec_db; data = sec_data;
       trace };
   ]
+
+let snapshot_frames ?(trace = Smart_util.Tracelog.root) t =
+  match t.summary with
+  | Some summary ->
+    (* digest uplink: the shard's whole status plane compressed into one
+       frame; the resend/backoff machinery below treats it like any
+       other payload *)
+    Metrics.Counter.incr t.digest_pushes_total;
+    [
+      {
+        Smart_proto.Frame.payload_type = Smart_proto.Frame.Digest_db;
+        data = Smart_proto.Digest.encode t.config.order (summary ());
+        trace;
+      };
+    ]
+  | None -> snapshot_db_frames ~trace t
 
 (* The push span is parented on the database's last writer (typically a
    [sysmon.ingest] span), and its own context rides in the frames — this
@@ -207,5 +234,7 @@ let bytes_sent t = Metrics.Counter.value t.bytes_total
 let send_failures t = Metrics.Counter.value t.send_failures_total
 
 let resends t = Metrics.Counter.value t.resends_total
+
+let digest_pushes t = Metrics.Counter.value t.digest_pushes_total
 
 let resend_queue_length t = Queue.length t.resend

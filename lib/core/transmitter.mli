@@ -33,7 +33,15 @@ type t
     [resend_capacity] bounds the failure resend queue (oldest payloads
     drop first — a newer snapshot supersedes them); [backoff] and [rng]
     shape the retry delays after {!note_send_failure} ([rng] jitters
-    them; omitted, delays are the deterministic nominal schedule). *)
+    them; omitted, delays are the deterministic nominal schedule).
+
+    [summary] switches the transmitter into digest-uplink mode: every
+    push ships one [Digest_db] frame holding [summary ()] instead of the
+    three database snapshots — how a regional wizard feeds the
+    federation root column ranges rather than raw records.  All delivery
+    machinery (resend queue, backoff, pull handling) applies unchanged;
+    digest pushes are additionally counted in
+    [transmitter.digest_pushes_total]. *)
 val create :
   ?metrics:Smart_util.Metrics.t ->
   ?trace:Smart_util.Tracelog.t ->
@@ -41,14 +49,16 @@ val create :
   ?resend_capacity:int ->
   ?backoff:Smart_util.Backoff.policy ->
   ?rng:Smart_util.Prng.t ->
+  ?summary:(unit -> Smart_proto.Digest.t) ->
   monitor_name:string ->
   config ->
   Status_db.t ->
   t
 
-(** The three frames of the current database state, carrying [trace]
-    (default {!Smart_util.Tracelog.root}, i.e. untraced) as their
-    context. *)
+(** The frames of the current database state — the three snapshot frames,
+    or a single [Digest_db] frame in digest-uplink mode — carrying
+    [trace] (default {!Smart_util.Tracelog.root}, i.e. untraced) as
+    their context. *)
 val snapshot_frames :
   ?trace:Smart_util.Tracelog.ctx -> t -> Smart_proto.Frame.frame list
 
@@ -87,6 +97,9 @@ val send_failures : t -> int
 
 (** Queued payloads re-sent after backoff. *)
 val resends : t -> int
+
+(** Pushes that shipped a federation digest (digest-uplink mode). *)
+val digest_pushes : t -> int
 
 (** Payloads currently waiting in the resend queue. *)
 val resend_queue_length : t -> int

@@ -72,6 +72,7 @@ module Metrics = Smart_util.Metrics
 
 type t = {
   config : config;
+  shard_name : string;  (* identity stamped on federation subquery replies *)
   db : Status_db.t;
   pending : pending Queue.t;
   compile_cache :
@@ -96,7 +97,11 @@ type t = {
   result_cache_misses_total : Metrics.Counter.t;
   pending_gauge : Metrics.Gauge.t;
   degraded_replies_total : Metrics.Counter.t;
+  subqueries_total : Metrics.Counter.t;
   request_latency : Metrics.Histogram.t;
+  mutable subqueries_seen : int;
+      (* this instance's subqueries, as [subqueries_total] aggregates
+         across every shard wizard sharing the registry *)
   mutable updates_seen : int;
   mutable last_update_at : float option;
       (* clock time of the last receiver update; [None] until fed *)
@@ -106,12 +111,13 @@ type t = {
 let create ?(compile_cache_capacity = default_compile_cache_capacity)
     ?(metrics = Metrics.create ()) ?(clock = fun () -> 0.)
     ?(staleness_threshold = default_staleness_threshold)
-    ?(trace = Smart_util.Tracelog.disabled) config db =
+    ?(trace = Smart_util.Tracelog.disabled) ?(shard_name = "") config db =
   if staleness_threshold <= 0.0 then
     invalid_arg "Wizard.create: staleness_threshold must be positive";
   {
     staleness_threshold;
     config;
+    shard_name;
     db;
     pending = Queue.create ();
     compile_cache = Smart_util.Lru.create ~capacity:compile_cache_capacity;
@@ -159,10 +165,15 @@ let create ?(compile_cache_capacity = default_compile_cache_capacity)
       Metrics.counter metrics
         ~help:"replies served from a stale snapshot (receiver feed quiet)"
         "wizard.degraded_replies_total";
+    subqueries_total =
+      Metrics.counter metrics
+        ~help:"federation subqueries answered by this shard wizard"
+        "federation.shard_subqueries_total";
     request_latency =
       Metrics.histogram metrics
         ~help:"request processing wall time, seconds (decode to reply)"
         "wizard.request_latency_seconds";
+    subqueries_seen = 0;
     updates_seen = 0;
     last_update_at = None;
     last_result = None;
@@ -206,6 +217,10 @@ let net_for t ~host =
           record.Smart_proto.Records.entries))
 
 let net_lookup t host = net_for t ~host
+
+(* Exposed so a shard's digest uplink summarizes the columnar snapshot
+   with exactly the bindings this wizard selects with. *)
+let net_entry_for t ~host = net_for t ~host
 
 (* The columnar snapshot at the current generation.  [Status_db.columns]
    does the memoized/refresh/rebuild work; this wrapper adds the trace
@@ -382,6 +397,67 @@ let handle_request t ~now ~from data =
             Transmitter.pull_request_magic)
         transmitters)
 
+(* Federation subquery (regional wizard side): same compile cache, same
+   columnar scan, but the answer keeps each candidate's merge key so the
+   root can interleave shard lists into the flat ranking.  The root
+   forwards the canonical requirement text, which is a fixpoint of
+   [Requirement.cache_key] — so a subquery triggered by any spelling of
+   a requirement this shard has already compiled hits the cache.  The
+   subquery span parents on the context carried in the query, tying the
+   shard-side work into the root's fan-out trace. *)
+let handle_subquery t ~from data =
+  match Smart_proto.Fed_msg.decode_query data with
+  | Error _ -> []  (* garbage datagram: drop, like the request port *)
+  | Ok query ->
+    Metrics.Counter.incr t.subqueries_total;
+    t.subqueries_seen <- t.subqueries_seen + 1;
+    let started = t.clock () in
+    let span =
+      Smart_util.Tracelog.start t.trace ~at:started
+        ~parent:query.Smart_proto.Fed_msg.trace "wizard.subquery"
+    in
+    let parent = Smart_util.Tracelog.ctx_of span in
+    let source = query.Smart_proto.Fed_msg.requirement in
+    let ckey = Smart_lang.Requirement.cache_key source in
+    let candidates =
+      match compile t ~parent ~key:ckey source with
+      | Error _ ->
+        Metrics.Counter.incr t.compile_errors_total;
+        []
+      | Ok fast ->
+        let view = server_columns t ~parent in
+        let sel =
+          Smart_util.Tracelog.start t.trace ~parent "wizard.select"
+        in
+        let candidates =
+          Selection.select_scored t.scratch ~fast ~view
+            ~wanted:query.Smart_proto.Fed_msg.wanted
+        in
+        Smart_util.Tracelog.finish t.trace sel;
+        candidates
+    in
+    let degraded = degraded_now t in
+    if degraded then Metrics.Counter.incr t.degraded_replies_total;
+    let reply =
+      {
+        Smart_proto.Fed_msg.seq = query.Smart_proto.Fed_msg.seq;
+        shard = t.shard_name;
+        generation = Status_db.generation t.db;
+        degraded;
+        candidates;
+      }
+    in
+    let outputs =
+      [
+        Output.udp ~host:from.Output.host ~port:from.Output.port
+          (Smart_proto.Fed_msg.encode_reply reply);
+      ]
+    in
+    let finished = t.clock () in
+    Smart_util.Tracelog.finish t.trace ~at:finished span;
+    Metrics.Histogram.observe t.request_latency (finished -. started);
+    outputs
+
 (* Flush distributed-mode requests whose data is fresh (all transmitters
    re-reported) or whose deadline passed.  Replies go out in arrival
    order; the shared batch memo means a burst of identical requirements
@@ -428,5 +504,7 @@ let batched_requests t = Metrics.Counter.value t.batched_requests_total
 let request_latency_summary t = Metrics.histogram_summary t.request_latency
 
 let degraded_replies t = Metrics.Counter.value t.degraded_replies_total
+
+let subqueries_handled t = t.subqueries_seen
 
 let last_result t = t.last_result

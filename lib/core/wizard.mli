@@ -62,13 +62,18 @@ val default_staleness_threshold : float
     than this, replies still answer from the last good snapshot but
     carry the [degraded] flag, bump [wizard.degraded_replies_total] and
     record a [wizard.degraded] trace instant.  A database never fed
-    through {!note_update} is not considered stale. *)
+    through {!note_update} is not considered stale.
+
+    [shard_name] (default [""]) is this wizard's identity in a
+    federation: it is stamped on every {!handle_subquery} reply so the
+    root can attribute candidates and digests to the shard. *)
 val create :
   ?compile_cache_capacity:int ->
   ?metrics:Smart_util.Metrics.t ->
   ?clock:(unit -> float) ->
   ?staleness_threshold:float ->
   ?trace:Smart_util.Tracelog.t ->
+  ?shard_name:string ->
   config ->
   Status_db.t ->
   t
@@ -76,10 +81,29 @@ val create :
 (** Called by the receiver for every applied frame. *)
 val note_update : t -> unit
 
+(** The network metrics this wizard binds [monitor_network_*] from for
+    one server host (direct measurements in flat deployments,
+    group-level ones in multi-group deployments).  A shard's digest
+    uplink uses this as {!Status_db.summary}'s [net_for], so the
+    advertised column ranges cover exactly the values selection
+    compares. *)
+val net_entry_for :
+  t -> host:string -> Smart_proto.Records.net_entry option
+
 (** Handle a request datagram from [from]; returns the reply (centralized)
     or the pull requests (distributed). *)
 val handle_request :
   t -> now:float -> from:Output.address -> string -> Output.t list
+
+(** Handle a federation subquery datagram ({!Smart_proto.Fed_msg.query})
+    from the root wizard: compile through the shared cache (the root
+    forwards the canonical requirement text, so any spelling already
+    seen on the request port hits), run the scored columnar scan
+    ({!Selection.select_scored}) and reply with this shard's ranked
+    candidates, generation and degraded flag.  Counted in
+    [federation.shard_subqueries_total]; the [wizard.subquery] span
+    parents on the trace context carried in the query. *)
+val handle_subquery : t -> from:Output.address -> string -> Output.t list
 
 (** Release distributed-mode requests whose data is fresh or timed out. *)
 val tick : t -> now:float -> Output.t list
@@ -122,6 +146,10 @@ val request_latency_summary : t -> Smart_util.Metrics.histogram_summary
 
 (** Replies served with the degraded (stale snapshot) flag set. *)
 val degraded_replies : t -> int
+
+(** Federation subqueries answered ({!handle_subquery} calls that
+    decoded). *)
+val subqueries_handled : t -> int
 
 (** Server list of the most recent successful selection. *)
 val last_result : t -> string list option

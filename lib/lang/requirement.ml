@@ -6,18 +6,46 @@ type compile_error = { line : int; col : int; message : string }
 let pp_compile_error ppf e =
   Fmt.pf ppf "requirement error at %d:%d: %s" e.line e.col e.message
 
+(* Number rendering for the canonical form.  The grammar only admits
+   [digits] or [digits.digits] — no sign, no exponent, no hex — so the
+   canonical spelling must re-lex under those rules (the federation root
+   forwards canonical source to shard wizards, where it is tokenized
+   again; [canonical] must be a fixpoint).  The shortest fixed-point
+   decimal with that shape is found by widening the fractional precision
+   until the float round-trips.  Values are never negative or NaN (the
+   lexer cannot produce them); a literal long enough to overflow renders
+   as 1 followed by 309 zeros, the smallest such spelling of infinity. *)
+let render_number f =
+  if f = infinity then "1" ^ String.make 309 '0'
+  else begin
+    let rec fit p =
+      let s = Printf.sprintf "%.*f" p f in
+      (* %.*f never switches to exponent notation, and 17 significant
+         digits always round-trip a double, so this terminates: by
+         p = 350 even the smallest subnormal has all of them *)
+      if p > 350 || float_of_string s = f then s else fit (p + 1)
+    in
+    fit 0
+  end
+
 (* Key under which a compiled program may be cached: the token stream
    rendered back to a canonical spelling.  Whitespace runs collapse to
-   one space, blank lines and comments vanish, numbers print exactly
-   (hex float), and reserved words are already case-folded by the lexer
-   — so trivially-different spellings of the same requirement share one
-   cache entry.  Statement structure (the newlines) is preserved, and
-   two sources with equal keys select identically: they differ at most
-   in source line numbers, which only reach fault diagnostics.  A source
-   that does not lex falls back to trimming (it will not compile either,
-   and the error is cached under that key). *)
+   one space, blank lines and comments vanish, numbers print as the
+   shortest re-lexable decimal, and reserved words are already
+   case-folded by the lexer — so trivially-different spellings of the
+   same requirement share one cache entry.  Statement structure (the
+   newlines) is preserved, and two sources with equal keys select
+   identically: they differ at most in source line numbers, which only
+   reach fault diagnostics.  A source that does not lex falls back to
+   trimming (it will not compile either, and the error is cached under
+   that key).
+
+   The rendering is idempotent — canonicalizing a canonical form changes
+   nothing — so every wizard in a federation tree derives the same key
+   whether it sees the user's spelling or a canonical form forwarded by
+   the root. *)
 let render_token = function
-  | Token.Number f -> Printf.sprintf "%h" f
+  | Token.Number f -> render_number f
   | Token.Netaddr s | Token.Ident s -> s
   | Token.And -> "&&"
   | Token.Or -> "||"
@@ -60,6 +88,13 @@ let cache_key src =
     let s = Buffer.contents buf in
     let n = String.length s in
     if n > 0 && s.[n - 1] = '\n' then String.sub s 0 (n - 1) else s
+
+(* The canonical requirement source — the same string [cache_key]
+   returns.  Exposed under its own name for the federation path: the
+   root canonicalizes once and forwards this form in subqueries, so the
+   compile caches of root and every regional wizard share one key per
+   distinct requirement regardless of the user's spelling. *)
+let canonical = cache_key
 
 let compile src : (Ast.program, compile_error) result =
   match Parser.parse src with

@@ -6,11 +6,20 @@ val pp_compile_error : Format.formatter -> compile_error -> unit
 
 (** Canonical key for caching compiled programs by source text: the
     token stream rendered back out (whitespace runs collapsed, comments
-    and blank lines dropped, reserved words case-folded), so trivially
-    different spellings of one requirement share a cache entry.  Two
-    sources with the same key select identically — they can differ only
-    in the source line numbers reported by fault diagnostics. *)
+    and blank lines dropped, reserved words case-folded, numbers as the
+    shortest re-lexable decimal), so trivially different spellings of
+    one requirement share a cache entry.  Two sources with the same key
+    select identically — they can differ only in the source line numbers
+    reported by fault diagnostics. *)
 val cache_key : string -> string
+
+(** The canonical requirement source — the string {!cache_key} returns,
+    under its own name.  Canonicalization is idempotent and the result
+    re-lexes to the same token stream, so a federation root can forward
+    the canonical form to regional wizards and every compile cache in
+    the tree derives the same key ([cache_key (canonical s) = cache_key
+    s]) no matter which spelling it received. *)
+val canonical : string -> string
 
 (** Lex and parse a requirement text. *)
 val compile : string -> (Ast.program, compile_error) result

@@ -1,0 +1,55 @@
+(** Root <-> regional wizard messages of the federated status plane
+    (DESIGN.md §13): the root's subquery fan-out and the shard's ranked
+    candidate result.
+
+    Both directions share the federation UDP port and are told apart by
+    a 4-byte magic; like {!Wizard_msg} they use fixed big-endian byte
+    order because they cross machines of arbitrary architecture. *)
+
+(** Subquery, root -> shard: evaluate [requirement] and return the best
+    [wanted] candidates. *)
+type query = {
+  seq : int;  (** root-chosen id echoed by the result *)
+  wanted : int;  (** candidates requested from this shard *)
+  requirement : string;
+      (** canonical requirement source ({!Smart_lang} [Requirement.canonical]
+          on the root), so every shard's compile cache keys agree *)
+  trace : Smart_util.Tracelog.ctx;
+      (** the root's fan-out span, parenting the shard's select spans;
+          [Tracelog.root] travels as no bytes *)
+}
+
+val encode_query : query -> string
+
+(** Never raises; rejects short input, bad magic and unknown flags. *)
+val decode_query : string -> (query, string) result
+
+(** One ranked candidate of a shard's local selection.  The fields carry
+    exactly the ordering information the root's merge needs to reproduce
+    a flat wizard's ranking (see [Selection.merge_candidates]). *)
+type candidate = {
+  host : string;
+  rank : int;
+      (** position in the user_preferred_host list, [-1] for
+          non-preferred candidates *)
+  key : float;
+      (** order_by value for non-preferred candidates: [neg_infinity]
+          when the requirement assigns none, NaN when the assignment
+          faulted (sorts after every real key).  Travels as raw IEEE
+          bits, so NaN survives the wire. *)
+}
+
+(** Reply, shard -> root: the shard's best candidates in its local
+    selection order. *)
+type reply = {
+  seq : int;  (** echo of the subquery's [seq] *)
+  shard : string;  (** responding shard's name *)
+  generation : int;  (** shard database generation that answered *)
+  degraded : bool;  (** the shard answered from a stale snapshot *)
+  candidates : candidate list;
+}
+
+val encode_reply : reply -> string
+
+(** Never raises; rejects short input, bad magic and unknown flags. *)
+val decode_reply : string -> (reply, string) result

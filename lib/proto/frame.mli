@@ -7,7 +7,10 @@
     preceding byte of the frame.  A frame with neither flag encodes
     byte-identically to the original format. *)
 
-type payload_type = Sys_db | Net_db | Sec_db
+(** [Digest_db] (type code 4) carries a {!Digest} — the federation's
+    per-shard summary shipped up the aggregation tree instead of whole
+    databases; the first three codes are the original §3.5.1 payloads. *)
+type payload_type = Sys_db | Net_db | Sec_db | Digest_db
 
 val type_code : payload_type -> int
 

@@ -10,6 +10,11 @@ let secmon = 1113
 let wizard = 1120
 let receiver = 1121
 
+(* federation plane (DESIGN.md §13): regional wizards answer root
+   subqueries here, and the root sources its fan-out from the same port
+   so shard results come straight back to it *)
+let fed = 1122
+
 (* the service each selected server offers compute/download on *)
 let service = 1130
 

@@ -7,6 +7,11 @@ val secmon : int
 val wizard : int
 val receiver : int
 
+(** Federation subquery/result port (DESIGN.md §13): regional wizards
+    listen for root subqueries here, and the root sends from the same
+    port so shard results return to it directly. *)
+val fed : int
+
 (** TCP service port of every selected server. *)
 val service : int
 

@@ -1824,6 +1824,376 @@ let test_sim_chaos_acceptance () =
   Alcotest.(check string) "metrics byte-identical" metrics_text metrics_text2;
   Alcotest.(check string) "trace byte-identical" trace_json trace_json2
 
+(* ------------------------------------------------------------------ *)
+(* Federation                                                           *)
+(* ------------------------------------------------------------------ *)
+
+(* Populate a status database with a slice of the diff-server pool
+   (hosts s<i+1> for the given indices), mirroring exactly what the
+   flat differential property above feeds the reference. *)
+let build_diff_db ~monitor servers indices =
+  let db = C.Status_db.create () in
+  List.iter
+    (fun i ->
+      let s = servers.(i) in
+      C.Status_db.update_sys db
+        (sys_record
+           ~host:(Printf.sprintf "s%d" (i + 1))
+           ~ip:(Printf.sprintf "10.0.0.%d" (i + 1))
+           ~cpu_free:s.ds_cpu_free ~load1:s.ds_load1 ~mem_free:s.ds_mem_free
+           ~bogomips:s.ds_bogomips ~at:1.0 ()))
+    indices;
+  let net_entries =
+    List.concat_map
+      (fun i ->
+        match servers.(i).ds_net with
+        | Some (delay, bandwidth) ->
+          [
+            {
+              P.Records.peer = Printf.sprintf "s%d" (i + 1);
+              delay;
+              bandwidth;
+              measured_at = 1.0;
+            };
+          ]
+        | None -> [])
+      indices
+  in
+  if net_entries <> [] then
+    C.Status_db.update_net db { P.Records.monitor; entries = net_entries };
+  let sec_entries =
+    List.concat_map
+      (fun i ->
+        match servers.(i).ds_sec with
+        | Some level ->
+          [ { P.Records.host = Printf.sprintf "s%d" (i + 1); level } ]
+        | None -> [])
+      indices
+  in
+  if sec_entries <> [] then
+    C.Status_db.replace_sec db { P.Records.entries = sec_entries };
+  db
+
+(* The federation's core claim: partition the servers into shards, run
+   the scored selection per shard, merge — and you get exactly the flat
+   columnar selection over the union, regardless of shard count and of
+   the order the shard replies are merged in. *)
+let prop_fed_merge_matches_flat =
+  QCheck.Test.make ~name:"shard fan-out + merge equals flat selection"
+    ~count:400
+    (QCheck.pair arbitrary_selection_case (QCheck.int_range 1 3))
+    (fun ((servers, source, wanted), nshards) ->
+      match Smart_lang.Requirement.compile_fast source with
+      | Error _ -> false
+      | Ok fast ->
+        let n = Array.length servers in
+        let all = List.init n (fun i -> i) in
+        let flat_db = build_diff_db ~monitor:"mon" servers all in
+        let flat_view =
+          C.Status_db.columns flat_db ~net_for:(fun host ->
+              C.Status_db.net_entry_for flat_db ~target:host)
+        in
+        let flat =
+          C.Selection.select_columns (C.Selection.scratch ()) ~fast
+            ~view:flat_view ~wanted
+        in
+        let shard_lists =
+          List.init nshards (fun k ->
+              let indices = List.filter (fun i -> i mod nshards = k) all in
+              let db =
+                build_diff_db ~monitor:(Printf.sprintf "mon-%d" k) servers
+                  indices
+              in
+              let view =
+                C.Status_db.columns db ~net_for:(fun host ->
+                    C.Status_db.net_entry_for db ~target:host)
+              in
+              (* a fresh scratch and compile per shard, as each regional
+                 wizard has its own *)
+              match Smart_lang.Requirement.compile_fast source with
+              | Error _ -> assert false
+              | Ok fast ->
+                ( Printf.sprintf "shard-%d" k,
+                  C.Selection.select_scored (C.Selection.scratch ()) ~fast
+                    ~view ~wanted ))
+        in
+        let merged = C.Selection.merge_candidates ~wanted shard_lists in
+        let merged_rev =
+          C.Selection.merge_candidates ~wanted (List.rev shard_lists)
+        in
+        List.equal String.equal flat merged
+        && List.equal String.equal flat merged_rev)
+
+(* A shard wizard answering a subquery: the reply carries the scored
+   candidates of its local selection, stamped with shard name and
+   generation. *)
+let test_wizard_subquery () =
+  let db = C.Status_db.create () in
+  List.iter
+    (fun (host, ip, mem) ->
+      C.Status_db.update_sys db
+        (sys_record ~host ~ip ~mem_free:mem ~at:1.0 ()))
+    [ ("s1", "10.0.0.1", 50.0); ("s2", "10.0.0.2", 150.0);
+      ("s3", "10.0.0.3", 100.0) ];
+  let wizard =
+    C.Wizard.create ~shard_name:"region-a"
+      { C.Wizard.mode = C.Wizard.Centralized; groups = None }
+      db
+  in
+  let query =
+    {
+      P.Fed_msg.seq = 9;
+      wanted = 2;
+      requirement = "order_by = host_memory_free\n";
+      trace = Smart_util.Tracelog.root;
+    }
+  in
+  let from = { C.Output.host = "root"; port = P.Ports.fed } in
+  match
+    C.Wizard.handle_subquery wizard ~from (P.Fed_msg.encode_query query)
+  with
+  | [ C.Output.Udp { dst; data } ] ->
+    Alcotest.(check string) "reply to the root" "root" dst.C.Output.host;
+    Alcotest.(check int) "on the fed port" P.Ports.fed dst.C.Output.port;
+    (match P.Fed_msg.decode_reply data with
+    | Error e -> Alcotest.failf "reply decode failed: %s" e
+    | Ok reply ->
+      Alcotest.(check int) "seq echoed" 9 reply.P.Fed_msg.seq;
+      Alcotest.(check string) "shard stamped" "region-a" reply.P.Fed_msg.shard;
+      Alcotest.(check bool) "fresh" false reply.P.Fed_msg.degraded;
+      Alcotest.(check (list string)) "best two by memory" [ "s2"; "s3" ]
+        (List.map (fun (c : P.Fed_msg.candidate) -> c.P.Fed_msg.host)
+           reply.P.Fed_msg.candidates);
+      List.iter
+        (fun (c : P.Fed_msg.candidate) ->
+          Alcotest.(check int) "non-preferred" (-1) c.P.Fed_msg.rank)
+        reply.P.Fed_msg.candidates;
+      Alcotest.(check (list (float 1e-9))) "order keys carried" [ 150.0; 100.0 ]
+        (List.map (fun (c : P.Fed_msg.candidate) -> c.P.Fed_msg.key)
+           reply.P.Fed_msg.candidates);
+      Alcotest.(check int) "counted" 1 (C.Wizard.subqueries_handled wizard))
+  | _ -> Alcotest.fail "expected one UDP reply"
+
+(* The root forwards canonical requirement text, so any client spelling
+   of a requirement the shard has already compiled hits the shard-side
+   compile cache — the regression the canonicalization fix pins. *)
+let test_wizard_subquery_cache_key () =
+  let db = C.Status_db.create () in
+  C.Status_db.update_sys db (sys_record ~host:"s1" ~ip:"10.0.0.1" ~at:1.0 ());
+  let wizard =
+    C.Wizard.create ~shard_name:"region-a"
+      { C.Wizard.mode = C.Wizard.Centralized; groups = None }
+      db
+  in
+  let subquery source =
+    let query =
+      {
+        P.Fed_msg.seq = 1;
+        wanted = 1;
+        requirement = Smart_lang.Requirement.canonical source;
+        trace = Smart_util.Tracelog.root;
+      }
+    in
+    ignore
+      (C.Wizard.handle_subquery wizard
+         ~from:{ C.Output.host = "root"; port = P.Ports.fed }
+         (P.Fed_msg.encode_query query))
+  in
+  (* two formatting variants of one requirement, canonicalized as the
+     root does before fanning out *)
+  subquery "host_cpu_free>0.50000\n";
+  subquery "host_cpu_free   >   0.5\n";
+  let hits, misses = C.Wizard.compile_cache_stats wizard in
+  Alcotest.(check int) "one compile" 1 misses;
+  Alcotest.(check int) "variant spelling hits" 1 hits
+
+(* Federated world: two shards of three servers each, a root above
+   them.  All machines are helene-class, so every server answers a
+   cpu_free requirement identically. *)
+let fed_world ?(config = C.Simdriver.default_config) seed =
+  let c = H.Cluster.create ~seed () in
+  let spec name ip =
+    { (H.Testbed.spec_of_name "helene") with H.Machine.name; ip }
+  in
+  let add name ip = H.Cluster.add_machine c (spec name ip) in
+  let root = add "root" "10.0.0.1" in
+  let cli = add "cli" "10.0.0.2" in
+  let shard_a = add "shard-a" "10.1.0.1" in
+  let mon_a = add "mon-a" "10.1.0.2" in
+  let a1 = add "a1" "10.1.0.3" in
+  let a2 = add "a2" "10.1.0.4" in
+  let a3 = add "a3" "10.1.0.5" in
+  let shard_b = add "shard-b" "10.2.0.1" in
+  let mon_b = add "mon-b" "10.2.0.2" in
+  let b1 = add "b1" "10.2.0.3" in
+  let b2 = add "b2" "10.2.0.4" in
+  let b3 = add "b3" "10.2.0.5" in
+  let sw = H.Cluster.add_switch c ~name:"sw" ~ip:"10.0.0.254" in
+  let lan = H.Testbed.lan_conf in
+  List.iter
+    (fun n -> ignore (H.Cluster.link c ~a:n ~b:sw lan))
+    [ root; cli; shard_a; mon_a; a1; a2; a3; shard_b; mon_b; b1; b2; b3 ];
+  let d =
+    C.Simdriver.deploy_federation ~config c ~root_host:"root"
+      ~shards:
+        [
+          ("shard-a", [ ("mon-a", [ "a1"; "a2"; "a3" ]) ]);
+          ("shard-b", [ ("mon-b", [ "b1"; "b2"; "b3" ]) ]);
+        ]
+  in
+  (c, d)
+
+let test_sim_federation_end_to_end () =
+  let _, d = fed_world 11 in
+  C.Simdriver.settle ~duration:8.0 d;
+  let fed =
+    match C.Simdriver.federation d with
+    | Some f -> f
+    | None -> Alcotest.fail "federation state missing"
+  in
+  (* each shard mirrors its own servers; the root database holds none *)
+  List.iter
+    (fun (s : C.Simdriver.fed_shard) ->
+      Alcotest.(check int)
+        (s.C.Simdriver.shard_host ^ " mirrors its three servers") 3
+        (C.Status_db.sys_count s.C.Simdriver.shard_db))
+    fed.C.Simdriver.fed_shards;
+  Alcotest.(check int) "root mirrors no raw records" 0
+    (C.Status_db.sys_count (C.Simdriver.db_wizard d));
+  (* digest uplinks reached the root *)
+  Alcotest.(check int) "digests from both shards" 2
+    (C.Fed_root.digest_count fed.C.Simdriver.root);
+  Alcotest.(check bool) "digest frames counted" true
+    (C.Receiver.digests_handled (C.Simdriver.receiver_component d) >= 2);
+  (* a client request is fanned out, merged, and covers both shards *)
+  (match
+     C.Simdriver.request d ~client:"cli" ~wanted:6
+       ~requirement:"host_cpu_free > 0.1\n"
+   with
+  | Ok servers ->
+    Alcotest.(check (list string)) "all six servers, merged in host order"
+      [ "a1"; "a2"; "a3"; "b1"; "b2"; "b3" ]
+      servers
+  | Error e -> Alcotest.failf "request failed: %a" C.Client.pp_error e);
+  Alcotest.(check int) "one subquery per shard"
+    2
+    (C.Fed_root.subqueries_sent fed.C.Simdriver.root);
+  Alcotest.(check int) "both shards replied" 2
+    (C.Fed_root.shard_replies fed.C.Simdriver.root);
+  Alcotest.(check int) "no timeouts" 0 (C.Fed_root.timeouts fed.C.Simdriver.root);
+  List.iter
+    (fun (s : C.Simdriver.fed_shard) ->
+      Alcotest.(check int)
+        (s.C.Simdriver.shard_host ^ " answered one subquery") 1
+        (C.Wizard.subqueries_handled s.C.Simdriver.shard_wizard))
+    fed.C.Simdriver.fed_shards;
+  (* an order_by requirement merges by key across shards *)
+  match
+    C.Simdriver.request d ~client:"cli" ~wanted:4
+      ~requirement:"host_cpu_free > 0.1\norder_by = host_memory_free\n"
+  with
+  | Ok servers -> Alcotest.(check int) "ranked four" 4 (List.length servers)
+  | Error e -> Alcotest.failf "request failed: %a" C.Client.pp_error e
+
+(* Digest routing: a requirement no shard can satisfy is answered at
+   the root without any fan-out. *)
+let test_sim_federation_routing () =
+  let _, d = fed_world 12 in
+  C.Simdriver.settle ~duration:8.0 d;
+  let fed =
+    match C.Simdriver.federation d with
+    | Some f -> f
+    | None -> Alcotest.fail "federation state missing"
+  in
+  (* helene-class bogomips is ~3394: provably unsatisfiable everywhere.
+     The root answers empty without fanning out, and the client reports
+     the shortfall. *)
+  (match
+     C.Simdriver.request d ~option:P.Wizard_msg.Accept_partial ~client:"cli"
+       ~wanted:2 ~requirement:"host_cpu_bogomips > 100000\n"
+   with
+  | Ok servers ->
+    Alcotest.failf "expected an empty answer, got %d servers"
+      (List.length servers)
+  | Error (C.Client.Not_enough { got; _ }) ->
+    Alcotest.(check int) "empty answer" 0 got
+  | Error e -> Alcotest.failf "request failed: %a" C.Client.pp_error e);
+  Alcotest.(check int) "both shards skipped, no subqueries" 0
+    (C.Fed_root.subqueries_sent fed.C.Simdriver.root);
+  Alcotest.(check int) "skips counted" 2
+    (C.Fed_root.shards_skipped fed.C.Simdriver.root);
+  (* a satisfiable requirement still fans out to both *)
+  (match
+     C.Simdriver.request d ~client:"cli" ~wanted:6
+       ~requirement:"host_cpu_bogomips > 1000\n"
+   with
+  | Ok servers -> Alcotest.(check int) "all six" 6 (List.length servers)
+  | Error e -> Alcotest.failf "request failed: %a" C.Client.pp_error e);
+  Alcotest.(check int) "fan-out resumed" 2
+    (C.Fed_root.subqueries_sent fed.C.Simdriver.root)
+
+(* A shard cut off mid-request: the fan-out deadline releases a partial
+   merge, flagged degraded, instead of stalling the client. *)
+let test_sim_federation_partial () =
+  let _, d = fed_world 13 in
+  C.Simdriver.settle ~duration:8.0 d;
+  let fed =
+    match C.Simdriver.federation d with
+    | Some f -> f
+    | None -> Alcotest.fail "federation state missing"
+  in
+  C.Simdriver.set_host_partitioned d ~host:"shard-b" true;
+  (match
+     C.Simdriver.request d ~client:"cli" ~wanted:6
+       ~requirement:"host_cpu_free > 0.1\n"
+   with
+  | Ok servers ->
+    Alcotest.(check (list string)) "shard-a's servers still answered"
+      [ "a1"; "a2"; "a3" ] servers
+  | Error e -> Alcotest.failf "request failed: %a" C.Client.pp_error e);
+  Alcotest.(check int) "deadline released the merge" 1
+    (C.Fed_root.timeouts fed.C.Simdriver.root);
+  Alcotest.(check bool) "reply flagged degraded" true
+    (C.Fed_root.degraded_replies fed.C.Simdriver.root >= 1);
+  (* heal: the next request is whole again *)
+  C.Simdriver.set_host_partitioned d ~host:"shard-b" false;
+  C.Simdriver.settle ~duration:4.0 d;
+  match
+    C.Simdriver.request d ~client:"cli" ~wanted:6
+      ~requirement:"host_cpu_free > 0.1\n"
+  with
+  | Ok servers -> Alcotest.(check int) "all six back" 6 (List.length servers)
+  | Error e -> Alcotest.failf "request failed: %a" C.Client.pp_error e
+
+(* Same seed, same federated world: the whole observable surface —
+   metrics text and trace JSON — must be byte-identical. *)
+let run_federation_determinism seed =
+  let _, d = fed_world seed in
+  C.Simdriver.settle ~duration:8.0 d;
+  let reqs =
+    List.map
+      (fun requirement ->
+        match C.Simdriver.request d ~client:"cli" ~wanted:4 ~requirement with
+        | Ok servers -> servers
+        | Error _ -> [])
+      [
+        "host_cpu_free > 0.1\n";
+        "order_by = host_memory_free\n";
+        "host_cpu_bogomips > 100000\n";
+      ]
+  in
+  C.Simdriver.settle ~duration:2.0 d;
+  ( reqs,
+    Smart_util.Metrics.to_text (C.Simdriver.metrics d),
+    C.Simdriver.trace_json d )
+
+let test_sim_federation_determinism () =
+  let r1, m1, t1 = run_federation_determinism 17 in
+  let r2, m2, t2 = run_federation_determinism 17 in
+  Alcotest.(check (list (list string))) "same answers" r1 r2;
+  Alcotest.(check string) "metrics byte-identical" m1 m2;
+  Alcotest.(check string) "trace byte-identical" t1 t2
+
 let () =
   Alcotest.run "smart_core"
     [
@@ -1944,5 +2314,18 @@ let () =
           Alcotest.test_case "lossy expiry and re-register" `Quick
             test_sim_lossy_expiry_and_rereg;
           Alcotest.test_case "chaos acceptance" `Slow test_sim_chaos_acceptance;
+        ] );
+      ( "federation",
+        [
+          QCheck_alcotest.to_alcotest prop_fed_merge_matches_flat;
+          Alcotest.test_case "shard subquery reply" `Quick test_wizard_subquery;
+          Alcotest.test_case "canonical spelling hits shard cache" `Quick
+            test_wizard_subquery_cache_key;
+          Alcotest.test_case "end to end" `Quick test_sim_federation_end_to_end;
+          Alcotest.test_case "digest routing" `Quick test_sim_federation_routing;
+          Alcotest.test_case "partial merge on shard loss" `Quick
+            test_sim_federation_partial;
+          Alcotest.test_case "same-seed determinism" `Slow
+            test_sim_federation_determinism;
         ] );
     ]

@@ -440,6 +440,54 @@ let prop_pp_parse_roundtrip =
       | Ok [ st ] -> eval_value st.L.Ast.expr = eval_value expr
       | Ok _ -> false)
 
+(* Canonicalization (Requirement.canonical / cache_key): the canonical
+   form must be a fixpoint — it re-lexes to the same token stream — so a
+   federation root can forward it to shard wizards and every compile
+   cache in the tree keys the requirement identically. *)
+let prop_canonical_fixpoint =
+  QCheck.Test.make ~name:"canonical requirement text is a fixpoint"
+    ~count:300 arbitrary_expr (fun expr ->
+      let printed = Fmt.str "%a" L.Ast.pp_expr expr in
+      let c = L.Requirement.canonical printed in
+      String.equal c (L.Requirement.canonical c)
+      && String.equal c (L.Requirement.cache_key printed))
+
+let test_canonical_relexable () =
+  let check_fix src =
+    let c = L.Requirement.canonical src in
+    Alcotest.(check string) ("fixpoint of " ^ String.escaped src) c
+      (L.Requirement.canonical c)
+  in
+  List.iter check_fix
+    [
+      "host_cpu_free > 0.5";
+      "host_cpu_free   >    0.50000";
+      "x = 0.1\n\n# comment\ny = 123456789123456789123";
+      "x = 3.14159265358979312";
+      "x = 1" ^ String.make 400 '0' (* literal overflows to infinity *);
+      "order_by = host_memory_free / 1024.000";
+    ];
+  (* formatting variants collapse to one key, and numbers render
+     re-lexably (the old hex-float rendering was not) *)
+  Alcotest.(check string) "whitespace and trailing zeros share a key"
+    (L.Requirement.cache_key "host_cpu_free > 0.5")
+    (L.Requirement.cache_key "host_cpu_free   >    0.50000");
+  Alcotest.(check string) "canonical text"
+    "host_cpu_free > 0.5"
+    (L.Requirement.canonical "host_cpu_free>0.50000")
+
+let test_canonical_compiles () =
+  let src = "host_bogomips >= 250.250\norder_by = host_memory_free" in
+  let c = L.Requirement.canonical src in
+  (match L.Requirement.compile c with
+  | Ok _ -> ()
+  | Error e ->
+    Alcotest.failf "canonical form does not compile: %a"
+      L.Requirement.pp_compile_error e);
+  Alcotest.(check string) "same key either way"
+    (L.Requirement.cache_key src)
+    (L.Requirement.cache_key c)
+
 let prop_logic_flag_stable_under_parens =
   QCheck.Test.make ~name:"wrapping in parens never changes is_logical"
     ~count:300 arbitrary_expr (fun expr ->
@@ -833,10 +881,18 @@ let () =
           Alcotest.test_case "address arithmetic faults" `Quick
             test_edge_netaddr_in_arith_faults;
         ] );
+      ( "canonical",
+        [
+          Alcotest.test_case "re-lexable fixpoint" `Quick
+            test_canonical_relexable;
+          Alcotest.test_case "compiles and shares keys" `Quick
+            test_canonical_compiles;
+        ] );
       ( "properties",
         List.map QCheck_alcotest.to_alcotest
           [
             prop_pp_parse_roundtrip;
+            prop_canonical_fixpoint;
             prop_logic_flag_stable_under_parens;
             prop_lexer_never_crashes;
             prop_bytecode_matches_eval;

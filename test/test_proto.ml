@@ -752,6 +752,239 @@ let prop_sys_record_roundtrip_both_orders =
       | Ok d -> Float.abs (d.P.Records.updated_at -. ts) < 1e-9
       | Error _ -> false)
 
+(* ------------------------------------------------------------------ *)
+(* Federation: digests and root <-> shard messages                      *)
+(* ------------------------------------------------------------------ *)
+
+let sample_digest =
+  let nsys = Smart_lang.Bytecode.sys_field_count in
+  let d = P.Digest.empty ~shard:"shard-a" ~sys_fields:nsys in
+  let sys =
+    Array.mapi
+      (fun i stat ->
+        if i mod 3 = 0 then stat  (* leave a few columns empty *)
+        else
+          P.Digest.observe
+            (P.Digest.observe stat (float_of_int i *. 1.5))
+            (float_of_int i *. -0.25))
+      d.P.Digest.sys
+  in
+  {
+    d with
+    P.Digest.generation = 42;
+    servers = 7;
+    sys;
+    net_delay = { P.Digest.present = 3; lo = 0.2; hi = 8.0 };
+    sec_level = { P.Digest.present = 7; lo = 1.0; hi = 5.0 };
+  }
+
+let check_stat msg (a : P.Digest.stat) (b : P.Digest.stat) =
+  Alcotest.(check int) (msg ^ " present") a.P.Digest.present b.P.Digest.present;
+  Alcotest.(check bool)
+    (msg ^ " lo") true
+    (Float.compare a.P.Digest.lo b.P.Digest.lo = 0);
+  Alcotest.(check bool)
+    (msg ^ " hi") true
+    (Float.compare a.P.Digest.hi b.P.Digest.hi = 0)
+
+let test_digest_roundtrip () =
+  List.iter
+    (fun order ->
+      match P.Digest.decode order (P.Digest.encode order sample_digest) with
+      | Error e -> Alcotest.failf "digest decode failed: %s" e
+      | Ok d ->
+        Alcotest.(check string) "shard" "shard-a" d.P.Digest.shard;
+        Alcotest.(check int) "generation" 42 d.P.Digest.generation;
+        Alcotest.(check int) "servers" 7 d.P.Digest.servers;
+        Array.iteri
+          (fun i stat -> check_stat (Printf.sprintf "sys.%d" i)
+              sample_digest.P.Digest.sys.(i) stat)
+          d.P.Digest.sys;
+        check_stat "net_delay" sample_digest.P.Digest.net_delay
+          d.P.Digest.net_delay;
+        check_stat "net_bw" sample_digest.P.Digest.net_bw d.P.Digest.net_bw;
+        check_stat "sec_level" sample_digest.P.Digest.sec_level
+          d.P.Digest.sec_level)
+    [ P.Endian.Little; P.Endian.Big ]
+
+let test_digest_truncated () =
+  let s = P.Digest.encode P.Endian.Big sample_digest in
+  for cut = 0 to min 40 (String.length s - 1) do
+    match P.Digest.decode P.Endian.Big (String.sub s 0 cut) with
+    | Error _ -> ()
+    | Ok _ -> Alcotest.failf "truncated digest (%d bytes) decoded" cut
+  done
+
+(* The digest is a commutative monoid under [merge]: the uplink can
+   combine partial summaries in any order and the root sees one range
+   per column either way. *)
+let digest_stat_arb =
+  QCheck.map
+    (fun (vals : float list) ->
+      List.fold_left P.Digest.observe P.Digest.empty_stat vals)
+    QCheck.(small_list (float_range (-1e6) 1e6))
+
+let digest_arb =
+  let nsys = Smart_lang.Bytecode.sys_field_count in
+  QCheck.map
+    (fun (gen, stats) ->
+      let d = P.Digest.empty ~shard:"s" ~sys_fields:nsys in
+      let sys =
+        Array.init nsys (fun i ->
+            match List.nth_opt stats (i mod max 1 (List.length stats)) with
+            | Some s -> s
+            | None -> P.Digest.empty_stat)
+      in
+      { d with P.Digest.generation = gen; servers = gen mod 97; sys })
+    QCheck.(pair small_nat (small_list digest_stat_arb))
+
+let stat_equal (a : P.Digest.stat) (b : P.Digest.stat) =
+  a.P.Digest.present = b.P.Digest.present
+  && Float.compare a.P.Digest.lo b.P.Digest.lo = 0
+  && Float.compare a.P.Digest.hi b.P.Digest.hi = 0
+
+let digest_equal (a : P.Digest.t) (b : P.Digest.t) =
+  a.P.Digest.generation = b.P.Digest.generation
+  && a.P.Digest.servers = b.P.Digest.servers
+  && Array.for_all2 stat_equal a.P.Digest.sys b.P.Digest.sys
+  && stat_equal a.P.Digest.net_delay b.P.Digest.net_delay
+  && stat_equal a.P.Digest.net_bw b.P.Digest.net_bw
+  && stat_equal a.P.Digest.sec_level b.P.Digest.sec_level
+
+let prop_digest_merge_commutes =
+  QCheck.Test.make ~name:"digest merge commutes and has an identity"
+    ~count:200
+    QCheck.(pair digest_arb digest_arb)
+    (fun (a, b) ->
+      let nsys = Smart_lang.Bytecode.sys_field_count in
+      let empty = P.Digest.empty ~shard:"s" ~sys_fields:nsys in
+      digest_equal (P.Digest.merge a b) (P.Digest.merge b a)
+      && digest_equal (P.Digest.merge a empty) a)
+
+let prop_digest_roundtrip =
+  QCheck.Test.make ~name:"digest round trips in both byte orders" ~count:200
+    QCheck.(pair bool digest_arb)
+    (fun (big, d) ->
+      let order = if big then P.Endian.Big else P.Endian.Little in
+      match P.Digest.decode order (P.Digest.encode order d) with
+      | Ok d' -> digest_equal d d'
+      | Error _ -> false)
+
+let test_fed_query_roundtrip () =
+  let q =
+    {
+      P.Fed_msg.seq = 0xDEAD;
+      wanted = 12;
+      requirement = "host_cpu_free > 0.5\n";
+      trace = Smart_util.Tracelog.root;
+    }
+  in
+  (match P.Fed_msg.decode_query (P.Fed_msg.encode_query q) with
+  | Ok d -> Alcotest.(check bool) "untraced query" true (d = q)
+  | Error e -> Alcotest.failf "query decode failed: %s" e);
+  let traced =
+    { q with P.Fed_msg.trace = { Smart_util.Tracelog.trace_id = 7; span_id = 9 } }
+  in
+  match P.Fed_msg.decode_query (P.Fed_msg.encode_query traced) with
+  | Ok d -> Alcotest.(check bool) "traced query" true (d = traced)
+  | Error e -> Alcotest.failf "traced query decode failed: %s" e
+
+let test_fed_query_rejects () =
+  let is_err s =
+    match P.Fed_msg.decode_query s with Error _ -> true | Ok _ -> false
+  in
+  Alcotest.(check bool) "empty" true (is_err "");
+  Alcotest.(check bool) "bad magic" true (is_err "SFX1aaaaaaaaaa");
+  Alcotest.(check bool) "reply magic" true
+    (is_err (P.Fed_msg.encode_reply
+       { P.Fed_msg.seq = 1; shard = "s"; generation = 0; degraded = false;
+         candidates = [] }));
+  let q =
+    {
+      P.Fed_msg.seq = 1;
+      wanted = 1;
+      requirement = "r\n";
+      trace = Smart_util.Tracelog.root;
+    }
+  in
+  (* the requirement is the datagram tail, so only header cuts are
+     detectable as truncation *)
+  let enc = P.Fed_msg.encode_query q in
+  Alcotest.(check bool) "header truncated" true (is_err (String.sub enc 0 8))
+
+let test_fed_reply_roundtrip () =
+  let r =
+    {
+      P.Fed_msg.seq = 77;
+      shard = "region-b";
+      generation = 1234;
+      degraded = true;
+      candidates =
+        [
+          { P.Fed_msg.host = "alpha"; rank = 0; key = neg_infinity };
+          { P.Fed_msg.host = "beta"; rank = -1; key = 3.5 };
+          { P.Fed_msg.host = "gamma"; rank = -1; key = Float.nan };
+        ];
+    }
+  in
+  match P.Fed_msg.decode_reply (P.Fed_msg.encode_reply r) with
+  | Error e -> Alcotest.failf "reply decode failed: %s" e
+  | Ok d ->
+    Alcotest.(check int) "seq" 77 d.P.Fed_msg.seq;
+    Alcotest.(check string) "shard" "region-b" d.P.Fed_msg.shard;
+    Alcotest.(check int) "generation" 1234 d.P.Fed_msg.generation;
+    Alcotest.(check bool) "degraded" true d.P.Fed_msg.degraded;
+    (match d.P.Fed_msg.candidates with
+    | [ a; b; c ] ->
+      Alcotest.(check string) "a host" "alpha" a.P.Fed_msg.host;
+      Alcotest.(check int) "a rank" 0 a.P.Fed_msg.rank;
+      Alcotest.(check bool) "a key" true
+        (Float.compare a.P.Fed_msg.key neg_infinity = 0);
+      Alcotest.(check int) "b rank" (-1) b.P.Fed_msg.rank;
+      Alcotest.(check (float 1e-9)) "b key" 3.5 b.P.Fed_msg.key;
+      (* NaN must survive the wire: it is how a faulted order_by sorts
+         after every real key at the root *)
+      Alcotest.(check bool) "c key NaN" true (Float.is_nan c.P.Fed_msg.key)
+    | l -> Alcotest.failf "expected 3 candidates, got %d" (List.length l))
+
+let fed_candidate_arb =
+  QCheck.map
+    (fun (host, rank, key_choice, key) ->
+      {
+        P.Fed_msg.host = (if host = "" then "h" else host);
+        rank = (if rank >= 0 then rank mod 0xFFFF else -1);
+        key =
+          (match key_choice mod 3 with
+          | 0 -> key
+          | 1 -> neg_infinity
+          | _ -> Float.nan);
+      })
+    QCheck.(quad small_printable_string small_signed_int small_nat
+              (float_range (-1e9) 1e9))
+
+let prop_fed_reply_roundtrip =
+  QCheck.Test.make ~name:"fed reply round trips any candidate list"
+    ~count:200
+    QCheck.(quad small_nat small_printable_string bool
+              (small_list fed_candidate_arb))
+    (fun (seq, shard, degraded, candidates) ->
+      let r = { P.Fed_msg.seq; shard; generation = seq * 3; degraded;
+                candidates } in
+      match P.Fed_msg.decode_reply (P.Fed_msg.encode_reply r) with
+      | Error _ -> false
+      | Ok d ->
+        d.P.Fed_msg.seq = r.P.Fed_msg.seq
+        && String.equal d.P.Fed_msg.shard r.P.Fed_msg.shard
+        && d.P.Fed_msg.degraded = degraded
+        && List.for_all2
+             (fun (a : P.Fed_msg.candidate) (b : P.Fed_msg.candidate) ->
+               String.equal a.P.Fed_msg.host b.P.Fed_msg.host
+               && a.P.Fed_msg.rank = b.P.Fed_msg.rank
+               && (Float.is_nan a.P.Fed_msg.key = Float.is_nan b.P.Fed_msg.key)
+               && (Float.is_nan a.P.Fed_msg.key
+                  || Float.compare a.P.Fed_msg.key b.P.Fed_msg.key = 0))
+             r.P.Fed_msg.candidates d.P.Fed_msg.candidates)
+
 let () =
   Alcotest.run "smart_proto"
     [
@@ -821,6 +1054,14 @@ let () =
           Alcotest.test_case "trace scrape messages" `Quick
             test_trace_msg_roundtrip;
         ] );
+      ( "federation",
+        [
+          Alcotest.test_case "digest round trip" `Quick test_digest_roundtrip;
+          Alcotest.test_case "digest truncated" `Quick test_digest_truncated;
+          Alcotest.test_case "query round trip" `Quick test_fed_query_roundtrip;
+          Alcotest.test_case "query rejects" `Quick test_fed_query_rejects;
+          Alcotest.test_case "reply round trip" `Quick test_fed_reply_roundtrip;
+        ] );
       ( "properties",
         List.map QCheck_alcotest.to_alcotest
           [
@@ -830,5 +1071,8 @@ let () =
             prop_report_roundtrip;
             prop_sys_record_roundtrip_both_orders;
             prop_traced_request_roundtrip;
+            prop_digest_merge_commutes;
+            prop_digest_roundtrip;
+            prop_fed_reply_roundtrip;
           ] );
     ]
