@@ -605,80 +605,112 @@ let run_sweep sw (c : columns) ~(qualified : Bytes.t) ~(order : float array) =
     end
 
 (* ------------------------------------------------------------------ *)
-(* Static validation                                                   *)
+(* Static validation & dataflow verification                           *)
 (* ------------------------------------------------------------------ *)
 
-(* The interpreter trusts every operand to be in bounds (see [exec]);
-   this walk, run once at compile time, is what earns that trust. *)
-let validate p =
+type verify_error = { stmt : int; pc : int; reason : string }
+
+let verify_error_to_string e =
+  if e.stmt < 0 then Printf.sprintf "program: %s" e.reason
+  else Printf.sprintf "statement %d, pc %d: %s" e.stmt e.pc e.reason
+
+exception Verify of verify_error
+
+let vfail ~stmt ~pc fmt =
+  Printf.ksprintf (fun reason -> raise (Verify { stmt; pc; reason })) fmt
+
+(* Structural pass: every operand of every instruction in range for the
+   program's declared sizes, comparison sub-opcodes in 0..5, statement
+   arrays consistent, the uparam log sized for every SETU site and
+   [has_uparams] admitting them (the flag gates the per-run [uset]
+   reset, so understating it would leak parameters across servers).
+   The interpreter trusts operands unconditionally (see [exec]); this
+   walk, run once at compile time, is what earns that trust. *)
+let structural p =
   let code = p.code in
-  let reg r = if r < 0 || r >= p.nregs then invalid_arg "Bytecode: bad reg" in
-  let cidx i =
-    if i < 0 || i >= Array.length p.consts then
-      invalid_arg "Bytecode: bad const"
-  in
-  let pidx i =
-    if i < 0 || i >= Array.length p.pool then invalid_arg "Bytecode: bad pool"
-  in
-  let temp t =
-    if t < 0 || t >= p.ntemps then invalid_arg "Bytecode: bad temp"
-  in
-  let upar u =
-    if u < 0 || u >= uparam_count then invalid_arg "Bytecode: bad uparam"
-  in
-  let col c =
-    if c < 0 || c > col_sec_level then invalid_arg "Bytecode: bad column"
-  in
-  let fn f =
-    if f < 0 || f >= Array.length p.fns then invalid_arg "Bytecode: bad fn"
-  in
   let setus = ref 0 in
-  let rec walk pc stop =
+  let check ~stmt ~pc =
+    let reg r =
+      if r < 0 || r >= p.nregs then vfail ~stmt ~pc "register %d out of range" r
+    in
+    let cidx i =
+      if i < 0 || i >= Array.length p.consts then
+        vfail ~stmt ~pc "constant index %d out of range" i
+    in
+    let pidx i =
+      if i < 0 || i >= Array.length p.pool then
+        vfail ~stmt ~pc "pool index %d out of range" i
+    in
+    let temp t =
+      if t < 0 || t >= p.ntemps then vfail ~stmt ~pc "temp %d out of range" t
+    in
+    let upar u =
+      if u < 0 || u >= uparam_count then
+        vfail ~stmt ~pc "uparam %d out of range" u
+    in
+    let col c =
+      if c < 0 || c > col_sec_level then
+        vfail ~stmt ~pc "column %d out of range" c
+    in
+    let fn f =
+      if f < 0 || f >= Array.length p.fns then
+        vfail ~stmt ~pc "function index %d out of range" f
+    in
+    let sub s =
+      if s < 0 || s > 5 then vfail ~stmt ~pc "comparison sub-opcode %d" s
+    in
+    (reg, cidx, pidx, temp, upar, col, fn, sub)
+  in
+  let rec walk ~stmt pc stop =
     if pc >= stop then ()
-    else
+    else begin
+      let reg, cidx, pidx, temp, upar, col, fn, sub = check ~stmt ~pc in
       let need n =
-        if pc + n > stop then invalid_arg "Bytecode: truncated op"
+        if pc + n > stop then vfail ~stmt ~pc "truncated instruction"
       in
       match code.(pc) with
-      | 0 -> need 3; reg code.(pc + 1); cidx code.(pc + 2); walk (pc + 3) stop
-      | 1 -> need 3; reg code.(pc + 1); pidx code.(pc + 2); walk (pc + 3) stop
+      | 0 -> need 3; reg code.(pc + 1); cidx code.(pc + 2); walk ~stmt (pc + 3) stop
+      | 1 -> need 3; reg code.(pc + 1); pidx code.(pc + 2); walk ~stmt (pc + 3) stop
       | 2 ->
         need 4; reg code.(pc + 1); col code.(pc + 2); pidx code.(pc + 3);
-        walk (pc + 4) stop
-      | 3 -> need 2; reg code.(pc + 1); walk (pc + 2) stop
+        walk ~stmt (pc + 4) stop
+      | 3 -> need 2; reg code.(pc + 1); walk ~stmt (pc + 2) stop
       | 4 | 5 | 6 | 7 | 8 ->
         need 4; reg code.(pc + 1); reg code.(pc + 2); reg code.(pc + 3);
-        walk (pc + 4) stop
-      | 9 -> need 3; reg code.(pc + 1); reg code.(pc + 2); walk (pc + 3) stop
+        walk ~stmt (pc + 4) stop
+      | 9 -> need 3; reg code.(pc + 1); reg code.(pc + 2); walk ~stmt (pc + 3) stop
       | 10 ->
         need 5; reg code.(pc + 1); fn code.(pc + 2); pidx code.(pc + 3);
         reg code.(pc + 4);
-        walk (pc + 5) stop
+        walk ~stmt (pc + 5) stop
       | 11 ->
-        need 5; reg code.(pc + 1); reg code.(pc + 3); reg code.(pc + 4);
-        walk (pc + 5) stop
+        need 5; reg code.(pc + 1); sub code.(pc + 2); reg code.(pc + 3);
+        reg code.(pc + 4);
+        walk ~stmt (pc + 5) stop
       | 12 | 13 ->
         need 4; reg code.(pc + 1); reg code.(pc + 2); reg code.(pc + 3);
-        walk (pc + 4) stop
+        walk ~stmt (pc + 4) stop
       | 14 ->
         need 4; reg code.(pc + 1); temp code.(pc + 2); pidx code.(pc + 3);
-        walk (pc + 4) stop
-      | 15 -> need 3; temp code.(pc + 1); reg code.(pc + 2); walk (pc + 3) stop
+        walk ~stmt (pc + 4) stop
+      | 15 ->
+        need 3; temp code.(pc + 1); reg code.(pc + 2); walk ~stmt (pc + 3) stop
       | 16 ->
         need 4; reg code.(pc + 1); upar code.(pc + 2); pidx code.(pc + 3);
-        walk (pc + 4) stop
+        walk ~stmt (pc + 4) stop
       | 17 ->
         need 3; upar code.(pc + 1); reg code.(pc + 2); incr setus;
-        walk (pc + 3) stop
+        walk ~stmt (pc + 3) stop
       | 18 ->
         need 4; reg code.(pc + 1); temp code.(pc + 2); pidx code.(pc + 3);
-        walk (pc + 4) stop
-      | 19 -> need 2; pidx code.(pc + 1); walk (pc + 2) stop
+        walk ~stmt (pc + 4) stop
+      | 19 -> need 2; pidx code.(pc + 1); walk ~stmt (pc + 2) stop
       | 20 ->
-        need 6; reg code.(pc + 1); col code.(pc + 3); pidx code.(pc + 4);
-        cidx code.(pc + 5);
-        walk (pc + 6) stop
-      | op -> invalid_arg (Printf.sprintf "Bytecode: bad opcode %d" op)
+        need 6; reg code.(pc + 1); sub code.(pc + 2); col code.(pc + 3);
+        pidx code.(pc + 4); cidx code.(pc + 5);
+        walk ~stmt (pc + 6) stop
+      | op -> vfail ~stmt ~pc "bad opcode %d" op
+    end
   in
   let n = nstmts p in
   if
@@ -687,15 +719,170 @@ let validate p =
     || Array.length p.stmt_line <> n
     || Array.length p.stmt_logical <> n
     || Array.length p.stmt_order_by <> n
-  then invalid_arg "Bytecode: ragged statement arrays";
+  then vfail ~stmt:(-1) ~pc:(-1) "ragged statement arrays";
   for s = 0 to n - 1 do
     let start = p.stmt_start.(s) and stop = p.stmt_stop.(s) in
     if start < 0 || stop < start || stop > Array.length code then
-      invalid_arg "Bytecode: bad statement slice";
+      vfail ~stmt:s ~pc:start "bad statement slice [%d, %d)" start stop;
+    let reg, _, _, _, _, _, _, _ = check ~stmt:s ~pc:start in
     reg p.stmt_reg.(s);
-    walk start stop
+    walk ~stmt:s start stop
   done;
-  if !setus > p.nulog then invalid_arg "Bytecode: undersized uparam log"
+  if !setus > p.nulog then
+    vfail ~stmt:(-1) ~pc:(-1) "uparam log holds %d entries but code has %d SETU sites"
+      p.nulog !setus;
+  if !setus > 0 && not p.has_uparams then
+    vfail ~stmt:(-1) ~pc:(-1)
+      "has_uparams is false but code contains SETU: the per-run uset reset \
+       would be skipped and parameters would leak across servers"
+
+(* The interpreter trusts every operand to be in bounds (see [exec]);
+   this pass, run once at compile time, is what earns that trust. *)
+let validate p =
+  match structural p with
+  | () -> ()
+  | exception Verify e ->
+    invalid_arg ("Bytecode.validate: " ^ verify_error_to_string e)
+
+(* Abstract value a register may hold at a program point.  [Bot] is
+   never-written; [Any] covers the dynamically-typed loads (temps, user
+   parameters, UVAR), whose tag is only known at run time. *)
+type abs = Bot | Vnum | Vaddr | Any
+
+(* Dataflow pass over one statement slice.  Slices are straight-line
+   (the bytecode has no branches), so "on every path" is a single
+   left-to-right scan with one twist: an unconditional FAULT ends every
+   path through the slice, making the instructions after it dead — they
+   stay bounds-checked by [structural] but carry no dataflow
+   obligations, and the statement's result register need not be written
+   (the fault-means-false rule supplies the statement's outcome).
+
+   Judgments checked on live code:
+   - init-before-use: no instruction reads a register never written
+     earlier in the same slice (registers are per-statement scratch;
+     values do not flow across statements);
+   - numeric soundness: the arithmetic operands (ADD/SUB/MUL/DIV/POW/
+     NEG/CALL) are abstractly numeric — produced by a number-producing
+     opcode or refined through a NUMCHK.  This is exactly the check
+     that makes [Compile]'s static NUMCHK elision safe;
+   - result coverage: a slice no path of which faults leaves its
+     declared result register written. *)
+let dataflow p =
+  let code = p.code in
+  let tags = Array.make (max p.nregs 1) Bot in
+  let scan ~stmt start stop =
+    Array.fill tags 0 (Array.length tags) Bot;
+    let read ~pc r =
+      if tags.(r) = Bot then
+        vfail ~stmt ~pc "register %d read before initialization" r
+    in
+    let readnum ~pc r =
+      read ~pc r;
+      match tags.(r) with
+      | Vnum -> ()
+      | Vaddr ->
+        vfail ~stmt ~pc
+          "register %d holds an address in a numeric operand (missing NUMCHK)"
+          r
+      | Any ->
+        vfail ~stmt ~pc
+          "register %d may hold an address in a numeric operand (missing \
+           NUMCHK)"
+          r
+      | Bot -> assert false
+    in
+    let def r v = tags.(r) <- v in
+    let rec go pc =
+      if pc >= stop then false
+      else
+        let arg k = code.(pc + k) in
+        match code.(pc) with
+        | 0 (* CONST *) -> def (arg 1) Vnum; go (pc + 3)
+        | 1 (* ADDR *) -> def (arg 1) Vaddr; go (pc + 3)
+        | 2 (* LOAD *) -> def (arg 1) Vnum; go (pc + 4)
+        | 3 (* NUMCHK *) ->
+          read ~pc (arg 1);
+          def (arg 1) Vnum;
+          go (pc + 2)
+        | (4 | 5 | 6 | 7 | 8) (* arith *) ->
+          readnum ~pc (arg 2); readnum ~pc (arg 3);
+          def (arg 1) Vnum;
+          go (pc + 4)
+        | 9 (* NEG *) -> readnum ~pc (arg 2); def (arg 1) Vnum; go (pc + 3)
+        | 10 (* CALL *) -> readnum ~pc (arg 4); def (arg 1) Vnum; go (pc + 5)
+        | 11 (* CMP *) ->
+          read ~pc (arg 3); read ~pc (arg 4);
+          def (arg 1) Vnum;
+          go (pc + 5)
+        | (12 | 13) (* AND/OR *) ->
+          read ~pc (arg 2); read ~pc (arg 3);
+          def (arg 1) Vnum;
+          go (pc + 4)
+        | 14 (* LOADT *) -> def (arg 1) Any; go (pc + 4)
+        | 15 (* STORET *) -> read ~pc (arg 2); go (pc + 3)
+        | 16 (* GETU *) -> def (arg 1) Any; go (pc + 4)
+        | 17 (* SETU *) -> read ~pc (arg 2); go (pc + 3)
+        | 18 (* UVAR *) -> def (arg 1) Any; go (pc + 4)
+        | 19 (* FAULT *) -> true (* every path ends here: the rest is dead *)
+        | 20 (* CMPC *) -> def (arg 1) Vnum; go (pc + 6)
+        | op -> vfail ~stmt ~pc "bad opcode %d" op
+    in
+    let faults = go start in
+    if not faults && tags.(p.stmt_reg.(stmt)) = Bot then
+      vfail ~stmt ~pc:stop
+        "result register %d never written on the non-faulting path"
+        p.stmt_reg.(stmt)
+  in
+  for s = 0 to nstmts p - 1 do
+    scan ~stmt:s p.stmt_start.(s) p.stmt_stop.(s)
+  done
+
+(* Sweep-plan precondition: [run_sweep] observes nothing but the CMPC
+   compares and the order column, so a program that [sweep_of] admits
+   must carry no temp *reads* (LOADT/UVAR) and no user-parameter traffic
+   (GETU/SETU — the SETU log feeds the blacklist scan) — their effects
+   would be silently dropped by the plan.  Write-only STORETs are fine:
+   the admitted [order_by = <column>] shape stores a temp nothing
+   observes. *)
+let sweep_preconditions p =
+  match sweep_of p with
+  | None -> ()
+  | Some _ ->
+    let rec scan pc =
+      if pc < Array.length p.code then begin
+        let op = p.code.(pc) in
+        if op = 14 || op = 16 || op = 17 || op = 18 then
+          vfail ~stmt:(-1) ~pc
+            "sweep plan admitted a program with temp reads or \
+             user-parameter traffic (opcode %d)"
+            op;
+        let width =
+          match op with
+          | 3 | 19 -> 2
+          | 0 | 1 | 9 | 15 | 17 -> 3
+          | 2 | 4 | 5 | 6 | 7 | 8 | 12 | 13 | 14 | 16 | 18 -> 4
+          | 10 | 11 -> 5
+          | 20 -> 6
+          | op -> vfail ~stmt:(-1) ~pc "bad opcode %d" op
+        in
+        scan (pc + width)
+      end
+    in
+    scan 0
+
+(* Full verification: the structural bounds pass plus the per-slice
+   abstract interpretation and the sweep precondition.  [Compile]
+   applies {!validate} on every program and this full pass behind its
+   [?verify] debug flag; the smartlint "bytecode" rule runs it over the
+   checked-in fixture programs. *)
+let verify p =
+  match
+    structural p;
+    dataflow p;
+    sweep_preconditions p
+  with
+  | () -> Ok ()
+  | exception Verify e -> Error e
 
 (* Reconstruct the reference evaluator's outcome from a finished run —
    the diagnostic/differential-test path, free to allocate. *)

@@ -154,6 +154,25 @@ val run_sweep : sweep -> columns -> qualified:Bytes.t -> order:float array -> un
     The interpreter's unsafe accesses rely on this having passed. *)
 val validate : program -> unit
 
+(** Where {!verify} found its first violation: statement index and
+    program counter ([-1]/[-1] for whole-program judgments such as the
+    uparam-log size) plus a human-readable reason. *)
+type verify_error = { stmt : int; pc : int; reason : string }
+
+val verify_error_to_string : verify_error -> string
+
+(** Full static verification: the {!validate} bounds walk plus an
+    abstract interpretation of every statement slice (register
+    init-before-use, numeric soundness of every arithmetic operand —
+    the judgment that makes {!Compile}'s NUMCHK elision safe — result
+    register coverage on non-faulting paths, dead code after an
+    unconditional FAULT carrying no obligations) and the sweep-plan
+    precondition (a {!sweep_of}-admitted program performs no temp reads
+    and no user-parameter traffic).  {!Compile.program} runs this behind
+    its [?verify] debug flag; smartlint's "bytecode" rule runs it over
+    the checked-in fixture programs. *)
+val verify : program -> (unit, verify_error) result
+
 (** Reconstruct the reference evaluator's outcome from a finished run
     (diagnostics and differential tests; allocates freely). *)
 val to_outcome : program -> state -> Eval.outcome

@@ -8,7 +8,13 @@
     reproduces {!Eval}'s per-statement fault behaviour rather than
     rejecting the program. *)
 
-val program : Ast.program -> Bytecode.program
+(** Compile a program.  Every output passes {!Bytecode.validate} (the
+    operand-bounds walk the interpreter's unsafe accesses rely on);
+    [~verify:true] additionally runs the full {!Bytecode.verify}
+    dataflow pass and raises [Invalid_argument] on any violation — a
+    debug mode for flushing out compiler bugs, off by default because
+    the compiler sits on the wizard's cache-miss path. *)
+val program : ?verify:bool -> Ast.program -> Bytecode.program
 
 (** Is a statement an [order_by = ...] ranking assignment? *)
 val is_order_by : Ast.statement -> bool

@@ -1,0 +1,10 @@
+(* Lint fixture: nondeterminism laundered through calls.  No line here
+   references a clock directly — only the effects pass sees these. *)
+
+let entry () = Fx_chain_util.hidden_now () +. 1.0
+
+let stamp = Fx_chain_util.hidden_now
+
+let entry2 () = stamp () *. 2.0
+
+let sample ?(clock = Fx_chain_util.hidden_now) () = clock ()

@@ -1,0 +1,4 @@
+val entry : unit -> float
+val stamp : unit -> float
+val entry2 : unit -> float
+val sample : ?clock:(unit -> float) -> unit -> float

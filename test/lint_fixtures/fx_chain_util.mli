@@ -1,0 +1,1 @@
+val hidden_now : unit -> float

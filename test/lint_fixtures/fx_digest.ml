@@ -1,0 +1,3 @@
+(* Lint fixture: representation-dependent digest in a sans-IO layer. *)
+
+let fingerprint x = Digest.string (Digest.to_hex x)

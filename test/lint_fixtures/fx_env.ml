@@ -1,0 +1,5 @@
+(* Lint fixture: process-ambient input in a sans-IO layer. *)
+
+let home () = Sys.getenv "HOME"
+
+let first_arg () = Sys.argv.(0)

@@ -1,0 +1,2 @@
+val home : unit -> string
+val first_arg : unit -> string

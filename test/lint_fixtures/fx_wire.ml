@@ -1,0 +1,28 @@
+(* Lint fixture: wire-registry violations.  Beta and Gamma collide on
+   payload code 3, Delta escapes the base range, the CRC offset is not a
+   flag bit and overlaps the traced range, an option code collides with
+   the ctx_flag bit, and both magics spell the same bytes. *)
+
+type payload = Alpha | Beta | Gamma | Delta
+
+let type_code = function
+  | Alpha -> 1
+  | Beta -> 3
+  | Gamma -> 3
+  | Delta -> 16
+
+let traced_code_offset = 16
+
+let crc_code_offset = 24
+
+type option_kind = Strict | Loose
+
+let option_code = function
+  | Strict -> 0
+  | Loose -> 2
+
+let ctx_flag = 2
+
+let query_magic = "XWQ1"
+
+let result_magic = "XWQ1"

@@ -1,0 +1,12 @@
+type payload = Alpha | Beta | Gamma | Delta
+
+val type_code : payload -> int
+val traced_code_offset : int
+val crc_code_offset : int
+
+type option_kind = Strict | Loose
+
+val option_code : option_kind -> int
+val ctx_flag : int
+val query_magic : string
+val result_magic : string

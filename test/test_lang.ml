@@ -798,6 +798,92 @@ let prop_sweep_matches_run =
         done;
         !ok)
 
+(* The bytecode verifier against the compiler: every compiled program
+   must verify (soundness of NUMCHK elision, register allocation and
+   fault-path dead code included), and corrupting any single code cell
+   must be caught (every operand domain is far below the smash value,
+   and an opcode cell becomes an unknown opcode). *)
+let prop_verify_accepts_compiled =
+  QCheck.Test.make
+    ~name:"Bytecode.verify accepts every compiled program" ~count:1000
+    (QCheck.make ~print:L.Ast.program_to_string gen_diff_program)
+    (fun prog_ast ->
+      (* [~verify:true] runs the verifier inside Compile and raises on a
+         rejection; the explicit call pins the [result] API too. *)
+      let p = L.Compile.program ~verify:true prog_ast in
+      match L.Bytecode.verify p with
+      | Ok () -> true
+      | Error e ->
+        QCheck.Test.fail_reportf "compiled program rejected: %s"
+          (L.Bytecode.verify_error_to_string e))
+
+let prop_verify_rejects_smashed =
+  QCheck.Test.make
+    ~name:"Bytecode.verify rejects any smashed code cell" ~count:500
+    (QCheck.make
+       ~print:(fun (prog, i) ->
+         Fmt.str "%s@.cell seed %d" (L.Ast.program_to_string prog) i)
+       QCheck.Gen.(pair gen_diff_program (int_bound 10_000)))
+    (fun (prog_ast, i) ->
+      let p = L.Compile.program prog_ast in
+      let code = Array.copy p.L.Bytecode.code in
+      let cell = i mod Array.length code in
+      code.(cell) <- 10_000_000;
+      match L.Bytecode.verify { p with L.Bytecode.code } with
+      | Error _ -> true
+      | Ok () ->
+        QCheck.Test.fail_reportf "smashed cell %d went unnoticed" cell)
+
+(* Hand-built single-statement programs hitting each verifier judgment
+   the generator cannot reach (Compile never emits these shapes). *)
+let mk_broken_prog ?(nregs = 3) ?(consts = [| 1.0 |]) ?(pool = [||])
+    ?(ntemps = 0) ?(nulog = 0) ?(has_uparams = false) ?(stmt_reg = 0) code =
+  {
+    L.Bytecode.code;
+    stmt_start = [| 0 |];
+    stmt_stop = [| Array.length code |];
+    stmt_reg = [| stmt_reg |];
+    stmt_line = [| 1 |];
+    stmt_logical = [| true |];
+    stmt_order_by = [| false |];
+    consts;
+    pool;
+    fns = [||];
+    nregs;
+    ntemps;
+    nulog;
+    has_uparams;
+    has_order_by = false;
+  }
+
+let expect_reject name p =
+  match L.Bytecode.verify p with
+  | Error _ -> ()
+  | Ok () -> Alcotest.failf "%s: verifier accepted a corrupt program" name
+
+let test_verify_rejects_handmade () =
+  (* CONST r0; ADD r2 <- r0 + r1 with r1's init dropped *)
+  expect_reject "dropped init"
+    (mk_broken_prog ~stmt_reg:2 [| 0; 0; 0; 4; 2; 0; 1 |]);
+  (* ADDR r0; NEG r1 <- -r0: an address into arithmetic, no NUMCHK *)
+  expect_reject "missing numchk"
+    (mk_broken_prog ~pool:[| "10.0.0.7" |] ~stmt_reg:1 [| 1; 0; 0; 9; 1; 0 |]);
+  (* CONST r0 but the statement's declared result register is r2 *)
+  expect_reject "unwritten result"
+    (mk_broken_prog ~stmt_reg:2 [| 0; 0; 0 |]);
+  (* SETU with has_uparams = false: the per-run uset reset would be
+     skipped and parameters would leak across servers *)
+  expect_reject "setu without uparams"
+    (mk_broken_prog ~nulog:1 ~stmt_reg:0 [| 0; 0; 0; 17; 0; 0 |]);
+  (* constant index past the pool *)
+  expect_reject "operand bounds" (mk_broken_prog ~stmt_reg:0 [| 0; 0; 5 |]);
+  (* and the minimal well-formed slice is accepted *)
+  match L.Bytecode.verify (mk_broken_prog ~stmt_reg:0 [| 0; 0; 0 |]) with
+  | Ok () -> ()
+  | Error e ->
+    Alcotest.failf "well-formed program rejected: %s"
+      (L.Bytecode.verify_error_to_string e)
+
 let () =
   Alcotest.run "smart_lang"
     [
@@ -888,6 +974,11 @@ let () =
           Alcotest.test_case "compiles and shares keys" `Quick
             test_canonical_compiles;
         ] );
+      ( "verifier",
+        [
+          Alcotest.test_case "rejects hand-corrupted programs" `Quick
+            test_verify_rejects_handmade;
+        ] );
       ( "properties",
         List.map QCheck_alcotest.to_alcotest
           [
@@ -897,5 +988,7 @@ let () =
             prop_lexer_never_crashes;
             prop_bytecode_matches_eval;
             prop_sweep_matches_run;
+            prop_verify_accepts_compiled;
+            prop_verify_rejects_smashed;
           ] );
     ]

@@ -19,10 +19,12 @@ let fixture_config ~allow =
     lib_dirs = [ "test/lint_fixtures" ];
     sans_io_dirs = [ "test/lint_fixtures" ];
     proto_dirs = [ "test/lint_fixtures" ];
+    program_dirs = [ "test/lint_fixtures/programs" ];
     unchecked_files = [];
     allow_path = allow;
     only = [];
     skip = [];
+    strict = false;
   }
 
 let run ?(only = []) ~allow () =
@@ -134,7 +136,131 @@ let test_only_filter () =
   List.iter
     (fun (d : D.t) ->
       Alcotest.(check string) "only iface survives the filter" "iface" d.rule)
-    r.Dr.diagnostics
+    r.Dr.diagnostics;
+  (* each whole-program pass toggles independently *)
+  List.iter
+    (fun rule ->
+      let r = run ~only:[ rule ] ~allow:"no-such.allow" () in
+      List.iter
+        (fun (d : D.t) ->
+          Alcotest.(check string)
+            (Printf.sprintf "only %s survives the filter" rule)
+            rule d.rule)
+        r.Dr.diagnostics;
+      if String.equal rule "bytecode" then
+        Alcotest.(check int)
+          "clean fixture programs: no bytecode diagnostics" 0 r.Dr.errors
+      else
+        Alcotest.(check bool)
+          (Printf.sprintf "some %s diagnostics" rule)
+          true (r.Dr.errors > 0))
+    [ "effects"; "wire"; "bytecode" ]
+
+let contains ~sub s =
+  let n = String.length sub and m = String.length s in
+  let rec go i = i + n <= m && (String.equal (String.sub s i n) sub || go (i + 1)) in
+  n = 0 || go 0
+
+(* ------------------------------------------------------------------ *)
+(* Whole-program passes                                                 *)
+(* ------------------------------------------------------------------ *)
+
+(* Effect inference: fx_chain never references a clock directly; every
+   binding reaches one only through fx_chain_util, a stored closure, or
+   an optional-argument default. *)
+let test_effects () =
+  check_hit ~rule:"effects" ~file:(fx "fx_chain.ml") ~line:4 ();
+  (* entry *)
+  check_hit ~rule:"effects" ~file:(fx "fx_chain.ml") ~line:6 ();
+  (* stamp: a let-bound function value, no syntactic call *)
+  check_hit ~rule:"effects" ~file:(fx "fx_chain.ml") ~line:8 ();
+  (* entry2: three hops, through stamp *)
+  check_hit ~rule:"effects" ~file:(fx "fx_chain.ml") ~line:10 ();
+  (* sample: the sink hides in the optional-argument default *)
+  (match
+     find (Lazy.force report) ~rule:"effects" ~file:(fx "fx_chain.ml") ~line:4
+   with
+  | [] -> Alcotest.fail "no effects diagnostic for Fx_chain.entry"
+  | d :: _ ->
+    Alcotest.(check bool) "diagnostic names every hop of the chain" true
+      (contains
+         ~sub:
+           "Fx_chain.entry -> Fx_chain_util.hidden_now -> Stdlib.Sys.time"
+         d.D.message));
+  (match
+     find (Lazy.force report) ~rule:"effects" ~file:(fx "fx_chain.ml") ~line:8
+   with
+  | [] -> Alcotest.fail "no effects diagnostic for Fx_chain.entry2"
+  | d :: _ ->
+    Alcotest.(check bool) "indirect chain goes through stamp" true
+      (contains
+         ~sub:
+           "Fx_chain.entry2 -> Fx_chain.stamp -> Fx_chain_util.hidden_now \
+            -> Stdlib.Sys.time"
+         d.D.message));
+  (* the binding that touches the clock directly is the determinism
+     rule's finding, not re-reported here *)
+  Alcotest.(check (list string))
+    "no effects diagnostic at the sink itself" []
+    (List.map D.to_string
+       (List.filter
+          (fun (d : D.t) ->
+            String.equal d.rule "effects"
+            && String.equal d.file (fx "fx_chain_util.ml"))
+          (Lazy.force report).Dr.diagnostics))
+
+(* Wire registry: every planted collision in fx_wire surfaces at its
+   own line. *)
+let test_wire () =
+  (* Gamma reuses Beta's payload code 3 *)
+  check_hit ~rule:"wire" ~file:(fx "fx_wire.ml") ~line:11 ();
+  (* Delta's base code 16 escapes [1, traced_code_offset) *)
+  check_hit ~rule:"wire" ~file:(fx "fx_wire.ml") ~line:12 ();
+  (* 2 * traced_code_offset > crc_code_offset: ranges overlap *)
+  check_hit ~rule:"wire" ~file:(fx "fx_wire.ml") ~line:14 ();
+  (* crc_code_offset 24 is not a power of two *)
+  check_hit ~rule:"wire" ~file:(fx "fx_wire.ml") ~line:16 ();
+  (* option code 2 collides with the ctx_flag bit *)
+  check_hit ~rule:"wire" ~file:(fx "fx_wire.ml") ~line:22 ();
+  (* result_magic spells the same bytes as query_magic *)
+  check_hit ~rule:"wire" ~file:(fx "fx_wire.ml") ~line:28 ()
+
+(* The determinism sinks added for Digest and environment reads. *)
+let test_determinism_new_sinks () =
+  check_hit ~rule:"determinism" ~file:(fx "fx_digest.ml") ~line:3 ();
+  check_hit ~rule:"determinism" ~file:(fx "fx_env.ml") ~line:3 ();
+  check_hit ~rule:"determinism" ~file:(fx "fx_env.ml") ~line:5 ()
+
+(* Bytecode rule: the checked-in fixture programs all compile and pass
+   the full verifier; a stale fixture is itself an error. *)
+let test_bytecode_rule () =
+  Alcotest.(check bool) "fixture programs present in the scan tree" true
+    (Sys.file_exists "../test/lint_fixtures/programs/sweep_conjunction.req");
+  Alcotest.(check (list string))
+    "checked-in requirement fixtures verify clean" []
+    (List.map D.to_string
+       (List.filter
+          (fun (d : D.t) -> String.equal d.rule "bytecode")
+          (Lazy.force report).Dr.diagnostics));
+  (* a program that stops parsing is reported, not skipped *)
+  let dir = Filename.temp_file "smartlint" ".d" in
+  Sys.remove dir;
+  Sys.mkdir dir 0o755;
+  let oc = open_out (Filename.concat dir "broken.req") in
+  output_string oc "host_cpu_free >>> (\n";
+  close_out oc;
+  let diags = Smartlint.Progcheck.check ~root:dir [ "." ] in
+  Sys.remove (Filename.concat dir "broken.req");
+  Sys.rmdir dir;
+  match diags with
+  | [ d ] ->
+    Alcotest.(check bool) "stale fixture is an error" true
+      (d.D.severity = D.Error);
+    Alcotest.(check bool) "message says it verifies nothing" true
+      (contains ~sub:"verifies nothing" d.D.message)
+  | ds ->
+    Alcotest.failf "expected one diagnostic for the broken fixture, got %d"
+      (List.length ds)
 
 let test_allowlist_suppression () =
   let bare = Lazy.force report in
@@ -160,6 +286,108 @@ let test_allowlist_unused () =
        (fun (d : D.t) ->
          String.equal d.rule "allowlist" && d.severity = D.Warn)
        r.Dr.diagnostics)
+
+(* --strict escalates stale allowlist entries from warn to error, so CI
+   fails instead of letting exemptions rot. *)
+let test_strict_mode () =
+  let lax = run ~allow:(fx "unused.allow") () in
+  let strict =
+    match
+      Dr.run { (fixture_config ~allow:(fx "unused.allow")) with strict = true }
+    with
+    | Ok r -> r
+    | Error e -> Alcotest.failf "smartlint failed: %s" e
+  in
+  let stale (r : Dr.report) =
+    List.filter
+      (fun (d : D.t) -> String.equal d.rule "allowlist")
+      r.Dr.diagnostics
+  in
+  (match (stale lax, stale strict) with
+  | [ l ], [ s ] ->
+    Alcotest.(check bool) "warn when lax" true (l.D.severity = D.Warn);
+    Alcotest.(check bool) "error when strict" true (s.D.severity = D.Error)
+  | l, s ->
+    Alcotest.failf "expected one stale-entry diagnostic each, got %d/%d"
+      (List.length l) (List.length s));
+  Alcotest.(check int) "the escalation moves exactly one warn to error"
+    (lax.Dr.errors + 1) strict.Dr.errors;
+  Alcotest.(check int) "warns drop by one" (lax.Dr.warns - 1) strict.Dr.warns
+
+(* ------------------------------------------------------------------ *)
+(* Report formats: golden text + JSON over the whole fixture tree.      *)
+(* Regenerate with LINT_GOLDEN_REGEN=1 dune runtest (writes back into   *)
+(* the source tree, cwd being _build/default/test).                     *)
+(* ------------------------------------------------------------------ *)
+
+let read_file path =
+  let ic = open_in_bin path in
+  let len = in_channel_length ic in
+  let text = really_input_string ic len in
+  close_in ic;
+  text
+
+let regen = Option.is_some (Sys.getenv_opt "LINT_GOLDEN_REGEN")
+
+(* cwd is _build/default/test; the source tree's test/ is three up *)
+let source_golden name = "../../../test/" ^ name
+
+let render_text r =
+  let path = Filename.temp_file "smartlint" ".txt" in
+  let oc = open_out path in
+  Dr.print_report ~out:oc r;
+  close_out oc;
+  let text = read_file path in
+  Sys.remove path;
+  text
+
+let test_golden_text () =
+  let actual = render_text (Lazy.force report) in
+  if regen then begin
+    let oc = open_out (source_golden "lint_golden.txt") in
+    output_string oc actual;
+    close_out oc
+  end
+  else
+    Alcotest.(check string) "text report pinned" (read_file "lint_golden.txt")
+      actual
+
+let test_golden_json () =
+  let actual = Dr.report_to_json (Lazy.force report) in
+  if regen then begin
+    let oc = open_out (source_golden "lint_golden.json") in
+    output_string oc actual;
+    close_out oc
+  end
+  else
+    Alcotest.(check string) "json report pinned" (read_file "lint_golden.json")
+      actual
+
+(* Structural sanity of the JSON beyond the golden: one object per
+   diagnostic, summary counts embedded. *)
+let test_json_shape () =
+  let r = Lazy.force report in
+  let json = Dr.report_to_json r in
+  let count_sub sub =
+    let n = String.length sub in
+    let rec go i acc =
+      if i + n > String.length json then acc
+      else if String.equal (String.sub json i n) sub then go (i + n) (acc + 1)
+      else go (i + 1) acc
+    in
+    go 0 0
+  in
+  Alcotest.(check int) "one object per diagnostic"
+    (List.length r.Dr.diagnostics)
+    (count_sub "{\"file\":");
+  Alcotest.(check bool) "summary embedded" true
+    (contains
+       ~sub:(Printf.sprintf "\"errors\": %d, \"warnings\": %d" r.Dr.errors r.Dr.warns)
+       json);
+  (* messages with quotes/backslashes stay valid JSON *)
+  Alcotest.(check string) "escaping" "{\"file\":\"a\\\"b\",\"line\":1,\"severity\":\"error\",\"rule\":\"x\",\"message\":\"tab\\tnl\\nq\\\"\"}"
+    (D.to_json
+       (D.make ~rule:"x" ~severity:D.Error ~file:"a\"b" ~line:1 "tab\tnl\nq\""))
 
 let test_allowlist_malformed () =
   (* A rule with no target is a hard config error, not a silent skip. *)
@@ -234,10 +462,26 @@ let () =
           Alcotest.test_case "severity model" `Quick test_severity_model;
           Alcotest.test_case "--only filter" `Quick test_only_filter;
         ] );
+      ( "whole-program",
+        [
+          Alcotest.test_case "effects: laundered sinks" `Quick test_effects;
+          Alcotest.test_case "wire registry" `Quick test_wire;
+          Alcotest.test_case "determinism: digest + env sinks" `Quick
+            test_determinism_new_sinks;
+          Alcotest.test_case "bytecode fixtures verify" `Quick
+            test_bytecode_rule;
+        ] );
+      ( "report",
+        [
+          Alcotest.test_case "golden text" `Quick test_golden_text;
+          Alcotest.test_case "golden json" `Quick test_golden_json;
+          Alcotest.test_case "json shape" `Quick test_json_shape;
+        ] );
       ( "allowlist",
         [
           Alcotest.test_case "suppression" `Quick test_allowlist_suppression;
           Alcotest.test_case "unused entry" `Quick test_allowlist_unused;
+          Alcotest.test_case "strict mode" `Quick test_strict_mode;
           Alcotest.test_case "malformed entry" `Quick test_allowlist_malformed;
         ] );
       ( "determinism",

@@ -1,0 +1,138 @@
+(* Whole-program call graph over the scanned typed trees.
+
+   Nodes are top-level value bindings ([let f ... = ...] directly inside
+   a structure), keyed by (module name, value name).  The module name is
+   the capitalized source basename, which is also how cross-module
+   references print after normalization: dune's module wrapping makes a
+   reference to lib/proto/frame.ml resolve as "Smart_proto__Frame.encode"
+   (or "Smart_proto.Frame.encode" through the alias module), and taking
+   the last "__"-separated piece of the last module component recovers
+   the bare "Frame" in both spellings.  The repo enforces unique module
+   basenames across scanned dirs (dune would reject the ambiguity), so
+   the bare name is a sound key.
+
+   Every node carries the raw resolved path of each identifier its body
+   references, with the source line of the reference — optional-argument
+   defaults and [let]-bound function values included, since the iterator
+   walks the whole binding.  Effect inference (see [Effects]) consumes
+   both forms: raw paths to spot sinks, resolved (module, value) pairs
+   for the transitive edges. *)
+
+type node = {
+  modname : string;          (* "Frame" *)
+  name : string;             (* "encode" *)
+  file : string;             (* root-relative source of the definition *)
+  line : int;                (* line of the binding *)
+  refs : (string * int) list;
+      (* (raw resolved path, line of the reference), in source order *)
+}
+
+type t = {
+  nodes : node list;  (* sorted by (file, line) for deterministic output *)
+  index : (string * string, node) Hashtbl.t;
+}
+
+let module_name_of_source source =
+  String.capitalize_ascii
+    (Filename.remove_extension (Filename.basename source))
+
+(* "Smart_proto__Frame.encode" / "Smart_proto.Frame.encode" ->
+   ("Frame", "encode"); "hidden_now" -> (current module, "hidden_now").
+   Paths with no module part are local references: either to another
+   top-level binding of the same module (an edge) or to a function
+   parameter / local let (dropped later when the index misses). *)
+let resolve_ref ~current path =
+  match String.split_on_char '.' path with
+  | [] -> (current, path)
+  | [ single ] -> (current, single)
+  | parts ->
+    let rec split_last = function
+      | [ last ] -> ([], last)
+      | x :: rest ->
+        let init, last = split_last rest in
+        (x :: init, last)
+      | [] -> assert false
+    in
+    let modules, value = split_last parts in
+    let last_module = List.nth modules (List.length modules - 1) in
+    (* strip the "Lib__" wrapping prefix: keep what follows the last
+       "__", leaving single underscores ("Fx_chain_util") intact *)
+    let bare =
+      let n = String.length last_module in
+      let rec last_dunder i best =
+        if i + 1 >= n then best
+        else if last_module.[i] = '_' && last_module.[i + 1] = '_' then
+          last_dunder (i + 2) (Some (i + 2))
+        else last_dunder (i + 1) best
+      in
+      match last_dunder 0 None with
+      | Some start when start < n -> String.sub last_module start (n - start)
+      | _ -> last_module
+    in
+    (bare, value)
+
+let collect_refs expr_or_binding =
+  let refs = ref [] in
+  let open Tast_iterator in
+  let expr sub (e : Typedtree.expression) =
+    (match e.Typedtree.exp_desc with
+    | Typedtree.Texp_ident (path, _, _) ->
+      refs :=
+        (Path.name path, e.Typedtree.exp_loc.Location.loc_start.Lexing.pos_lnum)
+        :: !refs
+    | _ -> ());
+    default_iterator.expr sub e
+  in
+  let it = { default_iterator with expr } in
+  it.value_binding it expr_or_binding;
+  List.rev !refs
+
+let nodes_of_cmt (c : Project.cmt) =
+  match c.structure with
+  | None -> []
+  | Some str ->
+    let modname = module_name_of_source c.source in
+    List.concat_map
+      (fun (item : Typedtree.structure_item) ->
+        match item.Typedtree.str_desc with
+        | Typedtree.Tstr_value (_, vbs) ->
+          List.filter_map
+            (fun (vb : Typedtree.value_binding) ->
+              match vb.Typedtree.vb_pat.Typedtree.pat_desc with
+              | Typedtree.Tpat_var (id, _) ->
+                Some
+                  {
+                    modname;
+                    name = Ident.name id;
+                    file = c.source;
+                    line =
+                      vb.Typedtree.vb_loc.Location.loc_start.Lexing.pos_lnum;
+                    refs = collect_refs vb;
+                  }
+              | _ -> None)
+            vbs
+        | _ -> [])
+      str.Typedtree.str_items
+
+let build cmts =
+  let nodes = List.concat_map nodes_of_cmt cmts in
+  let index = Hashtbl.create (List.length nodes) in
+  (* later bindings shadow earlier ones of the same name, matching OCaml
+     scoping for references that follow both *)
+  List.iter (fun n -> Hashtbl.replace index (n.modname, n.name) n) nodes;
+  { nodes; index }
+
+let find t key = Hashtbl.find_opt t.index key
+
+(* Internal callees of [n]: references that resolve to a node of the
+   graph, with the line of the referencing site.  Self-edges are kept
+   (recursion is harmless to the BFS). *)
+let callees t (n : node) =
+  List.filter_map
+    (fun (path, line) ->
+      let key = resolve_ref ~current:n.modname path in
+      match find t key with
+      | Some callee when not (callee.modname = n.modname && callee.name = n.name)
+        -> Some (callee, line)
+      | _ -> None)
+    n.refs

@@ -29,3 +29,30 @@ let to_string d =
   Printf.sprintf "%s:%d: %s [%s] %s" d.file d.line
     (severity_to_string d.severity)
     d.rule d.message
+
+(* Minimal JSON string escaping — the diagnostic fields are ASCII
+   program text, so backslash, quote, and control characters cover it. *)
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+(* One diagnostic as a single-line JSON object — the machine-readable
+   twin of {!to_string}, consumed by the CI problem matcher. *)
+let to_json d =
+  Printf.sprintf
+    {|{"file":"%s","line":%d,"severity":"%s","rule":"%s","message":"%s"}|}
+    (json_escape d.file) d.line
+    (severity_to_string d.severity)
+    (json_escape d.rule) (json_escape d.message)

@@ -9,17 +9,25 @@ type config = {
   root : string;
   build_root : string;
   lib_dirs : string list;      (* scanned at all: poly-compare, unsafe, iface *)
-  sans_io_dirs : string list;  (* subset: io-purity + determinism *)
-  proto_dirs : string list;    (* subset: assert-false ban *)
+  sans_io_dirs : string list;  (* subset: io-purity + determinism + effects *)
+  proto_dirs : string list;    (* subset: assert-false ban + wire registry *)
+  program_dirs : string list;
+      (* root-relative dirs of checked-in *.req requirement fixtures the
+         bytecode rule compiles and verifies *)
   unchecked_files : string list;
       (* root-relative sources where Bigarray/Array unsafe accessors are
          in contract (the bytecode interpreter) *)
   allow_path : string;         (* allowlist file, relative to [root] *)
   only : string list;          (* when non-empty, run just these rules *)
   skip : string list;          (* rules to disable *)
+  strict : bool;               (* unused allowlist entries become errors *)
 }
 
-let all_rules = [ "io-purity"; "determinism"; "poly-compare"; "unsafe"; "iface" ]
+let all_rules =
+  [
+    "io-purity"; "determinism"; "poly-compare"; "unsafe"; "iface";
+    "effects"; "wire"; "bytecode";
+  ]
 
 let rule_enabled config rule =
   (match config.only with [] -> true | only -> List.mem rule only)
@@ -67,11 +75,43 @@ let run config =
           if String.equal d.rule "io-purity" then Some d.file else None)
         tree_diags
     in
+    (* Whole-program passes.  Effects and the wire checks both consume
+       the call graph, so build it once when either is enabled. *)
+    let want_effects = rule_enabled config "effects" in
+    let want_wire = rule_enabled config "wire" in
+    let graph_diags =
+      if not (want_effects || want_wire) then []
+      else begin
+        let graph = Callgraph.build cmts in
+        let effects_diags =
+          if not want_effects then []
+          else
+            Effects.check graph ~sans_io:(fun file ->
+                List.exists (Project.in_dir file) config.sans_io_dirs)
+        in
+        let wire_diags =
+          if not want_wire then []
+          else
+            Wirecheck.check ~graph
+              (List.filter
+                 (fun (c : Project.cmt) ->
+                   List.exists (Project.in_dir c.source) config.proto_dirs)
+                 cmts)
+        in
+        effects_diags @ wire_diags
+      end
+    in
+    let bytecode_diags =
+      if rule_enabled config "bytecode" then
+        Progcheck.check ~root:config.root config.program_dirs
+      else []
+    in
     let diags =
       tree_diags
       @ Project.iface_check ~root:config.root config.lib_dirs
       @ Project.deps_check ~root:config.root ~cmts config.sans_io_dirs
       @ Project.imports_check ~cmts ~already_flagged config.sans_io_dirs
+      @ graph_diags @ bytecode_diags
     in
     let diags =
       List.filter (fun (d : Diagnostic.t) -> rule_enabled config d.rule) diags
@@ -79,7 +119,16 @@ let run config =
     let kept, suppressed =
       List.partition (fun d -> not (Allowlist.suppresses allow d)) diags
     in
-    let kept = kept @ Allowlist.unused_entries allow in
+    (* Unused allowlist entries warn by default; [strict] escalates them
+       to errors so stale exemptions cannot accumulate (the CI mode). *)
+    let unused =
+      List.map
+        (fun (d : Diagnostic.t) ->
+          if config.strict then { d with Diagnostic.severity = Diagnostic.Error }
+          else d)
+        (Allowlist.unused_entries allow)
+    in
+    let kept = kept @ unused in
     let kept = List.sort Diagnostic.compare_diag kept in
     let count sev =
       List.length
@@ -110,3 +159,26 @@ let print_report ?(out = stdout) report =
     (if report.warns = 1 then "" else "s")
     report.suppressed report.allow_size
     (if report.allow_size = 1 then "y" else "ies")
+
+(* The whole report as one JSON document: a summary object plus one
+   diagnostic object per line, stable in the same order as the text
+   report (file, line, rule).  CI uploads this as an artifact and the
+   problem matcher consumes the per-line objects. *)
+let report_to_json report =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "{\n";
+  Buffer.add_string buf
+    (Printf.sprintf
+       "  \"summary\": {\"files_scanned\": %d, \"errors\": %d, \"warnings\": \
+        %d, \"suppressed\": %d, \"allow_entries\": %d},\n"
+       report.files_scanned report.errors report.warns report.suppressed
+       report.allow_size);
+  Buffer.add_string buf "  \"diagnostics\": [";
+  List.iteri
+    (fun i d ->
+      Buffer.add_string buf (if i = 0 then "\n    " else ",\n    ");
+      Buffer.add_string buf (Diagnostic.to_json d))
+    report.diagnostics;
+  Buffer.add_string buf
+    (if report.diagnostics = [] then "]\n}\n" else "\n  ]\n}\n");
+  Buffer.contents buf

@@ -6,7 +6,10 @@
        dune build && dune exec tools/smartlint/main.exe -- --root .
 
    Exit status is non-zero when any non-allowlisted error remains; warns
-   never gate.  See ANALYSIS.md for the rule catalogue. *)
+   never gate (except unused allowlist entries under --strict).  --json
+   replaces the text report with a JSON document on stdout; --json-out
+   writes the same document to a file alongside the text report.  See
+   ANALYSIS.md for the rule catalogue. *)
 
 let realnet_dir = "lib/realnet"
 
@@ -28,10 +31,12 @@ let default_config root =
     sans_io_dirs =
       List.filter (fun d -> not (String.equal d realnet_dir)) lib_dirs;
     proto_dirs = [ "lib/proto" ];
+    program_dirs = [ "test/lint_fixtures/programs" ];
     unchecked_files = [ "lib/lang/bytecode.ml" ];
     allow_path = "lint.allow";
     only = [];
     skip = [];
+    strict = false;
   }
 
 let split_commas s =
@@ -44,6 +49,9 @@ let () =
   let only = ref [] in
   let skip = ref [] in
   let quiet = ref false in
+  let json = ref false in
+  let json_out = ref None in
+  let strict = ref false in
   let spec =
     [
       ("--root", Arg.Set_string root, "DIR repository root (default: .)");
@@ -59,11 +67,19 @@ let () =
         Arg.String (fun s -> skip := !skip @ split_commas s),
         "RULES comma-separated rules to disable" );
       ("--quiet", Arg.Set quiet, " print only the summary line");
+      ("--json", Arg.Set json, " print the report as JSON instead of text");
+      ( "--json-out",
+        Arg.String (fun s -> json_out := Some s),
+        "FILE also write the JSON report to FILE" );
+      ( "--strict",
+        Arg.Set strict,
+        " escalate unused lint.allow entries from warn to error" );
     ]
   in
   Arg.parse spec
     (fun anon -> raise (Arg.Bad (Printf.sprintf "unexpected argument %S" anon)))
-    "smartlint [--root DIR] [--allow FILE] [--only RULES] [--skip RULES]";
+    "smartlint [--root DIR] [--allow FILE] [--only RULES] [--skip RULES] \
+     [--strict] [--json] [--json-out FILE]";
   List.iter
     (fun r ->
       if not (List.mem r Smartlint.Driver.all_rules) then begin
@@ -78,6 +94,7 @@ let () =
       config with
       Smartlint.Driver.only = !only;
       skip = !skip;
+      strict = !strict;
       allow_path = Option.value ~default:config.Smartlint.Driver.allow_path !allow;
     }
   in
@@ -86,6 +103,14 @@ let () =
     Printf.eprintf "smartlint: %s\n" msg;
     exit 2
   | Ok report ->
-    Smartlint.Driver.print_report
-      (if !quiet then { report with diagnostics = [] } else report);
+    (match !json_out with
+    | Some path ->
+      let oc = open_out path in
+      output_string oc (Smartlint.Driver.report_to_json report);
+      close_out oc
+    | None -> ());
+    if !json then print_string (Smartlint.Driver.report_to_json report)
+    else
+      Smartlint.Driver.print_report
+        (if !quiet then { report with diagnostics = [] } else report);
     exit (if report.errors > 0 then 1 else 0)

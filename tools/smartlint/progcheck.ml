@@ -1,0 +1,70 @@
+(* Bytecode verification of checked-in requirement programs (rule:
+   bytecode).
+
+   The repo pins a set of requirement fixtures — [.req] files under the
+   configured program directories; this pass compiles each one and runs
+   the full {!Smart_lang.Bytecode.verify} dataflow pass over the result
+   — init-before-use, operand bounds on every path, NUMCHK-elision
+   soundness, fault-path coverage, sweep-plan preconditions.  The
+   interpreter's [unsafe_get] exemption in the unsafe rule rests on
+   these judgments, so a verifier regression (or a compiler change that
+   starts emitting unverifiable code) fails the lint gate, not a
+   production wizard.
+
+   A fixture that no longer parses is an error too: a stale fixture
+   checks nothing. *)
+
+let read_file path =
+  let ic = open_in_bin path in
+  let len = in_channel_length ic in
+  let text = really_input_string ic len in
+  close_in ic;
+  text
+
+let req_files ~root dirs =
+  let ( / ) = Filename.concat in
+  List.concat_map
+    (fun dir ->
+      match Sys.readdir (root / dir) with
+      | exception Sys_error _ -> []
+      | entries ->
+        Array.to_list entries |> List.sort String.compare
+        |> List.filter_map (fun entry ->
+               if Filename.check_suffix entry ".req" then Some (dir / entry)
+               else None))
+    dirs
+
+let err ~file ~line fmt =
+  Printf.ksprintf
+    (fun message ->
+      Diagnostic.make ~rule:"bytecode" ~severity:Diagnostic.Error ~file ~line
+        message)
+    fmt
+
+let check ~root dirs =
+  let ( / ) = Filename.concat in
+  List.filter_map
+    (fun file ->
+      let text = read_file (root / file) in
+      match Smart_lang.Requirement.compile text with
+      | Error e ->
+        Some
+          (err ~file ~line:e.Smart_lang.Requirement.line
+             "fixture no longer parses (%s): it verifies nothing"
+             e.Smart_lang.Requirement.message)
+      | Ok ast -> (
+        let prog = Smart_lang.Compile.program ast in
+        match Smart_lang.Bytecode.verify prog with
+        | Ok () -> None
+        | Error ve ->
+          let line =
+            if ve.Smart_lang.Bytecode.stmt >= 0
+               && ve.Smart_lang.Bytecode.stmt
+                  < Smart_lang.Bytecode.nstmts prog
+            then prog.Smart_lang.Bytecode.stmt_line.(ve.Smart_lang.Bytecode.stmt)
+            else 1
+          in
+          Some
+            (err ~file ~line "compiled bytecode failed verification: %s"
+               (Smart_lang.Bytecode.verify_error_to_string ve))))
+    (req_files ~root dirs)

@@ -10,7 +10,9 @@
                    [In_channel]/[Out_channel]).
    - determinism   sans-IO layers must behave identically run-to-run: no
                    [Random.*] (use [Smart_util.Prng]), no wall clock
-                   ([Sys.time]), no [Hashtbl.hash], and (warn) no
+                   ([Sys.time]), no [Hashtbl.hash], no [Digest.*]
+                   (representation-dependent MD5), no [Sys.getenv]/
+                   [Sys.argv] (process-ambient input), and (warn) no
                    [Hashtbl.iter]/[fold] whose enclosing definition never
                    sorts, since hash-bucket order then leaks out.
    - poly-compare  the polymorphic comparison operators at non-immediate
@@ -63,6 +65,32 @@ let wall_clock_idents = [ "Stdlib.Sys.time"; "Unix.gettimeofday"; "Unix.time" ]
 
 let hash_idents =
   [ "Stdlib.Hashtbl.hash"; "Stdlib.Hashtbl.hash_param"; "Stdlib.Hashtbl.seeded_hash" ]
+
+(* MD5 of a heap value hashes its in-memory representation, which varies
+   with sharing, boxing, and compiler version — never stable input for a
+   deterministic layer. *)
+let is_digest_ident name = starts_with ~prefix:"Stdlib.Digest." name
+
+(* Process-ambient inputs: different on every host/invocation, so a
+   sans-IO layer reading them is nondeterministic by construction. *)
+let env_idents =
+  [ "Stdlib.Sys.getenv"; "Stdlib.Sys.getenv_opt"; "Stdlib.Sys.argv" ]
+
+(* Effect-inference seed classification (see [Effects]): every resolved
+   path that makes a sans-IO component nondeterministic or real-world
+   dependent, with a short category label for the diagnostic.  The
+   direct-reference rules above catch these at their use site; the
+   effects pass catches them *transitively*, through helper calls,
+   stored closures, and optional-argument defaults. *)
+let effect_sink name =
+  if is_unix_ident name then Some "real-world IO"
+  else if is_channel_ident name then Some "channel IO"
+  else if is_random_ident name then Some "stdlib Random state"
+  else if List.mem name wall_clock_idents then Some "wall clock"
+  else if List.mem name hash_idents then Some "unstable stdlib hash"
+  else if is_digest_ident name then Some "representation-dependent digest"
+  else if List.mem name env_idents then Some "process environment"
+  else None
 
 let is_unsafe_ident name =
   starts_with ~prefix:"Stdlib.Obj." name
@@ -234,6 +262,15 @@ let check_ident ctx ~exempt (name, loc, ty) =
       [ diag ctx ~rule:"determinism" ~severity:e ~loc
           "reference to %s: stdlib hashing is not stable across runs/versions"
           name ]
+    else if is_digest_ident name then
+      [ diag ctx ~rule:"determinism" ~severity:e ~loc
+          "reference to %s: Digest hashes the in-memory representation, which \
+           is not stable across sharing/boxing/compiler versions; hash an \
+           explicit serialization instead" name ]
+    else if List.mem name env_idents then
+      [ diag ctx ~rule:"determinism" ~severity:e ~loc
+          "reference to %s: sans-IO layers must take configuration as \
+           arguments, never read the process environment" name ]
     else []
   in
   let unsafe () =

@@ -1,0 +1,255 @@
+(* Wire-registry reconstruction and collision checking (rule: wire).
+
+   The protocol layer spreads its registry across modules: frame payload
+   codes and their traced (+16) and CRC (+32) variant ranges in [Frame],
+   wizard request option bits and the reply's degraded flag sharing a
+   u16 with the server count in [Wizard_msg], magics and flag bits in
+   [Fed_msg], the count cap in [Ports].  A collision survives the type
+   checker — two constructors encoding to the same byte round-trip as
+   each other — so this pass re-derives the registry from the typed
+   trees and checks it wholesale:
+
+   - a code table (a function mapping nullary constructors to int
+     literals, e.g. [Frame.type_code]) must be injective;
+   - with [traced_code_offset] t and [crc_code_offset] c in scope, every
+     base code must fit below t (the traced range starts there), c must
+     be a power of two used as a flag bit, and the traced range must end
+     before c (2t <= c) so base, traced, CRC, and traced+CRC ranges
+     stay disjoint;
+   - option-bit tables ([option_code]) must not collide with the
+     module's [ctx_flag] bit;
+   - a [degraded_flag] sharing its word with a count capped by
+     [Ports.max_reply_servers] must sit strictly above the cap;
+   - frame magics ([*_magic] string constants) must be unique across the
+     scanned modules.
+
+   Everything is extracted structurally from [Tstr_value] bindings; a
+   module that spells a constant some other way is simply out of scope
+   (soundness over completeness — the checker exists to catch the
+   registry drifting, not to model OCaml). *)
+
+type const = { cmodule : string; cname : string; cline : int }
+
+type extracted = {
+  ints : (string * (int * const)) list;    (* name -> value, def site *)
+  strings : (string * (string * const)) list;
+  tables : (const * (string * int * int) list) list;
+      (* code table: def site, [(constructor, code, line of the arm)] *)
+}
+
+let line_of (loc : Location.t) = loc.Location.loc_start.Lexing.pos_lnum
+
+(* Constant int/string literal, looking through one level of parens. *)
+let rec literal (e : Typedtree.expression) =
+  match e.Typedtree.exp_desc with
+  | Typedtree.Texp_constant (Asttypes.Const_int n) -> Some (`Int n)
+  | Typedtree.Texp_constant (Asttypes.Const_string (s, _, _)) ->
+    Some (`String s)
+  | Typedtree.Texp_open (_, inner) -> literal inner
+  | _ -> None
+
+(* A code table body: [function Sys_db -> 1 | Net_db -> 2 | ...].  Every
+   case must be a nullary constructor pattern with an int-literal body,
+   else the binding is not a table. *)
+let table_cases (e : Typedtree.expression) =
+  match e.Typedtree.exp_desc with
+  | Typedtree.Texp_function { cases; _ } ->
+    let arm (case : Typedtree.value Typedtree.case) =
+      match (case.Typedtree.c_lhs.Typedtree.pat_desc, case.Typedtree.c_guard) with
+      | Typedtree.Tpat_construct (lid, _, [], _), None -> (
+        match literal case.Typedtree.c_rhs with
+        | Some (`Int code) ->
+          Some
+            ( Longident.last lid.Asttypes.txt,
+              code,
+              line_of case.Typedtree.c_lhs.Typedtree.pat_loc )
+        | _ -> None)
+      | _ -> None
+    in
+    let arms = List.filter_map arm cases in
+    if List.length arms = List.length cases && List.length arms >= 2 then
+      Some arms
+    else None
+  | _ -> None
+
+let extract_cmt (c : Project.cmt) =
+  match c.structure with
+  | None -> { ints = []; strings = []; tables = [] }
+  | Some str ->
+    let cmodule = Callgraph.module_name_of_source c.source in
+    let ints = ref [] and strings = ref [] and tables = ref [] in
+    List.iter
+      (fun (item : Typedtree.structure_item) ->
+        match item.Typedtree.str_desc with
+        | Typedtree.Tstr_value (_, vbs) ->
+          List.iter
+            (fun (vb : Typedtree.value_binding) ->
+              match vb.Typedtree.vb_pat.Typedtree.pat_desc with
+              | Typedtree.Tpat_var (id, _) -> (
+                let cname = Ident.name id in
+                let site =
+                  { cmodule; cname; cline = line_of vb.Typedtree.vb_loc }
+                in
+                match literal vb.Typedtree.vb_expr with
+                | Some (`Int n) -> ints := (cname, (n, site)) :: !ints
+                | Some (`String s) -> strings := (cname, (s, site)) :: !strings
+                | None -> (
+                  match table_cases vb.Typedtree.vb_expr with
+                  | Some arms -> tables := (site, arms) :: !tables
+                  | None -> ()))
+              | _ -> ())
+            vbs
+        | _ -> ())
+      str.Typedtree.str_items;
+    { ints = List.rev !ints; strings = List.rev !strings; tables = List.rev !tables }
+
+let err ~file ~line fmt =
+  Printf.ksprintf
+    (fun message ->
+      Diagnostic.make ~rule:"wire" ~severity:Diagnostic.Error ~file ~line message)
+    fmt
+
+let is_power_of_two n = n > 0 && n land (n - 1) = 0
+
+(* Per-module checks over one extraction, [file] being its source. *)
+let check_module ~file ~graph ~all ex =
+  let find name = List.assoc_opt name ex.ints in
+  let diags = ref [] in
+  let add d = diags := d :: !diags in
+  (* 1. every code table injective *)
+  List.iter
+    (fun (site, arms) ->
+      let seen = Hashtbl.create 8 in
+      List.iter
+        (fun (ctor, code, line) ->
+          match Hashtbl.find_opt seen code with
+          | Some first_ctor ->
+            add
+              (err ~file ~line
+                 "%s.%s: payload code %d assigned to both %s and %s"
+                 site.cmodule site.cname code first_ctor ctor)
+          | None -> Hashtbl.replace seen code ctor)
+        arms)
+    ex.tables;
+  (* 2. variant-range disjointness, when the module declares offsets *)
+  (match (find "traced_code_offset", find "crc_code_offset") with
+  | Some (t, tsite), Some (c, csite) ->
+    if not (is_power_of_two c) then
+      add
+        (err ~file ~line:csite.cline
+           "crc_code_offset %d is not a power of two: it must be a flag bit \
+            disjoint from every code below it"
+           c);
+    if 2 * t > c then
+      add
+        (err ~file ~line:tsite.cline
+           "traced range [%d, %d) overlaps the CRC bit %d: need 2 * \
+            traced_code_offset <= crc_code_offset"
+           t (2 * t) c);
+    (* only the frame registry itself ([type_code] by convention) lives
+       in the offset-partitioned space; other tables in the module
+       (option bits, ...) have their own checks *)
+    List.iter
+      (fun (site, arms) ->
+        if String.equal site.cname "type_code" then
+          List.iter
+            (fun (ctor, code, line) ->
+              if code <= 0 || code >= t then
+                add
+                  (err ~file ~line
+                     "%s.%s: base code %d for %s escapes the base range [1, \
+                      %d) (traced variants start at traced_code_offset %d)"
+                     site.cmodule site.cname code ctor t t))
+            arms)
+      ex.tables
+  | _ -> ());
+  (* 3. option bits vs the trace-context flag bit *)
+  (match find "ctx_flag" with
+  | Some (flag, _) ->
+    List.iter
+      (fun (site, arms) ->
+        if String.equal site.cname "option_code" then
+          List.iter
+            (fun (ctor, code, line) ->
+              if code land flag <> 0 then
+                add
+                  (err ~file ~line
+                     "%s.%s: option code %d for %s collides with the ctx_flag \
+                      bit %d packed into the same byte"
+                     site.cmodule site.cname code ctor flag))
+            arms)
+      ex.tables
+  | None -> ());
+  (* 4. degraded flag vs the count sharing its word.  Only meaningful
+     where the module actually packs a [max_reply_servers]-capped count
+     into that word — detected by the module referencing the cap; the
+     cap's value is resolved from whichever scanned module defines it. *)
+  (match find "degraded_flag" with
+  | Some (flag, fsite) ->
+    let references_cap =
+      List.exists
+        (fun (n : Callgraph.node) ->
+          String.equal n.Callgraph.file file
+          && List.exists
+               (fun (path, _) ->
+                 String.ends_with ~suffix:".max_reply_servers" path)
+               n.Callgraph.refs)
+        graph.Callgraph.nodes
+    in
+    if references_cap then begin
+      match
+        List.find_map
+          (fun (_, ex') -> List.assoc_opt "max_reply_servers" ex'.ints)
+          all
+      with
+      | Some (cap, _) ->
+        if flag <= cap then
+          add
+            (err ~file ~line:fsite.cline
+               "degraded_flag %d is not above max_reply_servers %d: the flag \
+                must use a spare bit of the count word"
+               flag cap)
+      | None -> ()
+    end
+  | None -> ());
+  List.rev !diags
+
+(* The whole pass over the proto-dir cmts.  [graph] is the call graph of
+   the full scan (used to see which module references the reply cap);
+   [cmts] are the proto-dir units whose registries are reconstructed. *)
+let check ~graph cmts =
+  let all =
+    List.map (fun (c : Project.cmt) -> (c.Project.source, extract_cmt c)) cmts
+  in
+  let per_module =
+    List.concat_map (fun (file, ex) -> check_module ~file ~graph ~all ex) all
+  in
+  (* 5. frame magics unique across modules *)
+  let magics =
+    List.concat_map
+      (fun (file, ex) ->
+        List.filter_map
+          (fun (name, (v, site)) ->
+            if String.ends_with ~suffix:"_magic" name then
+              Some (file, name, v, site)
+            else None)
+          ex.strings)
+      all
+  in
+  let seen = Hashtbl.create 8 in
+  let magic_dups =
+    List.filter_map
+      (fun (file, name, v, site) ->
+        match Hashtbl.find_opt seen v with
+        | Some (_, first_name, first_site) ->
+          Some
+            (err ~file ~line:site.cline
+               "magic %S assigned to both %s.%s and %s.%s: the decoder cannot \
+                tell the two apart on the shared port"
+               v first_site.cmodule first_name site.cmodule name)
+        | None ->
+          Hashtbl.replace seen v (file, name, site);
+          None)
+      magics
+  in
+  per_module @ magic_dups
