@@ -19,6 +19,16 @@
    count stays within 1.5x of the single-shard p99 — splitting the
    plane must not cost the client latency — and every request succeeds.
 
+   Two latency views are reported (ISSUE 9).  client_latency_* is the
+   end-to-end time of the in-process message path, measured at the
+   client.  fed_latency_* is the deployment-wide server-side view: each
+   shard wizard's subquery latencies accumulate in its private
+   mergeable quantile sketch, the batches are registered with the root
+   exactly as the sketch uplink would deliver them, and the root's
+   merged sketch answers p50/p95/p99 over the union of all shards'
+   observations — the quantiles a SMART-METRICS scrape of a live root
+   serves.
+
    Results go to stdout and to BENCH_federation.json for trend tracking
    across PRs. *)
 
@@ -138,8 +148,11 @@ let pump root wizards outputs =
 type shard_result = {
   sr_shards : int;
   sr_rps : float;
-  sr_p50 : float;
+  sr_p50 : float;  (* client end-to-end *)
   sr_p99 : float;
+  sr_fed_p50 : float;  (* root-merged shard sketches *)
+  sr_fed_p95 : float;
+  sr_fed_p99 : float;
   sr_ok : int;
 }
 
@@ -155,7 +168,7 @@ let run_shard_count nshards =
         populate_shard db k nshards;
         ( shard_of k,
           db,
-          C.Wizard.create ~shard_name:(shard_of k)
+          C.Wizard.create ~shard_name:(shard_of k) ~clock:Unix.gettimeofday
             { C.Wizard.mode = C.Wizard.Centralized; groups = None }
             db ))
   in
@@ -214,15 +227,34 @@ let run_shard_count nshards =
   done;
   let elapsed = Unix.gettimeofday () -. t0 in
   Array.sort Float.compare latencies;
+  (* sketch batches exactly as the uplink transmitters would ship them;
+     the root merges them into the deployment-wide latency view *)
+  List.iter
+    (fun (name, _, wizard) ->
+      C.Fed_root.note_sketches root
+        {
+          P.Sketch_msg.shard = name;
+          entries =
+            [ (C.Fed_root.latency_metric, C.Wizard.latency_sketch wizard) ];
+        })
+    shards;
+  let fed_q p =
+    match C.Fed_root.merged_sketch root C.Fed_root.latency_metric with
+    | Some sketch -> Smart_util.Sketch.quantile sketch p
+    | None -> Float.nan
+  in
   {
     sr_shards = nshards;
     sr_rps = float_of_int requests /. elapsed;
     sr_p50 = percentile latencies 0.50;
     sr_p99 = percentile latencies 0.99;
+    sr_fed_p50 = fed_q 0.50;
+    sr_fed_p95 = fed_q 0.95;
+    sr_fed_p99 = fed_q 0.99;
     sr_ok = !ok;
   }
 
-let json_float x = if Float.is_finite x then Printf.sprintf "%.9f" x else "null"
+let json_float = Smart_util.Json.number
 
 let run () =
   let results = List.map run_shard_count shard_counts in
@@ -231,7 +263,9 @@ let run () =
       ~title:
         (Printf.sprintf "federated fan-out, %d servers, %d requests" servers
            requests)
-      ~header:[ "shards"; "req/s"; "p50"; "p99"; "ok" ]
+      ~header:
+        [ "shards"; "req/s"; "client p50"; "client p99"; "fed p50"; "fed p95";
+          "fed p99"; "ok" ]
   in
   List.iter
     (fun r ->
@@ -241,6 +275,9 @@ let run () =
           Printf.sprintf "%.0f" r.sr_rps;
           Printf.sprintf "%.1f us" (1e6 *. r.sr_p50);
           Printf.sprintf "%.1f us" (1e6 *. r.sr_p99);
+          Printf.sprintf "%.1f us" (1e6 *. r.sr_fed_p50);
+          Printf.sprintf "%.1f us" (1e6 *. r.sr_fed_p95);
+          Printf.sprintf "%.1f us" (1e6 *. r.sr_fed_p99);
           Printf.sprintf "%d/%d" r.sr_ok requests;
         ])
     results;
@@ -274,9 +311,12 @@ let run () =
           (fun r ->
             Printf.sprintf
               "    { \"shards\": %d, \"requests_per_sec\": %s, \
-               \"latency_p50_s\": %s, \"latency_p99_s\": %s }"
+               \"client_latency_p50_s\": %s, \"client_latency_p99_s\": %s, \
+               \"fed_latency_p50_s\": %s, \"fed_latency_p95_s\": %s, \
+               \"fed_latency_p99_s\": %s }"
               r.sr_shards (json_float r.sr_rps) (json_float r.sr_p50)
-              (json_float r.sr_p99))
+              (json_float r.sr_p99) (json_float r.sr_fed_p50)
+              (json_float r.sr_fed_p95) (json_float r.sr_fed_p99))
           results))
     (json_float success_rate) (json_float p99_ratio);
   close_out oc;

@@ -50,6 +50,8 @@ type t = {
     (Smart_lang.Ast.program, Smart_lang.Requirement.compile_error) result
     Smart_util.Lru.t;
   digests : (string, Smart_proto.Digest.t) Hashtbl.t;
+  sketches : (string, (string * Smart_util.Sketch.t) list) Hashtbl.t;
+      (* latest sketch batch per shard, keyed by shard name *)
   pending : (int, pending) Hashtbl.t;  (* subquery seq -> request *)
   order : pending Queue.t;  (* arrival order, for deadline sweeps *)
   mutable next_seq : int;
@@ -65,8 +67,17 @@ type t = {
   degraded_replies_total : Metrics.Counter.t;
   pending_gauge : Metrics.Gauge.t;
   request_latency : Metrics.Histogram.t;
+  sketch_updates_total : Metrics.Counter.t;
+  fed_p50_gauge : Metrics.Gauge.t;
+  fed_p95_gauge : Metrics.Gauge.t;
+  fed_p99_gauge : Metrics.Gauge.t;
   mutable last_result : string list option;
 }
+
+(* The shard-side metric whose sketch the root aggregates into the
+   deployment-wide latency gauges. *)
+let latency_metric = "wizard.request_latency_seconds"
+
 
 let default_compile_cache_capacity = 128
 
@@ -82,6 +93,7 @@ let create ?(metrics = Metrics.create ()) ?(clock = fun () -> 0.)
     trace;
     compile_cache = Smart_util.Lru.create ~capacity:compile_cache_capacity;
     digests = Hashtbl.create 8;
+    sketches = Hashtbl.create 8;
     pending = Hashtbl.create 16;
     order = Queue.create ();
     next_seq = 1;
@@ -128,6 +140,22 @@ let create ?(metrics = Metrics.create ()) ?(clock = fun () -> 0.)
       Metrics.histogram metrics
         ~help:"root request wall time, seconds (decode to merged reply)"
         "federation.request_latency_seconds";
+    sketch_updates_total =
+      Metrics.counter metrics
+        ~help:"shard sketch batches folded into the root's store"
+        "federation.sketch_updates_total";
+    fed_p50_gauge =
+      Metrics.gauge metrics
+        ~help:"deployment-wide request-latency p50, merged shard sketches"
+        "federation.fed_latency_p50_s";
+    fed_p95_gauge =
+      Metrics.gauge metrics
+        ~help:"deployment-wide request-latency p95, merged shard sketches"
+        "federation.fed_latency_p95_s";
+    fed_p99_gauge =
+      Metrics.gauge metrics
+        ~help:"deployment-wide request-latency p99, merged shard sketches"
+        "federation.fed_latency_p99_s";
     last_result = None;
   }
 
@@ -136,6 +164,51 @@ let note_digest t (d : Smart_proto.Digest.t) =
   Hashtbl.replace t.digests d.Smart_proto.Digest.shard d
 
 let digest_count t = Hashtbl.length t.digests
+
+(* ------------------------------------------------------------------ *)
+(* Sketch plane                                                         *)
+(* ------------------------------------------------------------------ *)
+
+(* Deployment-wide view of one metric: the merge of every shard's
+   latest sketch under that name.  Shards are folded in sorted-name
+   order — merge is commutative so the result is order-independent,
+   but the fold order being fixed keeps even the PRNG-state combination
+   reproducible. *)
+let merged_sketch t name =
+  let shards =
+    List.sort String.compare
+      (Hashtbl.fold (fun shard _ acc -> shard :: acc) t.sketches [])
+  in
+  List.fold_left
+    (fun acc shard ->
+      match Hashtbl.find_opt t.sketches shard with
+      | None -> acc
+      | Some entries ->
+        (match List.assoc_opt name entries with
+        | None -> acc
+        | Some sk ->
+          (match acc with
+          | None -> Some (Smart_util.Sketch.copy sk)
+          | Some m -> Some (Smart_util.Sketch.merge m sk))))
+    None shards
+
+(* Shard sketch batches arrive through the root receiver's sketch hook.
+   Every update refreshes the deployment-wide latency gauges from the
+   merged view, so a SMART-METRICS scrape of the root always reads
+   current federation quantiles. *)
+let note_sketches t (batch : Smart_proto.Sketch_msg.t) =
+  Hashtbl.replace t.sketches batch.Smart_proto.Sketch_msg.shard
+    batch.Smart_proto.Sketch_msg.entries;
+  Metrics.Counter.incr t.sketch_updates_total;
+  (match merged_sketch t latency_metric with
+  | Some m when Smart_util.Sketch.count m > 0 ->
+    Metrics.Gauge.set t.fed_p50_gauge (Smart_util.Sketch.quantile m 0.5);
+    Metrics.Gauge.set t.fed_p95_gauge (Smart_util.Sketch.quantile m 0.95);
+    Metrics.Gauge.set t.fed_p99_gauge (Smart_util.Sketch.quantile m 0.99)
+  | Some _ | None -> ());
+  Smart_util.Tracelog.instant t.trace "federation.sketch_merge"
+
+let sketch_shard_count t = Hashtbl.length t.sketches
 
 (* ------------------------------------------------------------------ *)
 (* Digest routing                                                       *)

@@ -16,6 +16,22 @@ type config = {
   transport : transport;
 }
 
+(* Adaptive reporting (DESIGN.md §14): scale the report interval with
+   the observed variability of the probe's headline signal (load1).  A
+   steady host earns a slow cadence (up to [max_factor] x base), a noisy
+   one reports fast (down to [min_factor] x base).  [max_factor] must
+   stay below the sysmon's missed_intervals (3) or a healthy slow probe
+   would be expired for silence. *)
+type adaptive = {
+  base_interval : float;  (* the driver's nominal period *)
+  min_factor : float;
+  max_factor : float;
+  min_samples : int;      (* load1 observations before adapting *)
+}
+
+let default_adaptive ~base_interval =
+  { base_interval; min_factor = 0.5; max_factor = 2.0; min_samples = 8 }
+
 type sample = {
   at : float;
   cpu : Smart_host.Procfs.cpu_jiffies;
@@ -25,17 +41,38 @@ type sample = {
 
 type t = {
   config : config;
+  adaptive : adaptive option;
+  value_sketch : Smart_util.Sketch.t;  (* load1 observations *)
+  mutable interval_now : float;  (* effective report interval, seconds *)
   mutable prev : sample option;
   trace : Smart_util.Tracelog.t;
   reports_total : Smart_util.Metrics.Counter.t;
   report_bytes_total : Smart_util.Metrics.Counter.t;
   errors_total : Smart_util.Metrics.Counter.t;
+  interval_gauge : Smart_util.Metrics.Gauge.t;
+  adaptations_total : Smart_util.Metrics.Counter.t;
 }
 
 let create ?(metrics = Smart_util.Metrics.create ())
-    ?(trace = Smart_util.Tracelog.disabled) config =
+    ?(trace = Smart_util.Tracelog.disabled) ?adaptive config =
+  (match adaptive with
+  | Some a ->
+    if
+      a.base_interval <= 0.0 || a.min_factor <= 0.0
+      || a.max_factor < a.min_factor
+    then invalid_arg "Probe.create: bad adaptive config"
+  | None -> ());
   {
     config;
+    adaptive;
+    value_sketch =
+      Smart_util.Sketch.create
+        ~rng:
+          (Smart_util.Prng.create
+             ~seed:(Smart_util.Crc32.string ("probe.adapt:" ^ config.host)))
+        ();
+    interval_now =
+      (match adaptive with Some a -> a.base_interval | None -> 0.0);
     prev = None;
     trace;
     reports_total =
@@ -48,6 +85,14 @@ let create ?(metrics = Smart_util.Metrics.create ())
       Smart_util.Metrics.counter metrics
         ~help:"ticks lost to /proc parse or interface failures"
         "probe.errors_total";
+    interval_gauge =
+      Smart_util.Metrics.gauge metrics
+        ~help:"effective report interval, seconds (adaptive probes)"
+        "probe.report_interval_seconds";
+    adaptations_total =
+      Smart_util.Metrics.counter metrics
+        ~help:"adaptive report-interval changes"
+        "probe.interval_adaptations_total";
   }
 
 let ( let* ) r f = Result.bind r f
@@ -169,6 +214,38 @@ let tick_inner t ~tick_span ~now ~(snapshot : Smart_host.Procfs.snapshot) =
       ],
       String.length payload )
 
+(* The control decision: interval = base x a factor sliding linearly
+   from [max_factor] (no spread: a flat signal tolerates slow reports)
+   down to [min_factor] (relative inter-quantile spread >= 1).  Spread
+   is (q90 - q10) / max(|median|, 0.1) over the load1 sketch — a
+   bounded, deterministic dispersion measure that needs no running
+   variance. *)
+let adapt t report =
+  match t.adaptive with
+  | None -> ()
+  | Some a ->
+    let load1 = report.Smart_proto.Report.load1 in
+    if Float.is_finite load1 then
+      Smart_util.Sketch.observe t.value_sketch load1;
+    if Smart_util.Sketch.count t.value_sketch >= a.min_samples then begin
+      let q v = Smart_util.Sketch.quantile t.value_sketch v in
+      let spread =
+        (q 0.9 -. q 0.1) /. Float.max 0.1 (Float.abs (q 0.5))
+      in
+      let factor =
+        Float.max a.min_factor
+          (Float.min a.max_factor
+             (a.max_factor -. (a.max_factor -. a.min_factor) *. Float.min 1.0 spread))
+      in
+      let interval = a.base_interval *. factor in
+      if not (Float.equal interval t.interval_now) then begin
+        t.interval_now <- interval;
+        Smart_util.Metrics.Gauge.set t.interval_gauge interval;
+        Smart_util.Metrics.Counter.incr t.adaptations_total;
+        Smart_util.Tracelog.instant t.trace "probe.adapt"
+      end
+    end
+
 let tick t ~now ~snapshot =
   let tick_span = Smart_util.Tracelog.start t.trace "probe.tick" in
   let result =
@@ -176,6 +253,7 @@ let tick t ~now ~snapshot =
     | Ok (report, outputs, bytes) ->
       Smart_util.Metrics.Counter.incr t.reports_total;
       Smart_util.Metrics.Counter.incr t.report_bytes_total ~by:bytes;
+      adapt t report;
       Ok (report, outputs)
     | Error _ as e ->
       Smart_util.Metrics.Counter.incr t.errors_total;
@@ -183,3 +261,9 @@ let tick t ~now ~snapshot =
   in
   Smart_util.Tracelog.finish t.trace tick_span;
   result
+
+let report_interval t =
+  match t.adaptive with None -> None | Some _ -> Some t.interval_now
+
+let interval_adaptations t =
+  Smart_util.Metrics.Counter.value t.adaptations_total

@@ -19,16 +19,41 @@ type config = {
 
 type t
 
-(** [create ?metrics ?trace config] builds a probe.  [metrics] receives
+(** Adaptive reporting (DESIGN.md §14): scale the report interval with
+    the observed variability of the probe's load1 signal.  Each
+    successful tick feeds load1 into a deterministic quantile sketch;
+    once [min_samples] values are in, the effective interval becomes
+    [base_interval] times a factor sliding linearly from [max_factor]
+    (flat signal) down to [min_factor] (relative q10-q90 spread >= 1).
+    [max_factor] must stay below the sysmon's [missed_intervals]
+    (default 3) or a healthy, deliberately slow probe would be expired
+    for silence.  Every interval change is metered
+    ([probe.report_interval_seconds] gauge,
+    [probe.interval_adaptations_total] counter) and traced as a
+    [probe.adapt] instant. *)
+type adaptive = {
+  base_interval : float;  (** the driver's nominal period, seconds *)
+  min_factor : float;  (** fastest cadence as a fraction of base *)
+  max_factor : float;  (** slowest cadence as a multiple of base *)
+  min_samples : int;  (** load1 observations before adapting *)
+}
+
+(** min_factor 0.5, max_factor 2.0, min_samples 8. *)
+val default_adaptive : base_interval:float -> adaptive
+
+(** [create ?metrics ?trace ?adaptive config] builds a probe.  [metrics] receives
     the [probe.*] instruments (see OBSERVABILITY.md); by default a
     private registry is used.  [trace] records [probe.tick] and
     [probe.build] spans; the tick span's context is embedded in the
     emitted report so downstream components continue the same trace.
     Defaults to {!Smart_util.Tracelog.disabled} (no recording, no
-    context on the wire). *)
+    context on the wire).  [adaptive] (default off) arms the adaptive
+    report interval described at {!adaptive}; the sketch PRNG is seeded
+    from [config.host], so same-seed runs stay byte-identical. *)
 val create :
   ?metrics:Smart_util.Metrics.t ->
   ?trace:Smart_util.Tracelog.t ->
+  ?adaptive:adaptive ->
   config ->
   t
 
@@ -40,3 +65,12 @@ val tick :
   now:float ->
   snapshot:Smart_host.Procfs.snapshot ->
   (Smart_proto.Report.t * Output.t list, string) result
+
+(** The effective report interval a self-scheduling driver should sleep
+    before the next {!tick}: [base_interval] until the sketch has
+    adapted it, [None] when the probe was built without [adaptive]
+    (the driver keeps its own fixed cadence). *)
+val report_interval : t -> float option
+
+(** Adaptive interval changes applied so far. *)
+val interval_adaptations : t -> int

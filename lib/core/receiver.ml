@@ -31,8 +31,10 @@ type t = {
   corrupt_bytes_total : Metrics.Counter.t;
   transmitters : Metrics.Gauge.t;
   digests_total : Metrics.Counter.t;
+  sketches_total : Metrics.Counter.t;
   mutable on_update : (Smart_proto.Frame.payload_type -> unit) option;
   mutable on_digest : (Smart_proto.Digest.t -> unit) option;
+  mutable on_sketches : (Smart_proto.Sketch_msg.t -> unit) option;
 }
 
 let create ?(metrics = Metrics.create ())
@@ -68,8 +70,13 @@ let create ?(metrics = Metrics.create ())
       Metrics.counter metrics
         ~help:"federation digest frames decoded and handed to the hook"
         "federation.digests_received_total";
+    sketches_total =
+      Metrics.counter metrics
+        ~help:"federation sketch frames decoded and handed to the hook"
+        "federation.sketches_received_total";
     on_update = None;
     on_digest = None;
+    on_sketches = None;
   }
 
 (* The wizard (distributed mode) registers here to learn when fresh data
@@ -80,6 +87,10 @@ let set_update_hook t hook = t.on_update <- hook
    receiver itself never mirrors them into the database — a digest is a
    summary, not server records. *)
 let set_digest_hook t hook = t.on_digest <- hook
+
+(* Likewise for sketch batches: the root merges them into deployment-wide
+   quantiles; the mirror never stores them. *)
+let set_sketch_hook t hook = t.on_sketches <- hook
 
 let decoder_for t ~from =
   match Hashtbl.find_opt t.decoders from with
@@ -170,6 +181,15 @@ let apply_frame t (frame : Smart_proto.Frame.frame) =
         (match t.on_digest with Some hook -> hook digest | None -> ());
         Ok ()
       | Error m -> Error m)
+    | Smart_proto.Frame.Sketch_db ->
+      (match
+         Smart_proto.Sketch_msg.decode t.order frame.Smart_proto.Frame.data
+       with
+      | Ok batch ->
+        Metrics.Counter.incr t.sketches_total;
+        (match t.on_sketches with Some hook -> hook batch | None -> ());
+        Ok ()
+      | Error m -> Error m)
   in
   (match result with
   | Ok () ->
@@ -221,6 +241,8 @@ let forget_source t ~from =
 let frames_handled t = Metrics.Counter.value t.frames_total
 
 let digests_handled t = Metrics.Counter.value t.digests_total
+
+let sketches_handled t = Metrics.Counter.value t.sketches_total
 
 let decode_errors t = Metrics.Counter.value t.decode_errors_total
 

@@ -27,6 +27,13 @@ val set_update_hook : t -> (Smart_proto.Frame.payload_type -> unit) option -> un
     and handed here (dropped when no hook is set). *)
 val set_digest_hook : t -> (Smart_proto.Digest.t -> unit) option -> unit
 
+(** Hook receiving every decoded [Sketch_db] payload — the federation
+    root's intake of shard quantile sketches.  Like digests they never
+    touch the mirror database; they are counted in
+    [federation.sketches_received_total] and handed here (dropped when
+    no hook is set). *)
+val set_sketch_hook : t -> (Smart_proto.Sketch_msg.t -> unit) option -> unit
+
 (** Feed raw stream bytes arriving from transmitter [from].  Corrupt
     stretches never stop the stream: the frame decoder resynchronises
     past them (metered by [receiver.resyncs_total] and
@@ -48,6 +55,9 @@ val frames_handled : t -> int
 
 (** [Digest_db] frames decoded and handed to the digest hook. *)
 val digests_handled : t -> int
+
+(** [Sketch_db] frames decoded and handed to the sketch hook. *)
+val sketches_handled : t -> int
 
 (** Stream or record decode failures. *)
 val decode_errors : t -> int

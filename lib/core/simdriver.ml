@@ -155,6 +155,12 @@ type config = {
       (* federation root: seconds to wait for shard replies *)
   fed_routing : bool;
       (* federation root: skip shards whose digest proves them empty *)
+  adaptive_probes : bool;
+      (* probes self-schedule on Probe.report_interval (DESIGN.md §14) *)
+  adaptive_quarantine : bool;
+      (* sysmons tune the flap threshold from flap-score sketches *)
+  adaptive_staleness : bool;
+      (* wizards derive degraded mode from inter-update gap sketches *)
 }
 
 let default_config =
@@ -170,6 +176,9 @@ let default_config =
     wizard_staleness = Wizard.default_staleness_threshold;
     fed_fanout_timeout = 1.0;
     fed_routing = true;
+    adaptive_probes = false;
+    adaptive_quarantine = false;
+    adaptive_staleness = false;
   }
 
 (* Wire one group's probes, monitors and transmitter. *)
@@ -181,15 +190,32 @@ let setup_group t_ref config cluster ~metrics ~trace ~wizard_host
   let resolve = Smart_host.Cluster.resolve_exn cluster in
   let monitor_node = resolve monitor_host in
   let db = Status_db.create () in
+  let flap_policy =
+    if config.adaptive_quarantine then Some Sysmon.default_flap_policy
+    else None
+  in
+  let probe_adaptive =
+    if config.adaptive_probes then
+      Some (Probe.default_adaptive ~base_interval:config.probe_interval)
+    else None
+  in
+  (* with adaptive probes armed the monitor must tolerate the slowest
+     cadence a probe may legitimately adopt, or healthy slow probes get
+     expired and quarantined hosts can never build a clean streak *)
+  let sysmon_interval =
+    match probe_adaptive with
+    | Some a -> a.Probe.base_interval *. a.Probe.max_factor
+    | None -> config.probe_interval
+  in
   let sysmon =
     Sysmon.create
       ~config:
         {
           Sysmon.default_config with
-          probe_interval = config.probe_interval;
+          probe_interval = sysmon_interval;
           missed_intervals = 3;
         }
-      ~metrics ~trace db
+      ?flap_policy ~metrics ~trace db
   in
   let netmon =
     Netmon.create ~metrics ~trace
@@ -251,7 +277,7 @@ let setup_group t_ref config cluster ~metrics ~trace ~wizard_host
       let machine = Smart_host.Cluster.machine cluster node in
       let spec = Smart_host.Machine.spec machine in
       let probe =
-        Probe.create ~metrics ~trace
+        Probe.create ~metrics ~trace ?adaptive:probe_adaptive
           {
             Probe.host = spec.Smart_host.Machine.name;
             ip = spec.Smart_host.Machine.ip;
@@ -262,20 +288,49 @@ let setup_group t_ref config cluster ~metrics ~trace ~wizard_host
             transport = config.probe_transport;
           }
       in
-      ignore
-        (Smart_sim.Engine.every engine ~period:config.probe_interval
-           ~jitter:(config.probe_interval /. 20.0)
-           ~rng:(Smart_util.Prng.split rng)
-           ~start:(Smart_sim.Engine.now engine +. 0.01)
-           (fun now ->
-             if not (Smart_host.Machine.failed machine) then begin
-               let snapshot = Smart_host.Procfs.snapshot_of_machine machine ~now in
-               match Probe.tick probe ~now ~snapshot with
-               | Ok (_report, outputs) ->
-                 perform (the ()) ~tag:"probe" ~src_node:node
-                   ~sport:Smart_proto.Ports.probe outputs
-               | Error _ -> ()
-             end)))
+      let tick_probe now =
+        if not (Smart_host.Machine.failed machine) then begin
+          let snapshot = Smart_host.Procfs.snapshot_of_machine machine ~now in
+          match Probe.tick probe ~now ~snapshot with
+          | Ok (_report, outputs) ->
+            perform (the ()) ~tag:"probe" ~src_node:node
+              ~sport:Smart_proto.Ports.probe outputs
+          | Error _ -> ()
+        end
+      in
+      if config.adaptive_probes then begin
+        (* self-scheduling cadence: each tick sleeps the probe's current
+           effective interval (same jitter budget as the fixed
+           schedule), so interval adaptations take effect on the very
+           next report.  The loop keeps running while the machine is
+           failed — only the tick body is skipped — so a revived probe
+           resumes by itself. *)
+        let jitter_rng = Smart_util.Prng.split rng in
+        let rec loop () =
+          let now = Smart_sim.Engine.now engine in
+          tick_probe now;
+          let interval =
+            match Probe.report_interval probe with
+            | Some i -> i
+            | None -> config.probe_interval
+          in
+          let jitter =
+            Smart_util.Prng.float jitter_rng
+              ~bound:(config.probe_interval /. 20.0)
+          in
+          ignore
+            (Smart_sim.Engine.schedule_after engine ~delay:(interval +. jitter)
+               (fun () -> loop ()))
+        in
+        ignore (Smart_sim.Engine.schedule_after engine ~delay:0.01 loop)
+      end
+      else
+        ignore
+          (Smart_sim.Engine.every engine ~period:config.probe_interval
+             ~jitter:(config.probe_interval /. 20.0)
+             ~rng:(Smart_util.Prng.split rng)
+             ~start:(Smart_sim.Engine.now engine +. 0.01)
+             tick_probe))
     servers;
   (* periodic sweep and transmit *)
   ignore
@@ -363,13 +418,17 @@ let deploy_groups ?(config = default_config) cluster ~wizard_host ~groups =
         }
     end
   in
+  let staleness_policy =
+    if config.adaptive_staleness then Some Wizard.default_staleness_policy
+    else None
+  in
   let wizard =
     (* virtual clock: request latencies land in the histogram in
        simulated seconds, and the run stays deterministic *)
     Wizard.create ~compile_cache_capacity:config.wizard_compile_cache ~metrics
       ~trace:tracelog
       ~clock:(fun () -> Smart_sim.Engine.now engine)
-      ~staleness_threshold:config.wizard_staleness
+      ~staleness_threshold:config.wizard_staleness ?staleness_policy
       { Wizard.mode = wizard_mode; groups = wizard_groups }
       db_wizard
   in
@@ -400,7 +459,18 @@ let deploy_groups ?(config = default_config) cluster ~wizard_host ~groups =
         { Output.host = node_name t pkt.Smart_net.Packet.src; port = sport }
       in
       let outputs =
-        Wizard.handle_request wizard ~now ~from pkt.Smart_net.Packet.payload
+        (* the wizard port doubles as the scrape endpoint, exactly like
+           the realnet daemons (OBSERVABILITY.md) *)
+        match
+          Smart_proto.Metrics_msg.decode_request pkt.Smart_net.Packet.payload
+        with
+        | Some format ->
+          [
+            Output.udp ~host:from.Output.host ~port:from.Output.port
+              (Smart_proto.Metrics_msg.encode_reply format t.metrics);
+          ]
+        | None ->
+          Wizard.handle_request wizard ~now ~from pkt.Smart_net.Packet.payload
       in
       perform t ~tag:"wizard" ~src_node:wizard_node
         ~sport:Smart_proto.Ports.wizard outputs
@@ -523,10 +593,15 @@ let deploy_federation ?(config = default_config) cluster ~root_host ~shards =
           }
       end
     in
+    let staleness_policy =
+      if config.adaptive_staleness then Some Wizard.default_staleness_policy
+      else None
+    in
     let shard_wizard =
       Wizard.create ~compile_cache_capacity:config.wizard_compile_cache
         ~metrics ~trace:tracelog ~clock:vclock
-        ~staleness_threshold:config.wizard_staleness ~shard_name:shard_host
+        ~staleness_threshold:config.wizard_staleness ?staleness_policy
+        ~shard_name:shard_host
         { Wizard.mode = Wizard.Centralized; groups = wizard_groups }
         shard_db
     in
@@ -562,13 +637,19 @@ let deploy_federation ?(config = default_config) cluster ~root_host ~shards =
         end);
     (* digest uplink: one Digest_db frame per transmit interval, built
        with the shard wizard's own network bindings so the advertised
-       ranges cover exactly the values subqueries compare *)
+       ranges cover exactly the values subqueries compare.  The same
+       pushes carry the shard wizard's latency sketch once it has
+       observations, so the root can serve deployment-wide quantiles. *)
     let uplink =
       Transmitter.create ~metrics ~trace:tracelog ~crc:config.frame_crc
         ~summary:(fun () ->
           Status_db.summary shard_db ~shard:shard_host ~net_for:(fun host ->
               Wizard.net_entry_for shard_wizard ~host))
-        ~monitor_name:shard_host
+        ~sketches:(fun () ->
+          let sketch = Wizard.latency_sketch shard_wizard in
+          if Smart_util.Sketch.count sketch = 0 then []
+          else [ (Fed_root.latency_metric, sketch) ])
+        ~sketch_source:shard_host ~monitor_name:shard_host
         {
           Transmitter.mode = Transmitter.Centralized;
           order = config.order;
@@ -624,6 +705,7 @@ let deploy_federation ?(config = default_config) cluster ~root_host ~shards =
       }
   in
   Receiver.set_digest_hook root_receiver (Some (Fed_root.note_digest root));
+  Receiver.set_sketch_hook root_receiver (Some (Fed_root.note_sketches root));
   let root_alive = alive root_node in
   Smart_net.Netstack.listen_udp stack ~node:root_node
     ~port:Smart_proto.Ports.receiver (fun ~now:_ pkt ->
@@ -635,7 +717,11 @@ let deploy_federation ?(config = default_config) cluster ~root_host ~shards =
              pkt.Smart_net.Packet.payload)
       end);
   (* clients on the ordinary wizard port; subqueries leave from the
-     federation port so shard replies come back there *)
+     federation port so shard replies come back there.  The port doubles
+     as the scrape endpoint: a SMART-METRICS datagram is answered with
+     the deployment registry — including the
+     federation.fed_latency_p{50,95,99}_s gauges the root keeps fresh
+     from merged shard sketches. *)
   Smart_net.Netstack.listen_udp stack ~node:root_node
     ~port:Smart_proto.Ports.wizard (fun ~now pkt ->
       if root_alive () then begin
@@ -646,11 +732,22 @@ let deploy_federation ?(config = default_config) cluster ~root_host ~shards =
             port = sport_of pkt;
           }
         in
-        let outputs =
-          Fed_root.handle_request root ~now ~from pkt.Smart_net.Packet.payload
-        in
-        perform t ~tag:"fed_root" ~src_node:root_node
-          ~sport:Smart_proto.Ports.fed outputs
+        match
+          Smart_proto.Metrics_msg.decode_request pkt.Smart_net.Packet.payload
+        with
+        | Some format ->
+          perform t ~tag:"fed_root" ~src_node:root_node
+            ~sport:Smart_proto.Ports.wizard
+            [
+              Output.udp ~host:from.Output.host ~port:from.Output.port
+                (Smart_proto.Metrics_msg.encode_reply format t.metrics);
+            ]
+        | None ->
+          let outputs =
+            Fed_root.handle_request root ~now ~from pkt.Smart_net.Packet.payload
+          in
+          perform t ~tag:"fed_root" ~src_node:root_node
+            ~sport:Smart_proto.Ports.fed outputs
       end);
   Smart_net.Netstack.listen_udp stack ~node:root_node
     ~port:Smart_proto.Ports.fed (fun ~now:_ pkt ->
@@ -817,6 +914,37 @@ let request ?(option = Smart_proto.Wizard_msg.Accept_partial) ?(timeout = 5.0)
   match !reply with
   | None -> Error Client.Timeout
   | Some data -> Client.check_reply client_lib req data
+
+(* One SMART-METRICS scrape over the packet plane: magic datagram from
+   [client] to the wizard (or federation root) port, rendered registry
+   dump back.  Drives the simulation until the reply lands or [timeout]
+   virtual seconds pass. *)
+let scrape_metrics ?(format = Smart_proto.Metrics_msg.Text) ?(timeout = 2.0) t
+    ~client =
+  let engine = Smart_host.Cluster.engine t.cluster in
+  let stack = Smart_host.Cluster.stack t.cluster in
+  let client_node = Smart_host.Cluster.resolve_exn t.cluster client in
+  let reply_port = t.next_client_port in
+  t.next_client_port <- t.next_client_port + 1;
+  let reply = ref None in
+  Smart_net.Netstack.listen_udp stack ~node:client_node ~port:reply_port
+    (fun ~now:_ pkt -> reply := Some pkt.Smart_net.Packet.payload);
+  let data = Smart_proto.Metrics_msg.encode_request format in
+  let s = stats_for t "client" in
+  s.messages <- s.messages + 1;
+  s.bytes <- s.bytes + String.length data;
+  ignore
+    (Smart_net.Netstack.send_udp stack ~src:client_node ~dst:t.wizard_node
+       ~sport:reply_port ~dport:Smart_proto.Ports.wizard
+       ~size:(String.length data) ~payload:data);
+  ignore
+    (Smart_measure.Runner.run_until engine
+       ~deadline:(Smart_sim.Engine.now engine +. timeout)
+       (fun () -> !reply <> None));
+  Smart_net.Netstack.unlisten_udp stack ~node:client_node ~port:reply_port;
+  match !reply with
+  | Some dump -> Ok dump
+  | None -> Error "scrape timed out"
 
 (* Failure injection: a failed machine's probe goes silent, and the
    monitor expires it after three missed intervals. *)

@@ -25,11 +25,21 @@ type config = {
   fed_routing : bool;
       (** federation root: skip shards whose digest proves the
           requirement unsatisfiable *)
+  adaptive_probes : bool;
+      (** arm {!Probe.adaptive}: probes self-schedule on their effective
+          report interval instead of the fixed [probe_interval] cadence *)
+  adaptive_quarantine : bool;
+      (** arm {!Sysmon.flap_policy}: quarantine thresholds track the
+          fleet's flap-score distribution *)
+  adaptive_staleness : bool;
+      (** arm {!Wizard.staleness_policy}: degraded mode tracks the
+          observed inter-update gap distribution *)
 }
 
 (** Centralized, 2 s probe and transmit intervals, UDP reports,
     little-endian records, no frame CRC, no staleness degradation,
-    1 s federation fan-out timeout with digest routing on. *)
+    1 s federation fan-out timeout with digest routing on, all three
+    adaptive control loops off. *)
 val default_config : config
 
 (** [deploy cluster ~monitor ~wizard_host ~servers] installs a
@@ -62,7 +72,10 @@ type fed_shard = {
   shard_db : Status_db.t;  (** the mirror subqueries are answered from *)
   shard_receiver : Receiver.t;
   shard_wizard : Wizard.t;
-  uplink : Transmitter.t;  (** digest uplink to the root *)
+  uplink : Transmitter.t;
+      (** digest + sketch uplink to the root: every push ships the
+          shard's column ranges, plus the shard wizard's latency sketch
+          under {!Fed_root.latency_metric} once it has observations *)
 }
 
 type federation = { root : Fed_root.t; fed_shards : fed_shard list }
@@ -117,6 +130,20 @@ val request :
   wanted:int ->
   requirement:string ->
   (string list, Client.error) result
+
+(** One [SMART-METRICS] scrape from host [client] over the packet plane:
+    the wizard port (or the federation root's client port) answers the
+    magic datagram with the deployment registry rendered in [format]
+    (default [Text]).  In a federated deployment the dump includes the
+    [federation.fed_latency_p{50,95,99}_s] gauges kept fresh from merged
+    shard sketches — deployment-wide quantiles in one scrape.  Runs on
+    virtual time. *)
+val scrape_metrics :
+  ?format:Smart_proto.Metrics_msg.format ->
+  ?timeout:float ->
+  t ->
+  client:string ->
+  (string, string) result
 
 (** Silence a machine's probe (host failure). *)
 val fail_machine : t -> host:string -> unit

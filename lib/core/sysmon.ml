@@ -25,6 +25,23 @@ let default_config =
     clean_intervals = 3;
   }
 
+(* Adaptive quarantine (DESIGN.md §14): on a lossy network every host
+   accumulates flap score, and the fixed threshold would quarantine the
+   whole fleet.  Each expiry feeds the host's new flap score into a
+   deterministic quantile sketch; once [min_samples] scores are in, the
+   effective threshold becomes [factor] x the [quantile] of observed
+   scores, clamped to [config.flap_threshold, max_threshold] — only the
+   outliers relative to the fleet's own flap rate are quarantined. *)
+type flap_policy = {
+  factor : float;
+  quantile : float;
+  max_threshold : int;
+  min_samples : int;
+}
+
+let default_flap_policy =
+  { factor = 1.5; quantile = 0.9; max_threshold = 32; min_samples = 8 }
+
 (* Clean-streak bookkeeping for a quarantined host.  A gap longer than
    1.5 probe intervals means the probe went quiet again: the streak
    restarts. *)
@@ -35,6 +52,9 @@ type quarantine = {
 
 type t = {
   config : config;
+  flap_policy : flap_policy option;
+  flap_sketch : Smart_util.Sketch.t;  (* flap scores observed at expiry *)
+  mutable flap_threshold_now : int;  (* effective quarantine threshold *)
   db : Status_db.t;
   trace : Smart_util.Tracelog.t;
   flaps : (string, int) Hashtbl.t;  (* host -> expiries since last re-admit *)
@@ -48,12 +68,29 @@ type t = {
   readmitted_total : Metrics.Counter.t;
   quarantined_gauge : Metrics.Gauge.t;
   hosts : Metrics.Gauge.t;
+  flap_threshold_gauge : Metrics.Gauge.t;
+  threshold_adaptations_total : Metrics.Counter.t;
 }
 
-let create ?(config = default_config) ?(metrics = Metrics.create ())
-    ?(trace = Smart_util.Tracelog.disabled) db =
+let create ?(config = default_config) ?flap_policy
+    ?(metrics = Metrics.create ()) ?(trace = Smart_util.Tracelog.disabled) db =
+  (match flap_policy with
+  | Some p ->
+    if
+      p.factor <= 0.0 || p.max_threshold < config.flap_threshold
+      || not (p.quantile >= 0.0 && p.quantile <= 1.0)
+    then invalid_arg "Sysmon.create: bad flap_policy"
+  | None -> ());
   {
     config;
+    flap_policy;
+    flap_sketch =
+      Smart_util.Sketch.create
+        ~rng:
+          (Smart_util.Prng.create
+             ~seed:(Smart_util.Crc32.string "sysmon.flaps"))
+        ();
+    flap_threshold_now = config.flap_threshold;
     db;
     trace;
     flaps = Hashtbl.create 8;
@@ -86,6 +123,14 @@ let create ?(config = default_config) ?(metrics = Metrics.create ())
     hosts =
       Metrics.gauge metrics ~help:"servers currently in the system database"
         "sysmon.hosts";
+    flap_threshold_gauge =
+      Metrics.gauge metrics
+        ~help:"effective flap-quarantine threshold (adaptive sysmon)"
+        "sysmon.effective_flap_threshold";
+    threshold_adaptations_total =
+      Metrics.counter metrics
+        ~help:"adaptive flap-threshold changes"
+        "sysmon.threshold_adaptations_total";
   }
 
 let max_age t = t.config.probe_interval *. float_of_int t.config.missed_intervals
@@ -146,9 +191,33 @@ let handle_report t ~now data =
     Smart_util.Tracelog.finish t.trace span;
     Ok report
 
+(* The control decision: re-derive the effective quarantine threshold
+   from the fleet's flap-score distribution.  Metered and traced as a
+   [sysmon.tune] instant so same-seed runs stay byte-identical. *)
+let tune t =
+  match t.flap_policy with
+  | None -> ()
+  | Some p ->
+    if Smart_util.Sketch.count t.flap_sketch >= p.min_samples then begin
+      let q = Smart_util.Sketch.quantile t.flap_sketch p.quantile in
+      let candidate =
+        Int.max t.config.flap_threshold
+          (Int.min p.max_threshold
+             (int_of_float (Float.round (p.factor *. q))))
+      in
+      if candidate <> t.flap_threshold_now then begin
+        t.flap_threshold_now <- candidate;
+        Metrics.Gauge.set t.flap_threshold_gauge (float_of_int candidate);
+        Metrics.Counter.incr t.threshold_adaptations_total;
+        Smart_util.Tracelog.instant t.trace "sysmon.tune"
+      end
+    end
+
 (* Periodic expiry sweep; returns the number of expired servers.  Each
    expiry counts against the host's flap score; crossing the threshold
-   quarantines it until it reports cleanly for a while. *)
+   quarantines it until it reports cleanly for a while.  Under a flap
+   policy each new score also feeds the flap sketch and the threshold is
+   re-derived before the quarantine test. *)
 let sweep t ~now =
   let span = Smart_util.Tracelog.start t.trace "sysmon.sweep" in
   let expired =
@@ -161,7 +230,12 @@ let sweep t ~now =
           1 + Option.value ~default:0 (Hashtbl.find_opt t.flaps host)
         in
         Hashtbl.replace t.flaps host flaps;
-        if flaps >= t.config.flap_threshold
+        (match t.flap_policy with
+        | Some _ ->
+          Smart_util.Sketch.observe t.flap_sketch (float_of_int flaps);
+          tune t
+        | None -> ());
+        if flaps >= t.flap_threshold_now
            && not (Hashtbl.mem t.quarantined host)
         then begin
           Hashtbl.replace t.quarantined host
@@ -185,3 +259,8 @@ let parse_errors t = Metrics.Counter.value t.parse_errors_total
 let quarantined t = Hashtbl.length t.quarantined
 
 let is_quarantined t ~host = Hashtbl.mem t.quarantined host
+
+let effective_flap_threshold t = t.flap_threshold_now
+
+let threshold_adaptations t =
+  Metrics.Counter.value t.threshold_adaptations_total

@@ -17,6 +17,27 @@ type config = {
     expiries, re-admit after 3 clean intervals. *)
 val default_config : config
 
+(** Adaptive quarantine (DESIGN.md §14): on a lossy network every host
+    accumulates flap score and the fixed [flap_threshold] would
+    quarantine the whole fleet.  Each expiry feeds the host's new flap
+    score into a deterministic quantile sketch ({!Smart_util.Sketch});
+    once [min_samples] scores are in, the effective threshold becomes
+    [factor] times the [quantile] of observed scores, clamped to
+    [[flap_threshold, max_threshold]] — only outliers relative to the
+    fleet's own flap rate are quarantined.  Every change is metered
+    ([sysmon.effective_flap_threshold] gauge,
+    [sysmon.threshold_adaptations_total] counter) and traced as a
+    [sysmon.tune] instant. *)
+type flap_policy = {
+  factor : float;  (** threshold = [factor] x flap-score quantile *)
+  quantile : float;  (** which flap-score quantile, in [0, 1] *)
+  max_threshold : int;  (** upper clamp *)
+  min_samples : int;  (** scores required before adapting *)
+}
+
+(** factor 1.5, quantile 0.9, max_threshold 32, min_samples 8. *)
+val default_flap_policy : flap_policy
+
 type t
 
 (** [create ?config ?metrics ?trace db] builds a monitor writing to
@@ -24,9 +45,13 @@ type t
     OBSERVABILITY.md); by default a private registry is used.  [trace]
     records [sysmon.ingest] spans (parented on the trace context a
     traced report carries) and [sysmon.sweep] spans; defaults to
-    {!Smart_util.Tracelog.disabled}. *)
+    {!Smart_util.Tracelog.disabled}.  [flap_policy] (default off) arms
+    the adaptive quarantine threshold described at {!flap_policy}; its
+    sketch PRNG is seeded from a fixed string, so same-seed runs stay
+    byte-identical. *)
 val create :
   ?config:config ->
+  ?flap_policy:flap_policy ->
   ?metrics:Smart_util.Metrics.t ->
   ?trace:Smart_util.Tracelog.t ->
   Status_db.t ->
@@ -43,9 +68,10 @@ val handle_report :
   t -> now:float -> string -> (Smart_proto.Report.t, string) result
 
 (** Expiry sweep; returns the number of servers dropped.  Every expiry
-    raises the host's flap score; at [flap_threshold] the host is
-    quarantined ([sysmon.quarantined_total], [sysmon.quarantine] trace
-    instant). *)
+    raises the host's flap score; at the effective threshold
+    ({!effective_flap_threshold} — [flap_threshold] unless a
+    {!flap_policy} adapted it) the host is quarantined
+    ([sysmon.quarantined_total], [sysmon.quarantine] trace instant). *)
 val sweep : t -> now:float -> int
 
 (** Reports successfully ingested over the monitor's lifetime. *)
@@ -58,3 +84,10 @@ val parse_errors : t -> int
 val quarantined : t -> int
 
 val is_quarantined : t -> host:string -> bool
+
+(** The quarantine threshold {!sweep} currently applies — the configured
+    [flap_threshold] until an armed {!flap_policy} adapts it. *)
+val effective_flap_threshold : t -> int
+
+(** Adaptive threshold changes applied so far. *)
+val threshold_adaptations : t -> int

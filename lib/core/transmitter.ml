@@ -32,6 +32,11 @@ type t = {
       (* digest uplink: ship one Digest_db frame per push instead of the
          three database snapshots (a regional wizard feeding the
          federation root) *)
+  sketches : (unit -> (string * Smart_util.Sketch.t) list) option;
+      (* mergeable quantile sketches riding the same uplink as one
+         Sketch_db frame per push when non-empty *)
+  sketch_source : string;
+      (* shard/monitor name stamped into the Sketch_db payload *)
   crc : bool;  (* append CRC-32 trailers to emitted frames *)
   trace : Smart_util.Tracelog.t;
   resend : string Queue.t;  (* encoded stream payloads awaiting resend *)
@@ -47,13 +52,14 @@ type t = {
   resend_dropped_total : Metrics.Counter.t;
   resend_queue_gauge : Metrics.Gauge.t;
   digest_pushes_total : Metrics.Counter.t;
+  sketch_pushes_total : Metrics.Counter.t;
 }
 
 let create ?(metrics = Metrics.create ())
     ?(trace = Smart_util.Tracelog.disabled) ?(crc = false)
     ?(resend_capacity = default_resend_capacity)
-    ?(backoff = Smart_util.Backoff.default) ?rng ?summary ~monitor_name
-    config db =
+    ?(backoff = Smart_util.Backoff.default) ?rng ?summary ?sketches
+    ?(sketch_source = "") ~monitor_name config db =
   if resend_capacity < 0 then
     invalid_arg "Transmitter.create: negative resend_capacity";
   {
@@ -61,6 +67,8 @@ let create ?(metrics = Metrics.create ())
     db;
     monitor_name;
     summary;
+    sketches;
+    sketch_source;
     crc;
     trace;
     resend = Queue.create ();
@@ -96,6 +104,10 @@ let create ?(metrics = Metrics.create ())
       Metrics.counter metrics
         ~help:"pushes that shipped a federation digest instead of snapshots"
         "transmitter.digest_pushes_total";
+    sketch_pushes_total =
+      Metrics.counter metrics
+        ~help:"pushes that also shipped a quantile-sketch batch"
+        "transmitter.sketch_pushes_total";
   }
 
 let snapshot_db_frames ~trace t =
@@ -125,8 +137,29 @@ let snapshot_db_frames ~trace t =
       trace };
   ]
 
+(* Sketch batch frame, when the uplink carries one and it is non-empty.
+   It rides behind whatever frames the push already ships, through the
+   same resend/backoff machinery. *)
+let sketch_frames ~trace t =
+  match t.sketches with
+  | None -> []
+  | Some sketches ->
+    (match sketches () with
+    | [] -> []
+    | entries ->
+      Metrics.Counter.incr t.sketch_pushes_total;
+      [
+        {
+          Smart_proto.Frame.payload_type = Smart_proto.Frame.Sketch_db;
+          data =
+            Smart_proto.Sketch_msg.encode t.config.order
+              { Smart_proto.Sketch_msg.shard = t.sketch_source; entries };
+          trace;
+        };
+      ])
+
 let snapshot_frames ?(trace = Smart_util.Tracelog.root) t =
-  match t.summary with
+  (match t.summary with
   | Some summary ->
     (* digest uplink: the shard's whole status plane compressed into one
        frame; the resend/backoff machinery below treats it like any
@@ -139,7 +172,8 @@ let snapshot_frames ?(trace = Smart_util.Tracelog.root) t =
         trace;
       };
     ]
-  | None -> snapshot_db_frames ~trace t
+  | None -> snapshot_db_frames ~trace t)
+  @ sketch_frames ~trace t
 
 (* The push span is parented on the database's last writer (typically a
    [sysmon.ingest] span), and its own context rides in the frames — this

@@ -41,7 +41,14 @@ type t
     federation root column ranges rather than raw records.  All delivery
     machinery (resend queue, backoff, pull handling) applies unchanged;
     digest pushes are additionally counted in
-    [transmitter.digest_pushes_total]. *)
+    [transmitter.digest_pushes_total].
+
+    [sketches] attaches a quantile-sketch uplink: every push whose
+    callback returns a non-empty batch also ships one [Sketch_db] frame
+    holding it, stamped with [sketch_source] (the shard name; default
+    [""]) and counted in [transmitter.sketch_pushes_total] — how a
+    shard feeds the root the mergeable latency distributions that
+    digests cannot carry. *)
 val create :
   ?metrics:Smart_util.Metrics.t ->
   ?trace:Smart_util.Tracelog.t ->
@@ -50,15 +57,18 @@ val create :
   ?backoff:Smart_util.Backoff.policy ->
   ?rng:Smart_util.Prng.t ->
   ?summary:(unit -> Smart_proto.Digest.t) ->
+  ?sketches:(unit -> (string * Smart_util.Sketch.t) list) ->
+  ?sketch_source:string ->
   monitor_name:string ->
   config ->
   Status_db.t ->
   t
 
 (** The frames of the current database state — the three snapshot frames,
-    or a single [Digest_db] frame in digest-uplink mode — carrying
-    [trace] (default {!Smart_util.Tracelog.root}, i.e. untraced) as
-    their context. *)
+    or a single [Digest_db] frame in digest-uplink mode, plus a
+    [Sketch_db] frame when a sketch uplink is attached and non-empty —
+    carrying [trace] (default {!Smart_util.Tracelog.root}, i.e.
+    untraced) as their context. *)
 val snapshot_frames :
   ?trace:Smart_util.Tracelog.ctx -> t -> Smart_proto.Frame.frame list
 

@@ -59,6 +59,23 @@ type config = { mode : mode; groups : groups option }
 (* Receiver silence tolerated before replies are flagged degraded. *)
 let default_staleness_threshold = infinity
 
+(* Adaptive degraded mode (DESIGN.md §14): instead of the fixed
+   threshold, tolerate receiver silence up to [factor] times the
+   [quantile] of the observed inter-update gaps, clamped to
+   [floor, cap].  Below [min_samples] observed gaps the fixed threshold
+   still applies, so a cold wizard behaves exactly like a non-adaptive
+   one. *)
+type staleness_policy = {
+  factor : float;
+  quantile : float;
+  floor : float;
+  cap : float;
+  min_samples : int;
+}
+
+let default_staleness_policy =
+  { factor = 5.0; quantile = 0.99; floor = 0.1; cap = 300.0; min_samples = 8 }
+
 let default_compile_cache_capacity = 128
 
 type pending = {
@@ -84,6 +101,19 @@ type t = {
   clock : unit -> float;  (* injected clock for the latency histogram *)
   staleness_threshold : float;
       (* receiver silence beyond this flags replies degraded *)
+  staleness_policy : staleness_policy option;
+      (* adaptive threshold from inter-update gap quantiles; [None]
+         keeps the fixed threshold *)
+  mutable staleness_now : float;
+      (* the effective threshold [degraded_now] tests; equals
+         [staleness_threshold] until the policy adapts it *)
+  gap_sketch : Smart_util.Sketch.t;
+      (* inter-update gaps observed by [note_update] *)
+  latency_sketch : Smart_util.Sketch.t;
+      (* per-instance mergeable view of request latency, shipped up the
+         federation uplink.  Deliberately NOT the registry histogram's
+         backing: shard wizards share one deployment registry, and the
+         root must merge per-shard distributions, not one shared one. *)
   trace : Smart_util.Tracelog.t;
   requests_total : Metrics.Counter.t;
   compile_errors_total : Metrics.Counter.t;
@@ -99,6 +129,8 @@ type t = {
   degraded_replies_total : Metrics.Counter.t;
   subqueries_total : Metrics.Counter.t;
   request_latency : Metrics.Histogram.t;
+  staleness_threshold_gauge : Metrics.Gauge.t;
+  staleness_adaptations_total : Metrics.Counter.t;
   mutable subqueries_seen : int;
       (* this instance's subqueries, as [subqueries_total] aggregates
          across every shard wizard sharing the registry *)
@@ -110,12 +142,32 @@ type t = {
 
 let create ?(compile_cache_capacity = default_compile_cache_capacity)
     ?(metrics = Metrics.create ()) ?(clock = fun () -> 0.)
-    ?(staleness_threshold = default_staleness_threshold)
+    ?(staleness_threshold = default_staleness_threshold) ?staleness_policy
     ?(trace = Smart_util.Tracelog.disabled) ?(shard_name = "") config db =
   if staleness_threshold <= 0.0 then
     invalid_arg "Wizard.create: staleness_threshold must be positive";
+  (match staleness_policy with
+  | Some p ->
+    if
+      p.factor <= 0.0 || p.floor <= 0.0 || p.cap < p.floor
+      || not (p.quantile >= 0.0 && p.quantile <= 1.0)
+    then invalid_arg "Wizard.create: bad staleness_policy"
+  | None -> ());
+  (* sketch PRNG seeds derive from the shard identity so same-seed runs
+     are byte-identical and distinct shards use distinct streams *)
+  let seeded tag =
+    Smart_util.Sketch.create
+      ~rng:
+        (Smart_util.Prng.create
+           ~seed:(Smart_util.Crc32.string (tag ^ ":" ^ shard_name)))
+      ()
+  in
   {
     staleness_threshold;
+    staleness_policy;
+    staleness_now = staleness_threshold;
+    gap_sketch = seeded "wizard.staleness";
+    latency_sketch = seeded "wizard.latency";
     config;
     shard_name;
     db;
@@ -173,6 +225,14 @@ let create ?(compile_cache_capacity = default_compile_cache_capacity)
       Metrics.histogram metrics
         ~help:"request processing wall time, seconds (decode to reply)"
         "wizard.request_latency_seconds";
+    staleness_threshold_gauge =
+      Metrics.gauge metrics
+        ~help:"effective degraded-mode staleness threshold, seconds"
+        "wizard.staleness_threshold_seconds";
+    staleness_adaptations_total =
+      Metrics.counter metrics
+        ~help:"adaptive staleness-threshold changes"
+        "wizard.staleness_adaptations_total";
     subqueries_seen = 0;
     updates_seen = 0;
     last_update_at = None;
@@ -180,10 +240,36 @@ let create ?(compile_cache_capacity = default_compile_cache_capacity)
   }
 
 (* Receiver update hook: counts applied frames so distributed-mode
-   requests know when every transmitter has re-reported. *)
+   requests know when every transmitter has re-reported.  Under a
+   staleness policy each update also feeds the inter-update gap into
+   the gap sketch and re-derives the effective threshold from its
+   quantile — the control decision is metered
+   ([wizard.staleness_threshold_seconds],
+   [wizard.staleness_adaptations_total]) and traced as a
+   [wizard.staleness_adapt] instant so same-seed runs stay
+   byte-identical. *)
 let note_update t =
   t.updates_seen <- t.updates_seen + 1;
-  t.last_update_at <- Some (t.clock ());
+  let now = t.clock () in
+  (match (t.staleness_policy, t.last_update_at) with
+  | Some policy, Some prev ->
+    let gap = now -. prev in
+    if Float.is_finite gap && gap >= 0.0 then
+      Smart_util.Sketch.observe t.gap_sketch gap;
+    if Smart_util.Sketch.count t.gap_sketch >= policy.min_samples then begin
+      let q = Smart_util.Sketch.quantile t.gap_sketch policy.quantile in
+      let candidate =
+        Float.min policy.cap (Float.max policy.floor (policy.factor *. q))
+      in
+      if not (Float.equal candidate t.staleness_now) then begin
+        t.staleness_now <- candidate;
+        Metrics.Gauge.set t.staleness_threshold_gauge candidate;
+        Metrics.Counter.incr t.staleness_adaptations_total;
+        Smart_util.Tracelog.instant t.trace "wizard.staleness_adapt"
+      end
+    end
+  | (Some _ | None), _ -> ());
+  t.last_update_at <- Some now;
   Metrics.Counter.incr t.updates_total
 
 (* Degraded mode: the receiver feed has been quiet longer than the
@@ -194,7 +280,9 @@ let note_update t =
 let degraded_now t =
   match t.last_update_at with
   | None -> false
-  | Some ts -> t.clock () -. ts > t.staleness_threshold
+  | Some ts -> t.clock () -. ts > t.staleness_now
+
+let staleness_threshold_now t = t.staleness_now
 
 (* Network metrics toward one server: direct measurements in flat
    deployments, group-level measurements (local monitor -> server's
@@ -373,7 +461,10 @@ let process t ?batch (request : Smart_proto.Wizard_msg.request) ~from =
   in
   let finished = t.clock () in
   Smart_util.Tracelog.finish t.trace ~at:finished span;
-  Metrics.Histogram.observe t.request_latency (finished -. started);
+  let elapsed = finished -. started in
+  Metrics.Histogram.observe t.request_latency elapsed;
+  if Float.is_finite elapsed then
+    Smart_util.Sketch.observe t.latency_sketch elapsed;
   outputs
 
 let handle_request t ~now ~from data =
@@ -455,7 +546,10 @@ let handle_subquery t ~from data =
     in
     let finished = t.clock () in
     Smart_util.Tracelog.finish t.trace ~at:finished span;
-    Metrics.Histogram.observe t.request_latency (finished -. started);
+    let elapsed = finished -. started in
+    Metrics.Histogram.observe t.request_latency elapsed;
+    if Float.is_finite elapsed then
+      Smart_util.Sketch.observe t.latency_sketch elapsed;
     outputs
 
 (* Flush distributed-mode requests whose data is fresh (all transmitters
@@ -506,5 +600,9 @@ let request_latency_summary t = Metrics.histogram_summary t.request_latency
 let degraded_replies t = Metrics.Counter.value t.degraded_replies_total
 
 let subqueries_handled t = t.subqueries_seen
+
+let latency_sketch t = t.latency_sketch
+
+let staleness_adaptations t = Metrics.Counter.value t.staleness_adaptations_total
 
 let last_result t = t.last_result

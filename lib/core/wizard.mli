@@ -41,6 +41,27 @@ val default_compile_cache_capacity : int
     the default ([infinity]) never degrades. *)
 val default_staleness_threshold : float
 
+(** Adaptive degraded mode (DESIGN.md §14): derive the staleness
+    threshold from the observed inter-update gap distribution instead of
+    the fixed [staleness_threshold].  Each {!note_update} feeds the gap
+    since the previous update into a deterministic quantile sketch
+    ({!Smart_util.Sketch}); once [min_samples] gaps have been seen, the
+    effective threshold becomes [factor] times the sketch's [quantile],
+    clamped to [[floor, cap]].  Every change of the effective threshold
+    is metered ([wizard.staleness_threshold_seconds] gauge,
+    [wizard.staleness_adaptations_total] counter) and traced as a
+    [wizard.staleness_adapt] instant. *)
+type staleness_policy = {
+  factor : float;  (** threshold = [factor] x gap quantile *)
+  quantile : float;  (** which gap quantile to track, in [0, 1] *)
+  floor : float;  (** lower clamp, seconds *)
+  cap : float;  (** upper clamp, seconds *)
+  min_samples : int;  (** gaps required before adapting *)
+}
+
+(** factor 5.0, quantile 0.99, floor 0.1 s, cap 300 s, min_samples 8. *)
+val default_staleness_policy : staleness_policy
+
 (** [create ?compile_cache_capacity ?metrics ?clock config db] builds a
     wizard answering from [db].  [compile_cache_capacity] bounds the
     requirement compile cache; 0 disables it (every request
@@ -64,14 +85,22 @@ val default_staleness_threshold : float
     record a [wizard.degraded] trace instant.  A database never fed
     through {!note_update} is not considered stale.
 
+    [staleness_policy] (default off) switches degraded mode to the
+    adaptive threshold described at {!staleness_policy}; the fixed
+    [staleness_threshold] still applies until the policy has seen
+    [min_samples] inter-update gaps.
+
     [shard_name] (default [""]) is this wizard's identity in a
     federation: it is stamped on every {!handle_subquery} reply so the
-    root can attribute candidates and digests to the shard. *)
+    root can attribute candidates and digests to the shard, and it
+    seeds the wizard's sketch PRNGs so same-seed runs stay
+    byte-identical. *)
 val create :
   ?compile_cache_capacity:int ->
   ?metrics:Smart_util.Metrics.t ->
   ?clock:(unit -> float) ->
   ?staleness_threshold:float ->
+  ?staleness_policy:staleness_policy ->
   ?trace:Smart_util.Tracelog.t ->
   ?shard_name:string ->
   config ->
@@ -153,3 +182,19 @@ val subqueries_handled : t -> int
 
 (** Server list of the most recent successful selection. *)
 val last_result : t -> string list option
+
+(** This wizard's private mergeable view of
+    [wizard.request_latency_seconds]: every request and subquery latency
+    observed by this instance (the registry histogram may be shared
+    across shard wizards in simulation; this sketch never is).  Ship it
+    up the federation uplink under {!Fed_root.latency_metric} via the
+    transmitter's [sketches] callback. *)
+val latency_sketch : t -> Smart_util.Sketch.t
+
+(** The staleness threshold {!degraded_now} currently tests — the fixed
+    [staleness_threshold] until an armed {!staleness_policy} adapts
+    it. *)
+val staleness_threshold_now : t -> float
+
+(** Adaptive threshold changes applied so far. *)
+val staleness_adaptations : t -> int

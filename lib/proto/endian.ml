@@ -30,6 +30,16 @@ let get_u32 order b ~pos =
   in
   Int32.to_int v land 0xFFFFFFFF
 
+let set_i64 order b ~pos v =
+  match order with
+  | Little -> Bytes.set_int64_le b pos v
+  | Big -> Bytes.set_int64_be b pos v
+
+let get_i64 order b ~pos =
+  match order with
+  | Little -> Bytes.get_int64_le b pos
+  | Big -> Bytes.get_int64_be b pos
+
 let set_f64 order b ~pos v =
   let bits = Int64.bits_of_float v in
   match order with

@@ -10,6 +10,9 @@ val get_u16 : order -> Bytes.t -> pos:int -> int
 val set_u32 : order -> Bytes.t -> pos:int -> int -> unit
 val get_u32 : order -> Bytes.t -> pos:int -> int
 
+val set_i64 : order -> Bytes.t -> pos:int -> int64 -> unit
+val get_i64 : order -> Bytes.t -> pos:int -> int64
+
 val set_f64 : order -> Bytes.t -> pos:int -> float -> unit
 val get_f64 : order -> Bytes.t -> pos:int -> float
 

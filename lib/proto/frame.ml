@@ -22,19 +22,21 @@
    discard.  A CRC'd stream therefore survives arbitrary bit damage at
    the cost of the damaged frame(s) only. *)
 
-type payload_type = Sys_db | Net_db | Sec_db | Digest_db
+type payload_type = Sys_db | Net_db | Sec_db | Digest_db | Sketch_db
 
 let type_code = function
   | Sys_db -> 1
   | Net_db -> 2
   | Sec_db -> 3
   | Digest_db -> 4
+  | Sketch_db -> 5
 
 let type_of_code = function
   | 1 -> Some Sys_db
   | 2 -> Some Net_db
   | 3 -> Some Sec_db
   | 4 -> Some Digest_db
+  | 5 -> Some Sketch_db
   | _ -> None
 
 let traced_code_offset = 16

@@ -1,0 +1,21 @@
+(* Shared JSON string escaping and float rendering.  Kept dependency-
+   free (Buffer + Printf only) so every layer — metrics, tracelog,
+   smartlint, bench — can use it without dragging anything else in. *)
+
+let escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let number v = if Float.is_finite v then Printf.sprintf "%.9g" v else "null"

@@ -1,0 +1,17 @@
+(** The one JSON string/number renderer every hand-rolled JSON emitter
+    in the tree shares ({!Metrics.to_json}, {!Tracelog.to_chrome_json},
+    smartlint's diagnostic reports, the bench writers).  There used to
+    be three copies with subtly different escape tables; this is the
+    merged one. *)
+
+(** JSON string escaping: double quote and backslash are
+    backslash-escaped; newline, tab and carriage return use their short
+    escapes ([\n], [\t], [\r]); every other byte below 0x20 becomes a
+    [\uNNNN] escape; all remaining bytes — including non-ASCII — pass
+    through untouched (the emitters treat strings as raw bytes). *)
+val escape : string -> string
+
+(** A float as a JSON number with [%.9g] precision; non-finite values
+    (empty-histogram min/quantiles, 0/0 ratios) render as [null], which
+    JSON can represent and NaN/inf literals cannot. *)
+val number : float -> string

@@ -142,9 +142,12 @@ module Histogram = struct
     q50 : P2.t;
     q95 : P2.t;
     q99 : P2.t;
+    mutable sketch : Sketch.t option;
+        (* mergeable backing for federated aggregation; the P² markers
+           above stay the cheap local view *)
   }
 
-  let make () =
+  let make ?sketch () =
     {
       n = 0;
       sum = 0.0;
@@ -154,7 +157,10 @@ module Histogram = struct
       q50 = P2.create 0.5;
       q95 = P2.create 0.95;
       q99 = P2.create 0.99;
+      sketch;
     }
+
+  let sketch t = t.sketch
 
   let observe t x =
     if t.n < 5 then t.first.(t.n) <- x;
@@ -162,6 +168,9 @@ module Histogram = struct
     t.sum <- t.sum +. x;
     t.minv <- (if t.n = 1 then x else Float.min t.minv x);
     t.maxv <- (if t.n = 1 then x else Float.max t.maxv x);
+    (match t.sketch with
+    | Some s when Float.is_finite x -> Sketch.observe s x
+    | Some _ | None -> ());
     if t.n = 5 then begin
       let sorted = Array.copy t.first in
       Array.sort Float.compare sorted;
@@ -264,14 +273,41 @@ let gauge t ?help name =
       (g, Gauge_m g))
     ~extract:(function Gauge_m g -> Some g | Counter_m _ | Histogram_m _ -> None)
 
-let histogram t ?help name =
-  register t ?help name ~wanted:"histogram"
-    ~make:(fun () ->
-      let h = Histogram.make () in
-      (h, Histogram_m h))
-    ~extract:(function
-      | Histogram_m h -> Some h
-      | Counter_m _ | Gauge_m _ -> None)
+(* The sketch PRNG seed derives from the metric name via CRC-32 so it is
+   deterministic and registration-order independent (stdlib
+   [Hashtbl.hash] is banned by the determinism lint). *)
+let sketch_for name = Sketch.create ~rng:(Prng.create ~seed:(Crc32.string name)) ()
+
+let histogram t ?help ?(mergeable = false) name =
+  let h =
+    register t ?help name ~wanted:"histogram"
+      ~make:(fun () ->
+        let sketch = if mergeable then Some (sketch_for name) else None in
+        let h = Histogram.make ?sketch () in
+        (h, Histogram_m h))
+      ~extract:(function
+        | Histogram_m h -> Some h
+        | Counter_m _ | Gauge_m _ -> None)
+  in
+  (* get-or-create upgrade: if any registration asks for a mergeable
+     backing the histogram keeps one from that point on, so the outcome
+     does not depend on which component registered first *)
+  (match Histogram.sketch h with
+  | None when mergeable -> h.Histogram.sketch <- Some (sketch_for name)
+  | Some _ | None -> ());
+  h
+
+let sketches t =
+  Hashtbl.fold
+    (fun name { metric; _ } acc ->
+      match metric with
+      | Histogram_m h ->
+        (match Histogram.sketch h with
+        | Some s -> (name, s) :: acc
+        | None -> acc)
+      | Counter_m _ | Gauge_m _ -> acc)
+    t.table []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
 
 type value =
   | Counter of int
@@ -321,23 +357,11 @@ let to_text t =
     (snapshot t);
   Buffer.contents buf
 
-let json_escape s =
-  let buf = Buffer.create (String.length s) in
-  String.iter
-    (fun c ->
-      match c with
-      | '"' -> Buffer.add_string buf "\\\""
-      | '\\' -> Buffer.add_string buf "\\\\"
-      | '\n' -> Buffer.add_string buf "\\n"
-      | c when Char.code c < 0x20 ->
-        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
-      | c -> Buffer.add_char buf c)
-    s;
-  Buffer.contents buf
+(* Both re-exported from the shared {!Json} helper so every JSON
+   emitter in the tree escapes identically. *)
+let json_escape = Json.escape
 
-(* Non-finite readings (empty-histogram min/quantiles) become [null]. *)
-let json_float v =
-  if Float.is_finite v then Printf.sprintf "%.9g" v else "null"
+let json_float = Json.number
 
 let to_json t =
   let buf = Buffer.create 1024 in

@@ -56,6 +56,11 @@ module Histogram : sig
   (** Estimate for [p] in {0.5, 0.95, 0.99}; [Float.nan] while empty.
       Raises [Invalid_argument] for any other [p]. *)
   val quantile : t -> float -> float
+
+  (** The mergeable backing, when the histogram was registered with
+      [~mergeable:true].  Non-finite observations are skipped by the
+      sketch (the P² view still folds them in). *)
+  val sketch : t -> Sketch.t option
 end
 
 (** Everything a histogram exposes, in one read. *)
@@ -87,7 +92,17 @@ val counter : t -> ?help:string -> string -> Counter.t
 
 val gauge : t -> ?help:string -> string -> Gauge.t
 
-val histogram : t -> ?help:string -> string -> Histogram.t
+(** [histogram t ?mergeable name]: with [~mergeable:true] the histogram
+    also feeds a {!Sketch} (deterministically seeded from [name] via
+    CRC-32), the backing a federated root can {!Sketch.merge} across
+    processes; the P² markers remain the cheap local view.  If any
+    registration of [name] asks for a mergeable backing the histogram
+    keeps one from that point on. *)
+val histogram : t -> ?help:string -> ?mergeable:bool -> string -> Histogram.t
+
+(** Every histogram's mergeable backing, sorted by metric name — what a
+    shard ships up its uplink (see {!Sketch}). *)
+val sketches : t -> (string * Sketch.t) list
 
 (** Current readings of every registered metric, sorted by name — the
     stable view tests and experiments assert on. *)
@@ -113,9 +128,7 @@ val to_text : t -> string
     quantiles of an empty histogram render as [null]. *)
 val to_json : t -> string
 
-(** The string-escaping {!to_json} (and {!Tracelog.to_chrome_json})
-    applies to names: double quotes and backslashes are
-    backslash-escaped, a newline renders as backslash-n, every other
-    byte below 0x20 as a \uNNNN escape, and all remaining bytes —
-    including non-ASCII — pass through untouched. *)
+(** The string escaping {!to_json} (and {!Tracelog.to_chrome_json})
+    applies to names — an alias of the shared {!Json.escape}, kept here
+    for API stability. *)
 val json_escape : string -> string

@@ -10,6 +10,10 @@ let create ~seed = { state = Int64.of_int seed }
 
 let copy t = { state = t.state }
 
+let state t = t.state
+
+let of_state state = { state }
+
 (* Core splitmix64 step: advance the counter and scramble it. *)
 let next_int64 t =
   t.state <- Int64.add t.state golden_gamma;

@@ -13,6 +13,13 @@ val create : seed:int -> t
 (** Independent copy: the copy and the original produce the same stream. *)
 val copy : t -> t
 
+(** Raw 64-bit internal state, for codecs and state-combining merges
+    (e.g. {!Sketch.merge} XORs the two states). *)
+val state : t -> int64
+
+(** Generator resuming from a raw state previously read with {!state}. *)
+val of_state : int64 -> t
+
 (** [split t] returns a statistically independent child generator and
     advances [t]. *)
 val split : t -> t

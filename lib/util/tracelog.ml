@@ -220,7 +220,7 @@ let to_chrome_json ?(instants = []) t =
       event
         (Printf.sprintf
            "{\"ph\":\"M\",\"pid\":%d,\"name\":\"process_name\",\"args\":{\"name\":\"%s\"}}"
-           (i + 1) (Metrics.json_escape p)))
+           (i + 1) (Json.escape p)))
     processes;
   List.iter
     (fun (e : entry) ->
@@ -234,7 +234,7 @@ let to_chrome_json ?(instants = []) t =
              (microseconds e.start_time)
              (if Float.is_nan e.duration then "0.000"
               else microseconds e.duration)
-             (Metrics.json_escape e.name) e.span_id e.parent_id
+             (Json.escape e.name) e.span_id e.parent_id
              (if Float.is_nan e.duration then ",\"open\":true" else ""))
       | Instant ->
         event
@@ -243,7 +243,7 @@ let to_chrome_json ?(instants = []) t =
              (pid (process_of e.name))
              e.trace_id
              (microseconds e.start_time)
-             (Metrics.json_escape e.name) e.span_id e.parent_id))
+             (Json.escape e.name) e.span_id e.parent_id))
     es;
   List.iter
     (fun (time, category, message) ->
@@ -252,8 +252,8 @@ let to_chrome_json ?(instants = []) t =
            "{\"ph\":\"i\",\"pid\":%d,\"tid\":0,\"ts\":%s,\"s\":\"g\",\"cat\":\"%s\",\"name\":\"%s\"}"
            (pid (process_of category))
            (microseconds time)
-           (Metrics.json_escape category)
-           (Metrics.json_escape message)))
+           (Json.escape category)
+           (Json.escape message)))
     instants;
   Buffer.add_string buf "\n],\"displayTimeUnit\":\"ms\"}\n";
   Buffer.contents buf

@@ -2194,6 +2194,312 @@ let test_sim_federation_determinism () =
   Alcotest.(check string) "metrics byte-identical" m1 m2;
   Alcotest.(check string) "trace byte-identical" t1 t2
 
+(* ------------------------------------------------------------------ *)
+(* Sketch plane and control loops (DESIGN.md §14)                       *)
+(* ------------------------------------------------------------------ *)
+
+module Sk = Smart_util.Sketch
+
+(* The documented acceptance bound: the value the merged sketch returns
+   for [p] must have a true rank in the exact sorted union within the
+   sketch's [err_weight] of the nearest-rank target. *)
+let rank_within union s p =
+  let arr = Array.of_list union in
+  Array.sort Float.compare arr;
+  let n = Array.length arr in
+  if n = 0 then true
+  else begin
+    let v = Sk.quantile s p in
+    let err = Sk.err_weight s in
+    let target =
+      let r = int_of_float (Float.ceil (p *. float_of_int n)) in
+      if r < 1 then 1 else if r > n then n else r
+    in
+    let below = ref 0 and upto = ref 0 in
+    Array.iter
+      (fun x ->
+        if Float.compare x v < 0 then incr below;
+        if Float.compare x v <= 0 then incr upto)
+      arr;
+    (* ranks occupied by [v] overlap [target - err, target + err] *)
+    !below + 1 <= target + err && target - err <= !upto
+  end
+
+let sketch_root ~metrics shard_names =
+  C.Fed_root.create ~metrics
+    {
+      C.Fed_root.shards =
+        List.map
+          (fun name ->
+            { C.Fed_root.name;
+              addr = { C.Output.host = name; port = P.Ports.fed } })
+          shard_names;
+      fanout_timeout = 1.0;
+      routing = false;
+    }
+
+let shard_sketch_of ~seed values =
+  let s = Sk.create ~k:32 ~rng:(Smart_util.Prng.create ~seed) () in
+  List.iter (Sk.observe s) values;
+  s
+
+(* The ISSUE acceptance pin: a root merging >= 4 shards answers p99 (and
+   the other served quantiles) within the merged sketch's rank-error
+   bound of the exact percentile over the union of all shards' streams,
+   and the [federation.fed_latency_*] gauges mirror the merged sketch. *)
+let prop_fed_root_quantiles_track_union =
+  QCheck.Test.make
+    ~name:"root quantiles over four shards track the union"
+    ~count:150
+    QCheck.(
+      quad
+        (list_of_size Gen.(int_range 1 250) (float_range 0.0 10.0))
+        (list_of_size Gen.(int_range 1 250) (float_range 0.0 10.0))
+        (list_of_size Gen.(int_range 0 250) (float_range 0.0 10.0))
+        (list_of_size Gen.(int_range 0 250) (float_range 0.0 10.0)))
+    (fun (xs, ys, zs, ws) ->
+      let m = Smart_util.Metrics.create () in
+      let root = sketch_root ~metrics:m [ "s1"; "s2"; "s3"; "s4" ] in
+      List.iteri
+        (fun i values ->
+          C.Fed_root.note_sketches root
+            {
+              P.Sketch_msg.shard = Printf.sprintf "s%d" (i + 1);
+              entries =
+                [ (C.Fed_root.latency_metric,
+                   shard_sketch_of ~seed:(i + 1) values) ];
+            })
+        [ xs; ys; zs; ws ];
+      match C.Fed_root.merged_sketch root C.Fed_root.latency_metric with
+      | None -> false
+      | Some merged ->
+        let union = xs @ ys @ zs @ ws in
+        Sk.count merged = List.length union
+        && C.Fed_root.sketch_shard_count root = 4
+        && List.for_all (rank_within union merged) [ 0.5; 0.95; 0.99 ]
+        && Float.compare
+             (Smart_util.Metrics.gauge_value m "federation.fed_latency_p99_s")
+             (Sk.quantile merged 0.99)
+           = 0
+        && Float.compare
+             (Smart_util.Metrics.gauge_value m "federation.fed_latency_p50_s")
+             (Sk.quantile merged 0.5)
+           = 0)
+
+let test_fed_root_latest_batch_wins () =
+  let m = Smart_util.Metrics.create () in
+  let root = sketch_root ~metrics:m [ "s1"; "s2" ] in
+  let batch shard values seed =
+    C.Fed_root.note_sketches root
+      {
+        P.Sketch_msg.shard;
+        entries = [ (C.Fed_root.latency_metric, shard_sketch_of ~seed values) ];
+      }
+  in
+  batch "s1" [ 1.0; 2.0; 3.0 ] 1;
+  batch "s2" [ 10.0 ] 2;
+  batch "s1" [ 4.0 ] 3;
+  (* the second s1 batch replaced the first: 1 + 1 observations *)
+  (match C.Fed_root.merged_sketch root C.Fed_root.latency_metric with
+  | Some merged ->
+    Alcotest.(check int) "latest batch per shard wins" 2 (Sk.count merged);
+    Alcotest.(check (float 1e-9)) "max from both shards" 10.0
+      (Sk.max_value merged)
+  | None -> Alcotest.fail "merged sketch missing");
+  Alcotest.(check int) "two shards reporting" 2
+    (C.Fed_root.sketch_shard_count root);
+  Alcotest.(check int) "updates metered" 3
+    (Smart_util.Metrics.counter_value m "federation.sketch_updates_total")
+
+let test_probe_adaptive_interval () =
+  let machine = H.Machine.create (H.Testbed.spec_of_name "helene") in
+  let plain = C.Probe.create probe_config in
+  Alcotest.(check bool) "non-adaptive probe has no interval" true
+    (C.Probe.report_interval plain = None);
+  let m = Smart_util.Metrics.create () in
+  let probe =
+    C.Probe.create ~metrics:m
+      ~adaptive:
+        { C.Probe.base_interval = 1.0; min_factor = 0.5; max_factor = 2.0;
+          min_samples = 3 }
+      probe_config
+  in
+  for i = 0 to 5 do
+    let now = float_of_int i in
+    ignore (C.Probe.tick probe ~now ~snapshot:(snapshot_of machine ~now))
+  done;
+  (match C.Probe.report_interval probe with
+  | None -> Alcotest.fail "adaptive probe lost its interval"
+  | Some interval ->
+    (* an idle machine's load1 is flat: zero spread slides the factor
+       all the way to max_factor *)
+    Alcotest.(check (float 1e-9)) "flat signal relaxes to slowest cadence"
+      2.0 interval;
+    Alcotest.(check (float 1e-9)) "gauge mirrors the interval" interval
+      (Smart_util.Metrics.gauge_value m "probe.report_interval_seconds"));
+  Alcotest.(check bool) "adaptation counted" true
+    (C.Probe.interval_adaptations probe >= 1);
+  Alcotest.(check int) "counter mirrors adaptations"
+    (C.Probe.interval_adaptations probe)
+    (Smart_util.Metrics.counter_value m "probe.interval_adaptations_total");
+  Alcotest.(check bool) "bad adaptive config rejected" true
+    (try
+       ignore
+         (C.Probe.create
+            ~adaptive:
+              { C.Probe.base_interval = 1.0; min_factor = 0.8;
+                max_factor = 0.5; min_samples = 3 }
+            probe_config);
+       false
+     with Invalid_argument _ -> true)
+
+let test_sysmon_adaptive_threshold () =
+  let db = C.Status_db.create () in
+  let m = Smart_util.Metrics.create () in
+  let sysmon =
+    C.Sysmon.create ~metrics:m
+      ~config:
+        {
+          C.Sysmon.probe_interval = 1.0;
+          missed_intervals = 1;
+          flap_threshold = 2;
+          clean_intervals = 3;
+        }
+      ~flap_policy:
+        { C.Sysmon.factor = 3.0; quantile = 0.5; max_threshold = 10;
+          min_samples = 2 }
+      db
+  in
+  let data = P.Report.to_string (report ()) in
+  let ingest now =
+    match C.Sysmon.handle_report sysmon ~now data with
+    | Ok _ -> ()
+    | Error e -> Alcotest.failf "report rejected: %s" e
+  in
+  Alcotest.(check int) "starts at the configured threshold" 2
+    (C.Sysmon.effective_flap_threshold sysmon);
+  (* first expiry: one flap score is below min_samples, no tuning *)
+  ingest 0.0;
+  Alcotest.(check int) "first expiry" 1 (C.Sysmon.sweep sysmon ~now:3.0);
+  Alcotest.(check int) "too few samples to tune" 2
+    (C.Sysmon.effective_flap_threshold sysmon);
+  (* second expiry: scores {1, 2}, median 1, threshold 3 x 1 = 3 — the
+     fixed config would quarantine at 2 flaps, the tuned one does not *)
+  ingest 3.5;
+  Alcotest.(check int) "second expiry" 1 (C.Sysmon.sweep sysmon ~now:7.0);
+  Alcotest.(check int) "tuned from the flap distribution" 3
+    (C.Sysmon.effective_flap_threshold sysmon);
+  Alcotest.(check bool) "tuned threshold defers quarantine" false
+    (C.Sysmon.is_quarantined sysmon ~host:"helene");
+  (* third expiry: scores {1, 2, 3}, median 2, threshold 6 *)
+  ingest 7.5;
+  Alcotest.(check int) "third expiry" 1 (C.Sysmon.sweep sysmon ~now:11.0);
+  Alcotest.(check int) "threshold follows the fleet" 6
+    (C.Sysmon.effective_flap_threshold sysmon);
+  Alcotest.(check bool) "still not an outlier" false
+    (C.Sysmon.is_quarantined sysmon ~host:"helene");
+  Alcotest.(check int) "adaptations counted" 2
+    (C.Sysmon.threshold_adaptations sysmon);
+  Alcotest.(check int) "counter mirrors adaptations" 2
+    (Smart_util.Metrics.counter_value m "sysmon.threshold_adaptations_total");
+  Alcotest.(check (float 1e-9)) "gauge mirrors the threshold" 6.0
+    (Smart_util.Metrics.gauge_value m "sysmon.effective_flap_threshold")
+
+let test_wizard_adaptive_staleness () =
+  let db = C.Status_db.create () in
+  let now = ref 0.0 in
+  let m = Smart_util.Metrics.create () in
+  let wizard =
+    C.Wizard.create ~metrics:m
+      ~clock:(fun () -> !now)
+      ~staleness_threshold:42.0
+      ~staleness_policy:
+        { C.Wizard.factor = 5.0; quantile = 0.99; floor = 0.1; cap = 300.0;
+          min_samples = 4 }
+      { C.Wizard.mode = C.Wizard.Centralized; groups = None }
+      db
+  in
+  Alcotest.(check (float 1e-9)) "fixed threshold until samples arrive" 42.0
+    (C.Wizard.staleness_threshold_now wizard);
+  (* five 1 s gaps: q99 = 1 s, threshold 5 x 1 = 5 s *)
+  for i = 1 to 6 do
+    now := float_of_int i;
+    C.Wizard.note_update wizard
+  done;
+  Alcotest.(check (float 1e-9)) "derived from the gap distribution" 5.0
+    (C.Wizard.staleness_threshold_now wizard);
+  (* one 100 s outage gap: q99 = 100 s, 5 x 100 clamps at the cap *)
+  now := !now +. 100.0;
+  C.Wizard.note_update wizard;
+  Alcotest.(check (float 1e-9)) "outage gap clamps at the cap" 300.0
+    (C.Wizard.staleness_threshold_now wizard);
+  Alcotest.(check int) "two adaptations" 2
+    (C.Wizard.staleness_adaptations wizard);
+  Alcotest.(check int) "counter mirrors adaptations" 2
+    (Smart_util.Metrics.counter_value m "wizard.staleness_adaptations_total");
+  Alcotest.(check (float 1e-9)) "gauge mirrors the threshold" 300.0
+    (Smart_util.Metrics.gauge_value m "wizard.staleness_threshold_seconds");
+  (* the private latency sketch sees every answered request *)
+  C.Status_db.update_sys db
+    (sys_record ~host:"a" ~ip:"1.0.0.1" ~cpu_free:0.9 ~at:!now ());
+  ignore
+    (C.Wizard.handle_request wizard ~now:!now
+       ~from:{ C.Output.host = "c"; port = 1 }
+       (P.Wizard_msg.encode_request (client_request "host_cpu_free > 0.5\n")));
+  Alcotest.(check int) "latency sketch fed per request" 1
+    (Sk.count (C.Wizard.latency_sketch wizard))
+
+(* Same seed, all three control loops armed: the closed loops must not
+   cost determinism — metrics text and trace JSON stay byte-identical.
+   (examples/control_demo.ml and the control-determinism CI job exercise
+   the same property under a fault plan.) *)
+let run_control_determinism seed =
+  let config =
+    {
+      C.Simdriver.default_config with
+      C.Simdriver.probe_interval = 1.0;
+      transmit_interval = 0.5;
+      adaptive_probes = true;
+      adaptive_quarantine = true;
+      adaptive_staleness = true;
+    }
+  in
+  let _, d = fed_world ~config seed in
+  C.Simdriver.settle ~duration:12.0 d;
+  let reqs =
+    List.map
+      (fun requirement ->
+        match C.Simdriver.request d ~client:"cli" ~wanted:4 ~requirement with
+        | Ok servers -> servers
+        | Error _ -> [])
+      [ "host_cpu_free > 0.1\n"; "order_by = host_memory_free\n" ]
+  in
+  C.Simdriver.settle ~duration:5.0 d;
+  ( reqs,
+    Smart_util.Metrics.to_text (C.Simdriver.metrics d),
+    C.Simdriver.trace_json d )
+
+let test_sim_control_loops_deterministic () =
+  let r1, m1, t1 = run_control_determinism 23 in
+  let r2, m2, t2 = run_control_determinism 23 in
+  Alcotest.(check (list (list string))) "same answers" r1 r2;
+  Alcotest.(check string) "metrics byte-identical" m1 m2;
+  Alcotest.(check string) "trace byte-identical" t1 t2;
+  let contains line =
+    List.exists
+      (fun l -> String.length l >= String.length line
+                && String.equal (String.sub l 0 (String.length line)) line)
+      (String.split_on_char '\n' m1)
+  in
+  (* the sketch plane ran: shard uplinks reached the root and the
+     deployment-wide gauges are being served *)
+  Alcotest.(check bool) "sketch batches reached the root" true
+    (contains "federation.sketches_received_total counter");
+  Alcotest.(check bool) "fed p99 gauge served" true
+    (contains "federation.fed_latency_p99_s gauge");
+  Alcotest.(check bool) "probe loop armed" true
+    (contains "probe.report_interval_seconds gauge")
+
 let () =
   Alcotest.run "smart_core"
     [
@@ -2327,5 +2633,19 @@ let () =
             test_sim_federation_partial;
           Alcotest.test_case "same-seed determinism" `Slow
             test_sim_federation_determinism;
+          QCheck_alcotest.to_alcotest prop_fed_root_quantiles_track_union;
+          Alcotest.test_case "latest sketch batch wins" `Quick
+            test_fed_root_latest_batch_wins;
+        ] );
+      ( "control loops",
+        [
+          Alcotest.test_case "probe adapts its interval" `Quick
+            test_probe_adaptive_interval;
+          Alcotest.test_case "sysmon tunes its flap threshold" `Quick
+            test_sysmon_adaptive_threshold;
+          Alcotest.test_case "wizard derives staleness" `Quick
+            test_wizard_adaptive_staleness;
+          Alcotest.test_case "loops stay deterministic" `Slow
+            test_sim_control_loops_deterministic;
         ] );
     ]

@@ -985,6 +985,152 @@ let prop_fed_reply_roundtrip =
                   || Float.compare a.P.Fed_msg.key b.P.Fed_msg.key = 0))
              r.P.Fed_msg.candidates d.P.Fed_msg.candidates)
 
+(* ------------------------------------------------------------------ *)
+(* Federation: sketch batches (Sketch_db, type code 5)                  *)
+(* ------------------------------------------------------------------ *)
+
+module Sk = Smart_util.Sketch
+
+let sketch_with ~seed ?(k = 16) values =
+  let s = Sk.create ~k ~rng:(Smart_util.Prng.create ~seed) () in
+  List.iter (Sk.observe s) values;
+  s
+
+let sample_sketch_batch =
+  {
+    P.Sketch_msg.shard = "region-a";
+    entries =
+      [
+        ( "wizard.request_latency_seconds",
+          sketch_with ~seed:1 (List.init 100 (fun i -> float_of_int i /. 7.0))
+        );
+        (* compacted: several levels and a non-zero error weight ride
+           the wire too *)
+        ("probe.load1", sketch_with ~seed:2 ~k:8
+           (List.init 400 (fun i -> float_of_int (i mod 17))));
+        ("empty.metric", sketch_with ~seed:3 []);
+      ];
+  }
+
+let check_sketch_batch_eq msg (a : P.Sketch_msg.t) (b : P.Sketch_msg.t) =
+  Alcotest.(check string) (msg ^ " shard") a.P.Sketch_msg.shard
+    b.P.Sketch_msg.shard;
+  Alcotest.(check (list string))
+    (msg ^ " names")
+    (List.map fst a.P.Sketch_msg.entries)
+    (List.map fst b.P.Sketch_msg.entries);
+  List.iter2
+    (fun (name, sa) (_, sb) ->
+      Alcotest.(check bool) (msg ^ " sketch " ^ name) true (Sk.equal sa sb);
+      Alcotest.(check int64)
+        (msg ^ " prng state " ^ name)
+        (Sk.rng_state sa) (Sk.rng_state sb))
+    a.P.Sketch_msg.entries b.P.Sketch_msg.entries
+
+let test_sketch_msg_roundtrip () =
+  List.iter
+    (fun order ->
+      let wire = P.Sketch_msg.encode order sample_sketch_batch in
+      match P.Sketch_msg.decode order wire with
+      | Error e -> Alcotest.failf "sketch batch decode failed: %s" e
+      | Ok d ->
+        check_sketch_batch_eq "roundtrip" sample_sketch_batch d;
+        (* the PRNG state rides the wire, so a re-encode is the exact
+           same bytes — the root continues the shard's stream *)
+        Alcotest.(check string) "re-encode byte-identical" wire
+          (P.Sketch_msg.encode order d))
+    [ P.Endian.Little; P.Endian.Big ]
+
+let test_sketch_msg_truncated () =
+  let wire = P.Sketch_msg.encode P.Endian.Little sample_sketch_batch in
+  for cut = 0 to String.length wire - 1 do
+    match P.Sketch_msg.decode P.Endian.Little (String.sub wire 0 cut) with
+    | Error _ -> ()
+    | Ok _ -> Alcotest.failf "truncated batch (%d bytes) decoded" cut
+  done
+
+(* Hand-built minimal batch (shard "s", one entry named "m") so field
+   offsets are known: shard_len@0, 's'@2, count@3, name_len@5, 'm'@7,
+   k@8, nlevels@10, err@12, min@20, max@28, rng@36, level len@44. *)
+let test_sketch_msg_adversarial () =
+  let batch =
+    { P.Sketch_msg.shard = "s";
+      entries = [ ("m", sketch_with ~seed:4 [ 1.0; 2.0; 3.0 ]) ] }
+  in
+  let wire = P.Sketch_msg.encode P.Endian.Little batch in
+  let is_err s =
+    match P.Sketch_msg.decode P.Endian.Little s with
+    | Error _ -> true
+    | Ok _ -> false
+  in
+  let tampered pos bytes =
+    let b = Bytes.of_string wire in
+    List.iteri (fun i c -> Bytes.set b (pos + i) c) bytes;
+    Bytes.to_string b
+  in
+  Alcotest.(check bool) "odd k rejected" true
+    (is_err (tampered 8 [ '\x07'; '\x00' ]));
+  Alcotest.(check bool) "hostile level count rejected" true
+    (is_err (tampered 10 [ '\xFF'; '\xFF' ]));
+  Alcotest.(check bool) "hostile level length rejected" true
+    (is_err (tampered 44 [ '\xFF'; '\xFF'; '\xFF'; '\xFF' ]));
+  Alcotest.(check bool) "trailing bytes rejected" true (is_err (wire ^ "Z"));
+  Alcotest.(check bool) "intact wire still decodes" true (not (is_err wire))
+
+let test_frame_carries_sketch_db () =
+  Alcotest.(check int) "type code 5" 5 (P.Frame.type_code P.Frame.Sketch_db);
+  let data = P.Sketch_msg.encode P.Endian.Little sample_sketch_batch in
+  let check_variant name ~crc trace =
+    let f = { P.Frame.payload_type = P.Frame.Sketch_db; data; trace } in
+    match P.Frame.decode_one P.Endian.Little (P.Frame.encode ~crc P.Endian.Little f) with
+    | Ok (g, _) ->
+      Alcotest.(check bool) (name ^ " type survives") true
+        (g.P.Frame.payload_type = P.Frame.Sketch_db);
+      Alcotest.(check string) (name ^ " payload survives") data g.P.Frame.data;
+      Alcotest.(check bool) (name ^ " trace survives") true
+        (g.P.Frame.trace = trace);
+      (match P.Sketch_msg.decode P.Endian.Little g.P.Frame.data with
+      | Ok d -> check_sketch_batch_eq name sample_sketch_batch d
+      | Error e -> Alcotest.failf "%s: inner decode failed: %s" name e)
+    | Error e ->
+      Alcotest.failf "%s: frame decode failed: %s" name
+        (P.Frame.error_to_string e)
+  in
+  check_variant "plain" ~crc:false Smart_util.Tracelog.root;
+  check_variant "crc" ~crc:true Smart_util.Tracelog.root;
+  check_variant "traced" ~crc:false
+    { Smart_util.Tracelog.trace_id = 11; span_id = 13 };
+  check_variant "traced+crc" ~crc:true
+    { Smart_util.Tracelog.trace_id = 17; span_id = 19 }
+
+let prop_sketch_msg_roundtrip =
+  QCheck.Test.make ~name:"sketch batch round trips in both byte orders"
+    ~count:200
+    QCheck.(
+      triple bool small_printable_string
+        (pair
+           (list_of_size Gen.(int_range 0 200) (float_range (-1e6) 1e6))
+           (list_of_size Gen.(int_range 0 200) (float_range (-1e6) 1e6))))
+    (fun (big, shard, (xs, ys)) ->
+      let order = if big then P.Endian.Big else P.Endian.Little in
+      let batch =
+        { P.Sketch_msg.shard;
+          entries =
+            [ ("a", sketch_with ~seed:5 ~k:8 xs);
+              ("b", sketch_with ~seed:6 ys) ] }
+      in
+      let wire = P.Sketch_msg.encode order batch in
+      match P.Sketch_msg.decode order wire with
+      | Error _ -> false
+      | Ok d ->
+        String.equal d.P.Sketch_msg.shard shard
+        && List.for_all2
+             (fun (na, sa) (nb, sb) ->
+               String.equal na nb && Sk.equal sa sb
+               && Int64.equal (Sk.rng_state sa) (Sk.rng_state sb))
+             batch.P.Sketch_msg.entries d.P.Sketch_msg.entries
+        && String.equal wire (P.Sketch_msg.encode order d))
+
 let () =
   Alcotest.run "smart_proto"
     [
@@ -1061,6 +1207,14 @@ let () =
           Alcotest.test_case "query round trip" `Quick test_fed_query_roundtrip;
           Alcotest.test_case "query rejects" `Quick test_fed_query_rejects;
           Alcotest.test_case "reply round trip" `Quick test_fed_reply_roundtrip;
+          Alcotest.test_case "sketch batch round trip" `Quick
+            test_sketch_msg_roundtrip;
+          Alcotest.test_case "sketch batch truncated" `Quick
+            test_sketch_msg_truncated;
+          Alcotest.test_case "sketch batch adversarial" `Quick
+            test_sketch_msg_adversarial;
+          Alcotest.test_case "frame carries Sketch_db" `Quick
+            test_frame_carries_sketch_db;
         ] );
       ( "properties",
         List.map QCheck_alcotest.to_alcotest
@@ -1074,5 +1228,6 @@ let () =
             prop_digest_merge_commutes;
             prop_digest_roundtrip;
             prop_fed_reply_roundtrip;
+            prop_sketch_msg_roundtrip;
           ] );
     ]

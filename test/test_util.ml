@@ -469,8 +469,8 @@ let test_metrics_json_escape () =
   Alcotest.(check string) "quote" "say \\\"hi\\\"" (e "say \"hi\"");
   Alcotest.(check string) "backslash" "a\\\\b" (e "a\\b");
   Alcotest.(check string) "newline" "a\\nb" (e "a\nb");
-  Alcotest.(check string) "tab is a control" "a\\u0009b" (e "a\tb");
-  Alcotest.(check string) "carriage return" "a\\u000db" (e "a\rb");
+  Alcotest.(check string) "tab short escape" "a\\tb" (e "a\tb");
+  Alcotest.(check string) "carriage return short escape" "a\\rb" (e "a\rb");
   Alcotest.(check string) "nul byte" "\\u0000" (e "\x00");
   Alcotest.(check string) "last control" "\\u001f" (e "\x1f");
   Alcotest.(check string) "first printable kept" " " (e " ");
@@ -691,9 +691,218 @@ let prop_crc32_detects_byte_flips =
       Bytes.set b pos (Char.chr (Char.code (Bytes.get b pos) lxor delta));
       Smart_util.Crc32.string s <> Smart_util.Crc32.string (Bytes.to_string b))
 
+(* ------------------------------------------------------------------ *)
+(* Sketch: mergeable quantile sketches                                  *)
+(* ------------------------------------------------------------------ *)
+
+module Sk = Smart_util.Sketch
+
+let sketch_of ?(k = 16) ~seed values =
+  let s = Sk.create ~k ~rng:(Smart_util.Prng.create ~seed) () in
+  List.iter (Sk.observe s) values;
+  s
+
+(* The documented bound, checked against the exact sorted stream: the
+   sketch's answer for [p] is an observed value whose true rank lies
+   within [err_weight] of the nearest-rank target.  Ranks are counted
+   directly (not read back through {!Smart_util.Stats.percentile},
+   whose interpolated rank arithmetic is epsilon-off integral ranks). *)
+let sketch_rank_ok values s p =
+  let arr = Array.of_list values in
+  Array.sort Float.compare arr;
+  let n = Array.length arr in
+  if n = 0 then true
+  else begin
+    let v = Sk.quantile s p in
+    let err = Sk.err_weight s in
+    let target =
+      let r = int_of_float (Float.ceil (p *. float_of_int n)) in
+      if r < 1 then 1 else if r > n then n else r
+    in
+    let below = ref 0 and upto = ref 0 in
+    Array.iter
+      (fun x ->
+        if Float.compare x v < 0 then incr below;
+        if Float.compare x v <= 0 then incr upto)
+      arr;
+    (* [v] is observed, and its rank interval overlaps target +- err *)
+    List.exists (fun x -> Float.compare x v = 0) values
+    && !below + 1 <= target + err
+    && target - err <= !upto
+  end
+
+let test_sketch_exact_when_small () =
+  (* default k = 256: a few hundred observations never compact, so the
+     sketch is the exact nearest-rank statistic *)
+  let values = List.init 100 (fun i -> float_of_int (100 - i)) in
+  let s = Sk.create ~rng:(Smart_util.Prng.create ~seed:3) () in
+  List.iter (Sk.observe s) values;
+  Alcotest.(check int) "count" 100 (Sk.count s);
+  Alcotest.(check int) "no compaction, no error" 0 (Sk.err_weight s);
+  check_float "rank error bound" 0.0 (Sk.rank_error_bound s);
+  check_float "min" 1.0 (Sk.min_value s);
+  check_float "max" 100.0 (Sk.max_value s);
+  check_float "p0 is the minimum" 1.0 (Sk.quantile s 0.0);
+  check_float "p50 nearest rank" 50.0 (Sk.quantile s 0.5);
+  check_float "p99 nearest rank" 99.0 (Sk.quantile s 0.99);
+  check_float "p100 is the maximum" 100.0 (Sk.quantile s 1.0);
+  let arr = Array.of_list values in
+  check_float "agrees with Stats.percentile at p0"
+    (Smart_util.Stats.percentile arr ~p:0.0)
+    (Sk.quantile s 0.0);
+  check_float "agrees with Stats.percentile at p100"
+    (Smart_util.Stats.percentile arr ~p:100.0)
+    (Sk.quantile s 1.0);
+  Alcotest.(check int) "rank of 50" 50 (Sk.rank s 50.0)
+
+let test_sketch_compaction_bounds () =
+  let n = 5000 in
+  let values = List.init n (fun i -> float_of_int ((i * 37) mod n)) in
+  let s = sketch_of ~k:32 ~seed:11 values in
+  Alcotest.(check int) "count survives compaction" n (Sk.count s);
+  Alcotest.(check bool) "compaction happened" true (Sk.err_weight s > 0);
+  let retained = List.fold_left (fun a l -> a + Array.length l) 0 (Sk.levels s) in
+  Alcotest.(check bool) "memory stays bounded" true
+    (retained <= 32 * List.length (Sk.levels s) && retained < n / 4);
+  Alcotest.(check bool) "bound is sub-half" true (Sk.rank_error_bound s < 0.5);
+  List.iter
+    (fun p ->
+      Alcotest.(check bool)
+        (Printf.sprintf "p%.0f within rank bound" (100.0 *. p))
+        true
+        (sketch_rank_ok values s p))
+    [ 0.05; 0.25; 0.5; 0.75; 0.95; 0.99 ]
+
+let test_sketch_rejects () =
+  let expect_invalid name f =
+    Alcotest.(check bool) name true
+      (try
+         ignore (f ());
+         false
+       with Invalid_argument _ -> true)
+  in
+  expect_invalid "odd k" (fun () -> Sk.create ~k:9 ());
+  expect_invalid "tiny k" (fun () -> Sk.create ~k:4 ());
+  let s = Sk.create () in
+  expect_invalid "nan observation" (fun () -> Sk.observe s Float.nan);
+  expect_invalid "infinite observation" (fun () ->
+      Sk.observe s Float.infinity);
+  expect_invalid "quantile above 1" (fun () -> Sk.quantile s 1.5);
+  Alcotest.(check bool) "empty quantile is nan" true
+    (Float.is_nan (Sk.quantile s 0.5));
+  Alcotest.(check bool) "empty min is nan" true (Float.is_nan (Sk.min_value s))
+
+let test_sketch_of_parts () =
+  let s = sketch_of ~k:8 ~seed:5 (List.init 300 (fun i -> float_of_int i)) in
+  (match
+     Sk.of_parts ~k:(Sk.k s) ~err_weight:(Sk.err_weight s)
+       ~min_value:(Sk.min_value s) ~max_value:(Sk.max_value s)
+       ~rng_state:(Sk.rng_state s) (Sk.levels s)
+   with
+  | Ok s' ->
+    Alcotest.(check bool) "structural rebuild equal" true (Sk.equal s s');
+    Alcotest.(check int64) "prng state carried" (Sk.rng_state s)
+      (Sk.rng_state s')
+  | Error e -> Alcotest.failf "rebuild rejected: %s" e);
+  let bad name parts = Alcotest.(check bool) name true (Result.is_error parts) in
+  bad "odd k rejected"
+    (Sk.of_parts ~k:7 ~err_weight:0 ~min_value:0.0 ~max_value:1.0
+       ~rng_state:0L [ [| 0.5 |] ]);
+  bad "negative error rejected"
+    (Sk.of_parts ~k:8 ~err_weight:(-1) ~min_value:0.0 ~max_value:1.0
+       ~rng_state:0L [ [| 0.5 |] ]);
+  bad "too many levels rejected"
+    (Sk.of_parts ~k:8 ~err_weight:0 ~min_value:0.0 ~max_value:1.0
+       ~rng_state:0L
+       (List.init (Sk.max_levels + 1) (fun _ -> [| 0.5 |])));
+  bad "non-finite item rejected"
+    (Sk.of_parts ~k:8 ~err_weight:0 ~min_value:0.0 ~max_value:1.0
+       ~rng_state:0L [ [| Float.nan |] ]);
+  bad "item outside min/max rejected"
+    (Sk.of_parts ~k:8 ~err_weight:0 ~min_value:0.0 ~max_value:1.0
+       ~rng_state:0L [ [| 2.0 |] ])
+
+let test_metrics_mergeable_histogram () =
+  let m = M.create () in
+  let plain = M.histogram m "wizard.plain_seconds" in
+  let merge =
+    M.histogram m ~mergeable:true "wizard.request_latency_seconds"
+  in
+  for i = 1 to 20 do
+    M.Histogram.observe plain 1.0;
+    M.Histogram.observe merge (float_of_int i)
+  done;
+  Alcotest.(check bool) "plain histogram has no sketch" true
+    (Option.is_none (M.Histogram.sketch plain));
+  (match M.sketches m with
+  | [ (name, s) ] ->
+    Alcotest.(check string) "only the mergeable one is listed"
+      "wizard.request_latency_seconds" name;
+    Alcotest.(check int) "sketch saw every observation" 20 (Sk.count s)
+  | l -> Alcotest.failf "expected one mergeable backing, got %d" (List.length l));
+  (* re-requesting the same histogram as mergeable keeps one backing *)
+  let again =
+    M.histogram m ~mergeable:true "wizard.request_latency_seconds"
+  in
+  M.Histogram.observe again 99.0;
+  match M.sketches m with
+  | [ (_, s) ] -> Alcotest.(check int) "still one backing" 21 (Sk.count s)
+  | l -> Alcotest.failf "expected one backing, got %d" (List.length l)
+
+let sketch_values_arb =
+  QCheck.(list_of_size Gen.(int_range 0 300) (float_range (-1e3) 1e3))
+
+let prop_sketch_merge_commutes =
+  QCheck.Test.make ~name:"sketch merge commutes (observable state)"
+    ~count:200
+    QCheck.(pair sketch_values_arb sketch_values_arb)
+    (fun (xs, ys) ->
+      let a = sketch_of ~seed:1 xs and b = sketch_of ~seed:2 ys in
+      Sk.equal (Sk.merge a b) (Sk.merge b a))
+
+let prop_sketch_merge_associates =
+  QCheck.Test.make ~name:"sketch merge associates (observable state)"
+    ~count:200
+    QCheck.(triple sketch_values_arb sketch_values_arb sketch_values_arb)
+    (fun (xs, ys, zs) ->
+      let a = sketch_of ~seed:1 xs
+      and b = sketch_of ~seed:2 ys
+      and c = sketch_of ~seed:3 zs in
+      Sk.equal (Sk.merge (Sk.merge a b) c) (Sk.merge a (Sk.merge b c)))
+
+let prop_sketch_merge_identity =
+  QCheck.Test.make ~name:"fresh sketch is a merge identity" ~count:200
+    sketch_values_arb
+    (fun xs ->
+      let a = sketch_of ~seed:4 xs in
+      let e () = Sk.create ~k:16 ~rng:(Smart_util.Prng.create ~seed:9) () in
+      Sk.equal (Sk.merge a (e ())) a && Sk.equal (Sk.merge (e ()) a) a)
+
+let prop_sketch_merge_matches_union =
+  QCheck.Test.make
+    ~name:"merged quantiles track the union within the rank bound"
+    ~count:200
+    QCheck.(pair sketch_values_arb sketch_values_arb)
+    (fun (xs, ys) ->
+      let merged = Sk.merge (sketch_of ~seed:5 xs) (sketch_of ~seed:6 ys) in
+      let union = xs @ ys in
+      List.for_all (sketch_rank_ok union merged) [ 0.1; 0.5; 0.9; 0.99 ])
+
+let prop_sketch_tracks_exact_percentile =
+  QCheck.Test.make
+    ~name:"compacted sketch stays within rank bound of Stats.percentile"
+    ~count:1000
+    QCheck.(list_of_size Gen.(int_range 1 1000) (float_range (-1e6) 1e6))
+    (fun values ->
+      let s = sketch_of ~k:8 ~seed:8 values in
+      List.for_all (sketch_rank_ok values s) [ 0.1; 0.5; 0.9; 0.99 ])
+
 let qsuite = List.map QCheck_alcotest.to_alcotest
     [ prop_heap_sorted; prop_heap_length; prop_percentile_bounds;
-      prop_crc32_detects_byte_flips ]
+      prop_crc32_detects_byte_flips;
+      prop_sketch_merge_commutes; prop_sketch_merge_associates;
+      prop_sketch_merge_identity; prop_sketch_merge_matches_union;
+      prop_sketch_tracks_exact_percentile ]
 
 let () =
   Alcotest.run "smart_util"
@@ -791,6 +1000,17 @@ let () =
           Alcotest.test_case "bounded ring" `Quick test_tracelog_ring_bounded;
           Alcotest.test_case "chrome export" `Quick test_tracelog_chrome_json;
           Alcotest.test_case "render tree" `Quick test_tracelog_render_tree;
+        ] );
+      ( "sketch",
+        [
+          Alcotest.test_case "exact while small" `Quick
+            test_sketch_exact_when_small;
+          Alcotest.test_case "compaction bounds" `Quick
+            test_sketch_compaction_bounds;
+          Alcotest.test_case "rejects bad input" `Quick test_sketch_rejects;
+          Alcotest.test_case "of_parts validation" `Quick test_sketch_of_parts;
+          Alcotest.test_case "mergeable histogram backing" `Quick
+            test_metrics_mergeable_histogram;
         ] );
       ("properties", qsuite);
     ]

@@ -30,23 +30,9 @@ let to_string d =
     (severity_to_string d.severity)
     d.rule d.message
 
-(* Minimal JSON string escaping — the diagnostic fields are ASCII
-   program text, so backslash, quote, and control characters cover it. *)
-let json_escape s =
-  let buf = Buffer.create (String.length s + 8) in
-  String.iter
-    (fun c ->
-      match c with
-      | '"' -> Buffer.add_string buf "\\\""
-      | '\\' -> Buffer.add_string buf "\\\\"
-      | '\n' -> Buffer.add_string buf "\\n"
-      | '\t' -> Buffer.add_string buf "\\t"
-      | '\r' -> Buffer.add_string buf "\\r"
-      | c when Char.code c < 0x20 ->
-        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
-      | c -> Buffer.add_char buf c)
-    s;
-  Buffer.contents buf
+(* JSON string escaping comes from the shared helper so the lint
+   report and the runtime emitters escape identically. *)
+let json_escape = Smart_util.Json.escape
 
 (* One diagnostic as a single-line JSON object — the machine-readable
    twin of {!to_string}, consumed by the CI problem matcher. *)
