@@ -11,7 +11,7 @@ test:
 # Wizard request-throughput and federated fan-out benchmarks (write
 # BENCH_wizard.json and BENCH_federation.json).
 bench:
-	dune exec bench/main.exe -- wizard federation
+	dune exec bench/main.exe -- wizard federation sessions
 
 # Static analysis over the typed trees (see ANALYSIS.md); exits
 # non-zero on any error not excused by lint.allow.  Needs the cmts,

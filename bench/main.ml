@@ -71,6 +71,11 @@ let federation_fanout () =
   section_header "federation" "federated fan-out: req/s and p99 vs shard count";
   Bench_federation.run ()
 
+let session_plane () =
+  section_header "sessions"
+    "session plane: survival under churn, admission fairness under overload";
+  Bench_sessions.run ()
+
 let ablations () =
   section_header "ablation" "design-choice ablations (DESIGN.md §5)";
   Smart_experiments.Exp_ablation.print_init_speed
@@ -225,6 +230,7 @@ let sections : (string * string * (unit -> unit)) list =
     ("ablation", "design-choice ablations", ablations);
     ("wizard", "wizard request throughput, cold vs cached", wizard_throughput);
     ("federation", "federated fan-out, req/s and p99 vs shards", federation_fanout);
+    ("sessions", "session plane: churn survival + admission fairness", session_plane);
     ("micro", "bechamel micro-benchmarks", micro);
   ]
 

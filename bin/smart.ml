@@ -91,7 +91,7 @@ let run_monitor host wizard targets seclog interval distributed =
 (* wizard                                                               *)
 (* ------------------------------------------------------------------ *)
 
-let run_wizard host distributed transmitters =
+let run_wizard host distributed transmitters admission_rate admission_burst =
   setup_logs (Some Logs.Info);
   let mode =
     if distributed then
@@ -111,7 +111,21 @@ let run_wizard host distributed transmitters =
   in
   let daemon =
     Smart_realnet.Wizard_daemon.create (book ())
-      { Smart_realnet.Wizard_daemon.host; mode; staleness_threshold = infinity }
+      {
+        Smart_realnet.Wizard_daemon.host;
+        mode;
+        staleness_threshold = infinity;
+        admission =
+          (match admission_rate with
+          | None -> None
+          | Some rate ->
+            Some
+              {
+                Smart_core.Wizard.default_admission with
+                Smart_core.Wizard.rate;
+                burst = Option.value admission_burst ~default:rate;
+              });
+      }
   in
   Smart_realnet.Wizard_daemon.start daemon;
   Logs.app (fun m ->
@@ -300,9 +314,27 @@ let wizard_cmd =
       & info [ "transmitters" ] ~docv:"HOSTS"
           ~doc:"Comma-separated transmitter hosts (distributed mode).")
   in
+  let admission_rate =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "admission-rate" ] ~docv:"REQ_PER_S"
+          ~doc:
+            "Arm per-client admission control: sustained requests per second \
+             allowed per client host (off when absent).")
+  in
+  let admission_burst =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "admission-burst" ] ~docv:"TOKENS"
+          ~doc:"Admission burst per client (defaults to the rate).")
+  in
   Cmd.v
     (Cmd.info "wizard" ~doc:"Run the receiver and the wizard daemon.")
-    Term.(const run_wizard $ host_arg $ distributed $ transmitters)
+    Term.(
+      const run_wizard $ host_arg $ distributed $ transmitters $ admission_rate
+      $ admission_burst)
 
 let query_cmd =
   let wizard =

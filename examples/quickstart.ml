@@ -28,6 +28,7 @@ let () =
         Smart_realnet.Wizard_daemon.host = "wizard";
         mode = Smart_core.Wizard.Centralized;
         staleness_threshold = infinity;
+        admission = None;
       }
   in
   Smart_realnet.Wizard_daemon.start wizard;

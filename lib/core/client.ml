@@ -10,6 +10,8 @@ type error =
   | Wrong_seq of { expected : int; got : int }
   | Not_enough of { wanted : int; got : int }
   | Malformed of string
+  | Admission_rejected
+  | Migration_failed of string
 
 let pp_error ppf = function
   | Timeout -> Fmt.string ppf "request timed out"
@@ -18,6 +20,9 @@ let pp_error ppf = function
   | Not_enough { wanted; got } ->
     Fmt.pf ppf "only %d of %d servers available" got wanted
   | Malformed m -> Fmt.pf ppf "malformed reply: %s" m
+  | Admission_rejected ->
+    Fmt.string ppf "request shed by wizard admission control (back off)"
+  | Migration_failed m -> Fmt.pf ppf "session migration failed: %s" m
 
 (* Completed sequence numbers remembered for duplicate suppression: a
    retransmitted request can harvest two replies, and the late one must
@@ -139,6 +144,11 @@ let check_reply t (request : Smart_proto.Wizard_msg.request) data =
                expected = request.Smart_proto.Wizard_msg.seq;
                got = reply.Smart_proto.Wizard_msg.seq;
              })
+      else if reply.Smart_proto.Wizard_msg.rejected then
+        (* admission control shed the request: distinct from a timeout
+           (the wizard is alive, just overloaded) and from an empty
+           candidate list (nothing qualified) — callers back off *)
+        Error Admission_rejected
       else begin
         let servers = reply.Smart_proto.Wizard_msg.servers in
         let got = List.length servers in

@@ -9,6 +9,13 @@ type error =
   | Not_enough of { wanted : int; got : int }
       (** wizard returned fewer servers than the option allows *)
   | Malformed of string  (** reply datagram failed to decode *)
+  | Admission_rejected
+      (** the wizard shed the request under overload (reply carried the
+          rejected flag); back off before retrying — the wizard is
+          alive, unlike [Timeout] *)
+  | Migration_failed of string
+      (** a session could not hand over to a replacement server (see
+          {!Session}); carries a human-readable reason *)
 
 (** Human-readable rendering of [error]. *)
 val pp_error : Format.formatter -> error -> unit

@@ -307,7 +307,10 @@ let compile t source =
 let reply_now t ~parent ~at ~client ~client_seq ~servers ~degraded =
   let span = Smart_util.Tracelog.start t.trace ?at ~parent "federation.reply" in
   if degraded then Metrics.Counter.incr t.degraded_replies_total;
-  let reply = { Smart_proto.Wizard_msg.seq = client_seq; servers; degraded } in
+  let reply =
+    { Smart_proto.Wizard_msg.seq = client_seq; servers; degraded;
+      rejected = false }
+  in
   Smart_util.Tracelog.finish t.trace ?at span;
   [
     Output.udp ~host:client.Output.host ~port:client.Output.port

@@ -1,0 +1,204 @@
+(** The session plane (DESIGN.md §15): client-side socket state machine
+    for long-lived use of the smart socket — a bounded per-peer
+    connection pool, keep-alive bookkeeping on the injected clock, and
+    mid-session migration when a held server's status falls below the
+    session's requirement.
+
+    Sans-IO: this module owns states, metrics ([session.*], see
+    OBSERVABILITY.md) and trace spans; drivers (the simulation session
+    workload, the realnet {!Smart_realnet.Client_io} pool) perform the
+    actual connects, transfers and probes and report outcomes back.
+    Everything is deterministic — iteration over the pool is sorted, the
+    clock is injected, no randomness is drawn. *)
+
+(** {1 The connection pool} *)
+
+(** Per-peer lifecycle.  [Draining] refuses new binds and closes once
+    its in-flight work resolves. *)
+type conn_state = Connecting | Established | Draining | Closed
+
+val pp_conn_state : Format.formatter -> conn_state -> unit
+
+(** One pooled connection: at most one per peer host. *)
+type conn
+
+type pool
+
+val default_capacity : int
+(** 16 pooled connections. *)
+
+val default_keepalive_interval : float
+(** 5 s of quiet before a probe is due. *)
+
+val default_keepalive_limit : int
+(** 3 consecutive missed probes declare the peer dead. *)
+
+(** [pool ?metrics ?trace ?capacity ?keepalive_interval ?keepalive_limit
+    ?on_evict ~clock ()] builds a pool.  [capacity] bounds the table — a
+    bind finding it full first evicts the least recently used idle entry
+    (deterministically: LRU stamp, ties by host); when every entry is
+    busy the pool overflows rather than failing, visible in the
+    [session.pool_size] gauge.  [on_evict] is called with each entry the
+    pool decides to forget (LRU eviction), so a realnet driver can close
+    the underlying socket.  [clock] is the engine's virtual clock in
+    simulation, [Unix.gettimeofday] in realnet.  Raises
+    [Invalid_argument] on non-positive parameters. *)
+val pool :
+  ?metrics:Smart_util.Metrics.t ->
+  ?trace:Smart_util.Tracelog.t ->
+  ?capacity:int ->
+  ?keepalive_interval:float ->
+  ?keepalive_limit:int ->
+  ?on_evict:(conn -> unit) ->
+  clock:(unit -> float) ->
+  unit ->
+  pool
+
+val conn_host : conn -> string
+
+val conn_state : conn -> conn_state
+
+(** Work items issued on this connection and not yet resolved. *)
+val in_flight : conn -> int
+
+(** Entries currently pooled (may exceed capacity while all are busy). *)
+val pool_size : pool -> int
+
+(** The driver finished the handshake: [Connecting] -> [Established].
+    No-op in any other state. *)
+val established : pool -> conn -> unit
+
+(** Close immediately and forget the entry, in-flight work and all —
+    crash handling.  Work counters on the forgotten record still
+    resolve; they just no longer affect the pool. *)
+val close : pool -> conn -> unit
+
+(** Stop new binds and close once idle — graceful handover.  An entry
+    that is already idle closes immediately. *)
+val drain : pool -> conn -> unit
+
+(** {1 Sessions} *)
+
+(** [Selecting] = asking the wizard; [Migrating] = replacement being
+    established while the old server is still held. *)
+type session_state = Idle | Selecting | Active | Migrating | Failed
+
+val pp_session_state : Format.formatter -> session_state -> unit
+
+type session
+
+(** A fresh [Idle] session named [name] (bumps the [session.sessions]
+    gauge). *)
+val session : pool -> name:string -> session
+
+val session_state : session -> session_state
+
+val session_name : session -> string
+
+(** The connection the session is bound to, when [Active]/[Migrating]. *)
+val session_conn : session -> conn option
+
+(** Completed migrations of this session. *)
+val session_migrations : session -> int
+
+(** Work items this session completed. *)
+val session_completed : session -> int
+
+(** The session is asking the wizard for a server.  Raises
+    [Invalid_argument] when already bound. *)
+val selecting : session -> unit
+
+(** Low-level pool entry point for drivers that manage their own
+    transport state per connection (the realnet socket pool): the same
+    reuse-or-open and reference accounting {!bind} performs, without a
+    session.  Pair with {!release}. *)
+val acquire : pool -> host:string -> conn
+
+(** Drop one {!acquire} (or session) reference; an idle fully-drained
+    entry stays pooled for reuse. *)
+val release : pool -> conn -> unit
+
+(** [bind pool s ~host ~origin] binds the wizard's pick: reuses the
+    pooled connection to [host] when one is live
+    ([session.pool_reused_total]) or opens a fresh [Connecting] one
+    ([session.pool_opened_total], evicting an idle LRU entry if the pool
+    is full).  [origin] is the context of the [client.request] span that
+    selected the server; migration spans parent on it.  Session becomes
+    [Active].  Raises [Invalid_argument] unless [Idle]/[Selecting]. *)
+val bind :
+  pool -> session -> host:string -> origin:Smart_util.Tracelog.ctx -> conn
+
+(** {1 Work accounting}
+
+    The driver owns the work items; the pool tracks their counts, so a
+    drained connection knows when it is empty and the chaos test can
+    assert zero loss. *)
+
+(** A work item went out on [conn] ([session.work_issued_total]). *)
+val work_started : pool -> session -> conn -> unit
+
+(** The item completed ([session.work_completed_total]); a draining
+    connection whose last item this was closes. *)
+val work_done : pool -> session -> conn -> unit
+
+(** The item did not complete on this connection (crash, partition,
+    drain cut-over); the driver requeues it for re-issue after migration
+    ([session.work_requeued_total]) — requeued, never lost. *)
+val work_requeued : pool -> session -> conn -> unit
+
+(** [count] items were abandoned outright ([session.work_lost_total]) —
+    the failure budget the chaos acceptance test pins at zero. *)
+val work_lost : pool -> count:int -> unit
+
+(** {1 Migration}
+
+    When the session's watcher sees the held server no longer satisfy
+    the requirement (status generation moved and re-selection excludes
+    it, or the connection died), the driver re-asks the wizard and hands
+    over here. *)
+
+(** Start a migration: [Active] -> [Migrating], opens the
+    [session.migrate] span parented on the binding's origin context.
+    Raises [Invalid_argument] unless [Active]. *)
+val begin_migration : pool -> session -> unit
+
+(** The replacement is bound: observes
+    [session.migration_latency_seconds] (start to here), bumps
+    [session.migrations_total], closes the span, binds [host] (pool
+    reuse as in {!bind}) and drains the old connection — its in-flight
+    work resolves before it closes.  Returns the new connection.
+    Raises [Invalid_argument] unless [Migrating]. *)
+val complete_migration :
+  pool -> session -> host:string -> origin:Smart_util.Tracelog.ctx -> conn
+
+(** No replacement could be bound (wizard unreachable, admission shed
+    the re-ask, nothing qualified): back to [Active] on the held server,
+    [session.migration_failures_total] bumped and a
+    [session.migrate_failed] instant recorded; the driver backs off
+    ({!Smart_util.Backoff}) before retrying. *)
+val abandon_migration : pool -> session -> reason:string -> unit
+
+(** Graceful end: release the connection back to the pool (idle entries
+    stay pooled for reuse), close any open migration span, back to
+    [Idle], [session.sessions] gauge decremented. *)
+val retire : pool -> session -> unit
+
+(** {1 Keep-alive}
+
+    The driver probes; the pool decides who is due and keeps the miss
+    counts. *)
+
+(** Established entries quiet for at least the keep-alive interval,
+    sorted by host — the deterministic probe order. *)
+val keepalive_due : pool -> now:float -> conn list
+
+(** A probe went out ([session.keepalive_probes_total]). *)
+val keepalive_sent : pool -> conn -> unit
+
+(** The probe was answered: miss count resets, activity stamped. *)
+val keepalive_ok : pool -> conn -> unit
+
+(** The probe went unanswered; at the limit the peer is declared dead,
+    the entry closed ([session.keepalive_failures_total]) — sessions
+    bound to it observe [Closed] and migrate. *)
+val keepalive_miss : pool -> conn -> unit

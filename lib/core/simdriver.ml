@@ -161,6 +161,9 @@ type config = {
       (* sysmons tune the flap threshold from flap-score sketches *)
   adaptive_staleness : bool;
       (* wizards derive degraded mode from inter-update gap sketches *)
+  wizard_admission : Wizard.admission option;
+      (* per-client token-bucket admission control on the request port
+         (DESIGN.md §15); None leaves the port ungated *)
 }
 
 let default_config =
@@ -179,6 +182,7 @@ let default_config =
     adaptive_probes = false;
     adaptive_quarantine = false;
     adaptive_staleness = false;
+    wizard_admission = None;
   }
 
 (* Wire one group's probes, monitors and transmitter. *)
@@ -429,6 +433,7 @@ let deploy_groups ?(config = default_config) cluster ~wizard_host ~groups =
       ~trace:tracelog
       ~clock:(fun () -> Smart_sim.Engine.now engine)
       ~staleness_threshold:config.wizard_staleness ?staleness_policy
+      ?admission:config.wizard_admission
       { Wizard.mode = wizard_mode; groups = wizard_groups }
       db_wizard
   in
@@ -601,7 +606,7 @@ let deploy_federation ?(config = default_config) cluster ~root_host ~shards =
       Wizard.create ~compile_cache_capacity:config.wizard_compile_cache
         ~metrics ~trace:tracelog ~clock:vclock
         ~staleness_threshold:config.wizard_staleness ?staleness_policy
-        ~shard_name:shard_host
+        ?admission:config.wizard_admission ~shard_name:shard_host
         { Wizard.mode = Wizard.Centralized; groups = wizard_groups }
         shard_db
     in
@@ -914,6 +919,455 @@ let request ?(option = Smart_proto.Wizard_msg.Accept_partial) ?(timeout = 5.0)
   match !reply with
   | None -> Error Client.Timeout
   | Some data -> Client.check_reply client_lib req data
+
+(* Callback-style twin of [request] for code that already lives inside
+   an engine callback (the session plane's workload): [request] drives
+   the engine itself via [Runner.run_until] and so must never be called
+   re-entrantly.  This variant only enqueues work — the send goes out
+   now, retransmits ride engine timers, and [on_result] fires exactly
+   once from the reply listener or the timeout timer.  Returns the
+   request's trace context (the [client.request] span the wizard's and
+   any later migration spans parent on). *)
+let async_request ?(option = Smart_proto.Wizard_msg.Accept_partial)
+    ?(timeout = 5.0) ?(attempts = 5) ?(backoff = Smart_util.Backoff.default) t
+    ~client ~wanted ~requirement on_result =
+  if attempts <= 0 then
+    invalid_arg "Simdriver.async_request: attempts must be positive";
+  let engine = Smart_host.Cluster.engine t.cluster in
+  let stack = Smart_host.Cluster.stack t.cluster in
+  let client_node = Smart_host.Cluster.resolve_exn t.cluster client in
+  let client_lib =
+    Client.create ~metrics:t.metrics ~trace:t.tracelog ~rng:t.client_rng ()
+  in
+  let req = Client.make_request client_lib ~wanted ~option ~requirement in
+  let reply_port = t.next_client_port in
+  t.next_client_port <- t.next_client_port + 1;
+  let completed = ref false in
+  let used = ref 0 in
+  let finish result =
+    if not !completed then begin
+      completed := true;
+      Client.note_attempts client_lib !used;
+      (* unlisten from a fresh timer, not from inside the listener
+         dispatch that may be delivering to this very port *)
+      ignore
+        (Smart_sim.Engine.schedule_after engine ~delay:1e-9 (fun () ->
+             Smart_net.Netstack.unlisten_udp stack ~node:client_node
+               ~port:reply_port));
+      on_result result
+    end
+  in
+  Smart_net.Netstack.listen_udp stack ~node:client_node ~port:reply_port
+    (fun ~now:_ pkt ->
+      let data = pkt.Smart_net.Packet.payload in
+      if (not !completed) && not (Client.is_duplicate_reply client_lib data)
+      then finish (Client.check_reply client_lib req data));
+  let data = Smart_proto.Wizard_msg.encode_request req in
+  let send () =
+    let s = stats_for t "client" in
+    s.messages <- s.messages + 1;
+    s.bytes <- s.bytes + String.length data;
+    ignore
+      (Smart_net.Netstack.send_udp stack ~src:client_node ~dst:t.wizard_node
+         ~sport:reply_port ~dport:Smart_proto.Ports.wizard
+         ~size:(String.length data) ~payload:data)
+  in
+  let boff =
+    Smart_util.Backoff.create ~rng:(Smart_util.Prng.split t.client_rng) backoff
+  in
+  let deadline = Smart_sim.Engine.now engine +. timeout in
+  let rec attempt () =
+    if not !completed then begin
+      let now = Smart_sim.Engine.now engine in
+      if now >= deadline then finish (Error Client.Timeout)
+      else if !used >= attempts then
+        (* past the last retransmit: wait out the remaining budget *)
+        ignore
+          (Smart_sim.Engine.schedule_after engine ~delay:(deadline -. now)
+             (fun () -> if not !completed then finish (Error Client.Timeout)))
+      else begin
+        incr used;
+        if !used > 1 then Client.note_retry client_lib;
+        send ();
+        let wait = Smart_util.Backoff.next boff in
+        let delay = Float.min wait (deadline -. now) +. 1e-9 in
+        ignore (Smart_sim.Engine.schedule_after engine ~delay attempt)
+      end
+    end
+  in
+  attempt ();
+  req.Smart_proto.Wizard_msg.trace
+
+(* ------------------------------------------------------------------ *)
+(* The session workload (DESIGN.md §15)                                *)
+(* ------------------------------------------------------------------ *)
+
+type session_report = {
+  sessions : int;
+  survived : int;  (* bound to a live server at the end, nothing lost *)
+  migrations : int;
+  work_issued : int;  (* re-issues included *)
+  work_completed : int;
+  work_requeued : int;
+  work_lost : int;  (* the chaos acceptance gate pins this at zero *)
+}
+
+(* One long-lived-session driver.  [pending] holds work items not
+   currently on the wire: fresh ones minted while the connection is down
+   plus in-flight ones requeued off a failed connection — they are
+   re-issued once the session is bound to a healthy server again, which
+   is how migration loses nothing. *)
+type sess_driver = {
+  sd_sess : Session.session;
+  sd_client : string;
+  sd_client_node : int;
+  mutable sd_pending : int;
+  mutable sd_outstanding : int;
+  mutable sd_issued : int;
+  mutable sd_requeued : int;
+  mutable sd_lost : int;
+  mutable sd_bound_gen : int;  (* wizard db generation at bind time *)
+  mutable sd_cooldown_until : float;  (* no re-ask before this *)
+  sd_boff : Smart_util.Backoff.t;
+}
+
+(* Drive [clients] (a [(host, sessions_on_it)] list) of long-lived
+   sessions against the deployment for [duration] virtual seconds, then
+   drain.  Each session binds a server picked by the wizard through a
+   shared {!Session.pool}, issues one synthetic work item per
+   [work_interval] (each occupying its connection for [work_duration]),
+   and watches its held server every [check_interval]: a dead connection
+   (crash, partition, keep-alive verdict) or — in flat deployments — a
+   database generation change under which re-selection excludes the host
+   triggers a mid-session migration.  Admission rejections and failed
+   migrations back off on [backoff].  Runs the engine to completion and
+   reports; with a generous [drain_timeout] every requeued item
+   completes and [work_lost] is zero. *)
+let run_sessions ?(wanted = 1) ?(option = Smart_proto.Wizard_msg.Accept_partial)
+    ?(work_interval = 1.0) ?(work_duration = 0.4) ?(check_interval = 0.5)
+    ?(keepalive_interval = 2.0) ?(request_timeout = 4.0)
+    ?(backoff = Smart_util.Backoff.default) ?(drain_timeout = 30.0) t ~clients
+    ~requirement ~duration =
+  if clients = [] then invalid_arg "Simdriver.run_sessions: no clients";
+  let engine = Smart_host.Cluster.engine t.cluster in
+  let vclock () = Smart_sim.Engine.now engine in
+  let pool =
+    Session.pool ~metrics:t.metrics ~trace:t.tracelog ~keepalive_interval
+      ~clock:vclock ()
+  in
+  let program =
+    match Smart_lang.Requirement.compile requirement with
+    | Ok p -> Some p
+    | Error _ -> None
+  in
+  let start_at = vclock () in
+  let end_at = start_at +. duration in
+  let hard_deadline = end_at +. drain_timeout in
+  let finalized = ref false in
+  let host_alive host =
+    match Smart_host.Cluster.resolve t.cluster host with
+    | None -> false
+    | Some node ->
+      (match Smart_host.Cluster.machine_opt t.cluster node with
+      | Some m -> not (Smart_host.Machine.failed m)
+      | None -> true)
+  in
+  let reachable d host =
+    host_alive host
+    && not (stream_blocked t.cluster ~src_node:d.sd_client_node ~host)
+  in
+  let conn_ok d c =
+    (match Session.conn_state c with
+    | Session.Closed | Session.Draining -> false
+    | Session.Connecting | Session.Established -> true)
+    && reachable d (Session.conn_host c)
+  in
+  (* Is the held server still what the wizard would pick?  Re-evaluate
+     the session's requirement against a one-host snapshot of the
+     wizard's live database — the exact views selection would use.  Only
+     meaningful in flat deployments (a federation root holds digests,
+     not records), so federated runs rely on the dead-connection path. *)
+  let still_qualified host =
+    match (program, t.fed) with
+    | None, _ | _, Some _ -> true
+    | Some prog, None ->
+      (match Status_db.find_sys t.db_wizard ~host with
+      | None -> false
+      | Some record ->
+        let view =
+          {
+            Selection.record;
+            net = Wizard.net_entry_for t.wizard ~host;
+            security_level = Status_db.security_level t.db_wizard ~host;
+          }
+        in
+        let r =
+          Selection.select ~requirement:prog
+            ~servers:(Selection.snapshot [ view ])
+            ~wanted:1
+        in
+        r.Selection.selected <> [])
+  in
+  let drivers =
+    List.concat_map
+      (fun (client_host, count) ->
+        let client_node = Smart_host.Cluster.resolve_exn t.cluster client_host in
+        List.init count (fun i ->
+            {
+              sd_sess =
+                Session.session pool
+                  ~name:(Printf.sprintf "%s#%d" client_host i);
+              sd_client = client_host;
+              sd_client_node = client_node;
+              sd_pending = 0;
+              sd_outstanding = 0;
+              sd_issued = 0;
+              sd_requeued = 0;
+              sd_lost = 0;
+              sd_bound_gen = -1;
+              sd_cooldown_until = 0.0;
+              sd_boff =
+                Smart_util.Backoff.create
+                  ~rng:(Smart_util.Prng.split t.client_rng)
+                  backoff;
+            }))
+      clients
+  in
+  let rec start_item d c =
+    d.sd_issued <- d.sd_issued + 1;
+    d.sd_outstanding <- d.sd_outstanding + 1;
+    Session.work_started pool d.sd_sess c;
+    ignore
+      (Smart_sim.Engine.schedule_after engine ~delay:work_duration (fun () ->
+           d.sd_outstanding <- d.sd_outstanding - 1;
+           if
+             Session.conn_state c <> Session.Closed
+             && reachable d (Session.conn_host c)
+           then Session.work_done pool d.sd_sess c
+           else begin
+             (* the server died under the item: requeue, never lose *)
+             Session.work_requeued pool d.sd_sess c;
+             d.sd_requeued <- d.sd_requeued + 1;
+             d.sd_pending <- d.sd_pending + 1;
+             flush_pending d
+           end))
+  and flush_pending d =
+    if (not !finalized) && Session.session_state d.sd_sess = Session.Active
+    then
+      match Session.session_conn d.sd_sess with
+      | Some c when conn_ok d c ->
+        let n = d.sd_pending in
+        d.sd_pending <- 0;
+        for _ = 1 to n do
+          start_item d c
+        done
+      | Some _ | None -> ()
+  in
+  (* Ask the wizard and bind (or hand over to) the pick.  On any error —
+     timeout, admission shed, empty reply — back off before the next
+     ask; a migration that cannot find a *different* live server is
+     abandoned and retried by the watcher after the cooldown. *)
+  let rec select_and_bind d ~migrating =
+    let current =
+      match Session.session_conn d.sd_sess with
+      | Some c -> Some (Session.conn_host c)
+      | None -> None
+    in
+    let give_up reason =
+      d.sd_cooldown_until <- vclock () +. Smart_util.Backoff.next d.sd_boff;
+      if migrating then
+        Session.abandon_migration pool d.sd_sess ~reason
+      else begin
+        (* initial bind failed: retry once the cooldown passes *)
+        ignore
+          (Smart_sim.Engine.schedule_after engine
+             ~delay:(Float.max 0.01 (d.sd_cooldown_until -. vclock ()))
+             (fun () ->
+               if
+                 (not !finalized)
+                 && Session.session_state d.sd_sess = Session.Selecting
+               then select_and_bind d ~migrating:false))
+      end
+    in
+    let origin = ref Smart_util.Tracelog.root in
+    origin :=
+      async_request ~option ~timeout:request_timeout ~backoff t
+        ~client:d.sd_client ~wanted ~requirement (fun result ->
+          if not !finalized then
+            match result with
+            | Ok hosts ->
+              (* is the held connection still usable?  While it is, a
+                 sole candidate identical to the held host means the
+                 wizard still ranks it first and the migration is
+                 abandoned; once it is dead, rebinding the same host is
+                 a real handover — the server recovered and the re-ask
+                 confirmed it is (again) the best pick *)
+              let current_usable =
+                match Session.session_conn d.sd_sess with
+                | Some c -> conn_ok d c
+                | None -> false
+              in
+              let choice =
+                match
+                  List.find_opt
+                    (fun h ->
+                      (match current with
+                      | Some cur -> not (String.equal h cur)
+                      | None -> true)
+                      && reachable d h)
+                    hosts
+                with
+                | Some h -> Some h
+                | None -> (
+                  match hosts with
+                  | h :: _ when not migrating -> Some h
+                  | h :: _ when (not current_usable) && reachable d h ->
+                    Some h
+                  | _ -> None)
+              in
+              (match choice with
+              | None -> give_up "no replacement candidate"
+              | Some host ->
+                let c =
+                  if migrating then
+                    Session.complete_migration pool d.sd_sess ~host
+                      ~origin:!origin
+                  else Session.bind pool d.sd_sess ~host ~origin:!origin
+                in
+                (* the simulated LAN connects instantly *)
+                Session.established pool c;
+                d.sd_bound_gen <- Status_db.generation t.db_wizard;
+                Smart_util.Backoff.reset d.sd_boff;
+                d.sd_cooldown_until <- 0.0;
+                flush_pending d)
+            | Error e ->
+              give_up (Fmt.str "%a" Client.pp_error e))
+  in
+  (* per-session start, staggered so request bursts stay spread *)
+  List.iteri
+    (fun i d ->
+      ignore
+        (Smart_sim.Engine.schedule_after engine
+           ~delay:(0.01 +. (0.03 *. float_of_int i))
+           (fun () ->
+             Session.selecting d.sd_sess;
+             select_and_bind d ~migrating:false)))
+    drivers;
+  (* work pump: one fresh item per interval per session while the run
+     lasts; items born under a dead connection queue for re-issue *)
+  ignore
+    (Smart_sim.Engine.every engine ~period:work_interval
+       ~start:(start_at +. work_interval) (fun now ->
+         if (not !finalized) && now < end_at then
+           List.iter
+             (fun d ->
+               d.sd_pending <- d.sd_pending + 1;
+               flush_pending d)
+             drivers));
+  (* watcher: migrate away from dead or no-longer-qualified servers *)
+  ignore
+    (Smart_sim.Engine.every engine ~period:check_interval
+       ~start:(start_at +. check_interval) (fun now ->
+         if not !finalized then
+           List.iter
+             (fun d ->
+               if
+                 Session.session_state d.sd_sess = Session.Active
+                 && now >= d.sd_cooldown_until
+               then
+                 match Session.session_conn d.sd_sess with
+                 | None -> ()
+                 | Some c ->
+                   let host = Session.conn_host c in
+                   let dead =
+                     Session.conn_state c = Session.Closed
+                     || not (reachable d host)
+                   in
+                   let stale =
+                     (not dead)
+                     && Status_db.generation t.db_wizard <> d.sd_bound_gen
+                     && not (still_qualified host)
+                   in
+                   if dead || stale then begin
+                     (* a dead entry is discarded from the pool before
+                        the re-ask, so the replacement bind dials fresh
+                        even when it lands on the same (recovered)
+                        host *)
+                     if dead then Session.close pool c;
+                     Session.begin_migration pool d.sd_sess;
+                     select_and_bind d ~migrating:true
+                   end)
+             drivers))
+    ;
+  (* keep-alive pump: probe quiet connections, answered by liveness of
+     the peer (vantage: the first client host) *)
+  let vantage = List.hd drivers in
+  ignore
+    (Smart_sim.Engine.every engine ~period:(keepalive_interval /. 2.0)
+       ~start:(start_at +. (keepalive_interval /. 2.0)) (fun now ->
+         if not !finalized then
+           List.iter
+             (fun c ->
+               Session.keepalive_sent pool c;
+               if reachable vantage (Session.conn_host c) then
+                 Session.keepalive_ok pool c
+               else Session.keepalive_miss pool c)
+             (Session.keepalive_due pool ~now)));
+  (* drain: poll past [end_at] until every item resolved or the hard
+     deadline expires; whatever is left is lost (the chaos gate) *)
+  let rec drain_check () =
+    if not !finalized then begin
+      let now = vclock () in
+      let idle =
+        List.for_all
+          (fun d -> d.sd_pending = 0 && d.sd_outstanding = 0)
+          drivers
+      in
+      if (now >= end_at && idle) || now >= hard_deadline then begin
+        finalized := true;
+        List.iter
+          (fun d ->
+            d.sd_lost <- d.sd_pending + d.sd_outstanding;
+            if d.sd_lost > 0 then Session.work_lost pool ~count:d.sd_lost)
+          drivers
+      end
+      else
+        ignore (Smart_sim.Engine.schedule_after engine ~delay:0.25 drain_check)
+    end
+  in
+  ignore
+    (Smart_sim.Engine.schedule_after engine ~delay:(end_at -. start_at)
+       drain_check);
+  ignore
+    (Smart_measure.Runner.run_until engine ~deadline:(hard_deadline +. 1.0)
+       (fun () -> !finalized));
+  let survived =
+    List.length
+      (List.filter
+         (fun d ->
+           d.sd_lost = 0
+           &&
+           match Session.session_conn d.sd_sess with
+           | Some c ->
+             Session.conn_state c <> Session.Closed
+             && host_alive (Session.conn_host c)
+           | None -> false)
+         drivers)
+  in
+  let sum f = List.fold_left (fun acc d -> acc + f d) 0 drivers in
+  let report =
+    {
+      sessions = List.length drivers;
+      survived;
+      migrations = sum (fun d -> Session.session_migrations d.sd_sess);
+      work_issued = sum (fun d -> d.sd_issued);
+      work_completed = sum (fun d -> Session.session_completed d.sd_sess);
+      work_requeued = sum (fun d -> d.sd_requeued);
+      work_lost = sum (fun d -> d.sd_lost);
+    }
+  in
+  List.iter (fun d -> Session.retire pool d.sd_sess) drivers;
+  report
 
 (* One SMART-METRICS scrape over the packet plane: magic datagram from
    [client] to the wizard (or federation root) port, rendered registry

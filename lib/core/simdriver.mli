@@ -34,12 +34,15 @@ type config = {
   adaptive_staleness : bool;
       (** arm {!Wizard.staleness_policy}: degraded mode tracks the
           observed inter-update gap distribution *)
+  wizard_admission : Wizard.admission option;
+      (** arm {!Wizard.admission}: per-client token buckets gate the
+          request port (DESIGN.md §15); [None] leaves it ungated *)
 }
 
 (** Centralized, 2 s probe and transmit intervals, UDP reports,
     little-endian records, no frame CRC, no staleness degradation,
     1 s federation fan-out timeout with digest routing on, all three
-    adaptive control loops off. *)
+    adaptive control loops off, admission control off. *)
 val default_config : config
 
 (** [deploy cluster ~monitor ~wizard_host ~servers] installs a
@@ -130,6 +133,69 @@ val request :
   wanted:int ->
   requirement:string ->
   (string list, Client.error) result
+
+(** Callback-style twin of {!request} for code already running inside an
+    engine callback ({!request} re-enters the engine and must not be
+    called there).  Sends now, retransmits on engine timers, and calls
+    the callback exactly once with the result.  Returns the request's
+    trace context — the [client.request] span that {!Session.bind}
+    takes as the binding's origin. *)
+val async_request :
+  ?option:Smart_proto.Wizard_msg.option_flag ->
+  ?timeout:float ->
+  ?attempts:int ->
+  ?backoff:Smart_util.Backoff.policy ->
+  t ->
+  client:string ->
+  wanted:int ->
+  requirement:string ->
+  ((string list, Client.error) result -> unit) ->
+  Smart_util.Tracelog.ctx
+
+(** What {!run_sessions} observed, summed over all sessions. *)
+type session_report = {
+  sessions : int;
+  survived : int;
+      (** sessions bound to a live server at the end with nothing lost *)
+  migrations : int;  (** completed mid-session migrations *)
+  work_issued : int;  (** work items put on a connection, re-issues included *)
+  work_completed : int;
+  work_requeued : int;
+      (** items pulled off a failed connection and re-issued later *)
+  work_lost : int;  (** items never completed — the chaos gate pins this at 0 *)
+}
+
+(** Drive long-lived sessions (DESIGN.md §15) against the deployment:
+    [clients] lists [(client_host, sessions_on_it)].  Every session asks
+    the wizard for a server satisfying [requirement], binds it through a
+    shared {!Session.pool}, and issues one synthetic work item per
+    [work_interval] (each occupying the connection for [work_duration])
+    until [duration] virtual seconds have passed, then drains.  A
+    watcher per session checks every [check_interval]: a dead connection
+    (crashed or partitioned server, keep-alive verdict), or — in flat
+    deployments — a status-generation change under which
+    {!Selection.select} no longer qualifies the held host, triggers a
+    mid-session migration ({!Session.begin_migration} …
+    {!Session.complete_migration}); in-flight items caught on the old
+    connection are requeued and re-issued, never lost.  Admission
+    rejections and failed migrations back off on [backoff].  Runs the
+    engine (don't call from inside a callback) until everything drains
+    or [drain_timeout] expires past the end. *)
+val run_sessions :
+  ?wanted:int ->
+  ?option:Smart_proto.Wizard_msg.option_flag ->
+  ?work_interval:float ->
+  ?work_duration:float ->
+  ?check_interval:float ->
+  ?keepalive_interval:float ->
+  ?request_timeout:float ->
+  ?backoff:Smart_util.Backoff.policy ->
+  ?drain_timeout:float ->
+  t ->
+  clients:(string * int) list ->
+  requirement:string ->
+  duration:float ->
+  session_report
 
 (** One [SMART-METRICS] scrape from host [client] over the packet plane:
     the wizard port (or the federation root's client port) answers the

@@ -78,11 +78,36 @@ let default_staleness_policy =
 
 let default_compile_cache_capacity = 128
 
+(* Admission control (DESIGN.md §15): a per-client token bucket gates
+   the request port so sustained overload sheds fairly instead of
+   collapsing.  Each client host gets a bucket refilling at [rate]
+   requests per second with [burst] depth; a request finding the bucket
+   dry is parked until its tokens accrue when that wait is at most
+   [max_delay], and rejected (reply carries the rejected flag, no
+   tokens consumed) beyond that.  [max_clients] bounds the bucket
+   table — the LRU forgets the least recently offending client, which
+   merely refills its bucket. *)
+type admission = {
+  rate : float;        (* sustained requests per second per client *)
+  burst : float;       (* bucket depth, in requests *)
+  max_delay : float;   (* park at most this long before rejecting *)
+  max_clients : int;   (* per-client buckets tracked *)
+}
+
+let default_admission =
+  { rate = 50.0; burst = 10.0; max_delay = 0.25; max_clients = 1024 }
+
 type pending = {
   from : Output.address;
   request : Smart_proto.Wizard_msg.request;
   deadline : float;
   target_updates : int;  (* value of [updates_seen] that releases it *)
+}
+
+type delayed = {
+  d_from : Output.address;
+  d_request : Smart_proto.Wizard_msg.request;
+  release_at : float;  (* when the client's tokens have accrued *)
 }
 
 module Metrics = Smart_util.Metrics
@@ -92,6 +117,11 @@ type t = {
   shard_name : string;  (* identity stamped on federation subquery replies *)
   db : Status_db.t;
   pending : pending Queue.t;
+  admission : admission option;
+  buckets : Smart_net.Shaper.t Smart_util.Lru.t;
+      (* per-client token buckets, keyed by the requester's host *)
+  delayed : delayed Queue.t;
+      (* admitted-late requests waiting for their tokens to accrue *)
   compile_cache :
     (Smart_lang.Requirement.fast, Smart_lang.Requirement.compile_error) result
     Smart_util.Lru.t;
@@ -126,6 +156,8 @@ type t = {
   result_cache_hits_total : Metrics.Counter.t;
   result_cache_misses_total : Metrics.Counter.t;
   pending_gauge : Metrics.Gauge.t;
+  admission_rejected_total : Metrics.Counter.t;
+  admission_delayed_total : Metrics.Counter.t;
   degraded_replies_total : Metrics.Counter.t;
   subqueries_total : Metrics.Counter.t;
   request_latency : Metrics.Histogram.t;
@@ -143,9 +175,16 @@ type t = {
 let create ?(compile_cache_capacity = default_compile_cache_capacity)
     ?(metrics = Metrics.create ()) ?(clock = fun () -> 0.)
     ?(staleness_threshold = default_staleness_threshold) ?staleness_policy
-    ?(trace = Smart_util.Tracelog.disabled) ?(shard_name = "") config db =
+    ?(trace = Smart_util.Tracelog.disabled) ?(shard_name = "") ?admission
+    config db =
   if staleness_threshold <= 0.0 then
     invalid_arg "Wizard.create: staleness_threshold must be positive";
+  (match admission with
+  | Some a ->
+    if
+      a.rate <= 0.0 || a.burst < 1.0 || a.max_delay < 0.0 || a.max_clients < 1
+    then invalid_arg "Wizard.create: bad admission"
+  | None -> ());
   (match staleness_policy with
   | Some p ->
     if
@@ -172,6 +211,12 @@ let create ?(compile_cache_capacity = default_compile_cache_capacity)
     shard_name;
     db;
     pending = Queue.create ();
+    admission;
+    buckets =
+      Smart_util.Lru.create
+        ~capacity:
+          (match admission with Some a -> a.max_clients | None -> 0);
+    delayed = Queue.create ();
     compile_cache = Smart_util.Lru.create ~capacity:compile_cache_capacity;
     result_cache = Smart_util.Lru.create ~capacity:compile_cache_capacity;
     scratch = Selection.scratch ();
@@ -213,6 +258,14 @@ let create ?(compile_cache_capacity = default_compile_cache_capacity)
     pending_gauge =
       Metrics.gauge metrics ~help:"distributed-mode requests parked"
         "wizard.pending";
+    admission_rejected_total =
+      Metrics.counter metrics
+        ~help:"requests shed by admission control (rejected reply sent)"
+        "wizard.admission_rejected_total";
+    admission_delayed_total =
+      Metrics.counter metrics
+        ~help:"requests parked by admission control until tokens accrued"
+        "wizard.admission_delayed_total";
     degraded_replies_total =
       Metrics.counter metrics
         ~help:"replies served from a stale snapshot (receiver feed quiet)"
@@ -361,6 +414,7 @@ let reply_to t (request : Smart_proto.Wizard_msg.request) ~parent ~at ~from
       Smart_proto.Wizard_msg.seq = request.Smart_proto.Wizard_msg.seq;
       servers;
       degraded;
+      rejected = false;
     }
   in
   let outputs =
@@ -467,26 +521,77 @@ let process t ?batch (request : Smart_proto.Wizard_msg.request) ~from =
     Smart_util.Sketch.observe t.latency_sketch elapsed;
   outputs
 
+(* Dispatch an admitted request into the answering machinery. *)
+let dispatch t ~now ~from request =
+  match t.config.mode with
+  | Centralized -> process t request ~from
+  | Distributed { transmitters; freshness_timeout } ->
+    (* one push = three frames per transmitter *)
+    let target_updates = t.updates_seen + (3 * List.length transmitters) in
+    Queue.add
+      { from; request; deadline = now +. freshness_timeout; target_updates }
+      t.pending;
+    Metrics.Gauge.set t.pending_gauge (float_of_int (Queue.length t.pending));
+    List.map
+      (fun (addr : Output.address) ->
+        Output.udp ~host:addr.Output.host ~port:addr.Output.port
+          Transmitter.pull_request_magic)
+      transmitters
+
+(* The rejection reply: empty server list, rejected flag set, no tokens
+   consumed.  The degraded flag stays clear — rejection means the wizard
+   never looked at the snapshot. *)
+let reject t (request : Smart_proto.Wizard_msg.request) ~from =
+  Metrics.Counter.incr t.admission_rejected_total;
+  Smart_util.Tracelog.instant t.trace
+    ~parent:request.Smart_proto.Wizard_msg.trace "wizard.admission_reject";
+  [
+    Output.udp ~host:from.Output.host ~port:from.Output.port
+      (Smart_proto.Wizard_msg.encode_reply
+         {
+           Smart_proto.Wizard_msg.seq = request.Smart_proto.Wizard_msg.seq;
+           servers = [];
+           degraded = false;
+           rejected = true;
+         });
+  ]
+
+let bucket_for t (a : admission) key =
+  match Smart_util.Lru.find t.buckets key with
+  | Some bucket -> bucket
+  | None ->
+    let bucket = Smart_net.Shaper.create ~burst:a.burst ~rate:a.rate () in
+    Smart_util.Lru.add t.buckets key bucket;
+    bucket
+
 let handle_request t ~now ~from data =
   match Smart_proto.Wizard_msg.decode_request data with
   | Error _ -> []  (* garbage datagram: drop silently like a real daemon *)
   | Ok request ->
-    (match t.config.mode with
-    | Centralized -> process t request ~from
-    | Distributed { transmitters; freshness_timeout } ->
-      (* one push = three frames per transmitter *)
-      let target_updates =
-        t.updates_seen + (3 * List.length transmitters)
-      in
-      Queue.add
-        { from; request; deadline = now +. freshness_timeout; target_updates }
-        t.pending;
-      Metrics.Gauge.set t.pending_gauge (float_of_int (Queue.length t.pending));
-      List.map
-        (fun (addr : Output.address) ->
-          Output.udp ~host:addr.Output.host ~port:addr.Output.port
-            Transmitter.pull_request_magic)
-        transmitters)
+    (match t.admission with
+    | None -> dispatch t ~now ~from request
+    | Some a ->
+      let bucket = bucket_for t a from.Output.host in
+      (* peek first: a rejected request must not consume tokens, or shed
+         clients would drive the bucket into debt and starve themselves
+         (and the bucket) forever *)
+      let departure = Smart_net.Shaper.peek bucket ~now ~size:1 in
+      if departure <= now then begin
+        ignore (Smart_net.Shaper.admit bucket ~now ~size:1);
+        dispatch t ~now ~from request
+      end
+      else if departure -. now <= a.max_delay then begin
+        ignore (Smart_net.Shaper.admit bucket ~now ~size:1);
+        Metrics.Counter.incr t.admission_delayed_total;
+        Smart_util.Tracelog.instant t.trace
+          ~parent:request.Smart_proto.Wizard_msg.trace
+          "wizard.admission_delay";
+        Queue.add
+          { d_from = from; d_request = request; release_at = departure }
+          t.delayed;
+        []
+      end
+      else reject t request ~from)
 
 (* Federation subquery (regional wizard side): same compile cache, same
    columnar scan, but the answer keeps each candidate's merge key so the
@@ -557,6 +662,23 @@ let handle_subquery t ~from data =
    order; the shared batch memo means a burst of identical requirements
    costs one snapshot scan regardless of LRU churn. *)
 let tick t ~now =
+  (* admission-delayed requests whose tokens have accrued re-enter the
+     ordinary dispatch (a distributed-mode wizard then parks them again,
+     this time for freshness) in arrival order *)
+  let released =
+    if Queue.is_empty t.delayed then []
+    else begin
+      let held = List.of_seq (Queue.to_seq t.delayed) in
+      Queue.clear t.delayed;
+      let ready, waiting =
+        List.partition (fun d -> now >= d.release_at) held
+      in
+      List.iter (fun d -> Queue.add d t.delayed) waiting;
+      List.concat_map
+        (fun d -> dispatch t ~now ~from:d.d_from d.d_request)
+        ready
+    end
+  in
   let parked = List.of_seq (Queue.to_seq t.pending) in
   Queue.clear t.pending;
   let ready, waiting =
@@ -566,6 +688,8 @@ let tick t ~now =
   in
   List.iter (fun p -> Queue.add p t.pending) waiting;
   Metrics.Gauge.set t.pending_gauge (float_of_int (Queue.length t.pending));
+  released
+  @
   match ready with
   | [] -> []
   | ready ->
@@ -598,6 +722,12 @@ let batched_requests t = Metrics.Counter.value t.batched_requests_total
 let request_latency_summary t = Metrics.histogram_summary t.request_latency
 
 let degraded_replies t = Metrics.Counter.value t.degraded_replies_total
+
+let admission_rejected t = Metrics.Counter.value t.admission_rejected_total
+
+let admission_delayed t = Metrics.Counter.value t.admission_delayed_total
+
+let delayed_count t = Queue.length t.delayed
 
 let subqueries_handled t = t.subqueries_seen
 

@@ -62,6 +62,26 @@ type staleness_policy = {
 (** factor 5.0, quantile 0.99, floor 0.1 s, cap 300 s, min_samples 8. *)
 val default_staleness_policy : staleness_policy
 
+(** Admission control (DESIGN.md §15): a per-client token bucket on the
+    request port, so sustained overload sheds fairly instead of
+    collapsing.  Each requesting host refills at [rate] requests/second
+    with [burst] depth.  A request finding its bucket dry is parked until
+    its tokens accrue when that wait is at most [max_delay] (released by
+    {!tick}, counted in [wizard.admission_delayed_total]); beyond that it
+    is rejected — the reply carries the
+    {!Smart_proto.Wizard_msg.reply}[.rejected] flag, no tokens are
+    consumed, and [wizard.admission_rejected_total] is bumped.
+    [max_clients] bounds the bucket table (LRU). *)
+type admission = {
+  rate : float;  (** sustained requests per second per client, > 0 *)
+  burst : float;  (** bucket depth in requests, >= 1 *)
+  max_delay : float;  (** park at most this long before rejecting *)
+  max_clients : int;  (** per-client buckets tracked, >= 1 *)
+}
+
+(** rate 50 req/s, burst 10, max_delay 0.25 s, max_clients 1024. *)
+val default_admission : admission
+
 (** [create ?compile_cache_capacity ?metrics ?clock config db] builds a
     wizard answering from [db].  [compile_cache_capacity] bounds the
     requirement compile cache; 0 disables it (every request
@@ -94,7 +114,12 @@ val default_staleness_policy : staleness_policy
     federation: it is stamped on every {!handle_subquery} reply so the
     root can attribute candidates and digests to the shard, and it
     seeds the wizard's sketch PRNGs so same-seed runs stay
-    byte-identical. *)
+    byte-identical.
+
+    [admission] (default off) arms per-client token-bucket admission
+    control on the request port; see {!admission}.  Federation
+    subqueries ({!handle_subquery}) are never gated — the root is a
+    trusted peer, not a client. *)
 val create :
   ?compile_cache_capacity:int ->
   ?metrics:Smart_util.Metrics.t ->
@@ -103,6 +128,7 @@ val create :
   ?staleness_policy:staleness_policy ->
   ?trace:Smart_util.Tracelog.t ->
   ?shard_name:string ->
+  ?admission:admission ->
   config ->
   Status_db.t ->
   t
@@ -175,6 +201,15 @@ val request_latency_summary : t -> Smart_util.Metrics.histogram_summary
 
 (** Replies served with the degraded (stale snapshot) flag set. *)
 val degraded_replies : t -> int
+
+(** Requests shed by admission control (rejected reply sent). *)
+val admission_rejected : t -> int
+
+(** Requests parked by admission control until their tokens accrued. *)
+val admission_delayed : t -> int
+
+(** Admission-delayed requests currently parked (released by {!tick}). *)
+val delayed_count : t -> int
 
 (** Federation subqueries answered ({!handle_subquery} calls that
     decoded). *)

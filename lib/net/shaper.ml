@@ -22,9 +22,24 @@ let refill t ~now =
     t.last_refill <- now
   end
 
+(* A drained bucket records its debt as [last_refill] pushed into the
+   future: refill is a no-op until real time catches up, and further
+   admissions queue behind that horizon rather than from [now]. *)
+let horizon t ~now = Float.max now t.last_refill
+
+(* Earliest time at which [size] bytes could leave, without consuming
+   anything.  Admission control asks this first: a request it decides to
+   reject must not sink the bucket into debt, or a rejected client could
+   starve the bucket for everyone (including itself) forever. *)
+let peek t ~now ~size =
+  refill t ~now;
+  let size = float_of_int size in
+  if t.tokens >= size then now
+  else horizon t ~now +. ((size -. t.tokens) /. t.rate)
+
 (* Earliest time at which [size] bytes may leave, consuming the tokens.
-   The bucket is allowed to go negative, which serialises subsequent
-   packets behind the debt exactly like a real token bucket queue. *)
+   The bucket is allowed to go into debt, which serialises subsequent
+   packets behind the backlog exactly like a real token bucket queue. *)
 let admit t ~now ~size =
   refill t ~now;
   let size = float_of_int size in
@@ -33,8 +48,8 @@ let admit t ~now ~size =
     now
   end
   else begin
-    let wait = (size -. t.tokens) /. t.rate in
+    let departure = horizon t ~now +. ((size -. t.tokens) /. t.rate) in
     t.tokens <- 0.0;
-    t.last_refill <- now +. wait;
-    now +. wait
+    t.last_refill <- departure;
+    departure
   end

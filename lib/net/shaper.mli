@@ -9,6 +9,13 @@ val create : ?burst:float -> rate:float -> unit -> t
 (** Configured rate in bytes/second. *)
 val rate : t -> float
 
+(** [peek t ~now ~size] is the departure time {!admit} would return,
+    without consuming any tokens — the question admission control asks
+    before deciding whether to accept, delay or reject.  Rejecting after
+    a [peek] leaves the bucket untouched, so shed load cannot drive the
+    bucket into unbounded debt. *)
+val peek : t -> now:float -> size:int -> float
+
 (** [admit t ~now ~size] returns the earliest departure time for [size]
     bytes and consumes the tokens.  Calls must have non-decreasing [now]. *)
 val admit : t -> now:float -> size:int -> float

@@ -89,13 +89,18 @@ let decode_request s =
 
 (* Bit 15 of the reply's server-count word flags a degraded answer: the
    wizard served it from a stale snapshot because its receiver feed had
-   gone quiet.  Fresh replies encode exactly as they always did. *)
+   gone quiet.  Bit 14 flags an admission rejection: the wizard shed the
+   request under overload and the client should back off before asking
+   again.  Unflagged replies encode exactly as they always did. *)
 let degraded_flag = 0x8000
+
+let rejected_flag = 0x4000
 
 type reply = {
   seq : int;
   servers : string list;  (* host names or IPs, best first *)
   degraded : bool;        (* answered from a stale snapshot *)
+  rejected : bool;        (* shed by admission control; back off *)
 }
 
 let encode_reply r =
@@ -105,7 +110,9 @@ let encode_reply r =
   let b = Bytes.create 6 in
   Endian.set_u32 order b ~pos:0 (r.seq land 0xFFFFFFFF);
   Endian.set_u16 order b ~pos:4
-    (List.length r.servers lor if r.degraded then degraded_flag else 0);
+    (List.length r.servers
+    lor (if r.degraded then degraded_flag else 0)
+    lor if r.rejected then rejected_flag else 0);
   Buffer.add_bytes buf b;
   List.iter
     (fun server ->
@@ -123,7 +130,8 @@ let decode_reply s =
     let seq = Endian.get_u32 order b ~pos:0 in
     let word = Endian.get_u16 order b ~pos:4 in
     let degraded = word land degraded_flag <> 0 in
-    let count = word land lnot degraded_flag in
+    let rejected = word land rejected_flag <> 0 in
+    let count = word land lnot (degraded_flag lor rejected_flag) in
     let rec read pos n acc =
       if n = 0 then Ok (List.rev acc)
       else if pos >= String.length s then Error "reply: truncated server list"
@@ -136,6 +144,6 @@ let decode_reply s =
       end
     in
     match read 6 count [] with
-    | Ok servers -> Ok { seq; servers; degraded }
+    | Ok servers -> Ok { seq; servers; degraded; rejected }
     | Error _ as e -> e
   end

@@ -27,6 +27,11 @@ type reply = {
       (** the wizard answered from a stale snapshot (its receiver feed
           had gone quiet); travels as bit 15 of the server-count word,
           so fresh replies encode byte-identically to the old format *)
+  rejected : bool;
+      (** admission control shed the request under overload (the server
+          list is empty); travels as bit 14 of the server-count word,
+          so unshed replies encode byte-identically to the old format.
+          Clients should back off before retrying. *)
 }
 
 (** Raises [Invalid_argument] beyond [Ports.max_reply_servers] entries. *)

@@ -6,6 +6,8 @@ type config = {
   host : string;  (* logical name of the wizard machine *)
   mode : Smart_core.Wizard.mode;
   staleness_threshold : float;  (* receiver silence before degraded replies *)
+  admission : Smart_core.Wizard.admission option;
+      (* per-client token buckets on the request port; None = ungated *)
 }
 
 type t = {
@@ -44,6 +46,7 @@ let create book (config : config) =
   let wizard = Smart_core.Wizard.create ~metrics ~trace:tracelog
       ~clock:Unix.gettimeofday
       ~staleness_threshold:config.staleness_threshold
+      ?admission:config.admission
       { Smart_core.Wizard.mode = config.mode; groups = None }
       db in
   Smart_core.Receiver.set_update_hook receiver

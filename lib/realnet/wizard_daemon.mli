@@ -7,6 +7,11 @@ type config = {
   staleness_threshold : float;
       (** receiver silence (wall-clock seconds) before replies carry the
           degraded flag; [infinity] never degrades *)
+  admission : Smart_core.Wizard.admission option;
+      (** arm {!Smart_core.Wizard.admission}: per-client token buckets
+          gate the request port, shedding sustained overload fairly
+          (delayed requests are released by the daemon's tick loop);
+          [None] leaves the port ungated *)
 }
 
 type t

@@ -1105,7 +1105,8 @@ let test_client_seq_matching () =
   let request = client_request "x > 0\n" in
   let reply seq =
     P.Wizard_msg.encode_reply
-      { P.Wizard_msg.seq; servers = [ "a"; "b" ]; degraded = false }
+      { P.Wizard_msg.seq; servers = [ "a"; "b" ]; degraded = false;
+        rejected = false }
   in
   (match C.Client.check_reply (fresh_client ()) request (reply request.P.Wizard_msg.seq) with
   | Ok _ -> ()
@@ -1125,6 +1126,7 @@ let test_client_option_semantics () =
         P.Wizard_msg.seq = request.P.Wizard_msg.seq;
         servers = List.init n string_of_int;
         degraded = false;
+        rejected = false;
       }
   in
   (match C.Client.check_reply (fresh_client ()) strict (reply strict 2) with
@@ -1587,6 +1589,7 @@ let test_client_duplicate_suppression () =
         P.Wizard_msg.seq = request.P.Wizard_msg.seq;
         servers = [ "a" ];
         degraded = false;
+        rejected = false;
       }
   in
   Alcotest.(check bool) "first reply is fresh" false
@@ -2500,6 +2503,443 @@ let test_sim_control_loops_deterministic () =
   Alcotest.(check bool) "probe loop armed" true
     (contains "probe.report_interval_seconds gauge")
 
+(* ------------------------------------------------------------------ *)
+(* The session plane (DESIGN.md §15)                                   *)
+(* ------------------------------------------------------------------ *)
+
+let test_session_pool_lifecycle () =
+  let clock = ref 0.0 in
+  let evicted = ref [] in
+  let m = Smart_util.Metrics.create () in
+  let pool =
+    C.Session.pool ~metrics:m ~capacity:2 ~keepalive_interval:5.0
+      ~keepalive_limit:2
+      ~on_evict:(fun c -> evicted := C.Session.conn_host c :: !evicted)
+      ~clock:(fun () -> !clock)
+      ()
+  in
+  let s1 = C.Session.session pool ~name:"s1" in
+  C.Session.selecting s1;
+  let ca = C.Session.bind pool s1 ~host:"a" ~origin:Smart_util.Tracelog.root in
+  Alcotest.(check bool) "fresh bind connects" true
+    (C.Session.conn_state ca = C.Session.Connecting);
+  C.Session.established pool ca;
+  (* a second session binding the same host shares the entry *)
+  let s2 = C.Session.session pool ~name:"s2" in
+  C.Session.selecting s2;
+  let ca' = C.Session.bind pool s2 ~host:"a" ~origin:Smart_util.Tracelog.root in
+  Alcotest.(check bool) "same entry" true (ca == ca');
+  Alcotest.(check int) "reuse metered" 1
+    (Smart_util.Metrics.counter_value m "session.pool_reused_total");
+  C.Session.retire pool s2;
+  C.Session.retire pool s1;
+  Alcotest.(check int) "idle entry stays pooled" 1 (C.Session.pool_size pool);
+  (* fill past capacity: the idle LRU entry is evicted, busy ones kept *)
+  clock := 1.0;
+  let cb = C.Session.acquire pool ~host:"b" in
+  C.Session.established pool cb;
+  let cc = C.Session.acquire pool ~host:"c" in
+  C.Session.established pool cc;
+  Alcotest.(check (list string)) "idle LRU evicted" [ "a" ] !evicted;
+  Alcotest.(check bool) "evictee closed" true
+    (C.Session.conn_state ca = C.Session.Closed);
+  (* draining closes only once the in-flight work resolves *)
+  let s3 = C.Session.session pool ~name:"s3" in
+  C.Session.selecting s3;
+  let cb' = C.Session.bind pool s3 ~host:"b" ~origin:Smart_util.Tracelog.root in
+  Alcotest.(check bool) "pooled entry reused" true (cb == cb');
+  C.Session.work_started pool s3 cb';
+  C.Session.release pool cb;  (* the plain acquire's reference *)
+  C.Session.retire pool s3;   (* the session's reference *)
+  C.Session.drain pool cb';
+  Alcotest.(check bool) "draining while busy" true
+    (C.Session.conn_state cb' = C.Session.Draining);
+  C.Session.work_done pool s3 cb';
+  Alcotest.(check bool) "closed once empty" true
+    (C.Session.conn_state cb' = C.Session.Closed);
+  (* keep-alive: due entries come sorted, misses at the limit kill *)
+  clock := 7.0;
+  (match C.Session.keepalive_due pool ~now:!clock with
+  | [ due ] ->
+    Alcotest.(check string) "c is due" "c" (C.Session.conn_host due);
+    C.Session.keepalive_sent pool due;
+    C.Session.keepalive_miss pool due;
+    C.Session.keepalive_sent pool due;
+    C.Session.keepalive_miss pool due;
+    Alcotest.(check bool) "declared dead at the limit" true
+      (C.Session.conn_state due = C.Session.Closed)
+  | l -> Alcotest.failf "expected one due entry, got %d" (List.length l));
+  Alcotest.(check int) "keepalive failure metered" 1
+    (Smart_util.Metrics.counter_value m "session.keepalive_failures_total")
+
+let test_session_migration_states () =
+  let clock = ref 0.0 in
+  let m = Smart_util.Metrics.create () in
+  let pool = C.Session.pool ~metrics:m ~clock:(fun () -> !clock) () in
+  let s = C.Session.session pool ~name:"s" in
+  C.Session.selecting s;
+  let c1 = C.Session.bind pool s ~host:"a" ~origin:Smart_util.Tracelog.root in
+  C.Session.established pool c1;
+  (* an abandoned attempt returns to Active on the held server *)
+  C.Session.begin_migration pool s;
+  Alcotest.(check bool) "migrating" true
+    (C.Session.session_state s = C.Session.Migrating);
+  C.Session.abandon_migration pool s ~reason:"nothing qualified";
+  Alcotest.(check bool) "back to active" true
+    (C.Session.session_state s = C.Session.Active);
+  Alcotest.(check int) "failure metered" 1
+    (Smart_util.Metrics.counter_value m "session.migration_failures_total");
+  (* a completed handover binds the replacement and drains the old *)
+  clock := 1.0;
+  C.Session.begin_migration pool s;
+  clock := 1.5;
+  let c2 =
+    C.Session.complete_migration pool s ~host:"b"
+      ~origin:Smart_util.Tracelog.root
+  in
+  Alcotest.(check string) "bound to replacement" "b" (C.Session.conn_host c2);
+  Alcotest.(check int) "migration counted" 1 (C.Session.session_migrations s);
+  Alcotest.(check bool) "old connection gone" true
+    (C.Session.conn_state c1 = C.Session.Closed);
+  (match Smart_util.Metrics.find m "session.migration_latency_seconds" with
+  | Some (Smart_util.Metrics.Histogram h) ->
+    Alcotest.(check bool) "latency observed" true
+      (h.Smart_util.Metrics.count = 1 && h.Smart_util.Metrics.sum > 0.49)
+  | _ -> Alcotest.fail "migration latency histogram missing");
+  (* same-host handover after the server recovers: the fresh bind must
+     survive (the old record is not the one drained) *)
+  C.Session.close pool c2;
+  C.Session.begin_migration pool s;
+  let c3 =
+    C.Session.complete_migration pool s ~host:"b"
+      ~origin:Smart_util.Tracelog.root
+  in
+  C.Session.established pool c3;
+  Alcotest.(check bool) "rebound fresh to same host" true
+    (not (c3 == c2) && C.Session.conn_state c3 = C.Session.Established)
+
+let admission_request ~seq =
+  P.Wizard_msg.encode_request
+    {
+      P.Wizard_msg.seq;
+      server_num = 1;
+      option = P.Wizard_msg.Accept_partial;
+      requirement = "host_cpu_free >= 0\n";
+      trace = Smart_util.Tracelog.root;
+    }
+
+let test_wizard_admission_gate () =
+  let db = C.Status_db.create () in
+  C.Status_db.update_sys db (sys_record ~host:"s1" ~ip:"10.0.0.1" ~at:0.0 ());
+  let now = ref 0.0 in
+  let wizard =
+    C.Wizard.create
+      ~clock:(fun () -> !now)
+      ~admission:
+        { C.Wizard.rate = 10.0; burst = 2.0; max_delay = 0.2; max_clients = 8 }
+      { C.Wizard.mode = C.Wizard.Centralized; groups = None }
+      db
+  in
+  let from = { C.Output.host = "cli"; port = 4001 } in
+  let ask seq = C.Wizard.handle_request wizard ~now:!now ~from
+      (admission_request ~seq) in
+  let decode = function
+    | [ C.Output.Udp { data; _ } ] ->
+      (match P.Wizard_msg.decode_reply data with
+      | Ok r -> r
+      | Error e -> Alcotest.failf "reply decode failed: %s" e)
+    | l -> Alcotest.failf "expected one reply, got %d outputs" (List.length l)
+  in
+  (* the burst is answered immediately *)
+  Alcotest.(check bool) "1st immediate" false
+    (decode (ask 1)).P.Wizard_msg.rejected;
+  Alcotest.(check bool) "2nd immediate" false
+    (decode (ask 2)).P.Wizard_msg.rejected;
+  (* the next two wait 0.1 s and 0.2 s <= max_delay: parked, no reply *)
+  Alcotest.(check int) "3rd parked" 0 (List.length (ask 3));
+  Alcotest.(check int) "4th parked" 0 (List.length (ask 4));
+  Alcotest.(check int) "two waiting" 2 (C.Wizard.delayed_count wizard);
+  (* the fifth would wait 0.3 s > max_delay: shed *)
+  let shed = decode (ask 5) in
+  Alcotest.(check bool) "5th rejected" true shed.P.Wizard_msg.rejected;
+  Alcotest.(check (list string)) "rejection carries no servers" []
+    shed.P.Wizard_msg.servers;
+  (* other clients have their own bucket: unaffected *)
+  let other =
+    C.Wizard.handle_request wizard ~now:!now
+      ~from:{ C.Output.host = "other"; port = 4002 }
+      (admission_request ~seq:6)
+  in
+  Alcotest.(check bool) "other client immediate" false
+    (decode other).P.Wizard_msg.rejected;
+  (* tokens accrue: the tick releases the parked requests in order *)
+  now := 0.25;
+  let released = C.Wizard.tick wizard ~now:!now in
+  Alcotest.(check int) "both released" 2 (List.length released);
+  (match released with
+  | [ C.Output.Udp { data = d3; _ }; C.Output.Udp { data = d4; _ } ] ->
+    (match (P.Wizard_msg.decode_reply d3, P.Wizard_msg.decode_reply d4) with
+    | Ok r3, Ok r4 ->
+      Alcotest.(check int) "arrival order kept" 3 r3.P.Wizard_msg.seq;
+      Alcotest.(check int) "second in line" 4 r4.P.Wizard_msg.seq;
+      Alcotest.(check bool) "released not flagged" false
+        (r3.P.Wizard_msg.rejected || r4.P.Wizard_msg.rejected)
+    | _ -> Alcotest.fail "released replies must decode")
+  | _ -> Alcotest.fail "expected two released replies");
+  Alcotest.(check int) "rejection metered" 1
+    (C.Wizard.admission_rejected wizard);
+  Alcotest.(check int) "delays metered" 2 (C.Wizard.admission_delayed wizard)
+
+(* Rejections must not consume tokens: a client shed at the deadline is
+   served normally once real time covers its backlog, rather than being
+   driven ever deeper into debt by its own rejected retries. *)
+let test_wizard_admission_reject_consumes_nothing () =
+  let db = C.Status_db.create () in
+  C.Status_db.update_sys db (sys_record ~host:"s1" ~ip:"10.0.0.1" ~at:0.0 ());
+  let now = ref 0.0 in
+  let wizard =
+    C.Wizard.create
+      ~clock:(fun () -> !now)
+      ~admission:
+        { C.Wizard.rate = 10.0; burst = 1.0; max_delay = 0.05; max_clients = 8 }
+      { C.Wizard.mode = C.Wizard.Centralized; groups = None }
+      db
+  in
+  let from = { C.Output.host = "cli"; port = 4001 } in
+  let ask seq = C.Wizard.handle_request wizard ~now:!now ~from
+      (admission_request ~seq) in
+  ignore (ask 1);
+  (* burst spent: a hammering client is shed over and over *)
+  for seq = 2 to 20 do
+    ignore (ask seq)
+  done;
+  Alcotest.(check int) "hammering shed" 19 (C.Wizard.admission_rejected wizard);
+  (* one refill interval later the client is served again — the 19
+     rejections left no debt behind *)
+  now := 0.11;
+  match ask 21 with
+  | [ C.Output.Udp { data; _ } ] ->
+    (match P.Wizard_msg.decode_reply data with
+    | Ok r -> Alcotest.(check bool) "served after backoff" false
+        r.P.Wizard_msg.rejected
+    | Error e -> Alcotest.failf "reply decode failed: %s" e)
+  | l -> Alcotest.failf "expected one reply, got %d outputs" (List.length l)
+
+(* Overload sheds evenly: identical clients offering the same 2x-rate
+   pattern are admitted the same number of times — the Jain fairness
+   index over admitted counts stays at 1 and nobody is starved. *)
+let prop_admission_fairness =
+  QCheck.Test.make ~name:"admission under overload sheds fairly" ~count:30
+    (QCheck.pair (QCheck.int_range 2 6) (QCheck.int_range 2 4))
+    (fun (nclients, overload) ->
+      let db = C.Status_db.create () in
+      C.Status_db.update_sys db
+        (sys_record ~host:"s1" ~ip:"10.0.0.1" ~at:0.0 ());
+      let admission =
+        { C.Wizard.rate = 20.0; burst = 4.0; max_delay = 0.1; max_clients = 64 }
+      in
+      let now = ref 0.0 in
+      let wizard =
+        C.Wizard.create
+          ~clock:(fun () -> !now)
+          ~admission
+          { C.Wizard.mode = C.Wizard.Centralized; groups = None }
+          db
+      in
+      let admitted = Array.make nclients 0 in
+      let count outputs =
+        List.iter
+          (fun output ->
+            match output with
+            | C.Output.Udp { dst; data } ->
+              (match P.Wizard_msg.decode_reply data with
+              | Ok r when not r.P.Wizard_msg.rejected ->
+                let i = dst.C.Output.port - 4000 in
+                if i >= 0 && i < nclients then admitted.(i) <- admitted.(i) + 1
+              | Ok _ | Error _ -> ())
+            | C.Output.Stream _ -> ())
+          outputs
+      in
+      let dt = 1.0 /. (admission.C.Wizard.rate *. float_of_int overload) in
+      let steps = int_of_float (1.0 /. dt) in
+      let seq = ref 0 in
+      for _ = 1 to steps do
+        for i = 0 to nclients - 1 do
+          incr seq;
+          count
+            (C.Wizard.handle_request wizard ~now:!now
+               ~from:{ C.Output.host = Printf.sprintf "c%d" i;
+                       port = 4000 + i }
+               (admission_request ~seq:!seq))
+        done;
+        count (C.Wizard.tick wizard ~now:!now);
+        now := !now +. dt
+      done;
+      now := !now +. admission.C.Wizard.max_delay +. 0.05;
+      count (C.Wizard.tick wizard ~now:!now);
+      let xs = Array.map float_of_int admitted in
+      let sum = Array.fold_left ( +. ) 0.0 xs in
+      let sumsq = Array.fold_left (fun a x -> a +. (x *. x)) 0.0 xs in
+      let jain = sum *. sum /. (float_of_int nclients *. sumsq) in
+      Array.for_all (fun n -> n > 0) admitted && jain >= 0.95)
+
+(* Differential check of the pool's determinism against a reference LRU
+   model: eviction picks exactly the least-recently-used idle entry
+   (ties by host) and the keep-alive due list comes back host-sorted —
+   the pool's behaviour is a pure function of the operation sequence,
+   never of hash-table order. *)
+let prop_session_pool_determinism =
+  QCheck.Test.make ~name:"pool eviction follows the LRU model" ~count:60
+    (QCheck.int_bound 0xFFFF)
+    (fun seed ->
+      let capacity = 3 in
+      let clock = ref 0.0 in
+      let evicted = ref [] in
+      let pool =
+        C.Session.pool ~capacity ~keepalive_interval:2.0 ~keepalive_limit:2
+          ~on_evict:(fun c -> evicted := C.Session.conn_host c :: !evicted)
+          ~clock:(fun () -> !clock)
+          ()
+      in
+      (* reference model: host -> (last_used stamp, refs).  Acquire of a
+         fresh entry touches twice (attach, then Connecting ->
+         Established); a reuse touches once; release never touches. *)
+      let model : (string, int * int) Hashtbl.t = Hashtbl.create 8 in
+      let stamp = ref 0 in
+      let expected = ref [] in
+      let model_victim () =
+        Hashtbl.fold
+          (fun host (st, refs) best ->
+            if refs > 0 then best
+            else
+              match best with
+              | None -> Some (host, st)
+              | Some (_, bst) when st < bst -> Some (host, st)
+              | Some (bhost, bst) when st = bst && host < bhost ->
+                Some (host, st)
+              | Some _ -> best)
+          model None
+      in
+      let rng = Smart_util.Prng.create ~seed in
+      let held = ref [] in
+      let sorted_ok = ref true in
+      for _ = 1 to 80 do
+        clock := !clock +. 0.3;
+        match Smart_util.Prng.int rng ~bound:3 with
+        | 0 ->
+          let host = Printf.sprintf "h%d" (Smart_util.Prng.int rng ~bound:6) in
+          (match Hashtbl.find_opt model host with
+          | Some (_, refs) ->
+            incr stamp;
+            Hashtbl.replace model host (!stamp, refs + 1)
+          | None ->
+            if Hashtbl.length model >= capacity then (
+              match model_victim () with
+              | Some (victim, _) ->
+                Hashtbl.remove model victim;
+                expected := victim :: !expected
+              | None -> ());
+            stamp := !stamp + 2;
+            Hashtbl.replace model host (!stamp, 1));
+          let c = C.Session.acquire pool ~host in
+          C.Session.established pool c;
+          held := c :: !held
+        | 1 ->
+          (match !held with
+          | c :: rest ->
+            C.Session.release pool c;
+            held := rest;
+            let host = C.Session.conn_host c in
+            (match Hashtbl.find_opt model host with
+            | Some (st, refs) -> Hashtbl.replace model host (st, refs - 1)
+            | None -> ())
+          | [] -> ())
+        | _ ->
+          let due = C.Session.keepalive_due pool ~now:!clock in
+          let hosts = List.map C.Session.conn_host due in
+          if hosts <> List.sort String.compare hosts then sorted_ok := false
+      done;
+      !sorted_ok && !evicted = !expected)
+
+(* ------------------------------------------------------------------ *)
+(* Session chaos acceptance (the DESIGN.md §15 gate)                   *)
+(* ------------------------------------------------------------------ *)
+
+(* The bench's churn world in miniature: four servers behind a switch,
+   crash + partition mid-run, both healed before the drain. *)
+let session_churn_world seed =
+  let c = H.Cluster.create ~seed () in
+  let spec name ip =
+    { (H.Testbed.spec_of_name "helene") with H.Machine.name; ip }
+  in
+  let add name ip = H.Cluster.add_machine c (spec name ip) in
+  let wiz = add "wiz" "10.0.0.1" in
+  let cli = add "cli" "10.0.0.2" in
+  let mon = add "mon" "10.0.0.3" in
+  let servers =
+    List.init 4 (fun i ->
+        add (Printf.sprintf "s%d" (i + 1)) (Printf.sprintf "10.0.1.%d" (i + 1)))
+  in
+  let sw = H.Cluster.add_switch c ~name:"sw" ~ip:"10.0.0.254" in
+  List.iter
+    (fun n -> ignore (H.Cluster.link c ~a:n ~b:sw H.Testbed.lan_conf))
+    (wiz :: cli :: mon :: servers);
+  let config =
+    {
+      C.Simdriver.default_config with
+      C.Simdriver.transmit_interval = 0.5;
+      frame_crc = true;
+      wizard_staleness = 3.0;
+    }
+  in
+  let d =
+    C.Simdriver.deploy ~config c ~monitor:"mon" ~wizard_host:"wiz"
+      ~servers:[ "s1"; "s2"; "s3"; "s4" ]
+  in
+  (c, d)
+
+let run_session_chaos seed =
+  let c, d = session_churn_world seed in
+  C.Simdriver.settle ~duration:8.0 d;
+  let base = H.Cluster.now c in
+  let module F = Smart_sim.Faults in
+  ignore
+    (C.Simdriver.install_faults d
+       [
+         { F.at = base +. 4.3; action = F.Crash_node "s1" };
+         { F.at = base +. 8.1; action = F.Partition_host "s2" };
+         { F.at = base +. 14.2; action = F.Restart_node "s1" };
+         { F.at = base +. 18.1; action = F.Heal_host "s2" };
+       ]);
+  let report =
+    C.Simdriver.run_sessions d
+      ~clients:[ ("cli", 6) ]
+      ~requirement:"host_cpu_free > 0.05\norder_by = host_memory_free\n"
+      ~work_interval:0.5 ~duration:20.0
+  in
+  ( report,
+    Smart_util.Metrics.to_text (C.Simdriver.metrics d),
+    C.Simdriver.trace_json d )
+
+let test_sim_session_chaos () =
+  let r, mtext, tjson = run_session_chaos 11 in
+  Alcotest.(check int) "every session survived" r.C.Simdriver.sessions
+    r.C.Simdriver.survived;
+  Alcotest.(check bool) "sessions migrated through the churn" true
+    (r.C.Simdriver.migrations >= 1);
+  Alcotest.(check int) "zero in-flight items lost" 0 r.C.Simdriver.work_lost;
+  Alcotest.(check bool) "requeue path exercised" true
+    (r.C.Simdriver.work_requeued >= 1);
+  (* the ledger closes: everything issued either completed or requeued *)
+  Alcotest.(check int) "work ledger closes" r.C.Simdriver.work_completed
+    (r.C.Simdriver.work_issued - r.C.Simdriver.work_requeued);
+  (* same seed, same churn: the observable surface is byte-identical *)
+  let r2, mtext2, tjson2 = run_session_chaos 11 in
+  Alcotest.(check int) "same migrations" r.C.Simdriver.migrations
+    r2.C.Simdriver.migrations;
+  Alcotest.(check string) "metrics byte-identical" mtext mtext2;
+  Alcotest.(check string) "trace byte-identical" tjson tjson2
+
 let () =
   Alcotest.run "smart_core"
     [
@@ -2647,5 +3087,20 @@ let () =
             test_wizard_adaptive_staleness;
           Alcotest.test_case "loops stay deterministic" `Slow
             test_sim_control_loops_deterministic;
+        ] );
+      ( "sessions",
+        [
+          Alcotest.test_case "pool lifecycle" `Quick
+            test_session_pool_lifecycle;
+          Alcotest.test_case "migration states" `Quick
+            test_session_migration_states;
+          Alcotest.test_case "wizard admission gate" `Quick
+            test_wizard_admission_gate;
+          Alcotest.test_case "rejections consume no tokens" `Quick
+            test_wizard_admission_reject_consumes_nothing;
+          QCheck_alcotest.to_alcotest prop_admission_fairness;
+          QCheck_alcotest.to_alcotest prop_session_pool_determinism;
+          Alcotest.test_case "session chaos acceptance" `Slow
+            test_sim_session_chaos;
         ] );
     ]

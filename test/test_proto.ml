@@ -459,6 +459,7 @@ let test_reply_roundtrip () =
       P.Wizard_msg.seq = 77;
       servers = [ "dalmatian"; "dione"; "192.168.1.2" ];
       degraded = false;
+      rejected = false;
     }
   in
   match P.Wizard_msg.decode_reply (P.Wizard_msg.encode_reply r) with
@@ -474,7 +475,8 @@ let test_reply_degraded_flag () =
   (* the degraded bit survives the roundtrip without disturbing seq or
      the server list, and a fresh reply's bytes match the legacy layout *)
   let fresh =
-    { P.Wizard_msg.seq = 9; servers = [ "a"; "b" ]; degraded = false }
+    { P.Wizard_msg.seq = 9; servers = [ "a"; "b" ]; degraded = false;
+      rejected = false }
   in
   let stale = { fresh with P.Wizard_msg.degraded = true } in
   let fresh_wire = P.Wizard_msg.encode_reply fresh in
@@ -492,8 +494,50 @@ let test_reply_degraded_flag () =
   | Ok d -> Alcotest.(check bool) "fresh" false d.P.Wizard_msg.degraded
   | Error e -> Alcotest.failf "decode failed: %s" e
 
+let test_reply_rejected_flag () =
+  (* bit 14 of the count word carries the admission verdict, independent
+     of the degraded bit 15, without disturbing seq or the list; an
+     accepted reply's bytes match the legacy layout *)
+  let accepted =
+    { P.Wizard_msg.seq = 21; servers = []; degraded = false;
+      rejected = false }
+  in
+  let shed = { accepted with P.Wizard_msg.rejected = true } in
+  let both = { shed with P.Wizard_msg.degraded = true } in
+  let accepted_wire = P.Wizard_msg.encode_reply accepted in
+  let shed_wire = P.Wizard_msg.encode_reply shed in
+  Alcotest.(check int) "same length" (String.length accepted_wire)
+    (String.length shed_wire);
+  (* the flag flips exactly one bit (0x40) of one count-word byte *)
+  let diffs = ref [] in
+  String.iteri
+    (fun i ch ->
+      let x = Char.code ch lxor Char.code accepted_wire.[i] in
+      if x <> 0 then diffs := (i, x) :: !diffs)
+    shed_wire;
+  (match !diffs with
+  | [ (pos, x) ] ->
+    Alcotest.(check bool) "inside count word" true (pos = 4 || pos = 5);
+    Alcotest.(check int) "bit 14" 0x40 x
+  | _ -> Alcotest.fail "rejected flag must flip exactly one byte");
+  (match P.Wizard_msg.decode_reply shed_wire with
+  | Ok d ->
+    Alcotest.(check bool) "rejected" true d.P.Wizard_msg.rejected;
+    Alcotest.(check bool) "not degraded" false d.P.Wizard_msg.degraded;
+    Alcotest.(check int) "seq intact" 21 d.P.Wizard_msg.seq;
+    Alcotest.(check (list string)) "empty list" [] d.P.Wizard_msg.servers
+  | Error e -> Alcotest.failf "decode failed: %s" e);
+  (match P.Wizard_msg.decode_reply (P.Wizard_msg.encode_reply both) with
+  | Ok d ->
+    Alcotest.(check bool) "both: rejected" true d.P.Wizard_msg.rejected;
+    Alcotest.(check bool) "both: degraded" true d.P.Wizard_msg.degraded
+  | Error e -> Alcotest.failf "decode failed: %s" e);
+  match P.Wizard_msg.decode_reply accepted_wire with
+  | Ok d -> Alcotest.(check bool) "accepted" false d.P.Wizard_msg.rejected
+  | Error e -> Alcotest.failf "decode failed: %s" e
+
 let test_reply_empty () =
-  let r = { P.Wizard_msg.seq = 1; servers = []; degraded = false } in
+  let r = { P.Wizard_msg.seq = 1; servers = []; degraded = false; rejected = false } in
   match P.Wizard_msg.decode_reply (P.Wizard_msg.encode_reply r) with
   | Ok d -> Alcotest.(check (list string)) "no servers" [] d.P.Wizard_msg.servers
   | Error e -> Alcotest.failf "decode failed: %s" e
@@ -504,12 +548,13 @@ let test_reply_limit () =
     (try
        ignore
          (P.Wizard_msg.encode_reply
-            { P.Wizard_msg.seq = 1; servers; degraded = false });
+            { P.Wizard_msg.seq = 1; servers; degraded = false; rejected = false });
        false
      with Invalid_argument _ -> true)
 
 let test_reply_truncated_list () =
-  let r = { P.Wizard_msg.seq = 5; servers = [ "abc"; "def" ]; degraded = false } in
+  let r = { P.Wizard_msg.seq = 5; servers = [ "abc"; "def" ]; degraded = false;
+      rejected = false } in
   let wire = P.Wizard_msg.encode_reply r in
   match P.Wizard_msg.decode_reply (String.sub wire 0 (String.length wire - 2)) with
   | Error _ -> ()
@@ -1184,6 +1229,8 @@ let () =
           Alcotest.test_case "reply truncated" `Quick test_reply_truncated_list;
           Alcotest.test_case "reply degraded flag" `Quick
             test_reply_degraded_flag;
+          Alcotest.test_case "reply rejected flag" `Quick
+            test_reply_rejected_flag;
         ] );
       ( "trace plane",
         [

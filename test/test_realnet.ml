@@ -143,6 +143,7 @@ let start_world ?(mode = Smart_core.Transmitter.Centralized)
         R.Wizard_daemon.host = "wiz";
         mode = wizard_mode;
         staleness_threshold = infinity;
+        admission = None;
       }
   in
   R.Wizard_daemon.start wizard;
@@ -306,6 +307,73 @@ let test_download_real () =
           (stats.R.Client_io.throughput > 0.0);
         R.Client_io.close_all connected)
 
+(* The daemons all run in this process and the monitor dials the wizard
+   for every transmit, so a single /proc/self/fd sample can catch a
+   short-lived socket mid-flight.  Transient fds only ever inflate the
+   count; the minimum over spaced samples is the steady state. *)
+let open_fd_count () =
+  let sample () = Array.length (Sys.readdir "/proc/self/fd") in
+  let best = ref (sample ()) in
+  for _ = 1 to 9 do
+    Thread.delay 0.05;
+    let n = sample () in
+    if n < !best then best := n
+  done;
+  !best
+
+let test_fd_leak_regression () =
+  (* every socket the client opens is closed again — including the
+     candidates it dials but then skips (refused connects, trimmed
+     surplus) and everything the session pool held.  Counting
+     /proc/self/fd before and after catches any regression of the
+     cleanup paths. *)
+  if not (Sys.file_exists "/proc/self/fd") then ()
+  else
+    let w = start_world () in
+    Fun.protect
+      ~finally:(fun () -> stop_world w)
+      (fun () ->
+        await_reports w ~count:3 ~timeout:10.0;
+        (* kill one advertised server so its connect is refused: the
+           dialing loop must discard that socket, not leak it *)
+        (match w.services with
+        | _ :: _ :: gamma :: _ -> R.Service.stop gamma
+        | _ -> Alcotest.fail "expected three services");
+        let before = open_fd_count () in
+        for _ = 1 to 5 do
+          match
+            R.Client_io.request_sockets w.book ~wizard_host:"wiz" ~wanted:3
+              ~requirement:"host_memory_total > 1\n" ()
+          with
+          | Ok connected -> R.Client_io.close_all connected
+          | Error _ -> ()
+        done;
+        (* the pooled path: reuse must hand back the same socket, and
+           pool_close must drop every fd the pool held *)
+        let pool = R.Client_io.create_pool w.book in
+        (match R.Client_io.pool_acquire pool ~host:"alpha" with
+        | Some p1 ->
+          let fd1 = p1.R.Client_io.server.R.Client_io.socket in
+          R.Service.write_line fd1 "ECHO alpha";
+          (match R.Service.read_line_opt fd1 with
+          | Some line -> Alcotest.(check string) "pooled echo" "alpha" line
+          | None -> Alcotest.fail "no echo through pooled socket");
+          R.Client_io.pool_release pool p1;
+          (match R.Client_io.pool_acquire pool ~host:"alpha" with
+          | Some p2 ->
+            Alcotest.(check bool) "socket reused" true
+              (p2.R.Client_io.server.R.Client_io.socket == fd1);
+            R.Client_io.pool_release pool p2
+          | None -> Alcotest.fail "pooled reacquire failed")
+        | None -> Alcotest.fail "pool acquire failed");
+        Alcotest.(check int) "pool holds one socket" 1
+          (R.Client_io.pool_open_count pool);
+        R.Client_io.pool_close pool;
+        Alcotest.(check int) "pool emptied" 0
+          (R.Client_io.pool_open_count pool);
+        let after = open_fd_count () in
+        Alcotest.(check int) "no file descriptors leaked" before after)
+
 let test_distributed_mode_real () =
   let w =
     start_world ~mode:Smart_core.Transmitter.Distributed
@@ -463,6 +531,8 @@ let () =
           Alcotest.test_case "netmon echo probing" `Slow
             test_netmon_real_probing;
           Alcotest.test_case "massd download" `Slow test_download_real;
+          Alcotest.test_case "fd leak regression" `Slow
+            test_fd_leak_regression;
           Alcotest.test_case "distributed mode" `Slow test_distributed_mode_real;
           Alcotest.test_case "metrics scrape" `Slow test_metrics_scrape_real;
           Alcotest.test_case "trace scrape" `Slow test_trace_scrape_real;
